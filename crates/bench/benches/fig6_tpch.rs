@@ -1,0 +1,62 @@
+//! Criterion bench for Figure 6: inference time per (TPC-H join, strategy).
+//!
+//! Reproduces the timing columns (Figures 6c/6d). Run with
+//! `cargo bench -p jqi-bench --bench fig6_tpch`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jqi_core::engine::{run_inference, PredicateOracle};
+use jqi_core::strategy::StrategyKind;
+use jqi_core::universe::Universe;
+use jqi_datagen::tpch::{TpchJoin, TpchScale, TpchTables};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig6(c: &mut Criterion) {
+    let tables = TpchTables::generate(TpchScale::Small, 0xBEEF);
+    let mut group = c.benchmark_group("fig6_tpch_small");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for join in TpchJoin::ALL {
+        let w = tables.workload(join);
+        let universe = Universe::build(w.instance.clone());
+        for kind in StrategyKind::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), join.name()),
+                &(&universe, &w.goal),
+                |b, (u, goal)| {
+                    b.iter(|| {
+                        let mut strategy = kind.build(7);
+                        let mut oracle = PredicateOracle::new((*goal).clone());
+                        let run = run_inference(u, strategy.as_mut(), &mut oracle)
+                            .expect("consistent oracle");
+                        black_box(run.interactions)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_universe_build(c: &mut Criterion) {
+    // The shared preprocessing all strategies amortize: partitioning the
+    // Cartesian product into T-equivalence classes.
+    let tables = TpchTables::generate(TpchScale::Large, 0xBEEF);
+    let mut group = c.benchmark_group("universe_build_large");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for join in TpchJoin::ALL {
+        let w = tables.workload(join);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(join.name()),
+            &w.instance,
+            |b, inst| b.iter(|| black_box(Universe::build(inst.clone()).num_classes())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6, bench_universe_build);
+criterion_main!(benches);

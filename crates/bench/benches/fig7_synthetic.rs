@@ -1,0 +1,53 @@
+//! Criterion bench for Figure 7: inference time per (synthetic config,
+//! strategy, goal size).
+//!
+//! Reproduces the timing panels (Figures 7c/d/g/h/k/l) on two of the six
+//! configurations — the remaining four behave identically up to scale and
+//! are covered by the `paper_experiments` harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jqi_core::engine::{run_inference, PredicateOracle};
+use jqi_core::lattice::goals_by_size;
+use jqi_core::strategy::StrategyKind;
+use jqi_core::universe::Universe;
+use jqi_datagen::SyntheticConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_config(c: &mut Criterion, cfg: SyntheticConfig, label: &str) {
+    let universe = Universe::build(cfg.generate(0xFEED));
+    let groups = goals_by_size(&universe, 200_000).expect("lattice fits");
+    let mut group = c.benchmark_group(label);
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (size, goals) in groups.iter().enumerate() {
+        let Some(goal) = goals.first() else { continue };
+        for kind in StrategyKind::PAPER {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("size{size}")),
+                &(&universe, goal),
+                |b, (u, goal)| {
+                    b.iter(|| {
+                        let mut strategy = kind.build(11);
+                        let mut oracle = PredicateOracle::new((*goal).clone());
+                        let run = run_inference(u, strategy.as_mut(), &mut oracle)
+                            .expect("consistent oracle");
+                        black_box(run.interactions)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    // The paper's (3,3,50,100) — the mid-size RDF-store-like config — and
+    // the smallest (2,4,50,100).
+    bench_config(c, SyntheticConfig::new(3, 3, 50, 100), "fig7_3_3_50_100");
+    bench_config(c, SyntheticConfig::new(2, 4, 50, 100), "fig7_2_4_50_100");
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

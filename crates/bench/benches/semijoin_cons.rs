@@ -1,0 +1,54 @@
+//! Criterion bench for §6: the exact CONS⋉ solver on 3SAT reductions,
+//! with DPLL as the reference, sweeping the number of variables.
+//!
+//! The super-polynomial growth (Theorem 6.1) is directly visible in the
+//! reported times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jqi_semijoin::consistency::find_consistent_semijoin;
+use jqi_semijoin::reduction::reduce;
+use jqi_semijoin::sat::{dpll, random_3sat};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_cons_vs_dpll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semijoin_cons_3sat");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for num_vars in [4usize, 6, 8] {
+        let num_clauses = (num_vars as f64 * 4.27).round() as usize;
+        let cnf = random_3sat(num_vars, num_clauses, 0x5A7);
+        let red = reduce(&cnf);
+        group.bench_with_input(
+            BenchmarkId::new("cons_solver", num_vars),
+            &red,
+            |b, red| {
+                b.iter(|| {
+                    black_box(find_consistent_semijoin(&red.instance, &red.sample).is_some())
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dpll", num_vars), &cnf, |b, cnf| {
+            b.iter(|| black_box(dpll(cnf).is_some()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semijoin_reduction_build");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for num_vars in [6usize, 12] {
+        let cnf = random_3sat(num_vars, num_vars * 4, 0x5A8);
+        group.bench_with_input(BenchmarkId::from_parameter(num_vars), &cnf, |b, cnf| {
+            b.iter(|| black_box(reduce(cnf).instance.product_size()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cons_vs_dpll, bench_reduction_construction);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Micro-benchmarks and ablations for the design choices DESIGN.md calls
+//! out:
+//!
+//! * **lookahead depth** — LkS for k = 1, 2, 3 on one instance;
+//! * **count mode** — tuple-level (paper) vs class-level entropy counting;
+//! * **certain-tuple tests** — the Lemma 3.3 / 3.4 hot paths;
+//! * **optimal gap** — the minimax-optimal strategy on Example 2.1, the
+//!   yardstick the heuristics are compared against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jqi_core::certain::{informative_classes, uninformative_count, CountMode};
+use jqi_core::engine::{run_inference, AdversarialOracle, PredicateOracle};
+use jqi_core::paper::example_2_1;
+use jqi_core::strategy::{optimal_worst_case, Lookahead, Optimal};
+use jqi_core::universe::Universe;
+use jqi_core::{Label, Sample};
+use jqi_datagen::SyntheticConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lookahead_depth(c: &mut Criterion) {
+    let universe = Universe::build(SyntheticConfig::new(2, 3, 20, 8).generate(0xD0E));
+    let goals = jqi_core::lattice::goals_by_size(&universe, 100_000).expect("small lattice");
+    let goal = goals
+        .get(2)
+        .and_then(|g| g.first())
+        .or_else(|| goals.iter().rev().find_map(|g| g.first()))
+        .expect("some goal exists")
+        .clone();
+    let mut group = c.benchmark_group("lks_depth");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut strategy = Lookahead::new(k);
+                let mut oracle = PredicateOracle::new(goal.clone());
+                let run = run_inference(&universe, &mut strategy, &mut oracle)
+                    .expect("consistent oracle");
+                black_box(run.interactions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_modes(c: &mut Criterion) {
+    let universe = Universe::build(SyntheticConfig::new(3, 3, 30, 10).generate(0xD0F));
+    let mut sample = Sample::new(&universe);
+    // Label a couple of classes to make the certain tests non-trivial.
+    let inf = informative_classes(&universe, &sample);
+    if inf.len() >= 2 {
+        sample.add(&universe, inf[0], Label::Negative).expect("unlabeled");
+        sample.add(&universe, inf[1], Label::Positive).expect("unlabeled");
+    }
+    let mut group = c.benchmark_group("uninformative_count_mode");
+    for (label, mode) in [("tuples", CountMode::Tuples), ("classes", CountMode::Classes)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| black_box(uninformative_count(&universe, &sample, mode)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_certain_tests(c: &mut Criterion) {
+    let universe = Universe::build(SyntheticConfig::new(3, 3, 50, 30).generate(0xD10));
+    let mut sample = Sample::new(&universe);
+    let inf = informative_classes(&universe, &sample);
+    for (i, &cl) in inf.iter().take(6).enumerate() {
+        let label = if i % 3 == 0 { Label::Positive } else { Label::Negative };
+        if sample.label(cl).is_none() {
+            let mut trial = sample.clone();
+            if trial.add(&universe, cl, label).is_ok() && trial.is_consistent(&universe) {
+                sample = trial;
+            }
+        }
+    }
+    c.bench_function("informative_classes_scan", |b| {
+        b.iter(|| black_box(informative_classes(&universe, &sample).len()))
+    });
+}
+
+fn bench_optimal_gap(c: &mut Criterion) {
+    let universe = Universe::build(example_2_1());
+    let mut group = c.benchmark_group("optimal_gap_example_2_1");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("optimal_worst_case", |b| {
+        b.iter(|| black_box(optimal_worst_case(&universe, 14).expect("12 classes")))
+    });
+    group.bench_function("optimal_vs_adversary", |b| {
+        b.iter(|| {
+            let mut strategy = Optimal::new();
+            let mut adversary = AdversarialOracle::new();
+            let run = run_inference(&universe, &mut strategy, &mut adversary)
+                .expect("adversary stays consistent");
+            black_box(run.interactions)
+        })
+    });
+    group.finish();
+}
+
+fn bench_expected_gain_ablation(c: &mut Criterion) {
+    // EG (probabilistic ranking, §7-style extension) vs the paper's L1S:
+    // comparable per-question cost plus the inclusion–exclusion term.
+    let universe = Universe::build(SyntheticConfig::new(2, 3, 20, 8).generate(0xD11));
+    let goals = jqi_core::lattice::goals_by_size(&universe, 100_000).expect("small lattice");
+    let goal = goals
+        .iter()
+        .rev()
+        .find_map(|g| g.first())
+        .expect("some goal exists")
+        .clone();
+    let mut group = c.benchmark_group("eg_vs_l1s");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in [
+        jqi_core::strategy::StrategyKind::Eg,
+        jqi_core::strategy::StrategyKind::L1s,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut strategy = kind.build(0);
+                let mut oracle = PredicateOracle::new(goal.clone());
+                let run = run_inference(&universe, strategy.as_mut(), &mut oracle)
+                    .expect("consistent oracle");
+                black_box(run.interactions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookahead_depth,
+    bench_count_modes,
+    bench_certain_tests,
+    bench_optimal_gap,
+    bench_expected_gain_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Table 1's instance-complexity machinery: universe
+//! construction and join-ratio computation per dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jqi_core::lattice::{join_ratio, LatticeStats};
+use jqi_core::universe::Universe;
+use jqi_datagen::tpch::{TpchScale, TpchTables};
+use jqi_datagen::PAPER_CONFIGS;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_join_ratio_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_join_ratio_synthetic");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for cfg in PAPER_CONFIGS {
+        let universe = Universe::build(cfg.generate(0xABCD));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cfg.to_string()),
+            &universe,
+            |b, u| b.iter(|| black_box(join_ratio(u))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lattice_stats_tpch(c: &mut Criterion) {
+    let tables = TpchTables::generate(TpchScale::Small, 0xABCD);
+    let mut group = c.benchmark_group("table1_lattice_stats_tpch");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for w in tables.workloads() {
+        let universe = Universe::build(w.instance.clone());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.join.name()),
+            &universe,
+            |b, u| b.iter(|| black_box(LatticeStats::of(u).join_ratio)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_ratio_synthetic, bench_lattice_stats_tpch);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! The modules map one-to-one onto the paper's §5 artifacts (see DESIGN.md's
+//! per-experiment index):
+//!
+//! * [`measure`] — timing one inference run of one strategy.
+//! * [`fig6`] — Figure 6a–6d: interactions and inference time for the five
+//!   TPC-H joins at two scales.
+//! * [`fig7`] — Figure 7a–7l: interactions and inference time for the six
+//!   synthetic configurations, grouped by goal-predicate size.
+//! * [`table1`] — Table 1: per-dataset summary (product size, join ratio,
+//!   best strategy, its time).
+//! * [`semijoin_exp`] — §6 / Theorem 6.1: the CONS⋉ solver against DPLL on
+//!   random 3SAT reductions.
+//! * [`optgap`] — worst cases of the deterministic heuristics against the
+//!   minimax-optimal bound on the paper's running examples.
+//! * [`report`] — plain-text table rendering shared by the binary.
+//!
+//! The `paper_experiments` binary drives all of it:
+//! `cargo run -p jqi-bench --bin paper_experiments --release -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig6;
+pub mod fig7;
+pub mod measure;
+pub mod optgap;
+pub mod report;
+pub mod semijoin_exp;
+pub mod table1;

@@ -1,0 +1,105 @@
+//! Error types for the inference core.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, InferenceError>;
+
+/// Errors surfaced by the inference engine and session API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferenceError {
+    /// The user/oracle produced a label making the sample inconsistent,
+    /// i.e. no equijoin predicate selects all positives and no negative
+    /// (Algorithm 1, lines 6–7).
+    InconsistentSample {
+        /// The class whose label broke consistency.
+        class: usize,
+    },
+    /// `Session::answer` was called without a pending candidate.
+    NoPendingCandidate,
+    /// `Session::next` was called while a candidate was still unanswered.
+    CandidateAlreadyPending,
+    /// A class id was out of range for the universe.
+    ClassOutOfBounds {
+        /// The offending class id.
+        class: usize,
+        /// Number of classes in the universe.
+        len: usize,
+    },
+    /// A class was labeled twice.
+    AlreadyLabeled {
+        /// The class that already carries a label.
+        class: usize,
+    },
+    /// The minimax-optimal strategy refused to run on a universe this large.
+    UniverseTooLarge {
+        /// Number of informative classes found.
+        classes: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+    /// An error from the relational substrate.
+    Relation(jqi_relation::RelationError),
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::InconsistentSample { class } => write!(
+                f,
+                "sample became inconsistent after labeling class {class}: no equijoin predicate is consistent with the labels"
+            ),
+            InferenceError::NoPendingCandidate => {
+                write!(f, "no candidate is pending; call next() first")
+            }
+            InferenceError::CandidateAlreadyPending => {
+                write!(f, "a candidate is already pending; answer it before asking for another")
+            }
+            InferenceError::ClassOutOfBounds { class, len } => {
+                write!(f, "class {class} out of bounds for universe with {len} classes")
+            }
+            InferenceError::AlreadyLabeled { class } => {
+                write!(f, "class {class} is already labeled")
+            }
+            InferenceError::UniverseTooLarge { classes, limit } => write!(
+                f,
+                "minimax-optimal strategy limited to {limit} informative classes, found {classes}"
+            ),
+            InferenceError::Relation(e) => write!(f, "relation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InferenceError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<jqi_relation::RelationError> for InferenceError {
+    fn from(e: jqi_relation::RelationError) -> Self {
+        InferenceError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_class() {
+        let e = InferenceError::InconsistentSample { class: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn relation_error_is_wrapped() {
+        let re = jqi_relation::RelationError::MissingRelation { which: "R" };
+        let e: InferenceError = re.clone().into();
+        assert_eq!(e, InferenceError::Relation(re));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,115 @@
+//! The running examples of the paper, as ready-made instances.
+//!
+//! These are used pervasively in unit tests, doc tests, integration tests
+//! and examples, so they live in the library rather than test support code.
+
+use jqi_relation::{Instance, InstanceBuilder, Value};
+
+/// The flight & hotel instance of Figure 1.
+///
+/// `Flight(From, To, Airline)` with four rows and `Hotel(City, Discount)`
+/// with three rows; the Cartesian product is Figure 2's twelve tuples.
+pub fn flight_hotel() -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.relation_r("Flight", &["From", "To", "Airline"]);
+    b.relation_p("Hotel", &["City", "Discount"]);
+    b.row_r(&[Value::str("Paris"), Value::str("Lille"), Value::str("AF")]);
+    b.row_r(&[Value::str("Lille"), Value::str("NYC"), Value::str("AA")]);
+    b.row_r(&[Value::str("NYC"), Value::str("Paris"), Value::str("AA")]);
+    b.row_r(&[Value::str("Paris"), Value::str("NYC"), Value::str("AF")]);
+    b.row_p(&[Value::str("NYC"), Value::str("AA")]);
+    b.row_p(&[Value::str("Paris"), Value::str("None")]);
+    b.row_p(&[Value::str("Lille"), Value::str("AF")]);
+    b.build().expect("flight & hotel instance is well-formed")
+}
+
+/// The instance of Example 2.1: `R0(A1, A2)` with rows
+/// `t1..t4 = (0,1),(0,2),(2,2),(1,0)` and `P0(B1, B2, B3)` with rows
+/// `t1'..t3' = (1,1,0),(0,1,2),(2,0,0)`.
+pub fn example_2_1() -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.relation_r("R0", &["A1", "A2"]);
+    b.relation_p("P0", &["B1", "B2", "B3"]);
+    b.row_r_ints(&[0, 1]); // t1
+    b.row_r_ints(&[0, 2]); // t2
+    b.row_r_ints(&[2, 2]); // t3
+    b.row_r_ints(&[1, 0]); // t4
+    b.row_p_ints(&[1, 1, 0]); // t1'
+    b.row_p_ints(&[0, 1, 2]); // t2'
+    b.row_p_ints(&[2, 0, 0]); // t3'
+    b.build().expect("example 2.1 instance is well-formed")
+}
+
+/// The single-tuple instance of §3.3 (`R1(A1, A2) = {(1,1)}`,
+/// `P1(B1) = {(1)}`) used to illustrate instance-equivalent predicates.
+pub fn example_3_3() -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.relation_r("R1", &["A1", "A2"]);
+    b.relation_p("P1", &["B1"]);
+    b.row_r_ints(&[1, 1]);
+    b.row_p_ints(&[1]);
+    b.build().expect("example 3.3 instance is well-formed")
+}
+
+/// Indexes of the rows of [`example_2_1`]'s Cartesian product in the
+/// `(tᵢ, tⱼ′)` notation of Figure 3: `pair(i, j)` with 1-based `i ∈ 1..=4`,
+/// `j ∈ 1..=3` gives the `(ri, pi)` row indexes.
+pub fn pair(i: usize, j: usize) -> (usize, usize) {
+    assert!((1..=4).contains(&i) && (1..=3).contains(&j));
+    (i - 1, j - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flight_hotel_shapes() {
+        let inst = flight_hotel();
+        assert_eq!(inst.r().len(), 4);
+        assert_eq!(inst.p().len(), 3);
+        assert_eq!(inst.product_size(), 12);
+        assert_eq!(inst.pairs().len(), 6);
+    }
+
+    #[test]
+    fn flight_hotel_queries_q1_q2() {
+        // Q1 = To=City selects 4 tuples (3),(4),(8),(10) of Figure 2;
+        // Q2 = Q1 ∧ Airline=Discount selects (3),(4).
+        let inst = flight_hotel();
+        let q1 = crate::predicate_from_names(&inst, &[("To", "City")]).unwrap();
+        let q2 =
+            crate::predicate_from_names(&inst, &[("To", "City"), ("Airline", "Discount")])
+                .unwrap();
+        let j1 = inst.equijoin(&q1);
+        let j2 = inst.equijoin(&q2);
+        assert_eq!(j1.len(), 4);
+        assert_eq!(j2.len(), 2);
+        // Containment Q2 ⊆ Q1, the reason negative examples are necessary.
+        assert!(j2.iter().all(|t| j1.contains(t)));
+        // Tuple (3) = (Paris,Lille,AF, Lille,AF) is row (0, 2).
+        assert!(j2.contains(&(0, 2)));
+        // Tuple (8) = (NYC,Paris,AA, Paris,None) distinguishes Q1 from Q2.
+        assert!(j1.contains(&(2, 1)) && !j2.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn example_3_3_product_is_one_tuple() {
+        let inst = example_3_3();
+        assert_eq!(inst.product_size(), 1);
+        let sig = inst.signature(0, 0);
+        assert_eq!(sig.len(), 2, "T = {{(A1,B1),(A2,B1)}}");
+    }
+
+    #[test]
+    fn pair_maps_figure_3_notation() {
+        assert_eq!(pair(1, 1), (0, 0));
+        assert_eq!(pair(4, 3), (3, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn pair_rejects_out_of_range() {
+        pair(5, 1);
+    }
+}

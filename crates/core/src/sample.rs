@@ -1,0 +1,247 @@
+//! Samples: labeled examples and consistency checking (§3.1).
+//!
+//! A sample `S ⊆ D × {+, −}` is stored at class granularity: labeling a
+//! product tuple labels its T-equivalence class, because every other tuple
+//! of the class immediately becomes certain (see [`crate::universe`]).
+//! The sample maintains `T(S⁺)` — the most specific predicate selecting all
+//! positive examples — incrementally, which makes consistency checking
+//! (§3.1) linear in the number of negative examples.
+
+use crate::error::{InferenceError, Result};
+use crate::universe::{ClassId, Universe};
+use jqi_relation::BitSet;
+
+/// A user label for one example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// The user wants this tuple in the join result.
+    Positive,
+    /// The user does not want this tuple.
+    Negative,
+}
+
+impl Label {
+    /// The two labels, in the `{+, −}` order the paper iterates them.
+    pub const BOTH: [Label; 2] = [Label::Positive, Label::Negative];
+
+    /// The other label.
+    pub fn flip(self) -> Label {
+        match self {
+            Label::Positive => Label::Negative,
+            Label::Negative => Label::Positive,
+        }
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Label::Positive => write!(f, "+"),
+            Label::Negative => write!(f, "−"),
+        }
+    }
+}
+
+/// A set of labeled examples over a [`Universe`], with `T(S⁺)` maintained
+/// incrementally.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    labels: Vec<Option<Label>>,
+    pos: Vec<ClassId>,
+    neg: Vec<ClassId>,
+    /// `T(S⁺)`: intersection of the signatures of all positive classes;
+    /// `Ω` while there is no positive example.
+    tpos: BitSet,
+}
+
+impl Sample {
+    /// The empty sample over `universe`.
+    pub fn new(universe: &Universe) -> Self {
+        Sample {
+            labels: vec![None; universe.num_classes()],
+            pos: Vec::new(),
+            neg: Vec::new(),
+            tpos: universe.omega(),
+        }
+    }
+
+    /// Number of labeled examples.
+    pub fn len(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+
+    /// Whether no example has been labeled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label of class `c`, if any.
+    #[inline]
+    pub fn label(&self, c: ClassId) -> Option<Label> {
+        self.labels[c]
+    }
+
+    /// Positive classes, in labeling order.
+    pub fn positives(&self) -> &[ClassId] {
+        &self.pos
+    }
+
+    /// Negative classes, in labeling order.
+    pub fn negatives(&self) -> &[ClassId] {
+        &self.neg
+    }
+
+    /// `T(S⁺)`, the most specific predicate selecting every positive
+    /// example. Equals `Ω` while `S⁺ = ∅` (§3.3: with only negative labels
+    /// the inferred, instance-equivalent predicate is Ω).
+    pub fn t_pos(&self) -> &BitSet {
+        &self.tpos
+    }
+
+    /// Adds a label, updating `T(S⁺)`. Rejects double labeling.
+    ///
+    /// This does *not* check consistency — see [`Sample::is_consistent`] /
+    /// [`Sample::check_consistent`], mirroring Algorithm 1 which labels
+    /// first (line 5) and verifies afterwards (line 6).
+    pub fn add(&mut self, universe: &Universe, c: ClassId, label: Label) -> Result<()> {
+        if c >= self.labels.len() {
+            return Err(InferenceError::ClassOutOfBounds { class: c, len: self.labels.len() });
+        }
+        if self.labels[c].is_some() {
+            return Err(InferenceError::AlreadyLabeled { class: c });
+        }
+        self.labels[c] = Some(label);
+        match label {
+            Label::Positive => {
+                self.tpos.intersect_with(universe.sig(c));
+                self.pos.push(c);
+            }
+            Label::Negative => self.neg.push(c),
+        }
+        Ok(())
+    }
+
+    /// §3.1 consistency check: there exists a consistent equijoin predicate
+    /// iff `R ⋈_{T(S⁺)} P` selects no negative example, i.e. iff no negative
+    /// class signature contains `T(S⁺)`.
+    pub fn is_consistent(&self, universe: &Universe) -> bool {
+        self.neg.iter().all(|&g| !self.tpos.is_subset(universe.sig(g)))
+    }
+
+    /// Like [`Sample::is_consistent`] but returns the most specific
+    /// consistent predicate `T(S⁺)` on success.
+    pub fn check_consistent(&self, universe: &Universe) -> Option<BitSet> {
+        if self.is_consistent(universe) {
+            Some(self.tpos.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Whether the predicate `theta` is consistent with this sample:
+    /// it selects all positive classes and no negative class.
+    pub fn admits(&self, universe: &Universe, theta: &BitSet) -> bool {
+        self.pos.iter().all(|&c| theta.is_subset(universe.sig(c)))
+            && self.neg.iter().all(|&c| !theta.is_subset(universe.sig(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_2_1;
+    use crate::universe::Universe;
+
+    fn class_of(u: &Universe, ri: usize, pi: usize) -> ClassId {
+        u.class_of(ri, pi).unwrap()
+    }
+
+    /// Example 3.1: S0 with positives {(t2,t2'),(t4,t1')} and negative
+    /// {(t3,t2')} is consistent, with most specific predicate
+    /// θ0 = {(A1,B1),(A2,B3)}.
+    #[test]
+    fn example_3_1_consistent_sample() {
+        let u = Universe::build(example_2_1());
+        let mut s = Sample::new(&u);
+        s.add(&u, class_of(&u, 1, 1), Label::Positive).unwrap();
+        s.add(&u, class_of(&u, 3, 0), Label::Positive).unwrap();
+        s.add(&u, class_of(&u, 2, 1), Label::Negative).unwrap();
+        let theta = s.check_consistent(&u).expect("S0 is consistent");
+        let inst = u.instance();
+        let expect = crate::predicate_from_names(inst, &[("A1", "B1"), ("A2", "B3")]).unwrap();
+        assert_eq!(theta, expect);
+        // θ0' = {(A1,B1)} is also consistent (but not most specific).
+        let theta_p = crate::predicate_from_names(inst, &[("A1", "B1")]).unwrap();
+        assert!(s.admits(&u, &theta_p));
+        // Whereas {(A1,B3)} selects the negative example (t3,t2').
+        let bad = crate::predicate_from_names(inst, &[("A1", "B3")]).unwrap();
+        assert!(!s.admits(&u, &bad));
+    }
+
+    /// Example 3.1: S0' with positives {(t1,t2'),(t1,t3')} and negative
+    /// {(t3,t1')} is NOT consistent.
+    #[test]
+    fn example_3_1_inconsistent_sample() {
+        let u = Universe::build(example_2_1());
+        let mut s = Sample::new(&u);
+        s.add(&u, class_of(&u, 0, 1), Label::Positive).unwrap();
+        s.add(&u, class_of(&u, 0, 2), Label::Positive).unwrap();
+        s.add(&u, class_of(&u, 2, 0), Label::Negative).unwrap();
+        assert!(!s.is_consistent(&u));
+        assert_eq!(s.check_consistent(&u), None);
+    }
+
+    #[test]
+    fn tpos_is_omega_without_positives() {
+        let u = Universe::build(example_2_1());
+        let mut s = Sample::new(&u);
+        assert_eq!(s.t_pos(), &u.omega());
+        s.add(&u, 0, Label::Negative).unwrap();
+        assert_eq!(s.t_pos(), &u.omega());
+    }
+
+    #[test]
+    fn tpos_shrinks_with_positives() {
+        let u = Universe::build(example_2_1());
+        let mut s = Sample::new(&u);
+        let c1 = class_of(&u, 1, 1); // T = {(A1,B1),(A2,B3)}
+        let c2 = class_of(&u, 3, 0); // T = {(A1,B1),(A1,B2),(A2,B3)}
+        s.add(&u, c1, Label::Positive).unwrap();
+        assert_eq!(s.t_pos(), u.sig(c1));
+        s.add(&u, c2, Label::Positive).unwrap();
+        assert_eq!(s.t_pos(), &u.sig(c1).intersection(u.sig(c2)));
+    }
+
+    #[test]
+    fn double_labeling_is_rejected() {
+        let u = Universe::build(example_2_1());
+        let mut s = Sample::new(&u);
+        s.add(&u, 3, Label::Positive).unwrap();
+        let e = s.add(&u, 3, Label::Negative).unwrap_err();
+        assert!(matches!(e, InferenceError::AlreadyLabeled { class: 3 }));
+    }
+
+    #[test]
+    fn out_of_bounds_class_is_rejected() {
+        let u = Universe::build(example_2_1());
+        let mut s = Sample::new(&u);
+        let e = s.add(&u, 99, Label::Positive).unwrap_err();
+        assert!(matches!(e, InferenceError::ClassOutOfBounds { class: 99, .. }));
+    }
+
+    #[test]
+    fn empty_sample_is_consistent() {
+        let u = Universe::build(example_2_1());
+        let s = Sample::new(&u);
+        assert!(s.is_consistent(&u));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn label_flip_and_display() {
+        assert_eq!(Label::Positive.flip(), Label::Negative);
+        assert_eq!(Label::Negative.flip(), Label::Positive);
+        assert_eq!(Label::Positive.to_string(), "+");
+        assert_eq!(Label::Negative.to_string(), "−");
+    }
+}

@@ -1,0 +1,234 @@
+//! Step-by-step interactive inference sessions.
+//!
+//! [`crate::engine::run_inference`] drives the whole loop against an
+//! [`crate::engine::Oracle`]; a [`Session`] instead exposes Algorithm 1 one
+//! question at a time so a real application (CLI, web UI, crowdsourcing
+//! task queue) can interleave the user's answers with its own control flow:
+//!
+//! ```
+//! use jqi_core::session::Session;
+//! use jqi_core::strategy::TopDown;
+//! use jqi_core::universe::Universe;
+//! use jqi_core::Label;
+//! use jqi_core::paper::flight_hotel;
+//!
+//! let universe = Universe::build(flight_hotel());
+//! let mut session = Session::new(&universe, TopDown::new());
+//! while let Some(candidate) = session.next().unwrap() {
+//!     // Show `candidate.values` to the user; here: accept flights into the
+//!     // hotel's city with a matching discount airline (query Q2).
+//!     let keep = candidate.values[1] == candidate.values[3]
+//!         && candidate.values[2] == candidate.values[4];
+//!     session
+//!         .answer(if keep { Label::Positive } else { Label::Negative })
+//!         .unwrap();
+//! }
+//! let theta = session.inferred_predicate();
+//! assert_eq!(universe.instance().predicate_string(&theta),
+//!            "{Flight.To=Hotel.City ∧ Flight.Airline=Hotel.Discount}");
+//! ```
+
+use crate::certain::certain_label;
+use crate::error::{InferenceError, Result};
+use crate::sample::{Label, Sample};
+use crate::strategy::Strategy;
+use crate::universe::{ClassId, Universe};
+use jqi_relation::{BitSet, Value};
+
+/// A tuple presented to the user for labeling.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The T-equivalence class being asked about.
+    pub class: ClassId,
+    /// The representative `(ri, pi)` product tuple shown to the user.
+    pub tuple: (usize, usize),
+    /// The concatenated attribute values of the representative tuple.
+    pub values: Vec<Value>,
+}
+
+/// An in-progress interactive inference run.
+#[derive(Debug)]
+pub struct Session<'u, S: Strategy> {
+    universe: &'u Universe,
+    strategy: S,
+    sample: Sample,
+    pending: Option<ClassId>,
+    history: Vec<(ClassId, Label)>,
+}
+
+impl<'u, S: Strategy> Session<'u, S> {
+    /// Starts a session over `universe` with `strategy`.
+    pub fn new(universe: &'u Universe, strategy: S) -> Self {
+        Session {
+            universe,
+            strategy,
+            sample: Sample::new(universe),
+            pending: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Asks the strategy for the next tuple to label. Returns `None` when
+    /// the halt condition Γ holds; errors if the previous candidate has not
+    /// been answered yet.
+    ///
+    /// Intentionally named after Algorithm 1's "next tuple" step; a session
+    /// is not an `Iterator` because answering is required between calls.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Candidate>> {
+        if self.pending.is_some() {
+            return Err(InferenceError::CandidateAlreadyPending);
+        }
+        match self.strategy.next(self.universe, &self.sample)? {
+            None => Ok(None),
+            Some(c) => {
+                self.pending = Some(c);
+                Ok(Some(self.candidate(c)))
+            }
+        }
+    }
+
+    fn candidate(&self, c: ClassId) -> Candidate {
+        let (ri, pi) = self.universe.representative(c);
+        Candidate {
+            class: c,
+            tuple: (ri, pi),
+            values: self.universe.instance().product_tuple_values(ri, pi),
+        }
+    }
+
+    /// Records the user's answer for the pending candidate, checking
+    /// consistency (Algorithm 1, lines 5–7).
+    pub fn answer(&mut self, label: Label) -> Result<()> {
+        let c = self.pending.take().ok_or(InferenceError::NoPendingCandidate)?;
+        self.sample.add(self.universe, c, label)?;
+        self.history.push((c, label));
+        if !self.sample.is_consistent(self.universe) {
+            return Err(InferenceError::InconsistentSample { class: c });
+        }
+        Ok(())
+    }
+
+    /// Whether the session is finished (no informative tuple remains and no
+    /// candidate is pending).
+    pub fn is_done(&self) -> bool {
+        self.pending.is_none() && !crate::certain::any_informative(self.universe, &self.sample)
+    }
+
+    /// The predicate inferred so far: `T(S⁺)`, the most specific predicate
+    /// consistent with the answers. The user may stop early and take this
+    /// (§4.1: "the halt condition Γ may be weaker in practice").
+    pub fn inferred_predicate(&self) -> BitSet {
+        self.sample.t_pos().clone()
+    }
+
+    /// What the engine already knows about class `c` without asking:
+    /// its recorded or certain label, if any.
+    pub fn known_label(&self, c: ClassId) -> Option<Label> {
+        self.sample
+            .label(c)
+            .or_else(|| certain_label(self.universe, &self.sample, c))
+    }
+
+    /// Number of answers recorded so far.
+    pub fn interactions(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The questions and answers so far, in order.
+    pub fn history(&self) -> &[(ClassId, Label)] {
+        &self.history
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &Sample {
+        &self.sample
+    }
+
+    /// The universe the session runs over.
+    pub fn universe(&self) -> &'u Universe {
+        self.universe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_2_1;
+    use crate::strategy::{BottomUp, TopDown};
+    use crate::universe::Universe;
+
+    #[test]
+    fn drives_to_completion_like_the_engine() {
+        let u = Universe::build(example_2_1());
+        let goal = crate::predicate_from_names(u.instance(), &[("A1", "B1")]).unwrap();
+        let mut session = Session::new(&u, TopDown::new());
+        while let Some(cand) = session.next().unwrap() {
+            let label = if goal.is_subset(u.sig(cand.class)) {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
+            session.answer(label).unwrap();
+        }
+        assert!(session.is_done());
+        // Same outcome as the batch engine.
+        let mut oracle = crate::engine::PredicateOracle::new(goal.clone());
+        let run =
+            crate::engine::run_inference(&u, &mut TopDown::new(), &mut oracle).unwrap();
+        assert_eq!(session.inferred_predicate(), run.predicate);
+        assert_eq!(session.interactions(), run.interactions);
+        assert_eq!(session.history(), &run.history[..]);
+    }
+
+    #[test]
+    fn double_next_is_rejected() {
+        let u = Universe::build(example_2_1());
+        let mut session = Session::new(&u, BottomUp::new());
+        session.next().unwrap().unwrap();
+        let e = session.next().unwrap_err();
+        assert_eq!(e, InferenceError::CandidateAlreadyPending);
+    }
+
+    #[test]
+    fn answer_without_candidate_is_rejected() {
+        let u = Universe::build(example_2_1());
+        let mut session = Session::new(&u, BottomUp::new());
+        let e = session.answer(Label::Positive).unwrap_err();
+        assert_eq!(e, InferenceError::NoPendingCandidate);
+    }
+
+    #[test]
+    fn candidate_exposes_values() {
+        let u = Universe::build(example_2_1());
+        let mut session = Session::new(&u, BottomUp::new());
+        let cand = session.next().unwrap().unwrap();
+        // BU first asks about (t3,t1') = (2,2, 1,1,0).
+        assert_eq!(cand.tuple, (2, 0));
+        assert_eq!(cand.values.len(), 5);
+        session.answer(Label::Negative).unwrap();
+        assert_eq!(session.interactions(), 1);
+    }
+
+    #[test]
+    fn early_stop_returns_most_specific_so_far() {
+        let u = Universe::build(example_2_1());
+        let mut session = Session::new(&u, TopDown::new());
+        let cand = session.next().unwrap().unwrap();
+        session.answer(Label::Positive).unwrap();
+        // Early stop: inferred predicate is exactly the signature of the
+        // one positive class.
+        assert_eq!(session.inferred_predicate(), *u.sig(cand.class));
+        assert!(!session.is_done());
+    }
+
+    #[test]
+    fn known_label_reports_certainty() {
+        let u = Universe::build(example_2_1());
+        let mut session = Session::new(&u, BottomUp::new());
+        let cand = session.next().unwrap().unwrap();
+        assert_eq!(session.known_label(cand.class), None);
+        session.answer(Label::Positive).unwrap();
+        assert_eq!(session.known_label(cand.class), Some(Label::Positive));
+    }
+}

@@ -1,0 +1,104 @@
+//! The bottom-up local strategy (BU, Algorithm 2).
+
+use crate::certain::is_informative;
+use crate::error::Result;
+use crate::sample::Sample;
+use crate::strategy::Strategy;
+use crate::universe::{ClassId, Universe};
+
+/// BU: navigates the lattice from the most general predicate `∅` upward,
+/// always presenting an informative tuple with minimal `|T(t)|`.
+///
+/// Discovers small goal predicates (especially `∅`) in very few questions,
+/// but degenerates when the user answers only negatively: in the worst case
+/// it visits every T-equivalence class. Ties on `|T(t)|` break toward the
+/// smallest class id so runs are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct BottomUp;
+
+impl BottomUp {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        BottomUp
+    }
+}
+
+/// Shared by BU and the positive-phase of TD: the informative class with the
+/// smallest signature.
+pub(crate) fn min_signature_informative(
+    universe: &Universe,
+    sample: &Sample,
+) -> Option<ClassId> {
+    (0..universe.num_classes())
+        .filter(|&c| is_informative(universe, sample, c))
+        .min_by_key(|&c| (universe.sig(c).len(), c))
+}
+
+impl Strategy for BottomUp {
+    fn name(&self) -> &str {
+        "BU"
+    }
+
+    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
+        Ok(min_signature_informative(universe, sample))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_inference, PredicateOracle};
+    use crate::paper::example_2_1;
+    use crate::sample::Label;
+    use crate::universe::Universe;
+
+    #[test]
+    fn first_pick_is_the_empty_signature_tuple() {
+        // §4.3: on Example 2.1, BU first asks about (t3,t1') with T = ∅.
+        let u = Universe::build(example_2_1());
+        let s = crate::Sample::new(&u);
+        let mut bu = BottomUp::new();
+        let c = bu.next(&u, &s).unwrap().unwrap();
+        assert_eq!(u.representative(c), (2, 0));
+        assert!(u.sig(c).is_empty());
+    }
+
+    #[test]
+    fn second_pick_is_the_size_one_node() {
+        // §4.3: after a negative answer on ∅, BU selects (t2,t1') with
+        // T = {(A1,B3)}.
+        let u = Universe::build(example_2_1());
+        let mut s = crate::Sample::new(&u);
+        let mut bu = BottomUp::new();
+        let c0 = bu.next(&u, &s).unwrap().unwrap();
+        s.add(&u, c0, Label::Negative).unwrap();
+        let c1 = bu.next(&u, &s).unwrap().unwrap();
+        assert_eq!(u.representative(c1), (1, 0));
+        assert_eq!(u.sig(c1).len(), 1);
+    }
+
+    #[test]
+    fn empty_goal_takes_one_interaction() {
+        // §5.3: the goal ∅ is inferred by BU with a single question.
+        let u = Universe::build(example_2_1());
+        let goal = u.instance().pairs().bottom();
+        let mut oracle = PredicateOracle::new(goal.clone());
+        let run = run_inference(&u, &mut BottomUp::new(), &mut oracle).unwrap();
+        assert_eq!(run.interactions, 1);
+        assert_eq!(
+            u.instance().equijoin(&run.predicate),
+            u.instance().equijoin(&goal)
+        );
+    }
+
+    #[test]
+    fn all_negative_worst_case_visits_every_class() {
+        // With goal Ω (nothing selected — no tuple has T = Ω here), the user
+        // answers negatively throughout and BU labels all 12 classes.
+        let u = Universe::build(example_2_1());
+        let goal = u.omega();
+        let mut oracle = PredicateOracle::new(goal);
+        let run = run_inference(&u, &mut BottomUp::new(), &mut oracle).unwrap();
+        assert_eq!(run.interactions, 12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Strategies for presenting tuples to the user (§4).
+//!
+//! A strategy `Υ` maps the Cartesian product and the current sample to the
+//! next tuple to present. The paper proposes:
+//!
+//! * [`Random`] (RND) — a random informative tuple, the baseline.
+//! * [`BottomUp`] (BU, Algorithm 2) — minimal `|T(t)|` first.
+//! * [`TopDown`] (TD, Algorithm 3) — `⊆`-maximal signatures first, then BU.
+//! * [`Lookahead`] (L1S / L2S / LkS, Algorithms 4–6) — skyline selection on
+//!   tuple entropy with configurable lookahead depth.
+//! * [`Optimal`] — the minimax-optimal strategy (§4.1), exponential; usable
+//!   as a quality yardstick on small instances.
+//! * [`ExpectedGain`] — a probabilistic extension in the spirit of the
+//!   paper's future work (§7): expected gain under a uniform prior over
+//!   the consistent predicates.
+//!
+//! All strategies restrict themselves to *informative* tuples (Theorem 3.5)
+//! and are deterministic given their configuration (the random strategy
+//! takes an explicit seed), which makes every experiment reproducible.
+
+mod bottom_up;
+mod expected_gain;
+mod lookahead;
+mod optimal;
+mod random;
+mod top_down;
+
+pub use bottom_up::BottomUp;
+pub use expected_gain::{positive_probability, ExpectedGain};
+pub use lookahead::Lookahead;
+pub use optimal::{
+    optimal_worst_case, strategy_worst_case, Optimal, DEFAULT_CLASS_LIMIT,
+};
+pub use random::Random;
+pub use top_down::TopDown;
+
+use crate::error::Result;
+use crate::sample::Sample;
+use crate::universe::{ClassId, Universe};
+
+/// A strategy `Υ(D, S)` choosing the next tuple (class) to present.
+pub trait Strategy {
+    /// Short name used in reports and benchmarks (`"BU"`, `"L2S"`, …).
+    fn name(&self) -> &str;
+
+    /// The next informative class to present, or `None` when the halt
+    /// condition Γ holds (no informative tuple remains).
+    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>>;
+
+    /// Clears any per-run internal state (memo tables, RNG position).
+    /// The default does nothing; stateful strategies override it.
+    fn reset(&mut self) {}
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
+        (**self).next(universe, sample)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// A dynamic catalogue of the paper's strategies, used by the experiment
+/// harness to iterate over all of them uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Random informative tuple (baseline).
+    Rnd,
+    /// Bottom-up local strategy (Algorithm 2).
+    Bu,
+    /// Top-down local strategy (Algorithm 3).
+    Td,
+    /// One-step lookahead skyline (Algorithm 4).
+    L1s,
+    /// Two-step lookahead skyline (Algorithm 6).
+    L2s,
+    /// Minimax-optimal (small instances only).
+    Optimal,
+    /// Expected-gain under a uniform prior over consistent predicates
+    /// (a probabilistic extension beyond the paper — §7 future work).
+    Eg,
+}
+
+impl StrategyKind {
+    /// The five strategies compared throughout §5, in the paper's order.
+    pub const PAPER: [StrategyKind; 5] = [
+        StrategyKind::Bu,
+        StrategyKind::Td,
+        StrategyKind::L1s,
+        StrategyKind::L2s,
+        StrategyKind::Rnd,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Rnd => "RND",
+            StrategyKind::Bu => "BU",
+            StrategyKind::Td => "TD",
+            StrategyKind::L1s => "L1S",
+            StrategyKind::L2s => "L2S",
+            StrategyKind::Optimal => "OPT",
+            StrategyKind::Eg => "EG",
+        }
+    }
+
+    /// Instantiates the strategy; `seed` only affects [`Random`].
+    pub fn build(self, seed: u64) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::Rnd => Box::new(Random::new(seed)),
+            StrategyKind::Bu => Box::new(BottomUp::new()),
+            StrategyKind::Td => Box::new(TopDown::new()),
+            StrategyKind::L1s => Box::new(Lookahead::l1s()),
+            StrategyKind::L2s => Box::new(Lookahead::l2s()),
+            StrategyKind::Optimal => Box::new(Optimal::new()),
+            StrategyKind::Eg => Box::new(ExpectedGain::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_inference, PredicateOracle};
+    use crate::paper::example_2_1;
+    use crate::universe::Universe;
+
+    /// Every catalogued strategy infers an instance-equivalent predicate on
+    /// Example 2.1, for every non-nullable goal.
+    #[test]
+    fn all_strategies_reach_equivalent_predicates() {
+        let u = Universe::build(example_2_1());
+        let goals = crate::lattice::non_nullable_predicates(&u, 10_000).unwrap();
+        for kind in [
+            StrategyKind::Rnd,
+            StrategyKind::Bu,
+            StrategyKind::Td,
+            StrategyKind::L1s,
+            StrategyKind::L2s,
+        ] {
+            for goal in &goals {
+                let mut strategy = kind.build(42);
+                let mut oracle = PredicateOracle::new(goal.clone());
+                let run = run_inference(&u, strategy.as_mut(), &mut oracle).unwrap();
+                assert_eq!(
+                    u.instance().equijoin(&run.predicate),
+                    u.instance().equijoin(goal),
+                    "{kind} failed on goal {goal:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(StrategyKind::Rnd.to_string(), "RND");
+        assert_eq!(StrategyKind::L2s.to_string(), "L2S");
+        assert_eq!(StrategyKind::PAPER.len(), 5);
+    }
+}

@@ -1,0 +1,294 @@
+//! T-equivalence classes of the Cartesian product.
+//!
+//! Two product tuples `t, t′ ∈ D = R × P` with `T(t) = T(t′)` are
+//! interchangeable for inference: every join predicate selects either both
+//! or neither, so labeling one immediately renders the other uninformative
+//! (Lemmas 3.3–3.4). The paper exploits this observation when defining the
+//! *join ratio* ("if two tuples are selected by the same most specific join
+//! predicate, then they are basically equivalent w.r.t. the inference
+//! process"). We push it further and make the equivalence classes the
+//! primary data structure: a [`Universe`] partitions `D` into classes of
+//! equal signature, and all strategies reason over classes weighted by
+//! multiplicity. This is what makes TPC-H-scale products (10⁷–10⁸ tuples)
+//! tractable: the number of *distinct* signatures stays small.
+
+use jqi_relation::{BitSet, Instance, Symbol};
+use std::collections::HashMap;
+
+/// Identifier of a T-equivalence class (an index into [`Universe`] tables).
+pub type ClassId = usize;
+
+/// The Cartesian product of an instance, partitioned into T-equivalence
+/// classes.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    instance: Instance,
+    /// Distinct signatures; `sigs[c]` is `T(t)` for every tuple of class `c`.
+    sigs: Vec<BitSet>,
+    /// Number of product tuples in each class.
+    counts: Vec<u64>,
+    /// One representative `(ri, pi)` product tuple per class.
+    reps: Vec<(u32, u32)>,
+}
+
+/// Word count for a bitset over `nbits`.
+#[inline]
+fn word_count(nbits: usize) -> usize {
+    nbits.div_ceil(64)
+}
+
+/// A cheap, deterministic 64-bit hash over signature words (we bucket by it
+/// during class construction; full equality is always re-checked).
+#[inline]
+fn hash_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    h
+}
+
+impl Universe {
+    /// Partitions the Cartesian product of `instance` into T-equivalence
+    /// classes.
+    ///
+    /// Complexity: `O(|R|·|P|·n)` symbol-map lookups where `n = arity(R)`,
+    /// using a per-`P`-row index from value symbols to column masks, rather
+    /// than the naive `O(|R|·|P|·n·m)` comparisons.
+    pub fn build(instance: Instance) -> Self {
+        let ps = instance.pairs();
+        let _n = ps.arity_r();
+        let m = ps.arity_p();
+        let nbits = ps.len();
+        let words = word_count(nbits);
+
+        // Fast path requires each row's P-column mask to fit in u64.
+        assert!(
+            m <= 64,
+            "relations with more than 64 attributes in P are not supported"
+        );
+
+        // Per-P-row map: value symbol -> bitmask of P columns holding it.
+        let p_rows = instance.p().rows();
+        let mut p_index: Vec<HashMap<Symbol, u64>> = Vec::with_capacity(p_rows.len());
+        for row in p_rows {
+            let mut map: HashMap<Symbol, u64> = HashMap::with_capacity(m);
+            for (j, &sym) in row.symbols().iter().enumerate() {
+                *map.entry(sym).or_insert(0) |= 1u64 << j;
+            }
+            p_index.push(map);
+        }
+
+        let mut sigs: Vec<BitSet> = Vec::new();
+        let mut counts: Vec<u64> = Vec::new();
+        let mut reps: Vec<(u32, u32)> = Vec::new();
+        // Buckets: word-hash -> candidate class ids.
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut scratch: Vec<u64> = vec![0; words];
+
+        let r_rows = instance.r().rows();
+        for (ri, r_row) in r_rows.iter().enumerate() {
+            let r_syms = r_row.symbols();
+            for (pi, pmap) in p_index.iter().enumerate() {
+                scratch.iter_mut().for_each(|w| *w = 0);
+                for (i, sym) in r_syms.iter().enumerate() {
+                    if let Some(&mask) = pmap.get(sym) {
+                        // Place the m-bit mask at bit offset i·m.
+                        let base = i * m;
+                        let wi = base / 64;
+                        let off = base % 64;
+                        scratch[wi] |= mask << off;
+                        if off != 0 && off + m > 64 {
+                            scratch[wi + 1] |= mask >> (64 - off);
+                        }
+                    }
+                }
+                let h = hash_words(&scratch);
+                let bucket = buckets.entry(h).or_default();
+                let mut found = None;
+                for &cid in bucket.iter() {
+                    if sigs[cid as usize].words() == scratch.as_slice() {
+                        found = Some(cid as usize);
+                        break;
+                    }
+                }
+                match found {
+                    Some(cid) => counts[cid] += 1,
+                    None => {
+                        let cid = sigs.len() as u32;
+                        sigs.push(BitSet::from_words(nbits, scratch.clone()));
+                        counts.push(1);
+                        reps.push((ri as u32, pi as u32));
+                        bucket.push(cid);
+                    }
+                }
+            }
+        }
+
+        Universe { instance, sigs, counts, reps }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Number of T-equivalence classes (the paper's `|N|`, plus possibly the
+    /// ∅-signature class).
+    pub fn num_classes(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// The signature `T(t)` shared by all tuples of class `c`.
+    #[inline]
+    pub fn sig(&self, c: ClassId) -> &BitSet {
+        &self.sigs[c]
+    }
+
+    /// All distinct signatures, indexed by class id.
+    pub fn sigs(&self) -> &[BitSet] {
+        &self.sigs
+    }
+
+    /// Number of product tuples in class `c`.
+    #[inline]
+    pub fn count(&self, c: ClassId) -> u64 {
+        self.counts[c]
+    }
+
+    /// A representative `(ri, pi)` product tuple of class `c` — the tuple a
+    /// strategy actually shows to the user.
+    #[inline]
+    pub fn representative(&self, c: ClassId) -> (usize, usize) {
+        let (ri, pi) = self.reps[c];
+        (ri as usize, pi as usize)
+    }
+
+    /// Total number of product tuples, `|D|`.
+    pub fn total_tuples(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `|Ω|`, the capacity of every predicate bitset.
+    pub fn omega_len(&self) -> usize {
+        self.instance.pairs().len()
+    }
+
+    /// The most specific predicate Ω as a bitset.
+    pub fn omega(&self) -> BitSet {
+        self.instance.pairs().omega()
+    }
+
+    /// Finds the class of an arbitrary product tuple.
+    pub fn class_of(&self, ri: usize, pi: usize) -> Option<ClassId> {
+        let sig = self.instance.signature(ri, pi);
+        self.sigs.iter().position(|s| *s == sig)
+    }
+
+    /// Iterates over `(class, signature, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &BitSet, u64)> + '_ {
+        self.sigs
+            .iter()
+            .enumerate()
+            .map(move |(c, s)| (c, s, self.counts[c]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_2_1;
+
+    #[test]
+    fn example_2_1_has_twelve_singleton_classes() {
+        // Figure 3: all 12 product tuples have pairwise distinct T values.
+        let u = Universe::build(example_2_1());
+        assert_eq!(u.num_classes(), 12);
+        assert_eq!(u.total_tuples(), 12);
+        assert!(u.iter().all(|(_, _, n)| n == 1));
+    }
+
+    #[test]
+    fn signatures_match_direct_computation() {
+        let u = Universe::build(example_2_1());
+        let inst = u.instance();
+        for (ri, pi) in inst.product() {
+            let sig = inst.signature(ri, pi);
+            let c = u.class_of(ri, pi).expect("every tuple has a class");
+            assert_eq!(u.sig(c), &sig);
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_collapse_into_classes() {
+        use jqi_relation::{InstanceBuilder, Value};
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        for _ in 0..3 {
+            b.row_r(&[Value::int(1)]);
+        }
+        for _ in 0..2 {
+            b.row_p(&[Value::int(1)]);
+        }
+        b.row_p(&[Value::int(2)]);
+        let u = Universe::build(b.build().unwrap());
+        // Two classes: {A=B} with 3·2=6 tuples, ∅ with 3·1=3 tuples.
+        assert_eq!(u.num_classes(), 2);
+        assert_eq!(u.total_tuples(), 9);
+        let mut counts: Vec<u64> = u.counts.clone();
+        counts.sort();
+        assert_eq!(counts, vec![3, 6]);
+    }
+
+    #[test]
+    fn representative_belongs_to_its_class() {
+        let u = Universe::build(example_2_1());
+        for c in 0..u.num_classes() {
+            let (ri, pi) = u.representative(c);
+            assert_eq!(&u.instance().signature(ri, pi), u.sig(c));
+        }
+    }
+
+    #[test]
+    fn wide_relations_cross_word_boundaries() {
+        use jqi_relation::{InstanceBuilder, Value};
+        // n=3, m=60 → |Ω| = 180 bits, masks straddle word boundaries.
+        let mut b = InstanceBuilder::new();
+        let r_attrs: Vec<String> = (0..3).map(|i| format!("A{i}")).collect();
+        let p_attrs: Vec<String> = (0..60).map(|j| format!("B{j}")).collect();
+        let r_refs: Vec<&str> = r_attrs.iter().map(String::as_str).collect();
+        let p_refs: Vec<&str> = p_attrs.iter().map(String::as_str).collect();
+        b.relation_r("R", &r_refs);
+        b.relation_p("P", &p_refs);
+        b.row_r(&[Value::int(7), Value::int(8), Value::int(9)]);
+        let p_row: Vec<Value> = (0..60)
+            .map(|j| Value::int(if j % 2 == 0 { 7 } else { 9 }))
+            .collect();
+        b.row_p(&p_row);
+        let u = Universe::build(b.build().unwrap());
+        assert_eq!(u.num_classes(), 1);
+        let sig = u.sig(0);
+        let inst = u.instance();
+        let direct = inst.signature(0, 0);
+        assert_eq!(sig, &direct, "fast path must agree with naive signature");
+        // Spot checks: A0 (=7) matches even B columns, A2 (=9) odd ones.
+        assert!(sig.contains(inst.pair_index(0, 0)));
+        assert!(!sig.contains(inst.pair_index(0, 1)));
+        assert!(sig.contains(inst.pair_index(2, 1)));
+        assert!(!sig.contains(inst.pair_index(1, 5)));
+    }
+
+    #[test]
+    fn empty_relation_yields_no_classes() {
+        use jqi_relation::InstanceBuilder;
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        let u = Universe::build(b.build().unwrap());
+        assert_eq!(u.num_classes(), 0);
+        assert_eq!(u.total_tuples(), 0);
+    }
+}

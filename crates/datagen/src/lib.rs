@@ -1,0 +1,22 @@
+//! Dataset generators for the experimental study (§5).
+//!
+//! Two families:
+//!
+//! * [`synthetic`] — the paper's randomly generated datasets, configured by
+//!   the quadruple `(|attrs(R)|, |attrs(P)|, l, v)` (§5.2), seeded and
+//!   reproducible.
+//! * [`tpch`] — a TPC-H-*shaped* generator replacing the benchmark's
+//!   `dbgen` tool (§5.1). It reproduces the PK–FK structure behind the
+//!   paper's Joins 1–5 and the accidental type-compatible value collisions
+//!   the paper highlights ("a value 15 may as well represent a key, a size,
+//!   a price, or a quantity"), at laptop scale. See DESIGN.md for the
+//!   substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod synthetic;
+pub mod tpch;
+
+pub use synthetic::{SyntheticConfig, PAPER_CONFIGS};
+pub use tpch::{TpchJoin, TpchScale, TpchTables, TpchWorkload};

@@ -1,0 +1,357 @@
+//! Fixed-capacity bit sets.
+//!
+//! Join predicates `θ ⊆ Ω = attrs(R) × attrs(P)` are represented as bit sets
+//! over the `|attrs(R)| · |attrs(P)|` attribute pairs. The inference
+//! algorithms reduce to three bit-set operations (Lemmas 3.3 and 3.4 of the
+//! paper): subset testing, intersection, and equality — all implemented here
+//! as word-wise loops over a `Box<[u64]>`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of bit positions `0..nbits`.
+#[derive(Clone)]
+pub struct BitSet {
+    nbits: usize,
+    words: Box<[u64]>,
+}
+
+#[inline]
+fn word_count(nbits: usize) -> usize {
+    nbits.div_ceil(WORD_BITS)
+}
+
+impl BitSet {
+    /// Creates the empty set over a universe of `nbits` positions.
+    pub fn empty(nbits: usize) -> Self {
+        BitSet {
+            nbits,
+            words: vec![0u64; word_count(nbits)].into_boxed_slice(),
+        }
+    }
+
+    /// Creates the full set `{0, …, nbits-1}`.
+    pub fn full(nbits: usize) -> Self {
+        let mut s = Self::empty(nbits);
+        for w in s.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        s.clear_excess();
+        s
+    }
+
+    /// Builds a set from an iterator of positions.
+    pub fn from_iter(nbits: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(nbits);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set directly from backing words (for bulk signature
+    /// computation). Panics if `words` has the wrong length; excess bits
+    /// beyond `nbits` are cleared.
+    pub fn from_words(nbits: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), word_count(nbits), "word count mismatch");
+        let mut s = BitSet { nbits, words: words.into_boxed_slice() };
+        s.clear_excess();
+        s
+    }
+
+    #[inline]
+    fn clear_excess(&mut self) {
+        let rem = self.nbits % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        if self.nbits == 0 {
+            for w in self.words.iter_mut() {
+                *w = 0;
+            }
+        }
+    }
+
+    /// The size of the universe (number of addressable positions).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Inserts position `i`. Panics if out of range.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Removes position `i`. Panics if out of range.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.nbits {
+            return false;
+        }
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ⊆ other`. Both sets must share a universe size.
+    #[inline]
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits, "universe mismatch");
+        self.words.iter().zip(other.words.iter()).all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// `self ⊊ other` (proper subset).
+    #[inline]
+    pub fn is_proper_subset(&self, other: &BitSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// In-place intersection: `self ← self ∩ other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits, "universe mismatch");
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// In-place union: `self ← self ∪ other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits, "universe mismatch");
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// In-place difference: `self ← self \ other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.nbits, other.nbits, "universe mismatch");
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// Whether `self ∩ other ⊆ third`, computed without allocating.
+    ///
+    /// This is the Lemma 3.4 test (`T(S⁺) ∩ T(t) ⊆ T(t′)`) on the hot path of
+    /// certain-negative checking.
+    #[inline]
+    pub fn intersection_is_subset(&self, other: &BitSet, third: &BitSet) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits, "universe mismatch");
+        debug_assert_eq!(self.nbits, third.nbits, "universe mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .zip(third.words.iter())
+            .all(|((&a, &b), &c)| (a & b) & !c == 0)
+    }
+
+    /// Iterates over set positions in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Raw words, exposed for hashing-sensitive callers.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.nbits == other.nbits && self.words == other.words
+    }
+}
+impl Eq for BitSet {}
+
+impl Hash for BitSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.words.hash(state);
+    }
+}
+
+impl PartialOrd for BitSet {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic order on words; used only to make iteration orders
+/// deterministic, not as the lattice order.
+impl Ord for BitSet {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.words.cmp(&other.words).then(self.nbits.cmp(&other.nbits))
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitSet{{")?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = BitSet::empty(130);
+        let f = BitSet::full(130);
+        assert!(e.is_empty());
+        assert_eq!(f.len(), 130);
+        assert!(e.is_subset(&f));
+        assert!(!f.is_subset(&e));
+        assert!(f.contains(129));
+        assert!(!f.contains(130));
+    }
+
+    #[test]
+    fn full_clears_excess_bits() {
+        let f = BitSet::full(65);
+        assert_eq!(f.len(), 65);
+        assert_eq!(f.words()[1], 1);
+        let f0 = BitSet::full(0);
+        assert!(f0.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::empty(100);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::empty(10).insert(10);
+    }
+
+    #[test]
+    fn subset_semantics() {
+        let a = BitSet::from_iter(70, [1, 65]);
+        let b = BitSet::from_iter(70, [1, 3, 65]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter(10, [1, 2, 3]);
+        let b = BitSet::from_iter(10, [3, 4]);
+        assert_eq!(a.intersection(&b), BitSet::from_iter(10, [3]));
+        assert_eq!(a.union(&b), BitSet::from_iter(10, [1, 2, 3, 4]));
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d, BitSet::from_iter(10, [1, 2]));
+    }
+
+    #[test]
+    fn intersection_is_subset_matches_naive() {
+        let a = BitSet::from_iter(70, [1, 5, 66]);
+        let b = BitSet::from_iter(70, [5, 66, 69]);
+        let c = BitSet::from_iter(70, [5, 66]);
+        assert!(a.intersection_is_subset(&b, &c));
+        let c2 = BitSet::from_iter(70, [5]);
+        assert!(!a.intersection_is_subset(&b, &c2));
+        assert_eq!(
+            a.intersection_is_subset(&b, &c2),
+            a.intersection(&b).is_subset(&c2)
+        );
+    }
+
+    #[test]
+    fn iter_yields_sorted_positions() {
+        let s = BitSet::from_iter(130, [129, 0, 64, 63, 7]);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![0, 7, 63, 64, 129]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = BitSet::from_iter(8, [1, 3]);
+        assert_eq!(format!("{s:?}"), "BitSet{1,3}");
+    }
+
+    #[test]
+    fn hash_eq_consistency() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(BitSet::from_iter(70, [1, 2]));
+        set.insert(BitSet::from_iter(70, [1, 2]));
+        set.insert(BitSet::from_iter(70, [1]));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Minimal CSV reading/writing for relations.
+//!
+//! Supports the common subset: comma separation, optional double-quote
+//! quoting with `""` escapes, one header line with attribute names. Integer
+//! cells are parsed as [`Value::Int`]; everything else is a string.
+
+use crate::error::{RelationError, Result};
+use crate::interner::Interner;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Splits one CSV record into fields, handling double-quote quoting.
+fn split_record(line: &str, lineno: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(RelationError::Csv {
+                            line: lineno,
+                            message: "quote in unquoted field".into(),
+                        });
+                    }
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::Csv {
+            line: lineno,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Parses a relation from CSV text. The first line is the header.
+pub fn relation_from_csv(interner: &Interner, name: &str, text: &str) -> Result<Relation> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (hline, header) = lines
+        .next()
+        .ok_or(RelationError::Csv { line: 1, message: "empty document".into() })?;
+    let attrs = split_record(header, hline + 1)?;
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let mut rel = Relation::new(Schema::new(name, &attr_refs)?);
+    for (i, line) in lines {
+        let cells = split_record(line, i + 1)?;
+        if cells.len() != attrs.len() {
+            return Err(RelationError::Csv {
+                line: i + 1,
+                message: format!("expected {} fields, found {}", attrs.len(), cells.len()),
+            });
+        }
+        let values: Vec<Value> = cells.iter().map(|c| Value::parse_cell(c)).collect();
+        rel.push_row(interner, &values)?;
+    }
+    Ok(rel)
+}
+
+fn write_cell(out: &mut String, cell: &str) {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        out.push('"');
+        for c in cell.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(cell);
+    }
+}
+
+/// Serializes a relation to CSV text (header + rows).
+pub fn relation_to_csv(interner: &Interner, relation: &Relation) -> String {
+    let mut out = String::new();
+    let schema = relation.schema();
+    for (i, a) in schema.attrs().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_cell(&mut out, a);
+    }
+    out.push('\n');
+    for row in relation.rows() {
+        for (i, v) in row.resolve(interner).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let mut cell = String::new();
+            let _ = write!(cell, "{v}");
+            write_cell(&mut out, &cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let it = Interner::new();
+        let rel = relation_from_csv(&it, "Hotel", "City,Discount\nNYC,AA\nParis,None\n").unwrap();
+        assert_eq!(rel.schema().attrs(), &["City".to_string(), "Discount".to_string()]);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows()[0].resolve(&it), vec![Value::str("NYC"), Value::str("AA")]);
+    }
+
+    #[test]
+    fn integers_are_typed() {
+        let it = Interner::new();
+        let rel = relation_from_csv(&it, "R", "A,B\n1,x\n-2,3\n").unwrap();
+        assert_eq!(rel.rows()[0].resolve(&it), vec![Value::int(1), Value::str("x")]);
+        assert_eq!(rel.rows()[1].resolve(&it), vec![Value::int(-2), Value::int(3)]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let it = Interner::new();
+        let rel = relation_from_csv(&it, "R", "A\n\"a,b\"\n\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rel.rows()[0].resolve(&it), vec![Value::str("a,b")]);
+        assert_eq!(rel.rows()[1].resolve(&it), vec![Value::str("he said \"hi\"")]);
+    }
+
+    #[test]
+    fn field_count_mismatch_is_reported() {
+        let it = Interner::new();
+        let e = relation_from_csv(&it, "R", "A,B\n1\n").unwrap_err();
+        assert!(matches!(e, RelationError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_reported() {
+        let it = Interner::new();
+        let e = relation_from_csv(&it, "R", "A\n\"oops\n").unwrap_err();
+        assert!(matches!(e, RelationError::Csv { .. }));
+    }
+
+    #[test]
+    fn empty_document_is_reported() {
+        let it = Interner::new();
+        let e = relation_from_csv(&it, "R", "").unwrap_err();
+        assert!(matches!(e, RelationError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn round_trip() {
+        let it = Interner::new();
+        let src = "City,Note\nNYC,\"a,b\"\n7,plain\n";
+        let rel = relation_from_csv(&it, "H", src).unwrap();
+        let out = relation_to_csv(&it, &rel);
+        let rel2 = relation_from_csv(&it, "H", &out).unwrap();
+        assert_eq!(rel.rows(), rel2.rows());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let it = Interner::new();
+        let rel = relation_from_csv(&it, "R", "A\n\n1\n\n2\n").unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationError>;
+
+/// Errors raised while building or querying relations and instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A row was inserted whose arity does not match the schema.
+    ArityMismatch {
+        /// Relation whose schema was violated.
+        relation: String,
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values the offending row carried.
+        got: usize,
+    },
+    /// Two attributes of the same relation share a name.
+    DuplicateAttribute {
+        /// Relation in which the duplicate occurs.
+        relation: String,
+        /// The duplicated attribute name.
+        attribute: String,
+    },
+    /// An attribute name was not found in a schema.
+    UnknownAttribute {
+        /// Relation that was searched.
+        relation: String,
+        /// The attribute that could not be resolved.
+        attribute: String,
+    },
+    /// An instance was built without one of its two relations.
+    MissingRelation {
+        /// `"R"` or `"P"`.
+        which: &'static str,
+    },
+    /// The paper requires `attrs(R)` and `attrs(P)` to be disjoint.
+    OverlappingAttributes {
+        /// The attribute name present in both schemas.
+        attribute: String,
+    },
+    /// A CSV document could not be parsed.
+    Csv {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A tuple index was out of bounds for its relation.
+    RowOutOfBounds {
+        /// Relation that was indexed.
+        relation: String,
+        /// The offending row index.
+        index: usize,
+        /// Number of rows actually present.
+        len: usize,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { relation, expected, got } => write!(
+                f,
+                "relation `{relation}`: row has {got} values but schema has {expected} attributes"
+            ),
+            RelationError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}`: duplicate attribute `{attribute}`")
+            }
+            RelationError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation `{relation}`: unknown attribute `{attribute}`")
+            }
+            RelationError::MissingRelation { which } => {
+                write!(f, "instance is missing relation {which}")
+            }
+            RelationError::OverlappingAttributes { attribute } => write!(
+                f,
+                "attribute `{attribute}` appears in both relations; the paper assumes disjoint attribute sets"
+            ),
+            RelationError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
+            RelationError::RowOutOfBounds { relation, index, len } => {
+                write!(f, "relation `{relation}`: row index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            got: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains('R') && s.contains('3') && s.contains('2'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = RelationError::MissingRelation { which: "R" };
+        let b = RelationError::MissingRelation { which: "R" };
+        assert_eq!(a, b);
+        let c = RelationError::MissingRelation { which: "P" };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(RelationError::MissingRelation { which: "P" });
+        assert!(e.to_string().contains('P'));
+    }
+}

@@ -1,0 +1,161 @@
+//! Value interning.
+//!
+//! Every distinct [`Value`] appearing in an instance is assigned a dense
+//! [`Symbol`] (a `u32`). Tuples store symbols, so the equality tests at the
+//! heart of `T(t)` computation are single integer comparisons, and per-row
+//! value indexes can use symbols as compact keys.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use crate::value::Value;
+
+/// A dense identifier for an interned [`Value`].
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; two symbols from the same interner are equal iff their values are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A thread-safe value interner.
+///
+/// Interning is append-only: symbols are never invalidated. The interner is
+/// shared by both relations of an [`crate::Instance`] so that equal values in
+/// `R` and `P` receive the same symbol.
+#[derive(Debug, Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    map: HashMap<Value, Symbol>,
+    values: Vec<Value>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `value`, returning its symbol. Idempotent.
+    pub fn intern(&self, value: &Value) -> Symbol {
+        if let Some(&sym) = self.inner.read().map.get(value) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&sym) = inner.map.get(value) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(inner.values.len()).expect("interner overflow: >4e9 distinct values"));
+        inner.values.push(value.clone());
+        inner.map.insert(value.clone(), sym);
+        sym
+    }
+
+    /// Looks up a value without interning it.
+    pub fn get(&self, value: &Value) -> Option<Symbol> {
+        self.inner.read().map.get(value).copied()
+    }
+
+    /// Resolves a symbol back to its value. Panics on foreign symbols.
+    pub fn resolve(&self, sym: Symbol) -> Value {
+        self.inner.read().values[sym.index()].clone()
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().values.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let it = Interner::new();
+        let a = it.intern(&Value::str("NYC"));
+        let b = it.intern(&Value::str("NYC"));
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_symbols() {
+        let it = Interner::new();
+        let a = it.intern(&Value::int(15));
+        let b = it.intern(&Value::str("15"));
+        assert_ne!(a, b, "typed equality must survive interning");
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let it = Interner::new();
+        let v = Value::str("Paris");
+        let s = it.intern(&v);
+        assert_eq!(it.resolve(s), v);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let it = Interner::new();
+        assert_eq!(it.get(&Value::int(1)), None);
+        assert!(it.is_empty());
+        let s = it.intern(&Value::int(1));
+        assert_eq!(it.get(&Value::int(1)), Some(s));
+    }
+
+    #[test]
+    fn symbols_are_dense() {
+        let it = Interner::new();
+        for i in 0..100 {
+            let s = it.intern(&Value::int(i));
+            assert_eq!(s.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        use std::sync::Arc;
+        let it = Arc::new(Interner::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let it = Arc::clone(&it);
+                std::thread::spawn(move || {
+                    (0..256).map(|i| it.intern(&Value::int(i % 32)).0).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(it.len(), 32);
+        // All threads must agree on every symbol.
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Relational substrate for interactive join-query inference.
+//!
+//! This crate provides the data plumbing that the EDBT 2014 paper
+//! *Interactive Inference of Join Queries* (Bonifati, Ciucanu, Staworko)
+//! assumes as given: typed attribute values, schemas, relations, two-relation
+//! database instances, the Cartesian product `D = R × P`, and the evaluation
+//! of equijoin / semijoin predicates over an instance.
+//!
+//! Values are interned to dense [`Symbol`]s so that the hot operation of the
+//! inference algorithms — testing equality between an `R`-attribute and a
+//! `P`-attribute value — is a single integer comparison.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use jqi_relation::{InstanceBuilder, Value};
+//!
+//! let mut b = InstanceBuilder::new();
+//! b.relation_r("Flight", &["From", "To", "Airline"]);
+//! b.relation_p("Hotel", &["City", "Discount"]);
+//! b.row_r(&[Value::str("Paris"), Value::str("Lille"), Value::str("AF")]);
+//! b.row_p(&[Value::str("Lille"), Value::str("AF")]);
+//! let inst = b.build().unwrap();
+//! assert_eq!(inst.product_size(), 1);
+//! // (To = City) and (Airline = Discount) hold for the single pair:
+//! let sig = inst.signature(0, 0);
+//! assert!(sig.contains(inst.pair_index(1, 0)));
+//! assert!(sig.contains(inst.pair_index(2, 1)));
+//! assert!(!sig.contains(inst.pair_index(0, 0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod csv;
+pub mod error;
+pub mod instance;
+pub mod interner;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use bitset::BitSet;
+pub use error::{RelationError, Result};
+pub use instance::{Instance, InstanceBuilder, PairSpace};
+pub use interner::{Interner, Symbol};
+pub use relation::{Relation, RelationBuilder};
+pub use schema::Schema;
+pub use tuple::Tuple;
+pub use value::Value;

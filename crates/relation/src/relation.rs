@@ -1,0 +1,168 @@
+//! Relations: a schema plus a bag of tuples.
+
+use crate::error::{RelationError, Result};
+use crate::interner::Interner;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A relation instance: schema plus rows of interned tuples.
+///
+/// Rows are a *bag* (duplicates allowed), matching SQL semantics and the
+/// paper's use of raw data tables.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// The row at `index`, with a proper error on overflow.
+    pub fn row(&self, index: usize) -> Result<&Tuple> {
+        self.rows.get(index).ok_or_else(|| RelationError::RowOutOfBounds {
+            relation: self.schema.name().to_string(),
+            index,
+            len: self.rows.len(),
+        })
+    }
+
+    /// Appends an already-interned tuple, checking arity.
+    pub fn push_tuple(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        self.rows.push(tuple);
+        Ok(())
+    }
+
+    /// Interns `values` through `interner` and appends the row.
+    pub fn push_row(&mut self, interner: &Interner, values: &[Value]) -> Result<()> {
+        if values.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        self.rows.push(Tuple::intern(interner, values));
+        Ok(())
+    }
+
+    /// Reserves capacity for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+}
+
+/// Incremental builder for a [`Relation`] bound to an interner.
+pub struct RelationBuilder<'a> {
+    interner: &'a Interner,
+    relation: Relation,
+}
+
+impl<'a> RelationBuilder<'a> {
+    /// Starts building a relation with `name` and `attrs`.
+    pub fn new(interner: &'a Interner, name: &str, attrs: &[&str]) -> Result<Self> {
+        Ok(RelationBuilder {
+            interner,
+            relation: Relation::new(Schema::new(name, attrs)?),
+        })
+    }
+
+    /// Appends one row of values.
+    pub fn row(&mut self, values: &[Value]) -> Result<&mut Self> {
+        self.relation.push_row(self.interner, values)?;
+        Ok(self)
+    }
+
+    /// Appends one row of integers (convenience for synthetic data).
+    pub fn row_ints(&mut self, values: &[i64]) -> Result<&mut Self> {
+        let vals: Vec<Value> = values.iter().map(|&i| Value::Int(i)).collect();
+        self.row(&vals)
+    }
+
+    /// Finishes and returns the relation.
+    pub fn build(self) -> Relation {
+        self.relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flights(it: &Interner) -> Relation {
+        let mut b = RelationBuilder::new(it, "Flight", &["From", "To", "Airline"]).unwrap();
+        b.row(&[Value::str("Paris"), Value::str("Lille"), Value::str("AF")]).unwrap();
+        b.row(&[Value::str("Lille"), Value::str("NYC"), Value::str("AA")]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn build_and_read() {
+        let it = Interner::new();
+        let r = flights(&it);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().name(), "Flight");
+        assert_eq!(
+            r.rows()[0].resolve(&it),
+            vec![Value::str("Paris"), Value::str("Lille"), Value::str("AF")]
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let it = Interner::new();
+        let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
+        let e = r.push_row(&it, &[Value::int(1)]).unwrap_err();
+        assert!(matches!(e, RelationError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let it = Interner::new();
+        let mut b = RelationBuilder::new(&it, "R", &["A"]).unwrap();
+        b.row_ints(&[1]).unwrap();
+        b.row_ints(&[1]).unwrap();
+        let r = b.build();
+        assert_eq!(r.len(), 2, "relations are bags");
+    }
+
+    #[test]
+    fn row_out_of_bounds() {
+        let it = Interner::new();
+        let r = flights(&it);
+        assert!(r.row(1).is_ok());
+        let e = r.row(2).unwrap_err();
+        assert!(matches!(e, RelationError::RowOutOfBounds { index: 2, len: 2, .. }));
+    }
+}

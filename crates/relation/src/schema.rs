@@ -1,0 +1,108 @@
+//! Relation schemas.
+
+use crate::error::{RelationError, Result};
+use std::fmt;
+
+/// A relation schema: a name and an ordered list of attribute names.
+///
+/// The paper works with `attrs(R) = {A1, …, An}` and `attrs(P) = {B1, …, Bm}`;
+/// attributes are addressed by position internally and by name at the API
+/// surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema, rejecting duplicate attribute names.
+    pub fn new(name: impl Into<String>, attrs: &[&str]) -> Result<Self> {
+        let name = name.into();
+        let attrs: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(RelationError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(Schema { name, attrs })
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (the arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in declaration order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// The name of attribute `i`. Panics if out of range.
+    pub fn attr_name(&self, i: usize) -> &str {
+        &self.attrs[i]
+    }
+
+    /// Resolves an attribute name to its position.
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .ok_or_else(|| RelationError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_string(),
+            })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let s = Schema::new("Flight", &["From", "To", "Airline"]).unwrap();
+        assert_eq!(s.name(), "Flight");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_name(1), "To");
+        assert_eq!(s.attr_index("Airline").unwrap(), 2);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let e = Schema::new("R", &["A", "B", "A"]).unwrap_err();
+        assert!(matches!(e, RelationError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute() {
+        let s = Schema::new("R", &["A"]).unwrap();
+        let e = s.attr_index("Z").unwrap_err();
+        assert!(matches!(e, RelationError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new("Hotel", &["City", "Discount"]).unwrap();
+        assert_eq!(s.to_string(), "Hotel(City, Discount)");
+    }
+
+    #[test]
+    fn empty_schema_is_allowed() {
+        let s = Schema::new("E", &[]).unwrap();
+        assert_eq!(s.arity(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tuples of interned symbols.
+
+use crate::interner::{Interner, Symbol};
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple: a fixed-arity sequence of interned value symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Box<[Symbol]>,
+}
+
+impl Tuple {
+    /// Builds a tuple from raw symbols.
+    pub fn new(values: impl Into<Box<[Symbol]>>) -> Self {
+        Tuple { values: values.into() }
+    }
+
+    /// Builds a tuple by interning `values`.
+    pub fn intern(interner: &Interner, values: &[Value]) -> Self {
+        Tuple {
+            values: values.iter().map(|v| interner.intern(v)).collect(),
+        }
+    }
+
+    /// The arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The symbol at position `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Symbol {
+        self.values[i]
+    }
+
+    /// All symbols.
+    #[inline]
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.values
+    }
+
+    /// Resolves the tuple back to values.
+    pub fn resolve(&self, interner: &Interner) -> Vec<Value> {
+        self.values.iter().map(|&s| interner.resolve(s)).collect()
+    }
+
+    /// A displayable view of the tuple using `interner` to resolve symbols.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayTuple<'a> {
+        DisplayTuple { tuple: self, interner }
+    }
+}
+
+/// Helper implementing [`fmt::Display`] for a tuple plus its interner.
+pub struct DisplayTuple<'a> {
+    tuple: &'a Tuple,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayTuple<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &s) in self.tuple.symbols().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.interner.resolve(s))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_resolve() {
+        let it = Interner::new();
+        let t = Tuple::intern(&it, &[Value::str("Paris"), Value::int(3)]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.resolve(&it), vec![Value::str("Paris"), Value::int(3)]);
+    }
+
+    #[test]
+    fn equal_values_share_symbols() {
+        let it = Interner::new();
+        let t1 = Tuple::intern(&it, &[Value::str("NYC")]);
+        let t2 = Tuple::intern(&it, &[Value::str("NYC")]);
+        assert_eq!(t1.get(0), t2.get(0));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn display() {
+        let it = Interner::new();
+        let t = Tuple::intern(&it, &[Value::str("Lille"), Value::str("AF")]);
+        assert_eq!(t.display(&it).to_string(), "(Lille, AF)");
+    }
+
+    #[test]
+    fn zero_arity() {
+        let it = Interner::new();
+        let t = Tuple::intern(&it, &[]);
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t.display(&it).to_string(), "()");
+    }
+}

@@ -1,0 +1,128 @@
+//! Attribute values.
+//!
+//! The inference algorithms only ever compare values for equality, so the
+//! value model is deliberately small: 64-bit integers and strings. Equality
+//! is *typed* — `Value::Int(15)` and `Value::str("15")` are distinct — which
+//! mirrors the paper's remark that "a value 15 may as well represent a key, a
+//! size, a price, or a quantity": collisions happen within a type, exactly as
+//! in TPC-H columns of compatible types.
+
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer value (keys, sizes, quantities, prices in cents, …).
+    Int(i64),
+    /// A string value (names, cities, airline codes, …).
+    Str(Box<str>),
+}
+
+impl Value {
+    /// Builds a string value. Shorthand for `Value::Str(s.into())`.
+    pub fn str(s: impl Into<Box<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// Parses a CSV cell: integers become [`Value::Int`], everything else
+    /// stays a string. This is the convention used by [`crate::csv`].
+    pub fn parse_cell(cell: &str) -> Value {
+        match cell.parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::str(cell),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s.into_boxed_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_equality() {
+        assert_ne!(Value::int(15), Value::str("15"));
+        assert_eq!(Value::int(15), Value::Int(15));
+        assert_eq!(Value::str("AF"), Value::from("AF"));
+    }
+
+    #[test]
+    fn parse_cell_prefers_integers() {
+        assert_eq!(Value::parse_cell("42"), Value::Int(42));
+        assert_eq!(Value::parse_cell("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_cell("4.2"), Value::str("4.2"));
+        assert_eq!(Value::parse_cell("NYC"), Value::str("NYC"));
+        assert_eq!(Value::parse_cell(""), Value::str(""));
+    }
+
+    #[test]
+    fn display_round_trip_for_ints() {
+        let v = Value::int(-123);
+        assert_eq!(Value::parse_cell(&v.to_string()), v);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(3).as_int(), Some(3));
+        assert_eq!(Value::int(3).as_str(), None);
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::str("b"), Value::int(2), Value::str("a"), Value::int(1)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::int(1), Value::int(2), Value::str("a"), Value::str("b")]
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! An exact solver for `CONS⋉` (Theorem 6.1).
+//!
+//! A semijoin predicate `θ` selects an R-row `t` iff some P-row `t′`
+//! *witnesses* it: `θ ⊆ T(t, t′)`. Hence `θ` is consistent with a sample
+//! iff there is a choice of one witness per positive row such that
+//! `θ ⊆ ⋂ᵢ T(tᵢ, wᵢ)` and `θ` selects no negative row. Because the join is
+//! anti-monotone in `θ`, it suffices to test the *maximal* candidate
+//! `θ* = ⋂ᵢ T(tᵢ, wᵢ)` for each witness assignment: if `θ*` selects a
+//! negative row, every `θ ⊆ θ*` does too.
+//!
+//! The solver performs a depth-first search over witness assignments with
+//! three reductions that keep typical instances fast without affecting
+//! completeness (the problem stays NP-complete — see [`crate::reduction`]
+//! for the hard family):
+//!
+//! 1. only `⊆`-maximal witness signatures per positive row are considered;
+//! 2. a partial intersection that already selects a negative row is pruned;
+//! 3. failed `(depth, intersection)` states are memoized.
+
+use crate::sample::SemijoinSample;
+use jqi_relation::{BitSet, Instance};
+use std::collections::HashSet;
+
+/// Keeps only the `⊆`-maximal bitsets of `sets` (deduplicated).
+fn maximal_only(mut sets: Vec<BitSet>) -> Vec<BitSet> {
+    sets.sort();
+    sets.dedup();
+    let keep: Vec<bool> = sets
+        .iter()
+        .map(|s| !sets.iter().any(|o| s.is_proper_subset(o)))
+        .collect();
+    sets.into_iter()
+        .zip(keep)
+        .filter_map(|(s, k)| k.then_some(s))
+        .collect()
+}
+
+/// The solver's precomputed view of one consistency query.
+struct Search {
+    /// Per positive row: its `⊆`-maximal witness signatures.
+    witnesses: Vec<Vec<BitSet>>,
+    /// `⊆`-maximal forbidden signatures: `θ` selects a negative row iff
+    /// `θ ⊆ f` for some `f` here.
+    forbidden: Vec<BitSet>,
+    /// Failed `(depth, intersection)` states.
+    memo: HashSet<(usize, BitSet)>,
+}
+
+impl Search {
+    fn selects_negative(&self, theta: &BitSet) -> bool {
+        self.forbidden.iter().any(|f| theta.is_subset(f))
+    }
+
+    /// DFS over witness choices for positives `depth..`.
+    fn dfs(&mut self, depth: usize, inter: &BitSet) -> Option<BitSet> {
+        if self.selects_negative(inter) {
+            return None; // any θ ⊆ inter also selects the negative
+        }
+        if depth == self.witnesses.len() {
+            return Some(inter.clone());
+        }
+        let key = (depth, inter.clone());
+        if self.memo.contains(&key) {
+            return None;
+        }
+        for w in self.witnesses[depth].clone() {
+            let next = inter.intersection(&w);
+            if let Some(theta) = self.dfs(depth + 1, &next) {
+                return Some(theta);
+            }
+        }
+        self.memo.insert(key);
+        None
+    }
+}
+
+/// Decides `CONS⋉`: returns a semijoin predicate consistent with `sample`
+/// (the maximal one for some witness assignment), or `None` if none exists.
+///
+/// Worst-case exponential in `|S⁺|` (Theorem 6.1 rules out anything
+/// polynomial unless P = NP), but heavily pruned in practice.
+pub fn find_consistent_semijoin(
+    instance: &Instance,
+    sample: &SemijoinSample,
+) -> Option<BitSet> {
+    let omega = instance.pairs().omega();
+    // Forbidden signatures from the negative rows.
+    let mut forbidden: Vec<BitSet> = Vec::new();
+    for &nr in sample.negatives() {
+        for pi in 0..instance.p().len() {
+            forbidden.push(instance.signature(nr, pi));
+        }
+    }
+    let forbidden = maximal_only(forbidden);
+
+    // Witness signatures per positive row.
+    let mut witnesses: Vec<Vec<BitSet>> = Vec::with_capacity(sample.positives().len());
+    for &pr in sample.positives() {
+        let sigs: Vec<BitSet> = (0..instance.p().len())
+            .map(|pi| instance.signature(pr, pi))
+            .collect();
+        let sigs = maximal_only(sigs);
+        if sigs.is_empty() {
+            return None; // P is empty: no positive row can be selected
+        }
+        witnesses.push(sigs);
+    }
+    // Fail-first: positives with the fewest witness options first.
+    witnesses.sort_by_key(Vec::len);
+
+    let mut search = Search { witnesses, forbidden, memo: HashSet::new() };
+    let theta = search.dfs(0, &omega)?;
+    debug_assert!(sample.admits(instance, &theta));
+    Some(theta)
+}
+
+/// Brute-force reference decision procedure: enumerates all `θ ⊆ Ω`.
+/// Exponential in `|Ω|`; only for cross-validation on tiny instances.
+pub fn exists_consistent_brute_force(
+    instance: &Instance,
+    sample: &SemijoinSample,
+) -> bool {
+    let nbits = instance.pairs().len();
+    assert!(nbits <= 24, "brute force limited to tiny pair spaces");
+    (0u64..(1u64 << nbits)).any(|mask| {
+        let theta =
+            BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
+        sample.admits(instance, &theta)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jqi_core::paper::example_2_1;
+    use jqi_relation::{InstanceBuilder, Value};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn section_6_example_is_consistent() {
+        let inst = example_2_1();
+        let s = SemijoinSample::from_rows(vec![0, 1], vec![2]);
+        let theta = find_consistent_semijoin(&inst, &s).expect("consistent");
+        assert!(s.admits(&inst, &theta));
+    }
+
+    #[test]
+    fn unsatisfiable_sample_detected() {
+        // R has two identical rows labeled oppositely: no θ can separate
+        // them (they have identical witness signatures).
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        b.row_r(&[Value::int(1)]);
+        b.row_r(&[Value::int(1)]);
+        b.row_p(&[Value::int(1)]);
+        let inst = b.build().unwrap();
+        let s = SemijoinSample::from_rows(vec![0], vec![1]);
+        assert!(find_consistent_semijoin(&inst, &s).is_none());
+        assert!(!exists_consistent_brute_force(&inst, &s));
+    }
+
+    #[test]
+    fn empty_p_relation() {
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        b.row_r(&[Value::int(1)]);
+        let inst = b.build().unwrap();
+        // A positive example cannot be witnessed by an empty P.
+        let s = SemijoinSample::from_rows(vec![0], vec![]);
+        assert!(find_consistent_semijoin(&inst, &s).is_none());
+        // Negatives alone are fine: Ω (or anything nonempty) selects nothing.
+        let s = SemijoinSample::from_rows(vec![], vec![0]);
+        assert!(find_consistent_semijoin(&inst, &s).is_some());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..60 {
+            let rows_r = rng.gen_range(2..6);
+            let rows_p = rng.gen_range(1..5);
+            let vals = rng.gen_range(2..4);
+            let mut b = InstanceBuilder::new();
+            b.relation_r("R", &["A1", "A2"]);
+            b.relation_p("P", &["B1", "B2"]);
+            for _ in 0..rows_r {
+                b.row_r_ints(&[rng.gen_range(0..vals), rng.gen_range(0..vals)]);
+            }
+            for _ in 0..rows_p {
+                b.row_p_ints(&[rng.gen_range(0..vals), rng.gen_range(0..vals)]);
+            }
+            let inst = b.build().unwrap();
+            // Random disjoint labeling.
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for r in 0..rows_r as usize {
+                match rng.gen_range(0..3) {
+                    0 => pos.push(r),
+                    1 => neg.push(r),
+                    _ => {}
+                }
+            }
+            let s = SemijoinSample::from_rows(pos, neg);
+            let exact = find_consistent_semijoin(&inst, &s);
+            let brute = exists_consistent_brute_force(&inst, &s);
+            assert_eq!(exact.is_some(), brute, "solver/brute-force mismatch");
+            if let Some(theta) = exact {
+                assert!(s.admits(&inst, &theta), "returned θ must be consistent");
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_only_keeps_antichain() {
+        let a = BitSet::from_iter(6, [0, 1]);
+        let b = BitSet::from_iter(6, [0]);
+        let c = BitSet::from_iter(6, [2, 3]);
+        let out = maximal_only(vec![a.clone(), b, c.clone(), a.clone()]);
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&a) && out.contains(&c));
+    }
+
+    #[test]
+    fn negative_only_sample_yields_omega_like_predicate() {
+        let inst = example_2_1();
+        let s = SemijoinSample::from_rows(vec![], vec![2]);
+        let theta = find_consistent_semijoin(&inst, &s).expect("Ω avoids t3");
+        assert!(s.admits(&inst, &theta));
+    }
+}

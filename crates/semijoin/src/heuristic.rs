@@ -1,0 +1,169 @@
+//! Greedy heuristics for semijoin consistency and inference.
+//!
+//! Theorem 6.1 precludes an efficient exact interactive scenario for
+//! semijoins; the paper's future work asks for heuristics instead. This
+//! module provides the natural greedy one: process positive rows in
+//! fail-first order and commit, for each, to the witness whose signature
+//! keeps the running intersection as large as possible (breaking ties
+//! toward intersections that avoid the forbidden signatures). The result is
+//! sound — a returned predicate is always consistent — but incomplete: the
+//! greedy commitment can dead-end where backtracking would succeed, which
+//! the tests demonstrate on a crafted instance.
+
+use crate::sample::SemijoinSample;
+use jqi_relation::{BitSet, Instance};
+
+/// One greedy pass. Returns a consistent semijoin predicate or `None` if
+/// the greedy choices dead-end (which does *not* imply inconsistency — use
+/// [`crate::consistency::find_consistent_semijoin`] for an exact answer).
+pub fn greedy_consistent_semijoin(
+    instance: &Instance,
+    sample: &SemijoinSample,
+) -> Option<BitSet> {
+    // Forbidden signatures (⊆-maximality not required for correctness).
+    let forbidden: Vec<BitSet> = sample
+        .negatives()
+        .iter()
+        .flat_map(|&nr| (0..instance.p().len()).map(move |pi| instance.signature(nr, pi)))
+        .collect();
+    let selects_negative =
+        |theta: &BitSet| forbidden.iter().any(|f| theta.is_subset(f));
+
+    // Witness signatures per positive, fewest-first.
+    let mut witnesses: Vec<Vec<BitSet>> = sample
+        .positives()
+        .iter()
+        .map(|&pr| {
+            (0..instance.p().len())
+                .map(|pi| instance.signature(pr, pi))
+                .collect()
+        })
+        .collect();
+    witnesses.sort_by_key(Vec::len);
+
+    let mut inter = instance.pairs().omega();
+    if selects_negative(&inter) {
+        return None;
+    }
+    for options in witnesses {
+        // Greedy: the candidate intersection with the most pairs that does
+        // not select a negative; ties toward the first option.
+        let best = options
+            .iter()
+            .map(|w| inter.intersection(w))
+            .filter(|cand| !selects_negative(cand))
+            .max_by_key(BitSet::len)?;
+        inter = best;
+    }
+    debug_assert!(sample.admits(instance, &inter));
+    Some(inter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::find_consistent_semijoin;
+    use jqi_core::paper::example_2_1;
+    use jqi_relation::{InstanceBuilder, Value};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn greedy_solves_the_section_6_example() {
+        let inst = example_2_1();
+        let s = SemijoinSample::from_rows(vec![0, 1], vec![2]);
+        let theta = greedy_consistent_semijoin(&inst, &s).expect("easy instance");
+        assert!(s.admits(&inst, &theta));
+    }
+
+    #[test]
+    fn greedy_is_sound_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut solved = 0usize;
+        let mut total = 0usize;
+        for _ in 0..60 {
+            let mut b = InstanceBuilder::new();
+            b.relation_r("R", &["A1", "A2"]);
+            b.relation_p("P", &["B1", "B2"]);
+            for _ in 0..rng.gen_range(2..6) {
+                b.row_r_ints(&[rng.gen_range(0..3), rng.gen_range(0..3)]);
+            }
+            for _ in 0..rng.gen_range(1..5) {
+                b.row_p_ints(&[rng.gen_range(0..3), rng.gen_range(0..3)]);
+            }
+            let inst = b.build().unwrap();
+            let rows = inst.r().len();
+            let mut pos = Vec::new();
+            let mut neg = Vec::new();
+            for r in 0..rows {
+                match rng.gen_range(0..3) {
+                    0 => pos.push(r),
+                    1 => neg.push(r),
+                    _ => {}
+                }
+            }
+            let s = SemijoinSample::from_rows(pos, neg);
+            let exact = find_consistent_semijoin(&inst, &s);
+            if exact.is_some() {
+                total += 1;
+            }
+            if let Some(theta) = greedy_consistent_semijoin(&inst, &s) {
+                // Soundness: greedy answers are always truly consistent.
+                assert!(s.admits(&inst, &theta));
+                assert!(exact.is_some(), "greedy found θ where exact says none");
+                solved += 1;
+            }
+        }
+        // Effectiveness: greedy solves a healthy share of solvable cases.
+        assert!(solved * 2 >= total, "greedy solved only {solved}/{total}");
+    }
+
+    #[test]
+    fn greedy_can_dead_end_where_exact_succeeds() {
+        // Crafted dead end. Signatures:
+        //   pos0 = (1,2): {(A1,B1),(A2,B2)} via w1, {(A2,B3)} via w2,
+        //                 {(A1,B1)} via w3.
+        //   pos1 = (1,7): {(A1,B1)} via w1, ∅ via w2,
+        //                 {(A1,B1),(A2,B3)} via w3.
+        //   neg  = (1,8): at most {(A1,B1)} — so θ is forbidden iff
+        //                 θ ⊆ {(A1,B1)}.
+        // Greedy commits pos0 to the size-2 witness {(A1,B1),(A2,B2)}; every
+        // pos1 option then intersects to a subset of {(A1,B1)} — dead end.
+        // Exact backtracking instead picks {(A2,B3)} for pos0 and succeeds.
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A1", "A2"]);
+        b.relation_p("P", &["B1", "B2", "B3"]);
+        b.row_r_ints(&[1, 2]); // pos0
+        b.row_r_ints(&[1, 7]); // pos1
+        b.row_r_ints(&[1, 8]); // neg: T(neg, w) ⊇ {(A1,B1)} for w1/w3
+        b.row_p(&[Value::int(1), Value::int(2), Value::int(0)]); // wBig for pos0
+        b.row_p(&[Value::int(9), Value::int(0), Value::int(2)]); // wSmall: A2=2=B3
+        b.row_p(&[Value::int(1), Value::int(0), Value::int(7)]); // pos1's witness
+        let inst = b.build().unwrap();
+        // Check the signature layout matches the comment.
+        let s = SemijoinSample::from_rows(vec![0, 1], vec![2]);
+        let exact = find_consistent_semijoin(&inst, &s);
+        assert!(exact.is_some(), "exact solver must succeed");
+        // pos1 also matches wSmall? T(pos1, wSmall): A1=1 vs (9,0,2) no;
+        // A2=7 vs (9,0,2) no → ∅. ∅ selects the negative, so pos1's only
+        // useful witness is w3 = {(A1,B1),(A2,B3)}.
+        let greedy = greedy_consistent_semijoin(&inst, &s);
+        assert!(
+            greedy.is_none(),
+            "greedy was expected to dead-end on the crafted instance, got {greedy:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_rejects_immediately_selected_negative() {
+        // A negative row equal to a P row ⇒ Ω itself selects it.
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        b.row_r(&[Value::int(1)]);
+        b.row_p(&[Value::int(1)]);
+        let inst = b.build().unwrap();
+        let s = SemijoinSample::from_rows(vec![], vec![0]);
+        assert!(greedy_consistent_semijoin(&inst, &s).is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! Interactive semijoin inference (§7 future work).
+//!
+//! The paper stops at Theorem 6.1: deciding whether a *tuple* is
+//! uninformative for semijoins is intractable, so the equijoin scenario of
+//! §3 does not carry over cheaply. Its future work asks for heuristics for
+//! "the interactive inference of semijoins". This module provides the
+//! exact-but-exponential interactive loop, which is perfectly usable on
+//! the modest instances the paper targets:
+//!
+//! * An R-row `r` is **decided** w.r.t. the current sample if one of its
+//!   two labelings is inconsistent — i.e. the consistency solver refutes
+//!   `S ∪ {(r, +)}` or `S ∪ {(r, −)}`. Decided rows are the semijoin
+//!   analogue of certain tuples, and asking about them is wasted work.
+//! * The loop repeatedly asks the user to label an undecided row (chosen
+//!   by a witness-diversity heuristic), and halts when every row is
+//!   labeled or decided.
+//!
+//! Each informativeness test costs up to two NP-hard solver calls, as
+//! Theorem 6.1 says it must (unless P = NP).
+
+use crate::consistency::find_consistent_semijoin;
+use crate::sample::SemijoinSample;
+use jqi_relation::{BitSet, Instance};
+use std::collections::HashSet;
+
+/// The label of one decided-or-labeled row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    /// In the sample or forced positive.
+    Positive,
+    /// In the sample or forced negative.
+    Negative,
+    /// Still informative: both labelings are consistent.
+    Open,
+}
+
+/// Classifies row `r`: forced-positive, forced-negative, or open.
+pub fn row_status(instance: &Instance, sample: &SemijoinSample, r: usize) -> RowStatus {
+    if sample.positives().contains(&r) {
+        return RowStatus::Positive;
+    }
+    if sample.negatives().contains(&r) {
+        return RowStatus::Negative;
+    }
+    let mut as_pos = sample.clone();
+    as_pos.add_positive(r);
+    let pos_ok = find_consistent_semijoin(instance, &as_pos).is_some();
+    let mut as_neg = sample.clone();
+    as_neg.add_negative(r);
+    let neg_ok = find_consistent_semijoin(instance, &as_neg).is_some();
+    match (pos_ok, neg_ok) {
+        (true, true) => RowStatus::Open,
+        (true, false) => RowStatus::Positive,
+        (false, true) => RowStatus::Negative,
+        (false, false) => {
+            // Only possible if the sample itself is already inconsistent.
+            debug_assert!(find_consistent_semijoin(instance, sample).is_none());
+            RowStatus::Open
+        }
+    }
+}
+
+/// All rows still worth asking about.
+pub fn open_rows(instance: &Instance, sample: &SemijoinSample) -> Vec<usize> {
+    (0..instance.r().len())
+        .filter(|&r| row_status(instance, sample, r) == RowStatus::Open)
+        .collect()
+}
+
+/// Heuristic pick among the open rows: the row with the most *distinct*
+/// maximal witness signatures — the semijoin analogue of a high-entropy
+/// tuple, since each distinct witness keeps a different region of the
+/// predicate space alive. Ties break toward the smallest row index.
+pub fn pick_next(instance: &Instance, sample: &SemijoinSample) -> Option<usize> {
+    open_rows(instance, sample)
+        .into_iter()
+        .max_by_key(|&r| {
+            let sigs: HashSet<BitSet> = (0..instance.p().len())
+                .map(|pi| instance.signature(r, pi))
+                .collect();
+            (sigs.len(), usize::MAX - r)
+        })
+}
+
+/// A simulated user for the interactive loop.
+pub trait SemijoinOracle {
+    /// Whether R-row `r` belongs to the user's intended semijoin result.
+    fn wants(&mut self, instance: &Instance, r: usize) -> bool;
+}
+
+/// Labels according to a goal semijoin predicate.
+#[derive(Debug, Clone)]
+pub struct GoalOracle(pub BitSet);
+
+impl SemijoinOracle for GoalOracle {
+    fn wants(&mut self, instance: &Instance, r: usize) -> bool {
+        (0..instance.p().len()).any(|pi| instance.selects(&self.0, r, pi))
+    }
+}
+
+/// Result of an interactive semijoin run.
+#[derive(Debug, Clone)]
+pub struct SemijoinRun {
+    /// A predicate consistent with all answers (maximal for some witness
+    /// assignment).
+    pub predicate: BitSet,
+    /// Number of questions asked.
+    pub interactions: usize,
+    /// The final sample.
+    pub sample: SemijoinSample,
+}
+
+/// Runs the interactive loop: ask about open rows until none remain, then
+/// return a consistent predicate. Returns `None` if the oracle's answers
+/// are inconsistent (no semijoin predicate explains them) — which a
+/// [`GoalOracle`] never produces.
+pub fn run_interactive(
+    instance: &Instance,
+    oracle: &mut dyn SemijoinOracle,
+) -> Option<SemijoinRun> {
+    let mut sample = SemijoinSample::new();
+    let mut interactions = 0usize;
+    while let Some(r) = pick_next(instance, &sample) {
+        interactions += 1;
+        if oracle.wants(instance, r) {
+            sample.add_positive(r);
+        } else {
+            sample.add_negative(r);
+        }
+        find_consistent_semijoin(instance, &sample)?;
+    }
+    let predicate = find_consistent_semijoin(instance, &sample)?;
+    Some(SemijoinRun { predicate, interactions, sample })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jqi_core::paper::example_2_1;
+    use jqi_core::predicate_from_names;
+
+    #[test]
+    fn goal_semijoins_are_recovered_semantically() {
+        let inst = example_2_1();
+        // All size-≤1 goals plus the paper's §6 example predicate.
+        let mut goals = vec![inst.pairs().bottom()];
+        for k in 0..inst.pairs().len() {
+            goals.push(BitSet::from_iter(inst.pairs().len(), [k]));
+        }
+        goals.push(predicate_from_names(&inst, &[("A1", "B1"), ("A2", "B3")]).unwrap());
+        for goal in goals {
+            let mut oracle = GoalOracle(goal.clone());
+            let run = run_interactive(&inst, &mut oracle)
+                .expect("goal oracles answer consistently");
+            assert_eq!(
+                inst.semijoin(&run.predicate),
+                inst.semijoin(&goal),
+                "semijoin result mismatch for {goal:?}"
+            );
+            assert!(run.interactions <= inst.r().len());
+        }
+    }
+
+    #[test]
+    fn decided_rows_are_not_asked() {
+        let inst = example_2_1();
+        // After labeling t1 and t2 positive and t3 negative, check that any
+        // row reported non-open indeed has a forced label.
+        let sample = SemijoinSample::from_rows(vec![0, 1], vec![2]);
+        for r in 0..inst.r().len() {
+            match row_status(&inst, &sample, r) {
+                RowStatus::Open => {}
+                RowStatus::Positive => {
+                    let mut as_neg = sample.clone();
+                    as_neg.add_negative(r);
+                    assert!(find_consistent_semijoin(&inst, &as_neg).is_none());
+                }
+                RowStatus::Negative => {
+                    let mut as_pos = sample.clone();
+                    as_pos.add_positive(r);
+                    assert!(find_consistent_semijoin(&inst, &as_pos).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_p_means_everything_is_forced_negative() {
+        use jqi_relation::{InstanceBuilder, Value};
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        b.row_r(&[Value::int(1)]);
+        b.row_r(&[Value::int(2)]);
+        let inst = b.build().unwrap();
+        let sample = SemijoinSample::new();
+        for r in 0..2 {
+            assert_eq!(row_status(&inst, &sample, r), RowStatus::Negative);
+        }
+        // Nothing to ask; loop terminates immediately with 0 questions.
+        let mut oracle = GoalOracle(inst.pairs().omega());
+        let run = run_interactive(&inst, &mut oracle).unwrap();
+        assert_eq!(run.interactions, 0);
+    }
+
+    #[test]
+    fn forced_rows_shield_the_loop_from_inconsistent_oracles() {
+        use jqi_relation::InstanceBuilder;
+        // Two identical R rows: any predicate treats them alike. An oracle
+        // wanting exactly one of them is self-contradictory — but the loop
+        // never finds out: after the first answer, the twin row's label is
+        // *forced* and it is never asked (the semijoin analogue of §4.1's
+        // remark that informative-only questioning cannot become
+        // inconsistent).
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A1", "A2"]);
+        b.relation_p("P", &["B1", "B2"]);
+        b.row_r_ints(&[1, 2]); // row 0: twin of row 1
+        b.row_r_ints(&[1, 2]); // row 1
+        b.row_r_ints(&[3, 4]); // row 2: matches nothing
+        b.row_p_ints(&[1, 9]);
+        b.row_p_ints(&[8, 2]);
+        let inst = b.build().unwrap();
+        struct OneOnly;
+        impl SemijoinOracle for OneOnly {
+            fn wants(&mut self, _: &Instance, r: usize) -> bool {
+                r == 0
+            }
+        }
+        let run = run_interactive(&inst, &mut OneOnly).expect("loop cannot error");
+        // Row 0 is asked (answer +); row 1 then becomes forced-positive and
+        // is never asked, so its contradictory would-be answer never
+        // surfaces; row 2 is asked (answer −).
+        assert_eq!(run.interactions, 2, "the twin row is forced, not asked");
+        assert_eq!(run.sample.positives(), &[0]);
+        assert_eq!(run.sample.negatives(), &[2]);
+        assert_eq!(row_status(&inst, &run.sample, 1), RowStatus::Positive);
+    }
+
+    #[test]
+    fn pick_next_prefers_witness_diversity() {
+        use jqi_relation::InstanceBuilder;
+        // Row 0 has two distinct witness signatures, row 1 only one.
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A1", "A2"]);
+        b.relation_p("P", &["B1", "B2"]);
+        b.row_r_ints(&[1, 2]); // matches (1,_) and (_,2) differently
+        b.row_r_ints(&[9, 9]); // matches nothing
+        b.row_p_ints(&[1, 5]);
+        b.row_p_ints(&[6, 2]);
+        let inst = b.build().unwrap();
+        let sample = SemijoinSample::new();
+        // Row 1 is forced negative (no witness), so only row 0 is open.
+        assert_eq!(pick_next(&inst, &sample), Some(0));
+    }
+}

@@ -1,0 +1,39 @@
+//! Semijoin predicate inference and its intractability (§6).
+//!
+//! Adding projection to the queries — i.e. inferring semijoin predicates
+//! `R ⋉θ P` from labeled *R-rows* instead of labeled product tuples —
+//! makes the fundamental consistency problem NP-complete (Theorem 6.1).
+//! This crate contains everything the paper's §6 and appendix need:
+//!
+//! * [`sample`] — samples over R-rows and semantic consistency of a
+//!   predicate with a sample.
+//! * [`consistency`] — an exact solver for `CONS⋉` (witness search with
+//!   subset pruning); worst-case exponential, as Theorem 6.1 predicts.
+//! * [`sat`] — a CNF representation, a DPLL SAT solver, and a random 3SAT
+//!   generator.
+//! * [`reduction`] — the appendix's 3SAT → `CONS⋉` reduction
+//!   `φ ↦ (Rφ, Pφ, Sφ)`, used to cross-validate the exact solver against
+//!   DPLL and to generate hard benchmark families.
+//! * [`heuristic`] — the greedy inference heuristic the paper lists as
+//!   future work ("we would like to design heuristics for the interactive
+//!   inference of semijoins").
+//! * [`interactive`] — the exact interactive semijoin scenario: ask only
+//!   about rows whose label is not forced, at the (unavoidable) price of
+//!   NP-hard informativeness tests.
+//! * [`minimality`] — brute-force minimality checks for positive-only
+//!   samples (the paper's early attempt: coNP-complete).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod heuristic;
+pub mod interactive;
+pub mod minimality;
+pub mod reduction;
+pub mod sample;
+pub mod sat;
+
+pub use consistency::find_consistent_semijoin;
+pub use sample::SemijoinSample;
+pub use sat::{dpll, Cnf};

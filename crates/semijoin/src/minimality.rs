@@ -1,0 +1,223 @@
+//! Minimality of semijoin predicates under positive-only samples.
+//!
+//! The paper's future-work section reports an early result: *deciding the
+//! minimality of a semijoin predicate in the presence of only positive
+//! examples is coNP-complete*, and whether the minimal predicate is unique
+//! was open. This module provides exact (exponential) procedures so the
+//! phenomenon can be explored on small instances:
+//!
+//! * consistency with a positive-only sample is *downward closed* in `θ`
+//!   (anti-monotonicity of `⋉` — [`is_consistent_positive_only`]);
+//! * [`is_maximally_specific`] decides whether no proper superset stays
+//!   consistent (by downward closure, checking single-pair extensions
+//!   suffices — this direction is tractable);
+//! * [`is_cardinality_minimal`] decides whether no consistent predicate of
+//!   *smaller size* induces the same semijoin result — the expensive,
+//!   coNP-flavored question — by brute-force enumeration;
+//! * [`maximally_specific_predicates`] enumerates all `⊆`-maximal
+//!   consistent predicates, demonstrating non-uniqueness.
+
+use crate::sample::SemijoinSample;
+use jqi_relation::{BitSet, Instance};
+
+/// Whether `θ` selects every positive row (negatives ignored).
+pub fn is_consistent_positive_only(
+    instance: &Instance,
+    positives: &[usize],
+    theta: &BitSet,
+) -> bool {
+    let sample = SemijoinSample::from_rows(positives.to_vec(), vec![]);
+    sample.admits(instance, theta)
+}
+
+/// Whether `θ` is consistent with `positives` and no proper superset is.
+///
+/// Because positive-only consistency is downward closed, it is enough to
+/// test the `|Ω| − |θ|` single-pair extensions; this direction is PTIME.
+pub fn is_maximally_specific(
+    instance: &Instance,
+    positives: &[usize],
+    theta: &BitSet,
+) -> bool {
+    if !is_consistent_positive_only(instance, positives, theta) {
+        return false;
+    }
+    let nbits = instance.pairs().len();
+    (0..nbits).filter(|&k| !theta.contains(k)).all(|k| {
+        let mut bigger = theta.clone();
+        bigger.insert(k);
+        !is_consistent_positive_only(instance, positives, &bigger)
+    })
+}
+
+/// All `⊆`-maximal predicates consistent with the positive rows, found by
+/// greedily saturating from every single witness assignment's intersection.
+/// Exponential; intended for small instances. The result is deduplicated.
+pub fn maximally_specific_predicates(
+    instance: &Instance,
+    positives: &[usize],
+) -> Vec<BitSet> {
+    let nbits = instance.pairs().len();
+    assert!(nbits <= 24, "enumeration limited to small pair spaces");
+    let mut out: Vec<BitSet> = Vec::new();
+    // Every maximally specific θ is an intersection of one witness
+    // signature per positive (taking, for each positive, the witness whose
+    // signature contains θ — the intersection contains θ and is consistent,
+    // so by maximality it equals θ). Enumerate assignments.
+    let witness_sigs: Vec<Vec<BitSet>> = positives
+        .iter()
+        .map(|&r| {
+            (0..instance.p().len())
+                .map(|pi| instance.signature(r, pi))
+                .collect()
+        })
+        .collect();
+    if witness_sigs.iter().any(Vec::is_empty) {
+        return out; // empty P: nothing selects the positives
+    }
+    let mut stack: Vec<(usize, BitSet)> = vec![(0, instance.pairs().omega())];
+    let mut candidates: Vec<BitSet> = Vec::new();
+    while let Some((depth, inter)) = stack.pop() {
+        if depth == witness_sigs.len() {
+            candidates.push(inter);
+            continue;
+        }
+        for w in &witness_sigs[depth] {
+            stack.push((depth + 1, inter.intersection(w)));
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+    for c in candidates {
+        if !out.iter().any(|o| c.is_proper_subset(o))
+            && is_maximally_specific(instance, positives, &c)
+        {
+            out.retain(|o| !o.is_proper_subset(&c));
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Whether no consistent predicate with fewer pairs induces the same
+/// semijoin result as `θ`. Brute-force over all smaller predicates —
+/// exponential in `|Ω|`, as the coNP-completeness result predicts.
+pub fn is_cardinality_minimal(
+    instance: &Instance,
+    positives: &[usize],
+    theta: &BitSet,
+) -> bool {
+    if !is_consistent_positive_only(instance, positives, theta) {
+        return false;
+    }
+    let nbits = instance.pairs().len();
+    assert!(nbits <= 24, "brute force limited to small pair spaces");
+    let result = instance.semijoin(theta);
+    !(0u64..(1u64 << nbits)).any(|mask| {
+        let cand = BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
+        cand.len() < theta.len()
+            && is_consistent_positive_only(instance, positives, &cand)
+            && instance.semijoin(&cand) == result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jqi_core::paper::example_2_1;
+    use jqi_core::predicate_from_names;
+    use jqi_relation::{InstanceBuilder, Value};
+
+    #[test]
+    fn downward_closure_holds() {
+        let inst = example_2_1();
+        let positives = [0usize, 3];
+        let nbits = inst.pairs().len();
+        for mask in 0u64..(1 << nbits) {
+            let theta =
+                BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
+            if is_consistent_positive_only(&inst, &positives, &theta) {
+                // Every subset is consistent too.
+                for k in theta.iter() {
+                    let mut smaller = theta.clone();
+                    smaller.remove(k);
+                    assert!(is_consistent_positive_only(&inst, &positives, &smaller));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_predicate_is_consistent_but_rarely_maximal() {
+        let inst = example_2_1();
+        let empty = inst.pairs().bottom();
+        assert!(is_consistent_positive_only(&inst, &[0, 1, 2, 3], &empty));
+        assert!(!is_maximally_specific(&inst, &[0], &empty));
+    }
+
+    #[test]
+    fn maximally_specific_can_be_non_unique() {
+        // Positive row t1 = (0,1): its witness signatures are
+        // {(A1,B3),(A2,B1),(A2,B2)}, {(A1,B1),(A2,B2)}, {(A1,B2),(A1,B3)} —
+        // pairwise ⊆-incomparable, so all three are maximally specific:
+        // the paper's open uniqueness question answers "not unique" here.
+        let inst = example_2_1();
+        let maxes = maximally_specific_predicates(&inst, &[0]);
+        assert_eq!(maxes.len(), 3);
+        for m in &maxes {
+            assert!(is_maximally_specific(&inst, &[0], m));
+        }
+    }
+
+    #[test]
+    fn cardinality_minimality() {
+        let inst = example_2_1();
+        // θ = {(A2,B2)} selects {t1, t4}; is any smaller predicate (only ∅)
+        // inducing the same semijoin? ∅ selects everything — no.
+        let theta = predicate_from_names(&inst, &[("A2", "B2")]).unwrap();
+        assert!(is_cardinality_minimal(&inst, &[0, 3], &theta));
+        // A two-pair predicate whose result is also achievable with one
+        // pair is not minimal: {(A1,B1),(A2,B2)} selects {t1}… check
+        // against the one-pair candidates automatically instead of by hand.
+        let theta2 =
+            predicate_from_names(&inst, &[("A1", "B1"), ("A2", "B2")]).unwrap();
+        let result = inst.semijoin(&theta2);
+        let nbits = inst.pairs().len();
+        let smaller_equivalent = (0..nbits).any(|k| {
+            let cand = BitSet::from_iter(nbits, [k]);
+            inst.semijoin(&cand) == result
+                && is_consistent_positive_only(&inst, &result, &cand)
+        });
+        assert_eq!(
+            !smaller_equivalent,
+            is_cardinality_minimal(&inst, &result, &theta2)
+        );
+    }
+
+    #[test]
+    fn inconsistent_theta_is_never_minimal_or_maximal() {
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        b.row_r(&[Value::int(1)]);
+        b.row_p(&[Value::int(2)]);
+        let inst = b.build().unwrap();
+        let omega = inst.pairs().omega();
+        // (A,B) never holds, so Ω is inconsistent with positive {0}.
+        assert!(!is_maximally_specific(&inst, &[0], &omega));
+        assert!(!is_cardinality_minimal(&inst, &[0], &omega));
+    }
+
+    #[test]
+    fn empty_p_yields_no_maximal_predicates() {
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        b.row_r(&[Value::int(1)]);
+        let inst = b.build().unwrap();
+        assert!(maximally_specific_predicates(&inst, &[0]).is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! The appendix's reduction 3SAT → `CONS⋉` (proof of Theorem 6.1).
+//!
+//! Given `φ = c₁ ∧ … ∧ c_k` in 3CNF over variables `x₁, …, x_n`, build:
+//!
+//! * `Rφ(idR, A₁, …, A_n)` with one positive row per clause
+//!   (`idR = cᵢ⁺`, `Aⱼ = j`), one negative row `X` and one negative row
+//!   `xᵢ⁻` per variable — all with `Aⱼ = j`.
+//! * `Pφ(idP, B₁ᵗ, B₁ᶠ, …, B_nᵗ, B_nᶠ)` with, per clause `cᵢ` and literal
+//!   over variable `x_kl`, a tuple carrying `idP = cᵢ⁺` whose `B`-columns
+//!   equal `j` except on `x_kl`, where exactly the column matching the
+//!   literal's polarity keeps `j` and the other holds `⊥`; plus the `Y`
+//!   row (everything equal) and one `xᵢ⁻` row per variable with both
+//!   `Bᵢ`-columns `⊥`.
+//! * The sample labels the clause rows positive and the `X`/`xᵢ⁻` rows
+//!   negative.
+//!
+//! Then `φ` is satisfiable iff `(Rφ, Pφ, Sφ) ∈ CONS⋉`, and a consistent
+//! predicate encodes a satisfying valuation in which of `(Aᵢ, Bᵢᵗ)` /
+//! `(Aᵢ, Bᵢᶠ)` it contains.
+
+use crate::sample::SemijoinSample;
+use crate::sat::Cnf;
+use jqi_relation::{BitSet, Instance, InstanceBuilder, Value};
+
+/// The output of the reduction: an instance plus the labeled sample.
+#[derive(Debug, Clone)]
+pub struct ReducedInstance {
+    /// The two-relation instance `(Rφ, Pφ)`.
+    pub instance: Instance,
+    /// The sample `Sφ` over `Rφ`'s rows.
+    pub sample: SemijoinSample,
+    /// Number of variables of the source formula.
+    pub num_vars: usize,
+}
+
+/// The distinguished `⊥` value: a string, so it never equals the integer
+/// payload values and never appears in `Rφ`.
+fn bot() -> Value {
+    Value::str("⊥")
+}
+
+/// Builds `(Rφ, Pφ, Sφ)` from a 3CNF formula. Clauses may have any arity
+/// `≥ 1` (the construction generalizes verbatim).
+pub fn reduce(cnf: &Cnf) -> ReducedInstance {
+    let n = cnf.num_vars;
+    let k = cnf.clauses.len();
+
+    let mut b = InstanceBuilder::new();
+    let r_attrs: Vec<String> = std::iter::once("idR".to_string())
+        .chain((1..=n).map(|j| format!("A{j}")))
+        .collect();
+    let p_attrs: Vec<String> = std::iter::once("idP".to_string())
+        .chain((1..=n).flat_map(|j| [format!("B{j}t"), format!("B{j}f")]))
+        .collect();
+    let r_refs: Vec<&str> = r_attrs.iter().map(String::as_str).collect();
+    let p_refs: Vec<&str> = p_attrs.iter().map(String::as_str).collect();
+    b.relation_r("Rphi", &r_refs);
+    b.relation_p("Pphi", &p_refs);
+
+    let payload: Vec<Value> = (1..=n as i64).map(Value::int).collect();
+
+    // Rφ: clause rows (positive), then X and x_i^- rows (negative).
+    for i in 1..=k {
+        let mut row = vec![Value::str(format!("c{i}+"))];
+        row.extend(payload.iter().cloned());
+        b.row_r(&row);
+    }
+    {
+        let mut row = vec![Value::str("X")];
+        row.extend(payload.iter().cloned());
+        b.row_r(&row);
+    }
+    for i in 1..=n {
+        let mut row = vec![Value::str(format!("x{i}-"))];
+        row.extend(payload.iter().cloned());
+        b.row_r(&row);
+    }
+
+    // Pφ: one row per clause literal.
+    for (ci, clause) in cnf.clauses.iter().enumerate() {
+        for &lit in clause {
+            let kl = lit.unsigned_abs() as usize;
+            let mut row = vec![Value::str(format!("c{}+", ci + 1))];
+            for j in 1..=n {
+                if j != kl {
+                    row.push(Value::int(j as i64)); // B_j^t
+                    row.push(Value::int(j as i64)); // B_j^f
+                } else if lit > 0 {
+                    row.push(Value::int(j as i64)); // B_j^t = j
+                    row.push(bot()); // B_j^f = ⊥
+                } else {
+                    row.push(bot()); // B_j^t = ⊥
+                    row.push(Value::int(j as i64)); // B_j^f = j
+                }
+            }
+            b.row_p(&row);
+        }
+    }
+    // The Y row: everything equal.
+    {
+        let mut row = vec![Value::str("Y")];
+        for j in 1..=n {
+            row.push(Value::int(j as i64));
+            row.push(Value::int(j as i64));
+        }
+        b.row_p(&row);
+    }
+    // The x_i^- rows: both B_i columns ⊥, everything else equal.
+    for i in 1..=n {
+        let mut row = vec![Value::str(format!("x{i}-"))];
+        for j in 1..=n {
+            if j == i {
+                row.push(bot());
+                row.push(bot());
+            } else {
+                row.push(Value::int(j as i64));
+                row.push(Value::int(j as i64));
+            }
+        }
+        b.row_p(&row);
+    }
+
+    let instance = b.build().expect("reduction instance is well-formed");
+    let sample = SemijoinSample::from_rows(
+        (0..k).collect::<Vec<_>>(),
+        (k..k + 1 + n).collect::<Vec<_>>(),
+    );
+    ReducedInstance { instance, sample, num_vars: n }
+}
+
+/// Decodes a satisfying valuation from a consistent semijoin predicate:
+/// `xᵢ = true` iff `(Aᵢ, Bᵢᵗ) ∈ θ` (the appendix's only-if direction shows a
+/// consistent θ contains at least one of the two `Bᵢ` pairs per variable;
+/// if it contains only the `f` pair the valuation is `false`).
+pub fn decode_valuation(reduced: &ReducedInstance, theta: &BitSet) -> Vec<bool> {
+    let inst = &reduced.instance;
+    (1..=reduced.num_vars)
+        .map(|i| {
+            let a = format!("A{i}");
+            let bt = format!("B{i}t");
+            let idx = inst
+                .pair_index_by_name(&a, &bt)
+                .expect("reduction attributes exist");
+            theta.contains(idx)
+        })
+        .collect()
+}
+
+/// Encodes a valuation as the appendix's canonical consistent predicate
+/// `θ₀ = {(idR, idP)} ∪ {(Aᵢ, Bᵢ^{v(xᵢ)})}`.
+pub fn encode_valuation(reduced: &ReducedInstance, valuation: &[bool]) -> BitSet {
+    assert_eq!(valuation.len(), reduced.num_vars);
+    let inst = &reduced.instance;
+    let mut theta = inst.pairs().bottom();
+    theta.insert(inst.pair_index_by_name("idR", "idP").expect("id pair"));
+    for (i, &v) in valuation.iter().enumerate() {
+        let a = format!("A{}", i + 1);
+        let b = format!("B{}{}", i + 1, if v { "t" } else { "f" });
+        theta.insert(inst.pair_index_by_name(&a, &b).expect("valuation pair"));
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::find_consistent_semijoin;
+    use crate::sat::{dpll, random_3sat, Cnf};
+
+    fn phi0() -> Cnf {
+        // The appendix's example: φ0 = (x1 ∨ x2 ∨ x3) ∧ (¬x1 ∨ x3 ∨ x4).
+        Cnf::new(4, vec![vec![1, 2, 3], vec![-1, 3, 4]])
+    }
+
+    #[test]
+    fn phi0_shapes_match_the_appendix() {
+        let red = reduce(&phi0());
+        let inst = &red.instance;
+        // Rφ0: 2 clause rows + X + 4 variable rows = 7.
+        assert_eq!(inst.r().len(), 7);
+        // Pφ0: 6 literal rows + Y + 4 variable rows = 11.
+        assert_eq!(inst.p().len(), 11);
+        assert_eq!(inst.r().schema().arity(), 1 + 4);
+        assert_eq!(inst.p().schema().arity(), 1 + 2 * 4);
+        assert_eq!(red.sample.positives(), &[0, 1]);
+        assert_eq!(red.sample.negatives(), &[2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn phi0_is_in_cons_semijoin() {
+        let red = reduce(&phi0());
+        let theta =
+            find_consistent_semijoin(&red.instance, &red.sample).expect("φ0 is sat");
+        assert!(red.sample.admits(&red.instance, &theta));
+        // The decoded valuation satisfies φ0.
+        let v = decode_valuation(&red, &theta);
+        assert!(phi0().is_satisfied_by(&v));
+    }
+
+    #[test]
+    fn encoded_valuation_is_consistent_iff_it_satisfies() {
+        let cnf = phi0();
+        let red = reduce(&cnf);
+        // x3 = true satisfies both clauses.
+        let good = encode_valuation(&red, &[false, false, true, false]);
+        assert!(red.sample.admits(&red.instance, &good));
+        // x-all-false falsifies clause 1.
+        let bad = encode_valuation(&red, &[false, false, false, false]);
+        assert!(!red.sample.admits(&red.instance, &bad));
+    }
+
+    #[test]
+    fn unsat_formula_reduces_to_inconsistent_sample() {
+        // (x1)(¬x1) padded to 3 literals via duplicates is not allowed
+        // (distinct vars); use x1∨x2∨x3 in all polarity combinations over
+        // the same 3 variables: the 8 clauses force a contradiction.
+        let mut clauses = Vec::new();
+        for mask in 0..8 {
+            let lits: Vec<i32> = (1..=3)
+                .map(|v| if mask >> (v - 1) & 1 == 1 { v } else { -v })
+                .collect();
+            clauses.push(lits);
+        }
+        let cnf = Cnf::new(3, clauses);
+        assert!(dpll(&cnf).is_none());
+        let red = reduce(&cnf);
+        assert!(find_consistent_semijoin(&red.instance, &red.sample).is_none());
+    }
+
+    /// The headline cross-validation: solver(reduce(φ)) ⇔ DPLL(φ) on random
+    /// 3SAT formulas around the phase transition.
+    #[test]
+    fn solver_agrees_with_dpll_on_random_formulas() {
+        for seed in 0..25 {
+            let cnf = random_3sat(5, 21, seed);
+            let sat = dpll(&cnf).is_some();
+            let red = reduce(&cnf);
+            let cons = find_consistent_semijoin(&red.instance, &red.sample);
+            assert_eq!(
+                cons.is_some(),
+                sat,
+                "reduction/solver disagree with DPLL for seed {seed}"
+            );
+            if let Some(theta) = cons {
+                let v = decode_valuation(&red, &theta);
+                assert!(cnf.is_satisfied_by(&v), "decoded valuation wrong, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn satisfying_assignment_round_trips() {
+        for seed in 0..10 {
+            let cnf = random_3sat(6, 10, seed); // under-constrained: mostly sat
+            if let Some(a) = dpll(&cnf) {
+                let red = reduce(&cnf);
+                let theta = encode_valuation(&red, &a);
+                assert!(red.sample.admits(&red.instance, &theta));
+                assert_eq!(decode_valuation(&red, &theta), a);
+            }
+        }
+    }
+}

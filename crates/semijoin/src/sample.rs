@@ -1,0 +1,115 @@
+//! Samples over R-rows for semijoin inference (§6).
+//!
+//! With projection, an example is a pair `(t, α)` with `t ∈ R` — the user
+//! judges rows of `R`, not product tuples. A semijoin predicate `θ` is
+//! consistent with a sample `S` iff `S⁺ ⊆ R ⋉θ P` and
+//! `S⁻ ∩ (R ⋉θ P) = ∅`.
+
+use jqi_relation::{BitSet, Instance};
+
+/// A set of labeled R-rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SemijoinSample {
+    pos: Vec<usize>,
+    neg: Vec<usize>,
+}
+
+impl SemijoinSample {
+    /// The empty sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sample from positive and negative R-row indices.
+    pub fn from_rows(pos: impl Into<Vec<usize>>, neg: impl Into<Vec<usize>>) -> Self {
+        SemijoinSample { pos: pos.into(), neg: neg.into() }
+    }
+
+    /// Adds a positive example.
+    pub fn add_positive(&mut self, row: usize) {
+        self.pos.push(row);
+    }
+
+    /// Adds a negative example.
+    pub fn add_negative(&mut self, row: usize) {
+        self.neg.push(row);
+    }
+
+    /// The positive R-rows.
+    pub fn positives(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// The negative R-rows.
+    pub fn negatives(&self) -> &[usize] {
+        &self.neg
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Semantic consistency check: `θ` selects every positive row and no
+    /// negative row of the semijoin. `O(|S| · |P| · |θ|)`.
+    pub fn admits(&self, instance: &Instance, theta: &BitSet) -> bool {
+        let selected = |ri: usize| {
+            (0..instance.p().len()).any(|pi| instance.selects(theta, ri, pi))
+        };
+        self.pos.iter().all(|&r| selected(r)) && self.neg.iter().all(|&r| !selected(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jqi_core::paper::example_2_1;
+    use jqi_core::predicate_from_names;
+
+    /// §6's example: S⁺ = {t1, t2}, S⁻ = {t3}; θ = {(A1,B2)} is consistent.
+    #[test]
+    fn section_6_example() {
+        let inst = example_2_1();
+        let s = SemijoinSample::from_rows(vec![0, 1], vec![2]);
+        let theta = predicate_from_names(&inst, &[("A1", "B2")]).unwrap();
+        assert!(s.admits(&inst, &theta));
+        // R ⋉θ P = {t1, t2, t4}: t1[A1]=0=t3'[B2]? t3'=(2,0,0) B2=0 ✓;
+        // semijoin must contain the positives and avoid t3.
+        assert_eq!(inst.semijoin(&theta), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn inconsistent_theta_rejected() {
+        let inst = example_2_1();
+        let s = SemijoinSample::from_rows(vec![0], vec![3]);
+        // ∅ selects every row, including the negative t4.
+        let empty = inst.pairs().bottom();
+        assert!(!s.admits(&inst, &empty));
+    }
+
+    #[test]
+    fn empty_sample_admits_anything() {
+        let inst = example_2_1();
+        let s = SemijoinSample::new();
+        assert!(s.is_empty());
+        assert!(s.admits(&inst, &inst.pairs().bottom()));
+        assert!(s.admits(&inst, &inst.pairs().omega()));
+    }
+
+    #[test]
+    fn builders_agree() {
+        let mut a = SemijoinSample::new();
+        a.add_positive(1);
+        a.add_negative(2);
+        let b = SemijoinSample::from_rows(vec![1], vec![2]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.positives(), &[1]);
+        assert_eq!(a.negatives(), &[2]);
+    }
+}

@@ -1,0 +1,307 @@
+//! CNF formulas, a DPLL SAT solver, and a random 3SAT generator.
+//!
+//! The appendix proves `CONS⋉` NP-complete by reduction from 3SAT. To
+//! cross-validate the exact semijoin-consistency solver we need an
+//! independent ground truth for satisfiability: this small DPLL solver with
+//! unit propagation and pure-literal elimination. It is complete (it never
+//! guesses) and fast enough for the formula sizes the benchmarks use.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A literal: positive `v` means the variable `v`, negative means its
+/// negation. Variables are numbered `1..=num_vars`; `0` is invalid.
+pub type Lit = i32;
+
+/// A CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (named `1..=num_vars`).
+    pub num_vars: usize,
+    /// Clauses as disjunctions of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates a formula, validating literal ranges.
+    pub fn new(num_vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
+        for clause in &clauses {
+            for &lit in clause {
+                let v = lit.unsigned_abs() as usize;
+                assert!(lit != 0 && v <= num_vars, "literal {lit} out of range");
+            }
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// Whether `assignment` (indexed by variable − 1) satisfies the formula.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars);
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let v = lit.unsigned_abs() as usize - 1;
+                (lit > 0) == assignment[v]
+            })
+        })
+    }
+}
+
+/// Generates a uniform random 3SAT formula with `num_clauses` clauses over
+/// `num_vars ≥ 3` variables. Each clause has three distinct variables; the
+/// classic hard regime is `num_clauses ≈ 4.27 · num_vars`.
+pub fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+    assert!(num_vars >= 3, "3SAT needs at least three variables");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut vars = [0usize; 3];
+        vars[0] = rng.gen_range(1..=num_vars);
+        loop {
+            vars[1] = rng.gen_range(1..=num_vars);
+            if vars[1] != vars[0] {
+                break;
+            }
+        }
+        loop {
+            vars[2] = rng.gen_range(1..=num_vars);
+            if vars[2] != vars[0] && vars[2] != vars[1] {
+                break;
+            }
+        }
+        let clause: Vec<Lit> = vars
+            .iter()
+            .map(|&v| if rng.gen_bool(0.5) { v as Lit } else { -(v as Lit) })
+            .collect();
+        clauses.push(clause);
+    }
+    Cnf::new(num_vars, clauses)
+}
+
+/// Partial assignment state used by DPLL.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Unassigned,
+    True,
+    False,
+}
+
+/// DPLL with unit propagation and pure-literal elimination. Returns a
+/// satisfying assignment (indexed by variable − 1) or `None` when
+/// unsatisfiable.
+pub fn dpll(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut state = vec![VarState::Unassigned; cnf.num_vars];
+    if solve(cnf, &mut state) {
+        Some(
+            state
+                .into_iter()
+                .map(|s| s == VarState::True) // unassigned vars default false
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+fn lit_state(state: &[VarState], lit: Lit) -> VarState {
+    let v = lit.unsigned_abs() as usize - 1;
+    match (state[v], lit > 0) {
+        (VarState::Unassigned, _) => VarState::Unassigned,
+        (VarState::True, true) | (VarState::False, false) => VarState::True,
+        _ => VarState::False,
+    }
+}
+
+fn solve(cnf: &Cnf, state: &mut Vec<VarState>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut propagated = false;
+        for clause in &cnf.clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut satisfied = false;
+            let mut unassigned_count = 0;
+            for &lit in clause {
+                match lit_state(state, lit) {
+                    VarState::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    VarState::Unassigned => {
+                        unassigned_count += 1;
+                        unassigned = Some(lit);
+                    }
+                    VarState::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match unassigned_count {
+                0 => {
+                    // Conflict: undo the trail.
+                    for &v in &trail {
+                        state[v] = VarState::Unassigned;
+                    }
+                    return false;
+                }
+                1 => {
+                    let lit = unassigned.expect("one unassigned literal");
+                    let v = lit.unsigned_abs() as usize - 1;
+                    state[v] = if lit > 0 { VarState::True } else { VarState::False };
+                    trail.push(v);
+                    propagated = true;
+                }
+                _ => {}
+            }
+        }
+        if !propagated {
+            break;
+        }
+    }
+
+    // Pure-literal elimination.
+    let mut seen_pos = vec![false; cnf.num_vars];
+    let mut seen_neg = vec![false; cnf.num_vars];
+    for clause in &cnf.clauses {
+        if clause.iter().any(|&l| lit_state(state, l) == VarState::True) {
+            continue;
+        }
+        for &lit in clause {
+            if lit_state(state, lit) == VarState::Unassigned {
+                let v = lit.unsigned_abs() as usize - 1;
+                if lit > 0 {
+                    seen_pos[v] = true;
+                } else {
+                    seen_neg[v] = true;
+                }
+            }
+        }
+    }
+    for v in 0..cnf.num_vars {
+        if state[v] == VarState::Unassigned && (seen_pos[v] ^ seen_neg[v]) {
+            state[v] = if seen_pos[v] { VarState::True } else { VarState::False };
+            trail.push(v);
+        }
+    }
+
+    // Branch on the first unassigned variable of an unsatisfied clause.
+    let branch = cnf
+        .clauses
+        .iter()
+        .filter(|c| !c.iter().any(|&l| lit_state(state, l) == VarState::True))
+        .flat_map(|c| c.iter())
+        .find(|&&l| lit_state(state, l) == VarState::Unassigned)
+        .copied();
+    let Some(lit) = branch else {
+        return true; // every clause satisfied (or formula empty)
+    };
+    let v = lit.unsigned_abs() as usize - 1;
+    for phase in [lit > 0, lit <= 0] {
+        state[v] = if phase { VarState::True } else { VarState::False };
+        if solve(cnf, state) {
+            return true;
+        }
+    }
+    state[v] = VarState::Unassigned;
+    for &t in &trail {
+        state[t] = VarState::Unassigned;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_sat(cnf: &Cnf) -> bool {
+        assert!(cnf.num_vars <= 20);
+        (0u64..(1 << cnf.num_vars)).any(|mask| {
+            let assignment: Vec<bool> =
+                (0..cnf.num_vars).map(|v| mask >> v & 1 == 1).collect();
+            cnf.is_satisfied_by(&assignment)
+        })
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        let sat = Cnf::new(1, vec![vec![1]]);
+        assert!(dpll(&sat).is_some());
+        let unsat = Cnf::new(1, vec![vec![1], vec![-1]]);
+        assert!(dpll(&unsat).is_none());
+        let empty = Cnf::new(3, vec![]);
+        assert!(dpll(&empty).is_some());
+    }
+
+    #[test]
+    fn paper_example_phi0_is_satisfiable() {
+        // φ0 = (x1 ∨ x2 ∨ x3) ∧ (¬x1 ∨ x3 ∨ x4)
+        let phi0 = Cnf::new(4, vec![vec![1, 2, 3], vec![-1, 3, 4]]);
+        let a = dpll(&phi0).expect("φ0 is satisfiable");
+        assert!(phi0.is_satisfied_by(&a));
+    }
+
+    #[test]
+    fn returned_assignment_always_satisfies() {
+        for seed in 0..30 {
+            let cnf = random_3sat(8, 30, seed);
+            if let Some(a) = dpll(&cnf) {
+                assert!(cnf.is_satisfied_by(&a), "bad model for seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        for seed in 0..40 {
+            // Around the phase transition: 4.3 clauses per variable.
+            let cnf = random_3sat(7, 30, seed);
+            assert_eq!(
+                dpll(&cnf).is_some(),
+                brute_force_sat(&cnf),
+                "mismatch for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        // 3 pigeons, 2 holes: vars p_{i,j} = pigeon i in hole j,
+        // var index = i*2 + j + 1 for i in 0..3, j in 0..2.
+        let var = |i: usize, j: usize| (i * 2 + j + 1) as Lit;
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![var(i, 0), var(i, 1)]); // each pigeon somewhere
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![-var(i1, j), -var(i2, j)]);
+                }
+            }
+        }
+        let cnf = Cnf::new(6, clauses);
+        assert!(dpll(&cnf).is_none());
+    }
+
+    #[test]
+    fn random_generator_shape() {
+        let cnf = random_3sat(10, 42, 0);
+        assert_eq!(cnf.num_vars, 10);
+        assert_eq!(cnf.clauses.len(), 42);
+        for clause in &cnf.clauses {
+            assert_eq!(clause.len(), 3);
+            let mut vars: Vec<u32> = clause.iter().map(|l| l.unsigned_abs()).collect();
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "variables within a clause are distinct");
+        }
+        // Deterministic.
+        assert_eq!(cnf, random_3sat(10, 42, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_literal_rejected() {
+        Cnf::new(2, vec![vec![3]]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Crowdsourcing cost estimation (§1, §7).
+//!
+//! The paper motivates minimizing interactions by crowdsourcing economics:
+//! every label is a paid microtask. This example prices the inference of a
+//! hidden join on synthetic data under each strategy, at a fixed cost per
+//! label, and shows the skyline strategies' savings — including the
+//! worst-case guarantee against an adversarial (maximally unhelpful)
+//! worker.
+//!
+//! Run with `cargo run --release --example crowdsourcing_cost`.
+
+use join_query_inference::datagen::SyntheticConfig;
+use join_query_inference::prelude::*;
+
+const CENTS_PER_LABEL: f64 = 5.0;
+
+fn main() {
+    let cfg = SyntheticConfig::new(3, 3, 50, 100);
+    println!("dataset: synthetic {cfg}, hidden joins of size 1..=3");
+    println!("microtask price: {CENTS_PER_LABEL} ¢/label");
+    println!();
+
+    let universe = Universe::build(cfg.generate(7));
+    let groups = join_query_inference::core::lattice::goals_by_size(&universe, 200_000)
+        .expect("lattice fits in memory");
+
+    println!(
+        "{:>6} {:>7} {:>9} {:>9} {:>11}",
+        "|θG|", "goals", "strategy", "labels", "cost"
+    );
+    for size in 1..=3usize {
+        let Some(goals) = groups.get(size) else { continue };
+        let sample: Vec<_> = goals.iter().take(10).collect();
+        if sample.is_empty() {
+            continue;
+        }
+        for kind in StrategyKind::PAPER {
+            let mut total = 0usize;
+            for goal in &sample {
+                let mut strategy = kind.build(99);
+                let mut oracle = PredicateOracle::new((*goal).clone());
+                let run = run_inference(&universe, strategy.as_mut(), &mut oracle)
+                    .expect("consistent oracle");
+                total += run.interactions;
+            }
+            let mean = total as f64 / sample.len() as f64;
+            println!(
+                "{:>6} {:>7} {:>9} {:>9.1} {:>10.1}¢",
+                size,
+                sample.len(),
+                kind.name(),
+                mean,
+                mean * CENTS_PER_LABEL
+            );
+        }
+        println!();
+    }
+
+    // Worst-case budget: an adversarial worker on the paper's Example 2.1.
+    let tiny = Universe::build(join_query_inference::core::paper::example_2_1());
+    let optimal =
+        join_query_inference::core::strategy::optimal_worst_case(&tiny, 14)
+            .expect("12 classes");
+    println!(
+        "worst-case budget on Example 2.1: {} labels ({}¢) under the \
+         minimax-optimal strategy",
+        optimal,
+        optimal as f64 * CENTS_PER_LABEL
+    );
+    for kind in [StrategyKind::Bu, StrategyKind::Td, StrategyKind::L2s] {
+        let mut strategy = kind.build(0);
+        let mut adversary = AdversarialOracle::new();
+        let run = run_inference(&tiny, strategy.as_mut(), &mut adversary)
+            .expect("adversary stays consistent");
+        println!(
+            "  {:>3} against an adversarial worker: {} labels ({}¢)",
+            kind.name(),
+            run.interactions,
+            run.interactions as f64 * CENTS_PER_LABEL
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Property-based tests (proptest) on the core invariants of the paper.
+
+use join_query_inference::prelude::*;
+use join_query_inference::semijoin::consistency::{
+    exists_consistent_brute_force, find_consistent_semijoin,
+};
+use join_query_inference::semijoin::sample::SemijoinSample;
+use proptest::prelude::*;
+// Our inference `Strategy` trait collides with proptest's generator trait;
+// inside this file, `Strategy` means proptest's.
+use proptest::strategy::Strategy;
+
+/// Proptest generator for a small random instance: R (2 attrs), P (2
+/// attrs), up to 5 rows each, values in 0..4.
+fn small_instance() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec(prop::array::uniform2(0i64..4), 1..5),
+        prop::collection::vec(prop::array::uniform2(0i64..4), 1..5),
+    )
+        .prop_map(|(r_rows, p_rows)| {
+            let mut b = InstanceBuilder::new();
+            b.relation_r("R", &["A1", "A2"]);
+            b.relation_p("P", &["B1", "B2"]);
+            for r in &r_rows {
+                b.row_r_ints(r);
+            }
+            for p in &p_rows {
+                b.row_p_ints(p);
+            }
+            b.build().expect("well-formed")
+        })
+}
+
+/// A goal predicate over Ω (|Ω| = 4 for the 2×2 instances).
+fn goal_mask() -> impl Strategy<Value = u8> {
+    0u8..16
+}
+
+fn mask_to_theta(nbits: usize, mask: u8) -> BitSet {
+    BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1))
+}
+
+proptest! {
+    /// Anti-monotonicity (§2): θ1 ⊆ θ2 ⇒ R ⋈θ2 P ⊆ R ⋈θ1 P and likewise
+    /// for semijoins.
+    #[test]
+    fn join_is_anti_monotone(inst in small_instance(), m1 in goal_mask(), m2 in goal_mask()) {
+        let nbits = inst.pairs().len();
+        let t1 = mask_to_theta(nbits, m1 & m2); // t1 ⊆ t2 by construction
+        let t2 = mask_to_theta(nbits, m2);
+        let j1 = inst.equijoin(&t1);
+        let j2 = inst.equijoin(&t2);
+        prop_assert!(j2.iter().all(|t| j1.contains(t)));
+        let s1 = inst.semijoin(&t1);
+        let s2 = inst.semijoin(&t2);
+        prop_assert!(s2.iter().all(|t| s1.contains(t)));
+    }
+
+    /// T is the most specific selector: θ selects t iff θ ⊆ T(t).
+    #[test]
+    fn signature_characterizes_selection(inst in small_instance(), m in goal_mask()) {
+        let nbits = inst.pairs().len();
+        let theta = mask_to_theta(nbits, m);
+        for (ri, pi) in inst.product() {
+            let sig = inst.signature(ri, pi);
+            prop_assert_eq!(inst.selects(&theta, ri, pi), theta.is_subset(&sig));
+        }
+    }
+
+    /// §3.1 soundness & completeness of consistency checking: the sample
+    /// labeled by ANY goal predicate is consistent, and T(S⁺) is consistent
+    /// with it.
+    #[test]
+    fn goal_labeled_samples_are_consistent(inst in small_instance(), m in goal_mask()) {
+        let nbits = inst.pairs().len();
+        let goal = mask_to_theta(nbits, m);
+        let universe = Universe::build(inst);
+        let mut sample = Sample::new(&universe);
+        for c in 0..universe.num_classes() {
+            let label = if goal.is_subset(universe.sig(c)) {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
+            sample.add(&universe, c, label).expect("fresh class");
+        }
+        prop_assert!(sample.is_consistent(&universe));
+        let tpos = sample.t_pos();
+        // T(S⁺) selects exactly the goal's selection (instance equivalence).
+        prop_assert_eq!(
+            universe.instance().equijoin(tpos),
+            universe.instance().equijoin(&goal)
+        );
+    }
+
+    /// Lemma 3.2 semantics: a class is certain-positive iff *every*
+    /// consistent predicate selects it, certain-negative iff none does
+    /// (checked by brute-force enumeration of C(S)).
+    #[test]
+    fn certain_tuples_match_brute_force(
+        inst in small_instance(),
+        labels in prop::collection::vec(0u8..3, 0..6),
+    ) {
+        let universe = Universe::build(inst);
+        let mut sample = Sample::new(&universe);
+        for (c, &l) in labels.iter().enumerate().take(universe.num_classes()) {
+            let label = match l {
+                0 => continue,
+                1 => Label::Positive,
+                _ => Label::Negative,
+            };
+            let mut trial = sample.clone();
+            if trial.add(&universe, c, label).is_ok() && trial.is_consistent(&universe) {
+                sample = trial;
+            }
+        }
+        let nbits = universe.omega_len();
+        let consistent: Vec<BitSet> = (0u16..(1 << nbits))
+            .map(|mask| BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1)))
+            .filter(|theta| sample.admits(&universe, theta))
+            .collect();
+        prop_assert!(!consistent.is_empty());
+        for c in 0..universe.num_classes() {
+            let sig = universe.sig(c);
+            let always = consistent.iter().all(|t| t.is_subset(sig));
+            let never = consistent.iter().all(|t| !t.is_subset(sig));
+            prop_assert_eq!(
+                join_query_inference::core::certain::is_certain_positive(&universe, &sample, c),
+                always
+            );
+            prop_assert_eq!(
+                join_query_inference::core::certain::is_certain_negative(&universe, &sample, c),
+                never
+            );
+        }
+    }
+
+    /// Every strategy infers an instance-equivalent predicate for every
+    /// goal, and never exceeds the number of classes in interactions.
+    #[test]
+    fn inference_is_correct_and_bounded(inst in small_instance(), m in goal_mask(), seed in 0u64..1000) {
+        let nbits = inst.pairs().len();
+        let goal = mask_to_theta(nbits, m);
+        let universe = Universe::build(inst);
+        for kind in StrategyKind::PAPER.into_iter().chain([StrategyKind::Eg]) {
+            let mut strategy = kind.build(seed);
+            let mut oracle = PredicateOracle::new(goal.clone());
+            let run = run_inference(&universe, strategy.as_mut(), &mut oracle)
+                .expect("goal oracles are consistent");
+            prop_assert_eq!(
+                universe.instance().equijoin(&run.predicate),
+                universe.instance().equijoin(&goal)
+            );
+            prop_assert!(run.interactions <= universe.num_classes());
+            // No question was wasted on an already-certain tuple: replaying
+            // the history, every asked class is informative at ask time.
+            let mut replay = Sample::new(&universe);
+            for &(c, label) in &run.history {
+                prop_assert!(
+                    join_query_inference::core::certain::is_informative(&universe, &replay, c),
+                    "asked an uninformative class"
+                );
+                replay.add(&universe, c, label).expect("fresh");
+            }
+        }
+    }
+
+    /// The minimax-optimal worst case lower-bounds every deterministic
+    /// heuristic's true worst case (maximum over all consistent answer
+    /// sequences, i.e. the full adversary game tree).
+    #[test]
+    fn optimal_is_a_lower_bound(inst in small_instance()) {
+        use join_query_inference::core::strategy::{optimal_worst_case, strategy_worst_case};
+        let universe = Universe::build(inst);
+        prop_assume!(universe.num_classes() <= 8);
+        let opt = optimal_worst_case(&universe, 8).expect("small universe");
+        for kind in [StrategyKind::Bu, StrategyKind::Td, StrategyKind::L1s] {
+            let mut strategy = kind.build(0);
+            let wc = strategy_worst_case(&universe, strategy.as_mut())
+                .expect("deterministic strategy");
+            prop_assert!(wc >= opt, "{} worst case {} < OPT {}", kind.name(), wc, opt);
+        }
+        // And OPT attains its own bound.
+        let mut optimal = Optimal::with_limit(8);
+        let wc = strategy_worst_case(&universe, &mut optimal).expect("fits limit");
+        prop_assert_eq!(wc, opt);
+    }
+
+    /// The exact CONS⋉ solver agrees with brute-force enumeration and its
+    /// witness is semantically consistent.
+    #[test]
+    fn semijoin_solver_matches_brute_force(
+        inst in small_instance(),
+        labels in prop::collection::vec(0u8..3, 0..5),
+    ) {
+        let rows = inst.r().len();
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (r, &l) in labels.iter().enumerate().take(rows) {
+            match l {
+                1 => pos.push(r),
+                2 => neg.push(r),
+                _ => {}
+            }
+        }
+        let sample = SemijoinSample::from_rows(pos, neg);
+        let exact = find_consistent_semijoin(&inst, &sample);
+        let brute = exists_consistent_brute_force(&inst, &sample);
+        prop_assert_eq!(exact.is_some(), brute);
+        if let Some(theta) = exact {
+            prop_assert!(sample.admits(&inst, &theta));
+        }
+    }
+
+    /// TPC-H generator invariants hold for every seed: dense keys, valid
+    /// foreign keys, nonempty goal joins for all five workloads.
+    #[test]
+    fn tpch_generator_invariants(seed in 0u64..10_000) {
+        use join_query_inference::datagen::tpch::{TpchScale, TpchTables};
+        let t = TpchTables::generate(TpchScale::Small, seed);
+        let n_part = t.parts.len() as i64;
+        let n_supp = t.suppliers.len() as i64;
+        let n_ord = t.orders.len() as i64;
+        for &(pk, sk, ..) in &t.partsupps {
+            prop_assert!((0..n_part).contains(&pk));
+            prop_assert!((0..n_supp).contains(&sk));
+        }
+        for &(ok, pk, sk, ln, q) in &t.lineitems {
+            prop_assert!((0..n_ord).contains(&ok));
+            prop_assert!((0..n_part).contains(&pk));
+            prop_assert!((0..n_supp).contains(&sk));
+            prop_assert!((1..=3).contains(&ln));
+            prop_assert!((1..=50).contains(&q));
+        }
+        for w in t.workloads() {
+            prop_assert!(!w.instance.equijoin(&w.goal).is_empty(), "{} empty", w.join);
+        }
+    }
+
+    /// Synthetic generator invariants for arbitrary configurations.
+    #[test]
+    fn synthetic_generator_invariants(
+        attrs_r in 1usize..4,
+        attrs_p in 1usize..4,
+        rows in 1usize..20,
+        values in 1u32..12,
+        seed in 0u64..1000,
+    ) {
+        use join_query_inference::datagen::SyntheticConfig;
+        let cfg = SyntheticConfig::new(attrs_r, attrs_p, rows, values);
+        let inst = cfg.generate(seed);
+        prop_assert_eq!(inst.r().len(), rows);
+        prop_assert_eq!(inst.p().len(), rows);
+        prop_assert_eq!(inst.pairs().len(), attrs_r * attrs_p);
+        for row in inst.r().rows().iter().chain(inst.p().rows()) {
+            for v in row.resolve(inst.interner()) {
+                let i = v.as_int().expect("ints only");
+                prop_assert!((0..values as i64).contains(&i));
+            }
+        }
+        // Regeneration with the same seed is identical.
+        let again = cfg.generate(seed);
+        for (a, b) in inst.r().rows().iter().zip(again.r().rows()) {
+            prop_assert_eq!(a.symbols(), b.symbols());
+        }
+    }
+
+    /// BitSet algebra laws on the sizes the predicates actually use.
+    #[test]
+    fn bitset_laws(
+        xs in prop::collection::btree_set(0usize..130, 0..20),
+        ys in prop::collection::btree_set(0usize..130, 0..20),
+    ) {
+        let a = BitSet::from_iter(130, xs.iter().copied());
+        let b = BitSet::from_iter(130, ys.iter().copied());
+        let inter = a.intersection(&b);
+        let union = a.union(&b);
+        prop_assert!(inter.is_subset(&a) && inter.is_subset(&b));
+        prop_assert!(a.is_subset(&union) && b.is_subset(&union));
+        prop_assert_eq!(inter.len() + union.len(), a.len() + b.len());
+        // intersection_is_subset ≡ naive composition, on a third set.
+        let c = BitSet::from_iter(130, xs.iter().map(|&x| (x * 7) % 130));
+        prop_assert_eq!(
+            a.intersection_is_subset(&b, &c),
+            a.intersection(&b).is_subset(&c)
+        );
+        // Iteration is sorted and round-trips.
+        let back: Vec<usize> = a.iter().collect();
+        let expect: Vec<usize> = xs.into_iter().collect();
+        prop_assert_eq!(back, expect);
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the §6 semijoin stack: reduction ∘ solver vs
+//! DPLL, greedy vs exact, the interactive loop, and minimality — wired
+//! together across modules the way the benchmarks use them.
+
+use join_query_inference::semijoin::consistency::find_consistent_semijoin;
+use join_query_inference::semijoin::heuristic::greedy_consistent_semijoin;
+use join_query_inference::semijoin::interactive::{run_interactive, GoalOracle};
+use join_query_inference::semijoin::minimality::{
+    is_maximally_specific, maximally_specific_predicates,
+};
+use join_query_inference::semijoin::reduction::{
+    decode_valuation, encode_valuation, reduce,
+};
+use join_query_inference::semijoin::sat::{dpll, random_3sat};
+use join_query_inference::semijoin::SemijoinSample;
+
+/// The full Theorem 6.1 pipeline at a slightly larger scale than the unit
+/// tests: 6 variables, phase-transition density, 15 formulas.
+#[test]
+fn reduction_solver_dpll_triangle() {
+    for seed in 100..115u64 {
+        let cnf = random_3sat(6, 26, seed);
+        let sat = dpll(&cnf);
+        let red = reduce(&cnf);
+        let cons = find_consistent_semijoin(&red.instance, &red.sample);
+        assert_eq!(cons.is_some(), sat.is_some(), "seed {seed}");
+        match (cons, sat) {
+            (Some(theta), Some(model)) => {
+                // Decoded valuation satisfies; encoded model is consistent.
+                assert!(cnf.is_satisfied_by(&decode_valuation(&red, &theta)));
+                let encoded = encode_valuation(&red, &model);
+                assert!(red.sample.admits(&red.instance, &encoded));
+            }
+            (None, None) => {}
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Greedy is sound on reductions too — whenever it answers, the formula is
+/// satisfiable and the witness is genuinely consistent.
+#[test]
+fn greedy_is_sound_on_reductions() {
+    let mut greedy_hits = 0usize;
+    let mut solvable = 0usize;
+    for seed in 200..220u64 {
+        let cnf = random_3sat(5, 18, seed); // slightly under-constrained
+        let red = reduce(&cnf);
+        let exact = find_consistent_semijoin(&red.instance, &red.sample);
+        if exact.is_some() {
+            solvable += 1;
+        }
+        if let Some(theta) = greedy_consistent_semijoin(&red.instance, &red.sample) {
+            assert!(red.sample.admits(&red.instance, &theta), "unsound greedy, seed {seed}");
+            assert!(exact.is_some());
+            greedy_hits += 1;
+        }
+    }
+    assert!(solvable > 0, "test needs satisfiable formulas");
+    // Greedy needn't match the exact solver, but it should not be useless.
+    assert!(greedy_hits > 0, "greedy solved nothing on reductions");
+}
+
+/// The interactive loop agrees with the one-shot solver when the oracle
+/// labels by a goal predicate: the final predicate selects the same rows.
+#[test]
+fn interactive_loop_matches_goal_semantics_on_reductions() {
+    // Use the reduction instance as a convenient structured playground.
+    let cnf = random_3sat(4, 10, 7);
+    let red = reduce(&cnf);
+    let inst = &red.instance;
+    // Goal: the canonical predicate of some valuation (always meaningful).
+    let goal = encode_valuation(&red, &[true, false, true, false]);
+    let mut oracle = GoalOracle(goal.clone());
+    let run = run_interactive(inst, &mut oracle).expect("goal oracle is consistent");
+    assert_eq!(inst.semijoin(&run.predicate), inst.semijoin(&goal));
+    assert!(run.interactions <= inst.r().len());
+}
+
+/// Maximally specific predicates found by enumeration really are maximal,
+/// and every returned predicate is pairwise ⊆-incomparable.
+#[test]
+fn maximally_specific_enumeration_is_an_antichain() {
+    let inst = join_query_inference::core::paper::example_2_1();
+    for positives in [vec![0usize], vec![0, 1], vec![1, 3], vec![0, 1, 2, 3]] {
+        let maxes = maximally_specific_predicates(&inst, &positives);
+        for (i, a) in maxes.iter().enumerate() {
+            assert!(is_maximally_specific(&inst, &positives, a));
+            for (j, b) in maxes.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.is_subset(b),
+                        "antichain violated for positives {positives:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Consistency interacts correctly with sample composition: splitting a
+/// consistent sample's rows keeps each part consistent (downward closure
+/// in the sample), while the converse can fail.
+#[test]
+fn sample_monotonicity() {
+    let inst = join_query_inference::core::paper::example_2_1();
+    let full = SemijoinSample::from_rows(vec![0, 1], vec![2]);
+    if let Some(theta) = find_consistent_semijoin(&inst, &full) {
+        for sub in [
+            SemijoinSample::from_rows(vec![0], vec![2]),
+            SemijoinSample::from_rows(vec![1], vec![]),
+            SemijoinSample::from_rows(vec![], vec![2]),
+        ] {
+            assert!(
+                sub.admits(&inst, &theta),
+                "θ consistent with the full sample must admit every sub-sample"
+            );
+            assert!(find_consistent_semijoin(&inst, &sub).is_some());
+        }
+    } else {
+        panic!("the §6 example sample is consistent");
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the step-by-step `Session` API: equivalence with
+//! the batch engine, early stopping, and misuse handling.
+
+use join_query_inference::core::session::Session;
+use join_query_inference::datagen::SyntheticConfig;
+use join_query_inference::prelude::*;
+
+/// Driving a session manually produces byte-identical history, predicate
+/// and interaction count to the batch engine, for every paper strategy on
+/// random instances.
+#[test]
+fn session_equals_engine_for_every_strategy() {
+    for seed in 0..4u64 {
+        let universe = Universe::build(SyntheticConfig::new(2, 3, 12, 5).generate(seed));
+        let goals =
+            join_query_inference::core::lattice::goals_by_size(&universe, 100_000)
+                .unwrap();
+        let goal = goals
+            .iter()
+            .rev()
+            .find_map(|g| g.first())
+            .expect("some goal")
+            .clone();
+        // RND must use the same seed in both runs to stay comparable.
+        for kind in StrategyKind::PAPER {
+            let mut engine_strategy = kind.build(seed);
+            let mut oracle = PredicateOracle::new(goal.clone());
+            let engine_run =
+                run_inference(&universe, engine_strategy.as_mut(), &mut oracle).unwrap();
+
+            let mut session = Session::new(&universe, kind.build(seed));
+            while let Some(candidate) = session.next().unwrap() {
+                let label = if goal.is_subset(universe.sig(candidate.class)) {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                };
+                session.answer(label).unwrap();
+            }
+            assert!(session.is_done());
+            assert_eq!(session.history(), &engine_run.history[..], "{kind} history");
+            assert_eq!(session.inferred_predicate(), engine_run.predicate);
+            assert_eq!(session.interactions(), engine_run.interactions);
+        }
+    }
+}
+
+/// Stopping early returns T(S⁺) — usable, monotonically more specific
+/// with more positive answers, and always consistent with the answers.
+#[test]
+fn early_stop_predicates_are_consistent_prefixes() {
+    let universe = Universe::build(SyntheticConfig::new(3, 3, 15, 6).generate(9));
+    let goals =
+        join_query_inference::core::lattice::goals_by_size(&universe, 100_000).unwrap();
+    let goal = goals
+        .iter()
+        .rev()
+        .find_map(|g| g.first())
+        .expect("some goal")
+        .clone();
+    let mut session = Session::new(&universe, Lookahead::l1s());
+    let mut previous = universe.omega();
+    while let Some(candidate) = session.next().unwrap() {
+        let label = if goal.is_subset(universe.sig(candidate.class)) {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
+        session.answer(label).unwrap();
+        let current = session.inferred_predicate();
+        // T(S⁺) only loses pairs over time (intersection of signatures).
+        assert!(current.is_subset(&previous));
+        assert!(session.sample().is_consistent(&universe));
+        previous = current;
+    }
+    // At the end, instance-equivalent to the goal.
+    assert_eq!(
+        universe.instance().equijoin(&previous),
+        universe.instance().equijoin(&goal)
+    );
+}
+
+/// Misuse is rejected with the documented errors, and the session stays
+/// usable afterwards.
+#[test]
+fn misuse_errors_do_not_poison_the_session() {
+    use join_query_inference::core::InferenceError;
+    let universe = Universe::build(SyntheticConfig::new(2, 2, 8, 4).generate(1));
+    let mut session = Session::new(&universe, TopDown::new());
+    assert_eq!(
+        session.answer(Label::Positive).unwrap_err(),
+        InferenceError::NoPendingCandidate
+    );
+    let first = session.next().unwrap().expect("something informative");
+    assert_eq!(
+        session.next().unwrap_err(),
+        InferenceError::CandidateAlreadyPending
+    );
+    session.answer(Label::Negative).unwrap();
+    // Still progresses normally.
+    let second = session.next().unwrap().expect("more informative tuples");
+    assert_ne!(first.class, second.class);
+    session.answer(Label::Negative).unwrap();
+    assert!(session.interactions() == 2);
+}
+
+/// `known_label` grows monotonically: once a class is decided (labeled or
+/// certain) it stays decided with the same label.
+#[test]
+fn known_labels_are_stable() {
+    let universe = Universe::build(SyntheticConfig::new(2, 3, 10, 4).generate(4));
+    let goals =
+        join_query_inference::core::lattice::goals_by_size(&universe, 100_000).unwrap();
+    let goal = goals
+        .iter()
+        .rev()
+        .find_map(|g| g.first())
+        .expect("some goal")
+        .clone();
+    let mut session = Session::new(&universe, BottomUp::new());
+    let mut decided: Vec<Option<Label>> = vec![None; universe.num_classes()];
+    while let Some(candidate) = session.next().unwrap() {
+        let label = if goal.is_subset(universe.sig(candidate.class)) {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
+        session.answer(label).unwrap();
+        for (c, slot) in decided.iter_mut().enumerate() {
+            let now = session.known_label(c);
+            if let Some(prev) = *slot {
+                assert_eq!(now, Some(prev), "class {c} flipped its decided label");
+            } else {
+                *slot = now;
+            }
+        }
+    }
+    // Everything is decided at the end.
+    assert!(decided.iter().all(Option::is_some));
+}
