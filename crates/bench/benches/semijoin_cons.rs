@@ -20,15 +20,9 @@ fn bench_cons_vs_dpll(c: &mut Criterion) {
         let num_clauses = (num_vars as f64 * 4.27).round() as usize;
         let cnf = random_3sat(num_vars, num_clauses, 0x5A7);
         let red = reduce(&cnf);
-        group.bench_with_input(
-            BenchmarkId::new("cons_solver", num_vars),
-            &red,
-            |b, red| {
-                b.iter(|| {
-                    black_box(find_consistent_semijoin(&red.instance, &red.sample).is_some())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cons_solver", num_vars), &red, |b, red| {
+            b.iter(|| black_box(find_consistent_semijoin(&red.instance, &red.sample).is_some()))
+        });
         group.bench_with_input(BenchmarkId::new("dpll", num_vars), &cnf, |b, cnf| {
             b.iter(|| black_box(dpll(cnf).is_some()))
         });

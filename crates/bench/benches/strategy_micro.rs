@@ -13,10 +13,94 @@ use jqi_core::engine::{run_inference, AdversarialOracle, PredicateOracle};
 use jqi_core::paper::example_2_1;
 use jqi_core::strategy::{optimal_worst_case, Lookahead, Optimal};
 use jqi_core::universe::Universe;
-use jqi_core::{Label, Sample};
+use jqi_core::{InferenceState, Label, Sample};
 use jqi_datagen::SyntheticConfig;
 use std::hint::black_box;
 use std::time::Duration;
+
+/// A deterministic label script over the informative classes of `universe`:
+/// the goal-oracle answers for a mid-size goal predicate.
+fn label_script(universe: &Universe) -> Vec<(usize, Label)> {
+    let goals = jqi_core::lattice::goals_by_size(universe, 100_000).expect("small lattice");
+    let goal = goals
+        .get(2)
+        .and_then(|g| g.first())
+        .or_else(|| goals.iter().rev().find_map(|g| g.first()))
+        .expect("some goal exists")
+        .clone();
+    let mut state = InferenceState::new(universe);
+    let mut script = Vec::new();
+    while let Some(&c) = state.informative().first() {
+        let label = if goal.is_subset(universe.sig(c)) {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
+        script.push((c, label));
+        state.apply(c, label).expect("fresh class");
+    }
+    script
+}
+
+/// The tentpole micro-benchmark: per-label session maintenance, incremental
+/// `InferenceState::apply` against the from-scratch re-derivation the
+/// strategies used to perform (certain.rs scans after every label).
+fn bench_incremental_state(c: &mut Criterion) {
+    let universe = Universe::build(SyntheticConfig::new(3, 3, 40, 12).generate(0xD1E));
+    let script = label_script(&universe);
+    let mut group = c.benchmark_group("state_step");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("incremental_apply", |b| {
+        b.iter(|| {
+            let mut state = InferenceState::new(&universe);
+            for &(cl, label) in &script {
+                if state.label(cl).is_none() {
+                    state.apply(cl, label).expect("unlabeled");
+                }
+                black_box(state.informative().len());
+            }
+            black_box(state.uninformative_count(CountMode::Tuples))
+        })
+    });
+    group.bench_function("from_scratch_rescan", |b| {
+        b.iter(|| {
+            let mut sample = Sample::new(&universe);
+            for &(cl, label) in &script {
+                if sample.label(cl).is_none() {
+                    sample.add(&universe, cl, label).expect("unlabeled");
+                }
+                // What every strategy used to re-derive per step.
+                black_box(informative_classes(&universe, &sample).len());
+            }
+            black_box(uninformative_count(&universe, &sample, CountMode::Tuples))
+        })
+    });
+    group.finish();
+
+    // One-step entropies of every informative class: the L1S inner loop.
+    let mut group = c.benchmark_group("l1s_entropies");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let state = InferenceState::new(&universe);
+    let sample = Sample::new(&universe);
+    group.bench_function("incremental_gains", |b| {
+        b.iter(|| {
+            // Fresh state each iteration so the version-stamped cache
+            // cannot amortize across iterations.
+            let fresh = state.clone();
+            black_box(fresh.entropies(CountMode::Tuples).len())
+        })
+    });
+    group.bench_function("from_scratch_clone_and_count", |b| {
+        b.iter(|| {
+            black_box(jqi_core::entropy::all_entropies(&universe, &sample, CountMode::Tuples).len())
+        })
+    });
+    group.finish();
+}
 
 fn bench_lookahead_depth(c: &mut Criterion) {
     let universe = Universe::build(SyntheticConfig::new(2, 3, 20, 8).generate(0xD0E));
@@ -51,11 +135,18 @@ fn bench_count_modes(c: &mut Criterion) {
     // Label a couple of classes to make the certain tests non-trivial.
     let inf = informative_classes(&universe, &sample);
     if inf.len() >= 2 {
-        sample.add(&universe, inf[0], Label::Negative).expect("unlabeled");
-        sample.add(&universe, inf[1], Label::Positive).expect("unlabeled");
+        sample
+            .add(&universe, inf[0], Label::Negative)
+            .expect("unlabeled");
+        sample
+            .add(&universe, inf[1], Label::Positive)
+            .expect("unlabeled");
     }
     let mut group = c.benchmark_group("uninformative_count_mode");
-    for (label, mode) in [("tuples", CountMode::Tuples), ("classes", CountMode::Classes)] {
+    for (label, mode) in [
+        ("tuples", CountMode::Tuples),
+        ("classes", CountMode::Classes),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
             b.iter(|| black_box(uninformative_count(&universe, &sample, mode)))
         });
@@ -68,7 +159,11 @@ fn bench_certain_tests(c: &mut Criterion) {
     let mut sample = Sample::new(&universe);
     let inf = informative_classes(&universe, &sample);
     for (i, &cl) in inf.iter().take(6).enumerate() {
-        let label = if i % 3 == 0 { Label::Positive } else { Label::Negative };
+        let label = if i % 3 == 0 {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
         if sample.label(cl).is_none() {
             let mut trial = sample.clone();
             if trial.add(&universe, cl, label).is_ok() && trial.is_consistent(&universe) {
@@ -121,21 +216,26 @@ fn bench_expected_gain_ablation(c: &mut Criterion) {
         jqi_core::strategy::StrategyKind::Eg,
         jqi_core::strategy::StrategyKind::L1s,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut strategy = kind.build(0);
-                let mut oracle = PredicateOracle::new(goal.clone());
-                let run = run_inference(&universe, strategy.as_mut(), &mut oracle)
-                    .expect("consistent oracle");
-                black_box(run.interactions)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut strategy = kind.build(0);
+                    let mut oracle = PredicateOracle::new(goal.clone());
+                    let run = run_inference(&universe, strategy.as_mut(), &mut oracle)
+                        .expect("consistent oracle");
+                    black_box(run.interactions)
+                })
+            },
+        );
     }
     group.finish();
 }
 
 criterion_group!(
     benches,
+    bench_incremental_state,
     bench_lookahead_depth,
     bench_count_modes,
     bench_certain_tests,

@@ -42,5 +42,9 @@ fn bench_lattice_stats_tpch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_join_ratio_synthetic, bench_lattice_stats_tpch);
+criterion_group!(
+    benches,
+    bench_join_ratio_synthetic,
+    bench_lattice_stats_tpch
+);
 criterion_main!(benches);

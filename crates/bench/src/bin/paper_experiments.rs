@@ -15,6 +15,7 @@
 //! * `all` — everything, in paper order.
 
 use jqi_bench::fig7::Fig7Params;
+use jqi_bench::json::ToJson;
 use jqi_bench::{fig6, fig7, optgap, semijoin_exp, table1};
 use jqi_datagen::tpch::TpchScale;
 use jqi_datagen::PAPER_CONFIGS;
@@ -71,9 +72,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "--help" | "-h" => {
-                return Err("usage: paper_experiments [fig6|fig7|table1|semijoin|opt|all] \
+                return Err(
+                    "usage: paper_experiments [fig6|fig7|table1|semijoin|opt|all] \
                             [--runs N] [--goals N] [--seed S] [--json]"
-                    .to_string())
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -82,14 +85,18 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn fig7_params(args: &Args) -> Fig7Params {
-    Fig7Params { runs: args.runs, max_goals_per_size: args.goals, seed: args.seed }
+    Fig7Params {
+        runs: args.runs,
+        max_goals_per_size: args.goals,
+        seed: args.seed,
+    }
 }
 
 fn run_fig6(args: &Args) {
     for scale in TpchScale::ALL {
         let report = fig6::run(scale, args.seed);
         if args.json {
-            println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+            println!("{}", report.to_json().to_string_pretty());
             continue;
         }
         println!("== Figure 6 — TPC-H {scale}: number of interactions ==");
@@ -105,7 +112,7 @@ fn run_fig7(args: &Args) {
     for cfg in PAPER_CONFIGS {
         let report = fig7::run(cfg, fig7_params(args));
         if args.json {
-            println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+            println!("{}", report.to_json().to_string_pretty());
             continue;
         }
         println!(
@@ -126,7 +133,7 @@ fn run_fig7(args: &Args) {
 fn run_table1(args: &Args) {
     let t = table1::run(args.seed, fig7_params(args));
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&t).expect("serializable"));
+        println!("{}", t.to_json().to_string_pretty());
         return;
     }
     println!("== Table 1 — description and summary of all experiments ==");
@@ -137,14 +144,18 @@ fn run_table1(args: &Args) {
 fn run_semijoin(args: &Args) {
     let report = semijoin_exp::run(&[4, 5, 6, 7, 8], args.runs.max(3), args.seed);
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+        println!("{}", report.to_json().to_string_pretty());
         return;
     }
     println!("== §6 / Theorem 6.1 — CONS⋉ solver vs DPLL on random 3SAT ==");
     print!("{}", report.table());
     println!(
         "cross-validation: {}",
-        if report.all_agree() { "all decisions agree" } else { "DISAGREEMENT FOUND" }
+        if report.all_agree() {
+            "all decisions agree"
+        } else {
+            "DISAGREEMENT FOUND"
+        }
     );
     println!();
 }
@@ -152,7 +163,7 @@ fn run_semijoin(args: &Args) {
 fn run_optgap(args: &Args) {
     let report = optgap::run();
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+        println!("{}", report.to_json().to_string_pretty());
         return;
     }
     println!("== Optimal gap — heuristic worst cases vs the minimax bound ==");

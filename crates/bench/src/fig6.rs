@@ -1,6 +1,7 @@
 //! Figure 6: TPC-H experiments — interactions (6a/6b) and inference time
 //! (6c/6d) for the five goal joins at two scales.
 
+use crate::json::{Json, ToJson};
 use crate::measure::{fmt_seconds, run_timed, Measurement};
 use crate::report::TextTable;
 use jqi_core::strategy::StrategyKind;
@@ -8,7 +9,7 @@ use jqi_core::universe::Universe;
 use jqi_datagen::tpch::{TpchJoin, TpchScale, TpchTables};
 
 /// One row of the Figure 6 report: all strategies on one join.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Row {
     /// Which join (1–5).
     pub join: String,
@@ -23,7 +24,7 @@ pub struct Fig6Row {
 }
 
 /// The full Figure 6 experiment at one scale.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6Report {
     /// Which scale this was run at.
     pub scale: String,
@@ -50,7 +51,31 @@ pub fn run(scale: TpchScale, seed: u64) -> Fig6Report {
             strategies,
         });
     }
-    Fig6Report { scale: scale.name().to_string(), rows }
+    Fig6Report {
+        scale: scale.name().to_string(),
+        rows,
+    }
+}
+
+impl ToJson for Fig6Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("join".into(), Json::str(&self.join)),
+            ("goal_size".into(), Json::Num(self.goal_size as f64)),
+            ("product_size".into(), Json::Num(self.product_size as f64)),
+            ("join_ratio".into(), Json::Num(self.join_ratio)),
+            ("strategies".into(), Json::arr(&self.strategies)),
+        ])
+    }
+}
+
+impl ToJson for Fig6Report {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("scale".into(), Json::str(&self.scale)),
+            ("rows".into(), Json::arr(&self.rows)),
+        ])
+    }
 }
 
 impl Fig6Report {

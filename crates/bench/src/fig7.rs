@@ -6,6 +6,7 @@
 //! (`runs`, `max_goals_per_size`) so the full protocol is reproducible but
 //! the default invocation stays fast.
 
+use crate::json::{Json, ToJson};
 use crate::measure::{average, fmt_seconds, run_timed, Averaged, Measurement};
 use crate::report::TextTable;
 use jqi_core::lattice::goals_by_size;
@@ -29,12 +30,16 @@ pub struct Fig7Params {
 
 impl Default for Fig7Params {
     fn default() -> Self {
-        Fig7Params { runs: 5, max_goals_per_size: 8, seed: 0xC0FFEE }
+        Fig7Params {
+            runs: 5,
+            max_goals_per_size: 8,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
 /// Results for one goal size `|θG|` under one configuration.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7SizeRow {
     /// The goal predicate size this row aggregates.
     pub goal_size: usize,
@@ -43,7 +48,7 @@ pub struct Fig7SizeRow {
 }
 
 /// The full Figure 7 experiment for one configuration.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Report {
     /// The generator configuration, in the paper's notation.
     pub config: String,
@@ -108,9 +113,33 @@ pub fn run(config: SyntheticConfig, params: Fig7Params) -> Fig7Report {
 
     Fig7Report {
         config: config.to_string(),
-        join_ratio: if ratio_count > 0 { ratio_sum / ratio_count as f64 } else { 0.0 },
+        join_ratio: if ratio_count > 0 {
+            ratio_sum / ratio_count as f64
+        } else {
+            0.0
+        },
         product_size: config.product_size(),
         rows,
+    }
+}
+
+impl ToJson for Fig7SizeRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("goal_size".into(), Json::Num(self.goal_size as f64)),
+            ("strategies".into(), Json::arr(&self.strategies)),
+        ])
+    }
+}
+
+impl ToJson for Fig7Report {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".into(), Json::str(&self.config)),
+            ("join_ratio".into(), Json::Num(self.join_ratio)),
+            ("product_size".into(), Json::Num(self.product_size as f64)),
+            ("rows".into(), Json::arr(&self.rows)),
+        ])
     }
 }
 
@@ -167,7 +196,11 @@ mod tests {
     use super::*;
 
     fn tiny_params() -> Fig7Params {
-        Fig7Params { runs: 2, max_goals_per_size: 3, seed: 7 }
+        Fig7Params {
+            runs: 2,
+            max_goals_per_size: 3,
+            seed: 7,
+        }
     }
 
     #[test]

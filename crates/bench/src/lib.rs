@@ -24,6 +24,7 @@
 
 pub mod fig6;
 pub mod fig7;
+pub mod json;
 pub mod measure;
 pub mod optgap;
 pub mod report;

@@ -1,5 +1,6 @@
 //! Timing a single inference run.
 
+use crate::json::{Json, ToJson};
 use jqi_core::engine::{run_inference, PredicateOracle};
 use jqi_core::strategy::StrategyKind;
 use jqi_core::universe::Universe;
@@ -7,7 +8,7 @@ use jqi_relation::BitSet;
 use std::time::{Duration, Instant};
 
 /// The outcome of one timed inference run.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Strategy display name.
     pub strategy: String,
@@ -42,7 +43,7 @@ pub fn run_timed(universe: &Universe, kind: StrategyKind, goal: &BitSet, seed: u
 }
 
 /// Averages measurements of one strategy over several runs.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Averaged {
     /// Strategy display name.
     pub strategy: String,
@@ -54,6 +55,30 @@ pub struct Averaged {
     pub runs: usize,
 }
 
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("strategy".into(), Json::str(&self.strategy)),
+            ("interactions".into(), Json::Num(self.interactions as f64)),
+            ("seconds".into(), Json::Num(self.seconds)),
+        ])
+    }
+}
+
+impl ToJson for Averaged {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("strategy".into(), Json::str(&self.strategy)),
+            (
+                "mean_interactions".into(),
+                Json::Num(self.mean_interactions),
+            ),
+            ("mean_seconds".into(), Json::Num(self.mean_seconds)),
+            ("runs".into(), Json::Num(self.runs as f64)),
+        ])
+    }
+}
+
 /// Folds a list of measurements (all of the same strategy) into an average.
 pub fn average(measurements: &[Measurement]) -> Averaged {
     assert!(!measurements.is_empty(), "cannot average zero measurements");
@@ -62,7 +87,11 @@ pub fn average(measurements: &[Measurement]) -> Averaged {
     let n = measurements.len() as f64;
     Averaged {
         strategy,
-        mean_interactions: measurements.iter().map(|m| m.interactions as f64).sum::<f64>() / n,
+        mean_interactions: measurements
+            .iter()
+            .map(|m| m.interactions as f64)
+            .sum::<f64>()
+            / n,
         mean_seconds: measurements.iter().map(|m| m.seconds).sum::<f64>() / n,
         runs: measurements.len(),
     }
@@ -108,8 +137,16 @@ mod tests {
     #[test]
     fn averaging() {
         let ms = vec![
-            Measurement { strategy: "TD".into(), interactions: 2, seconds: 0.5 },
-            Measurement { strategy: "TD".into(), interactions: 4, seconds: 1.5 },
+            Measurement {
+                strategy: "TD".into(),
+                interactions: 2,
+                seconds: 0.5,
+            },
+            Measurement {
+                strategy: "TD".into(),
+                interactions: 4,
+                seconds: 1.5,
+            },
         ];
         let a = average(&ms);
         assert_eq!(a.mean_interactions, 3.0);

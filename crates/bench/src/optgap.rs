@@ -3,13 +3,14 @@
 //! but is exponential; this quantifies what the efficient strategies give
 //! up on instances small enough to compute the bound).
 
+use crate::json::{Json, ToJson};
 use crate::report::TextTable;
 use jqi_core::paper::{example_2_1, flight_hotel};
 use jqi_core::strategy::{optimal_worst_case, strategy_worst_case, StrategyKind};
 use jqi_core::universe::Universe;
 
 /// Worst cases on one instance.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct OptGapRow {
     /// Instance name.
     pub instance: String,
@@ -22,25 +23,29 @@ pub struct OptGapRow {
 }
 
 /// The experiment across the paper's running examples.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct OptGapReport {
     /// One row per instance.
     pub rows: Vec<OptGapRow>,
 }
 
 /// Deterministic strategies whose game tree we can afford to explore.
-const HEURISTICS: [StrategyKind; 4] =
-    [StrategyKind::Bu, StrategyKind::Td, StrategyKind::L1s, StrategyKind::Eg];
+const HEURISTICS: [StrategyKind; 4] = [
+    StrategyKind::Bu,
+    StrategyKind::Td,
+    StrategyKind::L1s,
+    StrategyKind::Eg,
+];
 
 /// Runs the experiment on the paper's two running examples.
 pub fn run() -> OptGapReport {
     let mut rows = Vec::new();
-    for (name, instance) in
-        [("Example 2.1", example_2_1()), ("Flight × Hotel", flight_hotel())]
-    {
+    for (name, instance) in [
+        ("Example 2.1", example_2_1()),
+        ("Flight × Hotel", flight_hotel()),
+    ] {
         let universe = Universe::build(instance);
-        let optimal =
-            optimal_worst_case(&universe, 16).expect("running examples are small");
+        let optimal = optimal_worst_case(&universe, 16).expect("running examples are small");
         let strategies: Vec<(String, u32)> = HEURISTICS
             .iter()
             .map(|&kind| {
@@ -58,6 +63,36 @@ pub fn run() -> OptGapReport {
         });
     }
     OptGapReport { rows }
+}
+
+impl ToJson for OptGapRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("instance".into(), Json::str(&self.instance)),
+            ("classes".into(), Json::Num(self.classes as f64)),
+            ("optimal".into(), Json::Num(self.optimal as f64)),
+            (
+                "strategies".into(),
+                Json::Arr(
+                    self.strategies
+                        .iter()
+                        .map(|(name, wc)| {
+                            Json::Obj(vec![
+                                ("strategy".into(), Json::str(name)),
+                                ("worst_case".into(), Json::Num(*wc as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for OptGapReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("rows".into(), Json::arr(&self.rows))])
+    }
 }
 
 impl OptGapReport {

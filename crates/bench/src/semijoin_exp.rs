@@ -7,6 +7,7 @@
 //! ∘ reduce` coincide with DPLL's, and the solver's running time grows
 //! sharply with the number of variables around the 3SAT phase transition.
 
+use crate::json::{Json, ToJson};
 use crate::report::TextTable;
 use jqi_semijoin::consistency::find_consistent_semijoin;
 use jqi_semijoin::reduction::{decode_valuation, reduce};
@@ -14,7 +15,7 @@ use jqi_semijoin::sat::{dpll, random_3sat};
 use std::time::Instant;
 
 /// One (num_vars, formula) measurement.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SemijoinRow {
     /// Number of 3SAT variables.
     pub num_vars: usize,
@@ -31,7 +32,7 @@ pub struct SemijoinRow {
 }
 
 /// The full experiment: a sweep over variable counts.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SemijoinReport {
     /// One row per variable count.
     pub rows: Vec<SemijoinRow>,
@@ -80,6 +81,25 @@ pub fn run(var_counts: &[usize], formulas: usize, seed: u64) -> SemijoinReport {
         });
     }
     SemijoinReport { rows }
+}
+
+impl ToJson for SemijoinRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("num_vars".into(), Json::Num(self.num_vars as f64)),
+            ("num_clauses".into(), Json::Num(self.num_clauses as f64)),
+            ("sat_fraction".into(), Json::Num(self.sat_fraction)),
+            ("dpll_seconds".into(), Json::Num(self.dpll_seconds)),
+            ("cons_seconds".into(), Json::Num(self.cons_seconds)),
+            ("disagreements".into(), Json::Num(self.disagreements as f64)),
+        ])
+    }
+}
+
+impl ToJson for SemijoinReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("rows".into(), Json::arr(&self.rows))])
+    }
 }
 
 impl SemijoinReport {

@@ -3,13 +3,14 @@
 
 use crate::fig6::{self, Fig6Report};
 use crate::fig7::{self, Fig7Params, Fig7Report};
+use crate::json::{Json, ToJson};
 use crate::measure::fmt_seconds;
 use crate::report::{fmt_scientific, TextTable};
 use jqi_datagen::tpch::TpchScale;
 use jqi_datagen::PAPER_CONFIGS;
 
 /// One row of Table 1.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Dataset group ("TPC-H SF=…" or a synthetic configuration).
     pub dataset: String,
@@ -26,7 +27,7 @@ pub struct Table1Row {
 }
 
 /// The assembled Table 1.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// All rows, TPC-H first, then synthetic, as in the paper.
     pub rows: Vec<Table1Row>,
@@ -104,6 +105,25 @@ pub fn run(seed: u64, fig7_params: Fig7Params) -> Table1 {
     Table1 { rows }
 }
 
+impl ToJson for Table1Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("dataset".into(), Json::str(&self.dataset)),
+            ("workload".into(), Json::str(&self.workload)),
+            ("product_size".into(), Json::Num(self.product_size as f64)),
+            ("join_ratio".into(), Json::Num(self.join_ratio)),
+            ("best".into(), Json::str(&self.best)),
+            ("best_seconds".into(), Json::Num(self.best_seconds)),
+        ])
+    }
+}
+
+impl ToJson for Table1 {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("rows".into(), Json::arr(&self.rows))])
+    }
+}
+
 impl Table1 {
     /// Renders the summary as text.
     pub fn table(&self) -> TextTable {
@@ -152,7 +172,11 @@ mod tests {
         let cfg = SyntheticConfig::new(2, 2, 10, 5);
         let report = fig7::run(
             cfg,
-            Fig7Params { runs: 2, max_goals_per_size: 2, seed: 3 },
+            Fig7Params {
+                runs: 2,
+                max_goals_per_size: 2,
+                seed: 3,
+            },
         );
         let rows = synthetic_rows(&report);
         assert!(!rows.is_empty());

@@ -16,6 +16,7 @@
 
 use crate::error::{InferenceError, Result};
 use crate::sample::{Label, Sample};
+use crate::state::InferenceState;
 use crate::strategy::Strategy;
 use crate::universe::{ClassId, Universe};
 use jqi_relation::BitSet;
@@ -86,17 +87,14 @@ impl AdversarialOracle {
 
 impl Oracle for AdversarialOracle {
     fn label(&mut self, universe: &Universe, c: ClassId) -> Label {
-        let shadow = self
-            .shadow
-            .get_or_insert_with(|| Sample::new(universe));
+        let shadow = self.shadow.get_or_insert_with(|| Sample::new(universe));
         let mut trial = shadow.clone();
-        let label = if trial.add(universe, c, Label::Negative).is_ok()
-            && trial.is_consistent(universe)
-        {
-            Label::Negative
-        } else {
-            Label::Positive
-        };
+        let label =
+            if trial.add(universe, c, Label::Negative).is_ok() && trial.is_consistent(universe) {
+                Label::Negative
+            } else {
+                Label::Positive
+            };
         if label == Label::Negative {
             *shadow = trial;
         } else {
@@ -124,6 +122,11 @@ pub struct RunResult {
 /// label, and stops when no informative tuple remains. Errors if the oracle
 /// produces an inconsistent labeling (lines 6–7).
 ///
+/// One [`InferenceState`] is threaded through the whole run: each answer is
+/// applied incrementally (O(affected classes)), the strategy reads the
+/// maintained candidate set, and the halt/consistency checks are O(1) reads
+/// — nothing in the loop rescans Ω.
+///
 /// Note the paper's remark (§4.1): a strategy that asks only *informative*
 /// tuples can never trigger the inconsistency error, because a tuple is
 /// informative precisely when both labels keep the sample consistent. The
@@ -133,21 +136,19 @@ pub fn run_inference(
     strategy: &mut dyn Strategy,
     oracle: &mut dyn Oracle,
 ) -> Result<RunResult> {
-    let mut sample = Sample::new(universe);
-    let mut history = Vec::new();
-    while let Some(c) = strategy.next(universe, &sample)? {
+    let mut state = InferenceState::new(universe);
+    while let Some(c) = strategy.next(&state)? {
         let label = oracle.label(universe, c);
-        sample.add(universe, c, label)?;
-        history.push((c, label));
-        if !sample.is_consistent(universe) {
+        state.apply(c, label)?;
+        if !state.is_consistent() {
             return Err(InferenceError::InconsistentSample { class: c });
         }
     }
     Ok(RunResult {
-        predicate: sample.t_pos().clone(),
-        interactions: history.len(),
-        history,
-        sample,
+        predicate: state.t_pos().clone(),
+        interactions: state.len(),
+        history: state.history().to_vec(),
+        sample: state.as_sample(),
     })
 }
 
@@ -164,11 +165,8 @@ mod tests {
     fn flight_hotel_q1_vs_q2() {
         let inst = flight_hotel();
         let q1 = crate::predicate_from_names(&inst, &[("To", "City")]).unwrap();
-        let q2 = crate::predicate_from_names(
-            &inst,
-            &[("To", "City"), ("Airline", "Discount")],
-        )
-        .unwrap();
+        let q2 =
+            crate::predicate_from_names(&inst, &[("To", "City"), ("Airline", "Discount")]).unwrap();
         let u = Universe::build(inst);
         for goal in [q1, q2] {
             for mut strategy in [
@@ -217,7 +215,7 @@ mod tests {
             fn name(&self) -> &str {
                 "scripted"
             }
-            fn next(&mut self, _: &Universe, _: &Sample) -> Result<Option<ClassId>> {
+            fn next(&mut self, _: &InferenceState<'_>) -> Result<Option<ClassId>> {
                 Ok(self.0.pop())
             }
         }

@@ -26,12 +26,18 @@ pub struct Entropy {
 
 /// The `(∞, ∞)` entropy of Algorithm 5 line 4: labeling the tuple with this
 /// label leaves no informative tuple, finishing the inference.
-pub const ENTROPY_INF: Entropy = Entropy { lo: u64::MAX, hi: u64::MAX };
+pub const ENTROPY_INF: Entropy = Entropy {
+    lo: u64::MAX,
+    hi: u64::MAX,
+};
 
 impl Entropy {
     /// Normalizes `(u⁺, u⁻)` into a `(min, max)` pair.
     pub fn of(u_pos: u64, u_neg: u64) -> Entropy {
-        Entropy { lo: u_pos.min(u_neg), hi: u_pos.max(u_neg) }
+        Entropy {
+            lo: u_pos.min(u_neg),
+            hi: u_pos.max(u_neg),
+        }
     }
 
     /// §4.4 dominance: `e` dominates `e′` iff `e.lo ≥ e′.lo ∧ e.hi ≥ e′.hi`.
@@ -301,8 +307,10 @@ mod tests {
     fn algorithm_5_worked_example() {
         let u = Universe::build(example_2_1());
         let mut s = crate::Sample::new(&u);
-        s.add(&u, class_of(&u, 0, 2), crate::Label::Positive).unwrap();
-        s.add(&u, class_of(&u, 2, 0), crate::Label::Negative).unwrap();
+        s.add(&u, class_of(&u, 0, 2), crate::Label::Positive)
+            .unwrap();
+        s.add(&u, class_of(&u, 2, 0), crate::Label::Negative)
+            .unwrap();
         // Five informative tuples remain: (t1,t1'),(t2,t1'),(t3,t2'),(t4,t1'),(t4,t2').
         let inf = informative_classes(&u, &s);
         let reps: Vec<(usize, usize)> = inf.iter().map(|&c| u.representative(c)).collect();

@@ -18,14 +18,45 @@ use std::collections::HashSet;
 /// These correspond to the `⊆`-maximal non-nullable join predicates the
 /// top-down strategy (Algorithm 3, line 2) asks the user to label first.
 pub fn maximal_classes(universe: &Universe) -> Vec<ClassId> {
-    let sigs = universe.sigs();
-    (0..sigs.len())
-        .filter(|&c| {
-            !sigs
+    let all: Vec<ClassId> = (0..universe.num_classes()).collect();
+    maximal_among(universe, &all)
+}
+
+/// The `⊆`-maximal classes among `classes`, returned in ascending class-id
+/// order.
+///
+/// Size-bucketed scan instead of the former full-pairwise one: a proper
+/// subset is strictly smaller, so a candidate only needs testing against
+/// strictly larger signatures — and among those, only against the ones
+/// already known maximal (domination is transitive: if `T(c) ⊊ T(o)` and
+/// `o` is itself dominated, some maximal class dominates `c` too). Buckets
+/// are processed in descending size; the largest bucket is maximal outright
+/// since distinct equal-size signatures cannot contain one another.
+pub fn maximal_among(universe: &Universe, classes: &[ClassId]) -> Vec<ClassId> {
+    let mut by_size: Vec<ClassId> = classes.to_vec();
+    by_size.sort_by_key(|&c| (std::cmp::Reverse(universe.sig_size(c)), c));
+    let mut maximal: Vec<ClassId> = Vec::new();
+    let mut i = 0usize;
+    while i < by_size.len() {
+        let size = universe.sig_size(by_size[i]);
+        // Everything currently in `maximal` has strictly larger signature.
+        let larger = maximal.len();
+        let mut j = i;
+        while j < by_size.len() && universe.sig_size(by_size[j]) == size {
+            let c = by_size[j];
+            let dominated = maximal[..larger]
                 .iter()
-                .any(|other| sigs[c].is_proper_subset(other))
-        })
-        .collect()
+                // Sizes differ, so plain subset ⇔ proper subset here.
+                .any(|&m| universe.sig(c).is_subset(universe.sig(m)));
+            if !dominated {
+                maximal.push(c);
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    maximal.sort_unstable();
+    maximal
 }
 
 /// Classes whose signature is `⊆`-minimal among *informative* signatures is
@@ -71,12 +102,7 @@ pub struct LatticeStats {
 impl LatticeStats {
     /// Computes the statistics of `universe`.
     pub fn of(universe: &Universe) -> Self {
-        let max_size = universe
-            .sigs()
-            .iter()
-            .map(BitSet::len)
-            .max()
-            .unwrap_or(0);
+        let max_size = universe.sigs().iter().map(BitSet::len).max().unwrap_or(0);
         let mut size_histogram = vec![0usize; max_size + 1];
         for sig in universe.sigs() {
             size_histogram[sig.len()] += 1;
@@ -182,7 +208,11 @@ pub fn hasse_dot(universe: &Universe, limit: usize) -> Result<String> {
     };
     let mut out = String::from("digraph lattice {\n  rankdir=BT;\n");
     for (id, theta) in nodes.iter().enumerate() {
-        let shape = if sig_set.contains(theta) { "box" } else { "ellipse" };
+        let shape = if sig_set.contains(theta) {
+            "box"
+        } else {
+            "ellipse"
+        };
         out.push_str(&format!(
             "  n{id} [shape={shape}, label=\"{}\"];\n",
             label(theta)
@@ -243,6 +273,31 @@ mod tests {
     }
 
     #[test]
+    fn maximal_among_matches_full_pairwise_scan() {
+        // The size-bucketed scan must agree with the naive definition on
+        // arbitrary subsets, including ones whose maxima sit in middle
+        // buckets.
+        let u = Universe::build(example_2_1());
+        let subsets: Vec<Vec<ClassId>> = vec![
+            (0..u.num_classes()).collect(),
+            (0..u.num_classes()).step_by(2).collect(),
+            vec![0],
+            vec![],
+            (0..u.num_classes())
+                .filter(|&c| u.sig_size(c) <= 2)
+                .collect(),
+        ];
+        for subset in subsets {
+            let naive: Vec<ClassId> = subset
+                .iter()
+                .copied()
+                .filter(|&c| !subset.iter().any(|&o| u.sig(c).is_proper_subset(u.sig(o))))
+                .collect();
+            assert_eq!(maximal_among(&u, &subset), naive, "subset {subset:?}");
+        }
+    }
+
+    #[test]
     fn non_nullable_enumeration_matches_brute_force() {
         let u = Universe::build(example_2_1());
         let got = non_nullable_predicates(&u, 10_000).unwrap();
@@ -278,10 +333,7 @@ mod tests {
         assert_eq!(groups[0].len(), 1);
         assert!(groups[0][0].is_empty());
         let total: usize = groups.iter().map(Vec::len).sum();
-        assert_eq!(
-            total,
-            non_nullable_predicates(&u, 10_000).unwrap().len()
-        );
+        assert_eq!(total, non_nullable_predicates(&u, 10_000).unwrap().len());
         for (s, group) in groups.iter().enumerate() {
             assert!(group.iter().all(|t| t.len() == s));
         }

@@ -20,8 +20,11 @@
 //!   *join ratio* instance-complexity measure (§4.2, §5.3).
 //! * [`entropy`] — tuple entropy, dominance, skylines, and the k-step
 //!   lookahead generalization (§4.4).
+//! * [`state`] — the incremental [`InferenceState`]: the consistent-predicate
+//!   interval, class partition, and entropy caches, updated in O(affected
+//!   classes) per label instead of re-derived from scratch per step.
 //! * [`strategy`] — RND, BU, TD, L1S, L2S, LkS, and the minimax-optimal
-//!   strategy (§4).
+//!   strategy (§4), all reading the session through [`InferenceState`].
 //! * [`engine`] — the general inference algorithm (Algorithm 1) driven by an
 //!   [`engine::Oracle`].
 //! * [`session`] — a step-by-step API for embedding the loop in a real
@@ -63,6 +66,7 @@ pub mod paper;
 pub mod paths;
 pub mod sample;
 pub mod session;
+pub mod state;
 pub mod strategy;
 pub mod universe;
 
@@ -70,6 +74,7 @@ pub use certain::CountMode;
 pub use entropy::Entropy;
 pub use error::{InferenceError, Result};
 pub use sample::{Label, Sample};
+pub use state::{ClassState, InferenceState};
 pub use universe::{ClassId, Universe};
 
 use jqi_relation::{BitSet, Instance};

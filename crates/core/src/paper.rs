@@ -79,8 +79,7 @@ mod tests {
         let inst = flight_hotel();
         let q1 = crate::predicate_from_names(&inst, &[("To", "City")]).unwrap();
         let q2 =
-            crate::predicate_from_names(&inst, &[("To", "City"), ("Airline", "Discount")])
-                .unwrap();
+            crate::predicate_from_names(&inst, &[("To", "City"), ("Airline", "Discount")]).unwrap();
         let j1 = inst.equijoin(&q1);
         let j2 = inst.equijoin(&q2);
         assert_eq!(j1.len(), 4);

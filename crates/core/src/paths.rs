@@ -59,12 +59,7 @@ impl PathBuilder {
 
     /// Appends a relation with its rows. Adjacent relations must have
     /// disjoint attribute names (the two-relation assumption per hop).
-    pub fn relation(
-        &mut self,
-        name: &str,
-        attrs: &[&str],
-        rows: Vec<Vec<Value>>,
-    ) -> &mut Self {
+    pub fn relation(&mut self, name: &str, attrs: &[&str], rows: Vec<Vec<Value>>) -> &mut Self {
         if self.error.is_some() {
             return self;
         }
@@ -95,8 +90,7 @@ impl PathBuilder {
         );
         let mut hops = Vec::with_capacity(self.relations.len() - 1);
         for pair in self.relations.windows(2) {
-            let instance =
-                Instance::new(self.interner.clone(), pair[0].clone(), pair[1].clone())?;
+            let instance = Instance::new(self.interner.clone(), pair[0].clone(), pair[1].clone())?;
             hops.push(Universe::build(instance));
         }
         Ok(JoinPath { hops })
@@ -163,7 +157,10 @@ impl JoinPath {
             predicates.push(run.predicate);
             interactions.push(run.interactions);
         }
-        Ok(PathRun { predicates, interactions_per_hop: interactions })
+        Ok(PathRun {
+            predicates,
+            interactions_per_hop: interactions,
+        })
     }
 
     /// Counts the tuples of the full path join

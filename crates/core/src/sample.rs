@@ -105,7 +105,10 @@ impl Sample {
     /// first (line 5) and verifies afterwards (line 6).
     pub fn add(&mut self, universe: &Universe, c: ClassId, label: Label) -> Result<()> {
         if c >= self.labels.len() {
-            return Err(InferenceError::ClassOutOfBounds { class: c, len: self.labels.len() });
+            return Err(InferenceError::ClassOutOfBounds {
+                class: c,
+                len: self.labels.len(),
+            });
         }
         if self.labels[c].is_some() {
             return Err(InferenceError::AlreadyLabeled { class: c });
@@ -125,7 +128,9 @@ impl Sample {
     /// iff `R ⋈_{T(S⁺)} P` selects no negative example, i.e. iff no negative
     /// class signature contains `T(S⁺)`.
     pub fn is_consistent(&self, universe: &Universe) -> bool {
-        self.neg.iter().all(|&g| !self.tpos.is_subset(universe.sig(g)))
+        self.neg
+            .iter()
+            .all(|&g| !self.tpos.is_subset(universe.sig(g)))
     }
 
     /// Like [`Sample::is_consistent`] but returns the most specific
@@ -226,7 +231,10 @@ mod tests {
         let u = Universe::build(example_2_1());
         let mut s = Sample::new(&u);
         let e = s.add(&u, 99, Label::Positive).unwrap_err();
-        assert!(matches!(e, InferenceError::ClassOutOfBounds { class: 99, .. }));
+        assert!(matches!(
+            e,
+            InferenceError::ClassOutOfBounds { class: 99, .. }
+        ));
     }
 
     #[test]

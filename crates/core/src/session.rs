@@ -28,9 +28,9 @@
 //!            "{Flight.To=Hotel.City ∧ Flight.Airline=Hotel.Discount}");
 //! ```
 
-use crate::certain::certain_label;
 use crate::error::{InferenceError, Result};
 use crate::sample::{Label, Sample};
+use crate::state::InferenceState;
 use crate::strategy::Strategy;
 use crate::universe::{ClassId, Universe};
 use jqi_relation::{BitSet, Value};
@@ -47,24 +47,24 @@ pub struct Candidate {
 }
 
 /// An in-progress interactive inference run.
+///
+/// The session owns one [`InferenceState`] for its whole lifetime: answers
+/// are applied incrementally, and the halt test, known-label queries and
+/// inferred predicate are O(1) reads on the maintained state.
 #[derive(Debug)]
 pub struct Session<'u, S: Strategy> {
-    universe: &'u Universe,
     strategy: S,
-    sample: Sample,
+    state: InferenceState<'u>,
     pending: Option<ClassId>,
-    history: Vec<(ClassId, Label)>,
 }
 
 impl<'u, S: Strategy> Session<'u, S> {
     /// Starts a session over `universe` with `strategy`.
     pub fn new(universe: &'u Universe, strategy: S) -> Self {
         Session {
-            universe,
             strategy,
-            sample: Sample::new(universe),
+            state: InferenceState::new(universe),
             pending: None,
-            history: Vec::new(),
         }
     }
 
@@ -79,7 +79,7 @@ impl<'u, S: Strategy> Session<'u, S> {
         if self.pending.is_some() {
             return Err(InferenceError::CandidateAlreadyPending);
         }
-        match self.strategy.next(self.universe, &self.sample)? {
+        match self.strategy.next(&self.state)? {
             None => Ok(None),
             Some(c) => {
                 self.pending = Some(c);
@@ -89,21 +89,24 @@ impl<'u, S: Strategy> Session<'u, S> {
     }
 
     fn candidate(&self, c: ClassId) -> Candidate {
-        let (ri, pi) = self.universe.representative(c);
+        let universe = self.state.universe();
+        let (ri, pi) = universe.representative(c);
         Candidate {
             class: c,
             tuple: (ri, pi),
-            values: self.universe.instance().product_tuple_values(ri, pi),
+            values: universe.instance().product_tuple_values(ri, pi),
         }
     }
 
     /// Records the user's answer for the pending candidate, checking
     /// consistency (Algorithm 1, lines 5–7).
     pub fn answer(&mut self, label: Label) -> Result<()> {
-        let c = self.pending.take().ok_or(InferenceError::NoPendingCandidate)?;
-        self.sample.add(self.universe, c, label)?;
-        self.history.push((c, label));
-        if !self.sample.is_consistent(self.universe) {
+        let c = self
+            .pending
+            .take()
+            .ok_or(InferenceError::NoPendingCandidate)?;
+        self.state.apply(c, label)?;
+        if !self.state.is_consistent() {
             return Err(InferenceError::InconsistentSample { class: c });
         }
         Ok(())
@@ -112,42 +115,47 @@ impl<'u, S: Strategy> Session<'u, S> {
     /// Whether the session is finished (no informative tuple remains and no
     /// candidate is pending).
     pub fn is_done(&self) -> bool {
-        self.pending.is_none() && !crate::certain::any_informative(self.universe, &self.sample)
+        self.pending.is_none() && !self.state.any_informative()
     }
 
     /// The predicate inferred so far: `T(S⁺)`, the most specific predicate
     /// consistent with the answers. The user may stop early and take this
     /// (§4.1: "the halt condition Γ may be weaker in practice").
     pub fn inferred_predicate(&self) -> BitSet {
-        self.sample.t_pos().clone()
+        self.state.t_pos().clone()
     }
 
     /// What the engine already knows about class `c` without asking:
     /// its recorded or certain label, if any.
     pub fn known_label(&self, c: ClassId) -> Option<Label> {
-        self.sample
-            .label(c)
-            .or_else(|| certain_label(self.universe, &self.sample, c))
+        self.state.known_label(c)
     }
 
     /// Number of answers recorded so far.
     pub fn interactions(&self) -> usize {
-        self.history.len()
+        self.state.len()
     }
 
     /// The questions and answers so far, in order.
     pub fn history(&self) -> &[(ClassId, Label)] {
-        &self.history
+        self.state.history()
     }
 
-    /// The current sample.
-    pub fn sample(&self) -> &Sample {
-        &self.sample
+    /// The incrementally maintained session state — the consistent interval,
+    /// class partition, entropies, and counts.
+    pub fn state(&self) -> &InferenceState<'u> {
+        &self.state
+    }
+
+    /// The current sample, reconstructed in the from-scratch representation
+    /// (for interoperability with [`crate::certain`] / [`crate::entropy`]).
+    pub fn sample(&self) -> Sample {
+        self.state.as_sample()
     }
 
     /// The universe the session runs over.
     pub fn universe(&self) -> &'u Universe {
-        self.universe
+        self.state.universe()
     }
 }
 
@@ -174,8 +182,7 @@ mod tests {
         assert!(session.is_done());
         // Same outcome as the batch engine.
         let mut oracle = crate::engine::PredicateOracle::new(goal.clone());
-        let run =
-            crate::engine::run_inference(&u, &mut TopDown::new(), &mut oracle).unwrap();
+        let run = crate::engine::run_inference(&u, &mut TopDown::new(), &mut oracle).unwrap();
         assert_eq!(session.inferred_predicate(), run.predicate);
         assert_eq!(session.interactions(), run.interactions);
         assert_eq!(session.history(), &run.history[..]);

@@ -1,0 +1,841 @@
+//! The incremental inference core: [`InferenceState`].
+//!
+//! Before this module existed, every strategy re-derived the consequences
+//! of the current sample from scratch on each `next` call: consistency, the
+//! certain/uninformative classification of every T-equivalence class
+//! (Lemmas 3.3–3.4), the uninformative-tuple counts behind entropy (§4.4) —
+//! all full scans over Ω. Per interaction step that is `O(|classes| · |S⁻|)`
+//! bitset work *per candidate considered*, and the scans were repeated by
+//! every strategy, the session halt test, and the engine.
+//!
+//! `InferenceState` instead owns the derived quantities of a session and
+//! updates them in **O(affected classes)** when a label arrives:
+//!
+//! * the consistent-predicate interval `[θ_certain, θ_possible]`
+//!   (see [`InferenceState::theta_possible`] / [`theta_certain`]) as
+//!   bitsets,
+//! * the partition of classes into labeled / certain-positive /
+//!   certain-negative / informative ([`ClassState`]), with the informative
+//!   set materialized in ascending class order,
+//! * the weighted uninformative counts for both [`CountMode`]s,
+//! * a version-stamped per-class entropy cache (the dirty-set: entries
+//!   whose stamp lags the state version are stale and recomputed on
+//!   demand).
+//!
+//! The incremental update is sound because certainty is **monotone** for
+//! consistent samples: `T(S⁺)` only shrinks as positives arrive (so
+//! Lemma 3.3's `T(S⁺) ⊆ T(t)` and Lemma 3.4's
+//! `∃t′ ∈ S⁻. T(S⁺) ∩ T(t) ⊆ T(t′)` can only flip from false to true), and
+//! negatives only add witnesses to the Lemma 3.4 existential. Hence a label
+//! can move classes *out of* the informative set but never back in, and the
+//! update only has to rescan the current informative set — which shrinks as
+//! the session progresses — rather than all of Ω:
+//!
+//! * negative label on `c`: `θ_possible` is unchanged, and the only new
+//!   certain-negative witness is `T(c)` itself — one subset test per
+//!   informative class;
+//! * positive label on `c`: `θ_possible` shrinks to `θ_possible ∩ T(c)`,
+//!   and each informative class is re-tested against the new interval
+//!   (`O(|S⁻|)` witness tests worst case, with `|S⁻|` bounded by the number
+//!   of user answers, not by Ω).
+//!
+//! The from-scratch implementations in [`crate::certain`] and
+//! [`crate::entropy`] are kept as executable specifications;
+//! `tests/properties.rs` asserts state/spec equivalence after arbitrary
+//! label sequences.
+
+use crate::certain::CountMode;
+use crate::entropy::Entropy;
+use crate::error::{InferenceError, Result};
+use crate::sample::{Label, Sample};
+use crate::universe::{ClassId, Universe};
+use jqi_relation::BitSet;
+use std::cell::RefCell;
+
+/// What the engine knows about one T-equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassState {
+    /// Unlabeled and informative: both labels keep the sample consistent.
+    Informative,
+    /// Unlabeled but certainly selected (Lemma 3.3: `T(S⁺) ⊆ T(t)`).
+    CertainPositive,
+    /// Unlabeled but certainly rejected (Lemma 3.4:
+    /// `∃t′ ∈ S⁻. T(S⁺) ∩ T(t) ⊆ T(t′)`).
+    CertainNegative,
+    /// Labeled positive by the user.
+    LabeledPositive,
+    /// Labeled negative by the user.
+    LabeledNegative,
+}
+
+impl ClassState {
+    /// The user label, if the class is labeled.
+    #[inline]
+    pub fn label(self) -> Option<Label> {
+        match self {
+            ClassState::LabeledPositive => Some(Label::Positive),
+            ClassState::LabeledNegative => Some(Label::Negative),
+            _ => None,
+        }
+    }
+
+    /// The certain label of an *unlabeled* class, if any.
+    #[inline]
+    pub fn certain_label(self) -> Option<Label> {
+        match self {
+            ClassState::CertainPositive => Some(Label::Positive),
+            ClassState::CertainNegative => Some(Label::Negative),
+            _ => None,
+        }
+    }
+
+    /// The label the class is known to carry — recorded or certain.
+    #[inline]
+    pub fn known_label(self) -> Option<Label> {
+        self.label().or_else(|| self.certain_label())
+    }
+
+    /// Whether labeling this class can still shrink `C(S)` (§3.4).
+    #[inline]
+    pub fn is_informative(self) -> bool {
+        matches!(self, ClassState::Informative)
+    }
+}
+
+/// Version-stamped entropy cache (the dirty-set): `stamps[c] == version`
+/// means `values[c]` is current for `mode`.
+#[derive(Debug, Clone)]
+struct EntropyCache {
+    mode: CountMode,
+    stamps: Vec<u64>,
+    values: Vec<Entropy>,
+}
+
+impl EntropyCache {
+    fn new(classes: usize) -> Self {
+        EntropyCache {
+            mode: CountMode::Tuples,
+            // Version 0 is never a valid stamp: the state starts at 1.
+            stamps: vec![0; classes],
+            values: vec![Entropy { lo: 0, hi: 0 }; classes],
+        }
+    }
+}
+
+/// The incrementally maintained derived state of one inference session.
+///
+/// See the module docs for the maintenance invariants. Cloning is `O(|N|)`
+/// (plus one Ω-width bitset), which is what the lookahead recursion and the
+/// minimax strategy use to explore hypothetical labelings without paying
+/// for from-scratch re-derivation in each node.
+#[derive(Debug, Clone)]
+pub struct InferenceState<'u> {
+    universe: &'u Universe,
+    status: Vec<ClassState>,
+    /// Positive / negative classes, in labeling order.
+    pos: Vec<ClassId>,
+    neg: Vec<ClassId>,
+    /// Questions and answers, in order.
+    history: Vec<(ClassId, Label)>,
+    /// `θ_possible = T(S⁺)`: every consistent predicate is ⊆ it.
+    theta_possible: BitSet,
+    /// Lazily computed `θ_certain` (stamp, value): pairs contained in every
+    /// consistent predicate. Computed on first read per version, so the
+    /// speculation-heavy paths (minimax, depth-k lookahead) never pay for
+    /// it.
+    theta_certain: RefCell<(u64, BitSet)>,
+    /// Informative classes, ascending. The strategies' candidate set.
+    informative: Vec<ClassId>,
+    /// Weighted uninformative counts (see
+    /// [`crate::certain::uninformative_count`]), one per [`CountMode`].
+    uninf_tuples: u64,
+    uninf_classes: u64,
+    consistent: bool,
+    /// Bumped on every applied label; stamps the entropy cache.
+    version: u64,
+    entropy_cache: RefCell<EntropyCache>,
+}
+
+impl<'u> InferenceState<'u> {
+    /// The state of the empty sample over `universe`.
+    ///
+    /// Construction performs the one full scan of the session: classes with
+    /// `T(t) = Ω` are certain-positive from the start (every predicate
+    /// selects them), everything else is informative.
+    pub fn new(universe: &'u Universe) -> Self {
+        let classes = universe.num_classes();
+        let omega_len = universe.omega_len();
+        let mut status = Vec::with_capacity(classes);
+        let mut informative = Vec::new();
+        let mut uninf_tuples = 0u64;
+        let mut uninf_classes = 0u64;
+        for c in 0..classes {
+            if universe.sig_size(c) == omega_len {
+                status.push(ClassState::CertainPositive);
+                uninf_tuples += universe.count(c);
+                uninf_classes += 1;
+            } else {
+                status.push(ClassState::Informative);
+                informative.push(c);
+            }
+        }
+        InferenceState {
+            universe,
+            status,
+            pos: Vec::new(),
+            neg: Vec::new(),
+            history: Vec::new(),
+            theta_possible: universe.omega(),
+            theta_certain: RefCell::new((1, BitSet::empty(universe.omega_len()))),
+            informative,
+            uninf_tuples,
+            uninf_classes,
+            consistent: true,
+            version: 1,
+            entropy_cache: RefCell::new(EntropyCache::new(classes)),
+        }
+    }
+
+    /// The universe the session runs over.
+    #[inline]
+    pub fn universe(&self) -> &'u Universe {
+        self.universe
+    }
+
+    /// Number of T-equivalence classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Number of labeled examples (`|S|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether no example has been labeled yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The state of class `c`.
+    #[inline]
+    pub fn class_state(&self, c: ClassId) -> ClassState {
+        self.status[c]
+    }
+
+    /// The recorded label of class `c`, if any.
+    #[inline]
+    pub fn label(&self, c: ClassId) -> Option<Label> {
+        self.status[c].label()
+    }
+
+    /// What the engine already knows about class `c` without asking: its
+    /// recorded or certain label.
+    #[inline]
+    pub fn known_label(&self, c: ClassId) -> Option<Label> {
+        self.status[c].known_label()
+    }
+
+    /// Whether class `c` is informative (§3.4).
+    #[inline]
+    pub fn is_informative(&self, c: ClassId) -> bool {
+        self.status[c].is_informative()
+    }
+
+    /// Positive classes, in labeling order.
+    #[inline]
+    pub fn positives(&self) -> &[ClassId] {
+        &self.pos
+    }
+
+    /// Negative classes, in labeling order.
+    #[inline]
+    pub fn negatives(&self) -> &[ClassId] {
+        &self.neg
+    }
+
+    /// The questions and answers so far, in order.
+    #[inline]
+    pub fn history(&self) -> &[(ClassId, Label)] {
+        &self.history
+    }
+
+    /// `θ_possible = T(S⁺)`, the most specific predicate consistent with
+    /// the positives — the upper end of the consistent interval. Equals `Ω`
+    /// while `S⁺ = ∅`.
+    #[inline]
+    pub fn theta_possible(&self) -> &BitSet {
+        &self.theta_possible
+    }
+
+    /// Alias of [`theta_possible`](Self::theta_possible) matching the
+    /// `Sample::t_pos` name.
+    #[inline]
+    pub fn t_pos(&self) -> &BitSet {
+        &self.theta_possible
+    }
+
+    /// `θ_certain`: the attribute pairs contained in **every** consistent
+    /// predicate — the lower end of the consistent interval.
+    ///
+    /// `k ∈ θ_certain` iff `T(S⁺) \ {k} ⊆ T(t′)` for some `t′ ∈ S⁻`: the
+    /// down-sets `P(T(S⁺) ∩ T(t′))` are the inconsistent predicates, and a
+    /// union of down-sets covers `P(X)` iff it contains `X` itself, so
+    /// dropping `k` must land the whole remaining interval inside one of
+    /// them. Empty while there is no negative example.
+    ///
+    /// Computed lazily on first read per state version
+    /// (`O(|θ_possible| · |S⁻|)` subset tests, bounded by the number of
+    /// answers), then served from the cache — the speculation-heavy
+    /// recursions that never read it never pay for it.
+    pub fn theta_certain(&self) -> BitSet {
+        let mut cache = self.theta_certain.borrow_mut();
+        if cache.0 != self.version {
+            let mut certain = BitSet::empty(self.theta_possible.capacity());
+            if !self.neg.is_empty() {
+                for k in self.theta_possible.iter() {
+                    let forced = self.neg.iter().any(|&g| {
+                        self.theta_possible
+                            .is_subset_except(self.universe.sig(g), k)
+                    });
+                    if forced {
+                        certain.insert(k);
+                    }
+                }
+            }
+            *cache = (self.version, certain);
+        }
+        cache.1.clone()
+    }
+
+    /// The consistent-predicate interval `[θ_certain, θ_possible]`: every
+    /// predicate consistent with the sample contains the first and is
+    /// contained in the second.
+    pub fn interval(&self) -> (BitSet, BitSet) {
+        (self.theta_certain(), self.theta_possible.clone())
+    }
+
+    /// Whether some equijoin predicate is consistent with the labels so far
+    /// (§3.1). Maintained incrementally; `O(1)` to read.
+    #[inline]
+    pub fn is_consistent(&self) -> bool {
+        self.consistent
+    }
+
+    /// The informative classes, ascending — the candidate set every
+    /// strategy draws from. `O(1)`; the slice shrinks as labels arrive.
+    #[inline]
+    pub fn informative(&self) -> &[ClassId] {
+        &self.informative
+    }
+
+    /// Whether any informative tuple remains — the negation of Algorithm
+    /// 1's halt condition Γ.
+    #[inline]
+    pub fn any_informative(&self) -> bool {
+        !self.informative.is_empty()
+    }
+
+    /// The weighted count of uninformative tuples under `mode`, matching
+    /// [`crate::certain::uninformative_count`]. `O(1)`.
+    #[inline]
+    pub fn uninformative_count(&self, mode: CountMode) -> u64 {
+        match mode {
+            CountMode::Tuples => self.uninf_tuples,
+            CountMode::Classes => self.uninf_classes,
+        }
+    }
+
+    /// The per-class weight `mode` assigns.
+    #[inline]
+    fn weight(&self, c: ClassId, mode: CountMode) -> u64 {
+        match mode {
+            CountMode::Tuples => self.universe.count(c),
+            CountMode::Classes => 1,
+        }
+    }
+
+    /// Lemma 3.4 existential for a hypothetical `T(S⁺)` of `tpos`: is class
+    /// `c` certainly rejected?
+    #[inline]
+    fn certain_negative_under(&self, tpos: &BitSet, c: ClassId) -> bool {
+        let sig = self.universe.sig(c);
+        self.neg
+            .iter()
+            .any(|&g| tpos.intersection_is_subset(sig, self.universe.sig(g)))
+    }
+
+    /// Applies one label, updating every derived quantity incrementally.
+    ///
+    /// Mirrors `Sample::add` + the consistency check of Algorithm 1 lines
+    /// 5–7: the label is recorded unconditionally (double labeling and
+    /// out-of-range classes are rejected), and [`is_consistent`] turns
+    /// false if no predicate explains the labels — in which case the
+    /// partition stops being maintained (certainty is only defined for
+    /// consistent samples) and the caller is expected to abort, as
+    /// [`crate::engine::run_inference`] does.
+    ///
+    /// Cost: `O(|informative|)` subset tests for a negative label,
+    /// `O(|informative| · |S⁻|)` worst case for a positive one — never a
+    /// rescan of all of Ω.
+    pub fn apply(&mut self, c: ClassId, label: Label) -> Result<()> {
+        if c >= self.status.len() {
+            return Err(InferenceError::ClassOutOfBounds {
+                class: c,
+                len: self.status.len(),
+            });
+        }
+        if self.status[c].label().is_some() {
+            return Err(InferenceError::AlreadyLabeled { class: c });
+        }
+        let was = self.status[c];
+        self.status[c] = match label {
+            Label::Positive => ClassState::LabeledPositive,
+            Label::Negative => ClassState::LabeledNegative,
+        };
+        self.history.push((c, label));
+        self.version += 1;
+
+        // Counter bookkeeping for the labeled class itself: an informative
+        // class starts contributing weight − 1 (its classmates become
+        // certain); an already-certain class merely stops counting its
+        // representative.
+        if was.is_informative() {
+            self.informative.retain(|&t| t != c);
+            self.uninf_tuples += self.universe.count(c).saturating_sub(1);
+            // Classes-mode weight is 1, and the labeled representative is
+            // excluded, so the class contributes 0.
+        } else {
+            self.uninf_tuples = self.uninf_tuples.saturating_sub(1);
+            self.uninf_classes = self.uninf_classes.saturating_sub(1);
+        }
+
+        match label {
+            Label::Positive => {
+                self.pos.push(c);
+                let before = self.theta_possible.clone();
+                self.theta_possible.intersect_with(self.universe.sig(c));
+                if self.theta_possible != before {
+                    // §3.1: consistency must be re-checked against every
+                    // negative under the shrunken T(S⁺).
+                    if self.consistent {
+                        let tp = &self.theta_possible;
+                        self.consistent = self
+                            .neg
+                            .iter()
+                            .all(|&g| !tp.is_subset(self.universe.sig(g)));
+                    }
+                    if self.consistent {
+                        self.reclassify_informative();
+                    }
+                }
+            }
+            Label::Negative => {
+                self.neg.push(c);
+                if self.consistent {
+                    self.consistent = !self.theta_possible.is_subset(self.universe.sig(c));
+                }
+                if self.consistent {
+                    // The only new Lemma 3.4 witness is T(c): one subset
+                    // test per informative class.
+                    let tp = self.theta_possible.clone();
+                    let neg_sig = self.universe.sig(c);
+                    let universe = self.universe;
+                    let (mut dt, mut dc) = (0u64, 0u64);
+                    let status = &mut self.status;
+                    self.informative.retain(|&t| {
+                        if tp.intersection_is_subset(universe.sig(t), neg_sig) {
+                            status[t] = ClassState::CertainNegative;
+                            dt += universe.count(t);
+                            dc += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    self.uninf_tuples += dt;
+                    self.uninf_classes += dc;
+                }
+            }
+        }
+
+        Ok(())
+    }
+
+    /// Re-tests every informative class against the current
+    /// `[θ_certain, θ_possible]` after `θ_possible` shrank.
+    fn reclassify_informative(&mut self) {
+        let universe = self.universe;
+        let tp = self.theta_possible.clone();
+        let neg = std::mem::take(&mut self.neg);
+        let (mut dt, mut dc) = (0u64, 0u64);
+        let status = &mut self.status;
+        self.informative.retain(|&t| {
+            let sig = universe.sig(t);
+            let new_state = if tp.is_subset(sig) {
+                Some(ClassState::CertainPositive)
+            } else if neg
+                .iter()
+                .any(|&g| tp.intersection_is_subset(sig, universe.sig(g)))
+            {
+                Some(ClassState::CertainNegative)
+            } else {
+                None
+            };
+            match new_state {
+                Some(s) => {
+                    status[t] = s;
+                    dt += universe.count(t);
+                    dc += 1;
+                    false
+                }
+                None => true,
+            }
+        });
+        self.neg = neg;
+        self.uninf_tuples += dt;
+        self.uninf_classes += dc;
+    }
+
+    /// `u^α_{t,S}`: the weighted number of tuples that would become
+    /// uninformative if informative class `c` were labeled `alpha`
+    /// (Figure 5 / §4.4), relative to the current sample.
+    ///
+    /// Computed by a single pass over the **informative** set — the
+    /// speculative analogue of the incremental [`apply`](Self::apply) — so
+    /// one-step entropy costs `O(|informative| · |S⁻|)` instead of cloning
+    /// the sample and recounting all of Ω.
+    pub fn gain(&self, c: ClassId, alpha: Label, mode: CountMode) -> u64 {
+        debug_assert!(
+            self.is_informative(c),
+            "gain is defined for informative classes"
+        );
+        let universe = self.universe;
+        let mut total = self.weight(c, mode).saturating_sub(1);
+        match alpha {
+            Label::Positive => {
+                let tp = self.theta_possible.intersection(universe.sig(c));
+                for &t in &self.informative {
+                    if t == c {
+                        continue;
+                    }
+                    let sig = universe.sig(t);
+                    if tp.is_subset(sig) || self.certain_negative_under(&tp, t) {
+                        total += self.weight(t, mode);
+                    }
+                }
+            }
+            Label::Negative => {
+                let tp = &self.theta_possible;
+                let neg_sig = universe.sig(c);
+                for &t in &self.informative {
+                    if t == c {
+                        continue;
+                    }
+                    if tp.intersection_is_subset(universe.sig(t), neg_sig) {
+                        total += self.weight(t, mode);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// The one-step entropy of informative class `c` (§4.4), served from
+    /// the version-stamped cache when the state has not changed since the
+    /// last computation.
+    pub fn entropy(&self, c: ClassId, mode: CountMode) -> Entropy {
+        {
+            let cache = self.entropy_cache.borrow();
+            if cache.mode == mode && cache.stamps[c] == self.version {
+                return cache.values[c];
+            }
+        }
+        let e = Entropy::of(
+            self.gain(c, Label::Positive, mode),
+            self.gain(c, Label::Negative, mode),
+        );
+        let mut cache = self.entropy_cache.borrow_mut();
+        if cache.mode != mode {
+            // Mode switch invalidates the whole cache.
+            cache.mode = mode;
+            cache.stamps.iter_mut().for_each(|s| *s = 0);
+        }
+        cache.stamps[c] = self.version;
+        cache.values[c] = e;
+        e
+    }
+
+    /// One-step entropies of all informative classes, ascending by class.
+    pub fn entropies(&self, mode: CountMode) -> Vec<(ClassId, Entropy)> {
+        self.informative
+            .iter()
+            .map(|&c| (c, self.entropy(c, mode)))
+            .collect()
+    }
+
+    /// A hypothetical successor state: `self` with `(c, label)` applied.
+    ///
+    /// This is what the depth-k lookahead recursion and the minimax-optimal
+    /// strategy branch on — an `O(|N|)` clone plus one incremental apply,
+    /// never a from-scratch re-derivation.
+    pub fn speculate(&self, c: ClassId, label: Label) -> InferenceState<'u> {
+        let mut next = self.clone();
+        next.apply(c, label)
+            .expect("speculated class must be unlabeled and in range");
+        next
+    }
+
+    /// Reconstructs the equivalent [`Sample`] (the from-scratch
+    /// representation) by replaying the label history.
+    pub fn as_sample(&self) -> Sample {
+        let mut sample = Sample::new(self.universe);
+        for &(c, label) in &self.history {
+            sample
+                .add(self.universe, c, label)
+                .expect("state history never double-labels");
+        }
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certain::{self, informative_classes, uninformative_count, CountMode};
+    use crate::paper::example_2_1;
+    use crate::universe::Universe;
+
+    fn class_of(u: &Universe, ri: usize, pi: usize) -> ClassId {
+        u.class_of(ri, pi).unwrap()
+    }
+
+    /// Checks the state against the from-scratch implementations in
+    /// `certain.rs` after each of a sequence of labels.
+    fn assert_matches_scratch(state: &InferenceState<'_>, sample: &Sample) {
+        let u = state.universe();
+        assert_eq!(state.is_consistent(), sample.is_consistent(u));
+        assert_eq!(state.t_pos(), sample.t_pos());
+        if !state.is_consistent() {
+            return; // partition is only defined for consistent samples
+        }
+        assert_eq!(
+            state.informative().to_vec(),
+            informative_classes(u, sample),
+            "informative sets diverge"
+        );
+        for mode in [CountMode::Tuples, CountMode::Classes] {
+            assert_eq!(
+                state.uninformative_count(mode),
+                uninformative_count(u, sample, mode),
+                "uninformative count diverges for {mode:?}"
+            );
+        }
+        for c in 0..u.num_classes() {
+            assert_eq!(state.label(c), sample.label(c));
+            if sample.label(c).is_none() {
+                assert_eq!(
+                    state.class_state(c).certain_label(),
+                    certain::certain_label(u, sample, c),
+                    "certain label diverges for class {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracks_scratch_on_example_2_1_replay() {
+        // Example 2.1 driven through a mixed label sequence.
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        let mut sample = Sample::new(&u);
+        assert_matches_scratch(&state, &sample);
+        let script = [
+            (class_of(&u, 1, 1), Label::Positive),
+            (class_of(&u, 0, 2), Label::Negative),
+            (class_of(&u, 2, 1), Label::Negative),
+        ];
+        for (c, label) in script {
+            state.apply(c, label).unwrap();
+            sample.add(&u, c, label).unwrap();
+            assert_matches_scratch(&state, &sample);
+        }
+    }
+
+    #[test]
+    fn entropy_matches_scratch_entropy() {
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        let mut sample = Sample::new(&u);
+        for mode in [CountMode::Tuples, CountMode::Classes] {
+            for &c in state.informative() {
+                assert_eq!(
+                    state.entropy(c, mode),
+                    crate::entropy::entropy(&u, &sample, c, mode),
+                    "entropy diverges for class {c} under {mode:?}"
+                );
+            }
+        }
+        // And again mid-session.
+        let c = class_of(&u, 0, 2);
+        state.apply(c, Label::Positive).unwrap();
+        sample.add(&u, c, Label::Positive).unwrap();
+        for &t in state.informative() {
+            assert_eq!(
+                state.entropy(t, CountMode::Tuples),
+                crate::entropy::entropy(&u, &sample, t, CountMode::Tuples),
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_cache_serves_stable_values() {
+        let u = Universe::build(example_2_1());
+        let state = InferenceState::new(&u);
+        let c = state.informative()[0];
+        let first = state.entropy(c, CountMode::Tuples);
+        assert_eq!(state.entropy(c, CountMode::Tuples), first);
+        // A mode switch flushes and recomputes rather than serving the
+        // stale mode's value.
+        let classes_mode = state.entropy(c, CountMode::Classes);
+        assert_eq!(
+            classes_mode,
+            crate::entropy::entropy(&u, &state.as_sample(), c, CountMode::Classes)
+        );
+    }
+
+    #[test]
+    fn interval_brackets_every_consistent_predicate() {
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        state.apply(class_of(&u, 1, 1), Label::Positive).unwrap();
+        state.apply(class_of(&u, 0, 2), Label::Negative).unwrap();
+        let sample = state.as_sample();
+        let (lo, hi) = state.interval();
+        let nbits = u.omega_len();
+        let mut any = false;
+        for mask in 0u64..(1 << nbits) {
+            let theta = BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
+            if sample.admits(&u, &theta) {
+                any = true;
+                assert!(lo.is_subset(&theta), "θ_certain ⊄ consistent {theta:?}");
+                assert!(theta.is_subset(&hi), "consistent {theta:?} ⊄ θ_possible");
+            }
+        }
+        assert!(any, "sample should be consistent");
+        // And the bounds are tight: both ends are attained over the brute
+        // force (θ_certain is the meet, θ_possible the join, of C(S)).
+        let consistent: Vec<BitSet> = (0u64..(1 << nbits))
+            .map(|mask| BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1)))
+            .filter(|t| sample.admits(&u, t))
+            .collect();
+        let mut meet = consistent[0].clone();
+        let mut join = consistent[0].clone();
+        for t in &consistent[1..] {
+            meet.intersect_with(t);
+            join.union_with(t);
+        }
+        assert_eq!(meet, lo, "θ_certain must be the meet of C(S)");
+        assert_eq!(join, hi, "θ_possible must be the join of C(S)");
+    }
+
+    #[test]
+    fn speculate_equals_apply() {
+        let u = Universe::build(example_2_1());
+        let state = InferenceState::new(&u);
+        let c = state.informative()[3];
+        for label in Label::BOTH {
+            let spec = state.speculate(c, label);
+            let mut direct = InferenceState::new(&u);
+            direct.apply(c, label).unwrap();
+            assert_eq!(spec.informative(), direct.informative());
+            assert_eq!(spec.t_pos(), direct.t_pos());
+            assert_eq!(
+                spec.uninformative_count(CountMode::Tuples),
+                direct.uninformative_count(CountMode::Tuples)
+            );
+        }
+    }
+
+    #[test]
+    fn gain_matches_scratch_difference() {
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        state.apply(class_of(&u, 0, 2), Label::Positive).unwrap();
+        state.apply(class_of(&u, 2, 0), Label::Negative).unwrap();
+        let sample = state.as_sample();
+        let base = uninformative_count(&u, &sample, CountMode::Tuples);
+        for &c in state.informative() {
+            for alpha in Label::BOTH {
+                let mut s = sample.clone();
+                s.add(&u, c, alpha).unwrap();
+                let scratch = uninformative_count(&u, &s, CountMode::Tuples).saturating_sub(base);
+                assert_eq!(
+                    state.gain(c, alpha, CountMode::Tuples),
+                    scratch,
+                    "gain diverges for class {c} labeled {alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misuse_is_rejected_like_sample() {
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        assert!(matches!(
+            state.apply(99, Label::Positive),
+            Err(InferenceError::ClassOutOfBounds { class: 99, .. })
+        ));
+        state.apply(3, Label::Positive).unwrap();
+        assert!(matches!(
+            state.apply(3, Label::Negative),
+            Err(InferenceError::AlreadyLabeled { class: 3 })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_labeling_is_detected() {
+        // §3.4's certain classes mislabeled: positive on (t2,t2') makes
+        // (t4,t1') certain-positive; answering it negative has no
+        // consistent explanation.
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        state.apply(class_of(&u, 1, 1), Label::Positive).unwrap();
+        let certain_pos = class_of(&u, 3, 0);
+        assert_eq!(state.class_state(certain_pos), ClassState::CertainPositive);
+        state.apply(certain_pos, Label::Negative).unwrap();
+        assert!(!state.is_consistent());
+    }
+
+    #[test]
+    fn omega_signature_class_is_certain_from_the_start() {
+        use jqi_relation::{InstanceBuilder, Value};
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        b.row_r(&[Value::int(5)]);
+        b.row_p(&[Value::int(5)]);
+        let u = Universe::build(b.build().unwrap());
+        let state = InferenceState::new(&u);
+        assert_eq!(state.class_state(0), ClassState::CertainPositive);
+        assert!(!state.any_informative());
+        assert_eq!(state.uninformative_count(CountMode::Tuples), 1);
+    }
+
+    #[test]
+    fn as_sample_round_trips_history() {
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        state.apply(class_of(&u, 1, 1), Label::Positive).unwrap();
+        state.apply(class_of(&u, 2, 1), Label::Negative).unwrap();
+        let sample = state.as_sample();
+        assert_eq!(sample.len(), 2);
+        assert_eq!(sample.t_pos(), state.t_pos());
+        assert_eq!(sample.positives(), state.positives());
+        assert_eq!(sample.negatives(), state.negatives());
+    }
+}

@@ -1,10 +1,9 @@
 //! The bottom-up local strategy (BU, Algorithm 2).
 
-use crate::certain::is_informative;
 use crate::error::Result;
-use crate::sample::Sample;
+use crate::state::InferenceState;
 use crate::strategy::Strategy;
-use crate::universe::{ClassId, Universe};
+use crate::universe::ClassId;
 
 /// BU: navigates the lattice from the most general predicate `∅` upward,
 /// always presenting an informative tuple with minimal `|T(t)|`.
@@ -24,14 +23,15 @@ impl BottomUp {
 }
 
 /// Shared by BU and the positive-phase of TD: the informative class with the
-/// smallest signature.
-pub(crate) fn min_signature_informative(
-    universe: &Universe,
-    sample: &Sample,
-) -> Option<ClassId> {
-    (0..universe.num_classes())
-        .filter(|&c| is_informative(universe, sample, c))
-        .min_by_key(|&c| (universe.sig(c).len(), c))
+/// smallest signature. One pass over the maintained informative set, using
+/// the universe's precomputed signature sizes.
+pub(crate) fn min_signature_informative(state: &InferenceState<'_>) -> Option<ClassId> {
+    let universe = state.universe();
+    state
+        .informative()
+        .iter()
+        .copied()
+        .min_by_key(|&c| (universe.sig_size(c), c))
 }
 
 impl Strategy for BottomUp {
@@ -39,8 +39,8 @@ impl Strategy for BottomUp {
         "BU"
     }
 
-    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
-        Ok(min_signature_informative(universe, sample))
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        Ok(min_signature_informative(state))
     }
 }
 
@@ -56,9 +56,9 @@ mod tests {
     fn first_pick_is_the_empty_signature_tuple() {
         // §4.3: on Example 2.1, BU first asks about (t3,t1') with T = ∅.
         let u = Universe::build(example_2_1());
-        let s = crate::Sample::new(&u);
+        let state = InferenceState::new(&u);
         let mut bu = BottomUp::new();
-        let c = bu.next(&u, &s).unwrap().unwrap();
+        let c = bu.next(&state).unwrap().unwrap();
         assert_eq!(u.representative(c), (2, 0));
         assert!(u.sig(c).is_empty());
     }
@@ -68,11 +68,11 @@ mod tests {
         // §4.3: after a negative answer on ∅, BU selects (t2,t1') with
         // T = {(A1,B3)}.
         let u = Universe::build(example_2_1());
-        let mut s = crate::Sample::new(&u);
+        let mut state = InferenceState::new(&u);
         let mut bu = BottomUp::new();
-        let c0 = bu.next(&u, &s).unwrap().unwrap();
-        s.add(&u, c0, Label::Negative).unwrap();
-        let c1 = bu.next(&u, &s).unwrap().unwrap();
+        let c0 = bu.next(&state).unwrap().unwrap();
+        state.apply(c0, Label::Negative).unwrap();
+        let c1 = bu.next(&state).unwrap().unwrap();
         assert_eq!(u.representative(c1), (1, 0));
         assert_eq!(u.sig(c1).len(), 1);
     }

@@ -24,12 +24,16 @@
 //! with `T(t)`. Exponential in `|S⁻|`, so beyond
 //! [`ExpectedGain::MAX_NEGATIVES`] the strategy falls back to the
 //! uninformed prior `p = ½` (which ranks by `(u⁺ + u⁻)/2`).
+//!
+//! The gains `u⁺`/`u⁻` come from the state's incremental entropy
+//! computation (shared with L1S through the same version-stamped cache).
 
-use crate::certain::{informative_classes, uninformative_count, CountMode};
+use crate::certain::CountMode;
 use crate::error::Result;
-use crate::sample::{Label, Sample};
+use crate::sample::Label;
+use crate::state::InferenceState;
 use crate::strategy::Strategy;
-use crate::universe::{ClassId, Universe};
+use crate::universe::ClassId;
 use jqi_relation::BitSet;
 
 /// EG: picks the informative tuple with maximal expected information gain
@@ -74,20 +78,13 @@ fn count_down_set(base: &BitSet, negs: &[&BitSet]) -> f64 {
 /// The probability that class `c` is labeled positive under a uniform
 /// prior over `C(S)`. Returns `None` when `|S⁻|` exceeds the
 /// inclusion–exclusion budget.
-pub fn positive_probability(
-    universe: &Universe,
-    sample: &Sample,
-    c: ClassId,
-) -> Option<f64> {
-    if sample.negatives().len() > ExpectedGain::MAX_NEGATIVES {
+pub fn positive_probability(state: &InferenceState<'_>, c: ClassId) -> Option<f64> {
+    if state.negatives().len() > ExpectedGain::MAX_NEGATIVES {
         return None;
     }
-    let tpos = sample.t_pos();
-    let negs: Vec<&BitSet> = sample
-        .negatives()
-        .iter()
-        .map(|&g| universe.sig(g))
-        .collect();
+    let universe = state.universe();
+    let tpos = state.t_pos();
+    let negs: Vec<&BitSet> = state.negatives().iter().map(|&g| universe.sig(g)).collect();
     let total = count_down_set(tpos, &negs);
     if total <= 0.0 {
         return None; // inconsistent or empty C(S): probability undefined
@@ -103,23 +100,12 @@ impl Strategy for ExpectedGain {
         "EG"
     }
 
-    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
-        let informative = informative_classes(universe, sample);
-        if informative.is_empty() {
-            return Ok(None);
-        }
-        let base = uninformative_count(universe, sample, CountMode::Tuples);
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
         let mut best: Option<(f64, ClassId)> = None;
-        for c in informative {
-            let mut s_pos = sample.clone();
-            s_pos.add(universe, c, Label::Positive).expect("informative is unlabeled");
-            let u_pos =
-                uninformative_count(universe, &s_pos, CountMode::Tuples).saturating_sub(base);
-            let mut s_neg = sample.clone();
-            s_neg.add(universe, c, Label::Negative).expect("informative is unlabeled");
-            let u_neg =
-                uninformative_count(universe, &s_neg, CountMode::Tuples).saturating_sub(base);
-            let p = positive_probability(universe, sample, c).unwrap_or(0.5);
+        for &c in state.informative() {
+            let u_pos = state.gain(c, Label::Positive, CountMode::Tuples);
+            let u_neg = state.gain(c, Label::Negative, CountMode::Tuples);
+            let p = positive_probability(state, c).unwrap_or(0.5);
             let gain = p * u_pos as f64 + (1.0 - p) * u_neg as f64;
             if best.is_none_or(|(bg, bc)| gain > bg || (gain == bg && c < bc)) {
                 best = Some((gain, c));
@@ -146,8 +132,8 @@ mod tests {
         b.row_r(&[Value::int(1)]);
         b.row_p(&[Value::int(1)]);
         let u = Universe::build(b.build().unwrap());
-        let s = Sample::new(&u);
-        assert_eq!(positive_probability(&u, &s, 0), Some(1.0));
+        let state = InferenceState::new(&u);
+        assert_eq!(positive_probability(&state, 0), Some(1.0));
     }
 
     #[test]
@@ -155,10 +141,10 @@ mod tests {
         // Empty sample on Example 2.1: C(S) = P(Ω), |Ω| = 6, so the
         // probability that θ ⊆ T(t) is 2^{|T(t)|}/2^6.
         let u = Universe::build(example_2_1());
-        let s = Sample::new(&u);
+        let state = InferenceState::new(&u);
         for c in 0..u.num_classes() {
             let expect = 2f64.powi(u.sig(c).len() as i32) / 64.0;
-            let got = positive_probability(&u, &s, c).unwrap();
+            let got = positive_probability(&state, c).unwrap();
             assert!((got - expect).abs() < 1e-12, "class {c}: {got} vs {expect}");
         }
     }
@@ -168,12 +154,12 @@ mod tests {
         // After labeling the ∅-signature tuple negative, C(S) loses only
         // the empty predicate: |C(S)| = 2^6 − 1.
         let u = Universe::build(example_2_1());
-        let mut s = Sample::new(&u);
+        let mut state = InferenceState::new(&u);
         let c_empty = (0..u.num_classes()).find(|&c| u.sig(c).is_empty()).unwrap();
-        s.add(&u, c_empty, Label::Negative).unwrap();
+        state.apply(c_empty, Label::Negative).unwrap();
         let c_one = (0..u.num_classes()).find(|&c| u.sig(c).len() == 1).unwrap();
         // θ ⊆ T(t) with |T| = 1: 2 predicates, minus the empty one = 1.
-        let got = positive_probability(&u, &s, c_one).unwrap();
+        let got = positive_probability(&state, c_one).unwrap();
         assert!((got - 1.0 / 63.0).abs() < 1e-12);
     }
 
@@ -220,21 +206,23 @@ mod tests {
     fn inclusion_exclusion_matches_enumeration() {
         // Cross-check count_down_set against brute force on Example 2.1.
         let u = Universe::build(example_2_1());
-        let mut s = Sample::new(&u);
-        s.add(&u, u.class_of(1, 1).unwrap(), Label::Positive).unwrap();
-        s.add(&u, u.class_of(0, 2).unwrap(), Label::Negative).unwrap();
+        let mut state = InferenceState::new(&u);
+        state
+            .apply(u.class_of(1, 1).unwrap(), Label::Positive)
+            .unwrap();
+        state
+            .apply(u.class_of(0, 2).unwrap(), Label::Negative)
+            .unwrap();
+        let sample = state.as_sample();
         let nbits = u.omega_len();
         let brute = (0u64..(1 << nbits))
             .filter(|&mask| {
-                let theta = BitSet::from_iter(
-                    nbits,
-                    (0..nbits).filter(|&b| mask >> b & 1 == 1),
-                );
-                s.admits(&u, &theta)
+                let theta = BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
+                sample.admits(&u, &theta)
             })
             .count() as f64;
-        let negs: Vec<&BitSet> = s.negatives().iter().map(|&g| u.sig(g)).collect();
-        let ie = count_down_set(s.t_pos(), &negs);
+        let negs: Vec<&BitSet> = state.negatives().iter().map(|&g| u.sig(g)).collect();
+        let ie = count_down_set(state.t_pos(), &negs);
         assert_eq!(ie, brute);
     }
 }

@@ -1,11 +1,11 @@
 //! Lookahead skyline strategies (L1S, L2S, LkS — Algorithms 4–6).
 
-use crate::certain::{informative_classes, uninformative_count, CountMode};
-use crate::entropy::{entropy_with_base, select_best, Entropy};
+use crate::certain::CountMode;
+use crate::entropy::{select_best, Entropy, ENTROPY_INF};
 use crate::error::Result;
-use crate::sample::Sample;
+use crate::state::InferenceState;
 use crate::strategy::Strategy;
-use crate::universe::{ClassId, Universe};
+use crate::universe::ClassId;
 
 /// LkS: the k-step lookahead skyline strategy.
 ///
@@ -16,6 +16,13 @@ use crate::universe::{ClassId, Universe};
 /// minimax-optimal strategy at exponentially growing cost (§4.4: "if k is
 /// greater than the total number of informative tuples … the strategy
 /// becomes optimal and thus inefficient").
+///
+/// Depth-1 entropies come straight from the state's incremental gain
+/// computation (one pass over the informative set per candidate, served
+/// from the version-stamped cache on repeat queries); deeper lookahead
+/// branches on [`InferenceState::speculate`] — an O(classes) clone plus an
+/// O(delta) apply per hypothetical label, instead of the former
+/// sample-clone-and-rescan-Ω per node.
 #[derive(Debug, Clone)]
 pub struct Lookahead {
     depth: usize,
@@ -58,29 +65,59 @@ impl Lookahead {
     }
 
     /// Entropies of all informative classes at the configured depth.
-    pub fn entropies(
-        &self,
-        universe: &Universe,
-        sample: &Sample,
-    ) -> Vec<(ClassId, Entropy)> {
-        let informative = informative_classes(universe, sample);
+    pub fn entropies(&self, state: &InferenceState<'_>) -> Vec<(ClassId, Entropy)> {
         if self.depth == 1 {
-            let base = uninformative_count(universe, sample, self.mode);
-            informative
-                .into_iter()
-                .map(|c| (c, entropy_with_base(universe, sample, base, c, self.mode)))
-                .collect()
+            state.entropies(self.mode)
         } else {
-            informative
-                .into_iter()
-                .map(|c| {
-                    (
-                        c,
-                        crate::entropy::entropy_k(universe, sample, c, self.depth, self.mode),
-                    )
-                })
+            let base = state.uninformative_count(self.mode);
+            state
+                .informative()
+                .iter()
+                .map(|&c| (c, entropy_rel(state, base, c, self.depth, self.mode)))
                 .collect()
         }
+    }
+}
+
+/// Depth-`k` entropy of `c` w.r.t. the *current* state, with uninformative
+/// counts measured against `base` (the original sample's count, per
+/// Algorithm 5 lines 8–9).
+fn entropy_rel(
+    current: &InferenceState<'_>,
+    base: u64,
+    c: ClassId,
+    k: usize,
+    mode: CountMode,
+) -> Entropy {
+    if k == 1 {
+        // u^α relative to the ORIGINAL sample: the current absolute count
+        // plus the incremental gain of this labeling, minus the base.
+        let here = current.uninformative_count(mode);
+        let u_pos = (here + current.gain(c, crate::Label::Positive, mode)).saturating_sub(base);
+        let u_neg = (here + current.gain(c, crate::Label::Negative, mode)).saturating_sub(base);
+        return Entropy::of(u_pos, u_neg);
+    }
+    let mut per_label: [Entropy; 2] = [ENTROPY_INF; 2];
+    for (idx, alpha) in crate::Label::BOTH.into_iter().enumerate() {
+        let s1 = current.speculate(c, alpha);
+        if !s1.any_informative() {
+            // Line 4: e_α = (∞, ∞) — labeling ends the inference.
+            per_label[idx] = ENTROPY_INF;
+            continue;
+        }
+        let entries: Vec<(ClassId, Entropy)> = s1
+            .informative()
+            .iter()
+            .map(|&t2| (t2, entropy_rel(&s1, base, t2, k - 1, mode)))
+            .collect();
+        // Lines 11–12: skyline element with min(e) = max of mins.
+        per_label[idx] = select_best(&entries).expect("entries nonempty").1;
+    }
+    // Lines 13–14: return e_α with the smaller min (worst case over labels).
+    if per_label[0].lo <= per_label[1].lo {
+        per_label[0]
+    } else {
+        per_label[1]
     }
 }
 
@@ -89,8 +126,8 @@ impl Strategy for Lookahead {
         &self.name
     }
 
-    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
-        let entries = self.entropies(universe, sample);
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        let entries = self.entropies(state);
         Ok(select_best(&entries).map(|(c, _)| c))
     }
 }
@@ -107,10 +144,35 @@ mod tests {
         // §4.4 (with the Figure 5 typo corrected, see entropy::tests):
         // L1S picks (t2,t1'), whose entropy (1,4) has the maximal min.
         let u = Universe::build(example_2_1());
-        let s = crate::Sample::new(&u);
+        let state = InferenceState::new(&u);
         let mut l1s = Lookahead::l1s();
-        let c = l1s.next(&u, &s).unwrap().unwrap();
+        let c = l1s.next(&state).unwrap().unwrap();
         assert_eq!(u.representative(c), (1, 0));
+    }
+
+    #[test]
+    fn deep_entropies_match_the_scratch_recursion() {
+        // entropy_rel over speculated states must agree with the reference
+        // entropy_k over cloned samples (Algorithm 5 semantics).
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        state
+            .apply(u.class_of(0, 2).unwrap(), crate::Label::Positive)
+            .unwrap();
+        state
+            .apply(u.class_of(2, 0).unwrap(), crate::Label::Negative)
+            .unwrap();
+        let sample = state.as_sample();
+        for k in [1usize, 2] {
+            let strategy = Lookahead::new(k);
+            for (c, e) in strategy.entropies(&state) {
+                assert_eq!(
+                    e,
+                    crate::entropy::entropy_k(&u, &sample, c, k, CountMode::Tuples),
+                    "depth-{k} entropy diverges for class {c}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -142,18 +204,15 @@ mod tests {
         let seeds = [1u64, 2, 3, 4, 5];
         for goal in &goals {
             let mut o = PredicateOracle::new(goal.clone());
-            l2s_total +=
-                run_inference(&u, &mut Lookahead::l2s(), &mut o).unwrap().interactions
-                    * seeds.len();
+            l2s_total += run_inference(&u, &mut Lookahead::l2s(), &mut o)
+                .unwrap()
+                .interactions
+                * seeds.len();
             for &seed in &seeds {
                 let mut o = PredicateOracle::new(goal.clone());
-                rnd_total += run_inference(
-                    &u,
-                    &mut crate::strategy::Random::new(seed),
-                    &mut o,
-                )
-                .unwrap()
-                .interactions;
+                rnd_total += run_inference(&u, &mut crate::strategy::Random::new(seed), &mut o)
+                    .unwrap()
+                    .interactions;
             }
         }
         assert!(

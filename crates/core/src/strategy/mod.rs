@@ -28,24 +28,27 @@ mod top_down;
 pub use bottom_up::BottomUp;
 pub use expected_gain::{positive_probability, ExpectedGain};
 pub use lookahead::Lookahead;
-pub use optimal::{
-    optimal_worst_case, strategy_worst_case, Optimal, DEFAULT_CLASS_LIMIT,
-};
+pub use optimal::{optimal_worst_case, strategy_worst_case, Optimal, DEFAULT_CLASS_LIMIT};
 pub use random::Random;
 pub use top_down::TopDown;
 
 use crate::error::Result;
-use crate::sample::Sample;
-use crate::universe::{ClassId, Universe};
+use crate::state::InferenceState;
+use crate::universe::ClassId;
 
 /// A strategy `Υ(D, S)` choosing the next tuple (class) to present.
+///
+/// Strategies read the session through the incrementally maintained
+/// [`InferenceState`] — the informative candidate set, entropies, and the
+/// consistent-predicate interval are all `O(1)`-or-`O(delta)` queries on
+/// it, so no strategy rescans all of Ω per step.
 pub trait Strategy {
     /// Short name used in reports and benchmarks (`"BU"`, `"L2S"`, …).
     fn name(&self) -> &str;
 
     /// The next informative class to present, or `None` when the halt
     /// condition Γ holds (no informative tuple remains).
-    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>>;
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>>;
 
     /// Clears any per-run internal state (memo tables, RNG position).
     /// The default does nothing; stateful strategies override it.
@@ -57,8 +60,8 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
         (**self).name()
     }
 
-    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
-        (**self).next(universe, sample)
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        (**self).next(state)
     }
 
     fn reset(&mut self) {

@@ -11,11 +11,13 @@
 //! worst-case user) picks a label; the cost of a state is the number of
 //! questions until no informative tuple remains. Because a class is
 //! informative exactly when both labels keep the sample consistent, every
-//! adversary answer is realizable by some goal predicate.
+//! adversary answer is realizable by some goal predicate. Game-tree nodes
+//! are explored via [`InferenceState::speculate`], so each node pays an
+//! O(delta) incremental update rather than a from-scratch re-derivation.
 
-use crate::certain::informative_classes;
 use crate::error::{InferenceError, Result};
-use crate::sample::{Label, Sample};
+use crate::sample::Label;
+use crate::state::InferenceState;
 use crate::strategy::Strategy;
 use crate::universe::{ClassId, Universe};
 use std::collections::HashMap;
@@ -26,9 +28,9 @@ pub const DEFAULT_CLASS_LIMIT: usize = 14;
 
 /// Canonical memo key: one byte per class (0 unlabeled, 1 positive,
 /// 2 negative).
-fn state_key(universe: &Universe, sample: &Sample) -> Vec<u8> {
-    (0..universe.num_classes())
-        .map(|c| match sample.label(c) {
+fn state_key(state: &InferenceState<'_>) -> Vec<u8> {
+    (0..state.num_classes())
+        .map(|c| match state.label(c) {
             None => 0,
             Some(Label::Positive) => 1,
             Some(Label::Negative) => 2,
@@ -36,32 +38,32 @@ fn state_key(universe: &Universe, sample: &Sample) -> Vec<u8> {
         .collect()
 }
 
-/// Worst-case number of interactions from `sample` under optimal play,
+/// Worst-case number of interactions from `state` under optimal play,
 /// with the optimal first question.
 fn minimax(
-    universe: &Universe,
-    sample: &Sample,
+    state: &InferenceState<'_>,
     memo: &mut HashMap<Vec<u8>, (u32, Option<ClassId>)>,
 ) -> (u32, Option<ClassId>) {
-    let key = state_key(universe, sample);
+    let key = state_key(state);
     if let Some(&hit) = memo.get(&key) {
         return hit;
     }
-    let informative = informative_classes(universe, sample);
-    let result = if informative.is_empty() {
+    let result = if !state.any_informative() {
         (0, None)
     } else {
         let mut best: Option<(u32, ClassId)> = None;
-        for &c in &informative {
+        // Iterate a copy: speculation borrows the state immutably anyway,
+        // but the candidate list must outlive each branch.
+        let informative: Vec<ClassId> = state.informative().to_vec();
+        for c in informative {
             let mut worst = 0u32;
             for alpha in Label::BOTH {
-                let mut s = sample.clone();
-                s.add(universe, c, alpha).expect("informative class is unlabeled");
+                let s = state.speculate(c, alpha);
                 debug_assert!(
-                    s.is_consistent(universe),
+                    s.is_consistent(),
                     "both labels of an informative class keep consistency"
                 );
-                let (cost, _) = minimax(universe, &s, memo);
+                let (cost, _) = minimax(&s, memo);
                 worst = worst.max(cost);
             }
             let total = 1 + worst;
@@ -86,9 +88,9 @@ pub fn optimal_worst_case(universe: &Universe, limit: usize) -> Result<u32> {
     if classes > limit {
         return Err(InferenceError::UniverseTooLarge { classes, limit });
     }
-    let sample = Sample::new(universe);
+    let state = InferenceState::new(universe);
     let mut memo = HashMap::new();
-    Ok(minimax(universe, &sample, &mut memo).0)
+    Ok(minimax(&state, &mut memo).0)
 }
 
 /// The worst-case number of interactions a *deterministic* strategy needs
@@ -99,29 +101,21 @@ pub fn optimal_worst_case(universe: &Universe, limit: usize) -> Result<u32> {
 /// strategy. Exponential in the number of classes; a yardstick for small
 /// instances. Stateful strategies (e.g. [`crate::strategy::Random`]) would
 /// leak RNG state across branches and give meaningless results.
-pub fn strategy_worst_case(
-    universe: &Universe,
-    strategy: &mut dyn Strategy,
-) -> Result<u32> {
-    fn rec(
-        universe: &Universe,
-        strategy: &mut dyn Strategy,
-        sample: &Sample,
-    ) -> Result<u32> {
-        match strategy.next(universe, sample)? {
+pub fn strategy_worst_case(universe: &Universe, strategy: &mut dyn Strategy) -> Result<u32> {
+    fn rec(strategy: &mut dyn Strategy, state: &InferenceState<'_>) -> Result<u32> {
+        match strategy.next(state)? {
             None => Ok(0),
             Some(c) => {
                 let mut worst = 0u32;
                 for alpha in Label::BOTH {
-                    let mut s = sample.clone();
-                    s.add(universe, c, alpha)?;
-                    worst = worst.max(rec(universe, strategy, &s)?);
+                    let s = state.speculate(c, alpha);
+                    worst = worst.max(rec(strategy, &s)?);
                 }
                 Ok(1 + worst)
             }
         }
     }
-    rec(universe, strategy, &Sample::new(universe))
+    rec(strategy, &InferenceState::new(universe))
 }
 
 /// OPT: plays the minimax-optimal strategy, caching the game tree across
@@ -146,7 +140,10 @@ impl Optimal {
 
     /// Creates the strategy with an explicit class-count cap.
     pub fn with_limit(limit: usize) -> Self {
-        Optimal { limit, memo: HashMap::new() }
+        Optimal {
+            limit,
+            memo: HashMap::new(),
+        }
     }
 }
 
@@ -155,12 +152,15 @@ impl Strategy for Optimal {
         "OPT"
     }
 
-    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
-        let classes = universe.num_classes();
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        let classes = state.num_classes();
         if classes > self.limit {
-            return Err(InferenceError::UniverseTooLarge { classes, limit: self.limit });
+            return Err(InferenceError::UniverseTooLarge {
+                classes,
+                limit: self.limit,
+            });
         }
-        let (_, class) = minimax(universe, sample, &mut self.memo);
+        let (_, class) = minimax(state, &mut self.memo);
         Ok(class)
     }
 
@@ -248,10 +248,13 @@ mod tests {
         let u = Universe::build(example_2_1());
         assert!(matches!(
             optimal_worst_case(&u, 5),
-            Err(InferenceError::UniverseTooLarge { classes: 12, limit: 5 })
+            Err(InferenceError::UniverseTooLarge {
+                classes: 12,
+                limit: 5
+            })
         ));
         let mut opt = Optimal::with_limit(5);
-        let s = Sample::new(&u);
-        assert!(opt.next(&u, &s).is_err());
+        let state = InferenceState::new(&u);
+        assert!(opt.next(&state).is_err());
     }
 }

@@ -1,10 +1,9 @@
 //! The random baseline strategy (RND).
 
-use crate::certain::informative_classes;
 use crate::error::Result;
-use crate::sample::Sample;
+use crate::state::InferenceState;
 use crate::strategy::Strategy;
-use crate::universe::{ClassId, Universe};
+use crate::universe::ClassId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -12,7 +11,8 @@ use rand::{Rng, SeedableRng};
 ///
 /// The paper uses RND as the baseline all other strategies are compared
 /// against. The RNG is seeded explicitly so that experiments are
-/// reproducible; [`Strategy::reset`] rewinds it to the seed.
+/// reproducible; [`Strategy::reset`] rewinds it to the seed. The candidate
+/// set is the state's maintained informative slice — no scan.
 #[derive(Debug, Clone)]
 pub struct Random {
     seed: u64,
@@ -22,7 +22,10 @@ pub struct Random {
 impl Random {
     /// Creates the strategy with a fixed seed.
     pub fn new(seed: u64) -> Self {
-        Random { seed, rng: SmallRng::seed_from_u64(seed) }
+        Random {
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -31,8 +34,8 @@ impl Strategy for Random {
         "RND"
     }
 
-    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
-        let candidates = informative_classes(universe, sample);
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        let candidates = state.informative();
         if candidates.is_empty() {
             return Ok(None);
         }
@@ -49,18 +52,19 @@ impl Strategy for Random {
 mod tests {
     use super::*;
     use crate::paper::example_2_1;
+    use crate::sample::Label;
     use crate::universe::Universe;
 
     #[test]
     fn picks_only_informative_classes() {
         let u = Universe::build(example_2_1());
-        let mut s = crate::Sample::new(&u);
+        let mut state = InferenceState::new(&u);
         let mut rnd = Random::new(7);
         for _ in 0..5 {
-            let c = rnd.next(&u, &s).unwrap().expect("informative left");
-            assert!(crate::certain::is_informative(&u, &s, c));
-            s.add(&u, c, crate::Label::Negative).unwrap();
-            if !s.is_consistent(&u) {
+            let c = rnd.next(&state).unwrap().expect("informative left");
+            assert!(state.is_informative(c));
+            state.apply(c, Label::Negative).unwrap();
+            if !state.is_consistent() {
                 break;
             }
         }
@@ -69,13 +73,13 @@ mod tests {
     #[test]
     fn reset_replays_the_same_sequence() {
         let u = Universe::build(example_2_1());
-        let s = crate::Sample::new(&u);
+        let state = InferenceState::new(&u);
         let mut rnd = Random::new(99);
-        let a = rnd.next(&u, &s).unwrap();
-        let b = rnd.next(&u, &s).unwrap();
+        let a = rnd.next(&state).unwrap();
+        let b = rnd.next(&state).unwrap();
         rnd.reset();
-        assert_eq!(rnd.next(&u, &s).unwrap(), a);
-        assert_eq!(rnd.next(&u, &s).unwrap(), b);
+        assert_eq!(rnd.next(&state).unwrap(), a);
+        assert_eq!(rnd.next(&state).unwrap(), b);
     }
 
     #[test]
@@ -87,8 +91,8 @@ mod tests {
         b.row_r(&[Value::int(1)]);
         b.row_p(&[Value::int(1)]);
         let u = Universe::build(b.build().unwrap());
-        let s = crate::Sample::new(&u);
+        let state = InferenceState::new(&u);
         let mut rnd = Random::new(0);
-        assert_eq!(rnd.next(&u, &s).unwrap(), None);
+        assert_eq!(rnd.next(&state).unwrap(), None);
     }
 }

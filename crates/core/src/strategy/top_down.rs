@@ -1,11 +1,11 @@
 //! The top-down local strategy (TD, Algorithm 3).
 
-use crate::certain::informative_classes;
 use crate::error::Result;
-use crate::sample::Sample;
+use crate::lattice::maximal_among;
+use crate::state::InferenceState;
 use crate::strategy::bottom_up::min_signature_informative;
 use crate::strategy::Strategy;
-use crate::universe::{ClassId, Universe};
+use crate::universe::ClassId;
 
 /// TD: while there is no positive example, presents tuples whose signature
 /// is `⊆`-maximal (descending the lattice from Ω); once a positive example
@@ -34,26 +34,20 @@ impl Strategy for TopDown {
         "TD"
     }
 
-    fn next(&mut self, universe: &Universe, sample: &Sample) -> Result<Option<ClassId>> {
-        if !sample.positives().is_empty() {
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        if !state.positives().is_empty() {
             // Lines 3–5: with a positive example the goal is non-nullable;
             // switch to the bottom-up order.
-            return Ok(min_signature_informative(universe, sample));
+            return Ok(min_signature_informative(state));
         }
         // Lines 1–2: an informative class whose signature is maximal among
         // informative signatures; prefer larger signatures, then smaller id.
-        let informative = informative_classes(universe, sample);
-        let best = informative
-            .iter()
-            .copied()
-            .filter(|&c| {
-                !informative
-                    .iter()
-                    .any(|&o| universe.sig(c).is_proper_subset(universe.sig(o)))
-            })
-            .min_by_key(|&c| (usize::MAX - universe.sig(c).len(), c));
+        let universe = state.universe();
+        let best = maximal_among(universe, state.informative())
+            .into_iter()
+            .min_by_key(|&c| (usize::MAX - universe.sig_size(c), c));
         debug_assert!(
-            best.is_some() || informative.is_empty(),
+            best.is_some() || state.informative().is_empty(),
             "maximality over informative classes always has a witness"
         );
         Ok(best)
@@ -73,9 +67,9 @@ mod tests {
         // §4.3: TD first asks about tuples corresponding to ⊆-maximal
         // predicates, e.g. {(A1,B1),(A1,B2),(A2,B3)} = (t4,t1').
         let u = Universe::build(example_2_1());
-        let s = crate::Sample::new(&u);
+        let state = InferenceState::new(&u);
         let mut td = TopDown::new();
-        let c = td.next(&u, &s).unwrap().unwrap();
+        let c = td.next(&state).unwrap().unwrap();
         let maximal = crate::lattice::maximal_classes(&u);
         assert!(maximal.contains(&c));
         assert_eq!(u.sig(c).len(), 3, "size-3 nodes are preferred first");
@@ -96,13 +90,13 @@ mod tests {
     #[test]
     fn switches_to_bottom_up_after_a_positive() {
         let u = Universe::build(example_2_1());
-        let mut s = crate::Sample::new(&u);
+        let mut state = InferenceState::new(&u);
         let mut td = TopDown::new();
-        let c = td.next(&u, &s).unwrap().unwrap();
-        s.add(&u, c, Label::Positive).unwrap();
-        let c2 = td.next(&u, &s).unwrap().unwrap();
+        let c = td.next(&state).unwrap().unwrap();
+        state.apply(c, Label::Positive).unwrap();
+        let c2 = td.next(&state).unwrap().unwrap();
         // BU choice: smallest informative signature.
-        let bu = min_signature_informative(&u, &s).unwrap();
+        let bu = min_signature_informative(&state).unwrap();
         assert_eq!(c2, bu);
     }
 
@@ -113,8 +107,7 @@ mod tests {
         let mut oracle_td = PredicateOracle::new(goal.clone());
         let mut oracle_bu = PredicateOracle::new(goal.clone());
         let td = run_inference(&u, &mut TopDown::new(), &mut oracle_td).unwrap();
-        let bu = run_inference(&u, &mut crate::strategy::BottomUp::new(), &mut oracle_bu)
-            .unwrap();
+        let bu = run_inference(&u, &mut crate::strategy::BottomUp::new(), &mut oracle_bu).unwrap();
         assert_eq!(
             u.instance().equijoin(&td.predicate),
             u.instance().equijoin(&bu.predicate)

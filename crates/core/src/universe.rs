@@ -12,6 +12,7 @@
 //! multiplicity. This is what makes TPC-H-scale products (10⁷–10⁸ tuples)
 //! tractable: the number of *distinct* signatures stays small.
 
+use jqi_relation::bitset::{hash_words, word_count};
 use jqi_relation::{BitSet, Instance, Symbol};
 use std::collections::HashMap;
 
@@ -25,29 +26,13 @@ pub struct Universe {
     instance: Instance,
     /// Distinct signatures; `sigs[c]` is `T(t)` for every tuple of class `c`.
     sigs: Vec<BitSet>,
+    /// `|T(t)|` per class, precomputed: the BU/TD orderings consult it on
+    /// every step and popcounting the signature each time would dominate.
+    sig_sizes: Vec<u32>,
     /// Number of product tuples in each class.
     counts: Vec<u64>,
     /// One representative `(ri, pi)` product tuple per class.
     reps: Vec<(u32, u32)>,
-}
-
-/// Word count for a bitset over `nbits`.
-#[inline]
-fn word_count(nbits: usize) -> usize {
-    nbits.div_ceil(64)
-}
-
-/// A cheap, deterministic 64-bit hash over signature words (we bucket by it
-/// during class construction; full equality is always re-checked).
-#[inline]
-fn hash_words(words: &[u64]) -> u64 {
-    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
-    for &w in words {
-        h ^= w;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-    }
-    h
 }
 
 impl Universe {
@@ -127,7 +112,14 @@ impl Universe {
             }
         }
 
-        Universe { instance, sigs, counts, reps }
+        let sig_sizes = sigs.iter().map(|s| s.len() as u32).collect();
+        Universe {
+            instance,
+            sigs,
+            sig_sizes,
+            counts,
+            reps,
+        }
     }
 
     /// The underlying instance.
@@ -150,6 +142,12 @@ impl Universe {
     /// All distinct signatures, indexed by class id.
     pub fn sigs(&self) -> &[BitSet] {
         &self.sigs
+    }
+
+    /// `|T(t)|` for class `c`, precomputed at construction.
+    #[inline]
+    pub fn sig_size(&self, c: ClassId) -> usize {
+        self.sig_sizes[c] as usize
     }
 
     /// Number of product tuples in class `c`.
@@ -241,6 +239,14 @@ mod tests {
         let mut counts: Vec<u64> = u.counts.clone();
         counts.sort();
         assert_eq!(counts, vec![3, 6]);
+    }
+
+    #[test]
+    fn sig_sizes_match_popcounts() {
+        let u = Universe::build(example_2_1());
+        for c in 0..u.num_classes() {
+            assert_eq!(u.sig_size(c), u.sig(c).len());
+        }
     }
 
     #[test]

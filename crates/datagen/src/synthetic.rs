@@ -27,24 +27,62 @@ pub struct SyntheticConfig {
 /// order: `(3,3,100,100)`, `(3,3,50,100)`, `(3,4,50,100)`, `(2,5,50,100)`,
 /// `(2,4,50,50)`, `(2,4,50,100)`.
 pub const PAPER_CONFIGS: [SyntheticConfig; 6] = [
-    SyntheticConfig { attrs_r: 3, attrs_p: 3, rows: 100, values: 100 },
-    SyntheticConfig { attrs_r: 3, attrs_p: 3, rows: 50, values: 100 },
-    SyntheticConfig { attrs_r: 3, attrs_p: 4, rows: 50, values: 100 },
-    SyntheticConfig { attrs_r: 2, attrs_p: 5, rows: 50, values: 100 },
-    SyntheticConfig { attrs_r: 2, attrs_p: 4, rows: 50, values: 50 },
-    SyntheticConfig { attrs_r: 2, attrs_p: 4, rows: 50, values: 100 },
+    SyntheticConfig {
+        attrs_r: 3,
+        attrs_p: 3,
+        rows: 100,
+        values: 100,
+    },
+    SyntheticConfig {
+        attrs_r: 3,
+        attrs_p: 3,
+        rows: 50,
+        values: 100,
+    },
+    SyntheticConfig {
+        attrs_r: 3,
+        attrs_p: 4,
+        rows: 50,
+        values: 100,
+    },
+    SyntheticConfig {
+        attrs_r: 2,
+        attrs_p: 5,
+        rows: 50,
+        values: 100,
+    },
+    SyntheticConfig {
+        attrs_r: 2,
+        attrs_p: 4,
+        rows: 50,
+        values: 50,
+    },
+    SyntheticConfig {
+        attrs_r: 2,
+        attrs_p: 4,
+        rows: 50,
+        values: 100,
+    },
 ];
 
 impl SyntheticConfig {
     /// Creates a configuration.
     pub fn new(attrs_r: usize, attrs_p: usize, rows: usize, values: u32) -> Self {
-        SyntheticConfig { attrs_r, attrs_p, rows, values }
+        SyntheticConfig {
+            attrs_r,
+            attrs_p,
+            rows,
+            values,
+        }
     }
 
     /// Generates an instance with the given seed. Attributes are named
     /// `A1..An` and `B1..Bm` as in the paper.
     pub fn generate(&self, seed: u64) -> Instance {
-        assert!(self.attrs_r > 0 && self.attrs_p > 0, "arities must be positive");
+        assert!(
+            self.attrs_r > 0 && self.attrs_p > 0,
+            "arities must be positive"
+        );
         assert!(self.values > 0, "value domain must be nonempty");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut b = InstanceBuilder::new();

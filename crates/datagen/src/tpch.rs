@@ -203,7 +203,15 @@ impl TpchTables {
                 lineitems.push((ok, pk, sk, line, rng.gen_range(1..=50)));
             }
         }
-        TpchTables { scale, parts, suppliers, partsupps, customers, orders, lineitems }
+        TpchTables {
+            scale,
+            parts,
+            suppliers,
+            partsupps,
+            customers,
+            orders,
+            lineitems,
+        }
     }
 
     /// The scale the tables were generated at.
@@ -264,7 +272,13 @@ impl TpchTables {
                 );
                 b.relation_p(
                     "Lineitem",
-                    &["L_OrderKey", "L_PartKey", "L_SuppKey", "L_LineNumber", "L_Quantity"],
+                    &[
+                        "L_OrderKey",
+                        "L_PartKey",
+                        "L_SuppKey",
+                        "L_LineNumber",
+                        "L_Quantity",
+                    ],
                 );
                 for &(ok, ck, sp, st) in &self.orders {
                     b.row_r_ints(&[ok, ck, sp, st]);
@@ -281,7 +295,13 @@ impl TpchTables {
                 );
                 b.relation_p(
                     "Lineitem",
-                    &["L_OrderKey", "L_PartKey", "L_SuppKey", "L_LineNumber", "L_Quantity"],
+                    &[
+                        "L_OrderKey",
+                        "L_PartKey",
+                        "L_SuppKey",
+                        "L_LineNumber",
+                        "L_Quantity",
+                    ],
                 );
                 for &(pk, sk, q, c) in &self.partsupps {
                     b.row_r_ints(&[pk, sk, q, c]);
@@ -293,9 +313,12 @@ impl TpchTables {
             }
         };
         let instance = b.build().expect("TPC-H workload instance is well-formed");
-        let goal =
-            predicate_from_names(&instance, &goal_pairs).expect("goal attributes exist");
-        TpchWorkload { join, instance, goal }
+        let goal = predicate_from_names(&instance, &goal_pairs).expect("goal attributes exist");
+        TpchWorkload {
+            join,
+            instance,
+            goal,
+        }
     }
 
     /// All five workloads at this scale.

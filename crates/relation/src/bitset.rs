@@ -10,7 +10,8 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-const WORD_BITS: usize = 64;
+/// Bits per backing word.
+pub const WORD_BITS: usize = 64;
 
 /// A fixed-capacity set of bit positions `0..nbits`.
 #[derive(Clone)]
@@ -19,9 +20,28 @@ pub struct BitSet {
     words: Box<[u64]>,
 }
 
+/// Number of `u64` words backing a set over `nbits` positions.
+///
+/// Shared with bulk signature computation in `jqi_core::universe`, which
+/// builds word buffers directly before wrapping them via
+/// [`BitSet::from_words`].
 #[inline]
-fn word_count(nbits: usize) -> usize {
+pub fn word_count(nbits: usize) -> usize {
     nbits.div_ceil(WORD_BITS)
+}
+
+/// A cheap, deterministic 64-bit hash over a word slice (murmur-style
+/// finalizer). Used to bucket signatures during class construction; callers
+/// must re-check full equality on collision.
+#[inline]
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    h
 }
 
 impl BitSet {
@@ -57,7 +77,10 @@ impl BitSet {
     /// beyond `nbits` are cleared.
     pub fn from_words(nbits: usize, words: Vec<u64>) -> Self {
         assert_eq!(words.len(), word_count(nbits), "word count mismatch");
-        let mut s = BitSet { nbits, words: words.into_boxed_slice() };
+        let mut s = BitSet {
+            nbits,
+            words: words.into_boxed_slice(),
+        };
         s.clear_excess();
         s
     }
@@ -122,7 +145,10 @@ impl BitSet {
     #[inline]
     pub fn is_subset(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.nbits, other.nbits, "universe mismatch");
-        self.words.iter().zip(other.words.iter()).all(|(&a, &b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(&a, &b)| a & !b == 0)
     }
 
     /// `self ⊊ other` (proper subset).
@@ -187,6 +213,39 @@ impl BitSet {
             .all(|((&a, &b), &c)| (a & b) & !c == 0)
     }
 
+    /// Whether `self \ {bit} ⊆ other`, computed without allocating.
+    ///
+    /// This is the `InferenceState` θ-certain test: pair `k` belongs to
+    /// every consistent predicate iff `T(S⁺) \ {k} ⊆ T(t′)` for some
+    /// negative example `t′`.
+    #[inline]
+    pub fn is_subset_except(&self, other: &BitSet, bit: usize) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits, "universe mismatch");
+        debug_assert!(bit < self.nbits, "bit out of range");
+        let (wi, mask) = (bit / WORD_BITS, 1u64 << (bit % WORD_BITS));
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .enumerate()
+            .all(|(i, (&a, &b))| {
+                let mut excess = a & !b;
+                if i == wi {
+                    excess &= !mask;
+                }
+                excess == 0
+            })
+    }
+
+    /// Iterates over the nonzero backing words as `(word_index, word)`
+    /// pairs — the word-level walk in-place set algebra is built from.
+    pub fn iter_set_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(i, &w)| (i, w))
+    }
+
     /// Iterates over set positions in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -232,7 +291,9 @@ impl PartialOrd for BitSet {
 /// deterministic, not as the lattice order.
 impl Ord for BitSet {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.words.cmp(&other.words).then(self.nbits.cmp(&other.nbits))
+        self.words
+            .cmp(&other.words)
+            .then(self.nbits.cmp(&other.nbits))
     }
 }
 
@@ -343,6 +404,52 @@ mod tests {
     fn debug_format() {
         let s = BitSet::from_iter(8, [1, 3]);
         assert_eq!(format!("{s:?}"), "BitSet{1,3}");
+    }
+
+    #[test]
+    fn is_subset_except_matches_naive() {
+        let a = BitSet::from_iter(70, [1, 5, 66]);
+        let b = BitSet::from_iter(70, [1, 5]);
+        // a ⊄ b, but a \ {66} ⊆ b.
+        assert!(!a.is_subset(&b));
+        assert!(a.is_subset_except(&b, 66));
+        assert!(!a.is_subset_except(&b, 5));
+        // Excluding a bit not in `a` changes nothing.
+        assert!(!a.is_subset_except(&b, 2));
+        for bit in 0..70 {
+            let mut without = a.clone();
+            if without.contains(bit) {
+                without.remove(bit);
+            }
+            assert_eq!(
+                a.is_subset_except(&b, bit),
+                without.is_subset(&b),
+                "mismatch at bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn iter_set_words_skips_zero_words() {
+        let s = BitSet::from_iter(200, [0, 63, 130]);
+        let words: Vec<(usize, u64)> = s.iter_set_words().collect();
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0], (0, (1 << 0) | (1 << 63)));
+        assert_eq!(words[1], (2, 1 << 2));
+        assert_eq!(BitSet::empty(100).iter_set_words().count(), 0);
+    }
+
+    #[test]
+    fn word_count_and_hash_words_helpers() {
+        assert_eq!(word_count(0), 0);
+        assert_eq!(word_count(1), 1);
+        assert_eq!(word_count(64), 1);
+        assert_eq!(word_count(65), 2);
+        // Deterministic, and sensitive to content.
+        let a = [1u64, 2, 3];
+        let b = [1u64, 2, 4];
+        assert_eq!(hash_words(&a), hash_words(&a));
+        assert_ne!(hash_words(&a), hash_words(&b));
     }
 
     #[test]

@@ -61,10 +61,14 @@ fn split_record(line: &str, lineno: usize) -> Result<Vec<String>> {
 
 /// Parses a relation from CSV text. The first line is the header.
 pub fn relation_from_csv(interner: &Interner, name: &str, text: &str) -> Result<Relation> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
-    let (hline, header) = lines
-        .next()
-        .ok_or(RelationError::Csv { line: 1, message: "empty document".into() })?;
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (hline, header) = lines.next().ok_or(RelationError::Csv {
+        line: 1,
+        message: "empty document".into(),
+    })?;
     let attrs = split_record(header, hline + 1)?;
     let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
     let mut rel = Relation::new(Schema::new(name, &attr_refs)?);
@@ -130,17 +134,29 @@ mod tests {
     fn parse_simple() {
         let it = Interner::new();
         let rel = relation_from_csv(&it, "Hotel", "City,Discount\nNYC,AA\nParis,None\n").unwrap();
-        assert_eq!(rel.schema().attrs(), &["City".to_string(), "Discount".to_string()]);
+        assert_eq!(
+            rel.schema().attrs(),
+            &["City".to_string(), "Discount".to_string()]
+        );
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.rows()[0].resolve(&it), vec![Value::str("NYC"), Value::str("AA")]);
+        assert_eq!(
+            rel.rows()[0].resolve(&it),
+            vec![Value::str("NYC"), Value::str("AA")]
+        );
     }
 
     #[test]
     fn integers_are_typed() {
         let it = Interner::new();
         let rel = relation_from_csv(&it, "R", "A,B\n1,x\n-2,3\n").unwrap();
-        assert_eq!(rel.rows()[0].resolve(&it), vec![Value::int(1), Value::str("x")]);
-        assert_eq!(rel.rows()[1].resolve(&it), vec![Value::int(-2), Value::int(3)]);
+        assert_eq!(
+            rel.rows()[0].resolve(&it),
+            vec![Value::int(1), Value::str("x")]
+        );
+        assert_eq!(
+            rel.rows()[1].resolve(&it),
+            vec![Value::int(-2), Value::int(3)]
+        );
     }
 
     #[test]
@@ -148,7 +164,10 @@ mod tests {
         let it = Interner::new();
         let rel = relation_from_csv(&it, "R", "A\n\"a,b\"\n\"he said \"\"hi\"\"\"\n").unwrap();
         assert_eq!(rel.rows()[0].resolve(&it), vec![Value::str("a,b")]);
-        assert_eq!(rel.rows()[1].resolve(&it), vec![Value::str("he said \"hi\"")]);
+        assert_eq!(
+            rel.rows()[1].resolve(&it),
+            vec![Value::str("he said \"hi\"")]
+        );
     }
 
     #[test]

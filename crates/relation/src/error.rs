@@ -117,8 +117,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(RelationError::MissingRelation { which: "P" });
+        let e: Box<dyn std::error::Error> = Box::new(RelationError::MissingRelation { which: "P" });
         assert!(e.to_string().contains('P'));
     }
 }

@@ -91,11 +91,18 @@ impl Instance {
     pub fn new(interner: Arc<Interner>, r: Relation, p: Relation) -> Result<Self> {
         for a in r.schema().attrs() {
             if p.schema().attrs().contains(a) {
-                return Err(RelationError::OverlappingAttributes { attribute: a.clone() });
+                return Err(RelationError::OverlappingAttributes {
+                    attribute: a.clone(),
+                });
             }
         }
         let pairs = PairSpace::new(r.schema().arity(), p.schema().arity());
-        Ok(Instance { interner, r, p, pairs })
+        Ok(Instance {
+            interner,
+            r,
+            p,
+            pairs,
+        })
     }
 
     /// The shared value interner.
@@ -336,8 +343,12 @@ impl InstanceBuilder {
         if let Some(e) = self.error {
             return Err(e);
         }
-        let r = self.r.ok_or(RelationError::MissingRelation { which: "R" })?;
-        let p = self.p.ok_or(RelationError::MissingRelation { which: "P" })?;
+        let r = self
+            .r
+            .ok_or(RelationError::MissingRelation { which: "R" })?;
+        let p = self
+            .p
+            .ok_or(RelationError::MissingRelation { which: "P" })?;
         Instance::new(self.interner, r, p)
     }
 }
@@ -379,10 +390,7 @@ mod tests {
         // Figure 3 of the paper, first rows:
         // T(t1,t1') = {(A1,B3),(A2,B1),(A2,B2)}
         let sig = inst.signature(0, 0);
-        let expect = BitSet::from_iter(
-            ps.len(),
-            [ps.index(0, 2), ps.index(1, 0), ps.index(1, 1)],
-        );
+        let expect = BitSet::from_iter(ps.len(), [ps.index(0, 2), ps.index(1, 0), ps.index(1, 1)]);
         assert_eq!(sig, expect);
         // T(t3,t1') = ∅
         assert!(inst.signature(2, 0).is_empty());
@@ -405,10 +413,7 @@ mod tests {
         assert_eq!(inst.equijoin(&theta2), vec![(0, 0), (0, 1), (3, 2)]);
         assert_eq!(inst.semijoin(&theta2), vec![0, 3]);
         // θ3 = {(A2,B1),(A2,B2),(A2,B3)} → ∅
-        let theta3 = BitSet::from_iter(
-            ps.len(),
-            [ps.index(1, 0), ps.index(1, 1), ps.index(1, 2)],
-        );
+        let theta3 = BitSet::from_iter(ps.len(), [ps.index(1, 0), ps.index(1, 1), ps.index(1, 2)]);
         assert!(inst.equijoin(&theta3).is_empty());
         assert!(inst.semijoin(&theta3).is_empty());
     }

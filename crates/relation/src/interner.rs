@@ -64,7 +64,9 @@ impl Interner {
         if let Some(&sym) = inner.map.get(value) {
             return sym;
         }
-        let sym = Symbol(u32::try_from(inner.values.len()).expect("interner overflow: >4e9 distinct values"));
+        let sym = Symbol(
+            u32::try_from(inner.values.len()).expect("interner overflow: >4e9 distinct values"),
+        );
         inner.values.push(value.clone());
         inner.map.insert(value.clone(), sym);
         sym
@@ -147,7 +149,9 @@ mod tests {
             .map(|_| {
                 let it = Arc::clone(&it);
                 std::thread::spawn(move || {
-                    (0..256).map(|i| it.intern(&Value::int(i % 32)).0).collect::<Vec<_>>()
+                    (0..256)
+                        .map(|i| it.intern(&Value::int(i % 32)).0)
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();

@@ -19,7 +19,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The schema.
@@ -44,11 +47,13 @@ impl Relation {
 
     /// The row at `index`, with a proper error on overflow.
     pub fn row(&self, index: usize) -> Result<&Tuple> {
-        self.rows.get(index).ok_or_else(|| RelationError::RowOutOfBounds {
-            relation: self.schema.name().to_string(),
-            index,
-            len: self.rows.len(),
-        })
+        self.rows
+            .get(index)
+            .ok_or_else(|| RelationError::RowOutOfBounds {
+                relation: self.schema.name().to_string(),
+                index,
+                len: self.rows.len(),
+            })
     }
 
     /// Appends an already-interned tuple, checking arity.
@@ -122,8 +127,10 @@ mod tests {
 
     fn flights(it: &Interner) -> Relation {
         let mut b = RelationBuilder::new(it, "Flight", &["From", "To", "Airline"]).unwrap();
-        b.row(&[Value::str("Paris"), Value::str("Lille"), Value::str("AF")]).unwrap();
-        b.row(&[Value::str("Lille"), Value::str("NYC"), Value::str("AA")]).unwrap();
+        b.row(&[Value::str("Paris"), Value::str("Lille"), Value::str("AF")])
+            .unwrap();
+        b.row(&[Value::str("Lille"), Value::str("NYC"), Value::str("AA")])
+            .unwrap();
         b.build()
     }
 
@@ -144,7 +151,14 @@ mod tests {
         let it = Interner::new();
         let mut r = Relation::new(Schema::new("R", &["A", "B"]).unwrap());
         let e = r.push_row(&it, &[Value::int(1)]).unwrap_err();
-        assert!(matches!(e, RelationError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            e,
+            RelationError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -163,6 +177,13 @@ mod tests {
         let r = flights(&it);
         assert!(r.row(1).is_ok());
         let e = r.row(2).unwrap_err();
-        assert!(matches!(e, RelationError::RowOutOfBounds { index: 2, len: 2, .. }));
+        assert!(matches!(
+            e,
+            RelationError::RowOutOfBounds {
+                index: 2,
+                len: 2,
+                ..
+            }
+        ));
     }
 }

@@ -13,7 +13,9 @@ pub struct Tuple {
 impl Tuple {
     /// Builds a tuple from raw symbols.
     pub fn new(values: impl Into<Box<[Symbol]>>) -> Self {
-        Tuple { values: values.into() }
+        Tuple {
+            values: values.into(),
+        }
     }
 
     /// Builds a tuple by interning `values`.
@@ -47,7 +49,10 @@ impl Tuple {
 
     /// A displayable view of the tuple using `interner` to resolve symbols.
     pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayTuple<'a> {
-        DisplayTuple { tuple: self, interner }
+        DisplayTuple {
+            tuple: self,
+            interner,
+        }
     }
 }
 

@@ -79,10 +79,7 @@ impl Search {
 ///
 /// Worst-case exponential in `|S⁺|` (Theorem 6.1 rules out anything
 /// polynomial unless P = NP), but heavily pruned in practice.
-pub fn find_consistent_semijoin(
-    instance: &Instance,
-    sample: &SemijoinSample,
-) -> Option<BitSet> {
+pub fn find_consistent_semijoin(instance: &Instance, sample: &SemijoinSample) -> Option<BitSet> {
     let omega = instance.pairs().omega();
     // Forbidden signatures from the negative rows.
     let mut forbidden: Vec<BitSet> = Vec::new();
@@ -108,7 +105,11 @@ pub fn find_consistent_semijoin(
     // Fail-first: positives with the fewest witness options first.
     witnesses.sort_by_key(Vec::len);
 
-    let mut search = Search { witnesses, forbidden, memo: HashSet::new() };
+    let mut search = Search {
+        witnesses,
+        forbidden,
+        memo: HashSet::new(),
+    };
     let theta = search.dfs(0, &omega)?;
     debug_assert!(sample.admits(instance, &theta));
     Some(theta)
@@ -116,15 +117,11 @@ pub fn find_consistent_semijoin(
 
 /// Brute-force reference decision procedure: enumerates all `θ ⊆ Ω`.
 /// Exponential in `|Ω|`; only for cross-validation on tiny instances.
-pub fn exists_consistent_brute_force(
-    instance: &Instance,
-    sample: &SemijoinSample,
-) -> bool {
+pub fn exists_consistent_brute_force(instance: &Instance, sample: &SemijoinSample) -> bool {
     let nbits = instance.pairs().len();
     assert!(nbits <= 24, "brute force limited to tiny pair spaces");
     (0u64..(1u64 << nbits)).any(|mask| {
-        let theta =
-            BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
+        let theta = BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
         sample.admits(instance, &theta)
     })
 }

@@ -16,18 +16,14 @@ use jqi_relation::{BitSet, Instance};
 /// One greedy pass. Returns a consistent semijoin predicate or `None` if
 /// the greedy choices dead-end (which does *not* imply inconsistency — use
 /// [`crate::consistency::find_consistent_semijoin`] for an exact answer).
-pub fn greedy_consistent_semijoin(
-    instance: &Instance,
-    sample: &SemijoinSample,
-) -> Option<BitSet> {
+pub fn greedy_consistent_semijoin(instance: &Instance, sample: &SemijoinSample) -> Option<BitSet> {
     // Forbidden signatures (⊆-maximality not required for correctness).
     let forbidden: Vec<BitSet> = sample
         .negatives()
         .iter()
         .flat_map(|&nr| (0..instance.p().len()).map(move |pi| instance.signature(nr, pi)))
         .collect();
-    let selects_negative =
-        |theta: &BitSet| forbidden.iter().any(|f| theta.is_subset(f));
+    let selects_negative = |theta: &BitSet| forbidden.iter().any(|f| theta.is_subset(f));
 
     // Witness signatures per positive, fewest-first.
     let mut witnesses: Vec<Vec<BitSet>> = sample

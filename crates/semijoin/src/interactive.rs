@@ -16,7 +16,14 @@
 //!   labeled or decided.
 //!
 //! Each informativeness test costs up to two NP-hard solver calls, as
-//! Theorem 6.1 says it must (unless P = NP).
+//! Theorem 6.1 says it must (unless P = NP). What *can* be saved — and
+//! [`SemijoinState`] saves it, mirroring `jqi_core::state::InferenceState`
+//! for the equijoin scenario — is re-deciding rows that are already
+//! decided: decidedness is monotone (a labeling refuted under `S` stays
+//! refuted under any `S′ ⊇ S`), so the interactive loop only re-tests the
+//! still-open rows after each answer instead of all of `R`, and the
+//! witness-diversity scores behind [`pick_next`] are sample-independent
+//! and computed once.
 
 use crate::consistency::find_consistent_semijoin;
 use crate::sample::SemijoinSample;
@@ -72,14 +79,12 @@ pub fn open_rows(instance: &Instance, sample: &SemijoinSample) -> Vec<usize> {
 /// tuple, since each distinct witness keeps a different region of the
 /// predicate space alive. Ties break toward the smallest row index.
 pub fn pick_next(instance: &Instance, sample: &SemijoinSample) -> Option<usize> {
-    open_rows(instance, sample)
-        .into_iter()
-        .max_by_key(|&r| {
-            let sigs: HashSet<BitSet> = (0..instance.p().len())
-                .map(|pi| instance.signature(r, pi))
-                .collect();
-            (sigs.len(), usize::MAX - r)
-        })
+    open_rows(instance, sample).into_iter().max_by_key(|&r| {
+        let sigs: HashSet<BitSet> = (0..instance.p().len())
+            .map(|pi| instance.signature(r, pi))
+            .collect();
+        (sigs.len(), usize::MAX - r)
+    })
 }
 
 /// A simulated user for the interactive loop.
@@ -110,27 +115,152 @@ pub struct SemijoinRun {
     pub sample: SemijoinSample,
 }
 
+/// The incrementally maintained state of one interactive semijoin session:
+/// the sample plus the cached row partition (labeled / forced / open) and
+/// the precomputed witness-diversity scores.
+///
+/// The NP-hard per-row informativeness tests (Theorem 6.1) are only paid
+/// for rows still open; decided rows are never re-tested because
+/// decidedness is monotone in the sample.
+#[derive(Debug, Clone)]
+pub struct SemijoinState<'i> {
+    instance: &'i Instance,
+    sample: SemijoinSample,
+    status: Vec<RowStatus>,
+    /// Rows still open, ascending.
+    open: Vec<usize>,
+    /// Number of distinct witness signatures per row (sample-independent).
+    diversity: Vec<usize>,
+    consistent: bool,
+    /// The witness predicate of the latest consistency proof — the solver's
+    /// exponential work is not thrown away after each answer.
+    witness: Option<BitSet>,
+}
+
+impl<'i> SemijoinState<'i> {
+    /// Classifies every row once and caches the partition.
+    pub fn new(instance: &'i Instance) -> Self {
+        let sample = SemijoinSample::new();
+        let rows = instance.r().len();
+        let mut status = Vec::with_capacity(rows);
+        let mut open = Vec::new();
+        let mut diversity = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let s = row_status(instance, &sample, r);
+            if s == RowStatus::Open {
+                open.push(r);
+            }
+            status.push(s);
+            let sigs: HashSet<BitSet> = (0..instance.p().len())
+                .map(|pi| instance.signature(r, pi))
+                .collect();
+            diversity.push(sigs.len());
+        }
+        let witness = find_consistent_semijoin(instance, &sample);
+        SemijoinState {
+            instance,
+            sample,
+            status,
+            open,
+            diversity,
+            consistent: witness.is_some(),
+            witness,
+        }
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &SemijoinSample {
+        &self.sample
+    }
+
+    /// The cached status of row `r`.
+    pub fn status(&self, r: usize) -> RowStatus {
+        self.status[r]
+    }
+
+    /// Rows still worth asking about, ascending.
+    pub fn open_rows(&self) -> &[usize] {
+        &self.open
+    }
+
+    /// Whether a consistent semijoin predicate still exists.
+    pub fn is_consistent(&self) -> bool {
+        self.consistent
+    }
+
+    /// The witness predicate from the latest consistency proof, if the
+    /// answers are still consistent.
+    pub fn witness(&self) -> Option<&BitSet> {
+        self.witness.as_ref()
+    }
+
+    /// The witness-diversity pick among the cached open rows (same
+    /// heuristic as the free function [`pick_next`]).
+    pub fn pick_next(&self) -> Option<usize> {
+        self.open
+            .iter()
+            .copied()
+            .max_by_key(|&r| (self.diversity[r], usize::MAX - r))
+    }
+
+    /// Records an answer for row `r` and re-tests only the remaining open
+    /// rows. Returns `false` if the answers have become inconsistent.
+    pub fn apply(&mut self, r: usize, positive: bool) -> bool {
+        if positive {
+            self.sample.add_positive(r);
+            self.status[r] = RowStatus::Positive;
+        } else {
+            self.sample.add_negative(r);
+            self.status[r] = RowStatus::Negative;
+        }
+        self.open.retain(|&o| o != r);
+        self.witness = if self.consistent {
+            find_consistent_semijoin(self.instance, &self.sample)
+        } else {
+            None
+        };
+        self.consistent = self.witness.is_some();
+        if !self.consistent {
+            return false;
+        }
+        let instance = self.instance;
+        let sample = &self.sample;
+        let status = &mut self.status;
+        self.open.retain(|&o| {
+            let s = row_status(instance, sample, o);
+            status[o] = s;
+            s == RowStatus::Open
+        });
+        true
+    }
+}
+
 /// Runs the interactive loop: ask about open rows until none remain, then
 /// return a consistent predicate. Returns `None` if the oracle's answers
 /// are inconsistent (no semijoin predicate explains them) — which a
 /// [`GoalOracle`] never produces.
+///
+/// One [`SemijoinState`] is threaded through the loop, so each step costs
+/// solver calls proportional to the number of *open* rows, not `|R|`.
 pub fn run_interactive(
     instance: &Instance,
     oracle: &mut dyn SemijoinOracle,
 ) -> Option<SemijoinRun> {
-    let mut sample = SemijoinSample::new();
+    let mut state = SemijoinState::new(instance);
     let mut interactions = 0usize;
-    while let Some(r) = pick_next(instance, &sample) {
+    while let Some(r) = state.pick_next() {
         interactions += 1;
-        if oracle.wants(instance, r) {
-            sample.add_positive(r);
-        } else {
-            sample.add_negative(r);
+        let wants = oracle.wants(instance, r);
+        if !state.apply(r, wants) {
+            return None;
         }
-        find_consistent_semijoin(instance, &sample)?;
     }
-    let predicate = find_consistent_semijoin(instance, &sample)?;
-    Some(SemijoinRun { predicate, interactions, sample })
+    let predicate = state.witness()?.clone();
+    Some(SemijoinRun {
+        predicate,
+        interactions,
+        sample: state.sample().clone(),
+    })
 }
 
 #[cfg(test)]
@@ -150,8 +280,8 @@ mod tests {
         goals.push(predicate_from_names(&inst, &[("A1", "B1"), ("A2", "B3")]).unwrap());
         for goal in goals {
             let mut oracle = GoalOracle(goal.clone());
-            let run = run_interactive(&inst, &mut oracle)
-                .expect("goal oracles answer consistently");
+            let run =
+                run_interactive(&inst, &mut oracle).expect("goal oracles answer consistently");
             assert_eq!(
                 inst.semijoin(&run.predicate),
                 inst.semijoin(&goal),
@@ -235,6 +365,37 @@ mod tests {
         assert_eq!(run.sample.positives(), &[0]);
         assert_eq!(run.sample.negatives(), &[2]);
         assert_eq!(row_status(&inst, &run.sample, 1), RowStatus::Positive);
+    }
+
+    #[test]
+    fn state_matches_from_scratch_classification() {
+        // Drive a session with the incremental state and re-derive the row
+        // partition from scratch after every answer: they must agree, and
+        // so must the picks.
+        let inst = example_2_1();
+        let goal = predicate_from_names(&inst, &[("A1", "B1"), ("A2", "B3")]).unwrap();
+        let mut oracle = GoalOracle(goal);
+        let mut state = SemijoinState::new(&inst);
+        loop {
+            // From-scratch comparison.
+            assert_eq!(
+                state.open_rows().to_vec(),
+                open_rows(&inst, state.sample()),
+                "open sets diverge"
+            );
+            for r in 0..inst.r().len() {
+                assert_eq!(
+                    state.status(r),
+                    row_status(&inst, state.sample(), r),
+                    "status diverges for row {r}"
+                );
+            }
+            assert_eq!(state.pick_next(), pick_next(&inst, state.sample()));
+            let Some(r) = state.pick_next() else { break };
+            let wants = oracle.wants(&inst, r);
+            assert!(state.apply(r, wants), "goal oracle stays consistent");
+        }
+        assert!(state.is_consistent());
     }
 
     #[test]

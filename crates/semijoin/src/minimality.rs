@@ -34,11 +34,7 @@ pub fn is_consistent_positive_only(
 ///
 /// Because positive-only consistency is downward closed, it is enough to
 /// test the `|Ω| − |θ|` single-pair extensions; this direction is PTIME.
-pub fn is_maximally_specific(
-    instance: &Instance,
-    positives: &[usize],
-    theta: &BitSet,
-) -> bool {
+pub fn is_maximally_specific(instance: &Instance, positives: &[usize], theta: &BitSet) -> bool {
     if !is_consistent_positive_only(instance, positives, theta) {
         return false;
     }
@@ -53,10 +49,7 @@ pub fn is_maximally_specific(
 /// All `⊆`-maximal predicates consistent with the positive rows, found by
 /// greedily saturating from every single witness assignment's intersection.
 /// Exponential; intended for small instances. The result is deduplicated.
-pub fn maximally_specific_predicates(
-    instance: &Instance,
-    positives: &[usize],
-) -> Vec<BitSet> {
+pub fn maximally_specific_predicates(instance: &Instance, positives: &[usize]) -> Vec<BitSet> {
     let nbits = instance.pairs().len();
     assert!(nbits <= 24, "enumeration limited to small pair spaces");
     let mut out: Vec<BitSet> = Vec::new();
@@ -105,11 +98,7 @@ pub fn maximally_specific_predicates(
 /// Whether no consistent predicate with fewer pairs induces the same
 /// semijoin result as `θ`. Brute-force over all smaller predicates —
 /// exponential in `|Ω|`, as the coNP-completeness result predicts.
-pub fn is_cardinality_minimal(
-    instance: &Instance,
-    positives: &[usize],
-    theta: &BitSet,
-) -> bool {
+pub fn is_cardinality_minimal(instance: &Instance, positives: &[usize], theta: &BitSet) -> bool {
     if !is_consistent_positive_only(instance, positives, theta) {
         return false;
     }
@@ -137,8 +126,7 @@ mod tests {
         let positives = [0usize, 3];
         let nbits = inst.pairs().len();
         for mask in 0u64..(1 << nbits) {
-            let theta =
-                BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
+            let theta = BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1));
             if is_consistent_positive_only(&inst, &positives, &theta) {
                 // Every subset is consistent too.
                 for k in theta.iter() {
@@ -182,14 +170,12 @@ mod tests {
         // A two-pair predicate whose result is also achievable with one
         // pair is not minimal: {(A1,B1),(A2,B2)} selects {t1}… check
         // against the one-pair candidates automatically instead of by hand.
-        let theta2 =
-            predicate_from_names(&inst, &[("A1", "B1"), ("A2", "B2")]).unwrap();
+        let theta2 = predicate_from_names(&inst, &[("A1", "B1"), ("A2", "B2")]).unwrap();
         let result = inst.semijoin(&theta2);
         let nbits = inst.pairs().len();
         let smaller_equivalent = (0..nbits).any(|k| {
             let cand = BitSet::from_iter(nbits, [k]);
-            inst.semijoin(&cand) == result
-                && is_consistent_positive_only(&inst, &result, &cand)
+            inst.semijoin(&cand) == result && is_consistent_positive_only(&inst, &result, &cand)
         });
         assert_eq!(
             !smaller_equivalent,

@@ -125,7 +125,11 @@ pub fn reduce(cnf: &Cnf) -> ReducedInstance {
         (0..k).collect::<Vec<_>>(),
         (k..k + 1 + n).collect::<Vec<_>>(),
     );
-    ReducedInstance { instance, sample, num_vars: n }
+    ReducedInstance {
+        instance,
+        sample,
+        num_vars: n,
+    }
 }
 
 /// Decodes a satisfying valuation from a consistent semijoin predicate:
@@ -189,8 +193,7 @@ mod tests {
     #[test]
     fn phi0_is_in_cons_semijoin() {
         let red = reduce(&phi0());
-        let theta =
-            find_consistent_semijoin(&red.instance, &red.sample).expect("φ0 is sat");
+        let theta = find_consistent_semijoin(&red.instance, &red.sample).expect("φ0 is sat");
         assert!(red.sample.admits(&red.instance, &theta));
         // The decoded valuation satisfies φ0.
         let v = decode_valuation(&red, &theta);
@@ -243,7 +246,10 @@ mod tests {
             );
             if let Some(theta) = cons {
                 let v = decode_valuation(&red, &theta);
-                assert!(cnf.is_satisfied_by(&v), "decoded valuation wrong, seed {seed}");
+                assert!(
+                    cnf.is_satisfied_by(&v),
+                    "decoded valuation wrong, seed {seed}"
+                );
             }
         }
     }

@@ -22,7 +22,10 @@ impl SemijoinSample {
 
     /// Builds a sample from positive and negative R-row indices.
     pub fn from_rows(pos: impl Into<Vec<usize>>, neg: impl Into<Vec<usize>>) -> Self {
-        SemijoinSample { pos: pos.into(), neg: neg.into() }
+        SemijoinSample {
+            pos: pos.into(),
+            neg: neg.into(),
+        }
     }
 
     /// Adds a positive example.
@@ -58,9 +61,8 @@ impl SemijoinSample {
     /// Semantic consistency check: `θ` selects every positive row and no
     /// negative row of the semijoin. `O(|S| · |P| · |θ|)`.
     pub fn admits(&self, instance: &Instance, theta: &BitSet) -> bool {
-        let selected = |ri: usize| {
-            (0..instance.p().len()).any(|pi| instance.selects(theta, ri, pi))
-        };
+        let selected =
+            |ri: usize| (0..instance.p().len()).any(|pi| instance.selects(theta, ri, pi));
         self.pos.iter().all(|&r| selected(r)) && self.neg.iter().all(|&r| !selected(r))
     }
 }

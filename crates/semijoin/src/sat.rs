@@ -70,7 +70,13 @@ pub fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
         }
         let clause: Vec<Lit> = vars
             .iter()
-            .map(|&v| if rng.gen_bool(0.5) { v as Lit } else { -(v as Lit) })
+            .map(|&v| {
+                if rng.gen_bool(0.5) {
+                    v as Lit
+                } else {
+                    -(v as Lit)
+                }
+            })
             .collect();
         clauses.push(clause);
     }
@@ -147,7 +153,11 @@ fn solve(cnf: &Cnf, state: &mut Vec<VarState>) -> bool {
                 1 => {
                     let lit = unassigned.expect("one unassigned literal");
                     let v = lit.unsigned_abs() as usize - 1;
-                    state[v] = if lit > 0 { VarState::True } else { VarState::False };
+                    state[v] = if lit > 0 {
+                        VarState::True
+                    } else {
+                        VarState::False
+                    };
                     trail.push(v);
                     propagated = true;
                 }
@@ -163,7 +173,10 @@ fn solve(cnf: &Cnf, state: &mut Vec<VarState>) -> bool {
     let mut seen_pos = vec![false; cnf.num_vars];
     let mut seen_neg = vec![false; cnf.num_vars];
     for clause in &cnf.clauses {
-        if clause.iter().any(|&l| lit_state(state, l) == VarState::True) {
+        if clause
+            .iter()
+            .any(|&l| lit_state(state, l) == VarState::True)
+        {
             continue;
         }
         for &lit in clause {
@@ -179,7 +192,11 @@ fn solve(cnf: &Cnf, state: &mut Vec<VarState>) -> bool {
     }
     for v in 0..cnf.num_vars {
         if state[v] == VarState::Unassigned && (seen_pos[v] ^ seen_neg[v]) {
-            state[v] = if seen_pos[v] { VarState::True } else { VarState::False };
+            state[v] = if seen_pos[v] {
+                VarState::True
+            } else {
+                VarState::False
+            };
             trail.push(v);
         }
     }
@@ -197,7 +214,11 @@ fn solve(cnf: &Cnf, state: &mut Vec<VarState>) -> bool {
     };
     let v = lit.unsigned_abs() as usize - 1;
     for phase in [lit > 0, lit <= 0] {
-        state[v] = if phase { VarState::True } else { VarState::False };
+        state[v] = if phase {
+            VarState::True
+        } else {
+            VarState::False
+        };
         if solve(cnf, state) {
             return true;
         }
@@ -216,8 +237,7 @@ mod tests {
     fn brute_force_sat(cnf: &Cnf) -> bool {
         assert!(cnf.num_vars <= 20);
         (0u64..(1 << cnf.num_vars)).any(|mask| {
-            let assignment: Vec<bool> =
-                (0..cnf.num_vars).map(|v| mask >> v & 1 == 1).collect();
+            let assignment: Vec<bool> = (0..cnf.num_vars).map(|v| mask >> v & 1 == 1).collect();
             cnf.is_satisfied_by(&assignment)
         })
     }

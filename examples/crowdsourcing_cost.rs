@@ -29,7 +29,9 @@ fn main() {
         "|θG|", "goals", "strategy", "labels", "cost"
     );
     for size in 1..=3usize {
-        let Some(goals) = groups.get(size) else { continue };
+        let Some(goals) = groups.get(size) else {
+            continue;
+        };
         let sample: Vec<_> = goals.iter().take(10).collect();
         if sample.is_empty() {
             continue;
@@ -59,8 +61,7 @@ fn main() {
     // Worst-case budget: an adversarial worker on the paper's Example 2.1.
     let tiny = Universe::build(join_query_inference::core::paper::example_2_1());
     let optimal =
-        join_query_inference::core::strategy::optimal_worst_case(&tiny, 14)
-            .expect("12 classes");
+        join_query_inference::core::strategy::optimal_worst_case(&tiny, 14).expect("12 classes");
     println!(
         "worst-case budget on Example 2.1: {} labels ({}¢) under the \
          minimax-optimal strategy",

@@ -57,8 +57,7 @@ fn main() {
     let mut lines = stdin.lock().lines();
 
     while let Some(candidate) = session.next().expect("strategy never fails") {
-        let values: Vec<String> =
-            candidate.values.iter().map(|v| v.to_string()).collect();
+        let values: Vec<String> = candidate.values.iter().map(|v| v.to_string()).collect();
         print!("({})  [y/n/q] ", values.join(" | "));
         std::io::stdout().flush().expect("flush stdout");
         let answer = lines.next().and_then(Result::ok).unwrap_or_default();
@@ -77,5 +76,9 @@ fn main() {
         universe.instance().predicate_string(&theta)
     );
     let result = universe.instance().equijoin(&theta);
-    println!("it selects {} of the {} product tuples", result.len(), universe.total_tuples());
+    println!(
+        "it selects {} of the {} product tuples",
+        result.len(),
+        universe.total_tuples()
+    );
 }

@@ -44,13 +44,17 @@ fn main() {
     // The user's hidden intent: departures from a listed city, arriving at
     // the hotel's city.
     let goals = vec![
-        path.predicate_from_names(0, &[("Name", "From")]).expect("hop 0 attrs"),
-        path.predicate_from_names(1, &[("To", "HCity")]).expect("hop 1 attrs"),
+        path.predicate_from_names(0, &[("Name", "From")])
+            .expect("hop 0 attrs"),
+        path.predicate_from_names(1, &[("To", "HCity")])
+            .expect("hop 1 attrs"),
     ];
 
     println!("inferring a {}-hop join path:", path.num_hops());
     for kind in [StrategyKind::Td, StrategyKind::L2s] {
-        let run = path.infer_with_goals(&goals, kind, 1).expect("consistent oracles");
+        let run = path
+            .infer_with_goals(&goals, kind, 1)
+            .expect("consistent oracles");
         println!("\nstrategy {}:", kind.name());
         for (h, theta) in run.predicates.iter().enumerate() {
             println!(

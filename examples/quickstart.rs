@@ -42,10 +42,18 @@ fn main() {
     let mut session = Session::new(&universe, TopDown::new());
     while let Some(candidate) = session.next().expect("strategy never fails") {
         let selected = goal.is_subset(universe.sig(candidate.class));
-        let label = if selected { Label::Positive } else { Label::Negative };
-        let values: Vec<String> =
-            candidate.values.iter().map(|v| v.to_string()).collect();
-        println!("  Q{}: ({})  →  {}", session.interactions() + 1, values.join(", "), label);
+        let label = if selected {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
+        let values: Vec<String> = candidate.values.iter().map(|v| v.to_string()).collect();
+        println!(
+            "  Q{}: ({})  →  {}",
+            session.interactions() + 1,
+            values.join(", "),
+            label
+        );
         session.answer(label).expect("consistent labels");
     }
 

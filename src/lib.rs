@@ -69,7 +69,7 @@ pub mod prelude {
         BottomUp, Lookahead, Optimal, Random, Strategy, StrategyKind, TopDown,
     };
     pub use jqi_core::universe::Universe;
-    pub use jqi_core::{predicate_from_names, Label, Sample};
+    pub use jqi_core::{predicate_from_names, ClassState, InferenceState, Label, Sample};
     pub use jqi_relation::{BitSet, Instance, InstanceBuilder, Value};
 }
 

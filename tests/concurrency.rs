@@ -44,7 +44,9 @@ fn interner_is_thread_safe_and_canonical() {
 #[test]
 fn parallel_inference_runs_share_one_universe() {
     use join_query_inference::datagen::SyntheticConfig;
-    let universe = Arc::new(Universe::build(SyntheticConfig::new(2, 3, 15, 6).generate(2)));
+    let universe = Arc::new(Universe::build(
+        SyntheticConfig::new(2, 3, 15, 6).generate(2),
+    ));
     let goals = join_query_inference::core::lattice::goals_by_size(&universe, 100_000)
         .unwrap()
         .into_iter()

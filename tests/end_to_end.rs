@@ -38,8 +38,7 @@ fn tpch_joins_recovered_by_all_strategies() {
 fn synthetic_goals_of_every_size_converge() {
     let cfg = SyntheticConfig::new(2, 3, 25, 10);
     let universe = Universe::build(cfg.generate(3));
-    let groups =
-        join_query_inference::core::lattice::goals_by_size(&universe, 200_000).unwrap();
+    let groups = join_query_inference::core::lattice::goals_by_size(&universe, 200_000).unwrap();
     for goals in &groups {
         for goal in goals.iter().take(5) {
             let mut strategy = TopDown::new();
@@ -113,8 +112,7 @@ fn csv_to_inference_pipeline() {
 #[test]
 fn strategies_agree_semantically_pairwise() {
     let universe = Universe::build(SyntheticConfig::new(2, 4, 15, 6).generate(13));
-    let groups =
-        join_query_inference::core::lattice::goals_by_size(&universe, 200_000).unwrap();
+    let groups = join_query_inference::core::lattice::goals_by_size(&universe, 200_000).unwrap();
     let goals: Vec<_> = groups.iter().flat_map(|g| g.iter().take(3)).collect();
     for goal in goals {
         let mut results = Vec::new();
@@ -142,14 +140,14 @@ fn figure_7_shape_td_beats_bu_on_size_2_goals() {
     for seed in 0..3u64 {
         let universe = Universe::build(cfg.generate(seed));
         let groups =
-            join_query_inference::core::lattice::goals_by_size(&universe, 500_000)
-                .unwrap();
+            join_query_inference::core::lattice::goals_by_size(&universe, 500_000).unwrap();
         let Some(size2) = groups.get(2) else { continue };
         for goal in size2.iter().take(6) {
             goals_seen += 1;
-            for (kind, total) in
-                [(StrategyKind::Bu, &mut bu_total), (StrategyKind::Td, &mut td_total)]
-            {
+            for (kind, total) in [
+                (StrategyKind::Bu, &mut bu_total),
+                (StrategyKind::Td, &mut td_total),
+            ] {
                 let mut strategy = kind.build(0);
                 let mut oracle = PredicateOracle::new(goal.clone());
                 *total += run_inference(&universe, strategy.as_mut(), &mut oracle)

@@ -40,8 +40,7 @@ fn example_2_1_joins() {
     let inst = example_2_1();
     let theta1 = predicate_from_names(&inst, &[("A1", "B1"), ("A2", "B3")]).unwrap();
     let theta2 = predicate_from_names(&inst, &[("A2", "B2")]).unwrap();
-    let theta3 =
-        predicate_from_names(&inst, &[("A2", "B1"), ("A2", "B2"), ("A2", "B3")]).unwrap();
+    let theta3 = predicate_from_names(&inst, &[("A2", "B1"), ("A2", "B2"), ("A2", "B3")]).unwrap();
     assert_eq!(inst.equijoin(&theta1), vec![pair(2, 2), pair(4, 1)]);
     assert_eq!(inst.semijoin(&theta1), vec![1, 3]);
     assert_eq!(
@@ -83,18 +82,23 @@ fn example_3_1_consistency() {
     let inst = example_2_1();
     let universe = Universe::build(inst);
     let mut s0 = Sample::new(&universe);
-    s0.add(&universe, class(&universe, pair(2, 2)), Label::Positive).unwrap();
-    s0.add(&universe, class(&universe, pair(4, 1)), Label::Positive).unwrap();
-    s0.add(&universe, class(&universe, pair(3, 2)), Label::Negative).unwrap();
+    s0.add(&universe, class(&universe, pair(2, 2)), Label::Positive)
+        .unwrap();
+    s0.add(&universe, class(&universe, pair(4, 1)), Label::Positive)
+        .unwrap();
+    s0.add(&universe, class(&universe, pair(3, 2)), Label::Negative)
+        .unwrap();
     let theta0 = s0.check_consistent(&universe).expect("S0 is consistent");
-    let expect =
-        predicate_from_names(universe.instance(), &[("A1", "B1"), ("A2", "B3")]).unwrap();
+    let expect = predicate_from_names(universe.instance(), &[("A1", "B1"), ("A2", "B3")]).unwrap();
     assert_eq!(theta0, expect);
 
     let mut s0p = Sample::new(&universe);
-    s0p.add(&universe, class(&universe, pair(1, 2)), Label::Positive).unwrap();
-    s0p.add(&universe, class(&universe, pair(1, 3)), Label::Positive).unwrap();
-    s0p.add(&universe, class(&universe, pair(3, 1)), Label::Negative).unwrap();
+    s0p.add(&universe, class(&universe, pair(1, 2)), Label::Positive)
+        .unwrap();
+    s0p.add(&universe, class(&universe, pair(1, 3)), Label::Positive)
+        .unwrap();
+    s0p.add(&universe, class(&universe, pair(3, 1)), Label::Negative)
+        .unwrap();
     assert!(!s0p.is_consistent(&universe));
 }
 
@@ -121,8 +125,10 @@ fn section_3_3_instance_equivalence() {
 fn section_3_4_uninformative() {
     let universe = Universe::build(example_2_1());
     let mut s = Sample::new(&universe);
-    s.add(&universe, class(&universe, pair(2, 2)), Label::Positive).unwrap();
-    s.add(&universe, class(&universe, pair(1, 3)), Label::Negative).unwrap();
+    s.add(&universe, class(&universe, pair(2, 2)), Label::Positive)
+        .unwrap();
+    s.add(&universe, class(&universe, pair(1, 3)), Label::Negative)
+        .unwrap();
     assert_eq!(
         certain_label(&universe, &s, class(&universe, pair(4, 1))),
         Some(Label::Positive)
@@ -151,7 +157,8 @@ fn section_4_3_lattice_pruning() {
     let universe = Universe::build(example_2_1());
     // Positive case.
     let mut sp = Sample::new(&universe);
-    sp.add(&universe, class(&universe, pair(1, 3)), Label::Positive).unwrap();
+    sp.add(&universe, class(&universe, pair(1, 3)), Label::Positive)
+        .unwrap();
     assert_eq!(
         certain_label(&universe, &sp, class(&universe, pair(2, 3))),
         Some(Label::Positive),
@@ -159,7 +166,8 @@ fn section_4_3_lattice_pruning() {
     );
     // Negative case.
     let mut sn = Sample::new(&universe);
-    sn.add(&universe, class(&universe, pair(1, 3)), Label::Negative).unwrap();
+    sn.add(&universe, class(&universe, pair(1, 3)), Label::Negative)
+        .unwrap();
     assert_eq!(
         certain_label(&universe, &sn, class(&universe, pair(2, 1))),
         Some(Label::Negative)
@@ -176,11 +184,18 @@ fn section_4_3_lattice_pruning() {
 fn section_4_4_entropy2_walkthrough() {
     let universe = Universe::build(example_2_1());
     let mut s = Sample::new(&universe);
-    s.add(&universe, class(&universe, pair(1, 3)), Label::Positive).unwrap();
-    s.add(&universe, class(&universe, pair(3, 1)), Label::Negative).unwrap();
+    s.add(&universe, class(&universe, pair(1, 3)), Label::Positive)
+        .unwrap();
+    s.add(&universe, class(&universe, pair(3, 1)), Label::Negative)
+        .unwrap();
     let informative = informative_classes(&universe, &s);
     assert_eq!(informative.len(), 5);
-    let e2 = entropy2(&universe, &s, class(&universe, pair(2, 1)), CountMode::Tuples);
+    let e2 = entropy2(
+        &universe,
+        &s,
+        class(&universe, pair(2, 1)),
+        CountMode::Tuples,
+    );
     assert_eq!(e2, Entropy { lo: 3, hi: 3 });
 }
 

@@ -1,5 +1,6 @@
 //! Property-based tests (proptest) on the core invariants of the paper.
 
+use join_query_inference::core::CountMode;
 use join_query_inference::prelude::*;
 use join_query_inference::semijoin::consistency::{
     exists_consistent_brute_force, find_consistent_semijoin,
@@ -40,7 +41,190 @@ fn mask_to_theta(nbits: usize, mask: u8) -> BitSet {
     BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1))
 }
 
+/// Asserts that an [`InferenceState`] agrees with the from-scratch
+/// recomputation via `certain.rs` / `entropy.rs` on every derived quantity.
+fn assert_state_matches_scratch(state: &InferenceState<'_>, sample: &Sample) {
+    use join_query_inference::core::certain;
+    let universe = state.universe();
+    assert_eq!(state.is_consistent(), sample.is_consistent(universe));
+    assert_eq!(state.t_pos(), sample.t_pos());
+    if !state.is_consistent() {
+        return; // the partition is only defined for consistent samples
+    }
+    assert_eq!(
+        state.informative().to_vec(),
+        certain::informative_classes(universe, sample),
+        "informative sets diverge"
+    );
+    assert_eq!(
+        state.any_informative(),
+        certain::any_informative(universe, sample)
+    );
+    for mode in [CountMode::Tuples, CountMode::Classes] {
+        assert_eq!(
+            state.uninformative_count(mode),
+            certain::uninformative_count(universe, sample, mode),
+            "uninformative counts diverge under {mode:?}"
+        );
+    }
+    for c in 0..universe.num_classes() {
+        assert_eq!(
+            state.label(c),
+            sample.label(c),
+            "labels diverge for class {c}"
+        );
+        if sample.label(c).is_none() {
+            assert_eq!(
+                state.class_state(c).certain_label(),
+                certain::certain_label(universe, sample, c),
+                "certain labels diverge for class {c}"
+            );
+        }
+    }
+    // One-step entropies of the informative classes.
+    for &c in state.informative() {
+        for mode in [CountMode::Tuples, CountMode::Classes] {
+            assert_eq!(
+                state.entropy(c, mode),
+                join_query_inference::core::entropy::entropy(universe, sample, c, mode),
+                "one-step entropy diverges for class {c} under {mode:?}"
+            );
+        }
+    }
+    // Spot-check the depth-2 lookahead recursion over speculated states
+    // against Algorithm 5's reference implementation (bounded: it is
+    // quadratic in the informative set).
+    if state.informative().len() <= 10 {
+        let l2s = Lookahead::l2s();
+        for (c, e) in l2s.entropies(state).into_iter().take(3) {
+            assert_eq!(
+                e,
+                join_query_inference::core::entropy::entropy_k(
+                    universe,
+                    sample,
+                    c,
+                    2,
+                    CountMode::Tuples
+                ),
+                "two-step entropy diverges for class {c}"
+            );
+        }
+    }
+}
+
+/// Tentpole equivalence on the paper's own instance: a retraction-free
+/// replay of Example 2.1 (every class labeled by the goal oracle of the
+/// worked example, in class order) keeps the incremental state equal to the
+/// from-scratch derivation after every single label.
+#[test]
+fn example_2_1_replay_matches_from_scratch() {
+    use join_query_inference::core::paper::example_2_1;
+    let universe = Universe::build(example_2_1());
+    // The goal of Example 3.1: θ0 = {(A1,B1),(A2,B3)}.
+    let goal = predicate_from_names(universe.instance(), &[("A1", "B1"), ("A2", "B3")])
+        .expect("paper attributes exist");
+    let mut state = InferenceState::new(&universe);
+    let mut sample = Sample::new(&universe);
+    assert_state_matches_scratch(&state, &sample);
+    for c in 0..universe.num_classes() {
+        if !state.is_informative(c) {
+            continue; // replay is retraction-free: only informative asks
+        }
+        let label = if goal.is_subset(universe.sig(c)) {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
+        state
+            .apply(c, label)
+            .expect("informative class is unlabeled");
+        sample.add(&universe, c, label).expect("mirrored");
+        assert!(state.is_consistent(), "goal labels stay consistent");
+        assert_state_matches_scratch(&state, &sample);
+    }
+    assert!(
+        !state.any_informative(),
+        "replay must exhaust informativeness"
+    );
+    assert_eq!(
+        universe.instance().equijoin(state.t_pos()),
+        universe.instance().equijoin(&goal),
+    );
+}
+
 proptest! {
+    /// Tentpole equivalence: after ANY label sequence (including labels on
+    /// certain classes and inconsistent labelings), the incremental
+    /// `InferenceState` equals the from-scratch recomputation via
+    /// `certain.rs` / `entropy.rs`.
+    #[test]
+    fn incremental_state_matches_from_scratch(
+        inst in small_instance(),
+        labels in prop::collection::vec(0u8..3, 0..10),
+    ) {
+        let universe = Universe::build(inst);
+        let mut state = InferenceState::new(&universe);
+        let mut sample = Sample::new(&universe);
+        for (c, &l) in labels.iter().enumerate().take(universe.num_classes()) {
+            let label = match l {
+                0 => continue,
+                1 => Label::Positive,
+                _ => Label::Negative,
+            };
+            if sample.label(c).is_some() {
+                continue;
+            }
+            sample.add(&universe, c, label).expect("unlabeled");
+            state.apply(c, label).expect("mirrored");
+            assert_state_matches_scratch(&state, &sample);
+            if !state.is_consistent() {
+                break; // both representations agree it's inconsistent
+            }
+        }
+    }
+
+    /// The interval `[θ_certain, θ_possible]` brackets every consistent
+    /// predicate, tightly: θ_certain is the meet and θ_possible the join
+    /// of C(S), verified by brute-force enumeration.
+    #[test]
+    fn state_interval_is_the_consistent_hull(
+        inst in small_instance(),
+        labels in prop::collection::vec(0u8..3, 0..8),
+    ) {
+        let universe = Universe::build(inst);
+        let mut state = InferenceState::new(&universe);
+        for (c, &l) in labels.iter().enumerate().take(universe.num_classes()) {
+            let label = match l {
+                0 => continue,
+                1 => Label::Positive,
+                _ => Label::Negative,
+            };
+            let hypothetical = state.speculate(c, label);
+            if hypothetical.is_consistent() {
+                state = hypothetical;
+            }
+        }
+        prop_assert!(state.is_consistent());
+        let sample = state.as_sample();
+        let nbits = universe.omega_len();
+        let consistent: Vec<BitSet> = (0u16..(1 << nbits))
+            .map(|mask| BitSet::from_iter(nbits, (0..nbits).filter(|&b| mask >> b & 1 == 1)))
+            .filter(|theta| sample.admits(&universe, theta))
+            .collect();
+        prop_assert!(!consistent.is_empty());
+        let (lo, hi) = state.interval();
+        let mut meet = consistent[0].clone();
+        let mut join = consistent[0].clone();
+        for theta in &consistent {
+            prop_assert!(lo.is_subset(theta), "θ_certain outside a consistent θ");
+            prop_assert!(theta.is_subset(&hi), "consistent θ outside θ_possible");
+            meet.intersect_with(theta);
+            join.union_with(theta);
+        }
+        prop_assert_eq!(meet, lo, "θ_certain must be the meet of C(S)");
+        prop_assert_eq!(join, hi, "θ_possible must be the join of C(S)");
+    }
+
     /// Anti-monotonicity (§2): θ1 ⊆ θ2 ⇒ R ⋈θ2 P ⊆ R ⋈θ1 P and likewise
     /// for semijoins.
     #[test]

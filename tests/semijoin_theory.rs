@@ -8,9 +8,7 @@ use join_query_inference::semijoin::interactive::{run_interactive, GoalOracle};
 use join_query_inference::semijoin::minimality::{
     is_maximally_specific, maximally_specific_predicates,
 };
-use join_query_inference::semijoin::reduction::{
-    decode_valuation, encode_valuation, reduce,
-};
+use join_query_inference::semijoin::reduction::{decode_valuation, encode_valuation, reduce};
 use join_query_inference::semijoin::sat::{dpll, random_3sat};
 use join_query_inference::semijoin::SemijoinSample;
 
@@ -51,7 +49,10 @@ fn greedy_is_sound_on_reductions() {
             solvable += 1;
         }
         if let Some(theta) = greedy_consistent_semijoin(&red.instance, &red.sample) {
-            assert!(red.sample.admits(&red.instance, &theta), "unsound greedy, seed {seed}");
+            assert!(
+                red.sample.admits(&red.instance, &theta),
+                "unsound greedy, seed {seed}"
+            );
             assert!(exact.is_some());
             greedy_hits += 1;
         }

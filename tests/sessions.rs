@@ -12,9 +12,7 @@ use join_query_inference::prelude::*;
 fn session_equals_engine_for_every_strategy() {
     for seed in 0..4u64 {
         let universe = Universe::build(SyntheticConfig::new(2, 3, 12, 5).generate(seed));
-        let goals =
-            join_query_inference::core::lattice::goals_by_size(&universe, 100_000)
-                .unwrap();
+        let goals = join_query_inference::core::lattice::goals_by_size(&universe, 100_000).unwrap();
         let goal = goals
             .iter()
             .rev()
@@ -50,8 +48,7 @@ fn session_equals_engine_for_every_strategy() {
 #[test]
 fn early_stop_predicates_are_consistent_prefixes() {
     let universe = Universe::build(SyntheticConfig::new(3, 3, 15, 6).generate(9));
-    let goals =
-        join_query_inference::core::lattice::goals_by_size(&universe, 100_000).unwrap();
+    let goals = join_query_inference::core::lattice::goals_by_size(&universe, 100_000).unwrap();
     let goal = goals
         .iter()
         .rev()
@@ -109,8 +106,7 @@ fn misuse_errors_do_not_poison_the_session() {
 #[test]
 fn known_labels_are_stable() {
     let universe = Universe::build(SyntheticConfig::new(2, 3, 10, 4).generate(4));
-    let goals =
-        join_query_inference::core::lattice::goals_by_size(&universe, 100_000).unwrap();
+    let goals = join_query_inference::core::lattice::goals_by_size(&universe, 100_000).unwrap();
     let goal = goals
         .iter()
         .rev()

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this shim implements the
+//! subset of the criterion 0.5 API the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`] (with `sample_size`, `warm_up_time`,
+//! `measurement_time`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. There is no statistical analysis: each
+//! benchmark runs an adaptive timing loop and prints the mean time per
+//! iteration. Measurement windows are honored but capped so `cargo bench`
+//! stays quick.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark measurement window cap (the real criterion defaults to 5s
+/// per benchmark; a stub without statistics does not need that long).
+const MAX_MEASURE: Duration = Duration::from_millis(400);
+const MAX_WARMUP: Duration = Duration::from_millis(100);
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: MAX_WARMUP,
+            measure: MAX_MEASURE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; the stub accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().0, self.warm_up, self.measure, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measure: self.measure,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measure: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes sample counts; the stub records nothing per-sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up window (capped at the stub's maximum).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d.min(MAX_WARMUP);
+        self
+    }
+
+    /// Sets the measurement window (capped at the stub's maximum).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d.min(MAX_MEASURE);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.warm_up,
+            self.measure,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.warm_up,
+            self.measure,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Handed to benchmark closures; `iter` runs and times the payload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `payload` over an adaptively chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // One probe iteration sizes the batch.
+        let probe_start = Instant::now();
+        black_box(payload());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let budget = self.elapsed.max(Duration::from_millis(1));
+        let batch = (budget.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(payload());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = batch;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, warm_up: Duration, measure: Duration, f: &mut F) {
+    // Warm-up pass: small budget, result discarded.
+    let mut warm = Bencher {
+        iters: 0,
+        elapsed: warm_up.min(MAX_WARMUP),
+    };
+    f(&mut warm);
+    // Measurement pass.
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: measure.min(MAX_MEASURE),
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {name:<48} (no iterations recorded)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!(
+        "bench {name:<48} {:>14}/iter  ({} iters)",
+        fmt_ns(per_iter),
+        bencher.iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring upstream's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_payload() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x + 1));
+            ran = true;
+        });
+        group.bench_function(BenchmarkId::from_parameter("p"), |b| b.iter(|| ()));
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+    }
+}

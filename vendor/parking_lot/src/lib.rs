@@ -1,0 +1,80 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The container building this workspace has no network access, so the real
+//! crates.io `parking_lot` cannot be fetched. This shim exposes the small
+//! API surface the workspace uses (`RwLock` with non-poisoning `read` /
+//! `write`) on top of `std::sync::RwLock`. Poisoning is deliberately
+//! swallowed — matching parking_lot semantics, a panicking writer does not
+//! poison the lock for later readers.
+
+use std::sync::RwLock as StdRwLock;
+
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+/// A reader-writer lock with parking_lot's non-poisoning API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires an exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = RwLock::new(1);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 41;
+        assert_eq!(*lock.read(), 42);
+        assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn panicking_writer_does_not_poison() {
+        use std::sync::Arc;
+        let lock = Arc::new(RwLock::new(0));
+        let l2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*lock.read(), 0);
+    }
+}

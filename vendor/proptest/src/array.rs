@@ -1,0 +1,55 @@
+//! Fixed-size array strategies (`uniform2`, …).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `[T; N]` arrays with every element drawn from `element`.
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArrayStrategy<S, N> {
+    UniformArrayStrategy { element }
+}
+
+/// Generates `[T; 2]` arrays.
+pub fn uniform2<S: Strategy>(element: S) -> UniformArrayStrategy<S, 2> {
+    uniform(element)
+}
+
+/// Generates `[T; 3]` arrays.
+pub fn uniform3<S: Strategy>(element: S) -> UniformArrayStrategy<S, 3> {
+    uniform(element)
+}
+
+/// Generates `[T; 4]` arrays.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+    uniform(element)
+}
+
+/// See [`uniform`].
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform2_draws_independent_elements() {
+        let mut rng = TestRng::for_test("uniform2");
+        let s = uniform2(0i64..100);
+        let mut distinct = false;
+        for _ in 0..50 {
+            let [a, b] = s.generate(&mut rng);
+            assert!((0..100).contains(&a) && (0..100).contains(&b));
+            distinct |= a != b;
+        }
+        assert!(distinct, "elements should not always coincide");
+    }
+}

@@ -1,0 +1,80 @@
+//! Case counting, per-test deterministic RNGs, and the case-failure error.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Cases run per property when `PROPTEST_CASES` is unset.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Number of cases to run per property.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// The RNG handed to strategies; deterministic per test name so failures
+/// reproduce across runs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: SmallRng,
+}
+
+impl TestRng {
+    /// A deterministic RNG derived from the test's name.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// Why one generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A case failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn per_test_rngs_are_deterministic_and_distinct() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+        let mut c = TestRng::for_test("beta");
+        assert_ne!(a.rng.next_u64(), c.rng.next_u64());
+    }
+
+    #[test]
+    fn default_case_count_is_positive() {
+        assert!(cases() > 0);
+    }
+}

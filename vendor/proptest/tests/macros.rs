@@ -1,0 +1,52 @@
+//! Smoke tests for the `proptest!` macro plumbing: generated inputs reach
+//! the body, assertions fail the test, and assumptions skip cases.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+
+proptest! {
+    #[test]
+    fn bodies_run_and_inputs_are_in_range(x in 0u32..10, v in prop::collection::vec(0i64..4, 1..5)) {
+        prop_assert!(x < 10);
+        prop_assert!((1..5).contains(&v.len()));
+        prop_assert!(v.iter().all(|&e| (0..4).contains(&e)));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn violated_assertions_fail_the_test(x in 0u32..10) {
+        prop_assert!(x > 100, "x was {}", x);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn violated_eq_assertions_fail_the_test(x in 5u32..6) {
+        prop_assert_eq!(x, 7);
+    }
+
+    #[test]
+    fn assumptions_skip_cases(x in 0u32..10) {
+        prop_assume!(x % 2 == 0);
+        prop_assert!(x % 2 == 0);
+    }
+
+    #[test]
+    fn maps_and_tuples_compose(pair in (0u64..5, 0u64..5).prop_map(|(a, b)| a * 10 + b)) {
+        prop_assert!(pair <= 44);
+    }
+}
+
+#[test]
+fn case_count_is_respected() {
+    // The macro loop must execute `cases()` times; count via side effect.
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static COUNT: AtomicU32 = AtomicU32::new(0);
+    proptest! {
+        #[allow(unused)]
+        fn counted(_x in 0u8..2) {
+            COUNT.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    counted();
+    assert_eq!(COUNT.load(Ordering::SeqCst), proptest::test_runner::cases());
+}
