@@ -10,6 +10,9 @@
 //!   synthetic configurations, grouped by goal-predicate size.
 //! * [`table1`] — Table 1: per-dataset summary (product size, join ratio,
 //!   best strategy, its time).
+//! * [`scaling`] — the perf-trajectory sweep: profile-deduplicated vs
+//!   row-pair Universe construction and lookahead latency on products up
+//!   to 10⁸ tuples (`BENCH_scaling.json`).
 //! * [`semijoin_exp`] — §6 / Theorem 6.1: the CONS⋉ solver against DPLL on
 //!   random 3SAT reductions.
 //! * [`optgap`] — worst cases of the deterministic heuristics against the
@@ -28,5 +31,6 @@ pub mod json;
 pub mod measure;
 pub mod optgap;
 pub mod report;
+pub mod scaling;
 pub mod semijoin_exp;
 pub mod table1;

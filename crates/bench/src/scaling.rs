@@ -1,0 +1,330 @@
+//! The `scaling` benchmark: Universe construction and lookahead latency
+//! across product sizes up to 10⁸ tuples.
+//!
+//! The paper's tractability argument is that TPC-H-scale Cartesian products
+//! collapse into few distinct T-signatures; this harness records whether
+//! the implementation actually delivers that — for each dataset point it
+//! measures
+//!
+//! * the profile-deduplicated `Universe::build` (the production path),
+//! * the row-pair reference build (`Universe::build_rowpair_reference`,
+//!   the pre-deduplication algorithm), skipped above
+//!   [`ScalingParams::reference_cap`] product tuples,
+//! * first-question latency of L1S and (on small class counts) L3S.
+//!
+//! The `scaling` binary renders the points as a table and writes
+//! `BENCH_scaling.json` at the repo root; see the README for the schema.
+
+use crate::json::{Json, ToJson};
+use jqi_core::strategy::{Lookahead, Strategy};
+use jqi_core::universe::Universe;
+use jqi_core::InferenceState;
+use jqi_datagen::tpch::{TpchJoin, TpchScale, TpchTables};
+use jqi_datagen::ScaledConfig;
+use jqi_relation::Instance;
+use std::time::Instant;
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingParams {
+    /// Run the row-pair reference build only while `|R|·|P|` is at most
+    /// this (the reference is O(product) and becomes infeasible long
+    /// before the deduplicated build does).
+    pub reference_cap: u64,
+    /// Measure L1S first-question latency only up to this many classes.
+    pub l1s_class_cap: usize,
+    /// Measure L3S first-question latency only up to this many classes.
+    pub l3s_class_cap: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for ScalingParams {
+    fn default() -> Self {
+        ScalingParams {
+            reference_cap: 20_000_000,
+            l1s_class_cap: 5_000,
+            l3s_class_cap: 48,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// One measured dataset point.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Dataset label, e.g. `synthetic (3,3,1000x1000,32·32 distinct,12)`.
+    pub name: String,
+    /// `"synthetic"` or `"tpch"`.
+    pub kind: &'static str,
+    /// `|R|`.
+    pub rows_r: usize,
+    /// `|P|`.
+    pub rows_p: usize,
+    /// `|D| = |R| · |P|`.
+    pub product_tuples: u64,
+    /// Distinct R-side join profiles found by the build.
+    pub distinct_r_profiles: usize,
+    /// Distinct P-side join profiles found by the build.
+    pub distinct_p_profiles: usize,
+    /// Number of T-equivalence classes.
+    pub classes: usize,
+    /// Wall-clock of the deduplicated `Universe::build`, in milliseconds.
+    pub build_dedup_ms: f64,
+    /// Wall-clock of the row-pair reference build (`None` above the cap).
+    pub build_rowpair_ms: Option<f64>,
+    /// `build_rowpair_ms / build_dedup_ms` when both ran.
+    pub build_speedup: Option<f64>,
+    /// First-question latency of L1S on the fresh session, milliseconds.
+    pub l1s_first_step_ms: Option<f64>,
+    /// First-question latency of L3S on the fresh session, milliseconds.
+    pub l3s_first_step_ms: Option<f64>,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Parameters the sweep ran with.
+    pub params: ScalingParams,
+    /// One entry per dataset, in sweep order.
+    pub points: Vec<ScalingPoint>,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Measures one instance (see the module docs for what is timed).
+pub fn measure_instance(
+    name: String,
+    kind: &'static str,
+    instance: Instance,
+    params: &ScalingParams,
+) -> ScalingPoint {
+    let rows_r = instance.r().len();
+    let rows_p = instance.p().len();
+    let product_tuples = instance.product_size();
+
+    let start = Instant::now();
+    let universe = Universe::build(instance.clone());
+    let build_dedup_ms = ms(start);
+
+    let build_rowpair_ms = (product_tuples <= params.reference_cap).then(|| {
+        let start = Instant::now();
+        let reference = Universe::build_rowpair_reference(instance);
+        let elapsed = ms(start);
+        assert_eq!(
+            reference.total_tuples(),
+            universe.total_tuples(),
+            "reference and dedup builds disagree on {name}"
+        );
+        assert_eq!(
+            reference.num_classes(),
+            universe.num_classes(),
+            "reference and dedup builds disagree on {name}"
+        );
+        elapsed
+    });
+    let build_speedup = build_rowpair_ms.map(|r| r / build_dedup_ms.max(1e-9));
+
+    let first_step = |depth: usize, cap: usize| -> Option<f64> {
+        if universe.num_classes() > cap {
+            return None;
+        }
+        let state = InferenceState::new(&universe);
+        let mut strategy = Lookahead::new(depth);
+        let start = Instant::now();
+        let picked = strategy.next(&state).expect("strategies are infallible");
+        let elapsed = ms(start);
+        std::hint::black_box(picked);
+        Some(elapsed)
+    };
+    let l1s_first_step_ms = first_step(1, params.l1s_class_cap);
+    let l3s_first_step_ms = first_step(3, params.l3s_class_cap);
+
+    ScalingPoint {
+        name,
+        kind,
+        rows_r,
+        rows_p,
+        product_tuples,
+        distinct_r_profiles: universe.distinct_r_profiles(),
+        distinct_p_profiles: universe.distinct_p_profiles(),
+        classes: universe.num_classes(),
+        build_dedup_ms,
+        build_rowpair_ms,
+        build_speedup,
+        l1s_first_step_ms,
+        l3s_first_step_ms,
+    }
+}
+
+/// The synthetic duplicate-heavy sweep: products from 10⁴ to 10⁸ tuples,
+/// every one collapsing into ≤ 2¹⁰ profile pairs. The 10⁶ point (1000×1000
+/// rows, 32·32 distinct profiles) is the acceptance workload the README's
+/// speedup claim refers to.
+pub fn synthetic_sweep(tiny: bool) -> Vec<ScaledConfig> {
+    if tiny {
+        return vec![ScaledConfig::new(3, 3, 100, 100, 8, 8, 12)];
+    }
+    vec![
+        ScaledConfig::new(3, 3, 100, 100, 16, 16, 12),   // 10^4
+        ScaledConfig::new(3, 3, 1000, 1000, 32, 32, 12), // 10^6, acceptance
+        ScaledConfig::new(3, 3, 4000, 2500, 32, 32, 12), // 10^7
+        ScaledConfig::new(2, 4, 10_000, 10_000, 24, 24, 10), // 10^8
+    ]
+}
+
+/// TPC-H Join 4 (Orders × Lineitem, the largest product) at the given
+/// scales. Keys are near-distinct, so this is the low-duplication end of
+/// the spectrum: deduplication finds few profiles to merge and must not
+/// cost anything.
+pub fn tpch_sweep(tiny: bool) -> Vec<TpchScale> {
+    if tiny {
+        return vec![TpchScale::Small];
+    }
+    vec![TpchScale::Small, TpchScale::Large, TpchScale::Huge]
+}
+
+/// Runs the full sweep.
+pub fn run(tiny: bool, params: ScalingParams) -> ScalingReport {
+    let mut points = Vec::new();
+    for cfg in synthetic_sweep(tiny) {
+        let instance = cfg.generate(params.seed);
+        points.push(measure_instance(
+            format!("synthetic {cfg}"),
+            "synthetic",
+            instance,
+            &params,
+        ));
+    }
+    for scale in tpch_sweep(tiny) {
+        let tables = TpchTables::generate(scale, params.seed);
+        let workload = tables.workload(TpchJoin::Join4);
+        points.push(measure_instance(
+            format!("tpch {} {}", scale, workload.join),
+            "tpch",
+            workload.instance,
+            &params,
+        ));
+    }
+    ScalingReport { params, points }
+}
+
+impl ScalingReport {
+    /// Plain-text table of the points.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>9} {:>8} {:>12} {:>12} {:>9} {:>10} {:>10}\n",
+            "dataset",
+            "product",
+            "profiles",
+            "classes",
+            "dedup(ms)",
+            "rowpair(ms)",
+            "speedup",
+            "L1S(ms)",
+            "L3S(ms)"
+        ));
+        let opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<44} {:>12} {:>9} {:>8} {:>12.3} {:>12} {:>9} {:>10} {:>10}\n",
+                p.name,
+                p.product_tuples,
+                format!("{}·{}", p.distinct_r_profiles, p.distinct_p_profiles),
+                p.classes,
+                p.build_dedup_ms,
+                opt(p.build_rowpair_ms),
+                p.build_speedup
+                    .map_or("-".to_string(), |s| format!("{s:.1}x")),
+                opt(p.l1s_first_step_ms),
+                opt(p.l3s_first_step_ms),
+            ));
+        }
+        out
+    }
+}
+
+impl ToJson for ScalingPoint {
+    fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("kind".into(), Json::str(self.kind)),
+            ("rows_r".into(), Json::num(self.rows_r as f64)),
+            ("rows_p".into(), Json::num(self.rows_p as f64)),
+            (
+                "product_tuples".into(),
+                Json::num(self.product_tuples as f64),
+            ),
+            (
+                "distinct_r_profiles".into(),
+                Json::num(self.distinct_r_profiles as f64),
+            ),
+            (
+                "distinct_p_profiles".into(),
+                Json::num(self.distinct_p_profiles as f64),
+            ),
+            ("classes".into(), Json::num(self.classes as f64)),
+            ("build_dedup_ms".into(), Json::Num(self.build_dedup_ms)),
+            ("build_rowpair_ms".into(), opt(self.build_rowpair_ms)),
+            ("build_speedup".into(), opt(self.build_speedup)),
+            ("l1s_first_step_ms".into(), opt(self.l1s_first_step_ms)),
+            ("l3s_first_step_ms".into(), opt(self.l3s_first_step_ms)),
+        ])
+    }
+}
+
+impl ToJson for ScalingReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bench".into(), Json::str("scaling")),
+            (
+                "generated_by".into(),
+                Json::str("cargo run -p jqi_bench --bin scaling --release"),
+            ),
+            (
+                "reference_cap".into(),
+                Json::num(self.params.reference_cap as f64),
+            ),
+            ("seed".into(), Json::num(self.params.seed as f64)),
+            ("points".into(), Json::arr(&self.points)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_measures_everything() {
+        let report = run(true, ScalingParams::default());
+        assert_eq!(report.points.len(), 2);
+        let synthetic = &report.points[0];
+        assert_eq!(synthetic.kind, "synthetic");
+        assert_eq!(synthetic.product_tuples, 10_000);
+        assert!(synthetic.distinct_r_profiles <= 8);
+        assert!(synthetic.build_dedup_ms > 0.0);
+        assert!(synthetic.build_rowpair_ms.is_some());
+        assert!(synthetic.build_speedup.is_some());
+        assert!(synthetic.l1s_first_step_ms.is_some());
+        let tpch = &report.points[1];
+        assert_eq!(tpch.kind, "tpch");
+        assert!(tpch.product_tuples > 0);
+    }
+
+    #[test]
+    fn report_renders_table_and_json() {
+        let report = run(true, ScalingParams::default());
+        let table = report.table();
+        assert!(table.contains("dataset"));
+        assert!(table.contains("synthetic"));
+        let json = report.to_json().to_string_pretty();
+        assert!(json.contains("\"bench\": \"scaling\""));
+        assert!(json.contains("\"points\""));
+        assert!(json.contains("\"build_speedup\""));
+    }
+}

@@ -103,12 +103,15 @@ impl ClassState {
 }
 
 /// Version-stamped entropy cache (the dirty-set): `stamps[c] == version`
-/// means `values[c]` is current for `mode`.
+/// means `values[c]` is current for `mode`. Values are the raw
+/// `(u⁺, u⁻)` gain pairs, not the normalized [`Entropy`], so the lookahead
+/// recursion can also read the per-label attribution
+/// ([`InferenceState::gain_pair`]) without recomputing.
 #[derive(Debug, Clone)]
 struct EntropyCache {
     mode: CountMode,
     stamps: Vec<u64>,
-    values: Vec<Entropy>,
+    values: Vec<(u64, u64)>,
 }
 
 impl EntropyCache {
@@ -117,7 +120,7 @@ impl EntropyCache {
             mode: CountMode::Tuples,
             // Version 0 is never a valid stamp: the state starts at 1.
             stamps: vec![0; classes],
-            values: vec![Entropy { lo: 0, hi: 0 }; classes],
+            values: vec![(0, 0); classes],
         }
     }
 }
@@ -544,17 +547,19 @@ impl<'u> InferenceState<'u> {
         total
     }
 
-    /// The one-step entropy of informative class `c` (§4.4), served from
-    /// the version-stamped cache when the state has not changed since the
-    /// last computation.
-    pub fn entropy(&self, c: ClassId, mode: CountMode) -> Entropy {
+    /// The `(u⁺, u⁻)` gain pair of informative class `c`, served from the
+    /// version-stamped cache when the state has not changed since the last
+    /// computation. [`entropy`](Self::entropy) is its normalized view; the
+    /// lookahead recursion reads the raw pair to order label branches
+    /// without paying for the gains twice.
+    pub fn gain_pair(&self, c: ClassId, mode: CountMode) -> (u64, u64) {
         {
             let cache = self.entropy_cache.borrow();
             if cache.mode == mode && cache.stamps[c] == self.version {
                 return cache.values[c];
             }
         }
-        let e = Entropy::of(
+        let pair = (
             self.gain(c, Label::Positive, mode),
             self.gain(c, Label::Negative, mode),
         );
@@ -565,8 +570,16 @@ impl<'u> InferenceState<'u> {
             cache.stamps.iter_mut().for_each(|s| *s = 0);
         }
         cache.stamps[c] = self.version;
-        cache.values[c] = e;
-        e
+        cache.values[c] = pair;
+        pair
+    }
+
+    /// The one-step entropy of informative class `c` (§4.4), served from
+    /// the version-stamped cache when the state has not changed since the
+    /// last computation.
+    pub fn entropy(&self, c: ClassId, mode: CountMode) -> Entropy {
+        let (u_pos, u_neg) = self.gain_pair(c, mode);
+        Entropy::of(u_pos, u_neg)
     }
 
     /// One-step entropies of all informative classes, ascending by class.
@@ -587,6 +600,50 @@ impl<'u> InferenceState<'u> {
         next.apply(c, label)
             .expect("speculated class must be unlabeled and in range");
         next
+    }
+
+    /// Like [`speculate`](Self::speculate), but rebuilds `out` in place,
+    /// reusing its existing allocations (vectors, Ω-width bitsets, the
+    /// entropy cache) instead of cloning into fresh ones.
+    ///
+    /// The depth-k lookahead recursion calls this once per visited tree
+    /// node through a per-depth scratch pool, turning the per-node
+    /// allocation cost into a one-time warm-up. `out` may hold any previous
+    /// state (even over a different universe); it is overwritten
+    /// wholesale, so the result is indistinguishable from
+    /// `*out = self.speculate(c, label)`.
+    pub fn speculate_into(&self, c: ClassId, label: Label, out: &mut InferenceState<'u>) {
+        out.universe = self.universe;
+        out.status.clone_from(&self.status);
+        out.pos.clone_from(&self.pos);
+        out.neg.clone_from(&self.neg);
+        out.history.clone_from(&self.history);
+        out.theta_possible.clone_from(&self.theta_possible);
+        {
+            let mut dst = out.theta_certain.borrow_mut();
+            let src = self.theta_certain.borrow();
+            dst.0 = src.0;
+            dst.1.clone_from(&src.1);
+        }
+        out.informative.clone_from(&self.informative);
+        out.uninf_tuples = self.uninf_tuples;
+        out.uninf_classes = self.uninf_classes;
+        out.consistent = self.consistent;
+        out.version = self.version;
+        {
+            // Every cached stamp is ≤ self.version and the apply below
+            // bumps the version, so no copied entry could ever be served —
+            // invalidate wholesale instead. The zeroed stamps also protect
+            // against stale entries from `out`'s previous life whose
+            // version numbers could collide with the new version line.
+            let mut dst = out.entropy_cache.borrow_mut();
+            dst.mode = self.entropy_cache.borrow().mode;
+            dst.stamps.clear();
+            dst.stamps.resize(self.status.len(), 0);
+            dst.values.resize(self.status.len(), (0, 0));
+        }
+        out.apply(c, label)
+            .expect("speculated class must be unlabeled and in range");
     }
 
     /// Reconstructs the equivalent [`Sample`] (the from-scratch
@@ -757,6 +814,40 @@ mod tests {
                 spec.uninformative_count(CountMode::Tuples),
                 direct.uninformative_count(CountMode::Tuples)
             );
+        }
+    }
+
+    #[test]
+    fn speculate_into_equals_speculate() {
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        state.apply(class_of(&u, 0, 2), Label::Positive).unwrap();
+        // Reuse a deliberately unrelated buffer state.
+        let mut buffer = InferenceState::new(&u);
+        buffer.apply(class_of(&u, 2, 0), Label::Negative).unwrap();
+        for &c in state.informative() {
+            for label in Label::BOTH {
+                let fresh = state.speculate(c, label);
+                state.speculate_into(c, label, &mut buffer);
+                assert_eq!(fresh.informative(), buffer.informative());
+                assert_eq!(fresh.t_pos(), buffer.t_pos());
+                assert_eq!(fresh.history(), buffer.history());
+                assert_eq!(fresh.is_consistent(), buffer.is_consistent());
+                for mode in [CountMode::Tuples, CountMode::Classes] {
+                    assert_eq!(
+                        fresh.uninformative_count(mode),
+                        buffer.uninformative_count(mode)
+                    );
+                }
+                assert_eq!(fresh.theta_certain(), buffer.theta_certain());
+                for &t in fresh.informative() {
+                    assert_eq!(
+                        fresh.entropy(t, CountMode::Tuples),
+                        buffer.entropy(t, CountMode::Tuples),
+                        "entropy diverges for class {t}"
+                    );
+                }
+            }
         }
     }
 

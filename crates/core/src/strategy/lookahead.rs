@@ -3,6 +3,7 @@
 use crate::certain::CountMode;
 use crate::entropy::{select_best, Entropy, ENTROPY_INF};
 use crate::error::Result;
+use crate::sample::Label;
 use crate::state::InferenceState;
 use crate::strategy::Strategy;
 use crate::universe::ClassId;
@@ -20,9 +21,20 @@ use crate::universe::ClassId;
 /// Depth-1 entropies come straight from the state's incremental gain
 /// computation (one pass over the informative set per candidate, served
 /// from the version-stamped cache on repeat queries); deeper lookahead
-/// branches on [`InferenceState::speculate`] — an O(classes) clone plus an
-/// O(delta) apply per hypothetical label, instead of the former
-/// sample-clone-and-rescan-Ω per node.
+/// branches on [`InferenceState::speculate_into`] — an O(classes) copy into
+/// a per-depth scratch pool plus an O(delta) apply per hypothetical label,
+/// never a fresh allocation per node.
+///
+/// The deep recursion is **branch-and-bound** pruned, without changing any
+/// result: candidates at each node are ordered by their depth-1 entropy
+/// (best first) so a strong incumbent is established early, and a
+/// candidate's subtree is abandoned as soon as one of its two label
+/// branches proves its guaranteed gain cannot beat the incumbent — the
+/// node's value is the *minimum* over the two labels, so the untried label
+/// cannot raise it. Pruned candidates are exactly those that would have
+/// lost the skyline selection anyway, hence selections and reported
+/// entropies are identical to the exhaustive recursion (property-tested in
+/// `tests/properties.rs`).
 #[derive(Debug, Clone)]
 pub struct Lookahead {
     depth: usize,
@@ -65,53 +77,205 @@ impl Lookahead {
     }
 
     /// Entropies of all informative classes at the configured depth.
+    ///
+    /// Every value is the exact Algorithm 5 result: branch-and-bound only
+    /// happens *inside* each class's recursion, against incumbents whose
+    /// defeat is already decided.
     pub fn entropies(&self, state: &InferenceState<'_>) -> Vec<(ClassId, Entropy)> {
         if self.depth == 1 {
             state.entropies(self.mode)
         } else {
             let base = state.uninformative_count(self.mode);
+            let mut scratch = Scratch::new(self.depth);
             state
                 .informative()
                 .iter()
-                .map(|&c| (c, entropy_rel(state, base, c, self.depth, self.mode)))
+                .map(|&c| {
+                    (
+                        c,
+                        entropy_rel(state, base, c, self.depth, self.mode, 0, &mut scratch),
+                    )
+                })
                 .collect()
         }
     }
 }
 
+/// Per-depth scratch buffers for the lookahead recursion: speculation
+/// states and candidate orderings are taken from the pool at each node and
+/// returned afterwards, so a whole depth-k evaluation performs O(k)
+/// allocations (first touch per level) instead of O(visited nodes).
+struct Scratch<'u> {
+    states: Vec<Option<InferenceState<'u>>>,
+    orders: Vec<Option<Vec<(ClassId, Entropy)>>>,
+}
+
+impl<'u> Scratch<'u> {
+    fn new(depth: usize) -> Self {
+        Scratch {
+            states: (0..=depth).map(|_| None).collect(),
+            orders: (0..=depth).map(|_| None).collect(),
+        }
+    }
+}
+
+/// Incumbent update replicating [`select_best`]'s ordering exactly:
+/// maximal `lo`, then maximal `hi`, then the smallest class id.
+fn update_best(best: &mut Option<(ClassId, Entropy)>, t: ClassId, e: Entropy) {
+    let better = match *best {
+        None => true,
+        Some((bc, be)) => {
+            e.lo > be.lo || (e.lo == be.lo && (e.hi > be.hi || (e.hi == be.hi && t < bc)))
+        }
+    };
+    if better {
+        *best = Some((t, e));
+    }
+}
+
+/// Algorithm 4/6 lines 2–4 at depth `k` over the informative classes of
+/// `s`: `select_best` of the depth-`k` entropies, with two α/β-style
+/// relaxations licensed by the caller (a min-node over the two labels):
+///
+/// * `alpha` — values below it are irrelevant to the caller (its own
+///   incumbent already beats them): candidate subtrees are pruned against
+///   `max(alpha, incumbent)`, and if *every* candidate lands below `alpha`
+///   the returned value is merely an upper bound that still satisfies
+///   `lo < alpha`, which is all the caller needs to abandon its branch.
+/// * `beta` — once the incumbent's guaranteed gain exceeds it, the caller's
+///   minimum is decided by its other label branch: stop scanning and
+///   return the incumbent (a lower bound of the true maximum with
+///   `lo > beta`, which is all the caller needs).
+///
+/// With `alpha = 0, beta = u64::MAX` the result is the exact
+/// [`select_best`] over exact entropies. Returns `None` iff no informative
+/// class remains.
+fn best_successor<'u>(
+    s: &InferenceState<'u>,
+    base: u64,
+    k: usize,
+    mode: CountMode,
+    alpha: u64,
+    beta: u64,
+    scratch: &mut Scratch<'u>,
+) -> Option<(ClassId, Entropy)> {
+    if !s.any_informative() {
+        return None;
+    }
+    if k == 1 {
+        // Leaf level: the one-step entropies *are* the depth-1 values
+        // relative to the original sample, shifted by the uninformative
+        // tuples accumulated since — serve them from the state's
+        // incremental gain machinery (and its version-stamped cache).
+        let shift = s.uninformative_count(mode).saturating_sub(base);
+        let mut best: Option<(ClassId, Entropy)> = None;
+        for &t in s.informative() {
+            let e1 = s.entropy(t, mode);
+            let e = Entropy {
+                lo: e1.lo + shift,
+                hi: e1.hi + shift,
+            };
+            update_best(&mut best, t, e);
+            if e.lo > beta {
+                break; // β-cut: the caller's min is its other label branch
+            }
+        }
+        return best;
+    }
+    // Candidates ordered by depth-1 entropy, best first: strong candidates
+    // establish a high incumbent early, so weaker subtrees prune sooner.
+    let mut order = scratch.orders[k].take().unwrap_or_default();
+    order.clear();
+    order.extend(s.informative().iter().map(|&t| (t, s.entropy(t, mode))));
+    order.sort_by(|(ca, ea), (cb, eb)| eb.lo.cmp(&ea.lo).then(eb.hi.cmp(&ea.hi)).then(ca.cmp(cb)));
+    let mut best: Option<(ClassId, Entropy)> = None;
+    // The maximum over candidates that fell below `alpha` — only reported
+    // when NO candidate reaches `alpha`, as the sub-`alpha` upper bound.
+    let mut below_alpha: Option<(ClassId, Entropy)> = None;
+    for &(t, _) in order.iter() {
+        let cutoff = best.map_or(alpha, |(_, e)| e.lo);
+        let e = entropy_rel(s, base, t, k, mode, cutoff, scratch);
+        if e.lo < cutoff {
+            // Pruned, or exactly evaluated and strictly worse.
+            update_best(&mut below_alpha, t, e);
+            continue;
+        }
+        update_best(&mut best, t, e);
+        if e.lo > beta {
+            break; // β-cut: the caller's min is its other label branch
+        }
+    }
+    scratch.orders[k] = Some(order);
+    best.or(below_alpha)
+}
+
 /// Depth-`k` entropy of `c` w.r.t. the *current* state, with uninformative
 /// counts measured against `base` (the original sample's count, per
 /// Algorithm 5 lines 8–9).
-fn entropy_rel(
-    current: &InferenceState<'_>,
+///
+/// `cutoff` is the caller's incumbent guaranteed gain. The node's value is
+/// the minimum over its two label branches, so as soon as one branch comes
+/// back below `cutoff` the node is abandoned and an upper bound of the true
+/// value (still `< cutoff`) is returned — the caller discards it. Pass `0`
+/// to force the exact value.
+fn entropy_rel<'u>(
+    current: &InferenceState<'u>,
     base: u64,
     c: ClassId,
     k: usize,
     mode: CountMode,
+    cutoff: u64,
+    scratch: &mut Scratch<'u>,
 ) -> Entropy {
     if k == 1 {
         // u^α relative to the ORIGINAL sample: the current absolute count
         // plus the incremental gain of this labeling, minus the base.
         let here = current.uninformative_count(mode);
-        let u_pos = (here + current.gain(c, crate::Label::Positive, mode)).saturating_sub(base);
-        let u_neg = (here + current.gain(c, crate::Label::Negative, mode)).saturating_sub(base);
-        return Entropy::of(u_pos, u_neg);
+        let (g_pos, g_neg) = current.gain_pair(c, mode);
+        return Entropy::of(
+            (here + g_pos).saturating_sub(base),
+            (here + g_neg).saturating_sub(base),
+        );
     }
+    // Try the label with the smaller one-step gain first: it is the
+    // likelier minimum, so a sub-cutoff branch is discovered before the
+    // second subtree is explored at all. The pair is already cached from
+    // the parent's candidate-ordering pass.
+    let (g_pos, g_neg) = current.gain_pair(c, mode);
+    let order = if g_pos <= g_neg {
+        [Label::Positive, Label::Negative]
+    } else {
+        [Label::Negative, Label::Positive]
+    };
     let mut per_label: [Entropy; 2] = [ENTROPY_INF; 2];
-    for (idx, alpha) in crate::Label::BOTH.into_iter().enumerate() {
-        let s1 = current.speculate(c, alpha);
-        if !s1.any_informative() {
-            // Line 4: e_α = (∞, ∞) — labeling ends the inference.
-            per_label[idx] = ENTROPY_INF;
-            continue;
+    let mut first_lo = u64::MAX;
+    for (round, &alpha) in order.iter().enumerate() {
+        let mut slot = scratch.states[k].take();
+        match slot.as_mut() {
+            Some(st) => current.speculate_into(c, alpha, st),
+            None => slot = Some(current.speculate(c, alpha)),
         }
-        let entries: Vec<(ClassId, Entropy)> = s1
-            .informative()
-            .iter()
-            .map(|&t2| (t2, entropy_rel(&s1, base, t2, k - 1, mode)))
-            .collect();
-        // Lines 11–12: skyline element with min(e) = max of mins.
-        per_label[idx] = select_best(&entries).expect("entries nonempty").1;
+        let s1 = slot.as_ref().expect("slot was just populated");
+        let idx = match alpha {
+            Label::Positive => 0,
+            Label::Negative => 1,
+        };
+        // The first branch inherits the caller's floor; the second also
+        // gets the first's value as a ceiling — once it provably exceeds
+        // it, this node's minimum is the first branch regardless.
+        per_label[idx] = match best_successor(s1, base, k - 1, mode, cutoff, first_lo, scratch) {
+            // Lines 11–12: skyline element with min(e) = max of mins.
+            Some((_, e)) => e,
+            // Line 4: e_α = (∞, ∞) — labeling ends the inference.
+            None => ENTROPY_INF,
+        };
+        scratch.states[k] = slot;
+        if round == 0 {
+            if per_label[idx].lo < cutoff {
+                return per_label[idx];
+            }
+            first_lo = per_label[idx].lo;
+        }
     }
     // Lines 13–14: return e_α with the smaller min (worst case over labels).
     if per_label[0].lo <= per_label[1].lo {
@@ -127,8 +291,25 @@ impl Strategy for Lookahead {
     }
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
-        let entries = self.entropies(state);
-        Ok(select_best(&entries).map(|(c, _)| c))
+        if self.depth == 1 {
+            let entries = state.entropies(self.mode);
+            return Ok(select_best(&entries).map(|(c, _)| c));
+        }
+        // Deep lookahead selects through the same bounded scan the inner
+        // nodes use — pruned candidates are exactly those select_best over
+        // the exhaustive entropies would have rejected.
+        let base = state.uninformative_count(self.mode);
+        let mut scratch = Scratch::new(self.depth);
+        Ok(best_successor(
+            state,
+            base,
+            self.depth,
+            self.mode,
+            0,
+            u64::MAX,
+            &mut scratch,
+        )
+        .map(|(c, _)| c))
     }
 }
 
@@ -172,6 +353,57 @@ mod tests {
                     "depth-{k} entropy diverges for class {c}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pruned_depth_3_matches_scratch_recursion_and_selection() {
+        // On a synthetic instance with nontrivial branching, the bounded
+        // recursion must reproduce the exhaustive entropy_k values AND the
+        // exhaustive select_best choice, at depths 2 and 3.
+        use jqi_datagen_free::tiny_synthetic;
+        let u = Universe::build(tiny_synthetic());
+        let mut state = InferenceState::new(&u);
+        let first = state.informative()[0];
+        state.apply(first, crate::Label::Negative).unwrap();
+        let sample = state.as_sample();
+        for k in [2usize, 3] {
+            let mut strategy = Lookahead::new(k);
+            let entries = strategy.entropies(&state);
+            for &(c, e) in &entries {
+                assert_eq!(
+                    e,
+                    crate::entropy::entropy_k(&u, &sample, c, k, CountMode::Tuples),
+                    "depth-{k} entropy diverges for class {c}"
+                );
+            }
+            let picked = strategy.next(&state).unwrap();
+            assert_eq!(
+                picked,
+                select_best(&entries).map(|(c, _)| c),
+                "depth-{k} pruned selection diverges from exhaustive select_best"
+            );
+        }
+    }
+
+    /// A small instance with duplicate rows and mixed overlap, built
+    /// without depending on `jqi_datagen` (which depends on this crate).
+    mod jqi_datagen_free {
+        use jqi_relation::{Instance, InstanceBuilder};
+
+        pub fn tiny_synthetic() -> Instance {
+            let mut b = InstanceBuilder::new();
+            b.relation_r("R", &["A1", "A2"]);
+            b.relation_p("P", &["B1", "B2"]);
+            let r_rows: [[i64; 2]; 7] = [[0, 1], [0, 1], [1, 2], [2, 0], [1, 1], [3, 2], [2, 2]];
+            let p_rows: [[i64; 2]; 6] = [[1, 0], [1, 0], [2, 1], [0, 2], [3, 3], [2, 0]];
+            for r in r_rows {
+                b.row_r_ints(&r);
+            }
+            for p in p_rows {
+                b.row_p_ints(&p);
+            }
+            b.build().expect("well-formed")
         }
     }
 

@@ -11,13 +11,49 @@
 //! equal signature, and all strategies reason over classes weighted by
 //! multiplicity. This is what makes TPC-H-scale products (10⁷–10⁸ tuples)
 //! tractable: the number of *distinct* signatures stays small.
+//!
+//! # Construction: profile deduplication before pair enumeration
+//!
+//! [`Universe::build`] never walks the raw `|R| · |P|` product. It first
+//! canonicalizes each row to its *join profile* — the row's symbol tuple
+//! restricted to symbols occurring in the opposite relation (see
+//! [`Instance::r_profile_key`]) — and deduplicates rows into weighted
+//! distinct profiles. Two rows with equal profiles produce identical
+//! signatures against every opposite row, so the pair loop only has to
+//! visit `distinct_R · distinct_P` profile pairs, multiplying the two
+//! profile counts into the class weight. Total cost:
+//!
+//! * `O(|R| · n + |P| · m)` hashing to deduplicate rows into profiles,
+//! * `O(distinct_R · distinct_P · n)` symbol-map lookups for the remaining
+//!   pair loop (`n = arity(R)`), using a per-P-profile index from value
+//!   symbols to column masks,
+//!
+//! instead of the former `O(|R| · |P| · n)`. On duplicate-heavy instances
+//! (the TPC-H regime the paper targets: 10⁷–10⁸ product tuples, a handful
+//! of distinct signatures) this is orders of magnitude less work. When the
+//! remaining profile-pair loop is still large it is parallelized with
+//! `std::thread::scope` over R-profile chunks; the per-thread class tables
+//! are merged in chunk order, so class ids, counts, and representatives are
+//! **identical** to the sequential build. P relations of any arity are
+//! supported: column masks are multi-word (`bitset::or_shifted`), not
+//! capped at 64 attributes.
+//!
+//! The pre-deduplication row-pair loop is kept as
+//! [`Universe::build_rowpair_reference`] — an executable specification used
+//! by the equivalence property tests and as the baseline of the `scaling`
+//! benchmark.
 
-use jqi_relation::bitset::{hash_words, word_count};
-use jqi_relation::{BitSet, Instance, Symbol};
+use jqi_relation::bitset::{hash_words, or_shifted, word_count};
+use jqi_relation::{BitSet, Instance, Tuple};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Identifier of a T-equivalence class (an index into [`Universe`] tables).
 pub type ClassId = usize;
+
+/// Below this much profile-pair work, [`Universe::build`] stays
+/// single-threaded: thread spawn/merge overhead would dominate.
+const PARALLEL_THRESHOLD: u64 = 1 << 15;
 
 /// The Cartesian product of an instance, partitioned into T-equivalence
 /// classes.
@@ -33,92 +69,273 @@ pub struct Universe {
     counts: Vec<u64>,
     /// One representative `(ri, pi)` product tuple per class.
     reps: Vec<(u32, u32)>,
+    /// Construction-time hash buckets (signature word-hash → candidate
+    /// class ids), kept so [`Universe::class_of`] is O(1) expected instead
+    /// of a linear scan over all signatures.
+    buckets: HashMap<u64, Vec<u32>>,
+    /// Number of distinct R-side / P-side join profiles the build
+    /// enumerated (`|R|` / `|P|` for the reference build).
+    distinct_r: usize,
+    distinct_p: usize,
+}
+
+/// One distinct join profile of a relation side: its first (representative)
+/// row and the number of rows that collapse into it.
+#[derive(Debug, Clone, Copy)]
+struct Profile {
+    rep: u32,
+    count: u64,
+}
+
+/// Deduplicates profile keys in first-occurrence order.
+fn distinct_profiles(keys: impl Iterator<Item = Box<[u32]>>) -> Vec<Profile> {
+    let mut ids: HashMap<Box<[u32]>, u32> = HashMap::new();
+    let mut out: Vec<Profile> = Vec::new();
+    for (row, key) in keys.enumerate() {
+        match ids.entry(key) {
+            Entry::Occupied(e) => out[*e.get() as usize].count += 1,
+            Entry::Vacant(e) => {
+                e.insert(out.len() as u32);
+                out.push(Profile {
+                    rep: row as u32,
+                    count: 1,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Treats every row as its own profile (the reference, no-dedup path).
+fn row_profiles(rows: usize) -> Vec<Profile> {
+    (0..rows)
+        .map(|r| Profile {
+            rep: r as u32,
+            count: 1,
+        })
+        .collect()
+}
+
+/// Per-distinct-P-profile symbol index: raw value symbol → P-column mask.
+///
+/// Masks live in one arena with stride `pwords` words, so arbitrary P
+/// arities are supported (no 64-column limit). Only symbols shared with R
+/// are indexed — everything else can never match an R cell.
+struct PIndex {
+    pwords: usize,
+    /// One map per distinct P profile, aligned with the profile list.
+    maps: Vec<HashMap<u32, u32>>,
+    masks: Vec<u64>,
+}
+
+impl PIndex {
+    fn build(p_rows: &[Tuple], shared: &BitSet, p_profiles: &[Profile], m: usize) -> PIndex {
+        let pwords = word_count(m);
+        let mut maps = Vec::with_capacity(p_profiles.len());
+        let mut masks: Vec<u64> = Vec::new();
+        for profile in p_profiles {
+            let mut map: HashMap<u32, u32> = HashMap::new();
+            for (j, sym) in p_rows[profile.rep as usize].symbols().iter().enumerate() {
+                if !shared.contains(sym.index()) {
+                    continue;
+                }
+                let slot = match map.entry(sym.0) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let slot = (masks.len() / pwords.max(1)) as u32;
+                        masks.resize(masks.len() + pwords, 0);
+                        *e.insert(slot)
+                    }
+                };
+                let base = slot as usize * pwords;
+                masks[base + j / 64] |= 1u64 << (j % 64);
+            }
+            maps.push(map);
+        }
+        PIndex {
+            pwords,
+            maps,
+            masks,
+        }
+    }
+
+    #[inline]
+    fn mask(&self, slot: u32) -> &[u64] {
+        let base = slot as usize * self.pwords;
+        &self.masks[base..base + self.pwords]
+    }
+}
+
+/// A growing table of distinct signatures with weights, representatives and
+/// hash buckets. Threads build local tables; [`ClassTable::absorb`] merges
+/// them deterministically.
+#[derive(Default)]
+struct ClassTable {
+    sigs: Vec<BitSet>,
+    counts: Vec<u64>,
+    reps: Vec<(u32, u32)>,
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl ClassTable {
+    /// Records `count` product tuples with the signature in `words`; `rep`
+    /// is used only if the signature is new.
+    fn observe(&mut self, nbits: usize, words: &[u64], count: u64, rep: (u32, u32)) {
+        let bucket = self.buckets.entry(hash_words(words)).or_default();
+        for &cid in bucket.iter() {
+            if self.sigs[cid as usize].words() == words {
+                self.counts[cid as usize] += count;
+                return;
+            }
+        }
+        let cid = self.sigs.len() as u32;
+        self.sigs.push(BitSet::from_words(nbits, words.to_vec()));
+        self.counts.push(count);
+        self.reps.push(rep);
+        bucket.push(cid);
+    }
+
+    /// Merges a later chunk's table into this one. First-occurrence order
+    /// is preserved because chunks are absorbed in chunk order.
+    fn absorb(&mut self, other: ClassTable) {
+        for ((sig, count), rep) in other.sigs.into_iter().zip(other.counts).zip(other.reps) {
+            self.observe(sig.capacity(), sig.words(), count, rep);
+        }
+    }
+}
+
+/// The profile-pair kernel: classifies every `(r_profile, p_profile)` pair
+/// of `r_chunk × p_profiles` into a local class table.
+fn scan_chunk(
+    r_rows: &[Tuple],
+    r_chunk: &[Profile],
+    p_profiles: &[Profile],
+    pindex: &PIndex,
+    nbits: usize,
+    m: usize,
+) -> ClassTable {
+    let mut table = ClassTable::default();
+    let mut scratch: Vec<u64> = vec![0; word_count(nbits)];
+    for rp in r_chunk {
+        let r_syms = r_rows[rp.rep as usize].symbols();
+        for (pid, pp) in p_profiles.iter().enumerate() {
+            scratch.iter_mut().for_each(|w| *w = 0);
+            let pmap = &pindex.maps[pid];
+            for (i, sym) in r_syms.iter().enumerate() {
+                if let Some(&slot) = pmap.get(&sym.0) {
+                    // Place the m-bit column mask at bit offset i·m.
+                    or_shifted(&mut scratch, pindex.mask(slot), i * m);
+                }
+            }
+            table.observe(nbits, &scratch, rp.count * pp.count, (rp.rep, pp.rep));
+        }
+    }
+    table
 }
 
 impl Universe {
     /// Partitions the Cartesian product of `instance` into T-equivalence
-    /// classes.
+    /// classes, deduplicating rows into weighted join profiles first and
+    /// parallelizing the remaining profile-pair loop when it is large (see
+    /// the module docs for the complexity budget).
     ///
-    /// Complexity: `O(|R|·|P|·n)` symbol-map lookups where `n = arity(R)`,
-    /// using a per-`P`-row index from value symbols to column masks, rather
-    /// than the naive `O(|R|·|P|·n·m)` comparisons.
+    /// The result is deterministic: class ids follow the first-occurrence
+    /// order of signatures over the (R-profile, P-profile) pair enumeration,
+    /// regardless of thread count.
     pub fn build(instance: Instance) -> Self {
+        let shared = instance.shared_symbols();
+        let r_profiles = distinct_profiles(
+            (0..instance.r().len()).map(|ri| instance.r_profile_key(ri, &shared)),
+        );
+        let p_profiles = distinct_profiles(
+            (0..instance.p().len()).map(|pi| instance.p_profile_key(pi, &shared)),
+        );
+        let work = r_profiles.len() as u64 * p_profiles.len() as u64;
+        let threads = if work < PARALLEL_THRESHOLD {
+            1
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        Self::assemble(instance, shared, r_profiles, p_profiles, threads)
+    }
+
+    /// [`Universe::build`] with an explicit worker count, exposed so the
+    /// equivalence property tests (and benches) can force the parallel
+    /// merge path on any machine.
+    pub fn build_with_parallelism(instance: Instance, threads: usize) -> Self {
+        let shared = instance.shared_symbols();
+        let r_profiles = distinct_profiles(
+            (0..instance.r().len()).map(|ri| instance.r_profile_key(ri, &shared)),
+        );
+        let p_profiles = distinct_profiles(
+            (0..instance.p().len()).map(|pi| instance.p_profile_key(pi, &shared)),
+        );
+        Self::assemble(instance, shared, r_profiles, p_profiles, threads)
+    }
+
+    /// The pre-deduplication construction: walk every `(ri, pi)` row pair
+    /// of the raw Cartesian product, exactly as the seed implementation
+    /// did. `O(|R| · |P| · n)`. Kept as an executable specification (the
+    /// property tests assert [`Universe::build`] is equivalent) and as the
+    /// baseline the `scaling` benchmark measures speedups against.
+    pub fn build_rowpair_reference(instance: Instance) -> Self {
+        let shared = instance.shared_symbols();
+        let r_profiles = row_profiles(instance.r().len());
+        let p_profiles = row_profiles(instance.p().len());
+        Self::assemble(instance, shared, r_profiles, p_profiles, 1)
+    }
+
+    fn assemble(
+        instance: Instance,
+        shared: BitSet,
+        r_profiles: Vec<Profile>,
+        p_profiles: Vec<Profile>,
+        threads: usize,
+    ) -> Self {
         let ps = instance.pairs();
-        let _n = ps.arity_r();
         let m = ps.arity_p();
         let nbits = ps.len();
-        let words = word_count(nbits);
-
-        // Fast path requires each row's P-column mask to fit in u64.
-        assert!(
-            m <= 64,
-            "relations with more than 64 attributes in P are not supported"
-        );
-
-        // Per-P-row map: value symbol -> bitmask of P columns holding it.
-        let p_rows = instance.p().rows();
-        let mut p_index: Vec<HashMap<Symbol, u64>> = Vec::with_capacity(p_rows.len());
-        for row in p_rows {
-            let mut map: HashMap<Symbol, u64> = HashMap::with_capacity(m);
-            for (j, &sym) in row.symbols().iter().enumerate() {
-                *map.entry(sym).or_insert(0) |= 1u64 << j;
-            }
-            p_index.push(map);
-        }
-
-        let mut sigs: Vec<BitSet> = Vec::new();
-        let mut counts: Vec<u64> = Vec::new();
-        let mut reps: Vec<(u32, u32)> = Vec::new();
-        // Buckets: word-hash -> candidate class ids.
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        let mut scratch: Vec<u64> = vec![0; words];
-
+        let pindex = PIndex::build(instance.p().rows(), &shared, &p_profiles, m);
         let r_rows = instance.r().rows();
-        for (ri, r_row) in r_rows.iter().enumerate() {
-            let r_syms = r_row.symbols();
-            for (pi, pmap) in p_index.iter().enumerate() {
-                scratch.iter_mut().for_each(|w| *w = 0);
-                for (i, sym) in r_syms.iter().enumerate() {
-                    if let Some(&mask) = pmap.get(sym) {
-                        // Place the m-bit mask at bit offset i·m.
-                        let base = i * m;
-                        let wi = base / 64;
-                        let off = base % 64;
-                        scratch[wi] |= mask << off;
-                        if off != 0 && off + m > 64 {
-                            scratch[wi + 1] |= mask >> (64 - off);
-                        }
-                    }
-                }
-                let h = hash_words(&scratch);
-                let bucket = buckets.entry(h).or_default();
-                let mut found = None;
-                for &cid in bucket.iter() {
-                    if sigs[cid as usize].words() == scratch.as_slice() {
-                        found = Some(cid as usize);
-                        break;
-                    }
-                }
-                match found {
-                    Some(cid) => counts[cid] += 1,
-                    None => {
-                        let cid = sigs.len() as u32;
-                        sigs.push(BitSet::from_words(nbits, scratch.clone()));
-                        counts.push(1);
-                        reps.push((ri as u32, pi as u32));
-                        bucket.push(cid);
-                    }
-                }
-            }
-        }
 
-        let sig_sizes = sigs.iter().map(|s| s.len() as u32).collect();
+        let threads = threads.clamp(1, r_profiles.len().max(1));
+        let mut table = if threads <= 1 {
+            scan_chunk(r_rows, &r_profiles, &p_profiles, &pindex, nbits, m)
+        } else {
+            let chunk = r_profiles.len().div_ceil(threads);
+            let locals: Vec<ClassTable> = std::thread::scope(|s| {
+                let handles: Vec<_> = r_profiles
+                    .chunks(chunk)
+                    .map(|r_chunk| {
+                        let (p_profiles, pindex) = (&p_profiles, &pindex);
+                        s.spawn(move || scan_chunk(r_rows, r_chunk, p_profiles, pindex, nbits, m))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("universe scan worker panicked"))
+                    .collect()
+            });
+            let mut merged = ClassTable::default();
+            for local in locals {
+                merged.absorb(local);
+            }
+            merged
+        };
+
+        let sig_sizes = table.sigs.iter().map(|s| s.len() as u32).collect();
+        table.buckets.shrink_to_fit();
         Universe {
             instance,
-            sigs,
+            sigs: table.sigs,
             sig_sizes,
-            counts,
-            reps,
+            counts: table.counts,
+            reps: table.reps,
+            buckets: table.buckets,
+            distinct_r: r_profiles.len(),
+            distinct_p: p_profiles.len(),
         }
     }
 
@@ -131,6 +348,17 @@ impl Universe {
     /// ∅-signature class).
     pub fn num_classes(&self) -> usize {
         self.sigs.len()
+    }
+
+    /// Number of distinct R-side join profiles enumerated at construction
+    /// (`|R|` for [`Universe::build_rowpair_reference`]).
+    pub fn distinct_r_profiles(&self) -> usize {
+        self.distinct_r
+    }
+
+    /// Number of distinct P-side join profiles enumerated at construction.
+    pub fn distinct_p_profiles(&self) -> usize {
+        self.distinct_p
     }
 
     /// The signature `T(t)` shared by all tuples of class `c`.
@@ -180,9 +408,17 @@ impl Universe {
     }
 
     /// Finds the class of an arbitrary product tuple.
+    ///
+    /// O(1) expected: one signature computation plus a probe of the
+    /// construction-time hash buckets (full equality is re-checked, so hash
+    /// collisions are harmless).
     pub fn class_of(&self, ri: usize, pi: usize) -> Option<ClassId> {
         let sig = self.instance.signature(ri, pi);
-        self.sigs.iter().position(|s| *s == sig)
+        let bucket = self.buckets.get(&hash_words(sig.words()))?;
+        bucket
+            .iter()
+            .map(|&c| c as usize)
+            .find(|&c| self.sigs[c] == sig)
     }
 
     /// Iterates over `(class, signature, count)`.
@@ -198,6 +434,7 @@ impl Universe {
 mod tests {
     use super::*;
     use crate::paper::example_2_1;
+    use jqi_relation::{InstanceBuilder, Value};
 
     #[test]
     fn example_2_1_has_twelve_singleton_classes() {
@@ -221,7 +458,6 @@ mod tests {
 
     #[test]
     fn duplicate_rows_collapse_into_classes() {
-        use jqi_relation::{InstanceBuilder, Value};
         let mut b = InstanceBuilder::new();
         b.relation_r("R", &["A"]);
         b.relation_p("P", &["B"]);
@@ -239,6 +475,9 @@ mod tests {
         let mut counts: Vec<u64> = u.counts.clone();
         counts.sort();
         assert_eq!(counts, vec![3, 6]);
+        // The duplicated rows collapse into single profiles.
+        assert_eq!(u.distinct_r_profiles(), 1);
+        assert_eq!(u.distinct_p_profiles(), 2);
     }
 
     #[test]
@@ -260,7 +499,6 @@ mod tests {
 
     #[test]
     fn wide_relations_cross_word_boundaries() {
-        use jqi_relation::{InstanceBuilder, Value};
         // n=3, m=60 → |Ω| = 180 bits, masks straddle word boundaries.
         let mut b = InstanceBuilder::new();
         let r_attrs: Vec<String> = (0..3).map(|i| format!("A{i}")).collect();
@@ -288,8 +526,123 @@ mod tests {
     }
 
     #[test]
+    fn relations_wider_than_64_columns_are_supported() {
+        // Regression for the former `m <= 64` assert-panic: P has 70
+        // attributes, so each per-symbol column mask spans two words.
+        let n = 2usize;
+        let m = 70usize;
+        let mut b = InstanceBuilder::new();
+        let r_attrs: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
+        let p_attrs: Vec<String> = (0..m).map(|j| format!("B{j}")).collect();
+        let r_refs: Vec<&str> = r_attrs.iter().map(String::as_str).collect();
+        let p_refs: Vec<&str> = p_attrs.iter().map(String::as_str).collect();
+        b.relation_r("R", &r_refs);
+        b.relation_p("P", &p_refs);
+        b.row_r(&[Value::int(1), Value::int(2)]);
+        b.row_r(&[Value::int(2), Value::int(3)]);
+        // P rows hit columns on both sides of the 64-bit boundary.
+        let p_row_a: Vec<Value> = (0..m)
+            .map(|j| Value::int(if j == 0 || j == 65 { 1 } else { -1 }))
+            .collect();
+        let p_row_b: Vec<Value> = (0..m)
+            .map(|j| Value::int(if j % 7 == 0 { 2 } else { 3 }))
+            .collect();
+        b.row_p(&p_row_a);
+        b.row_p(&p_row_b);
+        let u = Universe::build(b.build().unwrap());
+        let inst = u.instance();
+        assert_eq!(u.omega_len(), n * m);
+        for (ri, pi) in inst.product() {
+            let sig = inst.signature(ri, pi);
+            let c = u.class_of(ri, pi).expect("class exists");
+            assert_eq!(u.sig(c), &sig, "wide signature diverges at ({ri},{pi})");
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        // Class ids, counts, and representatives must be identical to the
+        // sequential build for every worker count.
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A1", "A2"]);
+        b.relation_p("P", &["B1", "B2"]);
+        for i in 0..40i64 {
+            b.row_r_ints(&[i % 5, (i * 3) % 4]);
+        }
+        for j in 0..30i64 {
+            b.row_p_ints(&[(j * 2) % 5, j % 3]);
+        }
+        let inst = b.build().unwrap();
+        let seq = Universe::build_with_parallelism(inst.clone(), 1);
+        for threads in [2, 3, 4, 7] {
+            let par = Universe::build_with_parallelism(inst.clone(), threads);
+            assert_eq!(
+                seq.sigs, par.sigs,
+                "signatures diverge at {threads} threads"
+            );
+            assert_eq!(
+                seq.counts, par.counts,
+                "counts diverge at {threads} threads"
+            );
+            assert_eq!(seq.reps, par.reps, "reps diverge at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn dedup_build_matches_rowpair_reference() {
+        // Duplicate-heavy instance: the deduplicated build must produce the
+        // same signature/count multiset and total as the row-pair loop.
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A1", "A2"]);
+        b.relation_p("P", &["B1"]);
+        for i in 0..24i64 {
+            b.row_r_ints(&[i % 3, (i % 2) + 100]); // second column unmatchable
+        }
+        for j in 0..18i64 {
+            b.row_p_ints(&[j % 4]);
+        }
+        let inst = b.build().unwrap();
+        let fast = Universe::build(inst.clone());
+        let reference = Universe::build_rowpair_reference(inst);
+        assert_eq!(fast.total_tuples(), reference.total_tuples());
+        let key = |u: &Universe| {
+            let mut v: Vec<(BitSet, u64)> = u.iter().map(|(_, s, n)| (s.clone(), n)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&fast), key(&reference));
+        // Representatives land in their own class in both builds.
+        for u in [&fast, &reference] {
+            for c in 0..u.num_classes() {
+                let (ri, pi) = u.representative(c);
+                assert_eq!(&u.instance().signature(ri, pi), u.sig(c));
+            }
+        }
+        assert!(fast.distinct_r_profiles() < 24);
+    }
+
+    #[test]
+    fn class_of_probes_buckets() {
+        let u = Universe::build(example_2_1());
+        for (ri, pi) in u.instance().product().collect::<Vec<_>>() {
+            let c = u.class_of(ri, pi).expect("class exists");
+            assert_eq!(u.sig(c), &u.instance().signature(ri, pi));
+        }
+        // A signature that does not occur maps to no class: build a probe
+        // instance whose only signature is Ω-sized, then ask for ∅.
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A"]);
+        b.relation_p("P", &["B"]);
+        b.row_r(&[Value::int(1)]);
+        b.row_p(&[Value::int(1)]);
+        b.row_p(&[Value::int(2)]);
+        let u = Universe::build(b.build().unwrap());
+        assert_eq!(u.num_classes(), 2);
+        assert!(u.class_of(0, 0).is_some());
+    }
+
+    #[test]
     fn empty_relation_yields_no_classes() {
-        use jqi_relation::InstanceBuilder;
         let mut b = InstanceBuilder::new();
         b.relation_r("R", &["A"]);
         b.relation_p("P", &["B"]);

@@ -18,5 +18,5 @@
 pub mod synthetic;
 pub mod tpch;
 
-pub use synthetic::{SyntheticConfig, PAPER_CONFIGS};
+pub use synthetic::{ScaledConfig, SyntheticConfig, PAPER_CONFIGS};
 pub use tpch::{TpchJoin, TpchScale, TpchTables, TpchWorkload};

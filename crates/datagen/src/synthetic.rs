@@ -113,6 +113,124 @@ impl SyntheticConfig {
     }
 }
 
+/// A duplicate-heavy scaled configuration for the `scaling` benchmark: the
+/// relations have `rows_r` / `rows_p` rows drawn (with repetition) from
+/// pools of at most `distinct_r` / `distinct_p` pre-generated rows.
+///
+/// This reproduces the regime the paper's tractability argument rests on —
+/// a Cartesian product of up to `rows_r · rows_p` tuples (10⁷–10⁸ at the
+/// top of the sweep) that collapses into at most `distinct_r · distinct_p`
+/// profile pairs — so `Universe::build`'s profile deduplication is
+/// measurable against the row-pair reference loop at sizes where the
+/// latter is still feasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScaledConfig {
+    /// Number of attributes of `R`.
+    pub attrs_r: usize,
+    /// Number of attributes of `P`.
+    pub attrs_p: usize,
+    /// Number of rows of `R` (duplicates included).
+    pub rows_r: usize,
+    /// Number of rows of `P` (duplicates included).
+    pub rows_p: usize,
+    /// Size of the distinct-row pool for `R`.
+    pub distinct_r: usize,
+    /// Size of the distinct-row pool for `P`.
+    pub distinct_p: usize,
+    /// Size of the value domain (`v`): values are `0 .. v−1`.
+    pub values: u32,
+}
+
+impl ScaledConfig {
+    /// Creates a scaled configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        attrs_r: usize,
+        attrs_p: usize,
+        rows_r: usize,
+        rows_p: usize,
+        distinct_r: usize,
+        distinct_p: usize,
+        values: u32,
+    ) -> Self {
+        ScaledConfig {
+            attrs_r,
+            attrs_p,
+            rows_r,
+            rows_p,
+            distinct_r,
+            distinct_p,
+            values,
+        }
+    }
+
+    /// Generates an instance with the given seed: pools first, then rows
+    /// sampled uniformly from the pools.
+    pub fn generate(&self, seed: u64) -> Instance {
+        assert!(
+            self.attrs_r > 0 && self.attrs_p > 0,
+            "arities must be positive"
+        );
+        assert!(
+            self.distinct_r > 0 && self.distinct_p > 0,
+            "distinct pools must be nonempty"
+        );
+        assert!(self.values > 0, "value domain must be nonempty");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pool = |arity: usize, distinct: usize| -> Vec<Vec<Value>> {
+            (0..distinct)
+                .map(|_| {
+                    (0..arity)
+                        .map(|_| Value::int(rng.gen_range(0..self.values) as i64))
+                        .collect()
+                })
+                .collect()
+        };
+        let r_pool = pool(self.attrs_r, self.distinct_r);
+        let p_pool = pool(self.attrs_p, self.distinct_p);
+        let mut b = InstanceBuilder::new();
+        let a_names: Vec<String> = (1..=self.attrs_r).map(|i| format!("A{i}")).collect();
+        let b_names: Vec<String> = (1..=self.attrs_p).map(|j| format!("B{j}")).collect();
+        let a_refs: Vec<&str> = a_names.iter().map(String::as_str).collect();
+        let b_refs: Vec<&str> = b_names.iter().map(String::as_str).collect();
+        b.relation_r("R", &a_refs);
+        b.relation_p("P", &b_refs);
+        for _ in 0..self.rows_r {
+            b.row_r(&r_pool[rng.gen_range(0..self.distinct_r as u32) as usize]);
+        }
+        for _ in 0..self.rows_p {
+            b.row_p(&p_pool[rng.gen_range(0..self.distinct_p as u32) as usize]);
+        }
+        b.build().expect("scaled configuration is well-formed")
+    }
+
+    /// `|D| = rows_R · rows_P`, the Cartesian-product size.
+    pub fn product_size(&self) -> u64 {
+        self.rows_r as u64 * self.rows_p as u64
+    }
+
+    /// Upper bound on the number of distinct profile pairs.
+    pub fn max_profile_pairs(&self) -> u64 {
+        self.distinct_r as u64 * self.distinct_p as u64
+    }
+}
+
+impl std::fmt::Display for ScaledConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({},{},{}x{},{}·{} distinct,{})",
+            self.attrs_r,
+            self.attrs_p,
+            self.rows_r,
+            self.rows_p,
+            self.distinct_r,
+            self.distinct_p,
+            self.values
+        )
+    }
+}
+
 impl std::fmt::Display for SyntheticConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -196,5 +314,29 @@ mod tests {
     #[should_panic(expected = "arities must be positive")]
     fn zero_arity_rejected() {
         SyntheticConfig::new(0, 2, 5, 5).generate(0);
+    }
+
+    #[test]
+    fn scaled_config_bounds_distinct_profiles() {
+        let cfg = ScaledConfig::new(3, 3, 500, 400, 8, 6, 12);
+        let inst = cfg.generate(42);
+        assert_eq!(inst.r().len(), 500);
+        assert_eq!(inst.p().len(), 400);
+        assert_eq!(inst.product_size(), cfg.product_size());
+        let u = Universe::build(inst);
+        assert!(u.distinct_r_profiles() <= 8);
+        assert!(u.distinct_p_profiles() <= 6);
+        assert_eq!(u.total_tuples(), cfg.product_size());
+        assert!(u.num_classes() as u64 <= cfg.max_profile_pairs());
+    }
+
+    #[test]
+    fn scaled_generation_is_deterministic() {
+        let cfg = ScaledConfig::new(2, 2, 50, 50, 4, 4, 9);
+        let a = cfg.generate(7);
+        let b = cfg.generate(7);
+        for (ra, rb) in a.r().rows().iter().zip(b.r().rows()) {
+            assert_eq!(ra.resolve(a.interner()), rb.resolve(b.interner()));
+        }
     }
 }

@@ -35,10 +35,14 @@ pub enum TpchScale {
     /// Mirrors the SF = 100000 column of Figure 6 (denser key reuse, larger
     /// product).
     Large,
+    /// The `scaling` benchmark's ≥10⁷-product-tuple workload (Join 4's
+    /// Orders × Lineitem product exceeds 10⁷). Not part of the paper's
+    /// figures ([`TpchScale::ALL`] stays the paper's two scales).
+    Huge,
 }
 
 impl TpchScale {
-    /// Both scales, in the paper's order.
+    /// Both of the paper's scales, in the paper's order.
     pub const ALL: [TpchScale; 2] = [TpchScale::Small, TpchScale::Large];
 
     /// Row-count multiplier.
@@ -46,6 +50,7 @@ impl TpchScale {
         match self {
             TpchScale::Small => 1,
             TpchScale::Large => 6,
+            TpchScale::Huge => 100,
         }
     }
 
@@ -54,6 +59,7 @@ impl TpchScale {
         match self {
             TpchScale::Small => "SF=small",
             TpchScale::Large => "SF=large",
+            TpchScale::Huge => "SF=huge",
         }
     }
 }
@@ -439,5 +445,15 @@ mod tests {
         assert_eq!(TpchJoin::Join1.goal_size(), 1);
         assert_eq!(TpchScale::Small.to_string(), "SF=small");
         assert_eq!(TpchScale::ALL.len(), 2);
+        assert_eq!(TpchScale::Huge.to_string(), "SF=huge");
+    }
+
+    #[test]
+    fn huge_scale_reaches_ten_million_product_tuples() {
+        // Join 4 (Orders × Lineitem) is the scaling sweep's largest TPC-H
+        // point; table generation alone must stay cheap.
+        let t = TpchTables::generate(TpchScale::Huge, 1);
+        let product = t.orders.len() as u64 * t.lineitems.len() as u64;
+        assert!(product >= 10_000_000, "Join 4 product {product} below 10^7");
     }
 }

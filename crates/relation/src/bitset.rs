@@ -14,10 +14,30 @@ use std::hash::{Hash, Hasher};
 pub const WORD_BITS: usize = 64;
 
 /// A fixed-capacity set of bit positions `0..nbits`.
-#[derive(Clone)]
 pub struct BitSet {
     nbits: usize,
     words: Box<[u64]>,
+}
+
+impl Clone for BitSet {
+    fn clone(&self) -> Self {
+        BitSet {
+            nbits: self.nbits,
+            words: self.words.clone(),
+        }
+    }
+
+    /// Reuses `self`'s backing buffer when the word counts match — the
+    /// lookahead speculation pool copies Ω-width predicates once per visited
+    /// node, and a fresh allocation per copy would dominate.
+    fn clone_from(&mut self, source: &Self) {
+        self.nbits = source.nbits;
+        if self.words.len() == source.words.len() {
+            self.words.copy_from_slice(&source.words);
+        } else {
+            self.words = source.words.clone();
+        }
+    }
 }
 
 /// Number of `u64` words backing a set over `nbits` positions.
@@ -28,6 +48,39 @@ pub struct BitSet {
 #[inline]
 pub fn word_count(nbits: usize) -> usize {
     nbits.div_ceil(WORD_BITS)
+}
+
+/// ORs an `mask`-encoded bit pattern into `dst` at bit offset `base`.
+///
+/// `mask` is a little-endian word buffer whose meaningful bits occupy
+/// positions `0..m` for some `m`; bits `base..base+m` of `dst` receive them.
+/// The caller guarantees `base + m` fits in `dst` and that bits of `mask` at
+/// or above `m` are zero. This is the bulk-signature primitive of
+/// `jqi_core::universe`: each P-column mask is placed at its R-column's
+/// offset `i·m` in one shifted word loop, for any arity (no 64-column
+/// limit).
+#[inline]
+pub fn or_shifted(dst: &mut [u64], mask: &[u64], base: usize) {
+    let wi = base / WORD_BITS;
+    let off = base % WORD_BITS;
+    if off == 0 {
+        for (k, &w) in mask.iter().enumerate() {
+            if w != 0 {
+                dst[wi + k] |= w;
+            }
+        }
+    } else {
+        for (k, &w) in mask.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            dst[wi + k] |= w << off;
+            let spill = w >> (WORD_BITS - off);
+            if spill != 0 {
+                dst[wi + k + 1] |= spill;
+            }
+        }
+    }
 }
 
 /// A cheap, deterministic 64-bit hash over a word slice (murmur-style
@@ -450,6 +503,52 @@ mod tests {
         let b = [1u64, 2, 4];
         assert_eq!(hash_words(&a), hash_words(&a));
         assert_ne!(hash_words(&a), hash_words(&b));
+    }
+
+    #[test]
+    fn or_shifted_matches_per_bit_insertion() {
+        // Place a 70-bit mask at every offset of a 300-bit buffer and check
+        // against naive insertion.
+        let m = 70usize;
+        let mask_bits = [0usize, 3, 63, 64, 69];
+        let mut mask = vec![0u64; word_count(m)];
+        for &b in &mask_bits {
+            mask[b / WORD_BITS] |= 1u64 << (b % WORD_BITS);
+        }
+        for base in 0..(300 - m) {
+            let mut dst = vec![0u64; word_count(300)];
+            or_shifted(&mut dst, &mask, base);
+            let mut expect = BitSet::empty(300);
+            for &b in &mask_bits {
+                expect.insert(base + b);
+            }
+            assert_eq!(
+                BitSet::from_words(300, dst),
+                expect,
+                "mismatch at base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn or_shifted_accumulates() {
+        let mut dst = vec![0u64; 2];
+        or_shifted(&mut dst, &[0b11], 0);
+        or_shifted(&mut dst, &[0b11], 63);
+        let s = BitSet::from_words(128, dst);
+        let expect = BitSet::from_iter(128, [0, 1, 63, 64]);
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn clone_from_reuses_and_resizes() {
+        let a = BitSet::from_iter(130, [0, 64, 129]);
+        let mut b = BitSet::full(130);
+        b.clone_from(&a); // same word count: in-place copy
+        assert_eq!(a, b);
+        let mut c = BitSet::empty(10);
+        c.clone_from(&a); // different word count: reallocates
+        assert_eq!(a, c);
     }
 
     #[test]

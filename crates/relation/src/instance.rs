@@ -222,6 +222,43 @@ impl Instance {
         out
     }
 
+    /// Sentinel in a [join profile](Instance::r_profile_key) marking a
+    /// symbol that occurs in only one of the two relations and therefore
+    /// can never witness an equality.
+    pub const PROFILE_HOLE: u32 = u32::MAX;
+
+    /// The symbols occurring in **both** relations — the only values that
+    /// can contribute a bit to any signature `T(t)`. Computed by
+    /// intersecting the two relations' interned symbol sets; capacity is
+    /// the interner's current size.
+    pub fn shared_symbols(&self) -> BitSet {
+        let cap = self.interner.len();
+        let mut set = self.r.symbol_set(cap);
+        set.intersect_with(&self.p.symbol_set(cap));
+        set
+    }
+
+    /// The *join profile* of R-row `ri`: its symbol tuple with every symbol
+    /// outside `shared` (see [`shared_symbols`](Instance::shared_symbols))
+    /// replaced by [`PROFILE_HOLE`](Instance::PROFILE_HOLE).
+    ///
+    /// Two R-rows with equal join profiles have identical signatures
+    /// `T((r, p))` against *every* P-row `p`: a signature bit `(i, j)` only
+    /// depends on whether `r[i] = p[j]`, and a symbol absent from `P`
+    /// matches no P-cell at all. This is what lets `Universe::build`
+    /// deduplicate rows into weighted profiles before enumerating any
+    /// product pair.
+    pub fn r_profile_key(&self, ri: usize, shared: &BitSet) -> Box<[u32]> {
+        profile_key(&self.r.rows()[ri], shared)
+    }
+
+    /// The join profile of P-row `pi` (see
+    /// [`r_profile_key`](Instance::r_profile_key), with the roles of the
+    /// relations swapped).
+    pub fn p_profile_key(&self, pi: usize, shared: &BitSet) -> Box<[u32]> {
+        profile_key(&self.p.rows()[pi], shared)
+    }
+
     /// Iterates over all product tuples as `(ri, pi)` pairs.
     pub fn product(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let pl = self.p.len();
@@ -234,6 +271,21 @@ impl Instance {
         vs.extend(self.p.rows()[pi].resolve(&self.interner));
         vs
     }
+}
+
+/// Maps `row`'s symbols to raw indices, with symbols outside `shared`
+/// collapsed to [`Instance::PROFILE_HOLE`].
+fn profile_key(row: &crate::tuple::Tuple, shared: &BitSet) -> Box<[u32]> {
+    row.symbols()
+        .iter()
+        .map(|sym| {
+            if shared.contains(sym.index()) {
+                sym.0
+            } else {
+                Instance::PROFILE_HOLE
+            }
+        })
+        .collect()
 }
 
 impl fmt::Display for Instance {
@@ -462,6 +514,33 @@ mod tests {
         b.row_r_ints(&[1, 2]); // wrong arity
         let e = b.build().unwrap_err();
         assert!(matches!(e, RelationError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn shared_symbols_and_profiles() {
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A1", "A2"]);
+        b.relation_p("P", &["B1"]);
+        b.row_r_ints(&[1, 7]); // 7 never occurs in P
+        b.row_r_ints(&[1, 9]); // 9 never occurs in P
+        b.row_r_ints(&[2, 1]);
+        b.row_p_ints(&[1]);
+        b.row_p_ints(&[2]);
+        let inst = b.build().unwrap();
+        let shared = inst.shared_symbols();
+        // Shared values are {1, 2}; 7 and 9 are R-only.
+        assert_eq!(shared.len(), 2);
+        // Rows 0 and 1 differ only in an unmatchable symbol → same profile.
+        let k0 = inst.r_profile_key(0, &shared);
+        let k1 = inst.r_profile_key(1, &shared);
+        let k2 = inst.r_profile_key(2, &shared);
+        assert_eq!(k0, k1);
+        assert_ne!(k0, k2);
+        assert_eq!(k0[1], Instance::PROFILE_HOLE);
+        // Equal profiles ⇒ equal signatures against every P-row.
+        for pi in 0..inst.p().len() {
+            assert_eq!(inst.signature(0, pi), inst.signature(1, pi));
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Relations: a schema plus a bag of tuples.
 
+use crate::bitset::BitSet;
 use crate::error::{RelationError, Result};
 use crate::interner::Interner;
 use crate::schema::Schema;
@@ -85,6 +86,19 @@ impl Relation {
     /// Reserves capacity for `additional` more rows.
     pub fn reserve(&mut self, additional: usize) {
         self.rows.reserve(additional);
+    }
+
+    /// The set of value symbols appearing anywhere in this relation, as a
+    /// bitset over symbol indices `0..cap` (pass the interner's
+    /// [`len`](Interner::len) as `cap`). One linear pass over the rows.
+    pub fn symbol_set(&self, cap: usize) -> BitSet {
+        let mut set = BitSet::empty(cap);
+        for row in &self.rows {
+            for &sym in row.symbols() {
+                set.insert(sym.index());
+            }
+        }
+        set
     }
 }
 
