@@ -13,6 +13,9 @@
 //! * [`scaling`] — the perf-trajectory sweep: profile-deduplicated vs
 //!   row-pair Universe construction and lookahead latency on products up
 //!   to 10⁸ tuples (`BENCH_scaling.json`).
+//! * [`throughput`] — the `jqi_server` service under concurrent load:
+//!   per-answer latency across M threads × K live sessions, batch
+//!   answering, and snapshot/restore round-trips (`BENCH_server.json`).
 //! * [`semijoin_exp`] — §6 / Theorem 6.1: the CONS⋉ solver against DPLL on
 //!   random 3SAT reductions.
 //! * [`optgap`] — worst cases of the deterministic heuristics against the
@@ -34,3 +37,4 @@ pub mod report;
 pub mod scaling;
 pub mod semijoin_exp;
 pub mod table1;
+pub mod throughput;

@@ -1,0 +1,459 @@
+//! The `throughput` benchmark: the `jqi_server` session service under
+//! concurrent load.
+//!
+//! M worker threads drive K sessions each over one shared
+//! `SessionManager` on the paper's flight & hotel instance — every session
+//! a different simulated user (goals cycle through the instance's
+//! non-nullable predicates, strategies through the paper's mix). Three
+//! phases are measured:
+//!
+//! 1. **interactive** — all `M·K` sessions live at once, each driven
+//!    question-by-question to completion; the per-answer latency
+//!    distribution covers the full service path (shard lookup, session
+//!    lock, incremental state update, next-question strategy work).
+//! 2. **batch** — fresh sessions fed their entire recorded label history
+//!    through one `answer_batch` call each, the crowdsourcing arrival
+//!    shape; latency is per batch, with the per-answer cost derived.
+//! 3. **snapshot** — every session snapshotted to JSON, restored into a
+//!    fresh manager, and verified to produce the same predicate; latency
+//!    is per round-trip.
+//!
+//! The `throughput` binary renders a table and writes `BENCH_server.json`
+//! at the repo root; see the README for the schema.
+
+use crate::json::{Json, ToJson};
+use jqi_core::paper::flight_hotel;
+use jqi_core::{ClassId, Label, StrategyConfig, Universe};
+use jqi_relation::BitSet;
+use jqi_server::{ServerConfig, SessionManager, SessionSnapshot};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputParams {
+    /// Worker threads (M).
+    pub threads: usize,
+    /// Sessions per worker thread (K); `M·K` sessions are live at once.
+    pub sessions_per_thread: usize,
+    /// Shards of the session table.
+    pub shards: usize,
+    /// Seed for the RND sessions in the strategy mix.
+    pub seed: u64,
+}
+
+impl Default for ThroughputParams {
+    fn default() -> Self {
+        ThroughputParams {
+            threads: 8,
+            sessions_per_thread: 128,
+            shards: 16,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ThroughputParams {
+    /// CI-smoke sizes.
+    pub fn tiny() -> Self {
+        ThroughputParams {
+            threads: 2,
+            sessions_per_thread: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Latency distribution summary, in microseconds.
+#[derive(Debug, Clone)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Maximum.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    fn of(mut samples: Vec<u64>) -> LatencySummary {
+        assert!(!samples.is_empty(), "no latency samples recorded");
+        samples.sort_unstable();
+        let count = samples.len();
+        let pct = |p: f64| -> f64 {
+            let idx = ((count - 1) as f64 * p).round() as usize;
+            samples[idx] as f64 / 1000.0
+        };
+        LatencySummary {
+            count,
+            mean_us: samples.iter().sum::<u64>() as f64 / count as f64 / 1000.0,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: pct(1.0),
+        }
+    }
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::num(self.count as f64)),
+            ("mean_us".into(), Json::Num(self.mean_us)),
+            ("p50_us".into(), Json::Num(self.p50_us)),
+            ("p95_us".into(), Json::Num(self.p95_us)),
+            ("p99_us".into(), Json::Num(self.p99_us)),
+            ("max_us".into(), Json::Num(self.max_us)),
+        ])
+    }
+}
+
+/// One measured phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// `"interactive"`, `"batch"`, or `"snapshot"`.
+    pub name: &'static str,
+    /// Wall-clock for the whole phase, in seconds.
+    pub elapsed_s: f64,
+    /// Operations per second over the phase wall-clock (answers for the
+    /// interactive phase, batches for the batch phase, round-trips for
+    /// the snapshot phase).
+    pub ops_per_sec: f64,
+    /// Latency of one operation.
+    pub latency: LatencySummary,
+}
+
+impl ToJson for PhaseReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("phase".into(), Json::str(self.name)),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+            ("ops_per_sec".into(), Json::Num(self.ops_per_sec)),
+            ("latency".into(), self.latency.to_json()),
+        ])
+    }
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// The parameters the run used.
+    pub params: ThroughputParams,
+    /// `threads · sessions_per_thread`.
+    pub concurrent_sessions: usize,
+    /// Total answers applied in the interactive phase.
+    pub total_answers: usize,
+    /// The measured phases.
+    pub phases: Vec<PhaseReport>,
+}
+
+impl ToJson for ThroughputReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bench".into(), Json::str("server_throughput")),
+            ("instance".into(), Json::str("flight_hotel")),
+            ("threads".into(), Json::num(self.params.threads as f64)),
+            (
+                "sessions_per_thread".into(),
+                Json::num(self.params.sessions_per_thread as f64),
+            ),
+            (
+                "concurrent_sessions".into(),
+                Json::num(self.concurrent_sessions as f64),
+            ),
+            ("shards".into(), Json::num(self.params.shards as f64)),
+            ("seed".into(), Json::num(self.params.seed as f64)),
+            ("total_answers".into(), Json::num(self.total_answers as f64)),
+            ("phases".into(), Json::arr(&self.phases)),
+        ])
+    }
+}
+
+impl ThroughputReport {
+    /// Renders the phases as an aligned plain-text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} sessions ({} threads × {}), {} shards, {} interactive answers",
+            self.concurrent_sessions,
+            self.params.threads,
+            self.params.sessions_per_thread,
+            self.params.shards,
+            self.total_answers,
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "phase", "ops", "ops/s", "mean µs", "p50 µs", "p95 µs", "p99 µs", "max µs"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                p.name,
+                p.latency.count,
+                p.ops_per_sec,
+                p.latency.mean_us,
+                p.latency.p50_us,
+                p.latency.p95_us,
+                p.latency.p99_us,
+                p.latency.max_us,
+            );
+        }
+        out
+    }
+}
+
+/// The per-session setup the phases share: strategy mix + goal oracle.
+struct SessionPlan {
+    config: StrategyConfig,
+    goal: BitSet,
+}
+
+fn plans(universe: &Universe, n: usize, seed: u64) -> Vec<SessionPlan> {
+    let goals =
+        jqi_core::lattice::non_nullable_predicates(universe, 100_000).expect("tiny lattice");
+    assert!(!goals.is_empty(), "flight & hotel has non-nullable goals");
+    (0..n)
+        .map(|i| {
+            let config = match i % 5 {
+                0 => StrategyConfig::Bu,
+                1 => StrategyConfig::Td,
+                2 => StrategyConfig::Lks { depth: 1 },
+                3 => StrategyConfig::Lks { depth: 2 },
+                _ => StrategyConfig::Rnd {
+                    seed: seed ^ i as u64,
+                },
+            };
+            SessionPlan {
+                config,
+                goal: goals[i % goals.len()].clone(),
+            }
+        })
+        .collect()
+}
+
+/// One recorded session: its plan index plus the answers it gave.
+type RecordedHistory = (usize, Vec<(ClassId, Label)>);
+
+fn oracle_label(universe: &Universe, goal: &BitSet, class: ClassId) -> Label {
+    if goal.is_subset(universe.sig(class)) {
+        Label::Positive
+    } else {
+        Label::Negative
+    }
+}
+
+/// Runs the three phases and assembles the report.
+pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
+    let params = if tiny {
+        ThroughputParams::tiny()
+    } else {
+        params
+    };
+    let universe = Arc::new(Universe::build(flight_hotel()));
+    let total_sessions = params.threads * params.sessions_per_thread;
+    let plans = plans(&universe, total_sessions, params.seed);
+    let manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig {
+            shards: params.shards,
+        },
+    ));
+
+    // All sessions exist before any is driven: the interactive phase
+    // exercises `total_sessions` *concurrent* sessions, not a trickle.
+    let ids: Vec<u64> = plans
+        .iter()
+        .map(|p| manager.create_session(p.config.clone()))
+        .collect();
+    assert_eq!(manager.session_count(), total_sessions);
+
+    // Phase 1: interactive question/answer loops, one slice per thread.
+    let phase_start = Instant::now();
+    let mut latencies: Vec<Vec<u64>> = Vec::with_capacity(params.threads);
+    let mut histories: Vec<Vec<RecordedHistory>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..params.threads)
+            .map(|t| {
+                let manager = Arc::clone(&manager);
+                let universe = Arc::clone(&universe);
+                let plans = &plans;
+                let ids = &ids;
+                scope.spawn(move || {
+                    let lo = t * params.sessions_per_thread;
+                    let hi = lo + params.sessions_per_thread;
+                    let mut lat = Vec::new();
+                    let mut recorded = Vec::new();
+                    for i in lo..hi {
+                        let id = ids[i];
+                        loop {
+                            // One timed sample = the full service cycle:
+                            // question selection (strategy work under the
+                            // session lock) plus the answer's incremental
+                            // state update.
+                            let t0 = Instant::now();
+                            let q = match manager.next_question(id).expect("live session") {
+                                Some(q) => q,
+                                None => break,
+                            };
+                            let label = oracle_label(&universe, &plans[i].goal, q.class);
+                            manager.answer(id, q.class, label).expect("consistent");
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        let snap = manager.snapshot(id).expect("live session");
+                        recorded.push((i, snap.history));
+                    }
+                    (lat, recorded)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (lat, recorded) = handle.join().expect("no panics");
+            latencies.push(lat);
+            histories.push(recorded);
+        }
+    });
+    let interactive_elapsed = phase_start.elapsed().as_secs_f64();
+    let all: Vec<u64> = latencies.into_iter().flatten().collect();
+    let total_answers = all.len();
+    let interactive = PhaseReport {
+        name: "interactive",
+        elapsed_s: interactive_elapsed,
+        ops_per_sec: total_answers as f64 / interactive_elapsed,
+        latency: LatencySummary::of(all),
+    };
+
+    // Phase 2: the same answer streams folded in as one batch per fresh
+    // session (the crowdsourcing arrival shape).
+    let flat_histories: Vec<RecordedHistory> = histories.into_iter().flatten().collect();
+    let batch_manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig {
+            shards: params.shards,
+        },
+    ));
+    let phase_start = Instant::now();
+    let mut batch_lat: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let chunks = flat_histories.chunks(params.sessions_per_thread.max(1));
+        let handles: Vec<_> = chunks
+            .map(|chunk| {
+                let manager = Arc::clone(&batch_manager);
+                let plans = &plans;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    for (i, history) in chunk {
+                        let id = manager.create_session(plans[*i].config.clone());
+                        let t0 = Instant::now();
+                        let applied = manager.answer_batch(id, history).expect("consistent");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        assert_eq!(applied, history.len());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for handle in handles {
+            batch_lat.extend(handle.join().expect("no panics"));
+        }
+    });
+    let batch_elapsed = phase_start.elapsed().as_secs_f64();
+    let batch = PhaseReport {
+        name: "batch",
+        elapsed_s: batch_elapsed,
+        ops_per_sec: batch_lat.len() as f64 / batch_elapsed,
+        latency: LatencySummary::of(batch_lat),
+    };
+
+    // Phase 3: snapshot → JSON → restore round-trips into a fresh manager,
+    // verified against the original predicate.
+    let restore_manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig {
+            shards: params.shards,
+        },
+    ));
+    let phase_start = Instant::now();
+    let mut snap_lat: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let chunks = ids.chunks(params.sessions_per_thread.max(1));
+        let handles: Vec<_> = chunks
+            .map(|chunk| {
+                let manager = Arc::clone(&manager);
+                let restore_manager = Arc::clone(&restore_manager);
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    for &id in chunk {
+                        let t0 = Instant::now();
+                        let json = manager.snapshot(id).expect("live").to_json_string();
+                        let snap = SessionSnapshot::from_json(&json).expect("well-formed");
+                        let restored = restore_manager.restore(&snap).expect("replays");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        assert_eq!(
+                            restore_manager.inferred_predicate(restored).expect("live"),
+                            manager.inferred_predicate(id).expect("live"),
+                            "restored session diverged"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for handle in handles {
+            snap_lat.extend(handle.join().expect("no panics"));
+        }
+    });
+    let snap_elapsed = phase_start.elapsed().as_secs_f64();
+    let snapshot = PhaseReport {
+        name: "snapshot",
+        elapsed_s: snap_elapsed,
+        ops_per_sec: snap_lat.len() as f64 / snap_elapsed,
+        latency: LatencySummary::of(snap_lat),
+    };
+
+    ThroughputReport {
+        params,
+        concurrent_sessions: total_sessions,
+        total_answers,
+        phases: vec![interactive, batch, snapshot],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_reports_all_phases() {
+        let report = run(true, ThroughputParams::default());
+        assert_eq!(report.concurrent_sessions, 16);
+        assert_eq!(report.phases.len(), 3);
+        assert!(report.total_answers >= report.concurrent_sessions);
+        for phase in &report.phases {
+            assert!(phase.latency.count > 0);
+            assert!(phase.latency.p50_us <= phase.latency.p95_us);
+            assert!(phase.latency.p95_us <= phase.latency.max_us);
+        }
+        // The JSON report carries the acceptance-relevant fields.
+        let json = report.to_json().to_string_pretty();
+        for needle in [
+            "server_throughput",
+            "concurrent_sessions",
+            "interactive",
+            "batch",
+            "snapshot",
+            "p95_us",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in report");
+        }
+    }
+}

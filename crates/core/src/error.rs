@@ -1,5 +1,6 @@
 //! Error types for the inference core.
 
+use crate::sample::Label;
 use std::fmt;
 
 /// Convenience alias used throughout the crate.
@@ -31,6 +32,16 @@ pub enum InferenceError {
         /// The class that already carries a label.
         class: usize,
     },
+    /// A batched answer contradicted the label already recorded for the
+    /// class (batch application is idempotent for *agreeing* duplicates).
+    ConflictingLabel {
+        /// The class answered twice.
+        class: usize,
+        /// The label already recorded.
+        existing: Label,
+        /// The contradicting label the batch carried.
+        conflicting: Label,
+    },
     /// The minimax-optimal strategy refused to run on a universe this large.
     UniverseTooLarge {
         /// Number of informative classes found.
@@ -61,6 +72,14 @@ impl fmt::Display for InferenceError {
             InferenceError::AlreadyLabeled { class } => {
                 write!(f, "class {class} is already labeled")
             }
+            InferenceError::ConflictingLabel {
+                class,
+                existing,
+                conflicting,
+            } => write!(
+                f,
+                "class {class} is already labeled {existing} but the batch answers {conflicting}"
+            ),
             InferenceError::UniverseTooLarge { classes, limit } => write!(
                 f,
                 "minimax-optimal strategy limited to {limit} informative classes, found {classes}"

@@ -74,7 +74,9 @@ pub use certain::CountMode;
 pub use entropy::Entropy;
 pub use error::{InferenceError, Result};
 pub use sample::{Label, Sample};
+pub use session::{Candidate, OwnedSession, Session};
 pub use state::{ClassState, InferenceState};
+pub use strategy::{DynStrategy, Strategy, StrategyConfig, StrategyKind};
 pub use universe::{ClassId, Universe};
 
 use jqi_relation::{BitSet, Instance};

@@ -31,9 +31,10 @@
 use crate::error::{InferenceError, Result};
 use crate::sample::{Label, Sample};
 use crate::state::InferenceState;
-use crate::strategy::Strategy;
+use crate::strategy::{DynStrategy, Strategy, StrategyConfig};
 use crate::universe::{ClassId, Universe};
 use jqi_relation::{BitSet, Value};
+use std::sync::Arc;
 
 /// A tuple presented to the user for labeling.
 #[derive(Debug, Clone)]
@@ -88,6 +89,21 @@ impl<'u, S: Strategy> Session<'u, S> {
         }
     }
 
+    /// The unanswered candidate from the last [`Session::next`] call, if
+    /// any — re-presentable without consuming a strategy step, so a server
+    /// can re-deliver the outstanding question idempotently (at-least-once
+    /// task queues, reconnecting clients).
+    pub fn pending_candidate(&self) -> Option<Candidate> {
+        self.pending.map(|c| self.candidate(c))
+    }
+
+    /// The class of the outstanding question, if any — what
+    /// [`Session::pending_candidate`] re-presents and
+    /// [`OwnedSession::replay`] re-arms after a restore.
+    pub fn pending_class(&self) -> Option<ClassId> {
+        self.pending
+    }
+
     fn candidate(&self, c: ClassId) -> Candidate {
         let universe = self.state.universe();
         let (ri, pi) = universe.representative(c);
@@ -110,6 +126,28 @@ impl<'u, S: Strategy> Session<'u, S> {
             return Err(InferenceError::InconsistentSample { class: c });
         }
         Ok(())
+    }
+
+    /// Folds a batch of class-addressed answers into the session in one
+    /// call — the shape in which answers arrive asynchronously, out of
+    /// order, or from several crowd workers at once. Delegates to
+    /// [`InferenceState::apply_batch`] (idempotent for agreeing duplicates,
+    /// [`InferenceError::ConflictingLabel`] for contradictions,
+    /// consistency-checked per answer) and returns the number of answers
+    /// applied.
+    ///
+    /// The pending candidate, if any, stays pending unless the batch made
+    /// it uninformative (labeled it directly, or rendered it certain) — in
+    /// which case it is withdrawn and the next [`Session::next`] call asks
+    /// a fresh question.
+    pub fn apply_batch(&mut self, answers: &[(ClassId, Label)]) -> Result<usize> {
+        let applied = self.state.apply_batch(answers);
+        if let Some(p) = self.pending {
+            if !self.state.is_consistent() || !self.state.is_informative(p) {
+                self.pending = None;
+            }
+        }
+        applied
     }
 
     /// Whether the session is finished (no informative tuple remains and no
@@ -154,8 +192,84 @@ impl<'u, S: Strategy> Session<'u, S> {
     }
 
     /// The universe the session runs over.
-    pub fn universe(&self) -> &'u Universe {
+    pub fn universe(&self) -> &Universe {
         self.state.universe()
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+}
+
+/// A session that co-owns its universe: `Session<'static, DynStrategy>`.
+///
+/// Because [`InferenceState::new_shared`] produces a state with **no
+/// borrows** (`'static`), an owned session can be stored in a long-running
+/// service's session table, moved across threads, and outlive the scope
+/// that created it — everything a borrowing [`Session<'u>`](Session)
+/// cannot do. The strategy is boxed and [`Send`] so heterogeneous sessions
+/// (RND next to L2S next to BU) live in one map.
+///
+/// All of the session logic is shared with [`Session`]; `OwnedSession` only
+/// adds constructors.
+pub type OwnedSession = Session<'static, DynStrategy>;
+
+impl OwnedSession {
+    /// Starts an owned session over a shared universe.
+    pub fn owned(universe: Arc<Universe>, strategy: DynStrategy) -> OwnedSession {
+        Session {
+            strategy,
+            state: InferenceState::new_shared(universe),
+            pending: None,
+        }
+    }
+
+    /// Starts an owned session with the strategy described by `config`.
+    pub fn with_config(universe: Arc<Universe>, config: &StrategyConfig) -> OwnedSession {
+        Self::owned(universe, config.build())
+    }
+
+    /// Rebuilds a session deterministically from its recorded label
+    /// sequence — the restore half of snapshot/restore.
+    ///
+    /// The history is folded back through [`Session::apply_batch`], so the
+    /// restored state is identical to the state the labels produced the
+    /// first time, and — because every strategy is a deterministic function
+    /// of its configuration and the current state — the session continues
+    /// exactly as an uninterrupted one would. `pending` re-arms the
+    /// question that was outstanding at snapshot time (out-of-range
+    /// classes error; a pending class the history has since made
+    /// uninformative is dropped, its question being moot), so re-delivery
+    /// survives the restart too. Errors if the history is not a valid
+    /// consistent label sequence for this universe.
+    pub fn replay(
+        universe: Arc<Universe>,
+        config: &StrategyConfig,
+        history: &[(ClassId, Label)],
+        pending: Option<ClassId>,
+    ) -> Result<OwnedSession> {
+        let mut session = Self::with_config(universe, config);
+        session.apply_batch(history)?;
+        if let Some(c) = pending {
+            if c >= session.state.num_classes() {
+                return Err(InferenceError::ClassOutOfBounds {
+                    class: c,
+                    len: session.state.num_classes(),
+                });
+            }
+            if session.state.is_informative(c) {
+                session.pending = Some(c);
+            }
+        }
+        Ok(session)
+    }
+
+    /// A fresh handle to the shared universe.
+    pub fn universe_arc(&self) -> Arc<Universe> {
+        self.state
+            .shared_universe()
+            .expect("owned sessions always share their universe")
     }
 }
 

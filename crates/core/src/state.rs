@@ -12,8 +12,8 @@
 //! updates them in **O(affected classes)** when a label arrives:
 //!
 //! * the consistent-predicate interval `[θ_certain, θ_possible]`
-//!   (see [`InferenceState::theta_possible`] / [`theta_certain`]) as
-//!   bitsets,
+//!   (see [`InferenceState::theta_possible`] /
+//!   [`InferenceState::theta_certain`]) as bitsets,
 //! * the partition of classes into labeled / certain-positive /
 //!   certain-negative / informative ([`ClassState`]), with the informative
 //!   set materialized in ascending class order,
@@ -51,6 +51,36 @@ use crate::sample::{Label, Sample};
 use crate::universe::{ClassId, Universe};
 use jqi_relation::BitSet;
 use std::cell::RefCell;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// How a state reaches its universe: borrowed from the caller (the classic
+/// single-threaded `Session<'u>` shape) or shared behind an [`Arc`] (the
+/// owned shape a multi-session server hands across threads).
+///
+/// The handle is an implementation detail — everything downstream reasons
+/// through `Deref<Target = Universe>` — but it is what lets
+/// [`InferenceState<'static>`] exist without any borrow, and hence without
+/// `unsafe` self-references.
+#[derive(Debug, Clone)]
+enum UniverseHandle<'u> {
+    /// Borrowed for the state's lifetime.
+    Borrowed(&'u Universe),
+    /// Jointly owned; the state is free of borrows (`'static`).
+    Shared(Arc<Universe>),
+}
+
+impl Deref for UniverseHandle<'_> {
+    type Target = Universe;
+
+    #[inline]
+    fn deref(&self) -> &Universe {
+        match self {
+            UniverseHandle::Borrowed(u) => u,
+            UniverseHandle::Shared(u) => u,
+        }
+    }
+}
 
 /// What the engine knows about one T-equivalence class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,7 +163,7 @@ impl EntropyCache {
 /// for from-scratch re-derivation in each node.
 #[derive(Debug, Clone)]
 pub struct InferenceState<'u> {
-    universe: &'u Universe,
+    universe: UniverseHandle<'u>,
     status: Vec<ClassState>,
     /// Positive / negative classes, in labeling order.
     pos: Vec<ClassId>,
@@ -166,6 +196,19 @@ impl<'u> InferenceState<'u> {
     /// `T(t) = Ω` are certain-positive from the start (every predicate
     /// selects them), everything else is informative.
     pub fn new(universe: &'u Universe) -> Self {
+        Self::from_handle(UniverseHandle::Borrowed(universe))
+    }
+
+    /// Like [`InferenceState::new`], but jointly owning the universe.
+    ///
+    /// The result is `'static` — it contains no borrow at all — which is
+    /// what lets an owned session live in a long-running service's session
+    /// table and be moved freely across threads.
+    pub fn new_shared(universe: Arc<Universe>) -> InferenceState<'static> {
+        InferenceState::from_handle(UniverseHandle::Shared(universe))
+    }
+
+    fn from_handle(universe: UniverseHandle<'u>) -> Self {
         let classes = universe.num_classes();
         let omega_len = universe.omega_len();
         let mut status = Vec::with_capacity(classes);
@@ -182,14 +225,15 @@ impl<'u> InferenceState<'u> {
                 informative.push(c);
             }
         }
+        let theta_possible = universe.omega();
         InferenceState {
+            theta_certain: RefCell::new((1, BitSet::empty(universe.omega_len()))),
             universe,
             status,
             pos: Vec::new(),
             neg: Vec::new(),
             history: Vec::new(),
-            theta_possible: universe.omega(),
-            theta_certain: RefCell::new((1, BitSet::empty(universe.omega_len()))),
+            theta_possible,
             informative,
             uninf_tuples,
             uninf_classes,
@@ -201,8 +245,17 @@ impl<'u> InferenceState<'u> {
 
     /// The universe the session runs over.
     #[inline]
-    pub fn universe(&self) -> &'u Universe {
-        self.universe
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// When the universe is jointly owned (see [`InferenceState::new_shared`]),
+    /// a fresh handle to it; `None` for borrowing states.
+    pub fn shared_universe(&self) -> Option<Arc<Universe>> {
+        match &self.universe {
+            UniverseHandle::Borrowed(_) => None,
+            UniverseHandle::Shared(u) => Some(Arc::clone(u)),
+        }
     }
 
     /// Number of T-equivalence classes.
@@ -375,7 +428,8 @@ impl<'u> InferenceState<'u> {
     ///
     /// Mirrors `Sample::add` + the consistency check of Algorithm 1 lines
     /// 5–7: the label is recorded unconditionally (double labeling and
-    /// out-of-range classes are rejected), and [`is_consistent`] turns
+    /// out-of-range classes are rejected), and
+    /// [`is_consistent`](Self::is_consistent) turns
     /// false if no predicate explains the labels — in which case the
     /// partition stops being maintained (certainty is only defined for
     /// consistent samples) and the caller is expected to abort, as
@@ -445,8 +499,8 @@ impl<'u> InferenceState<'u> {
                     // The only new Lemma 3.4 witness is T(c): one subset
                     // test per informative class.
                     let tp = self.theta_possible.clone();
-                    let neg_sig = self.universe.sig(c);
-                    let universe = self.universe;
+                    let universe = self.universe.clone();
+                    let neg_sig = universe.sig(c);
                     let (mut dt, mut dc) = (0u64, 0u64);
                     let status = &mut self.status;
                     self.informative.retain(|&t| {
@@ -471,7 +525,7 @@ impl<'u> InferenceState<'u> {
     /// Re-tests every informative class against the current
     /// `[θ_certain, θ_possible]` after `θ_possible` shrank.
     fn reclassify_informative(&mut self) {
-        let universe = self.universe;
+        let universe = self.universe.clone();
         let tp = self.theta_possible.clone();
         let neg = std::mem::take(&mut self.neg);
         let (mut dt, mut dc) = (0u64, 0u64);
@@ -516,7 +570,7 @@ impl<'u> InferenceState<'u> {
             self.is_informative(c),
             "gain is defined for informative classes"
         );
-        let universe = self.universe;
+        let universe: &Universe = &self.universe;
         let mut total = self.weight(c, mode).saturating_sub(1);
         match alpha {
             Label::Positive => {
@@ -613,7 +667,7 @@ impl<'u> InferenceState<'u> {
     /// wholesale, so the result is indistinguishable from
     /// `*out = self.speculate(c, label)`.
     pub fn speculate_into(&self, c: ClassId, label: Label, out: &mut InferenceState<'u>) {
-        out.universe = self.universe;
+        out.universe.clone_from(&self.universe);
         out.status.clone_from(&self.status);
         out.pos.clone_from(&self.pos);
         out.neg.clone_from(&self.neg);
@@ -649,13 +703,78 @@ impl<'u> InferenceState<'u> {
     /// Reconstructs the equivalent [`Sample`] (the from-scratch
     /// representation) by replaying the label history.
     pub fn as_sample(&self) -> Sample {
-        let mut sample = Sample::new(self.universe);
+        let mut sample = Sample::new(&self.universe);
         for &(c, label) in &self.history {
             sample
-                .add(self.universe, c, label)
+                .add(&self.universe, c, label)
                 .expect("state history never double-labels");
         }
         sample
+    }
+
+    /// Applies a batch of answers in one call, folding them into the state
+    /// without any intervening strategy work — the shape in which
+    /// asynchronous answers (a crowdsourcing task queue, a web UI with
+    /// several outstanding questions) arrive at a server.
+    ///
+    /// Per answer: out-of-range classes error; a duplicate answer carrying
+    /// the **same** label as the recorded one is skipped (idempotent — two
+    /// crowd workers may label the same tuple); a duplicate carrying the
+    /// **opposite** label errors with [`InferenceError::ConflictingLabel`];
+    /// an answer that would make the sample inconsistent is **rejected
+    /// without being applied** and the batch aborts with
+    /// [`InferenceError::InconsistentSample`] naming the offending class
+    /// (Algorithm 1 lines 5–7, checked per answer *before* recording it);
+    /// everything else is applied incrementally.
+    ///
+    /// Returns the number of answers actually applied. On error the
+    /// answers *before* the offending one remain applied, the offending
+    /// one is not, and — unlike the raw [`apply`](Self::apply) — the state
+    /// is still consistent: the session remains usable and its history
+    /// remains replayable (snapshots taken after a rejected batch still
+    /// restore).
+    pub fn apply_batch(&mut self, answers: &[(ClassId, Label)]) -> Result<usize> {
+        let mut applied = 0usize;
+        for &(c, label) in answers {
+            if c >= self.status.len() {
+                return Err(InferenceError::ClassOutOfBounds {
+                    class: c,
+                    len: self.status.len(),
+                });
+            }
+            if let Some(existing) = self.status[c].label() {
+                if existing == label {
+                    continue;
+                }
+                return Err(InferenceError::ConflictingLabel {
+                    class: c,
+                    existing,
+                    conflicting: label,
+                });
+            }
+            // §3.1 consistency, tested speculatively so a bad answer never
+            // poisons the recorded history: a negative is inconsistent iff
+            // T(S⁺) ⊆ T(c) (c is certain-positive), a positive iff the
+            // shrunken T(S⁺) ∩ T(c) lands inside some negative's signature
+            // (c is certain-negative).
+            let inconsistent = match label {
+                Label::Negative => self.theta_possible.is_subset(self.universe.sig(c)),
+                Label::Positive => {
+                    let sig = self.universe.sig(c);
+                    self.neg.iter().any(|&g| {
+                        self.theta_possible
+                            .intersection_is_subset(sig, self.universe.sig(g))
+                    })
+                }
+            };
+            if inconsistent {
+                return Err(InferenceError::InconsistentSample { class: c });
+            }
+            self.apply(c, label)?;
+            applied += 1;
+            debug_assert!(self.consistent, "pre-checked answers stay consistent");
+        }
+        Ok(applied)
     }
 }
 
@@ -886,6 +1005,76 @@ mod tests {
             state.apply(3, Label::Negative),
             Err(InferenceError::AlreadyLabeled { class: 3 })
         ));
+    }
+
+    #[test]
+    fn apply_batch_folds_skips_and_rejects() {
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        let a = class_of(&u, 1, 1);
+        let b = class_of(&u, 0, 2);
+        // Mixed batch with an agreeing duplicate: two answers applied.
+        let applied = state
+            .apply_batch(&[
+                (a, Label::Positive),
+                (b, Label::Negative),
+                (a, Label::Positive),
+            ])
+            .unwrap();
+        assert_eq!(applied, 2);
+        assert_eq!(state.len(), 2);
+        // A contradicting duplicate errors without touching the state.
+        let e = state.apply_batch(&[(b, Label::Positive)]).unwrap_err();
+        assert_eq!(
+            e,
+            InferenceError::ConflictingLabel {
+                class: b,
+                existing: Label::Negative,
+                conflicting: Label::Positive,
+            }
+        );
+        assert_eq!(state.len(), 2);
+    }
+
+    #[test]
+    fn apply_batch_rejects_inconsistent_answers_without_recording_them() {
+        // Positive on (t2,t2') makes (t4,t1') certain-positive; a batch
+        // answering it negative is inconsistent. Unlike raw apply(), the
+        // batch path rejects the answer *before* recording it, so the
+        // session stays consistent and its history stays replayable.
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        let certain_pos = class_of(&u, 3, 0);
+        let batch = [
+            (class_of(&u, 1, 1), Label::Positive),
+            (certain_pos, Label::Negative),
+        ];
+        let e = state.apply_batch(&batch).unwrap_err();
+        assert_eq!(e, InferenceError::InconsistentSample { class: certain_pos });
+        // The prefix before the offending answer is applied; the offending
+        // answer is not, and the state is still consistent.
+        assert_eq!(state.len(), 1);
+        assert!(state.is_consistent());
+        assert_eq!(state.label(certain_pos), None);
+        assert_eq!(state.class_state(certain_pos), ClassState::CertainPositive);
+        // Replaying the surviving history reproduces the state.
+        let mut replay = InferenceState::new(&u);
+        replay.apply_batch(state.history()).unwrap();
+        assert_eq!(replay.t_pos(), state.t_pos());
+        assert_eq!(replay.informative(), state.informative());
+        // The certainly-rejected mirror case: negative first, then a batch
+        // trying to answer a certain-negative class positive.
+        let mut s2 = InferenceState::new(&u);
+        s2.apply(class_of(&u, 1, 1), Label::Positive).unwrap();
+        s2.apply(class_of(&u, 0, 2), Label::Negative).unwrap();
+        let certain_neg =
+            (0..u.num_classes()).find(|&c| s2.class_state(c) == ClassState::CertainNegative);
+        if let Some(cn) = certain_neg {
+            let e = s2.apply_batch(&[(cn, Label::Positive)]).unwrap_err();
+            assert_eq!(e, InferenceError::InconsistentSample { class: cn });
+            assert!(s2.is_consistent());
+            assert_eq!(s2.label(cn), None);
+        }
     }
 
     #[test]

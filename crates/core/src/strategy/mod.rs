@@ -69,6 +69,124 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     }
 }
 
+/// A boxed, thread-safe strategy object.
+///
+/// [`Strategy`] is object-safe, and every strategy in the crate is `Send`,
+/// so heterogeneous strategies (RND next to L2S next to BU) can live in one
+/// session table and move across threads with their sessions. This is the
+/// strategy type of [`crate::session::OwnedSession`].
+pub type DynStrategy = Box<dyn Strategy + Send>;
+
+/// A serializable description of a strategy: enough to rebuild it exactly.
+///
+/// This is what session snapshots persist — restoring a session replays
+/// its label history into a strategy rebuilt from this config, and because
+/// every strategy (including [`Random`], which derives its choice from
+/// `(seed, |S|)` alone) is a deterministic function of its configuration
+/// and the current state, the restored session continues exactly as an
+/// uninterrupted one would.
+///
+/// The textual form round-trips through [`std::fmt::Display`] /
+/// [`std::str::FromStr`]: `"RND:7"`, `"BU"`, `"TD"`, `"LKS:2"`, `"EG"`,
+/// `"OPT"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StrategyConfig {
+    /// Random informative tuple with the given seed.
+    Rnd {
+        /// The RNG seed.
+        seed: u64,
+    },
+    /// Bottom-up (Algorithm 2).
+    Bu,
+    /// Top-down (Algorithm 3).
+    Td,
+    /// k-step lookahead skyline (Algorithms 4–6); depth 1 is L1S, 2 is L2S.
+    Lks {
+        /// The lookahead depth `k ≥ 1`.
+        depth: usize,
+    },
+    /// Expected gain under a uniform prior.
+    Eg,
+    /// Minimax-optimal (small instances only).
+    Optimal,
+}
+
+impl StrategyConfig {
+    /// Instantiates the described strategy.
+    pub fn build(&self) -> DynStrategy {
+        match *self {
+            StrategyConfig::Rnd { seed } => Box::new(Random::new(seed)),
+            StrategyConfig::Bu => Box::new(BottomUp::new()),
+            StrategyConfig::Td => Box::new(TopDown::new()),
+            StrategyConfig::Lks { depth } => Box::new(Lookahead::new(depth)),
+            StrategyConfig::Eg => Box::new(ExpectedGain::new()),
+            StrategyConfig::Optimal => Box::new(Optimal::new()),
+        }
+    }
+
+    /// The config describing what [`StrategyKind::build`] builds.
+    pub fn from_kind(kind: StrategyKind, seed: u64) -> StrategyConfig {
+        match kind {
+            StrategyKind::Rnd => StrategyConfig::Rnd { seed },
+            StrategyKind::Bu => StrategyConfig::Bu,
+            StrategyKind::Td => StrategyConfig::Td,
+            StrategyKind::L1s => StrategyConfig::Lks { depth: 1 },
+            StrategyKind::L2s => StrategyConfig::Lks { depth: 2 },
+            StrategyKind::Optimal => StrategyConfig::Optimal,
+            StrategyKind::Eg => StrategyConfig::Eg,
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StrategyConfig::Rnd { seed } => write!(f, "RND:{seed}"),
+            StrategyConfig::Bu => f.write_str("BU"),
+            StrategyConfig::Td => f.write_str("TD"),
+            StrategyConfig::Lks { depth } => write!(f, "LKS:{depth}"),
+            StrategyConfig::Eg => f.write_str("EG"),
+            StrategyConfig::Optimal => f.write_str("OPT"),
+        }
+    }
+}
+
+impl std::str::FromStr for StrategyConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<StrategyConfig, String> {
+        let (head, arg) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        let numeric = |what: &str| -> std::result::Result<u64, String> {
+            arg.ok_or_else(|| format!("strategy {head} needs a :{what}"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad {what} in strategy {s:?}: {e}"))
+        };
+        match head {
+            "RND" => Ok(StrategyConfig::Rnd {
+                seed: numeric("seed")?,
+            }),
+            "LKS" => {
+                let depth = numeric("depth")? as usize;
+                if depth == 0 {
+                    return Err("lookahead depth must be at least 1".into());
+                }
+                Ok(StrategyConfig::Lks { depth })
+            }
+            "BU" | "TD" | "EG" | "OPT" if arg.is_some() => {
+                Err(format!("strategy {head} takes no argument, got {s:?}"))
+            }
+            "BU" => Ok(StrategyConfig::Bu),
+            "TD" => Ok(StrategyConfig::Td),
+            "EG" => Ok(StrategyConfig::Eg),
+            "OPT" => Ok(StrategyConfig::Optimal),
+            other => Err(format!("unknown strategy {other:?}")),
+        }
+    }
+}
+
 /// A dynamic catalogue of the paper's strategies, used by the experiment
 /// harness to iterate over all of them uniformly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -114,16 +232,8 @@ impl StrategyKind {
     }
 
     /// Instantiates the strategy; `seed` only affects [`Random`].
-    pub fn build(self, seed: u64) -> Box<dyn Strategy> {
-        match self {
-            StrategyKind::Rnd => Box::new(Random::new(seed)),
-            StrategyKind::Bu => Box::new(BottomUp::new()),
-            StrategyKind::Td => Box::new(TopDown::new()),
-            StrategyKind::L1s => Box::new(Lookahead::l1s()),
-            StrategyKind::L2s => Box::new(Lookahead::l2s()),
-            StrategyKind::Optimal => Box::new(Optimal::new()),
-            StrategyKind::Eg => Box::new(ExpectedGain::new()),
-        }
+    pub fn build(self, seed: u64) -> DynStrategy {
+        StrategyConfig::from_kind(self, seed).build()
     }
 }
 

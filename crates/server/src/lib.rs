@@ -1,0 +1,65 @@
+//! A concurrent multi-session inference service over one shared universe.
+//!
+//! The paper's interaction model (Algorithm 1) is aimed at non-expert
+//! users behind a UI or a crowdsourcing task queue — many users, each with
+//! their own goal query, labeling tuples of the *same* instance. This
+//! crate turns the single-threaded [`jqi_core::session::Session`] loop
+//! into a service:
+//!
+//! * [`SessionManager`] — a sharded, thread-safe session table over an
+//!   immutable `Arc<Universe>`; create/answer/drop sessions from any
+//!   thread, with per-session mutexes so distinct sessions never contend.
+//! * class-addressed, batched answers — answers may arrive asynchronously,
+//!   out of order, and in batches ([`SessionManager::answer_batch`] folds a
+//!   whole batch into the inference state under one lock acquisition);
+//!   agreeing duplicates from concurrent crowd workers are idempotent.
+//! * [`SessionSnapshot`] — snapshot/restore by deterministic replay:
+//!   persist a session as its strategy config + label sequence (a few
+//!   bytes per answer, JSON), rebuild it bit-for-bit after a process
+//!   restart.
+//!
+//! # Example: two users, one universe
+//!
+//! ```
+//! use jqi_core::paper::flight_hotel;
+//! use jqi_core::{Label, StrategyConfig, Universe};
+//! use jqi_server::{ServerConfig, SessionManager, SessionSnapshot};
+//! use std::sync::Arc;
+//!
+//! let universe = Arc::new(Universe::build(flight_hotel()));
+//! let manager = SessionManager::new(Arc::clone(&universe), ServerConfig::default());
+//!
+//! // User A wants Q2 (city AND discount airline must match), via L2S.
+//! let a = manager.create_session(StrategyConfig::Lks { depth: 2 });
+//! while let Some(q) = manager.next_question(a).unwrap() {
+//!     let keep = q.values[1] == q.values[3] && q.values[2] == q.values[4];
+//!     let label = if keep { Label::Positive } else { Label::Negative };
+//!     manager.answer(a, q.class, label).unwrap();
+//! }
+//! let theta = manager.inferred_predicate(a).unwrap();
+//! assert_eq!(
+//!     universe.instance().predicate_string(&theta),
+//!     "{Flight.To=Hotel.City ∧ Flight.Airline=Hotel.Discount}"
+//! );
+//!
+//! // User B's session survives a "restart" as a tiny JSON document.
+//! let b = manager.create_session(StrategyConfig::Bu);
+//! let q = manager.next_question(b).unwrap().unwrap();
+//! manager.answer(b, q.class, Label::Negative).unwrap();
+//! let json = manager.snapshot(b).unwrap().to_json_string();
+//!
+//! let reborn = SessionManager::new(universe, ServerConfig::default());
+//! let restored = SessionSnapshot::from_json(&json).unwrap();
+//! assert_eq!(reborn.restore(&restored).unwrap(), b);
+//! assert_eq!(reborn.interactions(b).unwrap(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod manager;
+pub mod snapshot;
+
+pub use manager::{Result, ServerConfig, ServerError, SessionId, SessionManager};
+pub use snapshot::{SessionSnapshot, SnapshotError, SNAPSHOT_FORMAT};

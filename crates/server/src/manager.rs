@@ -1,0 +1,423 @@
+//! The sharded, thread-safe session table.
+//!
+//! One [`SessionManager`] owns a shared immutable [`Universe`] behind an
+//! [`Arc`] and serves any number of concurrent inference sessions over it.
+//! Sessions are spread over `N` shards by `id % N`; each shard is a
+//! [`parking_lot::RwLock`] around a `HashMap<SessionId, Arc<Mutex<…>>>`:
+//!
+//! * **shard locks** are held only for table lookups, inserts, and removals
+//!   (microseconds), never across strategy computation — creating or
+//!   dropping a session stalls at most `1/N` of the lookups;
+//! * **per-session mutexes** serialize the operations of one session, so
+//!   answers for the *same* session arriving from several threads are
+//!   applied in some total order, while sessions on different mutexes
+//!   (even in the same shard) proceed fully in parallel.
+//!
+//! Answers are class-addressed and go through the session's batch path
+//! ([`jqi_core::session::Session::apply_batch`]): they may arrive out of
+//! order relative to the questions asked, in batches folded into the
+//! inference state under a single lock acquisition, and duplicated by
+//! concurrent workers (agreeing duplicates are idempotent; contradictions
+//! surface as [`InferenceError::ConflictingLabel`]).
+
+use crate::snapshot::SessionSnapshot;
+use jqi_core::session::{Candidate, OwnedSession};
+use jqi_core::{ClassId, InferenceError, Label, StrategyConfig, Universe};
+use jqi_relation::BitSet;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a session within one [`SessionManager`].
+pub type SessionId = u64;
+
+/// Configuration of a [`SessionManager`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of shards the session table is split into. More shards mean
+    /// less create/remove contention; lookups are O(1) either way.
+    pub shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { shards: 16 }
+    }
+}
+
+/// Errors surfaced by the session service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// No session with this id (never created, or already removed).
+    UnknownSession(SessionId),
+    /// A restore collided with a live session carrying the same id.
+    SessionExists(SessionId),
+    /// An inference-level failure (inconsistent labels, conflicting
+    /// duplicate answers, out-of-range classes, …).
+    Inference(InferenceError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServerError::SessionExists(id) => write!(f, "session {id} already exists"),
+            ServerError::Inference(e) => write!(f, "inference error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Inference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InferenceError> for ServerError {
+    fn from(e: InferenceError) -> Self {
+        ServerError::Inference(e)
+    }
+}
+
+/// Convenience alias for service results.
+pub type Result<T> = std::result::Result<T, ServerError>;
+
+/// One live session plus the config needed to snapshot it.
+struct Slot {
+    session: OwnedSession,
+    config: StrategyConfig,
+}
+
+type Shard = RwLock<HashMap<SessionId, Arc<Mutex<Slot>>>>;
+
+/// A thread-safe, multi-session inference service over one shared universe.
+///
+/// See the [module docs](self) for the locking discipline. All methods take
+/// `&self`; the manager is meant to live in an `Arc` shared by every worker
+/// thread of a server.
+pub struct SessionManager {
+    universe: Arc<Universe>,
+    shards: Box<[Shard]>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("shards", &self.shards.len())
+            .field("sessions", &self.session_count())
+            .field("next_id", &self.next_id.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SessionManager {
+    /// Creates a manager serving sessions over `universe`.
+    pub fn new(universe: Arc<Universe>, config: ServerConfig) -> Self {
+        let shards = config.shards.max(1);
+        SessionManager {
+            universe,
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared universe all sessions run over.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    /// Number of live sessions across all shards.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn shard(&self, id: SessionId) -> &Shard {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    fn slot(&self, id: SessionId) -> Result<Arc<Mutex<Slot>>> {
+        self.shard(id)
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    /// Runs `f` on the session, holding only that session's mutex. The
+    /// shard lock is released before `f` runs, so slow strategy work never
+    /// blocks unrelated lookups.
+    fn with_session<T>(&self, id: SessionId, f: impl FnOnce(&mut Slot) -> T) -> Result<T> {
+        let slot = self.slot(id)?;
+        let mut guard = slot.lock();
+        Ok(f(&mut guard))
+    }
+
+    fn insert(&self, id: SessionId, slot: Slot) -> Result<()> {
+        use std::collections::hash_map::Entry;
+        match self.shard(id).write().entry(id) {
+            Entry::Occupied(_) => Err(ServerError::SessionExists(id)),
+            Entry::Vacant(e) => {
+                e.insert(Arc::new(Mutex::new(slot)));
+                Ok(())
+            }
+        }
+    }
+
+    /// Starts a fresh session with the given strategy; returns its id.
+    pub fn create_session(&self, strategy: StrategyConfig) -> SessionId {
+        use std::collections::hash_map::Entry;
+        let session = OwnedSession::with_config(Arc::clone(&self.universe), &strategy);
+        let slot = Arc::new(Mutex::new(Slot {
+            session,
+            config: strategy,
+        }));
+        // A concurrent restore() may race a stale snapshot onto the id the
+        // counter just handed out (its fetch_max lands after our
+        // fetch_add); skip to the next id instead of clobbering either
+        // session.
+        loop {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            if let Entry::Vacant(e) = self.shard(id).write().entry(id) {
+                e.insert(Arc::clone(&slot));
+                return id;
+            }
+        }
+    }
+
+    /// The next tuple for the user to label, or `None` when inference is
+    /// complete (halt condition Γ).
+    ///
+    /// Idempotent: while a question is outstanding, re-asking returns the
+    /// *same* candidate instead of consuming a strategy step — an
+    /// at-least-once task queue can re-deliver freely.
+    pub fn next_question(&self, id: SessionId) -> Result<Option<Candidate>> {
+        self.with_session(id, |slot| {
+            if let Some(pending) = slot.session.pending_candidate() {
+                return Ok(Some(pending));
+            }
+            slot.session.next()
+        })?
+        .map_err(ServerError::from)
+    }
+
+    /// Records one class-addressed answer.
+    ///
+    /// Answers need not match the outstanding question and may repeat
+    /// (agreeing duplicates are no-ops); see
+    /// [`jqi_core::session::Session::apply_batch`] for the exact
+    /// semantics. Returns `true` if the answer was new information.
+    pub fn answer(&self, id: SessionId, class: ClassId, label: Label) -> Result<bool> {
+        Ok(self.answer_batch(id, &[(class, label)])? == 1)
+    }
+
+    /// Folds a batch of answers into the session under a single lock
+    /// acquisition; returns how many were new information.
+    pub fn answer_batch(&self, id: SessionId, answers: &[(ClassId, Label)]) -> Result<usize> {
+        self.with_session(id, |slot| slot.session.apply_batch(answers))?
+            .map_err(ServerError::from)
+    }
+
+    /// Whether the session has nothing left to ask.
+    pub fn is_done(&self, id: SessionId) -> Result<bool> {
+        self.with_session(id, |slot| slot.session.is_done())
+    }
+
+    /// Number of answers recorded so far.
+    pub fn interactions(&self, id: SessionId) -> Result<usize> {
+        self.with_session(id, |slot| slot.session.interactions())
+    }
+
+    /// The predicate inferred so far — `T(S⁺)`, the most specific
+    /// predicate consistent with the answers (usable before completion,
+    /// §4.1).
+    pub fn inferred_predicate(&self, id: SessionId) -> Result<BitSet> {
+        self.with_session(id, |slot| slot.session.inferred_predicate())
+    }
+
+    /// A restartable snapshot of the session: strategy config + label
+    /// history. The session keeps running; pair with [`Self::remove`] for
+    /// eviction.
+    pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot> {
+        self.with_session(id, |slot| SessionSnapshot {
+            session: id,
+            strategy: slot.config.clone(),
+            history: slot.session.history().to_vec(),
+            pending: slot.session.pending_class(),
+        })
+    }
+
+    /// Rebuilds a snapshotted session under its original id (deterministic
+    /// replay, see [`crate::snapshot`]). Future [`Self::create_session`]
+    /// ids are bumped past it, so restores and fresh sessions never
+    /// collide. Errors if the id is live or the history does not replay.
+    pub fn restore(&self, snapshot: &SessionSnapshot) -> Result<SessionId> {
+        let id = snapshot.session;
+        let session = OwnedSession::replay(
+            Arc::clone(&self.universe),
+            &snapshot.strategy,
+            &snapshot.history,
+            snapshot.pending,
+        )?;
+        self.insert(
+            id,
+            Slot {
+                session,
+                config: snapshot.strategy.clone(),
+            },
+        )?;
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Drops a session. Operations already holding its handle finish
+    /// against the detached session; later calls get
+    /// [`ServerError::UnknownSession`].
+    pub fn remove(&self, id: SessionId) -> Result<()> {
+        self.shard(id)
+            .write()
+            .remove(&id)
+            .map(drop)
+            .ok_or(ServerError::UnknownSession(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jqi_core::paper::flight_hotel;
+
+    fn manager() -> SessionManager {
+        SessionManager::new(
+            Arc::new(Universe::build(flight_hotel())),
+            ServerConfig::default(),
+        )
+    }
+
+    /// Drives `id` to completion with a goal-predicate oracle.
+    fn drive(manager: &SessionManager, id: SessionId, goal: &BitSet) -> BitSet {
+        while let Some(q) = manager.next_question(id).unwrap() {
+            let label = if goal.is_subset(manager.universe().sig(q.class)) {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
+            manager.answer(id, q.class, label).unwrap();
+        }
+        manager.inferred_predicate(id).unwrap()
+    }
+
+    #[test]
+    fn drives_a_session_to_the_paper_goal() {
+        let m = manager();
+        let goal = jqi_core::predicate_from_names(
+            m.universe().instance(),
+            &[("To", "City"), ("Airline", "Discount")],
+        )
+        .unwrap();
+        let id = m.create_session(StrategyConfig::Lks { depth: 2 });
+        let theta = drive(&m, id, &goal);
+        assert_eq!(
+            m.universe().instance().predicate_string(&theta),
+            "{Flight.To=Hotel.City ∧ Flight.Airline=Hotel.Discount}"
+        );
+        assert!(m.is_done(id).unwrap());
+    }
+
+    #[test]
+    fn next_question_is_idempotent_while_unanswered() {
+        let m = manager();
+        let id = m.create_session(StrategyConfig::Bu);
+        let q1 = m.next_question(id).unwrap().unwrap();
+        let q2 = m.next_question(id).unwrap().unwrap();
+        assert_eq!(q1.class, q2.class);
+        assert_eq!(m.interactions(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn answers_are_idempotent_and_conflicts_are_rejected() {
+        let m = manager();
+        let id = m.create_session(StrategyConfig::Td);
+        let q = m.next_question(id).unwrap().unwrap();
+        assert!(m.answer(id, q.class, Label::Negative).unwrap());
+        // A second crowd worker repeating the answer is a no-op…
+        assert!(!m.answer(id, q.class, Label::Negative).unwrap());
+        assert_eq!(m.interactions(id).unwrap(), 1);
+        // …but a contradicting one is an error.
+        let e = m.answer(id, q.class, Label::Positive).unwrap_err();
+        assert!(matches!(
+            e,
+            ServerError::Inference(InferenceError::ConflictingLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_order_batches_supersede_the_outstanding_question() {
+        let m = manager();
+        let id = m.create_session(StrategyConfig::Bu);
+        let q = m.next_question(id).unwrap().unwrap();
+        // Answers for *other* classes arrive first (async task queue).
+        let others: Vec<(ClassId, Label)> = (0..m.universe().num_classes())
+            .filter(|&c| c != q.class)
+            .take(2)
+            .map(|c| (c, Label::Negative))
+            .collect();
+        let applied = m.answer_batch(id, &others).unwrap();
+        assert!(applied >= 1);
+        // The session keeps going: either the old question is still open
+        // or a fresh one replaced it.
+        let _ = m.next_question(id).unwrap();
+    }
+
+    #[test]
+    fn unknown_and_removed_sessions_error() {
+        let m = manager();
+        assert_eq!(
+            m.next_question(99).unwrap_err(),
+            ServerError::UnknownSession(99)
+        );
+        let id = m.create_session(StrategyConfig::Bu);
+        m.remove(id).unwrap();
+        assert_eq!(m.remove(id).unwrap_err(), ServerError::UnknownSession(id));
+        assert_eq!(m.session_count(), 0);
+    }
+
+    #[test]
+    fn restore_preserves_id_and_bumps_allocation() {
+        let m = manager();
+        let goal =
+            jqi_core::predicate_from_names(m.universe().instance(), &[("To", "City")]).unwrap();
+        let id = m.create_session(StrategyConfig::Rnd { seed: 5 });
+        let q = m.next_question(id).unwrap().unwrap();
+        let label = if goal.is_subset(m.universe().sig(q.class)) {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
+        m.answer(id, q.class, label).unwrap();
+        let snap = m.snapshot(id).unwrap();
+
+        // Simulate a restart: a brand-new manager restores the snapshot.
+        let m2 = SessionManager::new(Arc::clone(m.universe()), ServerConfig { shards: 3 });
+        let restored = m2.restore(&snap).unwrap();
+        assert_eq!(restored, id);
+        assert_eq!(m2.interactions(id).unwrap(), 1);
+        // Restoring again under a live id collides.
+        assert_eq!(
+            m2.restore(&snap).unwrap_err(),
+            ServerError::SessionExists(id)
+        );
+        // Fresh ids skip past the restored one.
+        let fresh = m2.create_session(StrategyConfig::Bu);
+        assert!(fresh > id);
+        // And both reach the same final predicate as an uninterrupted run.
+        let theta_restored = drive(&m2, id, &goal);
+        let id3 = m.create_session(StrategyConfig::Rnd { seed: 5 });
+        let theta_solo = drive(&m, id3, &goal);
+        assert_eq!(theta_restored, theta_solo);
+    }
+}

@@ -1,0 +1,238 @@
+//! Session snapshot/restore: persistence by deterministic replay.
+//!
+//! A snapshot does **not** serialize the derived inference state (bitsets,
+//! class partition, entropy caches) — it records the two things the state
+//! is a deterministic function of: the strategy configuration and the
+//! label sequence. Restoring rebuilds the session by folding the labels
+//! back through the same incremental [`jqi_core::InferenceState`] updates
+//! that produced it, so a restored session is **indistinguishable** from
+//! one that never stopped (property-tested in `tests/snapshot_roundtrip.rs`).
+//! That keeps snapshots tiny (a few bytes per answer), version-stable
+//! across changes to the derived representation, and valid against any
+//! universe that assigns the same class ids — i.e. the same instance built
+//! by the same deterministic [`jqi_core::Universe::build`].
+
+use crate::json::{Json, ParseError};
+use jqi_core::{ClassId, Label, StrategyConfig};
+
+/// The wire format identifier; bump when the schema changes.
+pub const SNAPSHOT_FORMAT: &str = "jqi-session/1";
+
+/// A restartable description of one session: strategy config + answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// The session id the snapshot was taken from. Restore keeps it, so
+    /// clients holding the id keep working across a process restart.
+    pub session: u64,
+    /// The strategy configuration (rebuilt exactly on restore).
+    pub strategy: StrategyConfig,
+    /// The questions and answers so far, in order.
+    pub history: Vec<(ClassId, Label)>,
+    /// The outstanding (asked but unanswered) question, if any — restored
+    /// so the rebuilt session re-delivers exactly the question in flight,
+    /// even when later batches advanced the state past the point where it
+    /// was selected.
+    pub pending: Option<ClassId>,
+}
+
+/// A malformed snapshot document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<ParseError> for SnapshotError {
+    fn from(e: ParseError) -> Self {
+        SnapshotError(e.to_string())
+    }
+}
+
+impl SessionSnapshot {
+    /// The snapshot as a JSON value (`jqi_bench`-style formatting).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), Json::str(SNAPSHOT_FORMAT)),
+            ("session".into(), Json::num(self.session as f64)),
+            ("strategy".into(), Json::str(self.strategy.to_string())),
+            (
+                "pending".into(),
+                match self.pending {
+                    Some(c) => Json::num(c as f64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "history".into(),
+                Json::Arr(
+                    self.history
+                        .iter()
+                        .map(|&(c, label)| {
+                            Json::Obj(vec![
+                                ("class".into(), Json::num(c as f64)),
+                                (
+                                    "label".into(),
+                                    Json::str(match label {
+                                        Label::Positive => "+",
+                                        Label::Negative => "-",
+                                    }),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serializes to the pretty-printed JSON document [`Self::from_json`]
+    /// reads back.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string_pretty() + "\n"
+    }
+
+    /// Parses a snapshot document produced by [`Self::to_json_string`].
+    pub fn from_json(text: &str) -> Result<SessionSnapshot, SnapshotError> {
+        let doc = Json::parse(text)?;
+        let format = doc
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SnapshotError("missing \"format\"".into()))?;
+        if format != SNAPSHOT_FORMAT {
+            return Err(SnapshotError(format!(
+                "unsupported format {format:?}, expected {SNAPSHOT_FORMAT:?}"
+            )));
+        }
+        let session = read_u64(&doc, "session")?;
+        let strategy: StrategyConfig = doc
+            .get("strategy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SnapshotError("missing \"strategy\"".into()))?
+            .parse()
+            .map_err(SnapshotError)?;
+        let history = doc
+            .get("history")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| SnapshotError("missing \"history\" array".into()))?
+            .iter()
+            .map(|entry| {
+                let class = read_u64(entry, "class")? as ClassId;
+                let label = match entry.get("label").and_then(Json::as_str) {
+                    Some("+") => Label::Positive,
+                    Some("-") => Label::Negative,
+                    other => {
+                        return Err(SnapshotError(format!(
+                            "history label must be \"+\" or \"-\", got {other:?}"
+                        )))
+                    }
+                };
+                Ok((class, label))
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let pending = match doc.get("pending") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(read_u64(&doc, "pending")? as ClassId),
+        };
+        Ok(SessionSnapshot {
+            session,
+            strategy,
+            history,
+            pending,
+        })
+    }
+}
+
+fn read_u64(obj: &Json, key: &str) -> Result<u64, SnapshotError> {
+    let n = obj
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| SnapshotError(format!("missing numeric \"{key}\"")))?;
+    if n.fract() != 0.0 || !(0.0..=9e15).contains(&n) {
+        return Err(SnapshotError(format!(
+            "\"{key}\" must be a non-negative integer, got {n}"
+        )));
+    }
+    Ok(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> SessionSnapshot {
+        SessionSnapshot {
+            session: 42,
+            strategy: StrategyConfig::Lks { depth: 2 },
+            history: vec![(3, Label::Positive), (0, Label::Negative)],
+            pending: Some(5),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let snap = sample_snapshot();
+        let text = snap.to_json_string();
+        assert_eq!(SessionSnapshot::from_json(&text).unwrap(), snap);
+        let no_pending = SessionSnapshot {
+            pending: None,
+            ..sample_snapshot()
+        };
+        let text = no_pending.to_json_string();
+        assert!(text.contains("\"pending\": null"));
+        assert_eq!(SessionSnapshot::from_json(&text).unwrap(), no_pending);
+    }
+
+    #[test]
+    fn documents_without_a_pending_field_still_parse() {
+        // Forward compatibility with jqi-session/1 documents written
+        // before the field existed.
+        let text = r#"{"format": "jqi-session/1", "session": 9, "strategy": "TD", "history": []}"#;
+        let snap = SessionSnapshot::from_json(text).unwrap();
+        assert_eq!(snap.pending, None);
+        assert_eq!(snap.session, 9);
+    }
+
+    #[test]
+    fn strategy_strings_round_trip() {
+        for strategy in [
+            StrategyConfig::Rnd { seed: 7 },
+            StrategyConfig::Bu,
+            StrategyConfig::Td,
+            StrategyConfig::Lks { depth: 1 },
+            StrategyConfig::Lks { depth: 3 },
+            StrategyConfig::Eg,
+            StrategyConfig::Optimal,
+        ] {
+            let snap = SessionSnapshot {
+                session: 1,
+                strategy: strategy.clone(),
+                history: vec![],
+                pending: None,
+            };
+            let restored = SessionSnapshot::from_json(&snap.to_json_string()).unwrap();
+            assert_eq!(restored.strategy, strategy);
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_or_broken_documents() {
+        assert!(SessionSnapshot::from_json("{}").is_err());
+        assert!(SessionSnapshot::from_json("not json").is_err());
+        let wrong_format =
+            r#"{"format": "jqi-session/99", "session": 1, "strategy": "BU", "history": []}"#;
+        assert!(SessionSnapshot::from_json(wrong_format).is_err());
+        let bad_label = r#"{"format": "jqi-session/1", "session": 1, "strategy": "BU", "history": [{"class": 0, "label": "?"}]}"#;
+        assert!(SessionSnapshot::from_json(bad_label).is_err());
+        let bad_strategy =
+            r#"{"format": "jqi-session/1", "session": 1, "strategy": "LKS:0", "history": []}"#;
+        assert!(SessionSnapshot::from_json(bad_strategy).is_err());
+        let fractional =
+            r#"{"format": "jqi-session/1", "session": 1.5, "strategy": "BU", "history": []}"#;
+        assert!(SessionSnapshot::from_json(fractional).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Concurrency tests: many threads creating, answering, snapshotting and
+//! dropping sessions over one shared `Arc<Universe>`, with every inferred
+//! predicate checked against a single-threaded replay.
+
+use jqi_core::session::Session;
+use jqi_core::{ClassId, Label, StrategyConfig, Universe};
+use jqi_datagen::SyntheticConfig;
+use jqi_relation::BitSet;
+use jqi_server::{ServerConfig, SessionManager, SessionSnapshot};
+use std::sync::Arc;
+use std::thread;
+
+/// The strategy mix the concurrency tests cycle through — heterogeneous on
+/// purpose: the session table holds them all behind one `DynStrategy`.
+fn strategy_mix(i: usize) -> StrategyConfig {
+    match i % 5 {
+        0 => StrategyConfig::Bu,
+        1 => StrategyConfig::Td,
+        2 => StrategyConfig::Lks { depth: 1 },
+        3 => StrategyConfig::Lks { depth: 2 },
+        _ => StrategyConfig::Rnd { seed: i as u64 },
+    }
+}
+
+fn goals(universe: &Universe, take: usize) -> Vec<BitSet> {
+    jqi_core::lattice::non_nullable_predicates(universe, 100_000)
+        .expect("small lattice")
+        .into_iter()
+        .cycle()
+        .take(take)
+        .collect()
+}
+
+fn oracle_label(universe: &Universe, goal: &BitSet, class: ClassId) -> Label {
+    if goal.is_subset(universe.sig(class)) {
+        Label::Positive
+    } else {
+        Label::Negative
+    }
+}
+
+/// Drives a borrowing single-threaded session to completion — the
+/// reference every concurrent session is compared against.
+fn single_threaded_reference(
+    universe: &Universe,
+    config: &StrategyConfig,
+    goal: &BitSet,
+) -> (BitSet, Vec<(ClassId, Label)>) {
+    let mut session = Session::new(universe, config.build());
+    while let Some(q) = session.next().expect("strategies do not fail") {
+        session
+            .answer(oracle_label(universe, goal, q.class))
+            .expect("goal oracles are consistent");
+    }
+    (session.inferred_predicate(), session.history().to_vec())
+}
+
+#[test]
+fn many_threads_many_sessions_match_single_threaded_replays() {
+    let universe = Arc::new(Universe::build(
+        SyntheticConfig::new(2, 3, 14, 6).generate(11),
+    ));
+    let manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig { shards: 4 },
+    ));
+    const THREADS: usize = 8;
+    const SESSIONS_PER_THREAD: usize = 8;
+    let goals = goals(&universe, THREADS * SESSIONS_PER_THREAD);
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let manager = Arc::clone(&manager);
+            let universe = Arc::clone(&universe);
+            let goals = goals.clone();
+            thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for s in 0..SESSIONS_PER_THREAD {
+                    let i = t * SESSIONS_PER_THREAD + s;
+                    let config = strategy_mix(i);
+                    let goal = goals[i].clone();
+                    let id = manager.create_session(config.clone());
+                    while let Some(q) = manager.next_question(id).expect("live session") {
+                        let label = oracle_label(&universe, &goal, q.class);
+                        manager.answer(id, q.class, label).expect("consistent");
+                    }
+                    let theta = manager.inferred_predicate(id).expect("live session");
+                    let snap = manager.snapshot(id).expect("live session");
+                    outcomes.push((config, goal, theta, snap.history));
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    let mut total = 0usize;
+    for handle in handles {
+        for (config, goal, theta, history) in handle.join().expect("no panics") {
+            let (ref_theta, ref_history) = single_threaded_reference(&universe, &config, &goal);
+            assert_eq!(theta, ref_theta, "θ diverged for {config}");
+            assert_eq!(history, ref_history, "history diverged for {config}");
+            total += 1;
+        }
+    }
+    assert_eq!(total, THREADS * SESSIONS_PER_THREAD);
+    assert_eq!(manager.session_count(), total);
+}
+
+/// Several workers hammer the *same* session: questions are re-delivered
+/// idempotently, duplicate answers are no-ops, and the outcome is exactly
+/// the single-threaded run.
+#[test]
+fn concurrent_workers_on_one_session_agree_with_the_reference() {
+    let universe = Arc::new(Universe::build(
+        SyntheticConfig::new(2, 2, 12, 5).generate(3),
+    ));
+    let goal = goals(&universe, 1).remove(0);
+    let config = StrategyConfig::Lks { depth: 1 };
+    let manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig::default(),
+    ));
+    let id = manager.create_session(config.clone());
+
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let manager = Arc::clone(&manager);
+            let universe = Arc::clone(&universe);
+            let goal = goal.clone();
+            thread::spawn(move || loop {
+                match manager.next_question(id).expect("live session") {
+                    None => break,
+                    Some(q) => {
+                        let label = oracle_label(&universe, &goal, q.class);
+                        // Racing duplicates of the same answer are fine.
+                        manager.answer(id, q.class, label).expect("no conflicts");
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no panics");
+    }
+
+    let (ref_theta, ref_history) = single_threaded_reference(&universe, &config, &goal);
+    assert_eq!(manager.inferred_predicate(id).unwrap(), ref_theta);
+    assert_eq!(manager.snapshot(id).unwrap().history, ref_history);
+    assert!(manager.is_done(id).unwrap());
+}
+
+/// Batched, out-of-order answering: a whole crowdsourcing round folded in
+/// per call still reaches an instance-equivalent predicate.
+#[test]
+fn batched_answers_reach_equivalent_predicates() {
+    let universe = Arc::new(Universe::build(
+        SyntheticConfig::new(2, 3, 14, 6).generate(7),
+    ));
+    let manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig::default(),
+    ));
+    let goals = goals(&universe, 8);
+    let handles: Vec<_> = goals
+        .into_iter()
+        .map(|goal| {
+            let manager = Arc::clone(&manager);
+            let universe = Arc::clone(&universe);
+            thread::spawn(move || {
+                let id = manager.create_session(StrategyConfig::Bu);
+                loop {
+                    // Gather a "round" of up to 3 outstanding questions by
+                    // labeling classes straight from the goal oracle —
+                    // answers the strategy never asked for, out of order.
+                    let mut batch: Vec<(ClassId, Label)> = Vec::new();
+                    match manager.next_question(id).expect("live") {
+                        None => break,
+                        Some(q) => {
+                            batch.push((q.class, oracle_label(&universe, &goal, q.class)));
+                        }
+                    }
+                    for c in (0..universe.num_classes()).rev().take(2) {
+                        batch.push((c, oracle_label(&universe, &goal, c)));
+                    }
+                    manager.answer_batch(id, &batch).expect("consistent batch");
+                }
+                let theta = manager.inferred_predicate(id).expect("live");
+                assert_eq!(
+                    universe.instance().equijoin(&theta),
+                    universe.instance().equijoin(&goal),
+                    "batched inference missed the goal"
+                );
+                manager.remove(id).expect("live");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no panics");
+    }
+    assert_eq!(manager.session_count(), 0);
+}
+
+/// Create/answer/snapshot/drop churn from many threads leaves the table
+/// consistent and empty.
+#[test]
+fn churn_leaves_an_empty_consistent_table() {
+    let universe = Arc::new(Universe::build(
+        SyntheticConfig::new(2, 2, 10, 4).generate(1),
+    ));
+    let manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig { shards: 2 },
+    ));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let manager = Arc::clone(&manager);
+            let universe = Arc::clone(&universe);
+            thread::spawn(move || {
+                for round in 0..20 {
+                    let id = manager.create_session(strategy_mix(t + round));
+                    if let Some(q) = manager.next_question(id).expect("live") {
+                        manager.answer(id, q.class, Label::Negative).expect("ok");
+                        let snap = manager.snapshot(id).expect("live");
+                        assert_eq!(snap.history.len(), 1);
+                        // Round-trip through JSON while the session lives.
+                        let json = snap.to_json_string();
+                        assert_eq!(SessionSnapshot::from_json(&json).unwrap(), snap);
+                    }
+                    let _ = universe.num_classes();
+                    manager.remove(id).expect("live");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no panics");
+    }
+    assert_eq!(manager.session_count(), 0);
+}

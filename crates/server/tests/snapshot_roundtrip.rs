@@ -1,0 +1,103 @@
+//! Property test: snapshot → JSON → restore → continue is
+//! indistinguishable from an uninterrupted session, for every strategy,
+//! at every cut point.
+
+use jqi_core::{ClassId, Label, StrategyConfig, Universe};
+use jqi_datagen::SyntheticConfig;
+use jqi_relation::BitSet;
+use jqi_server::{ServerConfig, SessionManager, SessionSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn strategy_mix(i: usize, seed: u64) -> StrategyConfig {
+    match i % 5 {
+        0 => StrategyConfig::Bu,
+        1 => StrategyConfig::Td,
+        2 => StrategyConfig::Lks { depth: 1 },
+        3 => StrategyConfig::Lks { depth: 2 },
+        _ => StrategyConfig::Rnd { seed },
+    }
+}
+
+fn oracle_label(universe: &Universe, goal: &BitSet, class: ClassId) -> Label {
+    if goal.is_subset(universe.sig(class)) {
+        Label::Positive
+    } else {
+        Label::Negative
+    }
+}
+
+/// Drives `id` until done or `max_steps` answers, returning the number of
+/// answers given.
+fn drive(manager: &SessionManager, id: u64, goal: &BitSet, max_steps: usize) -> usize {
+    let universe = manager.universe().as_ref();
+    let mut steps = 0;
+    while steps < max_steps {
+        match manager.next_question(id).expect("live session") {
+            None => break,
+            Some(q) => {
+                let label = oracle_label(universe, goal, q.class);
+                manager.answer(id, q.class, label).expect("consistent");
+                steps += 1;
+            }
+        }
+    }
+    steps
+}
+
+proptest! {
+    #[test]
+    fn snapshot_restore_continue_equals_uninterrupted(
+        instance_seed in 0u64..200,
+        goal_index in 0usize..64,
+        strategy_index in 0usize..5,
+        cut in 0usize..10,
+    ) {
+        let universe = Arc::new(Universe::build(
+            SyntheticConfig::new(2, 2, 10, 5).generate(instance_seed),
+        ));
+        let goals = jqi_core::lattice::non_nullable_predicates(&universe, 100_000)
+            .expect("small lattice");
+        prop_assume!(!goals.is_empty());
+        let goal = goals[goal_index % goals.len()].clone();
+        let config = strategy_mix(strategy_index, instance_seed);
+
+        // Uninterrupted run.
+        let uninterrupted = SessionManager::new(Arc::clone(&universe), ServerConfig::default());
+        let u_id = uninterrupted.create_session(config.clone());
+        drive(&uninterrupted, u_id, &goal, usize::MAX);
+        let u_theta = uninterrupted.inferred_predicate(u_id).unwrap();
+        let u_snap = uninterrupted.snapshot(u_id).unwrap();
+
+        // Interrupted at `cut` answers — *mid-question*: the next question
+        // is asked (and left outstanding) before the snapshot, so the
+        // pending candidate must survive the restart too.
+        let before = SessionManager::new(Arc::clone(&universe), ServerConfig { shards: 3 });
+        let id = before.create_session(config.clone());
+        drive(&before, id, &goal, cut);
+        let outstanding = before.next_question(id).expect("live session");
+        let json = before.snapshot(id).unwrap().to_json_string();
+
+        let after = SessionManager::new(Arc::clone(&universe), ServerConfig { shards: 5 });
+        let snap = SessionSnapshot::from_json(&json).expect("well-formed snapshot");
+        prop_assert_eq!(snap.strategy.clone(), config);
+        prop_assert_eq!(snap.pending, outstanding.as_ref().map(|q| q.class));
+        let restored = after.restore(&snap).expect("history replays");
+        prop_assert_eq!(restored, id);
+        // The restored session re-delivers exactly the question that was
+        // in flight when the process "died".
+        let redelivered = after.next_question(id).expect("live session");
+        prop_assert_eq!(
+            redelivered.map(|q| q.class),
+            outstanding.map(|q| q.class)
+        );
+        drive(&after, id, &goal, usize::MAX);
+
+        // Indistinguishable from the uninterrupted session: same final
+        // predicate, same question/answer sequence, same count.
+        prop_assert_eq!(after.inferred_predicate(id).unwrap(), u_theta);
+        let final_snap = after.snapshot(id).unwrap();
+        prop_assert_eq!(final_snap.history, u_snap.history);
+        prop_assert!(after.is_done(id).unwrap());
+    }
+}

@@ -51,20 +51,40 @@ fn main() {
     println!("columns: {}", header.join(" | "));
     println!("label each proposed tuple: y = belongs to your join, n = does not, q = stop\n");
 
-    let universe = Universe::build(instance);
-    let mut session = Session::new(&universe, Lookahead::l2s());
+    // The owned-session API: the session co-owns the universe through an
+    // Arc (no borrow), exactly as a long-running server would hold it.
+    let universe = Arc::new(Universe::build(instance));
+    let mut session =
+        OwnedSession::with_config(Arc::clone(&universe), &StrategyConfig::Lks { depth: 2 });
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
 
-    while let Some(candidate) = session.next().expect("strategy never fails") {
+    loop {
+        let candidate = match session.next() {
+            Ok(Some(c)) => c,
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("error: could not pick the next tuple: {e}");
+                std::process::exit(1);
+            }
+        };
         let values: Vec<String> = candidate.values.iter().map(|v| v.to_string()).collect();
         print!("({})  [y/n/q] ", values.join(" | "));
         std::io::stdout().flush().expect("flush stdout");
         let answer = lines.next().and_then(Result::ok).unwrap_or_default();
-        match answer.trim() {
-            "y" | "Y" => session.answer(Label::Positive).expect("consistent"),
+        let label = match answer.trim() {
+            "y" | "Y" => Label::Positive,
             "q" | "Q" | "" => break,
-            _ => session.answer(Label::Negative).expect("consistent"),
+            _ => Label::Negative,
+        };
+        if let Err(e) = session.answer(label) {
+            // A clean stop, not a panic: with informative-only strategies
+            // this is unreachable, but custom data or future strategies
+            // deserve a real message (Algorithm 1 lines 6–7).
+            eprintln!();
+            eprintln!("error: {e}");
+            eprintln!("your answers admit no equijoin predicate — stopping early");
+            break;
         }
     }
 

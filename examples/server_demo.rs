@@ -1,0 +1,110 @@
+//! A miniature crowdsourcing backend on `jqi_server`.
+//!
+//! One shared universe (the paper's flight & hotel instance), many
+//! concurrent user sessions driven from worker threads — answers arrive
+//! class-addressed and batched, one session is "interrupted" and restored
+//! from its JSON snapshot mid-run, and every inferred predicate is printed
+//! at the end.
+//!
+//! ```text
+//! cargo run --example server_demo
+//! ```
+
+use join_query_inference::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+fn main() {
+    let instance = join_query_inference::core::paper::flight_hotel();
+    let universe = Arc::new(Universe::build(instance));
+    let manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig::default(),
+    ));
+
+    // Every "user" wants a different goal query; the service mixes
+    // strategies freely because sessions are heterogeneous.
+    let goals = join_query_inference::core::lattice::non_nullable_predicates(&universe, 10_000)
+        .expect("tiny lattice");
+    let configs = [
+        StrategyConfig::Lks { depth: 2 },
+        StrategyConfig::Bu,
+        StrategyConfig::Td,
+        StrategyConfig::Rnd { seed: 7 },
+    ];
+    let users: Vec<(u64, BitSet)> = goals
+        .iter()
+        .cycle()
+        .take(12)
+        .enumerate()
+        .map(|(i, goal)| {
+            let id = manager.create_session(configs[i % configs.len()].clone());
+            (id, goal.clone())
+        })
+        .collect();
+    println!(
+        "serving {} concurrent sessions over one universe",
+        manager.session_count()
+    );
+
+    // Worker threads drive the sessions; answers go through the
+    // class-addressed batch path, as they would from a task queue.
+    let handles: Vec<_> = users
+        .chunks(3)
+        .map(|chunk| {
+            let manager = Arc::clone(&manager);
+            let universe = Arc::clone(&universe);
+            let chunk = chunk.to_vec();
+            thread::spawn(move || {
+                for (id, goal) in chunk {
+                    while let Some(q) = manager.next_question(id).expect("live session") {
+                        let label = if goal.is_subset(universe.sig(q.class)) {
+                            Label::Positive
+                        } else {
+                            Label::Negative
+                        };
+                        manager.answer(id, q.class, label).expect("honest oracle");
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Meanwhile, "crash" the first session and bring it back from its
+    // snapshot — deterministic replay makes the restore exact.
+    let (first_id, _) = users[0];
+    let json = manager
+        .snapshot(first_id)
+        .expect("live session")
+        .to_json_string();
+    println!(
+        "snapshot of session {first_id} is {} bytes of JSON",
+        json.len()
+    );
+    let snapshot = SessionSnapshot::from_json(&json).expect("well-formed");
+    let standby = SessionManager::new(Arc::clone(&universe), ServerConfig::default());
+    standby.restore(&snapshot).expect("history replays");
+    println!(
+        "restored session {first_id} on a standby manager at {} answers",
+        standby.interactions(first_id).expect("live session")
+    );
+
+    for handle in handles {
+        handle.join().expect("no panics");
+    }
+
+    println!("\ninferred join predicates:");
+    for (id, goal) in &users {
+        let theta = manager.inferred_predicate(*id).expect("live session");
+        let interactions = manager.interactions(*id).expect("live session");
+        assert_eq!(
+            universe.instance().equijoin(&theta),
+            universe.instance().equijoin(goal),
+            "session {id} missed its goal"
+        );
+        println!(
+            "  session {id:>2}: {} after {interactions} answers",
+            universe.instance().predicate_string(&theta)
+        );
+    }
+}

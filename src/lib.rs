@@ -21,6 +21,10 @@
 //!   solver, and greedy heuristics.
 //! * [`datagen`] ([`jqi_datagen`]) — the synthetic generator of §5.2 and a
 //!   TPC-H-shaped generator standing in for `dbgen` (§5.1).
+//! * [`server`] ([`jqi_server`]) — a concurrent multi-session inference
+//!   service: a sharded thread-safe session table over one shared
+//!   universe, class-addressed batched answers, and session
+//!   snapshot/restore by deterministic replay.
 //!
 //! # Quickstart
 //!
@@ -58,19 +62,22 @@ pub use jqi_core as core;
 pub use jqi_datagen as datagen;
 pub use jqi_relation as relation;
 pub use jqi_semijoin as semijoin;
+pub use jqi_server as server;
 
 /// One-stop imports for applications embedding the inference loop.
 pub mod prelude {
     pub use jqi_core::engine::{
         run_inference, AdversarialOracle, FnOracle, Oracle, PredicateOracle, RunResult,
     };
-    pub use jqi_core::session::{Candidate, Session};
+    pub use jqi_core::session::{Candidate, OwnedSession, Session};
     pub use jqi_core::strategy::{
-        BottomUp, Lookahead, Optimal, Random, Strategy, StrategyKind, TopDown,
+        BottomUp, DynStrategy, Lookahead, Optimal, Random, Strategy, StrategyConfig, StrategyKind,
+        TopDown,
     };
     pub use jqi_core::universe::Universe;
     pub use jqi_core::{predicate_from_names, ClassState, InferenceState, Label, Sample};
     pub use jqi_relation::{BitSet, Instance, InstanceBuilder, Value};
+    pub use jqi_server::{ServerConfig, SessionManager, SessionSnapshot};
 }
 
 #[cfg(test)]

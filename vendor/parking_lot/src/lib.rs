@@ -3,13 +3,56 @@
 //! The container building this workspace has no network access, so the real
 //! crates.io `parking_lot` cannot be fetched. This shim exposes the small
 //! API surface the workspace uses (`RwLock` with non-poisoning `read` /
-//! `write`) on top of `std::sync::RwLock`. Poisoning is deliberately
-//! swallowed — matching parking_lot semantics, a panicking writer does not
-//! poison the lock for later readers.
+//! `write`, `Mutex` with non-poisoning `lock`) on top of `std::sync`.
+//! Poisoning is deliberately swallowed — matching parking_lot semantics, a
+//! panicking holder does not poison the lock for later users.
 
+use std::sync::Mutex as StdMutex;
 use std::sync::RwLock as StdRwLock;
 
-pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutual-exclusion lock with parking_lot's non-poisoning API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (the borrow checker guarantees
+    /// exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
 
 /// A reader-writer lock with parking_lot's non-poisoning API.
 #[derive(Debug, Default)]
@@ -63,6 +106,24 @@ mod tests {
         *lock.write() += 41;
         assert_eq!(*lock.read(), 42);
         assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn mutex_roundtrip_and_no_poisoning() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(1));
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 42);
+        let mut owned = Mutex::new(7);
+        *owned.get_mut() += 1;
+        assert_eq!(owned.into_inner(), 8);
     }
 
     #[test]

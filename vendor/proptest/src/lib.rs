@@ -1,8 +1,8 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build container has no crates.io access, so this shim implements the
-//! subset of proptest the workspace's property tests use: the [`Strategy`]
-//! trait with `prop_map`, integer-range / tuple / collection / array
+//! subset of proptest the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, integer-range / tuple / collection / array
 //! strategies, and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
 //! `prop_assume!` macros. Differences from upstream: no shrinking (a failing
 //! case reports its case number and message only), and the case count
