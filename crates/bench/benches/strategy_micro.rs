@@ -30,7 +30,7 @@ fn label_script(universe: &Universe) -> Vec<(usize, Label)> {
         .clone();
     let mut state = InferenceState::new(universe);
     let mut script = Vec::new();
-    while let Some(&c) = state.informative().first() {
+    while let Some(c) = state.nth_informative(0) {
         let label = if goal.is_subset(universe.sig(c)) {
             Label::Positive
         } else {
@@ -59,7 +59,7 @@ fn bench_incremental_state(c: &mut Criterion) {
                 if state.label(cl).is_none() {
                     state.apply(cl, label).expect("unlabeled");
                 }
-                black_box(state.informative().len());
+                black_box(state.informative_len());
             }
             black_box(state.uninformative_count(CountMode::Tuples))
         })
@@ -88,8 +88,8 @@ fn bench_incremental_state(c: &mut Criterion) {
     let sample = Sample::new(&universe);
     group.bench_function("incremental_gains", |b| {
         b.iter(|| {
-            // Fresh state each iteration so the version-stamped cache
-            // cannot amortize across iterations.
+            // Fresh state each iteration, matching the from-scratch
+            // baseline's working set.
             let fresh = state.clone();
             black_box(fresh.entropies(CountMode::Tuples).len())
         })

@@ -1,0 +1,216 @@
+//! CI regression guard over the bench JSON reports.
+//!
+//! ```text
+//! bench_guard --kind server|scaling --fresh PATH --baseline PATH [--factor F]
+//! ```
+//!
+//! Compares a freshly generated (tiny, CI-sized) bench report against the
+//! committed baseline under `ci/` and exits nonzero when a guarded metric
+//! regressed by more than `--factor` (default 3 — CI runners vary wildly,
+//! so the guard only catches order-of-magnitude regressions, not noise):
+//!
+//! * `--kind server` — the interactive phase's per-answer `mean_us`, the
+//!   batch phase's `mean_us`, and per-session derived-state bytes
+//!   (`state_bytes_per_session`, a hard factor on memory, not latency).
+//! * `--kind scaling` — per dataset point matched **by name**,
+//!   `build_speedup` must not shrink below `baseline / factor` and
+//!   `l1s_first_step_ms` / `l3s_first_step_ms` must not exceed
+//!   `baseline · factor`. Points present on only one side are skipped
+//!   (sweeps may grow), but zero matched points is an error.
+
+use jqi_server::json::Json;
+use std::process::ExitCode;
+
+struct Args {
+    kind: String,
+    fresh: String,
+    baseline: String,
+    factor: f64,
+}
+
+const USAGE: &str =
+    "usage: bench_guard --kind server|scaling --fresh PATH --baseline PATH [--factor F]";
+
+fn parse_args() -> Result<Args, String> {
+    let (mut kind, mut fresh, mut baseline) = (None, None, None);
+    let mut factor = 3.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--kind" => kind = Some(value("--kind")?),
+            "--fresh" => fresh = Some(value("--fresh")?),
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--factor" => {
+                factor = value("--factor")?
+                    .parse()
+                    .map_err(|e| format!("bad --factor: {e}"))?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args {
+        kind: kind.ok_or("--kind is required")?,
+        fresh: fresh.ok_or("--fresh is required")?,
+        baseline: baseline.ok_or("--baseline is required")?,
+        factor,
+    })
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Collects guard violations instead of failing fast, so one CI run shows
+/// every regressed metric.
+struct Guard {
+    factor: f64,
+    violations: Vec<String>,
+    checked: usize,
+}
+
+impl Guard {
+    fn new(factor: f64) -> Guard {
+        Guard {
+            factor,
+            violations: Vec::new(),
+            checked: 0,
+        }
+    }
+
+    /// `fresh` must not exceed `baseline · factor` (latency-style metric).
+    fn at_most(&mut self, what: &str, fresh: f64, baseline: f64) {
+        self.checked += 1;
+        if fresh > baseline * self.factor {
+            self.violations.push(format!(
+                "{what}: {fresh:.3} exceeds {:.3} ({baseline:.3} × {})",
+                baseline * self.factor,
+                self.factor
+            ));
+        }
+    }
+
+    /// `fresh` must not fall below `baseline / factor` (speedup metric).
+    fn at_least(&mut self, what: &str, fresh: f64, baseline: f64) {
+        self.checked += 1;
+        if fresh < baseline / self.factor {
+            self.violations.push(format!(
+                "{what}: {fresh:.3} falls below {:.3} ({baseline:.3} / {})",
+                baseline / self.factor,
+                self.factor
+            ));
+        }
+    }
+}
+
+fn num(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_num()
+}
+
+fn phase<'j>(doc: &'j Json, name: &str) -> Option<&'j Json> {
+    doc.get("phases")?
+        .as_arr()?
+        .iter()
+        .find(|p| p.get("phase").and_then(Json::as_str) == Some(name))
+}
+
+fn guard_server(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(), String> {
+    for name in ["interactive", "batch"] {
+        let f = phase(fresh, name)
+            .and_then(|p| num(p, &["latency", "mean_us"]))
+            .ok_or(format!("fresh report lacks {name} mean_us"))?;
+        let b = phase(baseline, name)
+            .and_then(|p| num(p, &["latency", "mean_us"]))
+            .ok_or(format!("baseline lacks {name} mean_us"))?;
+        guard.at_most(&format!("{name} mean_us"), f, b);
+    }
+    let f = num(fresh, &["session_memory", "state_bytes_per_session"])
+        .ok_or("fresh report lacks state_bytes_per_session")?;
+    let b = num(baseline, &["session_memory", "state_bytes_per_session"])
+        .ok_or("baseline lacks state_bytes_per_session")?;
+    // Memory is machine-independent: a tight factor would also be fine,
+    // but share the guard's knob for simplicity.
+    guard.at_most("state_bytes_per_session", f, b);
+    Ok(())
+}
+
+fn guard_scaling(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(), String> {
+    let points = |doc: &Json| -> Option<Vec<Json>> {
+        doc.get("points")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+    };
+    let fresh_points = points(fresh).ok_or("fresh report lacks points")?;
+    let baseline_points = points(baseline).ok_or("baseline lacks points")?;
+    let mut matched = 0usize;
+    for fp in &fresh_points {
+        let Some(name) = fp.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(bp) = baseline_points
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        matched += 1;
+        if let (Some(f), Some(b)) = (num(fp, &["build_speedup"]), num(bp, &["build_speedup"])) {
+            guard.at_least(&format!("{name}: build_speedup"), f, b);
+        }
+        for metric in ["l1s_first_step_ms", "l3s_first_step_ms"] {
+            if let (Some(f), Some(b)) = (num(fp, &[metric]), num(bp, &[metric])) {
+                guard.at_most(&format!("{name}: {metric}"), f, b);
+            }
+        }
+    }
+    if matched == 0 {
+        return Err("no dataset points matched between fresh and baseline".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = || -> Result<Guard, String> {
+        let fresh = load(&args.fresh)?;
+        let baseline = load(&args.baseline)?;
+        let mut guard = Guard::new(args.factor);
+        match args.kind.as_str() {
+            "server" => guard_server(&mut guard, &fresh, &baseline)?,
+            "scaling" => guard_scaling(&mut guard, &fresh, &baseline)?,
+            other => return Err(format!("unknown --kind {other:?}")),
+        }
+        Ok(guard)
+    };
+    match run() {
+        Ok(guard) if guard.violations.is_empty() => {
+            println!(
+                "bench_guard: {} {} metrics within {}x of baseline",
+                guard.checked, args.kind, args.factor
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(guard) => {
+            eprintln!("bench_guard: {} regression(s):", guard.violations.len());
+            for v in &guard.violations {
+                eprintln!("  {v}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench_guard: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

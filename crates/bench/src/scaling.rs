@@ -79,6 +79,14 @@ pub struct ScalingPoint {
     pub l1s_first_step_ms: Option<f64>,
     /// First-question latency of L3S on the fresh session, milliseconds.
     pub l3s_first_step_ms: Option<f64>,
+    /// Resident bytes of one fresh session's derived inference state over
+    /// this universe (`InferenceState::state_bytes`) — the per-session
+    /// footprint a server pays at this scale.
+    pub state_bytes: usize,
+    /// Resident bytes of the shared containment closure
+    /// (`ClassClosure::resident_bytes`) — paid once per universe,
+    /// amortized over every session.
+    pub closure_bytes: usize,
 }
 
 /// The full sweep result.
@@ -105,14 +113,29 @@ pub fn measure_instance(
     let rows_p = instance.p().len();
     let product_tuples = instance.product_size();
 
-    let start = Instant::now();
-    let universe = Universe::build(instance.clone());
-    let build_dedup_ms = ms(start);
+    // Sub-millisecond builds are dominated by one-shot process noise
+    // (allocator warm-up, page faults): take the best of a few runs for
+    // small products so the reported time — and the CI regression guard
+    // riding on `build_speedup` — is stable. Large builds are long enough
+    // to be stable single-shot.
+    let runs = if product_tuples <= 100_000 { 3 } else { 1 };
+    let timed_best = |build: &dyn Fn() -> Universe| -> (f64, Universe) {
+        let mut best: Option<(f64, Universe)> = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let u = build();
+            let elapsed = ms(start);
+            if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+                best = Some((elapsed, u));
+            }
+        }
+        best.expect("at least one run")
+    };
+    let (build_dedup_ms, universe) = timed_best(&|| Universe::build(instance.clone()));
 
     let build_rowpair_ms = (product_tuples <= params.reference_cap).then(|| {
-        let start = Instant::now();
-        let reference = Universe::build_rowpair_reference(instance);
-        let elapsed = ms(start);
+        let (elapsed, reference) =
+            timed_best(&|| Universe::build_rowpair_reference(instance.clone()));
         assert_eq!(
             reference.total_tuples(),
             universe.total_tuples(),
@@ -141,6 +164,8 @@ pub fn measure_instance(
     };
     let l1s_first_step_ms = first_step(1, params.l1s_class_cap);
     let l3s_first_step_ms = first_step(3, params.l3s_class_cap);
+    let state_bytes = InferenceState::new(&universe).state_bytes();
+    let closure_bytes = universe.closure().resident_bytes();
 
     ScalingPoint {
         name,
@@ -156,6 +181,8 @@ pub fn measure_instance(
         build_speedup,
         l1s_first_step_ms,
         l3s_first_step_ms,
+        state_bytes,
+        closure_bytes,
     }
 }
 
@@ -216,7 +243,7 @@ impl ScalingReport {
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<44} {:>12} {:>9} {:>8} {:>12} {:>12} {:>9} {:>10} {:>10}\n",
+            "{:<44} {:>12} {:>9} {:>8} {:>12} {:>12} {:>9} {:>10} {:>10} {:>9}\n",
             "dataset",
             "product",
             "profiles",
@@ -225,12 +252,13 @@ impl ScalingReport {
             "rowpair(ms)",
             "speedup",
             "L1S(ms)",
-            "L3S(ms)"
+            "L3S(ms)",
+            "state(B)"
         ));
         let opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
         for p in &self.points {
             out.push_str(&format!(
-                "{:<44} {:>12} {:>9} {:>8} {:>12.3} {:>12} {:>9} {:>10} {:>10}\n",
+                "{:<44} {:>12} {:>9} {:>8} {:>12.3} {:>12} {:>9} {:>10} {:>10} {:>9}\n",
                 p.name,
                 p.product_tuples,
                 format!("{}·{}", p.distinct_r_profiles, p.distinct_p_profiles),
@@ -241,6 +269,7 @@ impl ScalingReport {
                     .map_or("-".to_string(), |s| format!("{s:.1}x")),
                 opt(p.l1s_first_step_ms),
                 opt(p.l3s_first_step_ms),
+                p.state_bytes,
             ));
         }
         out
@@ -273,6 +302,8 @@ impl ToJson for ScalingPoint {
             ("build_speedup".into(), opt(self.build_speedup)),
             ("l1s_first_step_ms".into(), opt(self.l1s_first_step_ms)),
             ("l3s_first_step_ms".into(), opt(self.l3s_first_step_ms)),
+            ("state_bytes".into(), Json::num(self.state_bytes as f64)),
+            ("closure_bytes".into(), Json::num(self.closure_bytes as f64)),
         ])
     }
 }
@@ -311,6 +342,8 @@ mod tests {
         assert!(synthetic.build_rowpair_ms.is_some());
         assert!(synthetic.build_speedup.is_some());
         assert!(synthetic.l1s_first_step_ms.is_some());
+        assert!(synthetic.state_bytes > 0);
+        assert!(synthetic.closure_bytes > 0);
         let tpch = &report.points[1];
         assert_eq!(tpch.kind, "tpch");
         assert!(tpch.product_tuples > 0);
@@ -326,5 +359,6 @@ mod tests {
         assert!(json.contains("\"bench\": \"scaling\""));
         assert!(json.contains("\"points\""));
         assert!(json.contains("\"build_speedup\""));
+        assert!(json.contains("\"state_bytes\""));
     }
 }

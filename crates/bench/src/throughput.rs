@@ -11,12 +11,19 @@
 //!    question-by-question to completion; the per-answer latency
 //!    distribution covers the full service path (shard lookup, session
 //!    lock, incremental state update, next-question strategy work).
+//!    Afterwards the manager's [`SessionManager::stats`] are sampled, so
+//!    the report carries the resident per-session memory (mask-compressed
+//!    derived state + history log) and footprint regressions are visible.
 //! 2. **batch** — fresh sessions fed their entire recorded label history
 //!    through one `answer_batch` call each, the crowdsourcing arrival
 //!    shape; latency is per batch, with the per-answer cost derived.
 //! 3. **snapshot** — every session snapshotted to JSON, restored into a
 //!    fresh manager, and verified to produce the same predicate; latency
 //!    is per round-trip.
+//! 4. **restore** — the restore half alone (deterministic replay through
+//!    `apply_batch` mask ops, no JSON), bucketed by history length in the
+//!    report's `restore_vs_history` array so replay cost can be read as a
+//!    function of the session's age.
 //!
 //! The `throughput` binary renders a table and writes `BENCH_server.json`
 //! at the repo root; see the README for the schema.
@@ -25,7 +32,8 @@ use crate::json::{Json, ToJson};
 use jqi_core::paper::flight_hotel;
 use jqi_core::{ClassId, Label, StrategyConfig, Universe};
 use jqi_relation::BitSet;
-use jqi_server::{ServerConfig, SessionManager, SessionSnapshot};
+use jqi_server::{ManagerStats, ServerConfig, SessionManager, SessionSnapshot};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -141,6 +149,27 @@ impl ToJson for PhaseReport {
     }
 }
 
+/// Restore latency bucketed by how many answers the snapshot carries.
+#[derive(Debug, Clone)]
+pub struct RestoreByHistory {
+    /// Number of answers in the replayed history.
+    pub history_len: usize,
+    /// Sessions restored with this history length.
+    pub count: usize,
+    /// Mean restore latency for the bucket, µs.
+    pub mean_us: f64,
+}
+
+impl ToJson for RestoreByHistory {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("history_len".into(), Json::num(self.history_len as f64)),
+            ("count".into(), Json::num(self.count as f64)),
+            ("mean_us".into(), Json::Num(self.mean_us)),
+        ])
+    }
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -152,6 +181,12 @@ pub struct ThroughputReport {
     pub total_answers: usize,
     /// The measured phases.
     pub phases: Vec<PhaseReport>,
+    /// Per-session resident memory, sampled after the interactive phase
+    /// while all sessions are live and fully answered.
+    pub session_memory: ManagerStats,
+    /// Restore latency as a function of history length (the `restore`
+    /// phase, bucketed).
+    pub restore_vs_history: Vec<RestoreByHistory>,
 }
 
 impl ToJson for ThroughputReport {
@@ -171,7 +206,32 @@ impl ToJson for ThroughputReport {
             ("shards".into(), Json::num(self.params.shards as f64)),
             ("seed".into(), Json::num(self.params.seed as f64)),
             ("total_answers".into(), Json::num(self.total_answers as f64)),
+            (
+                "session_memory".into(),
+                Json::Obj(vec![
+                    (
+                        "sessions".into(),
+                        Json::num(self.session_memory.sessions as f64),
+                    ),
+                    (
+                        "state_bytes_total".into(),
+                        Json::num(self.session_memory.state_bytes as f64),
+                    ),
+                    (
+                        "state_bytes_per_session".into(),
+                        Json::Num(self.session_memory.state_bytes_per_session()),
+                    ),
+                    (
+                        "history_bytes_total".into(),
+                        Json::num(self.session_memory.history_bytes as f64),
+                    ),
+                ]),
+            ),
             ("phases".into(), Json::arr(&self.phases)),
+            (
+                "restore_vs_history".into(),
+                Json::arr(&self.restore_vs_history),
+            ),
         ])
     }
 }
@@ -188,6 +248,13 @@ impl ThroughputReport {
             self.params.sessions_per_thread,
             self.params.shards,
             self.total_answers,
+        );
+        let _ = writeln!(
+            out,
+            "session memory: {:.0} B derived state/session ({} B total), {} B history total",
+            self.session_memory.state_bytes_per_session(),
+            self.session_memory.state_bytes,
+            self.session_memory.history_bytes,
         );
         let _ = writeln!(
             out,
@@ -331,6 +398,8 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         ops_per_sec: total_answers as f64 / interactive_elapsed,
         latency: LatencySummary::of(all),
     };
+    // Resident footprint while every session is live and fully answered.
+    let session_memory = manager.stats();
 
     // Phase 2: the same answer streams folded in as one batch per fresh
     // session (the crowdsourcing arrival shape).
@@ -420,11 +489,70 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         latency: LatencySummary::of(snap_lat),
     };
 
+    // Phase 4: the restore half alone — deterministic replay folded through
+    // `apply_batch` mask ops, no JSON on the path — bucketed by history
+    // length so replay cost reads as a function of session age.
+    let snapshots: Vec<_> = ids
+        .iter()
+        .map(|&id| manager.snapshot(id).expect("live session"))
+        .collect();
+    let replay_manager = Arc::new(SessionManager::new(
+        Arc::clone(&universe),
+        ServerConfig {
+            shards: params.shards,
+        },
+    ));
+    let phase_start = Instant::now();
+    let mut restore_lat: Vec<(usize, u64)> = Vec::with_capacity(snapshots.len());
+    std::thread::scope(|scope| {
+        let chunks = snapshots.chunks(params.sessions_per_thread.max(1));
+        let handles: Vec<_> = chunks
+            .map(|chunk| {
+                let manager = Arc::clone(&replay_manager);
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(chunk.len());
+                    for snap in chunk {
+                        let t0 = Instant::now();
+                        manager.restore(snap).expect("replays");
+                        lat.push((snap.history.len(), t0.elapsed().as_nanos() as u64));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for handle in handles {
+            restore_lat.extend(handle.join().expect("no panics"));
+        }
+    });
+    let restore_elapsed = phase_start.elapsed().as_secs_f64();
+    let mut buckets: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
+    for &(len, ns) in &restore_lat {
+        let e = buckets.entry(len).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += ns;
+    }
+    let restore_vs_history = buckets
+        .into_iter()
+        .map(|(history_len, (count, total_ns))| RestoreByHistory {
+            history_len,
+            count,
+            mean_us: total_ns as f64 / count as f64 / 1000.0,
+        })
+        .collect();
+    let restore = PhaseReport {
+        name: "restore",
+        elapsed_s: restore_elapsed,
+        ops_per_sec: restore_lat.len() as f64 / restore_elapsed,
+        latency: LatencySummary::of(restore_lat.into_iter().map(|(_, ns)| ns).collect()),
+    };
+
     ThroughputReport {
         params,
         concurrent_sessions: total_sessions,
         total_answers,
-        phases: vec![interactive, batch, snapshot],
+        phases: vec![interactive, batch, snapshot, restore],
+        session_memory,
+        restore_vs_history,
     }
 }
 
@@ -436,13 +564,29 @@ mod tests {
     fn tiny_run_reports_all_phases() {
         let report = run(true, ThroughputParams::default());
         assert_eq!(report.concurrent_sessions, 16);
-        assert_eq!(report.phases.len(), 3);
+        assert_eq!(report.phases.len(), 4);
         assert!(report.total_answers >= report.concurrent_sessions);
         for phase in &report.phases {
             assert!(phase.latency.count > 0);
             assert!(phase.latency.p50_us <= phase.latency.p95_us);
             assert!(phase.latency.p95_us <= phase.latency.max_us);
         }
+        // Per-session memory was sampled while all sessions were live.
+        assert_eq!(report.session_memory.sessions, 16);
+        assert!(report.session_memory.state_bytes > 0);
+        assert!(
+            report.session_memory.state_bytes_per_session() <= 200.0,
+            "session state ballooned: {} B/session",
+            report.session_memory.state_bytes_per_session()
+        );
+        // Restore latencies are bucketed by history length and cover every
+        // session.
+        let restored: usize = report.restore_vs_history.iter().map(|b| b.count).sum();
+        assert_eq!(restored, report.concurrent_sessions);
+        assert!(report
+            .restore_vs_history
+            .windows(2)
+            .all(|w| w[0].history_len < w[1].history_len));
         // The JSON report carries the acceptance-relevant fields.
         let json = report.to_json().to_string_pretty();
         for needle in [
@@ -451,7 +595,11 @@ mod tests {
             "interactive",
             "batch",
             "snapshot",
+            "restore",
             "p95_us",
+            "session_memory",
+            "state_bytes_per_session",
+            "restore_vs_history",
         ] {
             assert!(json.contains(needle), "missing {needle} in report");
         }

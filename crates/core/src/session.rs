@@ -15,10 +15,11 @@
 //! let universe = Universe::build(flight_hotel());
 //! let mut session = Session::new(&universe, TopDown::new());
 //! while let Some(candidate) = session.next().unwrap() {
-//!     // Show `candidate.values` to the user; here: accept flights into the
-//!     // hotel's city with a matching discount airline (query Q2).
-//!     let keep = candidate.values[1] == candidate.values[3]
-//!         && candidate.values[2] == candidate.values[4];
+//!     // Show `candidate.values(&universe)` to the user; here: accept
+//!     // flights into the hotel's city with a matching discount airline
+//!     // (query Q2).
+//!     let values = candidate.values(&universe);
+//!     let keep = values[1] == values[3] && values[2] == values[4];
 //!     session
 //!         .answer(if keep { Label::Positive } else { Label::Negative })
 //!         .unwrap();
@@ -37,14 +38,27 @@ use jqi_relation::{BitSet, Value};
 use std::sync::Arc;
 
 /// A tuple presented to the user for labeling.
-#[derive(Debug, Clone)]
+///
+/// Carries only the class and representative indices; the displayable
+/// attribute values are resolved on demand via [`Candidate::values`], so
+/// the question hot path (a server asking thousands of questions per
+/// second, most of them answered by class id) never allocates or resolves
+/// symbols it does not show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Candidate {
     /// The T-equivalence class being asked about.
     pub class: ClassId,
     /// The representative `(ri, pi)` product tuple shown to the user.
     pub tuple: (usize, usize),
-    /// The concatenated attribute values of the representative tuple.
-    pub values: Vec<Value>,
+}
+
+impl Candidate {
+    /// The concatenated attribute values of the representative tuple —
+    /// what a UI renders next to the question.
+    pub fn values(&self, universe: &Universe) -> Vec<Value> {
+        let (ri, pi) = self.tuple;
+        universe.instance().product_tuple_values(ri, pi)
+    }
 }
 
 /// An in-progress interactive inference run.
@@ -105,12 +119,10 @@ impl<'u, S: Strategy> Session<'u, S> {
     }
 
     fn candidate(&self, c: ClassId) -> Candidate {
-        let universe = self.state.universe();
-        let (ri, pi) = universe.representative(c);
+        let (ri, pi) = self.state.universe().representative(c);
         Candidate {
             class: c,
             tuple: (ri, pi),
-            values: universe.instance().product_tuple_values(ri, pi),
         }
     }
 
@@ -183,6 +195,14 @@ impl<'u, S: Strategy> Session<'u, S> {
     /// class partition, entropies, and counts.
     pub fn state(&self) -> &InferenceState<'u> {
         &self.state
+    }
+
+    /// Resident heap bytes of the session's derived inference state (see
+    /// [`InferenceState::state_bytes`]) — what a session table's footprint
+    /// accounting sums per live session. Excludes the shared universe and
+    /// the label history.
+    pub fn state_bytes(&self) -> usize {
+        self.state.state_bytes()
     }
 
     /// The current sample, reconstructed in the from-scratch representation
@@ -326,7 +346,7 @@ mod tests {
         let cand = session.next().unwrap().unwrap();
         // BU first asks about (t3,t1') = (2,2, 1,1,0).
         assert_eq!(cand.tuple, (2, 0));
-        assert_eq!(cand.values.len(), 5);
+        assert_eq!(cand.values(&u).len(), 5);
         session.answer(Label::Negative).unwrap();
         assert_eq!(session.interactions(), 1);
     }

@@ -1,54 +1,63 @@
-//! The incremental inference core: [`InferenceState`].
+//! The incremental inference core: [`InferenceState`], now mask-compressed.
 //!
 //! Before this module existed, every strategy re-derived the consequences
 //! of the current sample from scratch on each `next` call: consistency, the
 //! certain/uninformative classification of every T-equivalence class
 //! (Lemmas 3.3–3.4), the uninformative-tuple counts behind entropy (§4.4) —
-//! all full scans over Ω. Per interaction step that is `O(|classes| · |S⁻|)`
-//! bitset work *per candidate considered*, and the scans were repeated by
-//! every strategy, the session halt test, and the engine.
+//! all full scans over Ω. A first rewrite made the state incremental
+//! (`O(affected classes)` per label), but it still carried a per-class
+//! status vector, a materialized informative list and a per-class entropy
+//! cache, and every certainty or gain query walked signatures word by word.
 //!
-//! `InferenceState` instead owns the derived quantities of a session and
-//! updates them in **O(affected classes)** when a label arrives:
+//! This version compresses the whole derived state into **class-index
+//! bitmasks** over ≤ `|classes|` bits, backed by the containment closure
+//! the shared [`Universe`] precomputes once ([`crate::universe::ClassClosure`]):
 //!
-//! * the consistent-predicate interval `[θ_certain, θ_possible]`
-//!   (see [`InferenceState::theta_possible`] /
-//!   [`InferenceState::theta_certain`]) as bitsets,
-//! * the partition of classes into labeled / certain-positive /
-//!   certain-negative / informative ([`ClassState`]), with the informative
-//!   set materialized in ascending class order,
-//! * the weighted uninformative counts for both [`CountMode`]s,
-//! * a version-stamped per-class entropy cache (the dirty-set: entries
-//!   whose stamp lags the state version are stale and recomputed on
-//!   demand).
+//! * the labeled / certain-positive / certain-negative / informative
+//!   partition is five masks of `⌈|classes|/64⌉` words each;
+//! * applying a label is a handful of word-ORs: the classes a negative
+//!   example renders certain are `open ∧ down(c)` (one AND per word), and a
+//!   positive's reclassification intersects/unions the closure's per-Ω-bit
+//!   member masks over the bits of the shrunken `T(S⁺)`;
+//! * the gain pair `(u⁺, u⁻)` of §4.4 is a popcount/weight-fold over
+//!   `up(c)/down(c) ∧ open` — no per-candidate walk of the informative set;
+//! * lookahead speculation copies a few machine words instead of cloning
+//!   vectors, so the branch-and-bound recursion's per-node cost is the
+//!   word-OR apply itself.
 //!
-//! The incremental update is sound because certainty is **monotone** for
-//! consistent samples: `T(S⁺)` only shrinks as positives arrive (so
-//! Lemma 3.3's `T(S⁺) ⊆ T(t)` and Lemma 3.4's
-//! `∃t′ ∈ S⁻. T(S⁺) ∩ T(t) ⊆ T(t′)` can only flip from false to true), and
-//! negatives only add witnesses to the Lemma 3.4 existential. Hence a label
-//! can move classes *out of* the informative set but never back in, and the
-//! update only has to rescan the current informative set — which shrinks as
-//! the session progresses — rather than all of Ω:
+//! # Why the masks stay exact below Ω
 //!
-//! * negative label on `c`: `θ_possible` is unchanged, and the only new
-//!   certain-negative witness is `T(c)` itself — one subset test per
-//!   informative class;
-//! * positive label on `c`: `θ_possible` shrinks to `θ_possible ∩ T(c)`,
-//!   and each informative class is re-tested against the new interval
-//!   (`O(|S⁻|)` witness tests worst case, with `|S⁻|` bounded by the number
-//!   of user answers, not by Ω).
+//! The static closure masks describe containment of *full* signatures,
+//! which coincides with the lemmas' tests only while `T(S⁺) = Ω`. Once a
+//! positive example shrinks the interval, every test involves the projected
+//! signature `T(t) ∩ T(S⁺)` — and projections can create containments the
+//! static order does not have. The closure therefore also stores, per Ω-bit
+//! `b`, the mask `members(b)` of classes whose signature has `b`; the exact
+//! projected down-set of any bound `X` is then one union–complement,
 //!
-//! The from-scratch implementations in [`crate::certain`] and
-//! [`crate::entropy`] are kept as executable specifications;
-//! `tests/properties.rs` asserts state/spec equivalence after arbitrary
-//! label sequences.
+//! ```text
+//! {t : T(t) ∩ T(S⁺) ⊆ X}  =  ¬ ⋃_{b ∈ T(S⁺) ∖ X} members(b),
+//! ```
+//!
+//! costing `O(|T(S⁺)|)` word-ORs — and `|T(S⁺)|` only shrinks as positives
+//! arrive, so the dynamic path gets *cheaper* exactly when the static fast
+//! path stops applying. Equivalence with the from-scratch specs in
+//! [`crate::certain`] / [`crate::entropy`] after arbitrary label sequences
+//! (including multi-word Ω and multi-word class masks) is enforced by
+//! `tests/properties.rs`.
+//!
+//! The incremental update remains sound because certainty is **monotone**
+//! for consistent samples: `T(S⁺)` only shrinks, so Lemma 3.3's
+//! `T(S⁺) ⊆ T(t)` and Lemma 3.4's existential can only flip from false to
+//! true, and a label moves classes *out of* the informative mask but never
+//! back in.
 
 use crate::certain::CountMode;
 use crate::entropy::Entropy;
 use crate::error::{InferenceError, Result};
 use crate::sample::{Label, Sample};
-use crate::universe::{ClassId, Universe};
+use crate::universe::{ClassClosure, ClassId, Universe};
+use jqi_relation::bitset::{count_and, nth_set_bit, word_count, WORD_BITS};
 use jqi_relation::BitSet;
 use std::cell::RefCell;
 use std::ops::Deref;
@@ -132,39 +141,102 @@ impl ClassState {
     }
 }
 
-/// Version-stamped entropy cache (the dirty-set): `stamps[c] == version`
-/// means `values[c]` is current for `mode`. Values are the raw
-/// `(u⁺, u⁻)` gain pairs, not the normalized [`Entropy`], so the lookahead
-/// recursion can also read the per-label attribution
-/// ([`InferenceState::gain_pair`]) without recomputing.
-#[derive(Debug, Clone)]
-struct EntropyCache {
-    mode: CountMode,
-    stamps: Vec<u64>,
-    values: Vec<(u64, u64)>,
+/// Reusable word buffers for the mask computations, so the hot paths
+/// (gains, per-label reclassification) never allocate. `a`/`b` are
+/// class-mask sized, `tp` is Ω-sized. Contents are meaningless between
+/// calls.
+#[derive(Debug, Clone, Default)]
+struct MaskScratch {
+    a: Vec<u64>,
+    b: Vec<u64>,
+    tp: Vec<u64>,
 }
 
-impl EntropyCache {
-    fn new(classes: usize) -> Self {
-        EntropyCache {
-            mode: CountMode::Tuples,
-            // Version 0 is never a valid stamp: the state starts at 1.
-            stamps: vec![0; classes],
-            values: vec![(0, 0); classes],
+/// Below this many informative classes, [`InferenceState::gain_pair`] takes
+/// the fused direct scan instead of assembling closure masks: the scan is
+/// `O(open · |S⁻|)` single-word tests, which beats `O(|θ|)` member-mask ORs
+/// once the open set is small — the tail of every session and most
+/// speculated lookahead nodes.
+const DIRECT_SCAN_OPEN_CAP: u32 = 24;
+
+/// `f` holds for every word triple of three equal-length slices.
+#[inline]
+fn zip3_all(a: &[u64], b: &[u64], c: &[u64], f: impl Fn(u64, u64, u64) -> bool) -> bool {
+    a.iter().zip(b).zip(c).all(|((&x, &y), &z)| f(x, y, z))
+}
+
+/// Calls `f` with every set position of `a ∧ ¬b` (missing `b` words = 0).
+#[inline]
+fn for_bits_diff(a: &[u64], b: &[u64], mut f: impl FnMut(usize)) {
+    for (i, &x) in a.iter().enumerate() {
+        let mut w = x & !b.get(i).copied().unwrap_or(0);
+        while w != 0 {
+            f(i * WORD_BITS + w.trailing_zeros() as usize);
+            w &= w - 1;
         }
     }
 }
 
-/// The incrementally maintained derived state of one inference session.
+/// Sum of `counts` over the set bits of `a ∧ b`.
+#[inline]
+fn weight_and(a: &[u64], b: &[u64], counts: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let mut w = x & y;
+        while w != 0 {
+            total += counts[i * WORD_BITS + w.trailing_zeros() as usize];
+            w &= w - 1;
+        }
+    }
+    total
+}
+
+/// Moves `take ∧ open` out of the informative mask into `into`, returning
+/// the retired `(tuple_weight, class_count)`. A free function so callers
+/// can hold closure/scratch borrows across the call (field-level split
+/// borrows).
+fn retire_words(open: &mut BitSet, into: &mut BitSet, take: &[u64], counts: &[u64]) -> (u64, u64) {
+    let (mut dt, mut dc) = (0u64, 0u64);
+    for (i, ((o, t), &v)) in open
+        .words_mut()
+        .iter_mut()
+        .zip(into.words_mut())
+        .zip(take)
+        .enumerate()
+    {
+        let mut w = *o & v;
+        if w == 0 {
+            continue;
+        }
+        *t |= w;
+        *o &= !w;
+        dc += w.count_ones() as u64;
+        while w != 0 {
+            dt += counts[i * WORD_BITS + w.trailing_zeros() as usize];
+            w &= w - 1;
+        }
+    }
+    (dt, dc)
+}
+
+/// The incrementally maintained, mask-compressed derived state of one
+/// inference session.
 ///
-/// See the module docs for the maintenance invariants. Cloning is `O(|N|)`
-/// (plus one Ω-width bitset), which is what the lookahead recursion and the
-/// minimax strategy use to explore hypothetical labelings without paying
-/// for from-scratch re-derivation in each node.
+/// See the module docs for the representation and maintenance invariants.
+/// Cloning copies a few machine words per 64 classes (plus the label
+/// bookkeeping), which is what the lookahead recursion and the minimax
+/// strategy build their speculation on. [`InferenceState::state_bytes`]
+/// reports the resident footprint.
 #[derive(Debug, Clone)]
 pub struct InferenceState<'u> {
     universe: UniverseHandle<'u>,
-    status: Vec<ClassState>,
+    /// Unlabeled, not certain — the candidate mask every strategy draws
+    /// from. Always the complement of the other four masks.
+    open: BitSet,
+    labeled_pos: BitSet,
+    labeled_neg: BitSet,
+    cert_pos: BitSet,
+    cert_neg: BitSet,
     /// Positive / negative classes, in labeling order.
     pos: Vec<ClassId>,
     neg: Vec<ClassId>,
@@ -172,21 +244,23 @@ pub struct InferenceState<'u> {
     history: Vec<(ClassId, Label)>,
     /// `θ_possible = T(S⁺)`: every consistent predicate is ⊆ it.
     theta_possible: BitSet,
+    /// Whether `θ_possible` still equals Ω — the static-closure fast path.
+    theta_is_omega: bool,
     /// Lazily computed `θ_certain` (stamp, value): pairs contained in every
     /// consistent predicate. Computed on first read per version, so the
     /// speculation-heavy paths (minimax, depth-k lookahead) never pay for
     /// it.
     theta_certain: RefCell<(u64, BitSet)>,
-    /// Informative classes, ascending. The strategies' candidate set.
-    informative: Vec<ClassId>,
+    /// Popcount of `open`, maintained across updates.
+    open_count: u32,
     /// Weighted uninformative counts (see
     /// [`crate::certain::uninformative_count`]), one per [`CountMode`].
     uninf_tuples: u64,
     uninf_classes: u64,
     consistent: bool,
-    /// Bumped on every applied label; stamps the entropy cache.
+    /// Bumped on every applied label; stamps the θ_certain cache.
     version: u64,
-    entropy_cache: RefCell<EntropyCache>,
+    scratch: RefCell<MaskScratch>,
 }
 
 impl<'u> InferenceState<'u> {
@@ -211,35 +285,46 @@ impl<'u> InferenceState<'u> {
     fn from_handle(universe: UniverseHandle<'u>) -> Self {
         let classes = universe.num_classes();
         let omega_len = universe.omega_len();
-        let mut status = Vec::with_capacity(classes);
-        let mut informative = Vec::new();
+        let mask_words = word_count(classes);
+        let mut open = BitSet::empty(classes);
+        let mut cert_pos = BitSet::empty(classes);
+        let mut open_count = 0u32;
         let mut uninf_tuples = 0u64;
         let mut uninf_classes = 0u64;
         for c in 0..classes {
             if universe.sig_size(c) == omega_len {
-                status.push(ClassState::CertainPositive);
+                cert_pos.insert(c);
                 uninf_tuples += universe.count(c);
                 uninf_classes += 1;
             } else {
-                status.push(ClassState::Informative);
-                informative.push(c);
+                open.insert(c);
+                open_count += 1;
             }
         }
         let theta_possible = universe.omega();
         InferenceState {
-            theta_certain: RefCell::new((1, BitSet::empty(universe.omega_len()))),
+            theta_certain: RefCell::new((1, BitSet::empty(omega_len))),
+            scratch: RefCell::new(MaskScratch {
+                a: vec![0; mask_words],
+                b: vec![0; mask_words],
+                tp: vec![0; word_count(omega_len)],
+            }),
             universe,
-            status,
+            open,
+            labeled_pos: BitSet::empty(classes),
+            labeled_neg: BitSet::empty(classes),
+            cert_pos,
+            cert_neg: BitSet::empty(classes),
             pos: Vec::new(),
             neg: Vec::new(),
             history: Vec::new(),
             theta_possible,
-            informative,
+            theta_is_omega: true,
+            open_count,
             uninf_tuples,
             uninf_classes,
             consistent: true,
             version: 1,
-            entropy_cache: RefCell::new(EntropyCache::new(classes)),
         }
     }
 
@@ -261,7 +346,7 @@ impl<'u> InferenceState<'u> {
     /// Number of T-equivalence classes.
     #[inline]
     pub fn num_classes(&self) -> usize {
-        self.status.len()
+        self.open.capacity()
     }
 
     /// Number of labeled examples (`|S|`).
@@ -279,26 +364,42 @@ impl<'u> InferenceState<'u> {
     /// The state of class `c`.
     #[inline]
     pub fn class_state(&self, c: ClassId) -> ClassState {
-        self.status[c]
+        if self.labeled_pos.contains(c) {
+            ClassState::LabeledPositive
+        } else if self.labeled_neg.contains(c) {
+            ClassState::LabeledNegative
+        } else if self.cert_pos.contains(c) {
+            ClassState::CertainPositive
+        } else if self.cert_neg.contains(c) {
+            ClassState::CertainNegative
+        } else {
+            ClassState::Informative
+        }
     }
 
     /// The recorded label of class `c`, if any.
     #[inline]
     pub fn label(&self, c: ClassId) -> Option<Label> {
-        self.status[c].label()
+        if self.labeled_pos.contains(c) {
+            Some(Label::Positive)
+        } else if self.labeled_neg.contains(c) {
+            Some(Label::Negative)
+        } else {
+            None
+        }
     }
 
     /// What the engine already knows about class `c` without asking: its
     /// recorded or certain label.
     #[inline]
     pub fn known_label(&self, c: ClassId) -> Option<Label> {
-        self.status[c].known_label()
+        self.class_state(c).known_label()
     }
 
     /// Whether class `c` is informative (§3.4).
     #[inline]
     pub fn is_informative(&self, c: ClassId) -> bool {
-        self.status[c].is_informative()
+        self.open.contains(c)
     }
 
     /// Positive classes, in labeling order.
@@ -382,17 +483,47 @@ impl<'u> InferenceState<'u> {
     }
 
     /// The informative classes, ascending — the candidate set every
-    /// strategy draws from. `O(1)`; the slice shrinks as labels arrive.
+    /// strategy draws from, iterated straight off the class-index mask.
     #[inline]
-    pub fn informative(&self) -> &[ClassId] {
-        &self.informative
+    pub fn informative(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.open.iter()
+    }
+
+    /// The informative classes as the raw class-index mask.
+    #[inline]
+    pub fn informative_mask(&self) -> &BitSet {
+        &self.open
+    }
+
+    /// The negatively labeled classes as the raw class-index mask.
+    ///
+    /// While no positive example exists this mask determines the whole
+    /// derived state (`T(S⁺) = Ω`), which is what makes it the key of the
+    /// universe-level negative-phase memo
+    /// ([`Universe::cached_negative_phase_move`]).
+    #[inline]
+    pub fn labeled_negative_mask(&self) -> &BitSet {
+        &self.labeled_neg
+    }
+
+    /// Number of informative classes. `O(1)`; maintained across updates.
+    #[inline]
+    pub fn informative_len(&self) -> usize {
+        self.open_count as usize
+    }
+
+    /// The `i`-th informative class in ascending order (word-skipping
+    /// select on the mask), or `None` when `i ≥ informative_len()`.
+    #[inline]
+    pub fn nth_informative(&self, i: usize) -> Option<ClassId> {
+        nth_set_bit(self.open.words(), i)
     }
 
     /// Whether any informative tuple remains — the negation of Algorithm
     /// 1's halt condition Γ.
     #[inline]
     pub fn any_informative(&self) -> bool {
-        !self.informative.is_empty()
+        self.open_count > 0
     }
 
     /// The weighted count of uninformative tuples under `mode`, matching
@@ -405,23 +536,51 @@ impl<'u> InferenceState<'u> {
         }
     }
 
-    /// The per-class weight `mode` assigns.
-    #[inline]
-    fn weight(&self, c: ClassId, mode: CountMode) -> u64 {
-        match mode {
-            CountMode::Tuples => self.universe.count(c),
-            CountMode::Classes => 1,
-        }
+    /// Resident heap bytes of the derived session state: the five partition
+    /// masks, the interval bounds, the mask scratch, and the positive /
+    /// negative class lists. Excludes the shared universe (paid once per
+    /// process, not per session) and the label history (the replay log a
+    /// snapshot persists, proportional to the number of answers).
+    pub fn state_bytes(&self) -> usize {
+        let word = std::mem::size_of::<u64>();
+        let masks = 5 * std::mem::size_of_val(self.open.words());
+        let theta = std::mem::size_of_val(self.theta_possible.words());
+        let theta_certain = std::mem::size_of_val(self.theta_certain.borrow().1.words());
+        let scratch = self.scratch.borrow();
+        let scratch_bytes = (scratch.a.len() + scratch.b.len() + scratch.tp.len()) * word;
+        let labels = (self.pos.len() + self.neg.len()) * std::mem::size_of::<ClassId>();
+        masks + theta + theta_certain + scratch_bytes + labels
     }
 
-    /// Lemma 3.4 existential for a hypothetical `T(S⁺)` of `tpos`: is class
-    /// `c` certainly rejected?
+    /// Writes `{t : restrict ∩ T(t) ⊆ allowed}` into `out` — the exact
+    /// projected down-set of the module docs, for any restriction
+    /// (`θ_possible`, or a hypothetical `θ ∩ T(c)` during gains):
+    /// `out = ¬ ⋃ members(b)` over the set bits of `restrict ∧ ¬allowed`.
     #[inline]
-    fn certain_negative_under(&self, tpos: &BitSet, c: ClassId) -> bool {
-        let sig = self.universe.sig(c);
-        self.neg
-            .iter()
-            .any(|&g| tpos.intersection_is_subset(sig, self.universe.sig(g)))
+    fn down_under_into(closure: &ClassClosure, restrict: &[u64], allowed: &[u64], out: &mut [u64]) {
+        out.iter_mut().for_each(|w| *w = 0);
+        for_bits_diff(restrict, allowed, |b| {
+            let m = closure.members(b);
+            out.iter_mut().zip(m).for_each(|(w, &v)| *w |= v);
+        });
+        out.iter_mut().for_each(|w| *w = !*w);
+    }
+
+    /// Writes `{t : require ⊆ T(t)}` into `out`: `⋂ members(b)` over the
+    /// set bits of `require` (all-ones for the empty requirement — callers
+    /// AND with `open` before consuming).
+    #[inline]
+    fn supersets_into(closure: &ClassClosure, require: &[u64], out: &mut [u64]) {
+        out.iter_mut().for_each(|w| *w = !0);
+        for (i, &x) in require.iter().enumerate() {
+            let mut w = x;
+            while w != 0 {
+                let b = i * WORD_BITS + w.trailing_zeros() as usize;
+                let m = closure.members(b);
+                out.iter_mut().zip(m).for_each(|(o, &v)| *o &= v);
+                w &= w - 1;
+            }
+        }
     }
 
     /// Applies one label, updating every derived quantity incrementally.
@@ -435,50 +594,57 @@ impl<'u> InferenceState<'u> {
     /// consistent samples) and the caller is expected to abort, as
     /// [`crate::engine::run_inference`] does.
     ///
-    /// Cost: `O(|informative|)` subset tests for a negative label,
-    /// `O(|informative| · |S⁻|)` worst case for a positive one — never a
-    /// rescan of all of Ω.
+    /// Cost: one projected-down-set mask (`O(|θ_possible|)` word-ORs; a
+    /// single word-AND per mask word on the `θ = Ω` fast path) for a
+    /// negative label, the same per negative example for a positive one —
+    /// never a rescan of all of Ω, and no allocation.
     pub fn apply(&mut self, c: ClassId, label: Label) -> Result<()> {
-        if c >= self.status.len() {
+        let classes = self.num_classes();
+        if c >= classes {
             return Err(InferenceError::ClassOutOfBounds {
                 class: c,
-                len: self.status.len(),
+                len: classes,
             });
         }
-        if self.status[c].label().is_some() {
+        if self.labeled_pos.contains(c) || self.labeled_neg.contains(c) {
             return Err(InferenceError::AlreadyLabeled { class: c });
         }
-        let was = self.status[c];
-        self.status[c] = match label {
-            Label::Positive => ClassState::LabeledPositive,
-            Label::Negative => ClassState::LabeledNegative,
-        };
-        self.history.push((c, label));
-        self.version += 1;
+        let was_informative = self.open.contains(c);
 
         // Counter bookkeeping for the labeled class itself: an informative
         // class starts contributing weight − 1 (its classmates become
         // certain); an already-certain class merely stops counting its
         // representative.
-        if was.is_informative() {
-            self.informative.retain(|&t| t != c);
+        if was_informative {
+            self.open.remove(c);
+            self.open_count -= 1;
             self.uninf_tuples += self.universe.count(c).saturating_sub(1);
             // Classes-mode weight is 1, and the labeled representative is
             // excluded, so the class contributes 0.
         } else {
+            self.cert_pos.remove(c);
+            self.cert_neg.remove(c);
             self.uninf_tuples = self.uninf_tuples.saturating_sub(1);
             self.uninf_classes = self.uninf_classes.saturating_sub(1);
         }
+        match label {
+            Label::Positive => self.labeled_pos.insert(c),
+            Label::Negative => self.labeled_neg.insert(c),
+        }
+        self.history.push((c, label));
+        self.version += 1;
 
         match label {
             Label::Positive => {
                 self.pos.push(c);
-                let before = self.theta_possible.clone();
-                self.theta_possible.intersect_with(self.universe.sig(c));
-                if self.theta_possible != before {
-                    // §3.1: consistency must be re-checked against every
-                    // negative under the shrunken T(S⁺).
+                let sig = self.universe.sig(c);
+                if !self.theta_possible.is_subset(sig) {
+                    // θ_possible shrinks to θ_possible ∩ T(c).
+                    self.theta_possible.intersect_with(sig);
+                    self.theta_is_omega = false;
                     if self.consistent {
+                        // §3.1: consistency must be re-checked against every
+                        // negative under the shrunken T(S⁺).
                         let tp = &self.theta_possible;
                         self.consistent = self
                             .neg
@@ -486,7 +652,7 @@ impl<'u> InferenceState<'u> {
                             .all(|&g| !tp.is_subset(self.universe.sig(g)));
                     }
                     if self.consistent {
-                        self.reclassify_informative();
+                        self.reclassify_open();
                     }
                 }
             }
@@ -496,23 +662,30 @@ impl<'u> InferenceState<'u> {
                     self.consistent = !self.theta_possible.is_subset(self.universe.sig(c));
                 }
                 if self.consistent {
-                    // The only new Lemma 3.4 witness is T(c): one subset
-                    // test per informative class.
-                    let tp = self.theta_possible.clone();
-                    let universe = self.universe.clone();
-                    let neg_sig = universe.sig(c);
-                    let (mut dt, mut dc) = (0u64, 0u64);
-                    let status = &mut self.status;
-                    self.informative.retain(|&t| {
-                        if tp.intersection_is_subset(universe.sig(t), neg_sig) {
-                            status[t] = ClassState::CertainNegative;
-                            dt += universe.count(t);
-                            dc += 1;
-                            false
-                        } else {
-                            true
+                    // The only new Lemma 3.4 witness is T(c): retire the
+                    // projected down-set of T(c) from the informative mask.
+                    let mut scratch = self.scratch.borrow_mut();
+                    let MaskScratch { a, .. } = &mut *scratch;
+                    let closure = self.universe.closure();
+                    let take: &[u64] = match closure.down(c).filter(|_| self.theta_is_omega) {
+                        Some(down) => down,
+                        None => {
+                            Self::down_under_into(
+                                closure,
+                                self.theta_possible.words(),
+                                self.universe.sig(c).words(),
+                                a,
+                            );
+                            a
                         }
-                    });
+                    };
+                    let (dt, dc) = retire_words(
+                        &mut self.open,
+                        &mut self.cert_neg,
+                        take,
+                        self.universe.counts(),
+                    );
+                    self.open_count -= dc as u32;
                     self.uninf_tuples += dt;
                     self.uninf_classes += dc;
                 }
@@ -522,115 +695,181 @@ impl<'u> InferenceState<'u> {
         Ok(())
     }
 
-    /// Re-tests every informative class against the current
-    /// `[θ_certain, θ_possible]` after `θ_possible` shrank.
-    fn reclassify_informative(&mut self) {
-        let universe = self.universe.clone();
-        let tp = self.theta_possible.clone();
-        let neg = std::mem::take(&mut self.neg);
-        let (mut dt, mut dc) = (0u64, 0u64);
-        let status = &mut self.status;
-        self.informative.retain(|&t| {
-            let sig = universe.sig(t);
-            let new_state = if tp.is_subset(sig) {
-                Some(ClassState::CertainPositive)
-            } else if neg
-                .iter()
-                .any(|&g| tp.intersection_is_subset(sig, universe.sig(g)))
-            {
-                Some(ClassState::CertainNegative)
-            } else {
-                None
-            };
-            match new_state {
-                Some(s) => {
-                    status[t] = s;
-                    dt += universe.count(t);
-                    dc += 1;
-                    false
-                }
-                None => true,
+    /// Re-tests every informative class against the shrunken `θ_possible`:
+    /// classes containing the new bound become certain-positive, classes
+    /// whose projection lands inside some negative's signature become
+    /// certain-negative (in that order — the spec's priority).
+    fn reclassify_open(&mut self) {
+        let mut scratch = self.scratch.borrow_mut();
+        let MaskScratch { a, b, .. } = &mut *scratch;
+        let closure = self.universe.closure();
+        let counts = self.universe.counts();
+        // Certain-positive: {t : θ ⊆ T(t)}.
+        Self::supersets_into(closure, self.theta_possible.words(), a);
+        let (mut dt, mut dc) = retire_words(&mut self.open, &mut self.cert_pos, a, counts);
+        // Certain-negative among the remaining open classes:
+        // ⋃_g {t : θ ∩ T(t) ⊆ T(g)}.
+        if !self.neg.is_empty() {
+            a.iter_mut().for_each(|w| *w = 0);
+            for &g in &self.neg {
+                Self::down_under_into(
+                    closure,
+                    self.theta_possible.words(),
+                    self.universe.sig(g).words(),
+                    b,
+                );
+                a.iter_mut().zip(b.iter()).for_each(|(x, &y)| *x |= y);
             }
-        });
-        self.neg = neg;
+            let (dt2, dc2) = retire_words(&mut self.open, &mut self.cert_neg, a, counts);
+            dt += dt2;
+            dc += dc2;
+        }
+        self.open_count -= dc as u32;
         self.uninf_tuples += dt;
         self.uninf_classes += dc;
+    }
+
+    /// The per-class weight `mode` assigns.
+    #[inline]
+    fn weight_of_and(&self, mask: &[u64], mode: CountMode) -> u64 {
+        match mode {
+            CountMode::Tuples => weight_and(mask, self.open.words(), self.universe.counts()),
+            CountMode::Classes => count_and(mask, self.open.words()) as u64,
+        }
     }
 
     /// `u^α_{t,S}`: the weighted number of tuples that would become
     /// uninformative if informative class `c` were labeled `alpha`
     /// (Figure 5 / §4.4), relative to the current sample.
     ///
-    /// Computed by a single pass over the **informative** set — the
-    /// speculative analogue of the incremental [`apply`](Self::apply) — so
-    /// one-step entropy costs `O(|informative| · |S⁻|)` instead of cloning
-    /// the sample and recounting all of Ω.
+    /// Computed as a popcount/weight-fold of closure masks against the
+    /// informative mask — the `θ = Ω` fast path is a single word-AND per
+    /// mask word; below Ω the exact projected masks cost `O(|θ_possible|)`
+    /// word-ORs (per negative example for `α = +`). No allocation.
     pub fn gain(&self, c: ClassId, alpha: Label, mode: CountMode) -> u64 {
         debug_assert!(
             self.is_informative(c),
             "gain is defined for informative classes"
         );
-        let universe: &Universe = &self.universe;
-        let mut total = self.weight(c, mode).saturating_sub(1);
-        match alpha {
-            Label::Positive => {
-                let tp = self.theta_possible.intersection(universe.sig(c));
-                for &t in &self.informative {
-                    if t == c {
-                        continue;
-                    }
-                    let sig = universe.sig(t);
-                    if tp.is_subset(sig) || self.certain_negative_under(&tp, t) {
-                        total += self.weight(t, mode);
-                    }
-                }
-            }
+        let closure = self.universe.closure();
+        let mut scratch = self.scratch.borrow_mut();
+        let MaskScratch { a, b, tp } = &mut *scratch;
+        let sum = match alpha {
             Label::Negative => {
-                let tp = &self.theta_possible;
-                let neg_sig = universe.sig(c);
-                for &t in &self.informative {
-                    if t == c {
-                        continue;
-                    }
-                    if tp.intersection_is_subset(universe.sig(t), neg_sig) {
-                        total += self.weight(t, mode);
+                // Classes whose projection lands inside T(c).
+                if self.theta_is_omega {
+                    if let Some(down) = closure.down(c) {
+                        return self.weight_of_and(down, mode) - 1;
                     }
                 }
+                Self::down_under_into(
+                    closure,
+                    self.theta_possible.words(),
+                    self.universe.sig(c).words(),
+                    a,
+                );
+                self.weight_of_and(a, mode)
             }
-        }
-        total
+            Label::Positive => {
+                // T(S⁺) would shrink to tp = θ ∩ T(c): certain-positives are
+                // the supersets of tp, certain-negatives the classes some
+                // negative covers under tp.
+                let sig = self.universe.sig(c).words();
+                let tp: &[u64] = if self.theta_is_omega {
+                    sig
+                } else {
+                    tp.iter_mut()
+                        .zip(self.theta_possible.words().iter().zip(sig))
+                        .for_each(|(o, (&x, &y))| *o = x & y);
+                    tp
+                };
+                if self.theta_is_omega && self.neg.is_empty() {
+                    if let Some(up) = closure.up(c) {
+                        return self.weight_of_and(up, mode) - 1;
+                    }
+                }
+                Self::supersets_into(closure, tp, a);
+                for &g in &self.neg {
+                    Self::down_under_into(closure, tp, self.universe.sig(g).words(), b);
+                    a.iter_mut().zip(b.iter()).for_each(|(x, &y)| *x |= y);
+                }
+                self.weight_of_and(a, mode)
+            }
+        };
+        // `c` itself is always in the mask (tp ⊆ T(c) on both branches) and
+        // contributes weight − 1: the labeled representative joins S, its
+        // classmates become certain.
+        sum - 1
     }
 
-    /// The `(u⁺, u⁻)` gain pair of informative class `c`, served from the
-    /// version-stamped cache when the state has not changed since the last
-    /// computation. [`entropy`](Self::entropy) is its normalized view; the
-    /// lookahead recursion reads the raw pair to order label branches
-    /// without paying for the gains twice.
+    /// The `(u⁺, u⁻)` gain pair of informative class `c`.
+    /// [`entropy`](Self::entropy) is its normalized view; the lookahead
+    /// recursion reads the raw pair to order label branches.
+    ///
+    /// Adaptive: once the informative mask is small (the tail of every
+    /// session, and most speculated lookahead nodes), both gains come from
+    /// **one** fused pass over the open classes applying the raw Lemma
+    /// 3.3/3.4 word tests — cheaper than two mask assemblies when there are
+    /// fewer open classes than `|θ_possible|` bits. Above the threshold the
+    /// closure-mask path takes over. Both paths are exact; a unit test
+    /// pins them to each other on both sides of the threshold.
     pub fn gain_pair(&self, c: ClassId, mode: CountMode) -> (u64, u64) {
-        {
-            let cache = self.entropy_cache.borrow();
-            if cache.mode == mode && cache.stamps[c] == self.version {
-                return cache.values[c];
-            }
+        if self.open_count <= DIRECT_SCAN_OPEN_CAP {
+            self.gain_pair_direct(c, mode)
+        } else {
+            (
+                self.gain(c, Label::Positive, mode),
+                self.gain(c, Label::Negative, mode),
+            )
         }
-        let pair = (
-            self.gain(c, Label::Positive, mode),
-            self.gain(c, Label::Negative, mode),
-        );
-        let mut cache = self.entropy_cache.borrow_mut();
-        if cache.mode != mode {
-            // Mode switch invalidates the whole cache.
-            cache.mode = mode;
-            cache.stamps.iter_mut().for_each(|s| *s = 0);
-        }
-        cache.stamps[c] = self.version;
-        cache.values[c] = pair;
-        pair
     }
 
-    /// The one-step entropy of informative class `c` (§4.4), served from
-    /// the version-stamped cache when the state has not changed since the
-    /// last computation.
+    /// The fused small-open gain pair: a single pass over the informative
+    /// mask, testing each open class once against `c`'s hypothetical labels
+    /// with allocation-free word loops.
+    fn gain_pair_direct(&self, c: ClassId, mode: CountMode) -> (u64, u64) {
+        debug_assert!(
+            self.is_informative(c),
+            "gain is defined for informative classes"
+        );
+        let universe: &Universe = &self.universe;
+        let theta = self.theta_possible.words();
+        let sig_c = universe.sig(c).words();
+        let (mut u_pos, mut u_neg) = (0u64, 0u64);
+        for x in self.open.iter() {
+            let weight = match mode {
+                CountMode::Tuples => universe.count(x),
+                CountMode::Classes => 1,
+            };
+            let sig_x = universe.sig(x).words();
+            // Negative on c: x retires iff θ ∩ T(x) ⊆ T(c)  (Lemma 3.4
+            // with witness T(c)).
+            if zip3_all(theta, sig_x, sig_c, |t, x, c| t & x & !c == 0) {
+                u_neg += weight;
+            }
+            // Positive on c: T(S⁺) shrinks to tp = θ ∩ T(c); x retires iff
+            // tp ⊆ T(x) (Lemma 3.3) or some negative covers tp ∩ T(x)
+            // (Lemma 3.4).
+            let pos = zip3_all(theta, sig_c, sig_x, |t, c, x| t & c & !x == 0)
+                || self.neg.iter().any(|&g| {
+                    let sig_g = universe.sig(g).words();
+                    theta
+                        .iter()
+                        .zip(sig_c)
+                        .zip(sig_x)
+                        .zip(sig_g)
+                        .all(|(((&t, &c), &x), &g)| t & c & x & !g == 0)
+                });
+            if pos {
+                u_pos += weight;
+            }
+        }
+        // `c` itself satisfied both conditions; as the labeled example it
+        // contributes weight − 1 on each side.
+        (u_pos - 1, u_neg - 1)
+    }
+
+    /// The one-step entropy of informative class `c` (§4.4).
     pub fn entropy(&self, c: ClassId, mode: CountMode) -> Entropy {
         let (u_pos, u_neg) = self.gain_pair(c, mode);
         Entropy::of(u_pos, u_neg)
@@ -638,17 +877,16 @@ impl<'u> InferenceState<'u> {
 
     /// One-step entropies of all informative classes, ascending by class.
     pub fn entropies(&self, mode: CountMode) -> Vec<(ClassId, Entropy)> {
-        self.informative
-            .iter()
-            .map(|&c| (c, self.entropy(c, mode)))
+        self.informative()
+            .map(|c| (c, self.entropy(c, mode)))
             .collect()
     }
 
     /// A hypothetical successor state: `self` with `(c, label)` applied.
     ///
     /// This is what the depth-k lookahead recursion and the minimax-optimal
-    /// strategy branch on — an `O(|N|)` clone plus one incremental apply,
-    /// never a from-scratch re-derivation.
+    /// strategy branch on — a copy of a few machine words plus one mask
+    /// apply, never a from-scratch re-derivation.
     pub fn speculate(&self, c: ClassId, label: Label) -> InferenceState<'u> {
         let mut next = self.clone();
         next.apply(c, label)
@@ -657,8 +895,8 @@ impl<'u> InferenceState<'u> {
     }
 
     /// Like [`speculate`](Self::speculate), but rebuilds `out` in place,
-    /// reusing its existing allocations (vectors, Ω-width bitsets, the
-    /// entropy cache) instead of cloning into fresh ones.
+    /// reusing its existing allocations (masks, Ω-width bitsets, scratch)
+    /// instead of cloning into fresh ones.
     ///
     /// The depth-k lookahead recursion calls this once per visited tree
     /// node through a per-depth scratch pool, turning the per-node
@@ -668,34 +906,34 @@ impl<'u> InferenceState<'u> {
     /// `*out = self.speculate(c, label)`.
     pub fn speculate_into(&self, c: ClassId, label: Label, out: &mut InferenceState<'u>) {
         out.universe.clone_from(&self.universe);
-        out.status.clone_from(&self.status);
+        out.open.clone_from(&self.open);
+        out.labeled_pos.clone_from(&self.labeled_pos);
+        out.labeled_neg.clone_from(&self.labeled_neg);
+        out.cert_pos.clone_from(&self.cert_pos);
+        out.cert_neg.clone_from(&self.cert_neg);
         out.pos.clone_from(&self.pos);
         out.neg.clone_from(&self.neg);
         out.history.clone_from(&self.history);
         out.theta_possible.clone_from(&self.theta_possible);
+        out.theta_is_omega = self.theta_is_omega;
         {
             let mut dst = out.theta_certain.borrow_mut();
             let src = self.theta_certain.borrow();
             dst.0 = src.0;
             dst.1.clone_from(&src.1);
         }
-        out.informative.clone_from(&self.informative);
+        {
+            let mut dst = out.scratch.borrow_mut();
+            let src = self.scratch.borrow();
+            dst.a.resize(src.a.len(), 0);
+            dst.b.resize(src.b.len(), 0);
+            dst.tp.resize(src.tp.len(), 0);
+        }
+        out.open_count = self.open_count;
         out.uninf_tuples = self.uninf_tuples;
         out.uninf_classes = self.uninf_classes;
         out.consistent = self.consistent;
         out.version = self.version;
-        {
-            // Every cached stamp is ≤ self.version and the apply below
-            // bumps the version, so no copied entry could ever be served —
-            // invalidate wholesale instead. The zeroed stamps also protect
-            // against stale entries from `out`'s previous life whose
-            // version numbers could collide with the new version line.
-            let mut dst = out.entropy_cache.borrow_mut();
-            dst.mode = self.entropy_cache.borrow().mode;
-            dst.stamps.clear();
-            dst.stamps.resize(self.status.len(), 0);
-            dst.values.resize(self.status.len(), (0, 0));
-        }
         out.apply(c, label)
             .expect("speculated class must be unlabeled and in range");
     }
@@ -715,7 +953,9 @@ impl<'u> InferenceState<'u> {
     /// Applies a batch of answers in one call, folding them into the state
     /// without any intervening strategy work — the shape in which
     /// asynchronous answers (a crowdsourcing task queue, a web UI with
-    /// several outstanding questions) arrive at a server.
+    /// several outstanding questions) arrive at a server. This is also the
+    /// snapshot-restore fast path: replaying a history is one `apply_batch`
+    /// of mask ops, no strategy work and no per-answer allocation.
     ///
     /// Per answer: out-of-range classes error; a duplicate answer carrying
     /// the **same** label as the recorded one is skipped (idempotent — two
@@ -725,7 +965,10 @@ impl<'u> InferenceState<'u> {
     /// without being applied** and the batch aborts with
     /// [`InferenceError::InconsistentSample`] naming the offending class
     /// (Algorithm 1 lines 5–7, checked per answer *before* recording it);
-    /// everything else is applied incrementally.
+    /// everything else is applied incrementally. On a consistent state the
+    /// pre-check is an O(1) certainty-mask probe: a negative is
+    /// inconsistent iff the class is certain-positive, a positive iff it is
+    /// certain-negative.
     ///
     /// Returns the number of answers actually applied. On error the
     /// answers *before* the offending one remain applied, the offending
@@ -736,13 +979,13 @@ impl<'u> InferenceState<'u> {
     pub fn apply_batch(&mut self, answers: &[(ClassId, Label)]) -> Result<usize> {
         let mut applied = 0usize;
         for &(c, label) in answers {
-            if c >= self.status.len() {
+            if c >= self.num_classes() {
                 return Err(InferenceError::ClassOutOfBounds {
                     class: c,
-                    len: self.status.len(),
+                    len: self.num_classes(),
                 });
             }
-            if let Some(existing) = self.status[c].label() {
+            if let Some(existing) = self.label(c) {
                 if existing == label {
                     continue;
                 }
@@ -753,18 +996,24 @@ impl<'u> InferenceState<'u> {
                 });
             }
             // §3.1 consistency, tested speculatively so a bad answer never
-            // poisons the recorded history: a negative is inconsistent iff
-            // T(S⁺) ⊆ T(c) (c is certain-positive), a positive iff the
-            // shrunken T(S⁺) ∩ T(c) lands inside some negative's signature
-            // (c is certain-negative).
-            let inconsistent = match label {
-                Label::Negative => self.theta_possible.is_subset(self.universe.sig(c)),
-                Label::Positive => {
-                    let sig = self.universe.sig(c);
-                    self.neg.iter().any(|&g| {
-                        self.theta_possible
-                            .intersection_is_subset(sig, self.universe.sig(g))
-                    })
+            // poisons the recorded history. While the partition is
+            // maintained this is one mask probe; otherwise fall back to the
+            // direct signature tests.
+            let inconsistent = if self.consistent {
+                match label {
+                    Label::Negative => self.cert_pos.contains(c),
+                    Label::Positive => self.cert_neg.contains(c),
+                }
+            } else {
+                match label {
+                    Label::Negative => self.theta_possible.is_subset(self.universe.sig(c)),
+                    Label::Positive => {
+                        let sig = self.universe.sig(c);
+                        self.neg.iter().any(|&g| {
+                            self.theta_possible
+                                .intersection_is_subset(sig, self.universe.sig(g))
+                        })
+                    }
                 }
             };
             if inconsistent {
@@ -799,9 +1048,13 @@ mod tests {
             return; // partition is only defined for consistent samples
         }
         assert_eq!(
-            state.informative().to_vec(),
+            state.informative().collect::<Vec<_>>(),
             informative_classes(u, sample),
             "informative sets diverge"
+        );
+        assert_eq!(
+            state.informative_len(),
+            informative_classes(u, sample).len()
         );
         for mode in [CountMode::Tuples, CountMode::Classes] {
             assert_eq!(
@@ -847,7 +1100,7 @@ mod tests {
         let mut state = InferenceState::new(&u);
         let mut sample = Sample::new(&u);
         for mode in [CountMode::Tuples, CountMode::Classes] {
-            for &c in state.informative() {
+            for c in state.informative() {
                 assert_eq!(
                     state.entropy(c, mode),
                     crate::entropy::entropy(&u, &sample, c, mode),
@@ -855,32 +1108,17 @@ mod tests {
                 );
             }
         }
-        // And again mid-session.
+        // And again mid-session, where T(S⁺) sits below Ω and the masks
+        // must take the exact projected path.
         let c = class_of(&u, 0, 2);
         state.apply(c, Label::Positive).unwrap();
         sample.add(&u, c, Label::Positive).unwrap();
-        for &t in state.informative() {
+        for t in state.informative().collect::<Vec<_>>() {
             assert_eq!(
                 state.entropy(t, CountMode::Tuples),
                 crate::entropy::entropy(&u, &sample, t, CountMode::Tuples),
             );
         }
-    }
-
-    #[test]
-    fn entropy_cache_serves_stable_values() {
-        let u = Universe::build(example_2_1());
-        let state = InferenceState::new(&u);
-        let c = state.informative()[0];
-        let first = state.entropy(c, CountMode::Tuples);
-        assert_eq!(state.entropy(c, CountMode::Tuples), first);
-        // A mode switch flushes and recomputes rather than serving the
-        // stale mode's value.
-        let classes_mode = state.entropy(c, CountMode::Classes);
-        assert_eq!(
-            classes_mode,
-            crate::entropy::entropy(&u, &state.as_sample(), c, CountMode::Classes)
-        );
     }
 
     #[test]
@@ -922,12 +1160,15 @@ mod tests {
     fn speculate_equals_apply() {
         let u = Universe::build(example_2_1());
         let state = InferenceState::new(&u);
-        let c = state.informative()[3];
+        let c = state.nth_informative(3).unwrap();
         for label in Label::BOTH {
             let spec = state.speculate(c, label);
             let mut direct = InferenceState::new(&u);
             direct.apply(c, label).unwrap();
-            assert_eq!(spec.informative(), direct.informative());
+            assert_eq!(
+                spec.informative().collect::<Vec<_>>(),
+                direct.informative().collect::<Vec<_>>()
+            );
             assert_eq!(spec.t_pos(), direct.t_pos());
             assert_eq!(
                 spec.uninformative_count(CountMode::Tuples),
@@ -944,11 +1185,14 @@ mod tests {
         // Reuse a deliberately unrelated buffer state.
         let mut buffer = InferenceState::new(&u);
         buffer.apply(class_of(&u, 2, 0), Label::Negative).unwrap();
-        for &c in state.informative() {
+        for c in state.informative().collect::<Vec<_>>() {
             for label in Label::BOTH {
                 let fresh = state.speculate(c, label);
                 state.speculate_into(c, label, &mut buffer);
-                assert_eq!(fresh.informative(), buffer.informative());
+                assert_eq!(
+                    fresh.informative().collect::<Vec<_>>(),
+                    buffer.informative().collect::<Vec<_>>()
+                );
                 assert_eq!(fresh.t_pos(), buffer.t_pos());
                 assert_eq!(fresh.history(), buffer.history());
                 assert_eq!(fresh.is_consistent(), buffer.is_consistent());
@@ -959,7 +1203,7 @@ mod tests {
                     );
                 }
                 assert_eq!(fresh.theta_certain(), buffer.theta_certain());
-                for &t in fresh.informative() {
+                for t in fresh.informative().collect::<Vec<_>>() {
                     assert_eq!(
                         fresh.entropy(t, CountMode::Tuples),
                         buffer.entropy(t, CountMode::Tuples),
@@ -978,7 +1222,7 @@ mod tests {
         state.apply(class_of(&u, 2, 0), Label::Negative).unwrap();
         let sample = state.as_sample();
         let base = uninformative_count(&u, &sample, CountMode::Tuples);
-        for &c in state.informative() {
+        for c in state.informative().collect::<Vec<_>>() {
             for alpha in Label::BOTH {
                 let mut s = sample.clone();
                 s.add(&u, c, alpha).unwrap();
@@ -1061,7 +1305,10 @@ mod tests {
         let mut replay = InferenceState::new(&u);
         replay.apply_batch(state.history()).unwrap();
         assert_eq!(replay.t_pos(), state.t_pos());
-        assert_eq!(replay.informative(), state.informative());
+        assert_eq!(
+            replay.informative().collect::<Vec<_>>(),
+            state.informative().collect::<Vec<_>>()
+        );
         // The certainly-rejected mirror case: negative first, then a batch
         // trying to answer a certain-negative class positive.
         let mut s2 = InferenceState::new(&u);
@@ -1117,5 +1364,64 @@ mod tests {
         assert_eq!(sample.t_pos(), state.t_pos());
         assert_eq!(sample.positives(), state.positives());
         assert_eq!(sample.negatives(), state.negatives());
+    }
+
+    #[test]
+    fn nth_informative_is_select_on_the_mask() {
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        state.apply(class_of(&u, 2, 0), Label::Negative).unwrap();
+        let inf: Vec<ClassId> = state.informative().collect();
+        assert_eq!(inf.len(), state.informative_len());
+        for (i, &c) in inf.iter().enumerate() {
+            assert_eq!(state.nth_informative(i), Some(c));
+        }
+        assert_eq!(state.nth_informative(inf.len()), None);
+    }
+
+    #[test]
+    fn gain_pair_direct_and_mask_paths_agree() {
+        // The adaptive gain_pair must produce identical pairs through the
+        // fused direct scan and the closure-mask assembly, empty and
+        // mid-session (θ below Ω, negatives present).
+        let u = Universe::build(example_2_1());
+        let mut state = InferenceState::new(&u);
+        for step in 0..3 {
+            for c in state.informative().collect::<Vec<_>>() {
+                for mode in [CountMode::Tuples, CountMode::Classes] {
+                    let direct = state.gain_pair_direct(c, mode);
+                    let masked = (
+                        state.gain(c, Label::Positive, mode),
+                        state.gain(c, Label::Negative, mode),
+                    );
+                    assert_eq!(direct, masked, "paths diverge for {c} at step {step}");
+                }
+            }
+            let c = state.nth_informative(0).unwrap();
+            let label = if step == 0 {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
+            state.apply(c, label).unwrap();
+            if !state.is_consistent() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn state_bytes_is_about_a_hundred_bytes_on_small_universes() {
+        // The mask-compressed session state of the paper's instances fits
+        // in ~100 bytes + history: five one-word masks, two Ω-word bounds,
+        // and the scratch words.
+        let u = Universe::build(crate::paper::flight_hotel());
+        let mut state = InferenceState::new(&u);
+        let empty = state.state_bytes();
+        assert!(empty <= 128, "empty-session state is {empty} bytes");
+        state
+            .apply(state.nth_informative(0).unwrap(), Label::Negative)
+            .unwrap();
+        assert!(state.state_bytes() <= 160);
     }
 }

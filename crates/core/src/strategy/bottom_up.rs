@@ -23,14 +23,12 @@ impl BottomUp {
 }
 
 /// Shared by BU and the positive-phase of TD: the informative class with the
-/// smallest signature. One pass over the maintained informative set, using
+/// smallest signature. One pass over the maintained informative mask, using
 /// the universe's precomputed signature sizes.
 pub(crate) fn min_signature_informative(state: &InferenceState<'_>) -> Option<ClassId> {
     let universe = state.universe();
     state
         .informative()
-        .iter()
-        .copied()
         .min_by_key(|&c| (universe.sig_size(c), c))
 }
 

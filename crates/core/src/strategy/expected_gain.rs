@@ -30,7 +30,6 @@
 
 use crate::certain::CountMode;
 use crate::error::Result;
-use crate::sample::Label;
 use crate::state::InferenceState;
 use crate::strategy::Strategy;
 use crate::universe::ClassId;
@@ -102,9 +101,8 @@ impl Strategy for ExpectedGain {
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
         let mut best: Option<(f64, ClassId)> = None;
-        for &c in state.informative() {
-            let u_pos = state.gain(c, Label::Positive, CountMode::Tuples);
-            let u_neg = state.gain(c, Label::Negative, CountMode::Tuples);
+        for c in state.informative() {
+            let (u_pos, u_neg) = state.gain_pair(c, CountMode::Tuples);
             let p = positive_probability(state, c).unwrap_or(0.5);
             let gain = p * u_pos as f64 + (1.0 - p) * u_neg as f64;
             if best.is_none_or(|(bg, bc)| gain > bg || (gain == bg && c < bc)) {
@@ -120,6 +118,7 @@ mod tests {
     use super::*;
     use crate::engine::{run_inference, PredicateOracle};
     use crate::paper::example_2_1;
+    use crate::sample::Label;
     use crate::universe::Universe;
 
     #[test]

@@ -1,7 +1,7 @@
 //! Lookahead skyline strategies (L1S, L2S, LkS — Algorithms 4–6).
 
 use crate::certain::CountMode;
-use crate::entropy::{select_best, Entropy, ENTROPY_INF};
+use crate::entropy::{Entropy, ENTROPY_INF};
 use crate::error::Result;
 use crate::sample::Label;
 use crate::state::InferenceState;
@@ -18,12 +18,14 @@ use crate::universe::ClassId;
 /// greater than the total number of informative tuples … the strategy
 /// becomes optimal and thus inefficient").
 ///
-/// Depth-1 entropies come straight from the state's incremental gain
-/// computation (one pass over the informative set per candidate, served
-/// from the version-stamped cache on repeat queries); deeper lookahead
-/// branches on [`InferenceState::speculate_into`] — an O(classes) copy into
-/// a per-depth scratch pool plus an O(delta) apply per hypothetical label,
-/// never a fresh allocation per node.
+/// Depth-1 entropies come straight from the state's mask-compressed gain
+/// computation (a popcount/weight-fold of closure masks per candidate, no
+/// walk of the informative set); deeper lookahead branches on
+/// [`InferenceState::speculate_into`] — a few machine words copied into a
+/// per-depth scratch pool plus a word-OR apply per hypothetical label,
+/// never a fresh allocation per node. The candidate ordering pass computes
+/// each class's raw `(u⁺, u⁻)` pair once and threads it into the recursion,
+/// so no gain is computed twice for the same node.
 ///
 /// The deep recursion is **branch-and-bound** pruned, without changing any
 /// result: candidates at each node are ordered by their depth-1 entropy
@@ -76,6 +78,34 @@ impl Lookahead {
         self.depth
     }
 
+    /// The uncached Algorithm 4/6 selection over the current state.
+    fn select(&self, state: &InferenceState<'_>) -> Option<ClassId> {
+        if self.depth == 1 {
+            // Streaming Algorithm 4: track the select_best incumbent while
+            // sweeping the informative mask, no entry vector.
+            let mut best: Option<(ClassId, Entropy)> = None;
+            for t in state.informative() {
+                update_best(&mut best, t, state.entropy(t, self.mode));
+            }
+            return best.map(|(c, _)| c);
+        }
+        // Deep lookahead selects through the same bounded scan the inner
+        // nodes use — pruned candidates are exactly those select_best over
+        // the exhaustive entropies would have rejected.
+        let base = state.uninformative_count(self.mode);
+        let mut scratch = Scratch::new(self.depth);
+        best_successor(
+            state,
+            base,
+            self.depth,
+            self.mode,
+            0,
+            u64::MAX,
+            &mut scratch,
+        )
+        .map(|(c, _)| c)
+    }
+
     /// Entropies of all informative classes at the configured depth.
     ///
     /// Every value is the exact Algorithm 5 result: branch-and-bound only
@@ -89,11 +119,13 @@ impl Lookahead {
             let mut scratch = Scratch::new(self.depth);
             state
                 .informative()
-                .iter()
-                .map(|&c| {
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|c| {
+                    let pair = state.gain_pair(c, self.mode);
                     (
                         c,
-                        entropy_rel(state, base, c, self.depth, self.mode, 0, &mut scratch),
+                        entropy_rel(state, base, c, pair, self.depth, self.mode, 0, &mut scratch),
                     )
                 })
                 .collect()
@@ -105,9 +137,14 @@ impl Lookahead {
 /// states and candidate orderings are taken from the pool at each node and
 /// returned afterwards, so a whole depth-k evaluation performs O(k)
 /// allocations (first touch per level) instead of O(visited nodes).
+/// Orderings carry the raw `(u⁺, u⁻)` pair so the recursion never
+/// recomputes a gain the ordering pass already paid for.
+/// One node's candidate ordering: class and its raw `(u⁺, u⁻)` pair.
+type Ordering = Vec<(ClassId, (u64, u64))>;
+
 struct Scratch<'u> {
     states: Vec<Option<InferenceState<'u>>>,
-    orders: Vec<Option<Vec<(ClassId, Entropy)>>>,
+    orders: Vec<Option<Ordering>>,
 }
 
 impl<'u> Scratch<'u> {
@@ -165,11 +202,10 @@ fn best_successor<'u>(
     if k == 1 {
         // Leaf level: the one-step entropies *are* the depth-1 values
         // relative to the original sample, shifted by the uninformative
-        // tuples accumulated since — serve them from the state's
-        // incremental gain machinery (and its version-stamped cache).
+        // tuples accumulated since — popcount folds over the closure masks.
         let shift = s.uninformative_count(mode).saturating_sub(base);
         let mut best: Option<(ClassId, Entropy)> = None;
-        for &t in s.informative() {
+        for t in s.informative() {
             let e1 = s.entropy(t, mode);
             let e = Entropy {
                 lo: e1.lo + shift,
@@ -186,15 +222,18 @@ fn best_successor<'u>(
     // establish a high incumbent early, so weaker subtrees prune sooner.
     let mut order = scratch.orders[k].take().unwrap_or_default();
     order.clear();
-    order.extend(s.informative().iter().map(|&t| (t, s.entropy(t, mode))));
-    order.sort_by(|(ca, ea), (cb, eb)| eb.lo.cmp(&ea.lo).then(eb.hi.cmp(&ea.hi)).then(ca.cmp(cb)));
+    order.extend(s.informative().map(|t| (t, s.gain_pair(t, mode))));
+    order.sort_by(|(ca, pa), (cb, pb)| {
+        let (ea, eb) = (Entropy::of(pa.0, pa.1), Entropy::of(pb.0, pb.1));
+        eb.lo.cmp(&ea.lo).then(eb.hi.cmp(&ea.hi)).then(ca.cmp(cb))
+    });
     let mut best: Option<(ClassId, Entropy)> = None;
     // The maximum over candidates that fell below `alpha` — only reported
     // when NO candidate reaches `alpha`, as the sub-`alpha` upper bound.
     let mut below_alpha: Option<(ClassId, Entropy)> = None;
-    for &(t, _) in order.iter() {
+    for &(t, pair) in order.iter() {
         let cutoff = best.map_or(alpha, |(_, e)| e.lo);
-        let e = entropy_rel(s, base, t, k, mode, cutoff, scratch);
+        let e = entropy_rel(s, base, t, pair, k, mode, cutoff, scratch);
         if e.lo < cutoff {
             // Pruned, or exactly evaluated and strictly worse.
             update_best(&mut below_alpha, t, e);
@@ -211,27 +250,30 @@ fn best_successor<'u>(
 
 /// Depth-`k` entropy of `c` w.r.t. the *current* state, with uninformative
 /// counts measured against `base` (the original sample's count, per
-/// Algorithm 5 lines 8–9).
+/// Algorithm 5 lines 8–9). `pair` is `c`'s one-step `(u⁺, u⁻)` against the
+/// current state, already computed by the caller's ordering pass.
 ///
 /// `cutoff` is the caller's incumbent guaranteed gain. The node's value is
 /// the minimum over its two label branches, so as soon as one branch comes
 /// back below `cutoff` the node is abandoned and an upper bound of the true
 /// value (still `< cutoff`) is returned — the caller discards it. Pass `0`
 /// to force the exact value.
+#[allow(clippy::too_many_arguments)]
 fn entropy_rel<'u>(
     current: &InferenceState<'u>,
     base: u64,
     c: ClassId,
+    pair: (u64, u64),
     k: usize,
     mode: CountMode,
     cutoff: u64,
     scratch: &mut Scratch<'u>,
 ) -> Entropy {
+    let (g_pos, g_neg) = pair;
     if k == 1 {
         // u^α relative to the ORIGINAL sample: the current absolute count
         // plus the incremental gain of this labeling, minus the base.
         let here = current.uninformative_count(mode);
-        let (g_pos, g_neg) = current.gain_pair(c, mode);
         return Entropy::of(
             (here + g_pos).saturating_sub(base),
             (here + g_neg).saturating_sub(base),
@@ -239,9 +281,7 @@ fn entropy_rel<'u>(
     }
     // Try the label with the smaller one-step gain first: it is the
     // likelier minimum, so a sub-cutoff branch is discovered before the
-    // second subtree is explored at all. The pair is already cached from
-    // the parent's candidate-ordering pass.
-    let (g_pos, g_neg) = current.gain_pair(c, mode);
+    // second subtree is explored at all.
     let order = if g_pos <= g_neg {
         [Label::Positive, Label::Negative]
     } else {
@@ -291,25 +331,28 @@ impl Strategy for Lookahead {
     }
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
-        if self.depth == 1 {
-            let entries = state.entropies(self.mode);
-            return Ok(select_best(&entries).map(|(c, _)| c));
+        if state.positives().is_empty() && state.is_consistent() {
+            // Negative phase: T(S⁺) = Ω and the state — hence this
+            // deterministic selection — is a function of the negative-label
+            // mask alone. Serve it from the universe-level memo, so a
+            // server running thousands of sessions over one shared
+            // universe pays each full-candidate-set lookahead exactly once
+            // (every session's opening question, and every shared
+            // all-negative prefix). The key folds depth and mode into
+            // distinct fingerprints.
+            let key = 0x4c6b_5300 // "LkS"
+                | (self.depth as u64) << 32
+                | match self.mode {
+                    CountMode::Tuples => 0,
+                    CountMode::Classes => 1,
+                };
+            return Ok(state.universe().cached_negative_phase_move(
+                key,
+                state.labeled_negative_mask().words(),
+                || self.select(state),
+            ));
         }
-        // Deep lookahead selects through the same bounded scan the inner
-        // nodes use — pruned candidates are exactly those select_best over
-        // the exhaustive entropies would have rejected.
-        let base = state.uninformative_count(self.mode);
-        let mut scratch = Scratch::new(self.depth);
-        Ok(best_successor(
-            state,
-            base,
-            self.depth,
-            self.mode,
-            0,
-            u64::MAX,
-            &mut scratch,
-        )
-        .map(|(c, _)| c))
+        Ok(self.select(state))
     }
 }
 
@@ -317,6 +360,7 @@ impl Strategy for Lookahead {
 mod tests {
     use super::*;
     use crate::engine::{run_inference, PredicateOracle};
+    use crate::entropy::select_best;
     use crate::paper::example_2_1;
     use crate::universe::Universe;
 
@@ -364,7 +408,7 @@ mod tests {
         use jqi_datagen_free::tiny_synthetic;
         let u = Universe::build(tiny_synthetic());
         let mut state = InferenceState::new(&u);
-        let first = state.informative()[0];
+        let first = state.nth_informative(0).unwrap();
         state.apply(first, crate::Label::Negative).unwrap();
         let sample = state.as_sample();
         for k in [2usize, 3] {

@@ -54,7 +54,7 @@ fn minimax(
         let mut best: Option<(u32, ClassId)> = None;
         // Iterate a copy: speculation borrows the state immutably anyway,
         // but the candidate list must outlive each branch.
-        let informative: Vec<ClassId> = state.informative().to_vec();
+        let informative: Vec<ClassId> = state.informative().collect();
         for c in informative {
             let mut worst = 0u32;
             for alpha in Label::BOTH {

@@ -44,16 +44,18 @@ impl Strategy for Random {
     }
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
-        let candidates = state.informative();
-        if candidates.is_empty() {
+        let n = state.informative_len();
+        if n == 0 {
             return Ok(None);
         }
         // Decorrelate consecutive steps with a splitmix64-style odd
         // multiplier; SmallRng's seeding scrambles the rest.
         let step = (state.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = SmallRng::seed_from_u64(self.seed ^ step);
-        let i = rng.gen_range(0..candidates.len());
-        Ok(Some(candidates[i]))
+        let i = rng.gen_range(0..n);
+        // Word-skipping select straight off the informative mask: the i-th
+        // set bit is the same class the old materialized list held at [i].
+        Ok(state.nth_informative(i))
     }
 }
 

@@ -42,12 +42,32 @@ impl Strategy for TopDown {
         }
         // Lines 1–2: an informative class whose signature is maximal among
         // informative signatures; prefer larger signatures, then smaller id.
+        //
+        // With the static closure available, `c` is maximal among the
+        // informative classes iff no *other* informative signature contains
+        // it — distinct classes have distinct signatures, so containment is
+        // proper — i.e. iff `|up(c) ∧ open| = 1`: one popcount per
+        // candidate instead of the bucketed subset scans of
+        // [`maximal_among`].
         let universe = state.universe();
-        let best = maximal_among(universe, state.informative())
-            .into_iter()
-            .min_by_key(|&c| (usize::MAX - universe.sig_size(c), c));
+        let closure = universe.closure();
+        let best = if closure.has_static_masks() {
+            let open = state.informative_mask();
+            state
+                .informative()
+                .filter(|&c| {
+                    let up = closure.up(c).expect("static masks present");
+                    jqi_relation::bitset::count_and(up, open.words()) == 1
+                })
+                .min_by_key(|&c| (usize::MAX - universe.sig_size(c), c))
+        } else {
+            let informative: Vec<ClassId> = state.informative().collect();
+            maximal_among(universe, &informative)
+                .into_iter()
+                .min_by_key(|&c| (usize::MAX - universe.sig_size(c), c))
+        };
         debug_assert!(
-            best.is_some() || state.informative().is_empty(),
+            best.is_some() || !state.any_informative(),
             "maximality over informative classes always has a witness"
         );
         Ok(best)

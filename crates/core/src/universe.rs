@@ -43,7 +43,7 @@
 //! by the equivalence property tests and as the baseline of the `scaling`
 //! benchmark.
 
-use jqi_relation::bitset::{hash_words, or_shifted, word_count};
+use jqi_relation::bitset::{hash_words, or_shifted, word_count, WORD_BITS};
 use jqi_relation::{BitSet, Instance, Tuple};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -54,6 +54,244 @@ pub type ClassId = usize;
 /// Below this much profile-pair work, [`Universe::build`] stays
 /// single-threaded: thread spawn/merge overhead would dominate.
 const PARALLEL_THRESHOLD: u64 = 1 << 15;
+
+/// The static `up`/`down` containment masks are materialized only while
+/// `classes² ≤ STATIC_MASK_BITS_CAP` (two arenas of `classes²` bits each —
+/// 8 MiB per arena at the cap). Above it, [`ClassClosure::members`] still
+/// provides every mask on demand in `O(|Ω| · words)`; only the O(1) lookup
+/// fast path is lost.
+const STATIC_MASK_BITS_CAP: u64 = 1 << 26;
+
+/// Below this much per-class mask work, the closure build stays
+/// single-threaded.
+const CLOSURE_PARALLEL_THRESHOLD: u64 = 1 << 18;
+
+/// The containment order among T-equivalence classes, precomputed once per
+/// [`Universe`] and shared read-only by every session.
+///
+/// The paper's certainty lemmas (3.3–3.4) and the entropy pair of §4.4 are
+/// all functions of *signature containment*: a class becomes certain
+/// exactly when its signature is contained in, or contains, the right
+/// combination of labeled signatures and the interval bound `T(S⁺)`. That
+/// order is fixed the moment the universe is built — so the closure
+/// materializes it as bit masks **over class indices** and sessions reduce
+/// their per-label work to word-ORs and popcounts over ≤ `|classes|` bits:
+///
+/// * [`ClassClosure::members`]`(b)` — the classes whose signature contains
+///   Ω-bit `b`. From these, the down-set of any predicate restriction is
+///   one union–complement per query (`{t : T(t) ∩ θ ⊆ X}` =
+///   `¬⋃_{b ∈ θ∖X} members(b)`), which is what keeps mask inference
+///   **exact** even after `T(S⁺)` has shrunk below Ω.
+/// * [`ClassClosure::up`]`(c)` / [`ClassClosure::down`]`(c)` — the static
+///   supersets/subsets of class `c`'s signature, the `θ = Ω` fast path
+///   (empty and all-negative samples — in particular every first question):
+///   one word-AND + popcount per certainty or gain query.
+///
+/// All masks have [`ClassClosure::mask_words`] words; bits at or above the
+/// class count are zero in `members`/`down` and may be garbage in no mask —
+/// callers AND with a live-class mask before iterating.
+#[derive(Debug, Clone)]
+pub struct ClassClosure {
+    classes: usize,
+    mask_words: usize,
+    /// `members[b]`: stride-`mask_words` arena of per-Ω-bit class masks.
+    members: Vec<u64>,
+    /// Static superset masks (`sig(t) ⊇ sig(c)`), stride `mask_words`;
+    /// `None` above the memory cap.
+    up: Option<Vec<u64>>,
+    /// Static subset masks (`sig(t) ⊆ sig(c)`), stride `mask_words`.
+    down: Option<Vec<u64>>,
+}
+
+impl ClassClosure {
+    /// Builds the closure for `sigs` over an Ω of `omega_len` bits.
+    ///
+    /// Cost: `O(Σ|sig|)` for the per-bit member masks plus — when the
+    /// static masks fit the cap — `O(classes · |Ω| · mask_words)` word ops
+    /// for `up`/`down`, parallelized over class chunks (each class's masks
+    /// are computed independently, so the result is identical for every
+    /// worker count).
+    fn build(sigs: &[BitSet], omega_len: usize, threads: usize) -> ClassClosure {
+        let classes = sigs.len();
+        let mask_words = word_count(classes);
+        let mut members = vec![0u64; omega_len * mask_words];
+        for (c, sig) in sigs.iter().enumerate() {
+            let (wi, bit) = (c / WORD_BITS, 1u64 << (c % WORD_BITS));
+            for b in sig.iter() {
+                members[b * mask_words + wi] |= bit;
+            }
+        }
+
+        let statics = (classes as u64).pow(2) <= STATIC_MASK_BITS_CAP && classes > 0;
+        let (up, down) = if statics {
+            let mut up = vec![0u64; classes * mask_words];
+            let mut down = vec![0u64; classes * mask_words];
+            let fill = |c: ClassId, up_c: &mut [u64], down_c: &mut [u64]| {
+                // up(c) = ⋂_{b ∈ sig(c)} members(b); the empty signature is
+                // contained in everything, so start from all-ones.
+                up_c.iter_mut().for_each(|w| *w = !0);
+                for b in sigs[c].iter() {
+                    let m = &members[b * mask_words..(b + 1) * mask_words];
+                    up_c.iter_mut().zip(m).for_each(|(w, &v)| *w &= v);
+                }
+                // down(c) = ¬⋃_{b ∈ Ω∖sig(c)} members(b), clamped to the
+                // live classes so iteration never sees phantom bits.
+                for b in 0..omega_len {
+                    if sigs[c].contains(b) {
+                        continue;
+                    }
+                    let m = &members[b * mask_words..(b + 1) * mask_words];
+                    down_c.iter_mut().zip(m).for_each(|(w, &v)| *w |= v);
+                }
+                down_c.iter_mut().for_each(|w| *w = !*w);
+                clamp_mask(down_c, classes);
+                clamp_mask(up_c, classes);
+            };
+            let work = classes as u64 * (omega_len as u64).max(1) * mask_words as u64;
+            let threads = if work < CLOSURE_PARALLEL_THRESHOLD {
+                1
+            } else {
+                threads.clamp(1, classes)
+            };
+            if threads <= 1 {
+                for c in 0..classes {
+                    // Split borrows: each class owns its stride in both arenas.
+                    let up_c = &mut up[c * mask_words..(c + 1) * mask_words];
+                    // Safe split via temporary take is unnecessary: down is a
+                    // disjoint arena.
+                    let down_c = &mut down[c * mask_words..(c + 1) * mask_words];
+                    fill(c, up_c, down_c);
+                }
+            } else {
+                let chunk = classes.div_ceil(threads);
+                std::thread::scope(|s| {
+                    let fill = &fill;
+                    for (ci, (up_chunk, down_chunk)) in up
+                        .chunks_mut(chunk * mask_words)
+                        .zip(down.chunks_mut(chunk * mask_words))
+                        .enumerate()
+                    {
+                        s.spawn(move || {
+                            for (k, (up_c, down_c)) in up_chunk
+                                .chunks_mut(mask_words)
+                                .zip(down_chunk.chunks_mut(mask_words))
+                                .enumerate()
+                            {
+                                fill(ci * chunk + k, up_c, down_c);
+                            }
+                        });
+                    }
+                });
+            }
+            (Some(up), Some(down))
+        } else {
+            (None, None)
+        };
+
+        ClassClosure {
+            classes,
+            mask_words,
+            members,
+            up,
+            down,
+        }
+    }
+
+    /// Words per class-index mask (`⌈classes / 64⌉`).
+    #[inline]
+    pub fn mask_words(&self) -> usize {
+        self.mask_words
+    }
+
+    /// Number of classes the masks range over.
+    #[inline]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The classes whose signature contains Ω-bit `b`.
+    #[inline]
+    pub fn members(&self, b: usize) -> &[u64] {
+        &self.members[b * self.mask_words..(b + 1) * self.mask_words]
+    }
+
+    /// Whether the static `up`/`down` masks were materialized (see the
+    /// memory cap in the type docs).
+    #[inline]
+    pub fn has_static_masks(&self) -> bool {
+        self.up.is_some()
+    }
+
+    /// The classes whose signature contains `sig(c)` (including `c`), when
+    /// materialized.
+    #[inline]
+    pub fn up(&self, c: ClassId) -> Option<&[u64]> {
+        self.up
+            .as_deref()
+            .map(|a| &a[c * self.mask_words..(c + 1) * self.mask_words])
+    }
+
+    /// The classes whose signature is contained in `sig(c)` (including
+    /// `c`), when materialized.
+    #[inline]
+    pub fn down(&self, c: ClassId) -> Option<&[u64]> {
+        self.down
+            .as_deref()
+            .map(|a| &a[c * self.mask_words..(c + 1) * self.mask_words])
+    }
+
+    /// Resident size of the closure in bytes (shared once per universe, not
+    /// per session).
+    pub fn resident_bytes(&self) -> usize {
+        (self.members.len()
+            + self.up.as_ref().map_or(0, Vec::len)
+            + self.down.as_ref().map_or(0, Vec::len))
+            * std::mem::size_of::<u64>()
+    }
+}
+
+/// Zeroes the bits at or above `nbits` in a mask word slice.
+#[inline]
+fn clamp_mask(words: &mut [u64], nbits: usize) {
+    let rem = nbits % WORD_BITS;
+    if rem != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+/// Memo of deterministic strategies' questions during the **negative
+/// phase**, keyed by strategy fingerprint and the exact negative-label
+/// mask.
+///
+/// While a session has no positive example, `T(S⁺) = Ω` and the whole
+/// derived state is a function of *which classes were labeled negative* —
+/// so a deterministic strategy's choice is too. A server running thousands
+/// of sessions over one shared universe replays the same openings over and
+/// over (every session asks the same first question; sessions answering
+/// the same way share whole prefixes), and for deep lookahead those
+/// full-candidate-set questions are the most expensive of the session. The
+/// memo turns each repeated one into a read-locked map probe.
+///
+/// Keys are exact (the mask words themselves, no lossy hashing), so a hit
+/// can never return another state's choice. The per-strategy map is capped
+/// to bound memory on adversarial workloads; cloning a universe starts an
+/// empty memo (entries rebuild cheaply and class ids are identical).
+#[derive(Debug, Default)]
+struct NegativePhaseMoves(std::sync::RwLock<HashMap<u64, PerStrategyMoves>>);
+
+/// One strategy's memoized choices: exact negative-mask → selected class.
+type PerStrategyMoves = HashMap<Box<[u64]>, Option<ClassId>>;
+
+/// Per-strategy cap on memoized negative-phase states.
+const NEGATIVE_PHASE_MEMO_CAP: usize = 4096;
+
+impl Clone for NegativePhaseMoves {
+    fn clone(&self) -> Self {
+        NegativePhaseMoves::default()
+    }
+}
 
 /// The Cartesian product of an instance, partitioned into T-equivalence
 /// classes.
@@ -73,6 +311,12 @@ pub struct Universe {
     /// class ids), kept so [`Universe::class_of`] is O(1) expected instead
     /// of a linear scan over all signatures.
     buckets: HashMap<u64, Vec<u32>>,
+    /// The precomputed containment order among classes (see
+    /// [`ClassClosure`]): built once here, shared read-only by every
+    /// session over this universe.
+    closure: ClassClosure,
+    /// Deterministic strategies' memoized negative-phase questions.
+    negative_phase_moves: NegativePhaseMoves,
     /// Number of distinct R-side / P-side join profiles the build
     /// enumerated (`|R|` / `|P|` for the reference build).
     distinct_r: usize,
@@ -300,11 +544,11 @@ impl Universe {
         let pindex = PIndex::build(instance.p().rows(), &shared, &p_profiles, m);
         let r_rows = instance.r().rows();
 
-        let threads = threads.clamp(1, r_profiles.len().max(1));
-        let mut table = if threads <= 1 {
+        let scan_threads = threads.clamp(1, r_profiles.len().max(1));
+        let mut table = if scan_threads <= 1 {
             scan_chunk(r_rows, &r_profiles, &p_profiles, &pindex, nbits, m)
         } else {
-            let chunk = r_profiles.len().div_ceil(threads);
+            let chunk = r_profiles.len().div_ceil(scan_threads);
             let locals: Vec<ClassTable> = std::thread::scope(|s| {
                 let handles: Vec<_> = r_profiles
                     .chunks(chunk)
@@ -327,6 +571,7 @@ impl Universe {
 
         let sig_sizes = table.sigs.iter().map(|s| s.len() as u32).collect();
         table.buckets.shrink_to_fit();
+        let closure = ClassClosure::build(&table.sigs, nbits, threads);
         Universe {
             instance,
             sigs: table.sigs,
@@ -334,6 +579,8 @@ impl Universe {
             counts: table.counts,
             reps: table.reps,
             buckets: table.buckets,
+            closure,
+            negative_phase_moves: NegativePhaseMoves::default(),
             distinct_r: r_profiles.len(),
             distinct_p: p_profiles.len(),
         }
@@ -382,6 +629,52 @@ impl Universe {
     #[inline]
     pub fn count(&self, c: ClassId) -> u64 {
         self.counts[c]
+    }
+
+    /// Per-class tuple counts, indexed by class id — the weight array the
+    /// mask-based gain computations fold over.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The precomputed containment closure among classes.
+    #[inline]
+    pub fn closure(&self) -> &ClassClosure {
+        &self.closure
+    }
+
+    /// The memoized negative-phase question of a deterministic strategy
+    /// over this universe, computing it with `compute` on the first call
+    /// per `(strategy_key, neg_mask)`.
+    ///
+    /// `strategy_key` must fingerprint everything the strategy's choice
+    /// depends on besides the state — e.g. lookahead depth and count mode;
+    /// `neg_mask` is the exact negative-label class mask, which determines
+    /// the whole derived state while no positive example exists
+    /// (`T(S⁺) = Ω`). Strategies whose choice depends on per-session data
+    /// (a random seed) must not use the memo. Thread-safe; concurrent
+    /// first calls may both compute, last write wins (the value is
+    /// deterministic, so the races agree).
+    pub fn cached_negative_phase_move(
+        &self,
+        strategy_key: u64,
+        neg_mask: &[u64],
+        compute: impl FnOnce() -> Option<ClassId>,
+    ) -> Option<ClassId> {
+        {
+            let memo = self.negative_phase_moves.0.read().expect("poisoned");
+            if let Some(&hit) = memo.get(&strategy_key).and_then(|m| m.get(neg_mask)) {
+                return hit;
+            }
+        }
+        let value = compute();
+        let mut memo = self.negative_phase_moves.0.write().expect("poisoned");
+        let per_strategy = memo.entry(strategy_key).or_default();
+        if per_strategy.len() < NEGATIVE_PHASE_MEMO_CAP {
+            per_strategy.insert(neg_mask.into(), value);
+        }
+        value
     }
 
     /// A representative `(ri, pi)` product tuple of class `c` — the tuple a
@@ -639,6 +932,75 @@ mod tests {
         let u = Universe::build(b.build().unwrap());
         assert_eq!(u.num_classes(), 2);
         assert!(u.class_of(0, 0).is_some());
+    }
+
+    #[test]
+    fn closure_masks_match_pairwise_containment() {
+        let u = Universe::build(example_2_1());
+        let closure = u.closure();
+        assert!(closure.has_static_masks());
+        assert_eq!(closure.classes(), u.num_classes());
+        let contains = |mask: &[u64], t: ClassId| mask[t / 64] >> (t % 64) & 1 == 1;
+        for c in 0..u.num_classes() {
+            let up = closure.up(c).expect("static masks present");
+            let down = closure.down(c).expect("static masks present");
+            for t in 0..u.num_classes() {
+                assert_eq!(
+                    contains(up, t),
+                    u.sig(c).is_subset(u.sig(t)),
+                    "up({c}) wrong at {t}"
+                );
+                assert_eq!(
+                    contains(down, t),
+                    u.sig(t).is_subset(u.sig(c)),
+                    "down({c}) wrong at {t}"
+                );
+            }
+            // Reflexivity: every class is in its own up and down sets.
+            assert!(contains(up, c) && contains(down, c));
+        }
+        // members(b) lists exactly the classes whose signature has bit b.
+        for b in 0..u.omega_len() {
+            let m = closure.members(b);
+            for t in 0..u.num_classes() {
+                assert_eq!(contains(m, t), u.sig(t).contains(b), "members({b}) at {t}");
+            }
+        }
+        assert!(closure.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn closure_parallel_build_matches_sequential() {
+        // Force > 64 classes so masks are multi-word, and check every
+        // worker count produces identical closure arenas.
+        let mut b = InstanceBuilder::new();
+        b.relation_r("R", &["A1", "A2", "A3"]);
+        b.relation_p("P", &["B1", "B2", "B3"]);
+        for i in 0..40i64 {
+            b.row_r_ints(&[i % 5, (i * 3) % 4, (i * 7) % 6]);
+        }
+        for j in 0..30i64 {
+            b.row_p_ints(&[(j * 2) % 5, j % 4, (j * 5) % 6]);
+        }
+        let inst = b.build().unwrap();
+        let seq = Universe::build_with_parallelism(inst.clone(), 1);
+        assert!(seq.num_classes() > 64, "want multi-word class masks");
+        for threads in [2usize, 5] {
+            let par = Universe::build_with_parallelism(inst.clone(), threads);
+            assert_eq!(seq.closure.members, par.closure.members);
+            assert_eq!(seq.closure.up, par.closure.up);
+            assert_eq!(seq.closure.down, par.closure.down);
+        }
+        // Spot-check multi-word masks against pairwise containment.
+        let closure = seq.closure();
+        assert_eq!(closure.mask_words(), 2);
+        let contains = |mask: &[u64], t: ClassId| mask[t / 64] >> (t % 64) & 1 == 1;
+        for c in (0..seq.num_classes()).step_by(7) {
+            let down = closure.down(c).unwrap();
+            for t in 0..seq.num_classes() {
+                assert_eq!(contains(down, t), seq.sig(t).is_subset(seq.sig(c)));
+            }
+        }
     }
 
     #[test]

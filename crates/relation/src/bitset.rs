@@ -83,6 +83,43 @@ pub fn or_shifted(dst: &mut [u64], mask: &[u64], base: usize) {
     }
 }
 
+/// Popcount of the intersection of two word slices (`|a ∩ b|`), without
+/// materializing it. Slices may have different lengths; missing words count
+/// as zero. This is the mask-algebra primitive behind popcount-speed
+/// entropy: `jqi_core`'s class-index masks intersect the precomputed
+/// containment closure with the live informative mask and only ever need
+/// the cardinality.
+#[inline]
+pub fn count_and(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// The position of the `n`-th (0-based) set bit of a word slice, in
+/// ascending order, or `None` if fewer than `n + 1` bits are set.
+///
+/// Word-skipping select: whole words are stepped over by popcount, then the
+/// target word is scanned bit by bit. Used by the random strategy to draw a
+/// uniform informative class from the class-index mask without
+/// materializing a candidate vector.
+#[inline]
+pub fn nth_set_bit(words: &[u64], mut n: usize) -> Option<usize> {
+    for (wi, &w) in words.iter().enumerate() {
+        let ones = w.count_ones() as usize;
+        if n < ones {
+            let mut w = w;
+            for _ in 0..n {
+                w &= w - 1; // clear the lowest set bit
+            }
+            return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+        }
+        n -= ones;
+    }
+    None
+}
+
 /// A cheap, deterministic 64-bit hash over a word slice (murmur-style
 /// finalizer). Used to bucket signatures during class construction; callers
 /// must re-check full equality on collision.
@@ -319,6 +356,27 @@ impl BitSet {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Mutable raw words, for callers assembling masks in place (the
+    /// incremental inference state's word-OR updates). Bits at or above
+    /// [`BitSet::capacity`] must stay zero.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// `|self ∩ other|` without materializing the intersection — see the
+    /// free function [`count_and`].
+    #[inline]
+    pub fn count_and(&self, other: &BitSet) -> usize {
+        count_and(&self.words, &other.words)
+    }
+
+    /// The `n`-th (0-based, ascending) set position — see the free function
+    /// [`nth_set_bit`].
+    #[inline]
+    pub fn nth_set_bit(&self, n: usize) -> Option<usize> {
+        nth_set_bit(&self.words, n)
+    }
 }
 
 impl PartialEq for BitSet {
@@ -549,6 +607,40 @@ mod tests {
         let mut c = BitSet::empty(10);
         c.clone_from(&a); // different word count: reallocates
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn count_and_matches_materialized_intersection() {
+        let a = BitSet::from_iter(200, [0, 63, 64, 130, 199]);
+        let b = BitSet::from_iter(200, [63, 64, 131, 199]);
+        assert_eq!(a.count_and(&b), a.intersection(&b).len());
+        assert_eq!(a.count_and(&b), 3);
+        // Free-function form tolerates length mismatches (missing words = 0).
+        assert_eq!(count_and(a.words(), &b.words()[..1]), 1);
+        assert_eq!(count_and(&[], a.words()), 0);
+    }
+
+    #[test]
+    fn nth_set_bit_is_select() {
+        let positions = [0usize, 7, 63, 64, 129, 190];
+        let s = BitSet::from_iter(200, positions);
+        for (n, &p) in positions.iter().enumerate() {
+            assert_eq!(s.nth_set_bit(n), Some(p), "select({n})");
+        }
+        assert_eq!(s.nth_set_bit(positions.len()), None);
+        assert_eq!(BitSet::empty(10).nth_set_bit(0), None);
+        // Agrees with the iterator for every rank.
+        for (n, p) in s.iter().enumerate() {
+            assert_eq!(s.nth_set_bit(n), Some(p));
+        }
+    }
+
+    #[test]
+    fn words_mut_round_trips() {
+        let mut s = BitSet::empty(100);
+        s.words_mut()[1] |= 1; // bit 64
+        assert!(s.contains(64));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -32,7 +32,8 @@
 //! // User A wants Q2 (city AND discount airline must match), via L2S.
 //! let a = manager.create_session(StrategyConfig::Lks { depth: 2 });
 //! while let Some(q) = manager.next_question(a).unwrap() {
-//!     let keep = q.values[1] == q.values[3] && q.values[2] == q.values[4];
+//!     let v = q.values(&universe);
+//!     let keep = v[1] == v[3] && v[2] == v[4];
 //!     let label = if keep { Label::Positive } else { Label::Negative };
 //!     manager.answer(a, q.class, label).unwrap();
 //! }
@@ -61,5 +62,5 @@ pub mod json;
 pub mod manager;
 pub mod snapshot;
 
-pub use manager::{Result, ServerConfig, ServerError, SessionId, SessionManager};
+pub use manager::{ManagerStats, Result, ServerConfig, ServerError, SessionId, SessionManager};
 pub use snapshot::{SessionSnapshot, SnapshotError, SNAPSHOT_FORMAT};

@@ -26,8 +26,42 @@ use jqi_core::{ClassId, InferenceError, Label, StrategyConfig, Universe};
 use jqi_relation::BitSet;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A multiply–xorshift finalizer for the `u64` session ids.
+///
+/// The session table is probed twice per answered question (question +
+/// answer), and std's default SipHash dominates a `u64` lookup; ids are
+/// either a trusted counter or snapshot-restored values, so a keyed hash
+/// buys nothing here. The finalizer is the 64-bit murmur mix — full
+/// avalanche, so sequential ids spread over the buckets.
+#[derive(Default)]
+struct SessionIdHasher(u64);
+
+impl Hasher for SessionIdHasher {
+    #[inline]
+    fn write_u64(&mut self, id: u64) {
+        let mut h = id;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        self.0 = h;
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Sessions ids hash through write_u64; keep a correct fallback.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Identifier of a session within one [`SessionManager`].
 pub type SessionId = u64;
@@ -92,7 +126,30 @@ struct Slot {
     config: StrategyConfig,
 }
 
-type Shard = RwLock<HashMap<SessionId, Arc<Mutex<Slot>>>>;
+/// Aggregate per-session memory statistics of a [`SessionManager`] — see
+/// [`SessionManager::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Live sessions at sampling time.
+    pub sessions: usize,
+    /// Total resident bytes of derived inference state across sessions.
+    pub state_bytes: usize,
+    /// Total bytes of label history (the replay log) across sessions.
+    pub history_bytes: usize,
+}
+
+impl ManagerStats {
+    /// Mean derived-state bytes per live session (0 when empty).
+    pub fn state_bytes_per_session(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.state_bytes as f64 / self.sessions as f64
+        }
+    }
+}
+
+type Shard = RwLock<HashMap<SessionId, Arc<Mutex<Slot>>, BuildHasherDefault<SessionIdHasher>>>;
 
 /// A thread-safe, multi-session inference service over one shared universe.
 ///
@@ -121,7 +178,9 @@ impl SessionManager {
         let shards = config.shards.max(1);
         SessionManager {
             universe,
-            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| RwLock::new(HashMap::default()))
+                .collect(),
             next_id: AtomicU64::new(0),
         }
     }
@@ -134,6 +193,31 @@ impl SessionManager {
     /// Number of live sessions across all shards.
     pub fn session_count(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Aggregate per-session resident-memory statistics (one pass over the
+    /// session table, locking each session briefly), so footprint
+    /// regressions are visible in server stats and bench output.
+    ///
+    /// `state_bytes` sums the mask-compressed derived inference state of
+    /// every live session ([`jqi_core::InferenceState::state_bytes`]);
+    /// `history_bytes` sums the replay logs (what snapshots persist,
+    /// proportional to answers given). The shared universe is excluded —
+    /// it is paid once per process, not per session.
+    pub fn stats(&self) -> ManagerStats {
+        let mut stats = ManagerStats::default();
+        for shard in self.shards.iter() {
+            // Clone the slot handles out so the shard lock is not held
+            // while session mutexes are taken.
+            let slots: Vec<Arc<Mutex<Slot>>> = shard.read().values().cloned().collect();
+            for slot in slots {
+                let guard = slot.lock();
+                stats.sessions += 1;
+                stats.state_bytes += guard.session.state_bytes();
+                stats.history_bytes += std::mem::size_of_val(guard.session.history());
+            }
+        }
+        stats
     }
 
     fn shard(&self, id: SessionId) -> &Shard {
@@ -371,6 +455,31 @@ mod tests {
         // The session keeps going: either the old question is still open
         // or a fresh one replaced it.
         let _ = m.next_question(id).unwrap();
+    }
+
+    #[test]
+    fn stats_report_per_session_memory() {
+        let m = manager();
+        assert_eq!(m.stats(), ManagerStats::default());
+        let a = m.create_session(StrategyConfig::Bu);
+        let b = m.create_session(StrategyConfig::Lks { depth: 2 });
+        let q = m.next_question(a).unwrap().unwrap();
+        m.answer(a, q.class, Label::Negative).unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.sessions, 2);
+        // Mask-compressed sessions over the paper's instance are ~100 bytes
+        // of derived state each.
+        assert!(stats.state_bytes > 0);
+        assert!(
+            stats.state_bytes_per_session() <= 160.0,
+            "session state ballooned: {} bytes/session",
+            stats.state_bytes_per_session()
+        );
+        // One answer recorded: history accounting follows.
+        assert_eq!(stats.history_bytes, std::mem::size_of::<(ClassId, Label)>());
+        m.remove(a).unwrap();
+        m.remove(b).unwrap();
+        assert_eq!(m.stats().sessions, 0);
     }
 
     #[test]

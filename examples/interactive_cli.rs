@@ -68,7 +68,11 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let values: Vec<String> = candidate.values.iter().map(|v| v.to_string()).collect();
+        let values: Vec<String> = candidate
+            .values(&universe)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         print!("({})  [y/n/q] ", values.join(" | "));
         std::io::stdout().flush().expect("flush stdout");
         let answer = lines.next().and_then(Result::ok).unwrap_or_default();

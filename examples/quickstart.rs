@@ -47,7 +47,11 @@ fn main() {
         } else {
             Label::Negative
         };
-        let values: Vec<String> = candidate.values.iter().map(|v| v.to_string()).collect();
+        let values: Vec<String> = candidate
+            .values(&universe)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         println!(
             "  Q{}: ({})  →  {}",
             session.interactions() + 1,

@@ -76,9 +76,14 @@ fn assert_state_matches_scratch(state: &InferenceState<'_>, sample: &Sample) {
         return; // the partition is only defined for consistent samples
     }
     assert_eq!(
-        state.informative().to_vec(),
+        state.informative().collect::<Vec<_>>(),
         certain::informative_classes(universe, sample),
         "informative sets diverge"
+    );
+    assert_eq!(
+        state.informative_len(),
+        certain::informative_classes(universe, sample).len(),
+        "maintained informative popcount diverges"
     );
     assert_eq!(
         state.any_informative(),
@@ -106,7 +111,7 @@ fn assert_state_matches_scratch(state: &InferenceState<'_>, sample: &Sample) {
         }
     }
     // One-step entropies of the informative classes.
-    for &c in state.informative() {
+    for c in state.informative() {
         for mode in [CountMode::Tuples, CountMode::Classes] {
             assert_eq!(
                 state.entropy(c, mode),
@@ -118,7 +123,7 @@ fn assert_state_matches_scratch(state: &InferenceState<'_>, sample: &Sample) {
     // Spot-check the depth-2 lookahead recursion over speculated states
     // against Algorithm 5's reference implementation (bounded: it is
     // quadratic in the informative set).
-    if state.informative().len() <= 10 {
+    if state.informative_len() <= 10 {
         let l2s = Lookahead::l2s();
         for (c, e) in l2s.entropies(state).into_iter().take(3) {
             assert_eq!(
@@ -174,6 +179,146 @@ fn example_2_1_replay_matches_from_scratch() {
         universe.instance().equijoin(state.t_pos()),
         universe.instance().equijoin(&goal),
     );
+}
+
+/// A deterministic instance with > 64 T-equivalence classes, so every
+/// class-index mask of the inference state spans multiple words.
+fn multiword_class_instance() -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.relation_r("R", &["A1", "A2", "A3"]);
+    b.relation_p("P", &["B1", "B2", "B3"]);
+    for i in 0..40i64 {
+        b.row_r_ints(&[i % 5, (i * 3) % 4, (i * 7) % 6]);
+    }
+    for j in 0..30i64 {
+        b.row_p_ints(&[(j * 2) % 5, j % 4, (j * 5) % 6]);
+    }
+    b.build().expect("well-formed")
+}
+
+/// Multi-word class masks: the mask-compressed state must track the
+/// from-scratch specs bit-for-bit when the partition masks span several
+/// words (> 64 classes), through a full goal-driven replay.
+#[test]
+fn mask_state_matches_scratch_beyond_64_classes() {
+    let universe = Universe::build(multiword_class_instance());
+    assert!(
+        universe.num_classes() > 64,
+        "want multi-word class masks, got {} classes",
+        universe.num_classes()
+    );
+    let goal = BitSet::from_iter(universe.omega_len(), [0usize, 4]);
+    let mut state = InferenceState::new(&universe);
+    let mut sample = Sample::new(&universe);
+    let mut step = 0usize;
+    while let Some(c) = state.nth_informative(0) {
+        let label = if goal.is_subset(universe.sig(c)) {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
+        state.apply(c, label).expect("informative class");
+        sample.add(&universe, c, label).expect("mirrored");
+        // The full cross-check is cubic-ish in classes; sample it.
+        if step.is_multiple_of(13) {
+            assert_state_matches_scratch(&state, &sample);
+        }
+        step += 1;
+    }
+    assert_state_matches_scratch(&state, &sample);
+}
+
+/// Proptest generator for a wide instance: `R` with one attribute, `P`
+/// with m = 70 — every Ω-mask (signatures, θ bounds) spans two words, the
+/// regression surface of the former `m ≤ 64` limit.
+fn wide_instance() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec(0i64..4, 1..4),
+        prop::collection::vec(prop::collection::vec(0i64..4, 70..71), 1..4),
+    )
+        .prop_map(|(r_rows, p_rows)| {
+            let mut b = InstanceBuilder::new();
+            let p_attrs: Vec<String> = (0..70).map(|j| format!("B{j}")).collect();
+            let p_refs: Vec<&str> = p_attrs.iter().map(String::as_str).collect();
+            b.relation_r("R", &["A1"]);
+            b.relation_p("P", &p_refs);
+            for &r in &r_rows {
+                b.row_r_ints(&[r]);
+            }
+            for p in &p_rows {
+                b.row_p_ints(p);
+            }
+            b.build().expect("well-formed")
+        })
+}
+
+proptest! {
+    /// Satellite equivalence at m = 70 (multi-word Ω): after ANY label
+    /// sequence, the mask-compressed `InferenceState` equals the
+    /// from-scratch recomputation via `certain.rs` / `entropy.rs`.
+    #[test]
+    fn mask_state_matches_scratch_on_wide_instances(
+        inst in wide_instance(),
+        labels in prop::collection::vec(0u8..3, 0..8),
+    ) {
+        let universe = Universe::build(inst);
+        let mut state = InferenceState::new(&universe);
+        let mut sample = Sample::new(&universe);
+        for (c, &l) in labels.iter().enumerate().take(universe.num_classes()) {
+            let label = match l {
+                0 => continue,
+                1 => Label::Positive,
+                _ => Label::Negative,
+            };
+            if sample.label(c).is_some() {
+                continue;
+            }
+            sample.add(&universe, c, label).expect("unlabeled");
+            state.apply(c, label).expect("mirrored");
+            assert_state_matches_scratch(&state, &sample);
+            if !state.is_consistent() {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite equivalence on duplicate-heavy `ScaledConfig` instances:
+    /// class weights are real multiplicities, so the weighted
+    /// uninformative counts and gains exercise the tuple-mode folds.
+    #[test]
+    fn mask_state_matches_scratch_on_scaled_config(
+        seed in 0u64..1000,
+        labels in prop::collection::vec(0u8..3, 0..10),
+    ) {
+        use join_query_inference::datagen::ScaledConfig;
+        let cfg = ScaledConfig::new(3, 3, 120, 90, 10, 8, 6);
+        let universe = Universe::build(cfg.generate(seed));
+        prop_assert!(universe.total_tuples() == 120 * 90);
+        let mut state = InferenceState::new(&universe);
+        let mut sample = Sample::new(&universe);
+        for (i, &l) in labels.iter().enumerate() {
+            let label = match l {
+                0 => continue,
+                1 => Label::Positive,
+                _ => Label::Negative,
+            };
+            // Spread the labels over the class range.
+            let c = (i * 7) % universe.num_classes().max(1);
+            if sample.label(c).is_some() {
+                continue;
+            }
+            sample.add(&universe, c, label).expect("unlabeled");
+            state.apply(c, label).expect("mirrored");
+            assert_state_matches_scratch(&state, &sample);
+            if !state.is_consistent() {
+                break;
+            }
+        }
+    }
 }
 
 proptest! {
@@ -246,7 +391,7 @@ proptest! {
         }
         prop_assert!(state.is_consistent(), "goal-free labels of informative classes stay consistent");
         let sample = state.as_sample();
-        prop_assume!(state.informative().len() <= 8);
+        prop_assume!(state.informative_len() <= 8);
         for k in [2usize, 3] {
             let mut strategy = Lookahead::new(k);
             let entries = strategy.entropies(&state);

@@ -17,6 +17,7 @@ pub mod test_runner;
 /// The imports property tests conventionally glob in.
 pub mod prelude {
     pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
 
     /// Namespace mirror of upstream's `prelude::prop`.
@@ -40,6 +41,29 @@ pub mod prelude {
 /// ```
 #[macro_export]
 macro_rules! proptest {
+    // Upstream's block-level config form: an explicit case count for the
+    // block overrides the default (the `PROPTEST_CASES` environment
+    // variable still caps it, so CI can dial everything down at once).
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases().min(($cfg).cases);
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!("property failed at case {}/{}: {}", case + 1, cases, e);
+                    }
+                }
+            }
+        )*
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*

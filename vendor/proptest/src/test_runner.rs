@@ -15,6 +15,22 @@ pub fn cases() -> u32 {
         .unwrap_or(DEFAULT_CASES)
 }
 
+/// Block-level configuration, as accepted by upstream's
+/// `#![proptest_config(...)]` attribute. Only the `cases` knob is
+/// implemented.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases to run per property in the configured block.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
 /// The RNG handed to strategies; deterministic per test name so failures
 /// reproduce across runs.
 #[derive(Debug, Clone)]
