@@ -10,8 +10,12 @@
 //! so the guard only catches order-of-magnitude regressions, not noise):
 //!
 //! * `--kind server` — the interactive phase's per-answer `mean_us`, the
-//!   batch phase's `mean_us`, and per-session derived-state bytes
-//!   (`state_bytes_per_session`, a hard factor on memory, not latency).
+//!   batch phase's `mean_us`, per-session derived-state bytes
+//!   (`state_bytes_per_session`, a hard factor on memory, not latency),
+//!   the fleet phase's warm and cold first-question `mean_us` plus the
+//!   warm-over-cold speedup (`warm_speedup` must not shrink below
+//!   `baseline / factor`), and the hibernation tier's parked-session
+//!   resident bytes (`hibernated_bytes_per_session`).
 //! * `--kind scaling` — per dataset point matched **by name**,
 //!   `build_speedup` must not shrink below `baseline / factor` and
 //!   `l1s_first_step_ms` / `l3s_first_step_ms` must not exceed
@@ -136,6 +140,29 @@ fn guard_server(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(), 
     // Memory is machine-independent: a tight factor would also be fine,
     // but share the guard's knob for simplicity.
     guard.at_most("state_bytes_per_session", f, b);
+    // Fleet phase: cold and warm first-question latencies individually,
+    // and the warm-over-cold speedup (the decision cache's headline
+    // number) as a floor.
+    for (leaf, what) in [
+        ("cold_first_question", "fleet cold first-question mean_us"),
+        ("warm_first_question", "fleet warm first-question mean_us"),
+    ] {
+        let f = num(fresh, &["fleet", leaf, "mean_us"])
+            .ok_or(format!("fresh report lacks fleet {leaf}"))?;
+        let b = num(baseline, &["fleet", leaf, "mean_us"])
+            .ok_or(format!("baseline lacks fleet {leaf}"))?;
+        guard.at_most(what, f, b);
+    }
+    let f = num(fresh, &["fleet", "warm_speedup"]).ok_or("fresh report lacks warm_speedup")?;
+    let b = num(baseline, &["fleet", "warm_speedup"]).ok_or("baseline lacks warm_speedup")?;
+    guard.at_least("fleet warm_speedup", f, b);
+    // Hibernation tier: parked-session resident bytes are
+    // machine-independent like the state bytes above.
+    let f = num(fresh, &["hibernate", "hibernated_bytes_per_session"])
+        .ok_or("fresh report lacks hibernated_bytes_per_session")?;
+    let b = num(baseline, &["hibernate", "hibernated_bytes_per_session"])
+        .ok_or("baseline lacks hibernated_bytes_per_session")?;
+    guard.at_most("hibernated_bytes_per_session", f, b);
     Ok(())
 }
 

@@ -24,19 +24,28 @@
 //!    `apply_batch` mask ops, no JSON), bucketed by history length in the
 //!    report's `restore_vs_history` array so replay cost can be read as a
 //!    function of the session's age.
+//! 5. **fleet** — the universe-level decision cache under a fleet of LkS
+//!    sessions on a TPC-H workload: first-question latency with the cache
+//!    disabled (*cold* — every session pays the full-candidate-set
+//!    lookahead) versus enabled (*warm* — the first session computes,
+//!    the rest answer from the shared cache), with the cache's
+//!    hit/miss/eviction counters and resident bytes in the report.
+//! 6. **hibernate** — the interactive fleet parked into the hibernation
+//!    tier: resident vs parked bytes per session, and the wake (lazy
+//!    re-materialization by replay) latency distribution.
 //!
 //! The `throughput` binary renders a table and writes `BENCH_server.json`
 //! at the repo root; see the README for the schema.
 
 use crate::json::{Json, ToJson};
 use jqi_core::paper::flight_hotel;
-use jqi_core::{ClassId, Label, StrategyConfig, Universe};
+use jqi_core::{ClassId, DecisionCacheStats, Label, StrategyConfig, Universe};
 use jqi_relation::BitSet;
 use jqi_server::{ManagerStats, ServerConfig, SessionManager, SessionSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Load parameters.
 #[derive(Debug, Clone, Copy)]
@@ -170,6 +179,105 @@ impl ToJson for RestoreByHistory {
     }
 }
 
+/// The decision-cache counters as a JSON object.
+fn cache_json(stats: &DecisionCacheStats) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::num(stats.hits as f64)),
+        ("misses".into(), Json::num(stats.misses as f64)),
+        ("evictions".into(), Json::num(stats.evictions as f64)),
+        ("entries".into(), Json::num(stats.entries as f64)),
+        ("bytes".into(), Json::num(stats.bytes as f64)),
+        ("budget_bytes".into(), Json::num(stats.budget_bytes as f64)),
+    ])
+}
+
+/// The fleet phase: cold vs warm first-question latency of a deterministic
+/// lookahead fleet over one shared TPC-H universe.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Workload label, e.g. `"tpch SF=small Join 4"`.
+    pub instance: String,
+    /// The fleet's strategy config string (e.g. `"LKS:2"`).
+    pub strategy: String,
+    /// Sessions in the cold fleet (decision cache disabled).
+    pub cold_sessions: usize,
+    /// Sessions in the warm fleet (shared decision cache enabled).
+    pub warm_sessions: usize,
+    /// First-question latency with every session computing the lookahead.
+    pub cold_first_question: LatencySummary,
+    /// First-question latency with the shared cache (first session
+    /// computes, the rest probe).
+    pub warm_first_question: LatencySummary,
+    /// `cold mean / warm mean`.
+    pub warm_speedup: f64,
+    /// The warm universe's cache counters after the fleet ran.
+    pub cache: DecisionCacheStats,
+}
+
+impl ToJson for FleetReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("instance".into(), Json::str(&self.instance)),
+            ("strategy".into(), Json::str(&self.strategy)),
+            ("cold_sessions".into(), Json::num(self.cold_sessions as f64)),
+            ("warm_sessions".into(), Json::num(self.warm_sessions as f64)),
+            (
+                "cold_first_question".into(),
+                self.cold_first_question.to_json(),
+            ),
+            (
+                "warm_first_question".into(),
+                self.warm_first_question.to_json(),
+            ),
+            ("warm_speedup".into(), Json::Num(self.warm_speedup)),
+            ("decision_cache".into(), cache_json(&self.cache)),
+        ])
+    }
+}
+
+/// The hibernate phase: the interactive fleet parked and woken again.
+#[derive(Debug, Clone)]
+pub struct HibernateReport {
+    /// Fleet size.
+    pub sessions: usize,
+    /// Sessions the zero-TTL sweep actually parked.
+    pub parked: usize,
+    /// Mean full resident footprint per materialized session before
+    /// parking (session struct + derived-state heap + history heap).
+    pub resident_bytes_per_session: f64,
+    /// Mean derived-state heap per materialized session (the PR-4 metric,
+    /// kept for continuity).
+    pub state_bytes_per_session: f64,
+    /// Mean resident bytes per parked session (replay log + pending
+    /// marker).
+    pub hibernated_bytes_per_session: f64,
+    /// Latency of the first touch after parking: lazy re-materialization
+    /// by replay through one `apply_batch`.
+    pub wake: LatencySummary,
+}
+
+impl ToJson for HibernateReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sessions".into(), Json::num(self.sessions as f64)),
+            ("parked".into(), Json::num(self.parked as f64)),
+            (
+                "resident_bytes_per_session".into(),
+                Json::Num(self.resident_bytes_per_session),
+            ),
+            (
+                "state_bytes_per_session".into(),
+                Json::Num(self.state_bytes_per_session),
+            ),
+            (
+                "hibernated_bytes_per_session".into(),
+                Json::Num(self.hibernated_bytes_per_session),
+            ),
+            ("wake".into(), self.wake.to_json()),
+        ])
+    }
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -187,6 +295,10 @@ pub struct ThroughputReport {
     /// Restore latency as a function of history length (the `restore`
     /// phase, bucketed).
     pub restore_vs_history: Vec<RestoreByHistory>,
+    /// The decision-cache fleet phase (cold vs warm first questions).
+    pub fleet: FleetReport,
+    /// The hibernation phase (park + wake the interactive fleet).
+    pub hibernate: HibernateReport,
 }
 
 impl ToJson for ThroughputReport {
@@ -214,6 +326,14 @@ impl ToJson for ThroughputReport {
                         Json::num(self.session_memory.sessions as f64),
                     ),
                     (
+                        "resident_sessions".into(),
+                        Json::num(self.session_memory.resident_sessions as f64),
+                    ),
+                    (
+                        "hibernated_sessions".into(),
+                        Json::num(self.session_memory.hibernated_sessions as f64),
+                    ),
+                    (
                         "state_bytes_total".into(),
                         Json::num(self.session_memory.state_bytes as f64),
                     ),
@@ -222,8 +342,24 @@ impl ToJson for ThroughputReport {
                         Json::Num(self.session_memory.state_bytes_per_session()),
                     ),
                     (
+                        "resident_bytes_total".into(),
+                        Json::num(self.session_memory.resident_bytes as f64),
+                    ),
+                    (
+                        "resident_bytes_per_session".into(),
+                        Json::Num(self.session_memory.resident_bytes_per_session()),
+                    ),
+                    (
                         "history_bytes_total".into(),
                         Json::num(self.session_memory.history_bytes as f64),
+                    ),
+                    (
+                        "hibernated_bytes_total".into(),
+                        Json::num(self.session_memory.hibernated_bytes as f64),
+                    ),
+                    (
+                        "decision_cache".into(),
+                        cache_json(&self.session_memory.decision_cache),
                     ),
                 ]),
             ),
@@ -232,6 +368,8 @@ impl ToJson for ThroughputReport {
                 "restore_vs_history".into(),
                 Json::arr(&self.restore_vs_history),
             ),
+            ("fleet".into(), self.fleet.to_json()),
+            ("hibernate".into(), self.hibernate.to_json()),
         ])
     }
 }
@@ -275,6 +413,33 @@ impl ThroughputReport {
                 p.latency.max_us,
             );
         }
+        let _ = writeln!(
+            out,
+            "fleet ({} / {}): first question cold {:.1} µs mean ({} sessions) vs warm {:.3} µs \
+             mean ({} sessions) — {:.0}× ({} hits / {} misses, {} B cache of {} B budget)",
+            self.fleet.instance,
+            self.fleet.strategy,
+            self.fleet.cold_first_question.mean_us,
+            self.fleet.cold_sessions,
+            self.fleet.warm_first_question.mean_us,
+            self.fleet.warm_sessions,
+            self.fleet.warm_speedup,
+            self.fleet.cache.hits,
+            self.fleet.cache.misses,
+            self.fleet.cache.bytes,
+            self.fleet.cache.budget_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "hibernate: {} of {} sessions parked, {:.0} B resident → {:.0} B parked per \
+             session; wake mean {:.1} µs / p50 {:.1} µs",
+            self.hibernate.parked,
+            self.hibernate.sessions,
+            self.hibernate.resident_bytes_per_session,
+            self.hibernate.hibernated_bytes_per_session,
+            self.hibernate.wake.mean_us,
+            self.hibernate.wake.p50_us,
+        );
         out
     }
 }
@@ -333,6 +498,7 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         Arc::clone(&universe),
         ServerConfig {
             shards: params.shards,
+            ..ServerConfig::default()
         },
     ));
 
@@ -408,6 +574,7 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         Arc::clone(&universe),
         ServerConfig {
             shards: params.shards,
+            ..ServerConfig::default()
         },
     ));
     let phase_start = Instant::now();
@@ -449,6 +616,7 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         Arc::clone(&universe),
         ServerConfig {
             shards: params.shards,
+            ..ServerConfig::default()
         },
     ));
     let phase_start = Instant::now();
@@ -500,6 +668,7 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         Arc::clone(&universe),
         ServerConfig {
             shards: params.shards,
+            ..ServerConfig::default()
         },
     ));
     let phase_start = Instant::now();
@@ -546,6 +715,32 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         latency: LatencySummary::of(restore_lat.into_iter().map(|(_, ns)| ns).collect()),
     };
 
+    // Phase 5: the decision cache under an LkS fleet on TPC-H — cold
+    // (cache disabled, every session pays the full first-question
+    // lookahead) vs warm (shared cache; the first session computes, the
+    // rest probe).
+    let fleet = fleet_phase(tiny, params.seed);
+
+    // Phase 6: hibernation — park the fully-answered interactive fleet,
+    // then touch every session once so the wake path (lazy
+    // re-materialization by replay) is measured at fleet scale.
+    let parked = manager.hibernate_idle(Duration::ZERO);
+    let parked_stats = manager.stats();
+    let mut wake_lat: Vec<u64> = Vec::with_capacity(ids.len());
+    for &id in &ids {
+        let t0 = Instant::now();
+        let _ = manager.next_question(id).expect("live session");
+        wake_lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    let hibernate = HibernateReport {
+        sessions: total_sessions,
+        parked,
+        resident_bytes_per_session: session_memory.resident_bytes_per_session(),
+        state_bytes_per_session: session_memory.state_bytes_per_session(),
+        hibernated_bytes_per_session: parked_stats.hibernated_bytes_per_session(),
+        wake: LatencySummary::of(wake_lat),
+    };
+
     ThroughputReport {
         params,
         concurrent_sessions: total_sessions,
@@ -553,6 +748,50 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         phases: vec![interactive, batch, snapshot, restore],
         session_memory,
         restore_vs_history,
+        fleet,
+        hibernate,
+    }
+}
+
+/// Drives the cold and warm fleets of the fleet phase (see the module
+/// docs): same TPC-H workload, same strategy, the only difference being
+/// the universe's decision-cache budget.
+fn fleet_phase(tiny: bool, seed: u64) -> FleetReport {
+    use jqi_datagen::tpch::{workload, TpchJoin, TpchScale};
+    let strategy = StrategyConfig::Lks { depth: 2 };
+    let (cold_n, warm_n) = if tiny { (4, 16) } else { (32, 1024) };
+    let workload = workload(TpchScale::Small, TpchJoin::Join4, seed);
+    let warm_universe = Arc::new(Universe::build(workload.instance));
+    // The cold universe is the warm one cloned (identical class ids;
+    // cloning resets the cache) with caching disabled — no second
+    // profile-dedup + closure build.
+    let cold_universe = Arc::new((*warm_universe).clone().with_decision_cache_budget(0));
+    let first_questions = |universe: &Arc<Universe>, n: usize| -> Vec<u64> {
+        let manager = SessionManager::new(Arc::clone(universe), ServerConfig::default());
+        let ids: Vec<u64> = (0..n)
+            .map(|_| manager.create_session(strategy.clone()))
+            .collect();
+        ids.iter()
+            .map(|&id| {
+                let t0 = Instant::now();
+                let q = manager.next_question(id).expect("live session");
+                assert!(q.is_some(), "the tpch fleet must have a first question");
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect()
+    };
+    let cold_first_question = LatencySummary::of(first_questions(&cold_universe, cold_n));
+    let warm_first_question = LatencySummary::of(first_questions(&warm_universe, warm_n));
+    let cache = warm_universe.decision_cache_stats();
+    FleetReport {
+        instance: format!("tpch {} {}", TpchScale::Small, TpchJoin::Join4),
+        strategy: strategy.to_string(),
+        cold_sessions: cold_n,
+        warm_sessions: warm_n,
+        warm_speedup: cold_first_question.mean_us / warm_first_question.mean_us,
+        cold_first_question,
+        warm_first_question,
+        cache,
     }
 }
 
@@ -573,11 +812,40 @@ mod tests {
         }
         // Per-session memory was sampled while all sessions were live.
         assert_eq!(report.session_memory.sessions, 16);
+        assert_eq!(report.session_memory.resident_sessions, 16);
         assert!(report.session_memory.state_bytes > 0);
         assert!(
             report.session_memory.state_bytes_per_session() <= 200.0,
             "session state ballooned: {} B/session",
             report.session_memory.state_bytes_per_session()
+        );
+        // The interactive mix contains deterministic strategies, so the
+        // shared decision cache saw traffic and stayed inside its budget.
+        let cache = &report.session_memory.decision_cache;
+        assert!(cache.hits + cache.misses > 0);
+        assert!(cache.bytes <= cache.budget_bytes);
+        // Fleet phase: the warm fleet must beat the cold one (the real
+        // margin — ≥5× — is asserted on the committed full-size run, not
+        // here, where debug builds and CI noise would make it flaky).
+        assert_eq!(report.fleet.cold_sessions, 4);
+        assert_eq!(report.fleet.warm_sessions, 16);
+        assert!(report.fleet.cache.hits >= (report.fleet.warm_sessions - 1) as u64);
+        assert!(
+            report.fleet.warm_speedup > 1.0,
+            "warm fleet not faster than cold: {}",
+            report.fleet.warm_speedup
+        );
+        assert!(report.fleet.cache.bytes <= report.fleet.cache.budget_bytes);
+        // Hibernate phase: everything parked, parked sessions at most half
+        // the resident footprint, and every wake measured.
+        assert_eq!(report.hibernate.parked, 16);
+        assert_eq!(report.hibernate.wake.count, 16);
+        assert!(
+            report.hibernate.hibernated_bytes_per_session * 2.0
+                <= report.hibernate.resident_bytes_per_session,
+            "parked sessions not at most half the resident bytes: {} vs {}",
+            report.hibernate.hibernated_bytes_per_session,
+            report.hibernate.resident_bytes_per_session
         );
         // Restore latencies are bucketed by history length and cover every
         // session.
@@ -600,6 +868,16 @@ mod tests {
             "session_memory",
             "state_bytes_per_session",
             "restore_vs_history",
+            "decision_cache",
+            "budget_bytes",
+            "fleet",
+            "warm_speedup",
+            "cold_first_question",
+            "warm_first_question",
+            "hibernate",
+            "hibernated_bytes_per_session",
+            "resident_bytes_per_session",
+            "wake",
         ] {
             assert!(json.contains(needle), "missing {needle} in report");
         }

@@ -77,7 +77,7 @@ pub use sample::{Label, Sample};
 pub use session::{Candidate, OwnedSession, Session};
 pub use state::{ClassState, InferenceState};
 pub use strategy::{DynStrategy, Strategy, StrategyConfig, StrategyKind};
-pub use universe::{ClassId, Universe};
+pub use universe::{ClassId, DecisionCacheStats, Universe, DEFAULT_DECISION_CACHE_BYTES};
 
 use jqi_relation::{BitSet, Instance};
 

@@ -205,6 +205,17 @@ impl<'u, S: Strategy> Session<'u, S> {
         self.state.state_bytes()
     }
 
+    /// Total resident bytes of the materialized session: the session
+    /// struct itself (masks headers, scratch cells, strategy handle), the
+    /// derived-state heap, and the label-history heap (by allocation
+    /// capacity, [`InferenceState::history_heap_bytes`], so unshrunken
+    /// growth slack is counted too). Excludes the shared universe. This is
+    /// the footprint a hibernated tier reclaims down to the bare replay
+    /// log — compare [`Session::into_replay_parts`].
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.state.state_bytes() + self.state.history_heap_bytes()
+    }
+
     /// The current sample, reconstructed in the from-scratch representation
     /// (for interoperability with [`crate::certain`] / [`crate::entropy`]).
     pub fn sample(&self) -> Sample {
@@ -219,6 +230,17 @@ impl<'u, S: Strategy> Session<'u, S> {
     /// The configured strategy.
     pub fn strategy(&self) -> &S {
         &self.strategy
+    }
+
+    /// Decomposes the session into the parts a hibernated session tier
+    /// keeps: the label history (the replay log) and the outstanding
+    /// question, dropping every derived mask and the strategy object.
+    /// Feeding both back through [`OwnedSession::replay`] (with the same
+    /// strategy configuration) rebuilds an indistinguishable session —
+    /// every strategy is a deterministic function of its configuration and
+    /// the replayed state.
+    pub fn into_replay_parts(self) -> (Vec<(ClassId, Label)>, Option<ClassId>) {
+        (self.state.into_history(), self.pending)
     }
 }
 

@@ -420,6 +420,23 @@ impl<'u> InferenceState<'u> {
         &self.history
     }
 
+    /// Decomposes the state into its label history — the replay log a
+    /// hibernated session tier keeps while every derived mask is dropped.
+    /// Replaying it through [`InferenceState::apply_batch`] rebuilds this
+    /// exact state.
+    pub fn into_history(self) -> Vec<(ClassId, Label)> {
+        self.history
+    }
+
+    /// Resident heap bytes of the label history, counted by allocation
+    /// **capacity** (what the `Vec` actually holds from the allocator —
+    /// up to ~2× the length under doubling growth), not by length. This
+    /// is the honest term for footprint comparisons against a hibernated
+    /// tier, whose shrunken replay logs have capacity = length.
+    pub fn history_heap_bytes(&self) -> usize {
+        self.history.capacity() * std::mem::size_of::<(ClassId, Label)>()
+    }
+
     /// `θ_possible = T(S⁺)`, the most specific predicate consistent with
     /// the positives — the upper end of the consistent interval. Equals `Ω`
     /// while `S⁺ = ∅`.
@@ -497,13 +514,30 @@ impl<'u> InferenceState<'u> {
 
     /// The negatively labeled classes as the raw class-index mask.
     ///
-    /// While no positive example exists this mask determines the whole
-    /// derived state (`T(S⁺) = Ω`), which is what makes it the key of the
-    /// universe-level negative-phase memo
-    /// ([`Universe::cached_negative_phase_move`]).
+    /// Together with `T(S⁺)` this mask determines the whole derived state,
+    /// which is what makes the pair the key of the universe-level decision
+    /// cache ([`Universe::cached_decision`]).
     #[inline]
     pub fn labeled_negative_mask(&self) -> &BitSet {
         &self.labeled_neg
+    }
+
+    /// The exact decision-cache mask keys of the current derived state:
+    /// `(T(S⁺) words, negative-label mask words)`, with `T(S⁺)` normalized
+    /// to the **empty slice** while it still equals Ω — the whole negative
+    /// phase then shares one canonical key form regardless of `|Ω|`.
+    ///
+    /// This pair (plus the caller's strategy fingerprint, including the
+    /// "any positive yet?" phase bit) determines every deterministic
+    /// strategy's move; see [`Universe::cached_decision`] for the argument.
+    #[inline]
+    pub fn decision_masks(&self) -> (&[u64], &[u64]) {
+        let pos: &[u64] = if self.theta_is_omega {
+            &[]
+        } else {
+            self.theta_possible.words()
+        };
+        (pos, self.labeled_neg.words())
     }
 
     /// Number of informative classes. `O(1)`; maintained across updates.

@@ -2,7 +2,7 @@
 
 use crate::error::Result;
 use crate::state::InferenceState;
-use crate::strategy::Strategy;
+use crate::strategy::{cached_move, Strategy, CACHE_KEY_BU};
 use crate::universe::ClassId;
 
 /// BU: navigates the lattice from the most general predicate `∅` upward,
@@ -38,7 +38,14 @@ impl Strategy for BottomUp {
     }
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
-        Ok(min_signature_informative(state))
+        // Deterministic and parameterless: served from the shared
+        // universe-level decision cache in both phases. The scan itself is
+        // one pass over the open mask, but a fleet of sessions sharing a
+        // universe repeats the same states endlessly and a cache probe is
+        // O(mask words) regardless of how many classes are open.
+        Ok(cached_move(CACHE_KEY_BU, state, || {
+            min_signature_informative(state)
+        }))
     }
 }
 

@@ -31,7 +31,7 @@
 use crate::certain::CountMode;
 use crate::error::Result;
 use crate::state::InferenceState;
-use crate::strategy::Strategy;
+use crate::strategy::{cached_move, Strategy, CACHE_KEY_EG};
 use crate::universe::ClassId;
 use jqi_relation::BitSet;
 
@@ -78,20 +78,68 @@ fn count_down_set(base: &BitSet, negs: &[&BitSet]) -> f64 {
 /// prior over `C(S)`. Returns `None` when `|S⁻|` exceeds the
 /// inclusion–exclusion budget.
 pub fn positive_probability(state: &InferenceState<'_>, c: ClassId) -> Option<f64> {
+    let (negs, total) = sorted_negatives_and_total(state)?;
+    Some(selecting_probability(state, c, &negs, total))
+}
+
+/// The candidate-invariant part of the label probability: the negative
+/// signatures in **canonical (class-id) order** and `|C(S)|`. Hoisted out
+/// of the per-candidate loop by [`ExpectedGain::select`]; `None` when the
+/// inclusion–exclusion budget is exceeded or `C(S)` is empty.
+///
+/// Canonical order, NOT labeling order: the inclusion–exclusion terms are
+/// summed in f64, so the summation order must be a function of the
+/// negative *set* for EG's move to be cacheable under the
+/// `(T(S⁺), neg mask)` key — two sessions that labeled the same negatives
+/// in different orders must compute bit-identical gains.
+fn sorted_negatives_and_total<'s>(state: &'s InferenceState<'_>) -> Option<(Vec<&'s BitSet>, f64)> {
     if state.negatives().len() > ExpectedGain::MAX_NEGATIVES {
         return None;
     }
     let universe = state.universe();
-    let tpos = state.t_pos();
-    let negs: Vec<&BitSet> = state.negatives().iter().map(|&g| universe.sig(g)).collect();
-    let total = count_down_set(tpos, &negs);
+    let mut neg_ids: Vec<ClassId> = state.negatives().to_vec();
+    neg_ids.sort_unstable();
+    let negs: Vec<&BitSet> = neg_ids.iter().map(|&g| universe.sig(g)).collect();
+    let total = count_down_set(state.t_pos(), &negs);
     if total <= 0.0 {
         return None; // inconsistent or empty C(S): probability undefined
     }
-    // Predicates selecting c: θ ⊆ T(S⁺) ∩ T(c), minus the same union.
-    let base_sel = tpos.intersection(universe.sig(c));
-    let selecting = count_down_set(&base_sel, &negs);
-    Some((selecting / total).clamp(0.0, 1.0))
+    Some((negs, total))
+}
+
+/// `|{θ ∈ C(S) : θ selects c}| / |C(S)|` given the hoisted invariants:
+/// predicates selecting `c` are `θ ⊆ T(S⁺) ∩ T(c)`, minus the same union
+/// of negative down-sets.
+fn selecting_probability(
+    state: &InferenceState<'_>,
+    c: ClassId,
+    negs: &[&BitSet],
+    total: f64,
+) -> f64 {
+    let base_sel = state.t_pos().intersection(state.universe().sig(c));
+    (count_down_set(&base_sel, negs) / total).clamp(0.0, 1.0)
+}
+
+impl ExpectedGain {
+    /// The uncached expected-gain selection over the current state. The
+    /// candidate-invariant half of the probability (sorted negatives,
+    /// `|C(S)|`) is computed once, not per informative class.
+    fn select(&self, state: &InferenceState<'_>) -> Option<ClassId> {
+        let prior = sorted_negatives_and_total(state);
+        let mut best: Option<(f64, ClassId)> = None;
+        for c in state.informative() {
+            let (u_pos, u_neg) = state.gain_pair(c, CountMode::Tuples);
+            let p = match &prior {
+                Some((negs, total)) => selecting_probability(state, c, negs, *total),
+                None => 0.5,
+            };
+            let gain = p * u_pos as f64 + (1.0 - p) * u_neg as f64;
+            if best.is_none_or(|(bg, bc)| gain > bg || (gain == bg && c < bc)) {
+                best = Some((gain, c));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
 }
 
 impl Strategy for ExpectedGain {
@@ -100,16 +148,12 @@ impl Strategy for ExpectedGain {
     }
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
-        let mut best: Option<(f64, ClassId)> = None;
-        for c in state.informative() {
-            let (u_pos, u_neg) = state.gain_pair(c, CountMode::Tuples);
-            let p = positive_probability(state, c).unwrap_or(0.5);
-            let gain = p * u_pos as f64 + (1.0 - p) * u_neg as f64;
-            if best.is_none_or(|(bg, bc)| gain > bg || (gain == bg && c < bc)) {
-                best = Some((gain, c));
-            }
-        }
-        Ok(best.map(|(_, c)| c))
+        // The probabilities and gains are deterministic functions of the
+        // derived state (the inclusion–exclusion sum iterates the negative
+        // set order-independently), so EG's move is served from the shared
+        // universe-level decision cache like the other deterministic
+        // strategies.
+        Ok(cached_move(CACHE_KEY_EG, state, || self.select(state)))
     }
 }
 
@@ -199,6 +243,37 @@ mod tests {
             (eg_total as f64) <= l1s_total as f64 * 1.25,
             "EG {eg_total} vs L1S {l1s_total}"
         );
+    }
+
+    #[test]
+    fn move_is_independent_of_negative_label_order() {
+        // The decision cache serves EG's move under a (T(S⁺), neg mask)
+        // key, so two sessions that labeled the same negative SET in
+        // different ORDERS must compute bit-identical probabilities and
+        // the same move — the f64 inclusion–exclusion sum must not depend
+        // on labeling order. Cache disabled: compare raw computation.
+        let u = Universe::build(example_2_1()).with_decision_cache_budget(0);
+        let probe = InferenceState::new(&u);
+        let n1 = probe.nth_informative(0).unwrap();
+        let n2 = probe.nth_informative(3).unwrap();
+        let mut a = InferenceState::new(&u);
+        let mut b = InferenceState::new(&u);
+        a.apply(n1, Label::Negative).unwrap();
+        a.apply(n2, Label::Negative).unwrap();
+        b.apply(n2, Label::Negative).unwrap();
+        b.apply(n1, Label::Negative).unwrap();
+        assert!(a.is_consistent() && b.is_consistent());
+        for c in a.informative() {
+            let pa = positive_probability(&a, c);
+            let pb = positive_probability(&b, c);
+            assert!(
+                pa == pb,
+                "probability depends on labeling order for class {c}: {pa:?} vs {pb:?}"
+            );
+        }
+        let mut eg_a = ExpectedGain::new();
+        let mut eg_b = ExpectedGain::new();
+        assert_eq!(eg_a.next(&a).unwrap(), eg_b.next(&b).unwrap());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::entropy::{Entropy, ENTROPY_INF};
 use crate::error::Result;
 use crate::sample::Label;
 use crate::state::InferenceState;
-use crate::strategy::Strategy;
+use crate::strategy::{cached_move, Strategy, CACHE_KEY_LKS};
 use crate::universe::ClassId;
 
 /// LkS: the k-step lookahead skyline strategy.
@@ -331,28 +331,20 @@ impl Strategy for Lookahead {
     }
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
-        if state.positives().is_empty() && state.is_consistent() {
-            // Negative phase: T(S⁺) = Ω and the state — hence this
-            // deterministic selection — is a function of the negative-label
-            // mask alone. Serve it from the universe-level memo, so a
-            // server running thousands of sessions over one shared
-            // universe pays each full-candidate-set lookahead exactly once
-            // (every session's opening question, and every shared
-            // all-negative prefix). The key folds depth and mode into
-            // distinct fingerprints.
-            let key = 0x4c6b_5300 // "LkS"
-                | (self.depth as u64) << 32
-                | match self.mode {
-                    CountMode::Tuples => 0,
-                    CountMode::Classes => 1,
-                };
-            return Ok(state.universe().cached_negative_phase_move(
-                key,
-                state.labeled_negative_mask().words(),
-                || self.select(state),
-            ));
-        }
-        Ok(self.select(state))
+        // The selection is a deterministic function of the derived state,
+        // so it is served from the universe-level decision cache in *both*
+        // phases: a server running thousands of sessions over one shared
+        // universe pays each full-candidate-set lookahead — the most
+        // expensive question of a session — exactly once per distinct
+        // `(T(S⁺), negative mask)` state, not once per session. The key
+        // folds depth and count mode into distinct fingerprints.
+        let key = CACHE_KEY_LKS
+            | (self.depth as u64) << 32
+            | match self.mode {
+                CountMode::Tuples => 0,
+                CountMode::Classes => 1,
+            };
+        Ok(cached_move(key, state, || self.select(state)))
     }
 }
 

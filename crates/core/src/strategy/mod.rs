@@ -36,6 +36,40 @@ use crate::error::Result;
 use crate::state::InferenceState;
 use crate::universe::ClassId;
 
+/// Decision-cache fingerprints of the deterministic strategies (see
+/// [`crate::universe::Universe::cached_decision`]). Each strategy owns a
+/// distinct base key; parameterized strategies fold their parameters into
+/// bits 32..62, and [`cached_move`] reserves bit 63 for the "any positive
+/// yet?" phase bit.
+pub(crate) const CACHE_KEY_BU: u64 = 0x4255;
+pub(crate) const CACHE_KEY_TD: u64 = 0x5444;
+pub(crate) const CACHE_KEY_EG: u64 = 0x4547;
+pub(crate) const CACHE_KEY_LKS: u64 = 0x4c6b_5300;
+
+/// Serves a deterministic strategy's move from the universe-level decision
+/// cache, computing it with `compute` on the first probe per distinct
+/// derived state.
+///
+/// `base_key` must fingerprint the strategy and every parameter its choice
+/// depends on besides the state (depth, count mode, …); the current
+/// phase — whether any positive example exists — is folded in here because
+/// strategies may branch on it even when `T(S⁺)` still equals Ω (a
+/// positive whose signature is all of Ω). Inconsistent states bypass the
+/// cache: the derived partition stops being maintained there, so the
+/// mask key no longer determines the state.
+pub(crate) fn cached_move(
+    base_key: u64,
+    state: &InferenceState<'_>,
+    compute: impl FnOnce() -> Option<ClassId>,
+) -> Option<ClassId> {
+    if !state.is_consistent() {
+        return compute();
+    }
+    let key = base_key | ((!state.positives().is_empty() as u64) << 63);
+    let (pos, neg) = state.decision_masks();
+    state.universe().cached_decision(key, pos, neg, compute)
+}
+
 /// A strategy `Υ(D, S)` choosing the next tuple (class) to present.
 ///
 /// Strategies read the session through the incrementally maintained

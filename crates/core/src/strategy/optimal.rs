@@ -153,6 +153,10 @@ impl Strategy for Optimal {
     }
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        // OPT stays off the universe-level decision cache: it is restricted
+        // to tiny universes anyway, carries its own game-tree memo that
+        // amortizes across the whole run, and its error path (the class
+        // limit) does not fit the cache's infallible-value shape.
         let classes = state.num_classes();
         if classes > self.limit {
             return Err(InferenceError::UniverseTooLarge {

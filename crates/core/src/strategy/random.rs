@@ -44,6 +44,11 @@ impl Strategy for Random {
     }
 
     fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        // RND deliberately bypasses the universe-level decision cache: its
+        // choice depends on the per-session seed and on |S| (the history
+        // length), neither of which the shared (T(S⁺), negative-mask) key
+        // captures — two sessions at the same derived state must be free
+        // to draw different candidates.
         let n = state.informative_len();
         if n == 0 {
             return Ok(None);

@@ -4,7 +4,7 @@ use crate::error::Result;
 use crate::lattice::maximal_among;
 use crate::state::InferenceState;
 use crate::strategy::bottom_up::min_signature_informative;
-use crate::strategy::Strategy;
+use crate::strategy::{cached_move, Strategy, CACHE_KEY_TD};
 use crate::universe::ClassId;
 
 /// TD: while there is no positive example, presents tuples whose signature
@@ -29,16 +29,13 @@ impl TopDown {
     }
 }
 
-impl Strategy for TopDown {
-    fn name(&self) -> &str {
-        "TD"
-    }
-
-    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+impl TopDown {
+    /// The uncached Algorithm 3 selection over the current state.
+    fn select(&self, state: &InferenceState<'_>) -> Option<ClassId> {
         if !state.positives().is_empty() {
             // Lines 3–5: with a positive example the goal is non-nullable;
             // switch to the bottom-up order.
-            return Ok(min_signature_informative(state));
+            return min_signature_informative(state);
         }
         // Lines 1–2: an informative class whose signature is maximal among
         // informative signatures; prefer larger signatures, then smaller id.
@@ -70,7 +67,22 @@ impl Strategy for TopDown {
             best.is_some() || !state.any_informative(),
             "maximality over informative classes always has a witness"
         );
-        Ok(best)
+        best
+    }
+}
+
+impl Strategy for TopDown {
+    fn name(&self) -> &str {
+        "TD"
+    }
+
+    fn next(&mut self, state: &InferenceState<'_>) -> Result<Option<ClassId>> {
+        // TD is deterministic and parameterless; its move is served from
+        // the shared universe-level decision cache in both phases. The
+        // phase bit the cache helper folds in matters for TD in
+        // particular: its branch on "any positive yet?" is not captured by
+        // T(S⁺) alone.
+        Ok(cached_move(CACHE_KEY_TD, state, || self.select(state)))
     }
 }
 

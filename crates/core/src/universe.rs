@@ -47,6 +47,8 @@ use jqi_relation::bitset::{hash_words, or_shifted, word_count, WORD_BITS};
 use jqi_relation::{BitSet, Instance, Tuple};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Identifier of a T-equivalence class (an index into [`Universe`] tables).
 pub type ClassId = usize;
@@ -261,35 +263,236 @@ fn clamp_mask(words: &mut [u64], nbits: usize) {
     }
 }
 
-/// Memo of deterministic strategies' questions during the **negative
-/// phase**, keyed by strategy fingerprint and the exact negative-label
-/// mask.
-///
-/// While a session has no positive example, `T(S⁺) = Ω` and the whole
-/// derived state is a function of *which classes were labeled negative* —
-/// so a deterministic strategy's choice is too. A server running thousands
-/// of sessions over one shared universe replays the same openings over and
-/// over (every session asks the same first question; sessions answering
-/// the same way share whole prefixes), and for deep lookahead those
-/// full-candidate-set questions are the most expensive of the session. The
-/// memo turns each repeated one into a read-locked map probe.
-///
-/// Keys are exact (the mask words themselves, no lossy hashing), so a hit
-/// can never return another state's choice. The per-strategy map is capped
-/// to bound memory on adversarial workloads; cloning a universe starts an
-/// empty memo (entries rebuild cheaply and class ids are identical).
+/// Default byte budget of the [`Universe`] decision cache (see
+/// [`Universe::with_decision_cache_budget`]).
+pub const DEFAULT_DECISION_CACHE_BYTES: usize = 4 << 20;
+
+/// A statistics snapshot of the universe-level decision cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionCacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that had to compute the move (including hash collisions whose
+    /// exact-mask verification failed — those never return a cached value).
+    pub misses: u64,
+    /// Entries dropped by the LRU policy to stay inside the byte budget.
+    pub evictions: u64,
+    /// Live entries at sampling time.
+    pub entries: usize,
+    /// Estimated resident bytes of the cache at sampling time.
+    pub bytes: usize,
+    /// The configured byte budget (`0` = caching disabled).
+    pub budget_bytes: usize,
+}
+
+/// Estimated per-entry overhead beyond the mask words: the slab node, the
+/// key→slot map entry, and allocator slack.
+const CACHE_ENTRY_OVERHEAD: usize = std::mem::size_of::<CacheEntry>() + 48;
+
+/// When an insert pushes the cache past its budget, eviction frees down
+/// to this many eighths of the budget in one batch, so the O(entries)
+/// recency scan is amortized over many subsequent inserts instead of
+/// re-running at the boundary on every miss.
+const CACHE_EVICT_TO_EIGHTHS: usize = 7;
+
+/// One memoized decision: the exact mask keys it was computed for, the
+/// chosen candidate, and its recency stamp.
+#[derive(Debug)]
+struct CacheEntry {
+    /// The full map key, kept so eviction can remove the map entry.
+    key: (u64, u64),
+    /// Exact `T(S⁺)` mask words (empty while `θ = Ω` — the normalized form
+    /// of the whole negative phase).
+    pos: Box<[u64]>,
+    /// Exact negative-label class mask words.
+    neg: Box<[u64]>,
+    /// The memoized move (`None` = the strategy halted).
+    value: Option<ClassId>,
+    /// Last-touch tick of the cache clock. Atomic so the **hit** path can
+    /// bump recency under the shared read lock — concurrent hits never
+    /// contend with each other.
+    stamp: AtomicU64,
+}
+
+impl CacheEntry {
+    fn bytes(&self) -> usize {
+        CACHE_ENTRY_OVERHEAD + (self.pos.len() + self.neg.len()) * std::mem::size_of::<u64>()
+    }
+}
+
+/// The write-locked core of the decision cache: a slab of entries indexed
+/// by `(strategy_key, mask hash)`. Recency lives in the per-entry atomic
+/// stamps, not in this struct, so reads never need the write lock.
 #[derive(Debug, Default)]
-struct NegativePhaseMoves(std::sync::RwLock<HashMap<u64, PerStrategyMoves>>);
+struct CacheInner {
+    map: HashMap<(u64, u64), u32>,
+    slab: Vec<CacheEntry>,
+    free: Vec<u32>,
+    bytes: usize,
+}
 
-/// One strategy's memoized choices: exact negative-mask → selected class.
-type PerStrategyMoves = HashMap<Box<[u64]>, Option<ClassId>>;
+impl CacheInner {
+    /// Evicts least-recently-stamped entries until `bytes ≤ target`;
+    /// returns how many were dropped. Runs under the write lock, so the
+    /// stamps are quiescent and the scan sees a consistent recency order.
+    fn evict_down_to(&mut self, target: usize) -> u64 {
+        let mut order: Vec<(u64, u32)> = self
+            .map
+            .values()
+            .map(|&slot| (self.slab[slot as usize].stamp.load(Ordering::Relaxed), slot))
+            .collect();
+        order.sort_unstable();
+        let mut evicted = 0u64;
+        for (_, slot) in order {
+            if self.bytes <= target {
+                break;
+            }
+            let e = &mut self.slab[slot as usize];
+            let freed = e.bytes();
+            let key = e.key;
+            e.pos = Box::default();
+            e.neg = Box::default();
+            self.bytes -= freed;
+            self.map.remove(&key);
+            self.free.push(slot);
+            evicted += 1;
+        }
+        evicted
+    }
+}
 
-/// Per-strategy cap on memoized negative-phase states.
-const NEGATIVE_PHASE_MEMO_CAP: usize = 4096;
+/// The universe-level **full-policy decision cache**: a bounded memo of
+/// deterministic strategies' moves, shared by every session over one
+/// universe.
+///
+/// Given the universe, a deterministic strategy's choice is a pure
+/// function of the session's derived state, and the derived state is
+/// itself a pure function of `(T(S⁺), negative-label class mask)` (plus
+/// whether any positive exists at all — folded into the strategy
+/// fingerprint): the open/certain partition, every gain pair, and the
+/// inclusion–exclusion probabilities are all determined by those masks
+/// (see the consistency argument on
+/// [`Universe::cached_decision`]). A fleet of sessions over one universe
+/// is therefore a walk over one shared decision structure, and the cache
+/// makes each distinct state's strategy work — for deep lookahead, by far
+/// the most expensive part of a session — a one-time cost per universe
+/// instead of per session.
+///
+/// The map is keyed by `(strategy fingerprint, 64-bit mask hash)` for
+/// cheap probes, but every entry stores the **exact** mask words and a hit
+/// is only returned after comparing them — a hash collision degrades to a
+/// miss, never to a wrong move.
+///
+/// Concurrency: the hot path (a fleet of sessions hitting warm entries)
+/// takes only the **read** lock — recency is bumped through the entry's
+/// atomic stamp, so hits proceed in parallel and never serialize on a
+/// mutex. Misses take the write lock once to insert. Memory is bounded by
+/// a byte budget with exact-LRU batch eviction (oldest stamps first, down
+/// to ⅞ of the budget — a small batch, not a drop-all cliff); a budget of
+/// `0` disables caching entirely.
+#[derive(Debug)]
+struct DecisionCache {
+    budget: usize,
+    inner: RwLock<CacheInner>,
+    /// Monotone recency clock; every probe draws a fresh tick.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
 
-impl Clone for NegativePhaseMoves {
+impl DecisionCache {
+    fn new(budget: usize) -> DecisionCache {
+        DecisionCache {
+            budget,
+            inner: RwLock::new(CacheInner::default()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Probes for `key`; `Some(move)` only when the exact masks match.
+    /// Read lock only — see the type docs.
+    fn lookup(&self, key: (u64, u64), pos: &[u64], neg: &[u64]) -> Option<Option<ClassId>> {
+        let inner = self.inner.read().expect("decision cache poisoned");
+        if let Some(&slot) = inner.map.get(&key) {
+            let e = &inner.slab[slot as usize];
+            if &*e.pos == pos && &*e.neg == neg {
+                let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                e.stamp.store(tick, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(e.value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Records a computed move, batch-evicting the least recent entries
+    /// when the byte budget is exceeded. An existing entry under the same
+    /// key (a racing compute, or a hash collision) is overwritten — for
+    /// races the values agree, and for collisions exact verification
+    /// keeps either resident value safe.
+    fn insert(&self, key: (u64, u64), pos: &[u64], neg: &[u64], value: Option<ClassId>) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.inner.write().expect("decision cache poisoned");
+        if let Some(&slot) = inner.map.get(&key) {
+            let e = &mut inner.slab[slot as usize];
+            let old = e.bytes();
+            e.pos = pos.into();
+            e.neg = neg.into();
+            e.value = value;
+            *e.stamp.get_mut() = tick;
+            let new = e.bytes();
+            inner.bytes = inner.bytes - old + new;
+        } else {
+            let entry = CacheEntry {
+                key,
+                pos: pos.into(),
+                neg: neg.into(),
+                value,
+                stamp: AtomicU64::new(tick),
+            };
+            inner.bytes += entry.bytes();
+            let slot = match inner.free.pop() {
+                Some(slot) => {
+                    inner.slab[slot as usize] = entry;
+                    slot
+                }
+                None => {
+                    inner.slab.push(entry);
+                    (inner.slab.len() - 1) as u32
+                }
+            };
+            inner.map.insert(key, slot);
+        }
+        if inner.bytes > self.budget {
+            let target = self.budget / 8 * CACHE_EVICT_TO_EIGHTHS;
+            let evicted = inner.evict_down_to(target);
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self) -> DecisionCacheStats {
+        let inner = self.inner.read().expect("decision cache poisoned");
+        DecisionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            budget_bytes: self.budget,
+        }
+    }
+}
+
+impl Clone for DecisionCache {
+    /// Cloning a universe starts an empty cache with the same budget:
+    /// entries rebuild cheaply and class ids are identical either way.
     fn clone(&self) -> Self {
-        NegativePhaseMoves::default()
+        DecisionCache::new(self.budget)
     }
 }
 
@@ -315,8 +518,9 @@ pub struct Universe {
     /// [`ClassClosure`]): built once here, shared read-only by every
     /// session over this universe.
     closure: ClassClosure,
-    /// Deterministic strategies' memoized negative-phase questions.
-    negative_phase_moves: NegativePhaseMoves,
+    /// The full-policy decision cache: deterministic strategies' memoized
+    /// moves in both phases, shared by every session over this universe.
+    decision_cache: DecisionCache,
     /// Number of distinct R-side / P-side join profiles the build
     /// enumerated (`|R|` / `|P|` for the reference build).
     distinct_r: usize,
@@ -580,10 +784,32 @@ impl Universe {
             reps: table.reps,
             buckets: table.buckets,
             closure,
-            negative_phase_moves: NegativePhaseMoves::default(),
+            decision_cache: DecisionCache::new(DEFAULT_DECISION_CACHE_BYTES),
             distinct_r: r_profiles.len(),
             distinct_p: p_profiles.len(),
         }
+    }
+
+    /// Replaces the decision cache with an empty one bounded by `bytes`
+    /// (`0` disables caching entirely — every probe computes).
+    ///
+    /// Builder-style so call sites read
+    /// `Universe::build(inst).with_decision_cache_budget(n)`; see also
+    /// [`Universe::build_with_cache_budget`].
+    pub fn with_decision_cache_budget(mut self, bytes: usize) -> Self {
+        self.decision_cache = DecisionCache::new(bytes);
+        self
+    }
+
+    /// [`Universe::build`] with an explicit decision-cache byte budget.
+    pub fn build_with_cache_budget(instance: Instance, bytes: usize) -> Self {
+        Self::build(instance).with_decision_cache_budget(bytes)
+    }
+
+    /// A statistics snapshot of the decision cache (hits, misses,
+    /// evictions, resident bytes, budget).
+    pub fn decision_cache_stats(&self) -> DecisionCacheStats {
+        self.decision_cache.stats()
     }
 
     /// The underlying instance.
@@ -644,36 +870,61 @@ impl Universe {
         &self.closure
     }
 
-    /// The memoized negative-phase question of a deterministic strategy
-    /// over this universe, computing it with `compute` on the first call
-    /// per `(strategy_key, neg_mask)`.
+    /// The memoized move of a deterministic strategy at the derived state
+    /// described by `(pos_mask, neg_mask)`, computing it with `compute` on
+    /// the first probe and serving every later one from the shared
+    /// decision cache.
     ///
-    /// `strategy_key` must fingerprint everything the strategy's choice
-    /// depends on besides the state — e.g. lookahead depth and count mode;
-    /// `neg_mask` is the exact negative-label class mask, which determines
-    /// the whole derived state while no positive example exists
-    /// (`T(S⁺) = Ω`). Strategies whose choice depends on per-session data
-    /// (a random seed) must not use the memo. Thread-safe; concurrent
-    /// first calls may both compute, last write wins (the value is
-    /// deterministic, so the races agree).
-    pub fn cached_negative_phase_move(
+    /// # Why the key is sufficient (the consistency argument)
+    ///
+    /// Fix the universe and a consistent sample `S`. The derived state
+    /// every deterministic strategy reads is a pure function of
+    /// `θ = T(S⁺)` and the set `N` of negatively labeled classes:
+    ///
+    /// * the certain-positive classes are `{t : θ ⊆ T(t)}` and the
+    ///   certain-negative ones `⋃_{g∈N} {t : θ ∩ T(t) ⊆ T(g)}` (Lemmas
+    ///   3.3–3.4) — functions of `(θ, N)` only;
+    /// * a labeled class would be *certain* under its own label had it not
+    ///   been labeled (each positive `p` has `θ ⊆ T(p)` since `θ` is the
+    ///   intersection of positive signatures; each negative `g` trivially
+    ///   satisfies `θ ∩ T(g) ⊆ T(g)`), so the **open mask** — the
+    ///   complement of labeled-or-certain — does not depend on *which*
+    ///   positives produced `θ`;
+    /// * gains, entropies, and the inclusion–exclusion probabilities
+    ///   iterate `N` only through unions/sums — order never matters.
+    ///
+    /// Hence the move is a function of `(θ, N)` — **almost**: strategies
+    /// may branch on whether any positive exists at all (TD's phase
+    /// switch), which `θ` does not capture when a positive's signature is
+    /// all of Ω. Callers must fold that phase bit (and everything else the
+    /// choice depends on: strategy identity, lookahead depth, count mode)
+    /// into `strategy_key`. `pos_mask` must be the exact `θ` words,
+    /// normalized to the **empty slice** while `θ = Ω`; `neg_mask` the
+    /// exact negative-label class mask. Strategies whose choice depends on
+    /// per-session data (a random seed, the history length) must not use
+    /// the cache.
+    ///
+    /// The probe hashes the masks but a hit is verified against the exact
+    /// stored words, so a hash collision can never change a move.
+    /// Thread-safe; concurrent first probes may both compute, last insert
+    /// wins (the value is deterministic, so the races agree).
+    pub fn cached_decision(
         &self,
         strategy_key: u64,
+        pos_mask: &[u64],
         neg_mask: &[u64],
         compute: impl FnOnce() -> Option<ClassId>,
     ) -> Option<ClassId> {
-        {
-            let memo = self.negative_phase_moves.0.read().expect("poisoned");
-            if let Some(&hit) = memo.get(&strategy_key).and_then(|m| m.get(neg_mask)) {
-                return hit;
-            }
+        if self.decision_cache.budget == 0 {
+            return compute();
+        }
+        let h = hash_words(pos_mask).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hash_words(neg_mask);
+        let key = (strategy_key, h);
+        if let Some(value) = self.decision_cache.lookup(key, pos_mask, neg_mask) {
+            return value;
         }
         let value = compute();
-        let mut memo = self.negative_phase_moves.0.write().expect("poisoned");
-        let per_strategy = memo.entry(strategy_key).or_default();
-        if per_strategy.len() < NEGATIVE_PHASE_MEMO_CAP {
-            per_strategy.insert(neg_mask.into(), value);
-        }
+        self.decision_cache.insert(key, pos_mask, neg_mask, value);
         value
     }
 
@@ -1001,6 +1252,87 @@ mod tests {
                 assert_eq!(contains(down, t), seq.sig(t).is_subset(seq.sig(c)));
             }
         }
+    }
+
+    #[test]
+    fn decision_cache_memoizes_and_counts() {
+        let u = Universe::build(example_2_1());
+        let mut computed = 0usize;
+        let neg = [0b1010u64];
+        for _ in 0..3 {
+            let v = u.cached_decision(7, &[], &neg, || {
+                computed += 1;
+                Some(4)
+            });
+            assert_eq!(v, Some(4));
+        }
+        assert_eq!(computed, 1, "only the first probe computes");
+        let stats = u.decision_cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0 && stats.bytes <= stats.budget_bytes);
+        // A different strategy key or a different mask is a separate entry.
+        assert_eq!(u.cached_decision(8, &[], &neg, || Some(1)), Some(1));
+        assert_eq!(u.cached_decision(7, &[3], &neg, || Some(2)), Some(2));
+        assert_eq!(u.cached_decision(7, &[], &[0b1011], || Some(3)), Some(3));
+        assert_eq!(u.decision_cache_stats().entries, 4);
+        // The original entry is untouched.
+        assert_eq!(u.cached_decision(7, &[], &neg, || unreachable!()), Some(4));
+        // `None` moves (the strategy halted) are cached too.
+        assert_eq!(u.cached_decision(9, &[], &neg, || None), None);
+        assert_eq!(u.cached_decision(9, &[], &neg, || unreachable!()), None);
+    }
+
+    #[test]
+    fn decision_cache_budget_zero_disables_caching() {
+        let u = Universe::build(example_2_1()).with_decision_cache_budget(0);
+        let mut computed = 0usize;
+        for _ in 0..3 {
+            u.cached_decision(7, &[], &[1], || {
+                computed += 1;
+                Some(0)
+            });
+        }
+        assert_eq!(computed, 3, "budget 0 must compute every probe");
+        let stats = u.decision_cache_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.budget_bytes, 0);
+    }
+
+    #[test]
+    fn decision_cache_lru_eviction_respects_budget() {
+        // Budget fits only a handful of entries; older ones must be
+        // evicted least-recently-used first, and bytes must never exceed
+        // the budget after an insert settles.
+        let budget = 4 * (CACHE_ENTRY_OVERHEAD + 16);
+        let u = Universe::build(example_2_1()).with_decision_cache_budget(budget);
+        for i in 0..16u64 {
+            u.cached_decision(1, &[i], &[i], || Some(i as usize));
+            assert!(
+                u.decision_cache_stats().bytes <= budget,
+                "cache bytes exceed the budget after insert {i}"
+            );
+        }
+        let stats = u.decision_cache_stats();
+        assert!(stats.evictions > 0, "budget pressure must evict");
+        assert!(stats.entries <= 4);
+        // The most recent entry survives; the oldest is gone (recompute).
+        let mut recomputed = false;
+        assert_eq!(
+            u.cached_decision(1, &[15], &[15], || unreachable!()),
+            Some(15)
+        );
+        u.cached_decision(1, &[0], &[0], || {
+            recomputed = true;
+            Some(0)
+        });
+        assert!(recomputed, "the LRU entry should have been evicted");
+        // Cloned universes restart with an empty cache but keep the budget.
+        let clone = u.clone();
+        let cs = clone.decision_cache_stats();
+        assert_eq!((cs.entries, cs.hits, cs.misses), (0, 0, 0));
+        assert_eq!(cs.budget_bytes, budget);
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //!   persist a session as its strategy config + label sequence (a few
 //!   bytes per answer, JSON), rebuild it bit-for-bit after a process
 //!   restart.
+//! * a **hibernation tier** — resident sessions idle past a TTL are parked
+//!   down to their replay log (strategy config + label history, tens of
+//!   bytes) by [`SessionManager::hibernate_idle`] / the configured
+//!   [`SessionManager::sweep`], and re-materialize lazily on the next
+//!   touch via one replay `apply_batch`. Combined with the universe-level
+//!   decision cache (warm fleets answer strategy questions from the shared
+//!   cache), millions of parked sessions fit in memory and waking one is
+//!   microseconds.
 //!
 //! # Example: two users, one universe
 //!

@@ -22,13 +22,14 @@
 
 use crate::snapshot::SessionSnapshot;
 use jqi_core::session::{Candidate, OwnedSession};
-use jqi_core::{ClassId, InferenceError, Label, StrategyConfig, Universe};
+use jqi_core::{ClassId, DecisionCacheStats, InferenceError, Label, StrategyConfig, Universe};
 use jqi_relation::BitSet;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A multiply–xorshift finalizer for the `u64` session ids.
 ///
@@ -72,11 +73,22 @@ pub struct ServerConfig {
     /// Number of shards the session table is split into. More shards mean
     /// less create/remove contention; lookups are O(1) either way.
     pub shards: usize,
+    /// Idle TTL of the hibernation tier: resident sessions untouched for
+    /// at least this long are parked by [`SessionManager::sweep`] — their
+    /// derived masks are dropped and only the strategy config + label
+    /// history (+ the outstanding question) are kept, re-materializing
+    /// lazily on the next touch via one replay `apply_batch`. `None`
+    /// disables sweeping; [`SessionManager::hibernate_idle`] can still be
+    /// called with an explicit TTL.
+    pub hibernate_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { shards: 16 }
+        ServerConfig {
+            shards: 16,
+            hibernate_ttl: None,
+        }
     }
 }
 
@@ -120,31 +132,143 @@ impl From<InferenceError> for ServerError {
 /// Convenience alias for service results.
 pub type Result<T> = std::result::Result<T, ServerError>;
 
-/// One live session plus the config needed to snapshot it.
+/// Which tier a session currently occupies.
+///
+/// The resident session is boxed so a hibernated slot's inline footprint
+/// is the small variant (a history `Vec` + the pending class), not the
+/// full session struct — parking a session genuinely returns its memory.
+enum Tier {
+    /// Materialized: the full session with every derived mask.
+    Resident(Box<OwnedSession>),
+    /// Parked: only what deterministic replay needs. `history` is
+    /// `shrink_to_fit`-ed on entry, so a parked session holds exactly its
+    /// replay log.
+    Hibernated {
+        history: Vec<(ClassId, Label)>,
+        pending: Option<ClassId>,
+    },
+}
+
+/// One session table slot: the strategy config (needed to snapshot and to
+/// re-materialize), the idle clock, and the tiered session itself.
 struct Slot {
-    session: OwnedSession,
     config: StrategyConfig,
+    last_touch: Instant,
+    tier: Tier,
+}
+
+impl Slot {
+    fn resident(config: StrategyConfig, session: OwnedSession) -> Slot {
+        Slot {
+            config,
+            last_touch: Instant::now(),
+            tier: Tier::Resident(Box::new(session)),
+        }
+    }
+
+    /// The materialized session, re-materializing a hibernated one lazily
+    /// by replaying its history through one `apply_batch` — warm fleets
+    /// answer the replay's strategy-free mask ops from the shared caches,
+    /// so waking is cheap even at scale.
+    fn session(&mut self, universe: &Arc<Universe>) -> &mut OwnedSession {
+        if let Tier::Hibernated { history, pending } = &mut self.tier {
+            let history = std::mem::take(history);
+            let pending = pending.take();
+            let session =
+                OwnedSession::replay(Arc::clone(universe), &self.config, &history, pending)
+                    .expect("hibernated history was applied once, so it replays");
+            self.tier = Tier::Resident(Box::new(session));
+        }
+        match &mut self.tier {
+            Tier::Resident(session) => session,
+            Tier::Hibernated { .. } => unreachable!("just materialized"),
+        }
+    }
+
+    /// Parks a resident session, dropping its derived masks and strategy
+    /// object; returns whether a transition happened.
+    fn hibernate(&mut self) -> bool {
+        if !matches!(self.tier, Tier::Resident(_)) {
+            return false;
+        }
+        let tier = std::mem::replace(
+            &mut self.tier,
+            Tier::Hibernated {
+                history: Vec::new(),
+                pending: None,
+            },
+        );
+        let Tier::Resident(session) = tier else {
+            unreachable!("checked above");
+        };
+        let (mut history, pending) = session.into_replay_parts();
+        history.shrink_to_fit();
+        self.tier = Tier::Hibernated { history, pending };
+        true
+    }
+
+    /// Resident bytes of a parked session: the replay log (by allocation
+    /// capacity — equal to its length after the shrink on entry) plus the
+    /// pending marker. (The strategy config is carried by every slot in
+    /// either tier, so it is excluded from the comparison on both sides.)
+    fn hibernated_bytes(history: &Vec<(ClassId, Label)>) -> usize {
+        history.capacity() * std::mem::size_of::<(ClassId, Label)>()
+            + std::mem::size_of::<Option<ClassId>>()
+    }
 }
 
 /// Aggregate per-session memory statistics of a [`SessionManager`] — see
 /// [`SessionManager::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ManagerStats {
-    /// Live sessions at sampling time.
+    /// Live sessions (resident + hibernated) at sampling time.
     pub sessions: usize,
-    /// Total resident bytes of derived inference state across sessions.
+    /// Sessions materialized with full derived state.
+    pub resident_sessions: usize,
+    /// Sessions parked in the hibernation tier (bare replay logs).
+    pub hibernated_sessions: usize,
+    /// Total heap bytes of derived inference state across **resident**
+    /// sessions ([`jqi_core::InferenceState::state_bytes`]).
     pub state_bytes: usize,
-    /// Total bytes of label history (the replay log) across sessions.
+    /// Total *full* resident footprint of materialized sessions (session
+    /// struct + derived-state heap + history heap,
+    /// [`jqi_core::session::Session::resident_bytes`]).
+    pub resident_bytes: usize,
+    /// Total bytes of label history (the replay log) across all sessions,
+    /// both tiers.
     pub history_bytes: usize,
+    /// Total resident bytes of **hibernated** sessions (replay log +
+    /// pending marker).
+    pub hibernated_bytes: usize,
+    /// The shared universe's decision-cache counters at sampling time.
+    pub decision_cache: DecisionCacheStats,
 }
 
 impl ManagerStats {
-    /// Mean derived-state bytes per live session (0 when empty).
+    /// Mean derived-state bytes per resident session (0 when none).
     pub fn state_bytes_per_session(&self) -> f64 {
-        if self.sessions == 0 {
+        if self.resident_sessions == 0 {
             0.0
         } else {
-            self.state_bytes as f64 / self.sessions as f64
+            self.state_bytes as f64 / self.resident_sessions as f64
+        }
+    }
+
+    /// Mean full footprint per resident session (0 when none).
+    pub fn resident_bytes_per_session(&self) -> f64 {
+        if self.resident_sessions == 0 {
+            0.0
+        } else {
+            self.resident_bytes as f64 / self.resident_sessions as f64
+        }
+    }
+
+    /// Mean resident bytes per hibernated session (0 when none).
+    pub fn hibernated_bytes_per_session(&self) -> f64 {
+        if self.hibernated_sessions == 0 {
+            0.0
+        } else {
+            self.hibernated_bytes as f64 / self.hibernated_sessions as f64
         }
     }
 }
@@ -158,6 +282,7 @@ type Shard = RwLock<HashMap<SessionId, Arc<Mutex<Slot>>, BuildHasherDefault<Sess
 /// thread of a server.
 pub struct SessionManager {
     universe: Arc<Universe>,
+    config: ServerConfig,
     shards: Box<[Shard]>,
     next_id: AtomicU64,
 }
@@ -182,7 +307,13 @@ impl SessionManager {
                 .map(|_| RwLock::new(HashMap::default()))
                 .collect(),
             next_id: AtomicU64::new(0),
+            config,
         }
+    }
+
+    /// The configuration the manager was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// The shared universe all sessions run over.
@@ -200,12 +331,18 @@ impl SessionManager {
     /// regressions are visible in server stats and bench output.
     ///
     /// `state_bytes` sums the mask-compressed derived inference state of
-    /// every live session ([`jqi_core::InferenceState::state_bytes`]);
+    /// resident sessions ([`jqi_core::InferenceState::state_bytes`]);
     /// `history_bytes` sums the replay logs (what snapshots persist,
-    /// proportional to answers given). The shared universe is excluded —
-    /// it is paid once per process, not per session.
+    /// proportional to answers given); `hibernated_bytes` sums the bare
+    /// footprint of parked sessions. The shared universe is excluded — it
+    /// is paid once per process, not per session — but its decision-cache
+    /// counters ride along in `decision_cache`. Sampling is not a touch:
+    /// it never wakes a parked session or resets an idle clock.
     pub fn stats(&self) -> ManagerStats {
-        let mut stats = ManagerStats::default();
+        let mut stats = ManagerStats {
+            decision_cache: self.universe.decision_cache_stats(),
+            ..ManagerStats::default()
+        };
         for shard in self.shards.iter() {
             // Clone the slot handles out so the shard lock is not held
             // while session mutexes are taken.
@@ -213,8 +350,19 @@ impl SessionManager {
             for slot in slots {
                 let guard = slot.lock();
                 stats.sessions += 1;
-                stats.state_bytes += guard.session.state_bytes();
-                stats.history_bytes += std::mem::size_of_val(guard.session.history());
+                match &guard.tier {
+                    Tier::Resident(session) => {
+                        stats.resident_sessions += 1;
+                        stats.state_bytes += session.state_bytes();
+                        stats.resident_bytes += session.resident_bytes();
+                        stats.history_bytes += std::mem::size_of_val(session.history());
+                    }
+                    Tier::Hibernated { history, .. } => {
+                        stats.hibernated_sessions += 1;
+                        stats.history_bytes += std::mem::size_of_val(&history[..]);
+                        stats.hibernated_bytes += Slot::hibernated_bytes(history);
+                    }
+                }
             }
         }
         stats
@@ -232,13 +380,15 @@ impl SessionManager {
             .ok_or(ServerError::UnknownSession(id))
     }
 
-    /// Runs `f` on the session, holding only that session's mutex. The
-    /// shard lock is released before `f` runs, so slow strategy work never
-    /// blocks unrelated lookups.
-    fn with_session<T>(&self, id: SessionId, f: impl FnOnce(&mut Slot) -> T) -> Result<T> {
+    /// Runs `f` on the materialized session, holding only that session's
+    /// mutex. The shard lock is released before `f` runs, so slow strategy
+    /// work never blocks unrelated lookups. Counts as a touch: the idle
+    /// clock resets, and a hibernated session is re-materialized first.
+    fn with_session<T>(&self, id: SessionId, f: impl FnOnce(&mut OwnedSession) -> T) -> Result<T> {
         let slot = self.slot(id)?;
         let mut guard = slot.lock();
-        Ok(f(&mut guard))
+        guard.last_touch = Instant::now();
+        Ok(f(guard.session(&self.universe)))
     }
 
     fn insert(&self, id: SessionId, slot: Slot) -> Result<()> {
@@ -256,10 +406,7 @@ impl SessionManager {
     pub fn create_session(&self, strategy: StrategyConfig) -> SessionId {
         use std::collections::hash_map::Entry;
         let session = OwnedSession::with_config(Arc::clone(&self.universe), &strategy);
-        let slot = Arc::new(Mutex::new(Slot {
-            session,
-            config: strategy,
-        }));
+        let slot = Arc::new(Mutex::new(Slot::resident(strategy, session)));
         // A concurrent restore() may race a stale snapshot onto the id the
         // counter just handed out (its fetch_max lands after our
         // fetch_add); skip to the next id instead of clobbering either
@@ -280,11 +427,11 @@ impl SessionManager {
     /// *same* candidate instead of consuming a strategy step — an
     /// at-least-once task queue can re-deliver freely.
     pub fn next_question(&self, id: SessionId) -> Result<Option<Candidate>> {
-        self.with_session(id, |slot| {
-            if let Some(pending) = slot.session.pending_candidate() {
+        self.with_session(id, |session| {
+            if let Some(pending) = session.pending_candidate() {
                 return Ok(Some(pending));
             }
-            slot.session.next()
+            session.next()
         })?
         .map_err(ServerError::from)
     }
@@ -302,36 +449,84 @@ impl SessionManager {
     /// Folds a batch of answers into the session under a single lock
     /// acquisition; returns how many were new information.
     pub fn answer_batch(&self, id: SessionId, answers: &[(ClassId, Label)]) -> Result<usize> {
-        self.with_session(id, |slot| slot.session.apply_batch(answers))?
+        self.with_session(id, |session| session.apply_batch(answers))?
             .map_err(ServerError::from)
     }
 
     /// Whether the session has nothing left to ask.
+    ///
+    /// A touch: answering this for a parked session requires the derived
+    /// masks (the halt condition is about the informative set), so it
+    /// re-materializes — unlike [`Self::interactions`],
+    /// [`Self::inferred_predicate`], and [`Self::snapshot`], which serve
+    /// parked sessions from the parked payload.
     pub fn is_done(&self, id: SessionId) -> Result<bool> {
-        self.with_session(id, |slot| slot.session.is_done())
+        self.with_session(id, |session| session.is_done())
     }
 
     /// Number of answers recorded so far.
+    ///
+    /// Served from the parked payload for hibernated sessions — a metrics
+    /// loop polling a parked fleet neither wakes sessions nor resets
+    /// their idle clocks.
     pub fn interactions(&self, id: SessionId) -> Result<usize> {
-        self.with_session(id, |slot| slot.session.interactions())
+        let slot = self.slot(id)?;
+        let guard = slot.lock();
+        Ok(match &guard.tier {
+            Tier::Resident(session) => session.interactions(),
+            Tier::Hibernated { history, .. } => history.len(),
+        })
     }
 
     /// The predicate inferred so far — `T(S⁺)`, the most specific
     /// predicate consistent with the answers (usable before completion,
     /// §4.1).
+    ///
+    /// Not a touch: for a hibernated session, `T(S⁺)` is recomputed
+    /// directly from the parked replay log (`Ω ∩ ⋂ sig(positives)`, a few
+    /// word-ANDs) instead of re-materializing the whole session.
     pub fn inferred_predicate(&self, id: SessionId) -> Result<BitSet> {
-        self.with_session(id, |slot| slot.session.inferred_predicate())
+        let slot = self.slot(id)?;
+        let guard = slot.lock();
+        Ok(match &guard.tier {
+            Tier::Resident(session) => session.inferred_predicate(),
+            Tier::Hibernated { history, .. } => {
+                let mut theta = self.universe.omega();
+                for &(c, label) in history {
+                    if label == Label::Positive {
+                        theta.intersect_with(self.universe.sig(c));
+                    }
+                }
+                theta
+            }
+        })
     }
 
     /// A restartable snapshot of the session: strategy config + label
     /// history. The session keeps running; pair with [`Self::remove`] for
     /// eviction.
+    ///
+    /// A **hibernated** session is snapshotted straight from its parked
+    /// replay log — no re-materialization and no touch — so periodically
+    /// persisting a fleet of parked sessions never wakes them. (This is
+    /// also why hibernation composes with snapshot-based hand-off: the
+    /// parked representation *is* the snapshot payload.)
     pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot> {
-        self.with_session(id, |slot| SessionSnapshot {
-            session: id,
-            strategy: slot.config.clone(),
-            history: slot.session.history().to_vec(),
-            pending: slot.session.pending_class(),
+        let slot = self.slot(id)?;
+        let guard = slot.lock();
+        Ok(match &guard.tier {
+            Tier::Resident(session) => SessionSnapshot {
+                session: id,
+                strategy: guard.config.clone(),
+                history: session.history().to_vec(),
+                pending: session.pending_class(),
+            },
+            Tier::Hibernated { history, pending } => SessionSnapshot {
+                session: id,
+                strategy: guard.config.clone(),
+                history: history.clone(),
+                pending: *pending,
+            },
         })
     }
 
@@ -347,15 +542,52 @@ impl SessionManager {
             &snapshot.history,
             snapshot.pending,
         )?;
-        self.insert(
-            id,
-            Slot {
-                session,
-                config: snapshot.strategy.clone(),
-            },
-        )?;
+        self.insert(id, Slot::resident(snapshot.strategy.clone(), session))?;
         self.next_id.fetch_max(id + 1, Ordering::Relaxed);
         Ok(id)
+    }
+
+    /// Parks every resident session idle for at least `ttl` into the
+    /// hibernation tier (derived masks dropped; strategy config + label
+    /// history kept; see [`ServerConfig::hibernate_ttl`]). Returns how
+    /// many sessions were parked. `Duration::ZERO` parks everything —
+    /// useful for tests and for draining a manager before hand-off.
+    ///
+    /// Parked sessions stay fully addressable: the next touch
+    /// re-materializes them lazily, and [`Self::snapshot`] serves them
+    /// without waking. Sessions busy under another thread's operation are
+    /// still swept afterwards — the sweep takes each session mutex in
+    /// turn.
+    pub fn hibernate_idle(&self, ttl: Duration) -> usize {
+        let mut parked = 0usize;
+        for shard in self.shards.iter() {
+            let slots: Vec<Arc<Mutex<Slot>>> = shard.read().values().cloned().collect();
+            for slot in slots {
+                let mut guard = slot.lock();
+                if guard.last_touch.elapsed() >= ttl && guard.hibernate() {
+                    parked += 1;
+                }
+            }
+        }
+        parked
+    }
+
+    /// Force-parks one session regardless of idle time; returns whether it
+    /// was resident. Not a touch.
+    pub fn hibernate(&self, id: SessionId) -> Result<bool> {
+        let slot = self.slot(id)?;
+        let mut guard = slot.lock();
+        Ok(guard.hibernate())
+    }
+
+    /// The TTL sweep: [`Self::hibernate_idle`] with the configured
+    /// [`ServerConfig::hibernate_ttl`], a no-op (returning 0) when none is
+    /// configured. Meant to be called periodically by the serving loop.
+    pub fn sweep(&self) -> usize {
+        match self.config.hibernate_ttl {
+            Some(ttl) => self.hibernate_idle(ttl),
+            None => 0,
+        }
     }
 
     /// Drops a session. Operations already holding its handle finish
@@ -460,13 +692,20 @@ mod tests {
     #[test]
     fn stats_report_per_session_memory() {
         let m = manager();
-        assert_eq!(m.stats(), ManagerStats::default());
+        let empty = m.stats();
+        assert_eq!(empty.sessions, 0);
+        assert_eq!(empty.resident_sessions, 0);
+        assert_eq!(empty.hibernated_sessions, 0);
+        assert_eq!(empty.state_bytes, 0);
+        // The universe's decision cache rides along in the stats.
+        assert!(empty.decision_cache.budget_bytes > 0);
         let a = m.create_session(StrategyConfig::Bu);
         let b = m.create_session(StrategyConfig::Lks { depth: 2 });
         let q = m.next_question(a).unwrap().unwrap();
         m.answer(a, q.class, Label::Negative).unwrap();
         let stats = m.stats();
         assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.resident_sessions, 2);
         // Mask-compressed sessions over the paper's instance are ~100 bytes
         // of derived state each.
         assert!(stats.state_bytes > 0);
@@ -475,11 +714,131 @@ mod tests {
             "session state ballooned: {} bytes/session",
             stats.state_bytes_per_session()
         );
+        // The full resident footprint includes the session struct itself.
+        assert!(stats.resident_bytes > stats.state_bytes);
         // One answer recorded: history accounting follows.
         assert_eq!(stats.history_bytes, std::mem::size_of::<(ClassId, Label)>());
+        // The strategy question above went through the decision cache.
+        assert!(stats.decision_cache.hits + stats.decision_cache.misses > 0);
         m.remove(a).unwrap();
         m.remove(b).unwrap();
         assert_eq!(m.stats().sessions, 0);
+    }
+
+    #[test]
+    fn hibernated_sessions_shrink_and_wake_transparently() {
+        let m = manager();
+        let goal = jqi_core::predicate_from_names(
+            m.universe().instance(),
+            &[("To", "City"), ("Airline", "Discount")],
+        )
+        .unwrap();
+        // Drive a few answers, park, and compare against a twin that never
+        // hibernates.
+        let id = m.create_session(StrategyConfig::Lks { depth: 2 });
+        let twin = m.create_session(StrategyConfig::Lks { depth: 2 });
+        for _ in 0..2 {
+            let q = m.next_question(id).unwrap().unwrap();
+            let label = if goal.is_subset(m.universe().sig(q.class)) {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
+            m.answer(id, q.class, label).unwrap();
+            let qt = m.next_question(twin).unwrap().unwrap();
+            assert_eq!(qt.class, q.class, "twin asked a different question");
+            m.answer(twin, qt.class, label).unwrap();
+        }
+        assert!(m.hibernate(id).unwrap());
+        assert!(!m.hibernate(id).unwrap(), "second park is a no-op");
+        let stats = m.stats();
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.hibernated_sessions, 1);
+        assert_eq!(stats.resident_sessions, 1);
+        // The parked footprint is a fraction of the materialized one.
+        assert!(
+            stats.hibernated_bytes_per_session() * 2.0 <= stats.resident_bytes_per_session(),
+            "parked session not at most half the resident footprint: {} vs {}",
+            stats.hibernated_bytes_per_session(),
+            stats.resident_bytes_per_session()
+        );
+        // Read-only queries are served from the parked payload without
+        // waking: snapshot, interactions, and the inferred predicate.
+        let snap = m.snapshot(id).unwrap();
+        assert_eq!(snap.history.len(), 2);
+        assert_eq!(m.interactions(id).unwrap(), 2);
+        assert_eq!(
+            m.inferred_predicate(id).unwrap(),
+            m.inferred_predicate(twin).unwrap(),
+            "parked θ diverges from the resident twin's"
+        );
+        assert_eq!(
+            m.stats().hibernated_sessions,
+            1,
+            "a read-only query woke the session"
+        );
+        // The next touch re-materializes lazily and continues exactly like
+        // the never-hibernated twin.
+        while let Some(q) = m.next_question(id).unwrap() {
+            let qt = m.next_question(twin).unwrap().unwrap();
+            assert_eq!(qt.class, q.class, "woken session diverged from twin");
+            let label = if goal.is_subset(m.universe().sig(q.class)) {
+                Label::Positive
+            } else {
+                Label::Negative
+            };
+            m.answer(id, q.class, label).unwrap();
+            m.answer(twin, qt.class, label).unwrap();
+        }
+        assert!(m.next_question(twin).unwrap().is_none());
+        assert_eq!(
+            m.inferred_predicate(id).unwrap(),
+            m.inferred_predicate(twin).unwrap()
+        );
+        assert_eq!(m.stats().hibernated_sessions, 0);
+    }
+
+    #[test]
+    fn hibernate_idle_respects_ttl_and_sweep_respects_config() {
+        let m = manager();
+        let a = m.create_session(StrategyConfig::Bu);
+        let _b = m.create_session(StrategyConfig::Td);
+        // Nothing has been idle for an hour.
+        assert_eq!(m.hibernate_idle(Duration::from_secs(3600)), 0);
+        // A zero TTL parks everything at once.
+        assert_eq!(m.hibernate_idle(Duration::ZERO), 2);
+        assert_eq!(m.stats().hibernated_sessions, 2);
+        // Touching one wakes exactly that one.
+        let _ = m.next_question(a).unwrap();
+        assert_eq!(m.stats().hibernated_sessions, 1);
+        // sweep() is a no-op without a configured TTL…
+        assert_eq!(m.sweep(), 0);
+        // …and parks idle sessions when one is set.
+        let ttl = SessionManager::new(
+            Arc::clone(m.universe()),
+            ServerConfig {
+                hibernate_ttl: Some(Duration::ZERO),
+                ..ServerConfig::default()
+            },
+        );
+        let c = ttl.create_session(StrategyConfig::Bu);
+        assert_eq!(ttl.sweep(), 1);
+        assert_eq!(ttl.stats().hibernated_sessions, 1);
+        let _ = ttl.next_question(c).unwrap();
+        assert_eq!(ttl.stats().hibernated_sessions, 0);
+    }
+
+    #[test]
+    fn pending_question_survives_hibernation() {
+        let m = manager();
+        let id = m.create_session(StrategyConfig::Td);
+        let q = m.next_question(id).unwrap().unwrap();
+        assert!(m.hibernate(id).unwrap());
+        // Re-delivery after waking returns the same outstanding question
+        // without consuming a strategy step.
+        let q2 = m.next_question(id).unwrap().unwrap();
+        assert_eq!(q2.class, q.class);
+        assert_eq!(m.interactions(id).unwrap(), 0);
     }
 
     #[test]
@@ -511,7 +870,13 @@ mod tests {
         let snap = m.snapshot(id).unwrap();
 
         // Simulate a restart: a brand-new manager restores the snapshot.
-        let m2 = SessionManager::new(Arc::clone(m.universe()), ServerConfig { shards: 3 });
+        let m2 = SessionManager::new(
+            Arc::clone(m.universe()),
+            ServerConfig {
+                shards: 3,
+                ..ServerConfig::default()
+            },
+        );
         let restored = m2.restore(&snap).unwrap();
         assert_eq!(restored, id);
         assert_eq!(m2.interactions(id).unwrap(), 1);

@@ -11,6 +11,13 @@
 //! across changes to the derived representation, and valid against any
 //! universe that assigns the same class ids — i.e. the same instance built
 //! by the same deterministic [`jqi_core::Universe::build`].
+//!
+//! The hibernation tier ([`crate::SessionManager::hibernate_idle`]) parks
+//! idle sessions to exactly this payload — strategy config + label
+//! history + pending question — so snapshotting a parked session is a
+//! copy, not a replay: [`crate::SessionManager::snapshot`] serves
+//! hibernated sessions without waking them, and a parked session can be
+//! handed to another instance as its snapshot document verbatim.
 
 use crate::json::{Json, ParseError};
 use jqi_core::{ClassId, Label, StrategyConfig};

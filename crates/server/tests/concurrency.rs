@@ -62,7 +62,10 @@ fn many_threads_many_sessions_match_single_threaded_replays() {
     ));
     let manager = Arc::new(SessionManager::new(
         Arc::clone(&universe),
-        ServerConfig { shards: 4 },
+        ServerConfig {
+            shards: 4,
+            ..ServerConfig::default()
+        },
     ));
     const THREADS: usize = 8;
     const SESSIONS_PER_THREAD: usize = 8;
@@ -209,7 +212,10 @@ fn churn_leaves_an_empty_consistent_table() {
     ));
     let manager = Arc::new(SessionManager::new(
         Arc::clone(&universe),
-        ServerConfig { shards: 2 },
+        ServerConfig {
+            shards: 2,
+            ..ServerConfig::default()
+        },
     ));
     let handles: Vec<_> = (0..8)
         .map(|t| {

@@ -1,0 +1,101 @@
+//! Property test: a session that is hibernated (parked to its bare replay
+//! log) and re-materialized on the next touch is indistinguishable from
+//! one that stayed resident — for every strategy, with parks injected
+//! between arbitrary steps, including mid-question.
+
+use jqi_core::{ClassId, Label, StrategyConfig, Universe};
+use jqi_datagen::SyntheticConfig;
+use jqi_relation::BitSet;
+use jqi_server::{ServerConfig, SessionManager};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn strategy_mix(i: usize, seed: u64) -> StrategyConfig {
+    match i % 6 {
+        0 => StrategyConfig::Bu,
+        1 => StrategyConfig::Td,
+        2 => StrategyConfig::Lks { depth: 1 },
+        3 => StrategyConfig::Lks { depth: 2 },
+        4 => StrategyConfig::Eg,
+        _ => StrategyConfig::Rnd { seed },
+    }
+}
+
+fn oracle_label(universe: &Universe, goal: &BitSet, class: ClassId) -> Label {
+    if goal.is_subset(universe.sig(class)) {
+        Label::Positive
+    } else {
+        Label::Negative
+    }
+}
+
+proptest! {
+    /// hibernate → touch ≡ never-hibernated: the parked session asks the
+    /// same questions, gives the same predicate, and records the same
+    /// history as its resident twin, no matter where the parks land.
+    #[test]
+    fn hibernate_touch_equals_never_hibernated(
+        instance_seed in 0u64..200,
+        goal_index in 0usize..64,
+        strategy_index in 0usize..6,
+        park_mask in 0u32..1024,
+    ) {
+        let universe = Arc::new(Universe::build(
+            SyntheticConfig::new(2, 2, 10, 5).generate(instance_seed),
+        ));
+        let goals = jqi_core::lattice::non_nullable_predicates(&universe, 100_000)
+            .expect("small lattice");
+        prop_assume!(!goals.is_empty());
+        let goal = goals[goal_index % goals.len()].clone();
+        let config = strategy_mix(strategy_index, instance_seed);
+
+        // Both managers share ONE universe — and hence one decision cache —
+        // so the comparison also exercises cached strategy moves across
+        // the park/wake boundary.
+        let resident = SessionManager::new(Arc::clone(&universe), ServerConfig::default());
+        let parked = SessionManager::new(
+            Arc::clone(&universe),
+            ServerConfig { shards: 3, ..ServerConfig::default() },
+        );
+        let r_id = resident.create_session(config.clone());
+        let p_id = parked.create_session(config.clone());
+
+        let mut step = 0usize;
+        loop {
+            // Park between steps according to the mask — sometimes before
+            // the question (mid-nothing), sometimes after it was asked
+            // (mid-question, pending outstanding).
+            if park_mask >> (step % 10) & 1 == 1 {
+                parked.hibernate(p_id).expect("live session");
+                prop_assert_eq!(parked.stats().hibernated_sessions, 1);
+            }
+            let rq = resident.next_question(r_id).expect("live session");
+            let pq = parked.next_question(p_id).expect("live session");
+            prop_assert_eq!(
+                rq.as_ref().map(|q| q.class),
+                pq.as_ref().map(|q| q.class),
+                "question diverged at step {}", step
+            );
+            let Some(q) = rq else { break };
+            if park_mask >> ((step + 5) % 10) & 1 == 1 {
+                // Park with the question outstanding; zero-TTL sweep form.
+                prop_assert_eq!(parked.hibernate_idle(Duration::ZERO), 1);
+            }
+            let label = oracle_label(&universe, &goal, q.class);
+            resident.answer(r_id, q.class, label).expect("consistent");
+            parked.answer(p_id, q.class, label).expect("consistent");
+            step += 1;
+            prop_assert!(step < 10_000, "runaway session");
+        }
+
+        prop_assert_eq!(
+            resident.inferred_predicate(r_id).unwrap(),
+            parked.inferred_predicate(p_id).unwrap()
+        );
+        let r_snap = resident.snapshot(r_id).unwrap();
+        let p_snap = parked.snapshot(p_id).unwrap();
+        prop_assert_eq!(r_snap.history, p_snap.history);
+        prop_assert!(parked.is_done(p_id).unwrap());
+    }
+}

@@ -72,13 +72,13 @@ proptest! {
         // Interrupted at `cut` answers — *mid-question*: the next question
         // is asked (and left outstanding) before the snapshot, so the
         // pending candidate must survive the restart too.
-        let before = SessionManager::new(Arc::clone(&universe), ServerConfig { shards: 3 });
+        let before = SessionManager::new(Arc::clone(&universe), ServerConfig { shards: 3, ..ServerConfig::default() });
         let id = before.create_session(config.clone());
         drive(&before, id, &goal, cut);
         let outstanding = before.next_question(id).expect("live session");
         let json = before.snapshot(id).unwrap().to_json_string();
 
-        let after = SessionManager::new(Arc::clone(&universe), ServerConfig { shards: 5 });
+        let after = SessionManager::new(Arc::clone(&universe), ServerConfig { shards: 5, ..ServerConfig::default() });
         let snap = SessionSnapshot::from_json(&json).expect("well-formed snapshot");
         prop_assert_eq!(snap.strategy.clone(), config);
         prop_assert_eq!(snap.pending, outstanding.as_ref().map(|q| q.class));

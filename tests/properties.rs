@@ -742,3 +742,146 @@ proptest! {
         prop_assert_eq!(back, expect);
     }
 }
+
+/// The strategy configs the universe-level decision cache covers.
+fn deterministic_configs() -> Vec<StrategyConfig> {
+    vec![
+        StrategyConfig::Bu,
+        StrategyConfig::Td,
+        StrategyConfig::Lks { depth: 1 },
+        StrategyConfig::Lks { depth: 2 },
+        StrategyConfig::Eg,
+    ]
+}
+
+/// Drives goal-oracle sessions over `cached` and `uncached` in lock-step,
+/// asserting the cached move equals the cache-free reference at every
+/// step. Runs two passes over the cached universe so the second pass is
+/// served from a populated cache.
+fn assert_cached_moves_match(cached: &Universe, uncached: &Universe, goal: &BitSet) {
+    use join_query_inference::core::strategy::Strategy as InferenceStrategy;
+    for config in deterministic_configs() {
+        for pass in 0..2 {
+            let mut s_cached = config.build();
+            let mut s_uncached = config.build();
+            let mut st_cached = InferenceState::new(cached);
+            let mut st_uncached = InferenceState::new(uncached);
+            let mut step = 0usize;
+            loop {
+                let a = InferenceStrategy::next(&mut s_cached, &st_cached)
+                    .expect("deterministic strategies are infallible");
+                let b = InferenceStrategy::next(&mut s_uncached, &st_uncached)
+                    .expect("deterministic strategies are infallible");
+                assert_eq!(
+                    a, b,
+                    "cached move diverges from uncached for {config} at step {step} (pass {pass})"
+                );
+                let Some(c) = a else { break };
+                let label = if goal.is_subset(cached.sig(c)) {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                };
+                st_cached.apply(c, label).expect("informative class");
+                st_uncached.apply(c, label).expect("informative class");
+                step += 1;
+                assert!(step <= cached.num_classes() + 1, "runaway session");
+            }
+        }
+    }
+    let stats = cached.decision_cache_stats();
+    assert!(stats.hits > 0, "the second pass must hit the cache");
+    assert!(stats.bytes <= stats.budget_bytes.max(1));
+}
+
+proptest! {
+    /// Tentpole equivalence: for every deterministic strategy, in BOTH
+    /// phases (all-negative openings and below-Ω positive states), the
+    /// move served through the universe-level decision cache equals the
+    /// move computed without any cache — across arbitrary instances and
+    /// goals, including repeat sessions over the same warm universe.
+    #[test]
+    fn cached_moves_match_uncached(inst in small_instance(), m in goal_mask()) {
+        let goal = mask_to_theta(inst.pairs().len(), m);
+        let cached = Universe::build(inst.clone());
+        let uncached = Universe::build_with_cache_budget(inst, 0);
+        assert_cached_moves_match(&cached, &uncached, &goal);
+    }
+
+    /// The same equivalence under byte-budget pressure: a cache big enough
+    /// for only a few entries keeps evicting mid-session, and every probe
+    /// must still return exactly the uncached move.
+    #[test]
+    fn cached_moves_match_uncached_under_eviction(
+        inst in small_instance(),
+        m in goal_mask(),
+    ) {
+        let goal = mask_to_theta(inst.pairs().len(), m);
+        // ~1 KiB: a handful of entries, so LRU eviction churns constantly.
+        let cached = Universe::build_with_cache_budget(inst.clone(), 1 << 10);
+        let uncached = Universe::build_with_cache_budget(inst, 0);
+        for config in deterministic_configs() {
+            use join_query_inference::core::strategy::Strategy as InferenceStrategy;
+            let mut s_cached = config.build();
+            let mut s_uncached = config.build();
+            let mut st_cached = InferenceState::new(&cached);
+            let mut st_uncached = InferenceState::new(&uncached);
+            loop {
+                let a = InferenceStrategy::next(&mut s_cached, &st_cached).unwrap();
+                let b = InferenceStrategy::next(&mut s_uncached, &st_uncached).unwrap();
+                prop_assert_eq!(a, b, "eviction-pressure move diverges for {}", config);
+                let Some(c) = a else { break };
+                let label = if goal.is_subset(cached.sig(c)) {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                };
+                st_cached.apply(c, label).unwrap();
+                st_uncached.apply(c, label).unwrap();
+            }
+        }
+        let stats = cached.decision_cache_stats();
+        prop_assert!(stats.bytes <= 1 << 10, "cache exceeded its byte budget");
+    }
+}
+
+/// Multi-word **negative masks** (> 64 classes): cached ≡ uncached for
+/// every deterministic strategy on an instance whose class masks span
+/// several words, driven by goals that exercise both phases.
+#[test]
+fn cached_moves_match_uncached_beyond_64_classes() {
+    let inst = multiword_class_instance();
+    let cached = Universe::build(inst.clone());
+    let uncached = Universe::build_with_cache_budget(inst, 0);
+    assert!(cached.num_classes() > 64, "want multi-word class masks");
+    // Ω itself (all-negative answers, pure negative phase) and a small
+    // predicate (positives arrive, θ shrinks below Ω).
+    let nbits = cached.omega_len();
+    for goal in [cached.omega(), BitSet::from_iter(nbits, [0usize, 4])] {
+        assert_cached_moves_match(&cached, &uncached, &goal);
+    }
+}
+
+/// Multi-word **Ω** (m = 70, two words per signature/θ): cached ≡ uncached
+/// with positive-phase keys that carry a genuinely multi-word T(S⁺).
+#[test]
+fn cached_moves_match_uncached_on_wide_omega() {
+    let mut b = InstanceBuilder::new();
+    let p_attrs: Vec<String> = (0..70).map(|j| format!("B{j}")).collect();
+    let p_refs: Vec<&str> = p_attrs.iter().map(String::as_str).collect();
+    b.relation_r("R", &["A1"]);
+    b.relation_p("P", &p_refs);
+    for r in [0i64, 1, 2] {
+        b.row_r_ints(&[r]);
+    }
+    for s in 0..3i64 {
+        let row: Vec<i64> = (0..70).map(|j| (j as i64 + s) % 4).collect();
+        b.row_p_ints(&row);
+    }
+    let inst = b.build().expect("well-formed");
+    let cached = Universe::build(inst.clone());
+    let uncached = Universe::build_with_cache_budget(inst, 0);
+    assert!(cached.omega_len() > 64, "want multi-word Ω");
+    let goal = BitSet::from_iter(cached.omega_len(), [1usize, 67]);
+    assert_cached_moves_match(&cached, &uncached, &goal);
+}
