@@ -19,6 +19,8 @@
 //! * `--kind scaling` — per dataset point matched **by name**,
 //!   `build_speedup` must not shrink below `baseline / factor` and
 //!   `l1s_first_step_ms` / `l3s_first_step_ms` must not exceed
+//!   `baseline · factor`; per `streaming` phase point (also matched by
+//!   name), `build_wall_ms` and `peak_tracked_bytes` must not exceed
 //!   `baseline · factor`. Points present on only one side are skipped
 //!   (sweeps may grow), but zero matched points is an error.
 
@@ -191,6 +193,33 @@ fn guard_scaling(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(),
         }
         for metric in ["l1s_first_step_ms", "l3s_first_step_ms"] {
             if let (Some(f), Some(b)) = (num(fp, &[metric]), num(bp, &[metric])) {
+                guard.at_most(&format!("{name}: {metric}"), f, b);
+            }
+        }
+    }
+    // The streaming phase: wall clock (machine-dependent, order-of-
+    // magnitude guard) and peak tracked ingestion bytes (machine-
+    // independent — a blow-up here means profiles stopped collapsing).
+    let streaming = |doc: &Json| -> Vec<Json> {
+        doc.get("streaming")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default()
+    };
+    let baseline_streaming = streaming(baseline);
+    for fp in streaming(fresh) {
+        let Some(name) = fp.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(bp) = baseline_streaming
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        matched += 1;
+        for metric in ["build_wall_ms", "peak_tracked_bytes"] {
+            if let (Some(f), Some(b)) = (num(&fp, &[metric]), num(bp, &[metric])) {
                 guard.at_most(&format!("{name}: {metric}"), f, b);
             }
         }

@@ -1,16 +1,20 @@
 //! Runs the scaling sweep and writes `BENCH_scaling.json`.
 //!
 //! ```text
-//! scaling [--tiny] [--out PATH] [--seed S] [--reference-cap N]
+//! scaling [--tiny] [--out PATH] [--seed S] [--reference-cap N] [--max-ingest-bytes N]
 //! ```
 //!
-//! * `--tiny` — CI-smoke sizes (one small synthetic + TPC-H small point).
+//! * `--tiny` — CI-smoke sizes (one small synthetic + TPC-H small point,
+//!   streaming at SF 0.002).
 //! * `--out PATH` — where to write the JSON report
 //!   (default `BENCH_scaling.json`, i.e. the repo root when invoked via
 //!   `cargo run` from the workspace root).
 //! * `--seed S` — generator seed.
 //! * `--reference-cap N` — largest product for which the row-pair
 //!   reference build is also timed.
+//! * `--max-ingest-bytes N` — abort (panic) if the streaming phase's
+//!   tracked ingestion bytes exceed `N`; CI smoke sets this so a profile
+//!   blow-up fails loudly instead of OOMing the runner.
 
 use jqi_bench::json::ToJson;
 use jqi_bench::scaling::{run, ScalingParams};
@@ -22,7 +26,8 @@ struct Args {
     params: ScalingParams,
 }
 
-const USAGE: &str = "usage: scaling [--tiny] [--out PATH] [--seed S] [--reference-cap N]";
+const USAGE: &str =
+    "usage: scaling [--tiny] [--out PATH] [--seed S] [--reference-cap N] [--max-ingest-bytes N]";
 
 /// `Ok(None)` means `--help` was requested (usage already printed).
 fn parse_args() -> Result<Option<Args>, String> {
@@ -49,6 +54,14 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .ok_or("--reference-cap needs a value")?
                     .parse()
                     .map_err(|e| format!("bad --reference-cap: {e}"))?;
+            }
+            "--max-ingest-bytes" => {
+                args.params.ingest_byte_ceiling = Some(
+                    it.next()
+                        .ok_or("--max-ingest-bytes needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-ingest-bytes: {e}"))?,
+                );
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -18,7 +18,8 @@
 use crate::json::{Json, ToJson};
 use jqi_core::strategy::{Lookahead, Strategy};
 use jqi_core::universe::Universe;
-use jqi_core::InferenceState;
+use jqi_core::{InferenceState, IngestOptions};
+use jqi_datagen::stream::{SfConfig, SfJoin, SfStream};
 use jqi_datagen::tpch::{TpchJoin, TpchScale, TpchTables};
 use jqi_datagen::ScaledConfig;
 use jqi_relation::Instance;
@@ -37,6 +38,10 @@ pub struct ScalingParams {
     pub l3s_class_cap: usize,
     /// Generator seed.
     pub seed: u64,
+    /// Hard ceiling on the streaming phase's tracked ingestion bytes
+    /// (`None` = unlimited). CI smoke passes a ceiling so a profile-space
+    /// blow-up fails the job with a message instead of OOMing the runner.
+    pub ingest_byte_ceiling: Option<usize>,
 }
 
 impl Default for ScalingParams {
@@ -46,6 +51,7 @@ impl Default for ScalingParams {
             l1s_class_cap: 5_000,
             l3s_class_cap: 48,
             seed: 0x5CA1E,
+            ingest_byte_ceiling: None,
         }
     }
 }
@@ -89,6 +95,47 @@ pub struct ScalingPoint {
     pub closure_bytes: usize,
 }
 
+/// One measured end-to-end streaming build (the `streaming` phase):
+/// parallel chunk generation at a real TPC-H scale factor feeding
+/// `Universe::build_streaming` through bounded channels, with rows never
+/// materialized.
+#[derive(Debug, Clone)]
+pub struct StreamingPoint {
+    /// Point label, e.g. `streaming customer⋈orders SF=1`.
+    pub name: String,
+    /// TPC-H scale factor the stream was generated at.
+    pub sf: f64,
+    /// Rows streamed into `R`.
+    pub rows_r: u64,
+    /// Rows streamed into `P`.
+    pub rows_p: u64,
+    /// Distinct R-side join profiles after the fold.
+    pub distinct_r_profiles: usize,
+    /// Distinct P-side join profiles after the fold.
+    pub distinct_p_profiles: usize,
+    /// Number of T-equivalence classes of the finished universe.
+    pub classes: usize,
+    /// End-to-end wall clock (generation + both ingestion passes +
+    /// universe assembly), milliseconds.
+    pub build_wall_ms: f64,
+    /// Streamed rows per second of end-to-end wall clock.
+    pub rows_per_s: f64,
+    /// Peak tracked bytes of the profile accumulators — the streaming
+    /// build's resident ingestion state.
+    pub peak_tracked_bytes: usize,
+    /// What the rows would occupy if materialized as interned tuples.
+    pub materialized_row_bytes: u64,
+    /// `materialized_row_bytes / peak_tracked_bytes` — how far the
+    /// streaming path stays below holding the rows (≥ 10× at SF 1 is the
+    /// acceptance bar; < 1 is expected at smoke scale factors where rows
+    /// are too few to saturate the profile space).
+    pub memory_ratio: f64,
+    /// Ingestion worker threads.
+    pub threads: usize,
+    /// Parallel generator workers feeding the bounded channels.
+    pub gen_workers: usize,
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone)]
 pub struct ScalingReport {
@@ -96,6 +143,8 @@ pub struct ScalingReport {
     pub params: ScalingParams,
     /// One entry per dataset, in sweep order.
     pub points: Vec<ScalingPoint>,
+    /// The `streaming` phase's points, in sweep order.
+    pub streaming: Vec<StreamingPoint>,
 }
 
 fn ms(start: Instant) -> f64 {
@@ -186,6 +235,48 @@ pub fn measure_instance(
     }
 }
 
+/// Measures one end-to-end streaming build at scale factor `sf`:
+/// `Customer ⋈ Orders` chunks generated by parallel workers, folded into
+/// weighted profiles by `Universe::build_streaming`, with generation and
+/// folding overlapping through bounded channels.
+pub fn measure_streaming(sf: f64, params: &ScalingParams) -> StreamingPoint {
+    let config = SfConfig::new(sf, params.seed);
+    let stream = SfStream::new(config, SfJoin::CustomerOrders)
+        .expect("streaming workload schema is well-formed");
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let gen_workers = threads.clamp(1, 4);
+    let mut options = IngestOptions::with_threads(threads);
+    options.byte_ceiling = params.ingest_byte_ceiling;
+
+    let start = Instant::now();
+    let (universe, stats) = Universe::build_streaming_with_options(
+        stream.schema().clone(),
+        || stream.par_chunks(gen_workers, 4),
+        &options,
+    );
+    let build_wall_ms = ms(start);
+
+    let rows = stats.rows_r + stats.rows_p;
+    let rows_per_s = rows as f64 / (build_wall_ms / 1e3).max(1e-9);
+    let memory_ratio = stats.materialized_row_bytes as f64 / stats.peak_tracked_bytes.max(1) as f64;
+    StreamingPoint {
+        name: format!("streaming {} SF={sf}", stream.join().name()),
+        sf,
+        rows_r: stats.rows_r,
+        rows_p: stats.rows_p,
+        distinct_r_profiles: stats.distinct_r,
+        distinct_p_profiles: stats.distinct_p,
+        classes: universe.num_classes(),
+        build_wall_ms,
+        rows_per_s,
+        peak_tracked_bytes: stats.peak_tracked_bytes,
+        materialized_row_bytes: stats.materialized_row_bytes,
+        memory_ratio,
+        threads: stats.threads,
+        gen_workers,
+    }
+}
+
 /// The synthetic duplicate-heavy sweep: products from 10⁴ to 10⁸ tuples,
 /// every one collapsing into ≤ 2¹⁰ profile pairs. The 10⁶ point (1000×1000
 /// rows, 32·32 distinct profiles) is the acceptance workload the README's
@@ -213,6 +304,15 @@ pub fn tpch_sweep(tiny: bool) -> Vec<TpchScale> {
     vec![TpchScale::Small, TpchScale::Large, TpchScale::Huge]
 }
 
+/// Scale factors of the `streaming` phase: real SF 1 for the full sweep
+/// (1.65 M rows end to end), SF 0.002 for CI smoke.
+pub fn streaming_sweep(tiny: bool) -> Vec<f64> {
+    if tiny {
+        return vec![0.002];
+    }
+    vec![1.0]
+}
+
 /// Runs the full sweep.
 pub fn run(tiny: bool, params: ScalingParams) -> ScalingReport {
     let mut points = Vec::new();
@@ -235,7 +335,15 @@ pub fn run(tiny: bool, params: ScalingParams) -> ScalingReport {
             &params,
         ));
     }
-    ScalingReport { params, points }
+    let streaming = streaming_sweep(tiny)
+        .into_iter()
+        .map(|sf| measure_streaming(sf, &params))
+        .collect();
+    ScalingReport {
+        params,
+        points,
+        streaming,
+    }
 }
 
 impl ScalingReport {
@@ -272,7 +380,68 @@ impl ScalingReport {
                 p.state_bytes,
             ));
         }
+        if !self.streaming.is_empty() {
+            out.push_str(&format!(
+                "\n{:<40} {:>11} {:>11} {:>8} {:>11} {:>12} {:>11} {:>12} {:>8}\n",
+                "streaming build",
+                "rows",
+                "profiles",
+                "classes",
+                "wall(ms)",
+                "rows/s",
+                "peak(B)",
+                "row-mem(B)",
+                "ratio"
+            ));
+            for s in &self.streaming {
+                out.push_str(&format!(
+                    "{:<40} {:>11} {:>11} {:>8} {:>11.1} {:>12.0} {:>11} {:>12} {:>7.1}x\n",
+                    s.name,
+                    s.rows_r + s.rows_p,
+                    format!("{}·{}", s.distinct_r_profiles, s.distinct_p_profiles),
+                    s.classes,
+                    s.build_wall_ms,
+                    s.rows_per_s,
+                    s.peak_tracked_bytes,
+                    s.materialized_row_bytes,
+                    s.memory_ratio,
+                ));
+            }
+        }
         out
+    }
+}
+
+impl ToJson for StreamingPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("sf".into(), Json::Num(self.sf)),
+            ("rows_r".into(), Json::num(self.rows_r as f64)),
+            ("rows_p".into(), Json::num(self.rows_p as f64)),
+            (
+                "distinct_r_profiles".into(),
+                Json::num(self.distinct_r_profiles as f64),
+            ),
+            (
+                "distinct_p_profiles".into(),
+                Json::num(self.distinct_p_profiles as f64),
+            ),
+            ("classes".into(), Json::num(self.classes as f64)),
+            ("build_wall_ms".into(), Json::Num(self.build_wall_ms)),
+            ("rows_per_s".into(), Json::Num(self.rows_per_s)),
+            (
+                "peak_tracked_bytes".into(),
+                Json::num(self.peak_tracked_bytes as f64),
+            ),
+            (
+                "materialized_row_bytes".into(),
+                Json::num(self.materialized_row_bytes as f64),
+            ),
+            ("memory_ratio".into(), Json::Num(self.memory_ratio)),
+            ("threads".into(), Json::num(self.threads as f64)),
+            ("gen_workers".into(), Json::num(self.gen_workers as f64)),
+        ])
     }
 }
 
@@ -322,6 +491,7 @@ impl ToJson for ScalingReport {
             ),
             ("seed".into(), Json::num(self.params.seed as f64)),
             ("points".into(), Json::arr(&self.points)),
+            ("streaming".into(), Json::arr(&self.streaming)),
         ])
     }
 }
@@ -347,6 +517,18 @@ mod tests {
         let tpch = &report.points[1];
         assert_eq!(tpch.kind, "tpch");
         assert!(tpch.product_tuples > 0);
+        assert_eq!(report.streaming.len(), 1);
+        let s = &report.streaming[0];
+        assert_eq!(s.sf, 0.002);
+        assert_eq!(s.rows_r, 300);
+        assert_eq!(s.rows_p, 3000);
+        assert!(s.distinct_r_profiles <= s.rows_r as usize);
+        assert!(s.classes > 0);
+        assert!(s.build_wall_ms > 0.0);
+        assert!(s.rows_per_s > 0.0);
+        assert!(s.peak_tracked_bytes > 0);
+        assert!(s.materialized_row_bytes > 0);
+        assert!(s.threads >= 1);
     }
 
     #[test]
@@ -355,10 +537,26 @@ mod tests {
         let table = report.table();
         assert!(table.contains("dataset"));
         assert!(table.contains("synthetic"));
+        assert!(table.contains("streaming build"));
         let json = report.to_json().to_string_pretty();
         assert!(json.contains("\"bench\": \"scaling\""));
         assert!(json.contains("\"points\""));
         assert!(json.contains("\"build_speedup\""));
         assert!(json.contains("\"state_bytes\""));
+        assert!(json.contains("\"streaming\""));
+        assert!(json.contains("\"peak_tracked_bytes\""));
+        assert!(json.contains("\"rows_per_s\""));
+    }
+
+    #[test]
+    fn streaming_byte_ceiling_trips_on_blowup() {
+        // An absurdly small ceiling must abort the streaming phase with a
+        // panic (the CI smoke job's OOM tripwire).
+        let params = ScalingParams {
+            ingest_byte_ceiling: Some(64),
+            ..ScalingParams::default()
+        };
+        let result = std::panic::catch_unwind(|| measure_streaming(0.0005, &params));
+        assert!(result.is_err());
     }
 }

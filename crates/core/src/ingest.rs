@@ -1,0 +1,667 @@
+//! Streaming universe construction: folding row chunks into weighted join
+//! profiles with peak memory `O(distinct profiles)`, not `O(rows)`.
+//!
+//! [`Universe::build`] requires the full instance in RAM before the first
+//! profile is extracted. But the universe itself only depends on the
+//! *weighted distinct join profiles* of each side — a Z-set-shaped
+//! representation where every row is a `+1` weight delta on one profile
+//! key. This module ingests a stream of [`RowChunk`]s, folds each chunk
+//! into per-thread `profile key → (weight, first row, representative)`
+//! maps, merges the maps deterministically, and hands the resulting
+//! weighted profiles to the same pair-loop kernel the materialized build
+//! uses. Rows are dropped the moment their chunk is folded; what stays
+//! resident is one representative [`Tuple`] and one counter per *distinct*
+//! profile.
+//!
+//! # Two passes, one bounded memory footprint
+//!
+//! Canonicalizing a row to its profile key requires knowing which symbols
+//! occur on **both** sides — information only complete once the whole
+//! stream has been seen. A single-pass fold would have to keep full rows
+//! until the shared set stabilizes, which is exactly the `O(rows)` cost
+//! streaming exists to avoid. [`Universe::build_streaming`] therefore takes
+//! a *restartable* chunk source and makes two passes:
+//!
+//! 1. **Shared scan** — fold per-side symbol-occurrence sets (memory
+//!    `O(distinct symbols)`), intersect them into the shared set.
+//! 2. **Profile fold** — re-stream the chunks, canonicalize each row with
+//!    the now-exact shared set, and fold weighted profile maps in
+//!    parallel workers fed through a bounded channel.
+//!
+//! Seeded generators (e.g. `jqi_datagen::stream`) replay for free, so the
+//! second pass costs one more generation sweep, never a materialization.
+//! Callers that know the shared set up front (or accept a superset — see
+//! [`Universe::build_streaming_with_shared`]) can skip pass 1 and stay
+//! strictly single-pass.
+//!
+//! # Determinism
+//!
+//! Each side's chunks arrive in a fixed order, so every row has a global
+//! index (chunk base + offset). Workers record the *minimum* index at
+//! which each profile key was seen; the merge orders profiles by that
+//! index. The result — profile order, representatives, class ids, counts —
+//! is identical to [`Universe::build`] on the materialized equivalent,
+//! for every thread count and chunk size (property-tested in
+//! `tests/properties.rs`).
+
+use crate::universe::{Profile, Universe};
+use jqi_relation::bitset::WORD_BITS;
+use jqi_relation::{BitSet, RowChunk, Side, StreamSchema, Tuple};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+
+/// Options for a streaming ingestion run.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOptions {
+    /// Ingestion worker threads folding chunks into profile maps. `1`
+    /// folds inline on the calling thread (no channel, no spawn).
+    pub threads: usize,
+    /// Bounded-channel capacity, in chunks, between the chunk source and
+    /// the ingestion workers. Caps in-flight row memory at
+    /// `capacity × chunk bytes` while letting generation overlap folding.
+    pub channel_chunks: usize,
+    /// Hard ceiling on tracked accumulator bytes: ingestion panics when
+    /// the profile maps outgrow it. A memory blow-up (a stream whose
+    /// profiles do *not* collapse) then fails fast — in CI, the bench
+    /// smoke job dies with a message instead of OOMing the runner.
+    pub byte_ceiling: Option<usize>,
+}
+
+impl IngestOptions {
+    /// Options with the given worker count and defaults otherwise.
+    pub fn with_threads(threads: usize) -> Self {
+        IngestOptions {
+            threads: threads.max(1),
+            channel_chunks: 2 * threads.max(1),
+            byte_ceiling: None,
+        }
+    }
+
+    /// Sets the tracked-byte ceiling (see [`IngestOptions::byte_ceiling`]).
+    pub fn with_byte_ceiling(mut self, bytes: usize) -> Self {
+        self.byte_ceiling = Some(bytes);
+        self
+    }
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+}
+
+/// What a streaming build measured about itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Rows streamed into side `R`.
+    pub rows_r: u64,
+    /// Rows streamed into side `P`.
+    pub rows_p: u64,
+    /// Chunks consumed (second pass).
+    pub chunks: u64,
+    /// Distinct R-side join profiles after the fold.
+    pub distinct_r: usize,
+    /// Distinct P-side join profiles after the fold.
+    pub distinct_p: usize,
+    /// Peak tracked bytes of the profile accumulators across all workers —
+    /// the streaming build's resident ingestion state. Excludes the
+    /// bounded channel (`channel_chunks × chunk bytes`, a configured
+    /// constant) and the final universe itself.
+    pub peak_tracked_bytes: usize,
+    /// What the rows would occupy if materialized as interned tuples —
+    /// the memory the streaming path avoids holding.
+    pub materialized_row_bytes: u64,
+    /// Worker threads the fold ran with.
+    pub threads: usize,
+}
+
+/// Estimated per-entry overhead of a profile accumulator beyond its key
+/// and representative symbols: the hash-map slot, the counter/index
+/// fields, and allocator slack.
+const ACC_ENTRY_OVERHEAD: usize =
+    std::mem::size_of::<ProfileAcc>() + 2 * std::mem::size_of::<Tuple>() + 48;
+
+/// Heap bytes a materialized interned row would cost (symbols + the
+/// `Tuple` fat pointer inside a `Vec<Tuple>`).
+fn materialized_bytes(arity: usize) -> u64 {
+    (std::mem::size_of::<Tuple>() + arity * std::mem::size_of::<u32>()) as u64
+}
+
+/// One folded profile: weight, first global row index, representative row.
+#[derive(Debug, Clone)]
+struct ProfileAcc {
+    count: u64,
+    first: u64,
+    rep: Tuple,
+}
+
+/// A per-worker (or merged) profile map for one side.
+#[derive(Debug, Default)]
+struct SideAcc {
+    map: HashMap<Box<[u32]>, ProfileAcc>,
+    /// Tracked resident bytes of `map` (keys, reps, entry overhead).
+    bytes: usize,
+}
+
+impl SideAcc {
+    /// Folds one row (at global index `row`) into the map. Returns the
+    /// tracked-byte delta (0 for a duplicate profile).
+    fn fold(&mut self, key: Box<[u32]>, row: u64, tuple: &Tuple) -> usize {
+        match self.map.entry(key) {
+            Entry::Occupied(mut e) => {
+                let acc = e.get_mut();
+                acc.count += 1;
+                // Chunks may fold out of order across workers: keep the
+                // earliest row as the representative.
+                if row < acc.first {
+                    acc.first = row;
+                    acc.rep = tuple.clone();
+                }
+                0
+            }
+            Entry::Vacant(e) => {
+                let added = e.key().len() * std::mem::size_of::<u32>()
+                    + tuple.arity() * std::mem::size_of::<u32>()
+                    + ACC_ENTRY_OVERHEAD;
+                e.insert(ProfileAcc {
+                    count: 1,
+                    first: row,
+                    rep: tuple.clone(),
+                });
+                self.bytes += added;
+                added
+            }
+        }
+    }
+
+    /// Merges another worker's map into this one (weights add, earliest
+    /// first-occurrence wins the representative).
+    fn absorb(&mut self, other: SideAcc) {
+        for (key, acc) in other.map {
+            match self.map.entry(key) {
+                Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    mine.count += acc.count;
+                    if acc.first < mine.first {
+                        mine.first = acc.first;
+                        mine.rep = acc.rep;
+                    }
+                }
+                Entry::Vacant(e) => {
+                    e.insert(acc);
+                }
+            }
+        }
+    }
+
+    /// Drains into `(representatives, weights)` ordered by first
+    /// occurrence — the same order the materialized build's
+    /// `distinct_profiles` produces.
+    fn into_ordered(self) -> (Vec<Tuple>, Vec<u64>) {
+        let mut entries: Vec<ProfileAcc> = self.map.into_values().collect();
+        entries.sort_unstable_by_key(|a| a.first);
+        let counts = entries.iter().map(|a| a.count).collect();
+        let reps = entries.into_iter().map(|a| a.rep).collect();
+        (reps, counts)
+    }
+}
+
+/// A growable symbol-occurrence set (plain word vector; `BitSet` has a
+/// fixed capacity but the interner grows while the stream is consumed).
+#[derive(Debug, Default)]
+struct SymbolSet {
+    words: Vec<u64>,
+}
+
+impl SymbolSet {
+    fn insert(&mut self, index: usize) {
+        let w = index / WORD_BITS;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (index % WORD_BITS);
+    }
+
+    /// Intersection as a `BitSet` of capacity `cap`.
+    fn intersect(&self, other: &SymbolSet, cap: usize) -> BitSet {
+        let mut out = BitSet::empty(cap);
+        for w in 0..self.words.len().min(other.words.len()) {
+            let mut bits = self.words[w] & other.words[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let index = w * WORD_BITS + b;
+                if index < cap {
+                    out.insert(index);
+                }
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// The first streaming pass: per-side symbol-occurrence sets, intersected
+/// into the exact shared-symbol set (the streaming analogue of
+/// [`jqi_relation::Instance::shared_symbols`]).
+///
+/// Memory is `O(distinct symbols)`; rows are inspected and dropped.
+pub fn scan_shared_symbols(
+    schema: &StreamSchema,
+    chunks: impl Iterator<Item = RowChunk>,
+) -> BitSet {
+    let mut r_syms = SymbolSet::default();
+    let mut p_syms = SymbolSet::default();
+    for chunk in chunks {
+        let set = match chunk.side {
+            Side::R => &mut r_syms,
+            Side::P => &mut p_syms,
+        };
+        for row in &chunk.rows {
+            for sym in row.symbols() {
+                set.insert(sym.index());
+            }
+        }
+    }
+    r_syms.intersect(&p_syms, schema.interner().len())
+}
+
+/// Folds a whole chunk into a worker's side accumulators, returning the
+/// tracked-byte delta.
+fn fold_chunk(
+    chunk: &RowChunk,
+    base: u64,
+    shared: &BitSet,
+    r_acc: &mut SideAcc,
+    p_acc: &mut SideAcc,
+) -> usize {
+    let acc = match chunk.side {
+        Side::R => r_acc,
+        Side::P => p_acc,
+    };
+    let mut added = 0usize;
+    for (offset, row) in chunk.rows.iter().enumerate() {
+        let key = jqi_relation::stream::profile_key(row, shared);
+        added += acc.fold(key, base + offset as u64, row);
+    }
+    added
+}
+
+/// Tracks global accumulator residency across workers and enforces the
+/// byte ceiling.
+struct ByteTracker {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    ceiling: Option<usize>,
+}
+
+impl ByteTracker {
+    fn new(ceiling: Option<usize>) -> Self {
+        ByteTracker {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            ceiling,
+        }
+    }
+
+    /// Adds a worker's post-chunk byte delta; panics past the ceiling.
+    fn add(&self, delta: usize) {
+        if delta == 0 {
+            return;
+        }
+        let now = self.current.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        if let Some(ceiling) = self.ceiling {
+            assert!(
+                now <= ceiling,
+                "streaming ingestion exceeded its byte ceiling: \
+                 {now} tracked accumulator bytes > {ceiling} — the stream's \
+                 profiles are not collapsing (distinct profiles ≈ rows?)"
+            );
+        }
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs the profile fold (pass 2) over `chunks`, returning per-side
+/// ordered `(reps, counts)` plus statistics.
+#[allow(clippy::type_complexity)]
+fn fold_stream(
+    shared: &BitSet,
+    chunks: impl Iterator<Item = RowChunk>,
+    options: &IngestOptions,
+) -> ((Vec<Tuple>, Vec<u64>), (Vec<Tuple>, Vec<u64>), IngestStats) {
+    let threads = options.threads.max(1);
+    let tracker = ByteTracker::new(options.byte_ceiling);
+    let mut stats = IngestStats {
+        threads,
+        ..IngestStats::default()
+    };
+
+    // Assign each chunk its side's global row base on the coordinator, so
+    // row numbering is defined by arrival order regardless of which worker
+    // folds the chunk.
+    let mut next_base: [u64; 2] = [0, 0];
+    let mut arity: [u64; 2] = [0, 0];
+    let mut sequence = chunks.map(|chunk| {
+        let side = match chunk.side {
+            Side::R => 0usize,
+            Side::P => 1usize,
+        };
+        let base = next_base[side];
+        next_base[side] += chunk.rows.len() as u64;
+        if let Some(row) = chunk.rows.first() {
+            arity[side] = row.arity() as u64;
+        }
+        (base, chunk)
+    });
+
+    let (mut r_acc, mut p_acc) = if threads <= 1 {
+        let mut r_acc = SideAcc::default();
+        let mut p_acc = SideAcc::default();
+        for (base, chunk) in &mut sequence {
+            stats.chunks += 1;
+            let delta = fold_chunk(&chunk, base, shared, &mut r_acc, &mut p_acc);
+            tracker.add(delta);
+        }
+        (r_acc, p_acc)
+    } else {
+        let (tx, rx) = sync_channel::<(u64, RowChunk)>(options.channel_chunks.max(1));
+        let rx = std::sync::Mutex::new(rx);
+        let (locals, chunks_seen) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (rx, tracker) = (&rx, &tracker);
+                    s.spawn(move || {
+                        let mut r_acc = SideAcc::default();
+                        let mut p_acc = SideAcc::default();
+                        let mut folded = 0u64;
+                        loop {
+                            // Hold the receiver lock only to pull one chunk.
+                            let next = rx.lock().expect("ingest receiver poisoned").recv();
+                            let Ok((base, chunk)) = next else { break };
+                            folded += 1;
+                            let delta = fold_chunk(&chunk, base, shared, &mut r_acc, &mut p_acc);
+                            tracker.add(delta);
+                        }
+                        (r_acc, p_acc, folded)
+                    })
+                })
+                .collect();
+            for pair in &mut sequence {
+                tx.send(pair).expect("ingest workers died early");
+            }
+            drop(tx);
+            let mut locals = Vec::with_capacity(threads);
+            let mut seen = 0u64;
+            for h in handles {
+                let (r, p, folded) = h.join().expect("ingest worker panicked");
+                seen += folded;
+                locals.push((r, p));
+            }
+            (locals, seen)
+        });
+        stats.chunks = chunks_seen;
+        let mut r_acc = SideAcc::default();
+        let mut p_acc = SideAcc::default();
+        for (r, p) in locals {
+            r_acc.absorb(r);
+            p_acc.absorb(p);
+        }
+        (r_acc, p_acc)
+    };
+
+    stats.rows_r = next_base[0];
+    stats.rows_p = next_base[1];
+    stats.peak_tracked_bytes = tracker.peak();
+    stats.materialized_row_bytes = next_base[0] * materialized_bytes(arity[0] as usize)
+        + next_base[1] * materialized_bytes(arity[1] as usize);
+    r_acc.bytes = 0; // merged views are not re-tracked
+    p_acc.bytes = 0;
+    let r = r_acc.into_ordered();
+    let p = p_acc.into_ordered();
+    stats.distinct_r = r.0.len();
+    stats.distinct_p = p.0.len();
+    (r, p, stats)
+}
+
+impl Universe {
+    /// Builds the universe from a **restartable** stream of row chunks,
+    /// with peak ingestion memory `O(distinct profiles)` instead of
+    /// `O(rows)`.
+    ///
+    /// `source` is called twice: once for the shared-symbol scan, once for
+    /// the profile fold (see the module docs for why two passes are the
+    /// memory-honest design). Both passes stream; nothing row-shaped
+    /// outlives its chunk. The finished universe is **equivalent to**
+    /// [`Universe::build`] on the materialized instance — identical class
+    /// signatures, ids, counts, and representative tuples — except that
+    /// its embedded instance holds one representative row per distinct
+    /// profile rather than every row (so `instance().product_size()` is
+    /// the *profile* product; [`Universe::total_tuples`] still reports the
+    /// true row product).
+    pub fn build_streaming<I>(
+        schema: StreamSchema,
+        source: impl Fn() -> I,
+        threads: usize,
+    ) -> (Universe, IngestStats)
+    where
+        I: Iterator<Item = RowChunk>,
+    {
+        let shared = scan_shared_symbols(&schema, source());
+        Self::build_streaming_with_shared(
+            schema,
+            shared,
+            source(),
+            &IngestOptions::with_threads(threads),
+        )
+    }
+
+    /// [`Universe::build_streaming`] with explicit [`IngestOptions`]
+    /// (worker count, channel depth, byte ceiling).
+    pub fn build_streaming_with_options<I>(
+        schema: StreamSchema,
+        source: impl Fn() -> I,
+        options: &IngestOptions,
+    ) -> (Universe, IngestStats)
+    where
+        I: Iterator<Item = RowChunk>,
+    {
+        let shared = scan_shared_symbols(&schema, source());
+        Self::build_streaming_with_shared(schema, shared, source(), options)
+    }
+
+    /// The single-pass streaming primitive: folds `chunks` into weighted
+    /// profiles against a caller-provided `shared` symbol set and
+    /// assembles the universe.
+    ///
+    /// `shared` must contain every symbol occurring on both sides.
+    /// Providing exactly the true shared set (what
+    /// [`scan_shared_symbols`] computes) reproduces [`Universe::build`]
+    /// bit for bit; a strict **superset** still yields correct signatures
+    /// and counts but may split profiles finer (more resident
+    /// representatives, and class ids follow the finer enumeration).
+    /// A set *missing* a genuinely shared symbol is unsound — its
+    /// equality bits would be lost.
+    pub fn build_streaming_with_shared(
+        schema: StreamSchema,
+        shared: BitSet,
+        chunks: impl Iterator<Item = RowChunk>,
+        options: &IngestOptions,
+    ) -> (Universe, IngestStats) {
+        let ((r_reps, r_counts), (p_reps, p_counts), stats) = fold_stream(&shared, chunks, options);
+        let r_profiles: Vec<Profile> = r_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| Profile {
+                rep: i as u32,
+                count,
+            })
+            .collect();
+        let p_profiles: Vec<Profile> = p_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| Profile {
+                rep: i as u32,
+                count,
+            })
+            .collect();
+        let instance = schema
+            .into_instance(r_reps, p_reps)
+            .expect("streamed rows match their declared schemas");
+        let universe = Universe::assemble(
+            instance,
+            shared,
+            r_profiles,
+            p_profiles,
+            options.threads.max(1),
+        );
+        (universe, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jqi_relation::Value;
+
+    fn schema() -> StreamSchema {
+        StreamSchema::from_names("R", &["A1", "A2"], "P", &["B1"]).unwrap()
+    }
+
+    /// 6 R rows collapsing to 2 profiles, 4 P rows collapsing to 3.
+    fn chunks(schema: &StreamSchema, chunk_rows: usize) -> Vec<RowChunk> {
+        let r_rows: Vec<[i64; 2]> = vec![
+            [1, 100],
+            [1, 101], // 100/101 occur only in R → same profile as above
+            [2, 100],
+            [1, 102],
+            [2, 103],
+            [2, 104],
+        ];
+        let p_rows: Vec<[i64; 1]> = vec![[1], [2], [1], [3]];
+        let mut out = Vec::new();
+        for rows in r_rows.chunks(chunk_rows) {
+            out.push(RowChunk {
+                side: Side::R,
+                rows: rows
+                    .iter()
+                    .map(|r| {
+                        schema
+                            .intern_row(Side::R, &[Value::int(r[0]), Value::int(r[1])])
+                            .unwrap()
+                    })
+                    .collect(),
+            });
+        }
+        for rows in p_rows.chunks(chunk_rows) {
+            out.push(RowChunk {
+                side: Side::P,
+                rows: rows
+                    .iter()
+                    .map(|r| schema.intern_row(Side::P, &[Value::int(r[0])]).unwrap())
+                    .collect(),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_build_collapses_profiles() {
+        let schema = schema();
+        let all = chunks(&schema, 2);
+        let (u, stats) = Universe::build_streaming(schema, || all.clone().into_iter(), 1);
+        assert_eq!(stats.rows_r, 6);
+        assert_eq!(stats.rows_p, 4);
+        assert_eq!(stats.distinct_r, 2);
+        assert_eq!(stats.distinct_p, 3);
+        assert_eq!(u.distinct_r_profiles(), 2);
+        assert_eq!(u.distinct_p_profiles(), 3);
+        // The compact instance holds reps only, but weights are preserved.
+        assert_eq!(u.instance().r().len(), 2);
+        assert_eq!(u.total_tuples(), 24);
+        assert!(stats.peak_tracked_bytes > 0);
+        assert!(stats.materialized_row_bytes > stats.peak_tracked_bytes as u64 / 10);
+    }
+
+    #[test]
+    fn streaming_matches_thread_counts_and_chunk_sizes() {
+        let schema0 = schema();
+        let base_chunks = chunks(&schema0, 2);
+        let (reference, _) =
+            Universe::build_streaming(schema0, || base_chunks.clone().into_iter(), 1);
+        for threads in [2, 4] {
+            for chunk_rows in [1, 3, 100] {
+                let s = schema();
+                let all = chunks(&s, chunk_rows);
+                let (u, _) = Universe::build_streaming(s, || all.clone().into_iter(), threads);
+                assert_eq!(u.num_classes(), reference.num_classes());
+                assert_eq!(u.counts(), reference.counts());
+                assert_eq!(
+                    u.sigs(),
+                    reference.sigs(),
+                    "threads={threads} chunk_rows={chunk_rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn byte_ceiling_fails_fast() {
+        let s = schema();
+        let all = chunks(&s, 2);
+        let shared = scan_shared_symbols(&s, all.clone().into_iter());
+        let options = IngestOptions::with_threads(1).with_byte_ceiling(8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Universe::build_streaming_with_shared(s, shared, all.into_iter(), &options)
+        }));
+        assert!(result.is_err(), "ceiling of 8 bytes must trip");
+    }
+
+    #[test]
+    fn empty_stream_builds_empty_universe() {
+        let s = schema();
+        let (u, stats) = Universe::build_streaming(s, std::iter::empty::<RowChunk>, 2);
+        assert_eq!(u.num_classes(), 0);
+        assert_eq!(u.total_tuples(), 0);
+        assert_eq!(stats.rows_r + stats.rows_p, 0);
+    }
+
+    #[test]
+    fn shared_superset_keeps_signatures_and_counts() {
+        // A superset of the true shared set may split profiles finer but
+        // must not change the signature/count multiset.
+        let s = schema();
+        let all = chunks(&s, 2);
+        let exact = scan_shared_symbols(&s, all.clone().into_iter());
+        let superset = BitSet::full(s.interner().len());
+        let (u_exact, _) = Universe::build_streaming_with_shared(
+            s.clone(),
+            exact,
+            all.clone().into_iter(),
+            &IngestOptions::with_threads(1),
+        );
+        let (u_super, _) = Universe::build_streaming_with_shared(
+            s,
+            superset,
+            all.into_iter(),
+            &IngestOptions::with_threads(1),
+        );
+        assert!(u_super.distinct_r_profiles() >= u_exact.distinct_r_profiles());
+        let mut a: Vec<(Vec<usize>, u64)> = u_exact
+            .iter()
+            .map(|(_, sig, n)| (sig.iter().collect(), n))
+            .collect();
+        let mut b: Vec<(Vec<usize>, u64)> = u_super
+            .iter()
+            .map(|(_, sig, n)| (sig.iter().collect(), n))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -61,6 +61,7 @@ pub mod certain;
 pub mod engine;
 pub mod entropy;
 pub mod error;
+pub mod ingest;
 pub mod lattice;
 pub mod paper;
 pub mod paths;
@@ -73,6 +74,7 @@ pub mod universe;
 pub use certain::CountMode;
 pub use entropy::Entropy;
 pub use error::{InferenceError, Result};
+pub use ingest::{scan_shared_symbols, IngestOptions, IngestStats};
 pub use sample::{Label, Sample};
 pub use session::{Candidate, OwnedSession, Session};
 pub use state::{ClassState, InferenceState};

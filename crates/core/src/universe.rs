@@ -528,11 +528,12 @@ pub struct Universe {
 }
 
 /// One distinct join profile of a relation side: its first (representative)
-/// row and the number of rows that collapse into it.
+/// row and the number of rows that collapse into it. The streaming build
+/// (`crate::ingest`) produces these directly from folded profile maps.
 #[derive(Debug, Clone, Copy)]
-struct Profile {
-    rep: u32,
-    count: u64,
+pub(crate) struct Profile {
+    pub(crate) rep: u32,
+    pub(crate) count: u64,
 }
 
 /// Deduplicates profile keys in first-occurrence order.
@@ -735,7 +736,7 @@ impl Universe {
         Self::assemble(instance, shared, r_profiles, p_profiles, 1)
     }
 
-    fn assemble(
+    pub(crate) fn assemble(
         instance: Instance,
         shared: BitSet,
         r_profiles: Vec<Profile>,

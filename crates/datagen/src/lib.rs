@@ -11,12 +11,19 @@
 //!   the paper highlights ("a value 15 may as well represent a key, a size,
 //!   a price, or a quantity"), at laptop scale. See DESIGN.md for the
 //!   substitution rationale.
+//! * [`stream`] — the constant-memory successor to [`tpch`]'s materialized
+//!   tables: a restartable, parallel chunk generator at *real* TPC-H scale
+//!   factors (`dbgen` row counts), feeding
+//!   `jqi_core::Universe::build_streaming` without ever holding a table in
+//!   memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stream;
 pub mod synthetic;
 pub mod tpch;
 
+pub use stream::{SfConfig, SfJoin, SfStream, SfTable};
 pub use synthetic::{ScaledConfig, SyntheticConfig, PAPER_CONFIGS};
 pub use tpch::{TpchJoin, TpchScale, TpchTables, TpchWorkload};

@@ -28,45 +28,69 @@ use rand::{Rng, SeedableRng};
 /// Relative dataset scale, standing in for the paper's TPC-H scale factors
 /// (the paper reports SF = 1 and SF = 100000; we keep the ratio of product
 /// sizes meaningful while staying laptop-sized).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TpchScale {
+///
+/// The scale is a continuous multiplier on the base row counts, so sweeps
+/// can probe any point between (or beyond) the named presets:
+///
+/// ```
+/// use jqi_datagen::tpch::TpchScale;
+/// assert_eq!(TpchScale::Small, TpchScale::new(1.0));
+/// assert!(TpchScale::new(2.5).sf() > TpchScale::Small.sf());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct TpchScale {
+    sf: f64,
+}
+
+#[allow(non_upper_case_globals)] // presets keep their historical variant names
+impl TpchScale {
     /// Mirrors the SF = 1 column of Figure 6.
-    Small,
+    pub const Small: TpchScale = TpchScale { sf: 1.0 };
     /// Mirrors the SF = 100000 column of Figure 6 (denser key reuse, larger
     /// product).
-    Large,
+    pub const Large: TpchScale = TpchScale { sf: 6.0 };
     /// The `scaling` benchmark's ≥10⁷-product-tuple workload (Join 4's
     /// Orders × Lineitem product exceeds 10⁷). Not part of the paper's
     /// figures ([`TpchScale::ALL`] stays the paper's two scales).
-    Huge,
-}
+    pub const Huge: TpchScale = TpchScale { sf: 100.0 };
 
-impl TpchScale {
     /// Both of the paper's scales, in the paper's order.
     pub const ALL: [TpchScale; 2] = [TpchScale::Small, TpchScale::Large];
 
-    /// Row-count multiplier.
-    pub fn factor(self) -> usize {
-        match self {
-            TpchScale::Small => 1,
-            TpchScale::Large => 6,
-            TpchScale::Huge => 100,
-        }
+    /// An arbitrary continuous scale. Values below ~`1.0` shrink the base
+    /// tables (row counts are clamped to at least one row per table).
+    pub fn new(sf: f64) -> Self {
+        assert!(sf.is_finite() && sf > 0.0, "scale factor must be positive");
+        TpchScale { sf }
+    }
+
+    /// The continuous scale factor.
+    pub fn sf(self) -> f64 {
+        self.sf
+    }
+
+    /// Scales a base row count, keeping every table non-empty.
+    fn rows(self, base: usize) -> usize {
+        ((base as f64 * self.sf).round() as usize).max(1)
     }
 
     /// Display name used in reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            TpchScale::Small => "SF=small",
-            TpchScale::Large => "SF=large",
-            TpchScale::Huge => "SF=huge",
+    pub fn name(self) -> String {
+        if self == TpchScale::Small {
+            "SF=small".to_string()
+        } else if self == TpchScale::Large {
+            "SF=large".to_string()
+        } else if self == TpchScale::Huge {
+            "SF=huge".to_string()
+        } else {
+            format!("SF={}", self.sf)
         }
     }
 }
 
 impl std::fmt::Display for TpchScale {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        f.write_str(&self.name())
     }
 }
 
@@ -156,12 +180,11 @@ pub struct TpchTables {
 impl TpchTables {
     /// Generates the six tables at `scale` with the given seed.
     pub fn generate(scale: TpchScale, seed: u64) -> Self {
-        let k = scale.factor();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let n_part = 20 * k;
-        let n_supp = 8 * k;
-        let n_cust = 12 * k;
-        let n_ord = 25 * k;
+        let n_part = scale.rows(20);
+        let n_supp = scale.rows(8);
+        let n_cust = scale.rows(12);
+        let n_ord = scale.rows(25);
 
         let parts: Vec<(i64, i64, i64, i64)> = (0..n_part)
             .map(|key| {
@@ -181,8 +204,11 @@ impl TpchTables {
         let mut partsupps: Vec<(i64, i64, i64, i64)> = Vec::with_capacity(2 * n_part);
         for &(pk, ..) in &parts {
             let s1 = rng.gen_range(0..n_supp) as i64;
-            let s2 = (s1 + 1 + rng.gen_range(0..n_supp as i64 - 1)) % n_supp as i64;
-            for sk in [s1, s2] {
+            // At sub-unit scales a table can shrink to a single supplier, in
+            // which case the second (distinct) partsupp entry is dropped.
+            let s2 = (n_supp > 1)
+                .then(|| (s1 + 1 + rng.gen_range(0..n_supp as i64 - 1)) % n_supp as i64);
+            for sk in std::iter::once(s1).chain(s2) {
                 partsupps.push((pk, sk, rng.gen_range(0..=100), rng.gen_range(0..=100)));
             }
         }
@@ -446,6 +472,19 @@ mod tests {
         assert_eq!(TpchScale::Small.to_string(), "SF=small");
         assert_eq!(TpchScale::ALL.len(), 2);
         assert_eq!(TpchScale::Huge.to_string(), "SF=huge");
+    }
+
+    #[test]
+    fn continuous_scale_interpolates_and_clamps() {
+        let half = TpchTables::generate(TpchScale::new(0.5), 1);
+        assert_eq!(half.parts.len(), 10);
+        assert_eq!(half.suppliers.len(), 4);
+        let tiny = TpchTables::generate(TpchScale::new(0.001), 1);
+        assert!(!tiny.parts.is_empty(), "row counts clamp to ≥ 1");
+        assert!(!tiny.orders.is_empty());
+        assert_eq!(TpchScale::new(2.5).name(), "SF=2.5");
+        assert_eq!(TpchScale::new(1.0), TpchScale::Small);
+        assert!(TpchScale::Small < TpchScale::Large);
     }
 
     #[test]

@@ -110,6 +110,11 @@ impl Instance {
         &self.interner
     }
 
+    /// A clone of the interner handle (shared with streaming producers).
+    pub fn interner_handle(&self) -> Arc<Interner> {
+        Arc::clone(&self.interner)
+    }
+
     /// Relation `R`.
     pub fn r(&self) -> &Relation {
         &self.r
@@ -273,20 +278,9 @@ impl Instance {
     }
 }
 
-/// Maps `row`'s symbols to raw indices, with symbols outside `shared`
-/// collapsed to [`Instance::PROFILE_HOLE`].
-fn profile_key(row: &crate::tuple::Tuple, shared: &BitSet) -> Box<[u32]> {
-    row.symbols()
-        .iter()
-        .map(|sym| {
-            if shared.contains(sym.index()) {
-                sym.0
-            } else {
-                Instance::PROFILE_HOLE
-            }
-        })
-        .collect()
-}
+// Row canonicalization is shared with the streaming ingestion path so
+// materialized and streamed builds produce identical profile keys.
+use crate::stream::profile_key;
 
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -39,6 +39,7 @@ pub mod instance;
 pub mod interner;
 pub mod relation;
 pub mod schema;
+pub mod stream;
 pub mod tuple;
 pub mod value;
 
@@ -48,5 +49,6 @@ pub use instance::{Instance, InstanceBuilder, PairSpace};
 pub use interner::{Interner, Symbol};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::Schema;
+pub use stream::{RowChunk, Side, StreamSchema};
 pub use tuple::Tuple;
 pub use value::Value;

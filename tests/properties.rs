@@ -885,3 +885,151 @@ fn cached_moves_match_uncached_on_wide_omega() {
     let goal = BitSet::from_iter(cached.omega_len(), [1usize, 67]);
     assert_cached_moves_match(&cached, &uncached, &goal);
 }
+
+// ---------------------------------------------------------------------------
+// Streaming ingestion ≡ materialized build
+// ---------------------------------------------------------------------------
+
+use join_query_inference::relation::{RowChunk, Side, StreamSchema};
+
+/// The instance's rows re-cut into side-tagged chunks of `chunk_rows`,
+/// plus the matching [`StreamSchema`] (same interner, same schemas), so a
+/// streamed build sees byte-identical input to the materialized one.
+fn chunked(inst: &Instance, chunk_rows: usize) -> (StreamSchema, Vec<RowChunk>) {
+    let schema = StreamSchema::new(
+        inst.interner_handle(),
+        inst.r().schema().clone(),
+        inst.p().schema().clone(),
+    )
+    .expect("instance schemas are disjoint");
+    let mut chunks = Vec::new();
+    for rows in inst.r().rows().chunks(chunk_rows) {
+        chunks.push(RowChunk {
+            side: Side::R,
+            rows: rows.to_vec(),
+        });
+    }
+    for rows in inst.p().rows().chunks(chunk_rows) {
+        chunks.push(RowChunk {
+            side: Side::P,
+            rows: rows.to_vec(),
+        });
+    }
+    (schema, chunks)
+}
+
+/// Asserts a streamed universe is indistinguishable from the materialized
+/// one everywhere the inference layer looks: class count and order,
+/// signatures, weights, profile counts, closure masks, and representative
+/// tuples (compared by content — the streamed instance holds one row per
+/// distinct profile, so row *indices* legitimately differ).
+fn assert_universes_equivalent(materialized: &Universe, streamed: &Universe) {
+    assert_eq!(streamed.num_classes(), materialized.num_classes());
+    assert_eq!(streamed.sigs(), materialized.sigs());
+    assert_eq!(streamed.counts(), materialized.counts());
+    assert_eq!(streamed.total_tuples(), materialized.total_tuples());
+    assert_eq!(
+        streamed.distinct_r_profiles(),
+        materialized.distinct_r_profiles()
+    );
+    assert_eq!(
+        streamed.distinct_p_profiles(),
+        materialized.distinct_p_profiles()
+    );
+    let (mc, sc) = (materialized.closure(), streamed.closure());
+    assert_eq!(sc.classes(), mc.classes());
+    for b in 0..materialized.omega_len() {
+        assert_eq!(sc.members(b), mc.members(b), "members mask of Ω-bit {b}");
+    }
+    assert_eq!(sc.has_static_masks(), mc.has_static_masks());
+    for c in 0..mc.classes() {
+        assert_eq!(sc.up(c), mc.up(c), "up mask of class {c}");
+        assert_eq!(sc.down(c), mc.down(c), "down mask of class {c}");
+        let (mri, mpi) = materialized.representative(c);
+        let (sri, spi) = streamed.representative(c);
+        // Both instances share one interner, so symbol-level equality is
+        // value-level equality.
+        assert_eq!(
+            streamed.instance().r().rows()[sri].symbols(),
+            materialized.instance().r().rows()[mri].symbols(),
+            "R representative of class {c}"
+        );
+        assert_eq!(
+            streamed.instance().p().rows()[spi].symbols(),
+            materialized.instance().p().rows()[mpi].symbols(),
+            "P representative of class {c}"
+        );
+    }
+}
+
+/// Streams `inst` at every (thread count × chunk size) combination the
+/// issue calls out and checks each result against `Universe::build`.
+fn assert_streaming_matches_build(inst: Instance) {
+    let materialized = Universe::build(inst.clone());
+    for threads in [1usize, 2, 8] {
+        for chunk_rows in [1usize, 7, 4096] {
+            let (schema, chunks) = chunked(&inst, chunk_rows);
+            let (streamed, stats) =
+                Universe::build_streaming(schema, || chunks.clone().into_iter(), threads);
+            assert_eq!(stats.rows_r as usize, inst.r().len());
+            assert_eq!(stats.rows_p as usize, inst.p().len());
+            assert_universes_equivalent(&materialized, &streamed);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole equivalence: `Universe::build_streaming` ≡
+    /// `Universe::build` — identical class signatures, ids, counts,
+    /// closure masks, and representative tuples — on duplicate-heavy
+    /// instances, for 1/2/8 ingestion threads × chunk sizes {1, 7, 4096}.
+    #[test]
+    fn streamed_build_matches_materialized(inst in duplicate_heavy_instance()) {
+        assert_streaming_matches_build(inst);
+    }
+}
+
+/// The same equivalence on duplicate-heavy `ScaledConfig` instances (the
+/// scaling sweep's generator, where profile deduplication collapses
+/// thousands of rows into ≤ 2⁶ profiles per side).
+#[test]
+fn streamed_build_matches_materialized_on_scaled_config() {
+    use join_query_inference::datagen::ScaledConfig;
+    for seed in [1u64, 0x5CA1E] {
+        let inst = ScaledConfig::new(3, 3, 200, 200, 8, 8, 12).generate(seed);
+        assert_streaming_matches_build(inst);
+    }
+}
+
+/// The same equivalence on TPC-H small (Join 3, Customer ⋈ Orders — the
+/// low-duplication end where nearly every row is its own profile).
+#[test]
+fn streamed_build_matches_materialized_on_tpch_small() {
+    use join_query_inference::datagen::tpch::{workload, TpchJoin, TpchScale};
+    let w = workload(TpchScale::Small, TpchJoin::Join3, 7);
+    assert_streaming_matches_build(w.instance);
+}
+
+/// End-to-end: the `SfStream` chunk generator (parallel workers, bounded
+/// channels) streamed into `build_streaming` equals materializing the
+/// same stream and running `Universe::build`, for several worker counts.
+#[test]
+fn sf_stream_streamed_matches_materialized() {
+    use join_query_inference::datagen::stream::{SfConfig, SfJoin, SfStream};
+    let config = SfConfig::new(0.0005, 11).with_chunk_rows(128);
+    for join in [SfJoin::CustomerOrders, SfJoin::OrdersLineitem] {
+        let stream = SfStream::new(config, join).expect("well-formed stream schema");
+        let materialized = Universe::build(stream.materialize().expect("well-formed rows"));
+        for (threads, gen_workers) in [(1usize, 1usize), (2, 3), (8, 2)] {
+            let (streamed, stats) = Universe::build_streaming(
+                stream.schema().clone(),
+                || stream.par_chunks(gen_workers, 2),
+                threads,
+            );
+            assert!(stats.rows_r > 0 && stats.rows_p > 0);
+            assert_universes_equivalent(&materialized, &streamed);
+        }
+    }
+}
