@@ -14,8 +14,13 @@
 //!   (`state_bytes_per_session`, a hard factor on memory, not latency),
 //!   the fleet phase's warm and cold first-question `mean_us` plus the
 //!   warm-over-cold speedup (`warm_speedup` must not shrink below
-//!   `baseline / factor`), and the hibernation tier's parked-session
-//!   resident bytes (`hibernated_bytes_per_session`).
+//!   `baseline / factor`), the hibernation tier's parked-session
+//!   resident bytes (`hibernated_bytes_per_session`), and the durability
+//!   tier: group-commit per-answer `mean_us` vs the baseline,
+//!   `overhead_group_x` (the in-memory/WAL-on throughput ratio) against
+//!   an **absolute** ceiling of `factor` (WAL-on interactive throughput
+//!   must stay within 3x of in-memory on any machine), and recovery
+//!   `sessions_per_sec` as a floor.
 //! * `--kind scaling` — per dataset point matched **by name**,
 //!   `build_speedup` must not shrink below `baseline / factor` and
 //!   `l1s_first_step_ms` / `l3s_first_step_ms` must not exceed
@@ -165,6 +170,24 @@ fn guard_server(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(), 
     let b = num(baseline, &["hibernate", "hibernated_bytes_per_session"])
         .ok_or("baseline lacks hibernated_bytes_per_session")?;
     guard.at_most("hibernated_bytes_per_session", f, b);
+    // Durability tier: group-commit answer latency against the baseline,
+    // the WAL-on/in-memory ratio against an absolute ceiling (the
+    // acceptance bar: group commit must stay within 3x of in-memory on
+    // any machine), and recovery throughput as a floor.
+    let f = num(fresh, &["durability", "wal_group", "latency", "mean_us"])
+        .ok_or("fresh report lacks durability wal_group mean_us")?;
+    let b = num(baseline, &["durability", "wal_group", "latency", "mean_us"])
+        .ok_or("baseline lacks durability wal_group mean_us")?;
+    guard.at_most("durability wal_group mean_us", f, b);
+    let f = num(fresh, &["durability", "overhead_group_x"])
+        .ok_or("fresh report lacks durability overhead_group_x")?;
+    // Baseline 1.0: the guard's factor itself becomes the absolute bound.
+    guard.at_most("durability overhead_group_x (vs in-memory)", f, 1.0);
+    let f = num(fresh, &["durability", "recovery", "sessions_per_sec"])
+        .ok_or("fresh report lacks recovery sessions_per_sec")?;
+    let b = num(baseline, &["durability", "recovery", "sessions_per_sec"])
+        .ok_or("baseline lacks recovery sessions_per_sec")?;
+    guard.at_least("durability recovery sessions_per_sec", f, b);
     Ok(())
 }
 

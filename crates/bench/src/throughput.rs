@@ -33,6 +33,16 @@
 //! 6. **hibernate** — the interactive fleet parked into the hibernation
 //!    tier: resident vs parked bytes per session, and the wake (lazy
 //!    re-materialization by replay) latency distribution.
+//! 7. **durability** — the same interactive workload on a *durable*
+//!    manager (real files, real fsync): per-answer latency with group
+//!    commit (`wal_group`, one batched write + fsync per 2048 records,
+//!    plus one final flush inside the timed region) and with an fsync per
+//!    record (`wal_sync`, the cost ceiling), each also as a throughput
+//!    ratio against the in-memory interactive phase (answers/s divided by
+//!    WAL-on answers/s — the acceptance gate holds this within 3×); then
+//!    the whole fleet is parked, spilled to segments, the manager dropped,
+//!    and `SessionManager::recover` is timed — recovery wall clock and
+//!    sessions/s.
 //!
 //! The `throughput` binary renders a table and writes `BENCH_server.json`
 //! at the repo root; see the README for the schema.
@@ -41,7 +51,7 @@ use crate::json::{Json, ToJson};
 use jqi_core::paper::flight_hotel;
 use jqi_core::{ClassId, DecisionCacheStats, Label, StrategyConfig, Universe};
 use jqi_relation::BitSet;
-use jqi_server::{ManagerStats, ServerConfig, SessionManager, SessionSnapshot};
+use jqi_server::{DurabilityConfig, ManagerStats, ServerConfig, SessionManager, SessionSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -278,6 +288,84 @@ impl ToJson for HibernateReport {
     }
 }
 
+/// The recovery half of the durability phase: a crashed (well, dropped)
+/// fleet rebuilt from its WAL + spill segments.
+#[derive(Debug, Clone)]
+pub struct RecoveryBench {
+    /// Sessions recovered.
+    pub sessions: usize,
+    /// …of which came back in the spilled (on-disk) tier.
+    pub spilled: usize,
+    /// WAL records replayed.
+    pub wal_records: u64,
+    /// Recovery wall clock, milliseconds.
+    pub elapsed_ms: f64,
+    /// Sessions recovered per second.
+    pub sessions_per_sec: f64,
+}
+
+impl ToJson for RecoveryBench {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sessions".into(), Json::num(self.sessions as f64)),
+            ("spilled".into(), Json::num(self.spilled as f64)),
+            ("wal_records".into(), Json::num(self.wal_records as f64)),
+            ("elapsed_ms".into(), Json::Num(self.elapsed_ms)),
+            ("sessions_per_sec".into(), Json::Num(self.sessions_per_sec)),
+        ])
+    }
+}
+
+/// The durability phase: the interactive workload with a real WAL under
+/// it, plus a timed recovery.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// Fleet size.
+    pub sessions: usize,
+    /// The in-memory interactive phase's per-answer mean, the latency
+    /// context for the WAL-on means below.
+    pub in_memory_mean_us: f64,
+    /// Per-answer latency with group commit (one batched write + fsync
+    /// per 2048 records) — the recommended configuration.
+    pub wal_group: PhaseReport,
+    /// Per-answer latency with an fsync per record — the cost ceiling.
+    pub wal_sync: PhaseReport,
+    /// Throughput cost of group commit: in-memory answers/s divided by
+    /// WAL-on answers/s. The acceptance gate: ≤ 3.
+    pub overhead_group_x: f64,
+    /// Throughput cost of an fsync per record, same ratio.
+    pub overhead_sync_x: f64,
+    /// WAL records the group-commit run appended.
+    pub wal_records: u64,
+    /// fsyncs the group-commit run issued (records / syncs is the
+    /// realized group size).
+    pub wal_syncs: u64,
+    /// WAL bytes the group-commit run appended, frames included.
+    pub wal_bytes: u64,
+    /// The timed recovery of the group-commit run's directory.
+    pub recovery: RecoveryBench,
+}
+
+impl ToJson for DurabilityReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sessions".into(), Json::num(self.sessions as f64)),
+            (
+                "in_memory_mean_us".into(),
+                Json::Num(self.in_memory_mean_us),
+            ),
+            ("wal_group".into(), self.wal_group.to_json()),
+            ("wal_sync".into(), self.wal_sync.to_json()),
+            ("overhead_group_x".into(), Json::Num(self.overhead_group_x)),
+            ("overhead_sync_x".into(), Json::Num(self.overhead_sync_x)),
+            ("wal_records".into(), Json::num(self.wal_records as f64)),
+            ("wal_syncs".into(), Json::num(self.wal_syncs as f64)),
+            ("wal_bytes".into(), Json::num(self.wal_bytes as f64)),
+            ("recovery".into(), self.recovery.to_json()),
+        ])
+    }
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -299,6 +387,8 @@ pub struct ThroughputReport {
     pub fleet: FleetReport,
     /// The hibernation phase (park + wake the interactive fleet).
     pub hibernate: HibernateReport,
+    /// The durability phase (WAL overhead + timed recovery).
+    pub durability: DurabilityReport,
 }
 
 impl ToJson for ThroughputReport {
@@ -370,6 +460,7 @@ impl ToJson for ThroughputReport {
             ),
             ("fleet".into(), self.fleet.to_json()),
             ("hibernate".into(), self.hibernate.to_json()),
+            ("durability".into(), self.durability.to_json()),
         ])
     }
 }
@@ -440,6 +531,23 @@ impl ThroughputReport {
             self.hibernate.wake.mean_us,
             self.hibernate.wake.p50_us,
         );
+        let _ = writeln!(
+            out,
+            "durability: group-commit {:.1} µs/answer ({:.2}× throughput cost, {} fsyncs \
+             / {} records), fsync-per-record {:.1} µs ({:.2}×); recovery {} sessions \
+             ({} spilled, {} WAL records) in {:.1} ms — {:.0} sessions/s",
+            self.durability.wal_group.latency.mean_us,
+            self.durability.overhead_group_x,
+            self.durability.wal_syncs,
+            self.durability.wal_records,
+            self.durability.wal_sync.latency.mean_us,
+            self.durability.overhead_sync_x,
+            self.durability.recovery.sessions,
+            self.durability.recovery.spilled,
+            self.durability.recovery.wal_records,
+            self.durability.recovery.elapsed_ms,
+            self.durability.recovery.sessions_per_sec,
+        );
         out
     }
 }
@@ -506,7 +614,7 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
     // exercises `total_sessions` *concurrent* sessions, not a trickle.
     let ids: Vec<u64> = plans
         .iter()
-        .map(|p| manager.create_session(p.config.clone()))
+        .map(|p| manager.create_session(p.config.clone()).expect("in-memory"))
         .collect();
     assert_eq!(manager.session_count(), total_sessions);
 
@@ -588,7 +696,9 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
                 scope.spawn(move || {
                     let mut lat = Vec::new();
                     for (i, history) in chunk {
-                        let id = manager.create_session(plans[*i].config.clone());
+                        let id = manager
+                            .create_session(plans[*i].config.clone())
+                            .expect("in-memory");
                         let t0 = Instant::now();
                         let applied = manager.answer_batch(id, history).expect("consistent");
                         lat.push(t0.elapsed().as_nanos() as u64);
@@ -724,7 +834,10 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
     // Phase 6: hibernation — park the fully-answered interactive fleet,
     // then touch every session once so the wake path (lazy
     // re-materialization by replay) is measured at fleet scale.
-    let parked = manager.hibernate_idle(Duration::ZERO);
+    let parked = manager
+        .hibernate_idle(Duration::ZERO)
+        .expect("in-memory")
+        .parked;
     let parked_stats = manager.stats();
     let mut wake_lat: Vec<u64> = Vec::with_capacity(ids.len());
     for &id in &ids {
@@ -741,6 +854,11 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         wake: LatencySummary::of(wake_lat),
     };
 
+    // Phase 7: durability — the interactive workload again, this time
+    // with a real WAL (and spill segments) under it, then a timed
+    // recovery of the whole fleet.
+    let durability = durability_phase(&params, &universe, &plans, &interactive);
+
     ThroughputReport {
         params,
         concurrent_sessions: total_sessions,
@@ -750,6 +868,174 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         restore_vs_history,
         fleet,
         hibernate,
+        durability,
+    }
+}
+
+const GROUP_EVERY: usize = 2048;
+
+fn durability_config(group_commit_every: usize) -> DurabilityConfig {
+    DurabilityConfig {
+        group_commit_every,
+        // Zero watermark: a sweep spills every parked session, so the
+        // recovery measurement covers segment reads, not just WAL replay.
+        resident_watermark_bytes: Some(0),
+        segment_max_bytes: 4 << 20,
+    }
+}
+
+/// The interactive workload on a durable manager rooted at `dir`: same
+/// fleet shape and thread layout as the in-memory interactive phase, so
+/// the per-answer means are directly comparable. Returns the phase
+/// report and the (still live) manager.
+fn durable_drive(
+    name: &'static str,
+    params: &ThroughputParams,
+    universe: &Arc<Universe>,
+    plans: &[SessionPlan],
+    dir: &std::path::Path,
+    group_commit_every: usize,
+) -> (PhaseReport, SessionManager) {
+    let (manager, _) = SessionManager::recover(
+        Arc::clone(universe),
+        ServerConfig {
+            shards: params.shards,
+            ..ServerConfig::default()
+        },
+        durability_config(group_commit_every),
+        dir,
+    )
+    .expect("fresh durable fleet");
+    let manager = Arc::new(manager);
+    let ids: Vec<u64> = plans
+        .iter()
+        .map(|p| {
+            manager
+                .create_session(p.config.clone())
+                .expect("durable create")
+        })
+        .collect();
+    let phase_start = Instant::now();
+    let mut latencies: Vec<Vec<u64>> = Vec::with_capacity(params.threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..params.threads)
+            .map(|t| {
+                let manager = Arc::clone(&manager);
+                let universe = Arc::clone(universe);
+                let ids = &ids;
+                scope.spawn(move || {
+                    let lo = t * params.sessions_per_thread;
+                    let hi = lo + params.sessions_per_thread;
+                    let mut lat = Vec::new();
+                    for i in lo..hi {
+                        let id = ids[i];
+                        loop {
+                            let t0 = Instant::now();
+                            let q = match manager.next_question(id).expect("live session") {
+                                Some(q) => q,
+                                None => break,
+                            };
+                            let label = oracle_label(&universe, &plans[i].goal, q.class);
+                            manager.answer(id, q.class, label).expect("consistent");
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.push(handle.join().expect("no panics"));
+        }
+    });
+    // The batch the group-commit quota had not yet synced is part of the
+    // workload's durability cost: flush inside the timed region so ops/s
+    // stays honest.
+    manager.flush_wal().expect("wal flush");
+    let elapsed = phase_start.elapsed().as_secs_f64();
+    let all: Vec<u64> = latencies.into_iter().flatten().collect();
+    let report = PhaseReport {
+        name,
+        elapsed_s: elapsed,
+        ops_per_sec: all.len() as f64 / elapsed,
+        latency: LatencySummary::of(all),
+    };
+    let manager = Arc::into_inner(manager).expect("worker threads joined");
+    (report, manager)
+}
+
+/// Runs the durability phase (see the module docs). `in_memory` is the
+/// in-memory interactive phase's report — the overhead baseline.
+fn durability_phase(
+    params: &ThroughputParams,
+    universe: &Arc<Universe>,
+    plans: &[SessionPlan],
+    in_memory: &PhaseReport,
+) -> DurabilityReport {
+    let root =
+        std::env::temp_dir().join(format!("jqi-throughput-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Group commit — the recommended configuration, and the directory the
+    // recovery measurement uses.
+    let group_dir = root.join("group");
+    let (wal_group, manager) = durable_drive(
+        "wal_group",
+        params,
+        universe,
+        plans,
+        &group_dir,
+        GROUP_EVERY,
+    );
+    // Park and spill the whole fleet so recovery exercises segment reads
+    // and WAL replay together, then "crash" (drop without ceremony — the
+    // data is already synced, which is the point).
+    manager
+        .hibernate_idle(Duration::ZERO)
+        .expect("park the fleet");
+    manager.sweep().expect("spill the fleet");
+    let stats = manager.stats();
+    let wal_stats = stats.durability.expect("durable manager has wal stats");
+    drop(manager);
+
+    let recover_start = Instant::now();
+    let (recovered, recovery_report) = SessionManager::recover(
+        Arc::clone(universe),
+        ServerConfig {
+            shards: params.shards,
+            ..ServerConfig::default()
+        },
+        durability_config(GROUP_EVERY),
+        &group_dir,
+    )
+    .expect("recovery of a cleanly synced fleet");
+    let elapsed_ms = recover_start.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(recovery_report.sessions, plans.len());
+    drop(recovered);
+
+    // fsync per record — the cost ceiling.
+    let (wal_sync, sync_manager) =
+        durable_drive("wal_sync", params, universe, plans, &root.join("sync"), 1);
+    drop(sync_manager);
+    let _ = std::fs::remove_dir_all(&root);
+
+    DurabilityReport {
+        sessions: plans.len(),
+        in_memory_mean_us: in_memory.latency.mean_us,
+        overhead_group_x: in_memory.ops_per_sec / wal_group.ops_per_sec,
+        overhead_sync_x: in_memory.ops_per_sec / wal_sync.ops_per_sec,
+        wal_records: wal_stats.wal_records,
+        wal_syncs: wal_stats.wal_syncs,
+        wal_bytes: wal_stats.wal_appended_bytes,
+        recovery: RecoveryBench {
+            sessions: recovery_report.sessions,
+            spilled: recovery_report.spilled,
+            wal_records: recovery_report.wal_records,
+            elapsed_ms,
+            sessions_per_sec: recovery_report.sessions as f64 / (elapsed_ms / 1000.0),
+        },
+        wal_group,
+        wal_sync,
     }
 }
 
@@ -769,7 +1055,7 @@ fn fleet_phase(tiny: bool, seed: u64) -> FleetReport {
     let first_questions = |universe: &Arc<Universe>, n: usize| -> Vec<u64> {
         let manager = SessionManager::new(Arc::clone(universe), ServerConfig::default());
         let ids: Vec<u64> = (0..n)
-            .map(|_| manager.create_session(strategy.clone()))
+            .map(|_| manager.create_session(strategy.clone()).expect("in-memory"))
             .collect();
         ids.iter()
             .map(|&id| {
@@ -855,6 +1141,21 @@ mod tests {
             .restore_vs_history
             .windows(2)
             .all(|w| w[0].history_len < w[1].history_len));
+        // Durability phase: both WAL configurations drove the full fleet,
+        // overheads are real ratios, and recovery brought everyone back.
+        let d = &report.durability;
+        assert_eq!(d.sessions, 16);
+        assert!(d.wal_group.latency.count >= report.concurrent_sessions);
+        assert!(d.wal_sync.latency.count >= report.concurrent_sessions);
+        assert!(d.overhead_group_x > 0.0 && d.overhead_sync_x > 0.0);
+        assert!(d.wal_records > 0 && d.wal_syncs > 0 && d.wal_bytes > 0);
+        assert_eq!(d.recovery.sessions, 16);
+        assert!(
+            d.recovery.spilled > 0,
+            "zero watermark must spill the fleet"
+        );
+        assert!(d.recovery.wal_records > 0);
+        assert!(d.recovery.sessions_per_sec > 0.0);
         // The JSON report carries the acceptance-relevant fields.
         let json = report.to_json().to_string_pretty();
         for needle in [
@@ -878,6 +1179,11 @@ mod tests {
             "hibernated_bytes_per_session",
             "resident_bytes_per_session",
             "wake",
+            "durability",
+            "wal_group",
+            "wal_sync",
+            "overhead_group_x",
+            "sessions_per_sec",
         ] {
             assert!(json.contains(needle), "missing {needle} in report");
         }

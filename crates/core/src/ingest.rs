@@ -371,18 +371,28 @@ fn fold_stream(
         (r_acc, p_acc)
     } else {
         let (tx, rx) = sync_channel::<(u64, RowChunk)>(options.channel_chunks.max(1));
-        let rx = std::sync::Mutex::new(rx);
+        // Workers co-own the receiver: if every worker dies (e.g. the
+        // byte ceiling trips and the panic unwinds them), the channel
+        // disconnects and the blocked feeder's `send` errors out instead
+        // of waiting forever on a full buffer.
+        let rx = std::sync::Arc::new(std::sync::Mutex::new(rx));
         let (locals, chunks_seen) = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    let (rx, tracker) = (&rx, &tracker);
+                    let rx = std::sync::Arc::clone(&rx);
+                    let tracker = &tracker;
                     s.spawn(move || {
                         let mut r_acc = SideAcc::default();
                         let mut p_acc = SideAcc::default();
                         let mut folded = 0u64;
                         loop {
-                            // Hold the receiver lock only to pull one chunk.
-                            let next = rx.lock().expect("ingest receiver poisoned").recv();
+                            // Hold the receiver lock only to pull one
+                            // chunk. A poisoned lock means a sibling
+                            // panicked mid-recv — exit quietly and let the
+                            // coordinator re-raise the sibling's panic.
+                            let Ok(guard) = rx.lock() else { break };
+                            let next = guard.recv();
+                            drop(guard);
                             let Ok((base, chunk)) = next else { break };
                             folded += 1;
                             let delta = fold_chunk(&chunk, base, shared, &mut r_acc, &mut p_acc);
@@ -392,16 +402,25 @@ fn fold_stream(
                     })
                 })
                 .collect();
+            drop(rx);
             for pair in &mut sequence {
-                tx.send(pair).expect("ingest workers died early");
+                if tx.send(pair).is_err() {
+                    // Every worker is gone; stop feeding. The join loop
+                    // below re-raises whatever killed them.
+                    break;
+                }
             }
             drop(tx);
             let mut locals = Vec::with_capacity(threads);
             let mut seen = 0u64;
             for h in handles {
-                let (r, p, folded) = h.join().expect("ingest worker panicked");
-                seen += folded;
-                locals.push((r, p));
+                match h.join() {
+                    Ok((r, p, folded)) => {
+                        seen += folded;
+                        locals.push((r, p));
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
             (locals, seen)
         });

@@ -952,6 +952,30 @@ impl Universe {
         self.instance.pairs().omega()
     }
 
+    /// A deterministic fingerprint of the class structure: `|Ω|`, the
+    /// number of classes, and every class's signature words and tuple
+    /// count, folded through the same multiply–xorshift mix as
+    /// [`jqi_relation::bitset::hash_words`].
+    ///
+    /// Two universes share a fingerprint exactly when they assign the same
+    /// class ids to the same signatures with the same weights — the
+    /// precondition for a session history (class-id addressed) from one to
+    /// replay correctly on the other. Durable state (WAL headers, spill
+    /// segments, snapshot documents) stamps this value so a restore
+    /// against the wrong universe fails loudly instead of replaying
+    /// garbage. Stable across processes and platforms: no addresses, no
+    /// randomized hashing, and `Universe::build` is deterministic.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: Vec<u64> = Vec::with_capacity(2 + 2 * self.sigs.len());
+        acc.push(self.omega_len() as u64);
+        acc.push(self.sigs.len() as u64);
+        for (sig, &count) in self.sigs.iter().zip(self.counts.iter()) {
+            acc.push(hash_words(sig.words()));
+            acc.push(count);
+        }
+        hash_words(&acc)
+    }
+
     /// Finds the class of an arbitrary product tuple.
     ///
     /// O(1) expected: one signature computation plus a probe of the
@@ -1344,5 +1368,18 @@ mod tests {
         let u = Universe::build(b.build().unwrap());
         assert_eq!(u.num_classes(), 0);
         assert_eq!(u.total_tuples(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminates() {
+        // Building the same instance twice yields the same fingerprint;
+        // an unrelated instance yields a different one. Clones (fresh
+        // decision cache, same classes) agree.
+        let a = Universe::build(example_2_1());
+        let b = Universe::build(example_2_1());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        let other = Universe::build(crate::paper::flight_hotel());
+        assert_ne!(a.fingerprint(), other.fingerprint());
     }
 }

@@ -25,6 +25,14 @@
 //!   decision cache (warm fleets answer strategy questions from the shared
 //!   cache), millions of parked sessions fit in memory and waking one is
 //!   microseconds.
+//! * a **durability tier** ([`durability`]) — an fsync'd,
+//!   CRC32-checksummed write-ahead log of every session mutation (group
+//!   commit amortizes the fsyncs), spill segment files that take parked
+//!   sessions out of RAM entirely past a watermark, and
+//!   [`SessionManager::recover`], which rebuilds the whole fleet after a
+//!   `kill -9` — truncating a torn WAL tail, failing loudly on mid-log
+//!   corruption, and refusing state stamped by a different universe
+//!   ([`jqi_core::Universe::fingerprint`]).
 //!
 //! # Example: two users, one universe
 //!
@@ -38,7 +46,7 @@
 //! let manager = SessionManager::new(Arc::clone(&universe), ServerConfig::default());
 //!
 //! // User A wants Q2 (city AND discount airline must match), via L2S.
-//! let a = manager.create_session(StrategyConfig::Lks { depth: 2 });
+//! let a = manager.create_session(StrategyConfig::Lks { depth: 2 }).unwrap();
 //! while let Some(q) = manager.next_question(a).unwrap() {
 //!     let v = q.values(&universe);
 //!     let keep = v[1] == v[3] && v[2] == v[4];
@@ -52,7 +60,7 @@
 //! );
 //!
 //! // User B's session survives a "restart" as a tiny JSON document.
-//! let b = manager.create_session(StrategyConfig::Bu);
+//! let b = manager.create_session(StrategyConfig::Bu).unwrap();
 //! let q = manager.next_question(b).unwrap().unwrap();
 //! manager.answer(b, q.class, Label::Negative).unwrap();
 //! let json = manager.snapshot(b).unwrap().to_json_string();
@@ -66,9 +74,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod json;
 pub mod manager;
 pub mod snapshot;
 
-pub use manager::{ManagerStats, Result, ServerConfig, ServerError, SessionId, SessionManager};
+pub use durability::{DurabilityConfig, DurabilityError, DurabilityStats, RecoveryReport};
+pub use manager::{
+    ManagerStats, Result, ServerConfig, ServerError, SessionId, SessionManager, SweepReport,
+};
 pub use snapshot::{SessionSnapshot, SnapshotError, SNAPSHOT_FORMAT};

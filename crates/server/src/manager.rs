@@ -20,6 +20,11 @@
 //! concurrent workers (agreeing duplicates are idempotent; contradictions
 //! surface as [`InferenceError::ConflictingLabel`]).
 
+use crate::durability::recover::{recover_fleet, RecoveredTier};
+use crate::durability::{
+    DirSegments, DurabilityConfig, DurabilityError, DurabilityStats, FileWal, RecoveryReport,
+    SegmentStore, SpillLocator, SpillPayload, SpillStore, Wal, WalRecord, WalStorage,
+};
 use crate::snapshot::SessionSnapshot;
 use jqi_core::session::{Candidate, OwnedSession};
 use jqi_core::{ClassId, DecisionCacheStats, InferenceError, Label, StrategyConfig, Universe};
@@ -27,6 +32,7 @@ use jqi_relation::BitSet;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -102,6 +108,19 @@ pub enum ServerError {
     /// An inference-level failure (inconsistent labels, conflicting
     /// duplicate answers, out-of-range classes, …).
     Inference(InferenceError),
+    /// A snapshot stamped with a different universe's fingerprint was
+    /// offered to [`SessionManager::restore`] — replaying its class-id
+    /// history here would silently produce a wrong session, so it is
+    /// refused loudly instead.
+    UniverseMismatch {
+        /// The serving universe's fingerprint.
+        expected: u64,
+        /// The snapshot's stamped fingerprint.
+        found: u64,
+    },
+    /// The durability tier failed (WAL/segment I/O, corruption on a
+    /// spilled-session read, …).
+    Durability(DurabilityError),
 }
 
 impl std::fmt::Display for ServerError {
@@ -110,6 +129,12 @@ impl std::fmt::Display for ServerError {
             ServerError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServerError::SessionExists(id) => write!(f, "session {id} already exists"),
             ServerError::Inference(e) => write!(f, "inference error: {e}"),
+            ServerError::UniverseMismatch { expected, found } => write!(
+                f,
+                "snapshot was taken against universe {found:016x}, \
+                 this manager serves {expected:016x}"
+            ),
+            ServerError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -118,6 +143,7 @@ impl std::error::Error for ServerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServerError::Inference(e) => Some(e),
+            ServerError::Durability(e) => Some(e),
             _ => None,
         }
     }
@@ -126,6 +152,12 @@ impl std::error::Error for ServerError {
 impl From<InferenceError> for ServerError {
     fn from(e: InferenceError) -> Self {
         ServerError::Inference(e)
+    }
+}
+
+impl From<DurabilityError> for ServerError {
+    fn from(e: DurabilityError) -> Self {
+        ServerError::Durability(e)
     }
 }
 
@@ -146,6 +178,15 @@ enum Tier {
     Hibernated {
         history: Vec<(ClassId, Label)>,
         pending: Option<ClassId>,
+    },
+    /// Spilled to a segment file: RAM holds only the locator (and the
+    /// history length, so metrics never touch the disk). The payload —
+    /// history + pending — is read back from the segment on the next
+    /// touch; only a manager with a durability tier can hold this
+    /// variant.
+    Spilled {
+        locator: SpillLocator,
+        history_len: usize,
     },
 }
 
@@ -169,7 +210,9 @@ impl Slot {
     /// The materialized session, re-materializing a hibernated one lazily
     /// by replaying its history through one `apply_batch` — warm fleets
     /// answer the replay's strategy-free mask ops from the shared caches,
-    /// so waking is cheap even at scale.
+    /// so waking is cheap even at scale. A [`Tier::Spilled`] slot must be
+    /// lifted back to [`Tier::Hibernated`] first (the manager's
+    /// `materialize` does the segment read — it needs the spill store).
     fn session(&mut self, universe: &Arc<Universe>) -> &mut OwnedSession {
         if let Tier::Hibernated { history, pending } = &mut self.tier {
             let history = std::mem::take(history);
@@ -182,14 +225,17 @@ impl Slot {
         match &mut self.tier {
             Tier::Resident(session) => session,
             Tier::Hibernated { .. } => unreachable!("just materialized"),
+            Tier::Spilled { .. } => unreachable!("caller lifts spilled slots first"),
         }
     }
 
     /// Parks a resident session, dropping its derived masks and strategy
-    /// object; returns whether a transition happened.
-    fn hibernate(&mut self) -> bool {
+    /// object; returns `(resident_bytes_freed, hibernated_bytes_added)`
+    /// when a transition happened, `None` otherwise (already parked or
+    /// spilled).
+    fn hibernate(&mut self) -> Option<(usize, usize)> {
         if !matches!(self.tier, Tier::Resident(_)) {
-            return false;
+            return None;
         }
         let tier = std::mem::replace(
             &mut self.tier,
@@ -201,10 +247,12 @@ impl Slot {
         let Tier::Resident(session) = tier else {
             unreachable!("checked above");
         };
+        let freed = session.resident_bytes();
         let (mut history, pending) = session.into_replay_parts();
         history.shrink_to_fit();
+        let added = Slot::hibernated_bytes(&history);
         self.tier = Tier::Hibernated { history, pending };
-        true
+        Some((freed, added))
     }
 
     /// Resident bytes of a parked session: the replay log (by allocation
@@ -234,14 +282,23 @@ pub struct ManagerStats {
     /// struct + derived-state heap + history heap,
     /// [`jqi_core::session::Session::resident_bytes`]).
     pub resident_bytes: usize,
-    /// Total bytes of label history (the replay log) across all sessions,
-    /// both tiers.
+    /// Total bytes of label history (the replay log) held **in RAM**
+    /// (resident + hibernated tiers; spilled histories live on disk and
+    /// are counted in [`ManagerStats::spilled_bytes`]).
     pub history_bytes: usize,
     /// Total resident bytes of **hibernated** sessions (replay log +
     /// pending marker).
     pub hibernated_bytes: usize,
+    /// Sessions spilled to segment files (RAM holds only a locator).
+    pub spilled_sessions: usize,
+    /// Total on-disk bytes of live spilled sessions (their segment
+    /// frames). Disk, not RAM: a spilled session's resident footprint is
+    /// the ~16-byte locator, counted nowhere else.
+    pub spilled_bytes: usize,
     /// The shared universe's decision-cache counters at sampling time.
     pub decision_cache: DecisionCacheStats,
+    /// WAL/spill counters when the manager has a durability tier.
+    pub durability: Option<DurabilityStats>,
 }
 
 impl ManagerStats {
@@ -273,6 +330,50 @@ impl ManagerStats {
     }
 }
 
+/// What one [`SessionManager::sweep`] / [`SessionManager::hibernate_idle`]
+/// pass did, with per-tier byte deltas so a watermark controller (and the
+/// benches) observe exactly the accounting [`SessionManager::stats`]
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Sessions parked resident → hibernated this pass.
+    pub parked: usize,
+    /// Sessions spilled hibernated → segment this pass.
+    pub spilled: usize,
+    /// Resident-tier bytes released by parking (full session footprints).
+    pub resident_bytes_freed: usize,
+    /// Hibernated-tier bytes those parks added (bare replay payloads).
+    pub hibernated_bytes_added: usize,
+    /// Hibernated-tier bytes released by spilling.
+    pub hibernated_bytes_freed: usize,
+    /// Segment bytes written by this pass's spills (frames included).
+    pub spilled_bytes_written: usize,
+}
+
+/// The live durability tier of one manager: the group-committing WAL and
+/// the rotating spill store, each behind its own mutex.
+///
+/// Lock order (deadlock freedom): shard lock → session mutex → spill
+/// mutex → WAL mutex, always in that direction. Records that must agree
+/// with a state transition are appended while the transition's lock is
+/// still held — per-session operations under the session mutex,
+/// create/restore/remove under the shard write lock — so the log's order
+/// is an order the table actually went through.
+struct DurabilityState {
+    config: DurabilityConfig,
+    wal: Mutex<Wal>,
+    spill: Mutex<SpillStore>,
+}
+
+impl DurabilityState {
+    fn log(&self, record: &WalRecord) -> Result<()> {
+        self.wal
+            .lock()
+            .append(record)
+            .map_err(|e| ServerError::Durability(DurabilityError::Io(e.to_string())))
+    }
+}
+
 type Shard = RwLock<HashMap<SessionId, Arc<Mutex<Slot>>, BuildHasherDefault<SessionIdHasher>>>;
 
 /// A thread-safe, multi-session inference service over one shared universe.
@@ -282,9 +383,13 @@ type Shard = RwLock<HashMap<SessionId, Arc<Mutex<Slot>>, BuildHasherDefault<Sess
 /// thread of a server.
 pub struct SessionManager {
     universe: Arc<Universe>,
+    /// [`Universe::fingerprint`], computed once — stamped into snapshots
+    /// and all durable state, checked on restore/recover.
+    fingerprint: u64,
     config: ServerConfig,
     shards: Box<[Shard]>,
     next_id: AtomicU64,
+    durability: Option<DurabilityState>,
 }
 
 impl std::fmt::Debug for SessionManager {
@@ -298,22 +403,158 @@ impl std::fmt::Debug for SessionManager {
 }
 
 impl SessionManager {
-    /// Creates a manager serving sessions over `universe`.
+    /// Creates an in-memory (non-durable) manager serving sessions over
+    /// `universe`. See [`Self::recover`] for the durable constructor.
     pub fn new(universe: Arc<Universe>, config: ServerConfig) -> Self {
         let shards = config.shards.max(1);
         SessionManager {
+            fingerprint: universe.fingerprint(),
             universe,
             shards: (0..shards)
                 .map(|_| RwLock::new(HashMap::default()))
                 .collect(),
             next_id: AtomicU64::new(0),
             config,
+            durability: None,
         }
+    }
+
+    /// Opens (or creates) a **durable** manager rooted at `dir`: the WAL
+    /// at `dir/wal.log`, spill segments under `dir/segments/`.
+    ///
+    /// A fresh directory starts an empty durable fleet. An existing one
+    /// is *recovered*: spill references are resolved against the
+    /// checksummed segments, the WAL is replayed (its torn tail — the
+    /// remnant of an interrupted append — is truncated away; any mid-log
+    /// corruption or fingerprint mismatch fails loudly), and every
+    /// restored session is validated by a full deterministic replay
+    /// against `universe` before it is served, then re-parked
+    /// (hibernated, or left spilled) so recovery memory stays
+    /// proportional to histories, not derived state.
+    pub fn recover(
+        universe: Arc<Universe>,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        dir: &Path,
+    ) -> std::result::Result<(Self, RecoveryReport), DurabilityError> {
+        std::fs::create_dir_all(dir)?;
+        let wal = FileWal::open(&dir.join("wal.log"))?;
+        let segments = DirSegments::open(&dir.join("segments"))?;
+        Self::recover_with_storage(
+            universe,
+            config,
+            durability,
+            Box::new(wal),
+            Box::new(segments),
+        )
+    }
+
+    /// [`Self::recover`] over injectable storage — the fault-injection
+    /// seam ([`crate::durability::MemWal`] /
+    /// [`crate::durability::MemSegments`] let tests script crashes,
+    /// torn writes, and bit flips deterministically).
+    pub fn recover_with_storage(
+        universe: Arc<Universe>,
+        config: ServerConfig,
+        durability: DurabilityConfig,
+        mut wal_storage: Box<dyn WalStorage>,
+        mut segments: Box<dyn SegmentStore>,
+    ) -> std::result::Result<(Self, RecoveryReport), DurabilityError> {
+        let fingerprint = universe.fingerprint();
+        let wal_bytes = wal_storage.read_all()?;
+        let fleet = recover_fleet(&wal_bytes, segments.as_mut(), fingerprint)?;
+        if fleet.wal_keep_len < wal_bytes.len() as u64 {
+            wal_storage.truncate(fleet.wal_keep_len)?;
+        }
+        let group = durability.group_commit_every;
+        let wal = if fleet.wal_keep_len < crate::durability::codec::FILE_HEADER_LEN as u64 {
+            Wal::create(wal_storage, fingerprint, group)?
+        } else {
+            Wal::resume(wal_storage, group)
+        };
+        // Live appends always start on a fresh segment past everything the
+        // log references — a possibly-torn segment tail is never extended.
+        let next_segment = fleet.max_segment.map_or(0, |m| m + 1);
+        let spill = SpillStore::new(
+            segments,
+            fingerprint,
+            next_segment,
+            durability.segment_max_bytes,
+        )?;
+
+        let manager = SessionManager {
+            fingerprint,
+            shards: (0..config.shards.max(1))
+                .map(|_| RwLock::new(HashMap::default()))
+                .collect(),
+            next_id: AtomicU64::new(fleet.next_id),
+            universe,
+            config,
+            durability: Some(DurabilityState {
+                config: durability,
+                wal: Mutex::new(wal),
+                spill: Mutex::new(spill),
+            }),
+        };
+        let mut report = RecoveryReport {
+            wal_records: fleet.wal_records,
+            wal_torn_bytes: fleet.wal_torn_bytes,
+            ignored_records: fleet.ignored_records,
+            ..RecoveryReport::default()
+        };
+        for (id, recovered) in fleet.sessions {
+            // Validate by the real replay path: a history the serving
+            // universe cannot replay must fail recovery, not panic at the
+            // first touch. The materialized session is dropped right away
+            // — its replay also normalizes a pending question that later
+            // answers made moot, exactly as the live session would have.
+            let session = OwnedSession::replay(
+                Arc::clone(&manager.universe),
+                &recovered.strategy,
+                &recovered.history,
+                recovered.pending,
+            )
+            .map_err(|error| DurabilityError::Replay { session: id, error })?;
+            report.replayed_answers += recovered.history.len() as u64;
+            let (mut history, pending) = session.into_replay_parts();
+            let tier = match recovered.tier {
+                RecoveredTier::Spilled(locator) => {
+                    report.spilled += 1;
+                    Tier::Spilled {
+                        locator,
+                        history_len: history.len(),
+                    }
+                }
+                RecoveredTier::Resident | RecoveredTier::Hibernated => {
+                    report.hibernated += 1;
+                    history.shrink_to_fit();
+                    Tier::Hibernated { history, pending }
+                }
+            };
+            report.sessions += 1;
+            manager
+                .insert(
+                    id,
+                    Slot {
+                        config: recovered.strategy,
+                        last_touch: Instant::now(),
+                        tier,
+                    },
+                )
+                .expect("recovered ids are unique (log replay is a map)");
+        }
+        Ok((manager, report))
     }
 
     /// The configuration the manager was built with.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+
+    /// The serving universe's fingerprint ([`Universe::fingerprint`]),
+    /// stamped into snapshots and durable state.
+    pub fn universe_fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The shared universe all sessions run over.
@@ -362,8 +603,24 @@ impl SessionManager {
                         stats.history_bytes += std::mem::size_of_val(&history[..]);
                         stats.hibernated_bytes += Slot::hibernated_bytes(history);
                     }
+                    Tier::Spilled { locator, .. } => {
+                        stats.spilled_sessions += 1;
+                        stats.spilled_bytes += locator.len as usize;
+                    }
                 }
             }
+        }
+        if let Some(state) = &self.durability {
+            let wal = state.wal.lock().stats();
+            let spill = state.spill.lock().stats();
+            stats.durability = Some(DurabilityStats {
+                wal_records: wal.records,
+                wal_syncs: wal.syncs,
+                wal_appended_bytes: wal.appended_bytes,
+                spill_entries: spill.entries_written,
+                spill_bytes_written: spill.bytes_written,
+                spill_reads: spill.reads,
+            });
         }
         stats
     }
@@ -380,42 +637,94 @@ impl SessionManager {
             .ok_or(ServerError::UnknownSession(id))
     }
 
+    /// Lifts a spilled slot back into the hibernated tier (one positioned
+    /// segment read, checksum re-verified) and returns the materialized
+    /// session. The wake itself appends nothing to the WAL: the session's
+    /// replay state is unchanged — which tier held it is a RAM detail the
+    /// log only learns about at the next answer/question/spill.
+    fn materialize<'a>(&self, guard: &'a mut Slot) -> Result<&'a mut OwnedSession> {
+        if let Tier::Spilled { locator, .. } = guard.tier {
+            let state = self
+                .durability
+                .as_ref()
+                .expect("spilled tier only exists under a durability tier");
+            let payload = state.spill.lock().read(locator)?;
+            guard.tier = Tier::Hibernated {
+                history: payload.history,
+                pending: payload.pending,
+            };
+        }
+        Ok(guard.session(&self.universe))
+    }
+
     /// Runs `f` on the materialized session, holding only that session's
     /// mutex. The shard lock is released before `f` runs, so slow strategy
     /// work never blocks unrelated lookups. Counts as a touch: the idle
-    /// clock resets, and a hibernated session is re-materialized first.
+    /// clock resets, and a hibernated or spilled session is
+    /// re-materialized first.
     fn with_session<T>(&self, id: SessionId, f: impl FnOnce(&mut OwnedSession) -> T) -> Result<T> {
         let slot = self.slot(id)?;
         let mut guard = slot.lock();
         guard.last_touch = Instant::now();
-        Ok(f(guard.session(&self.universe)))
+        Ok(f(self.materialize(&mut guard)?))
     }
 
+    /// Inserts without logging — recovery's path (the log already
+    /// describes these sessions).
     fn insert(&self, id: SessionId, slot: Slot) -> Result<()> {
+        self.insert_logged(id, slot, None)
+    }
+
+    /// Inserts, appending `record` while the shard write lock is still
+    /// held, so the log's Create/Restore/Remove order matches the table's
+    /// (a WAL failure unwinds the insert).
+    fn insert_logged(&self, id: SessionId, slot: Slot, record: Option<&WalRecord>) -> Result<()> {
         use std::collections::hash_map::Entry;
-        match self.shard(id).write().entry(id) {
+        let mut shard = self.shard(id).write();
+        match shard.entry(id) {
             Entry::Occupied(_) => Err(ServerError::SessionExists(id)),
             Entry::Vacant(e) => {
                 e.insert(Arc::new(Mutex::new(slot)));
+                if let (Some(state), Some(record)) = (&self.durability, record) {
+                    if let Err(err) = state.log(record) {
+                        shard.remove(&id);
+                        return Err(err);
+                    }
+                }
                 Ok(())
             }
         }
     }
 
     /// Starts a fresh session with the given strategy; returns its id.
-    pub fn create_session(&self, strategy: StrategyConfig) -> SessionId {
+    ///
+    /// Durable managers append a `Create` record before the id is handed
+    /// out, while the shard lock is still held — a WAL failure unwinds
+    /// the insert and surfaces as [`ServerError::Durability`], so no
+    /// session the caller ever saw is missing from the log.
+    pub fn create_session(&self, strategy: StrategyConfig) -> Result<SessionId> {
         use std::collections::hash_map::Entry;
         let session = OwnedSession::with_config(Arc::clone(&self.universe), &strategy);
-        let slot = Arc::new(Mutex::new(Slot::resident(strategy, session)));
+        let slot = Arc::new(Mutex::new(Slot::resident(strategy.clone(), session)));
         // A concurrent restore() may race a stale snapshot onto the id the
         // counter just handed out (its fetch_max lands after our
         // fetch_add); skip to the next id instead of clobbering either
         // session.
         loop {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-            if let Entry::Vacant(e) = self.shard(id).write().entry(id) {
+            let mut shard = self.shard(id).write();
+            if let Entry::Vacant(e) = shard.entry(id) {
                 e.insert(Arc::clone(&slot));
-                return id;
+                if let Some(state) = &self.durability {
+                    if let Err(e) = state.log(&WalRecord::Create {
+                        id,
+                        strategy: strategy.clone(),
+                    }) {
+                        shard.remove(&id);
+                        return Err(e);
+                    }
+                }
+                return Ok(id);
             }
         }
     }
@@ -426,14 +735,23 @@ impl SessionManager {
     /// Idempotent: while a question is outstanding, re-asking returns the
     /// *same* candidate instead of consuming a strategy step — an
     /// at-least-once task queue can re-deliver freely.
+    ///
+    /// Durable managers additionally append a `Question` record when a
+    /// strategy step selects a **new** candidate (re-delivery appends
+    /// nothing), so recovery reproduces outstanding questions exactly.
     pub fn next_question(&self, id: SessionId) -> Result<Option<Candidate>> {
-        self.with_session(id, |session| {
-            if let Some(pending) = session.pending_candidate() {
-                return Ok(Some(pending));
-            }
-            session.next()
-        })?
-        .map_err(ServerError::from)
+        let slot = self.slot(id)?;
+        let mut guard = slot.lock();
+        guard.last_touch = Instant::now();
+        let session = self.materialize(&mut guard)?;
+        if let Some(pending) = session.pending_candidate() {
+            return Ok(Some(pending));
+        }
+        let candidate = session.next().map_err(ServerError::from)?;
+        if let (Some(state), Some(c)) = (&self.durability, &candidate) {
+            state.log(&WalRecord::Question { id, class: c.class })?;
+        }
+        Ok(candidate)
     }
 
     /// Records one class-addressed answer.
@@ -448,9 +766,32 @@ impl SessionManager {
 
     /// Folds a batch of answers into the session under a single lock
     /// acquisition; returns how many were new information.
+    ///
+    /// Durable managers append one `Answers` record carrying exactly the
+    /// history suffix the batch applied — agreeing duplicates are not
+    /// re-logged, and a batch that errors mid-way still logs the prefix
+    /// it applied, keeping the log aligned with the state. The record is
+    /// fsync'd by group commit ([`DurabilityConfig::group_commit_every`])
+    /// or the next [`Self::flush_wal`], whichever comes first; a serving
+    /// loop calls `flush_wal` once per answer round, so a whole round
+    /// across many sessions shares one fsync.
     pub fn answer_batch(&self, id: SessionId, answers: &[(ClassId, Label)]) -> Result<usize> {
-        self.with_session(id, |session| session.apply_batch(answers))?
-            .map_err(ServerError::from)
+        let slot = self.slot(id)?;
+        let mut guard = slot.lock();
+        guard.last_touch = Instant::now();
+        let session = self.materialize(&mut guard)?;
+        let before = session.history().len();
+        let applied = session.apply_batch(answers);
+        if let Some(state) = &self.durability {
+            let suffix = &session.history()[before..];
+            if !suffix.is_empty() {
+                state.log(&WalRecord::Answers {
+                    id,
+                    answers: suffix.to_vec(),
+                })?;
+            }
+        }
+        applied.map_err(ServerError::from)
     }
 
     /// Whether the session has nothing left to ask.
@@ -475,6 +816,8 @@ impl SessionManager {
         Ok(match &guard.tier {
             Tier::Resident(session) => session.interactions(),
             Tier::Hibernated { history, .. } => history.len(),
+            // The locator carries the length so metrics stay off-disk.
+            Tier::Spilled { history_len, .. } => *history_len,
         })
     }
 
@@ -488,17 +831,21 @@ impl SessionManager {
     pub fn inferred_predicate(&self, id: SessionId) -> Result<BitSet> {
         let slot = self.slot(id)?;
         let guard = slot.lock();
+        let fold = |history: &[(ClassId, Label)]| {
+            let mut theta = self.universe.omega();
+            for &(c, label) in history {
+                if label == Label::Positive {
+                    theta.intersect_with(self.universe.sig(c));
+                }
+            }
+            theta
+        };
         Ok(match &guard.tier {
             Tier::Resident(session) => session.inferred_predicate(),
-            Tier::Hibernated { history, .. } => {
-                let mut theta = self.universe.omega();
-                for &(c, label) in history {
-                    if label == Label::Positive {
-                        theta.intersect_with(self.universe.sig(c));
-                    }
-                }
-                theta
-            }
+            Tier::Hibernated { history, .. } => fold(history),
+            // Served from the checksummed segment payload without waking
+            // — the slot stays spilled.
+            Tier::Spilled { locator, .. } => fold(&self.read_spilled(*locator)?.history),
         })
     }
 
@@ -514,27 +861,51 @@ impl SessionManager {
     pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot> {
         let slot = self.slot(id)?;
         let guard = slot.lock();
-        Ok(match &guard.tier {
-            Tier::Resident(session) => SessionSnapshot {
-                session: id,
-                strategy: guard.config.clone(),
-                history: session.history().to_vec(),
-                pending: session.pending_class(),
-            },
-            Tier::Hibernated { history, pending } => SessionSnapshot {
-                session: id,
-                strategy: guard.config.clone(),
-                history: history.clone(),
-                pending: *pending,
-            },
+        let (history, pending) = match &guard.tier {
+            Tier::Resident(session) => (session.history().to_vec(), session.pending_class()),
+            Tier::Hibernated { history, pending } => (history.clone(), *pending),
+            // A spilled session's snapshot is read straight off its
+            // segment frame — still no wake, still no touch.
+            Tier::Spilled { locator, .. } => {
+                let payload = self.read_spilled(*locator)?;
+                (payload.history, payload.pending)
+            }
+        };
+        Ok(SessionSnapshot {
+            session: id,
+            strategy: guard.config.clone(),
+            history,
+            pending,
+            universe: Some(self.fingerprint),
         })
+    }
+
+    /// Reads one spilled payload back through the spill store (slot mutex
+    /// already held by the caller — spill after slot is the lock order).
+    fn read_spilled(&self, locator: SpillLocator) -> Result<SpillPayload> {
+        let state = self
+            .durability
+            .as_ref()
+            .expect("spilled tier only exists under a durability tier");
+        Ok(state.spill.lock().read(locator)?)
     }
 
     /// Rebuilds a snapshotted session under its original id (deterministic
     /// replay, see [`crate::snapshot`]). Future [`Self::create_session`]
     /// ids are bumped past it, so restores and fresh sessions never
-    /// collide. Errors if the id is live or the history does not replay.
+    /// collide. Errors if the id is live, the history does not replay, or
+    /// the snapshot is stamped with a different universe's fingerprint
+    /// ([`ServerError::UniverseMismatch`] — unstamped legacy documents
+    /// are accepted and validated by replay alone).
     pub fn restore(&self, snapshot: &SessionSnapshot) -> Result<SessionId> {
+        if let Some(found) = snapshot.universe {
+            if found != self.fingerprint {
+                return Err(ServerError::UniverseMismatch {
+                    expected: self.fingerprint,
+                    found,
+                });
+            }
+        }
         let id = snapshot.session;
         let session = OwnedSession::replay(
             Arc::clone(&self.universe),
@@ -542,34 +913,63 @@ impl SessionManager {
             &snapshot.history,
             snapshot.pending,
         )?;
-        self.insert(id, Slot::resident(snapshot.strategy.clone(), session))?;
+        self.insert_logged(
+            id,
+            Slot::resident(snapshot.strategy.clone(), session),
+            Some(&WalRecord::Restore {
+                id,
+                strategy: snapshot.strategy.clone(),
+                history: snapshot.history.clone(),
+                pending: snapshot.pending,
+            }),
+        )?;
         self.next_id.fetch_max(id + 1, Ordering::Relaxed);
         Ok(id)
     }
 
     /// Parks every resident session idle for at least `ttl` into the
     /// hibernation tier (derived masks dropped; strategy config + label
-    /// history kept; see [`ServerConfig::hibernate_ttl`]). Returns how
-    /// many sessions were parked. `Duration::ZERO` parks everything —
-    /// useful for tests and for draining a manager before hand-off.
+    /// history kept; see [`ServerConfig::hibernate_ttl`]). Returns a
+    /// [`SweepReport`] with the park count and per-tier byte deltas.
+    /// `Duration::ZERO` parks everything — useful for tests and for
+    /// draining a manager before hand-off.
     ///
     /// Parked sessions stay fully addressable: the next touch
     /// re-materializes them lazily, and [`Self::snapshot`] serves them
     /// without waking. Sessions busy under another thread's operation are
     /// still swept afterwards — the sweep takes each session mutex in
-    /// turn.
-    pub fn hibernate_idle(&self, ttl: Duration) -> usize {
-        let mut parked = 0usize;
+    /// turn. Durable managers log one `Hibernate` record per park and
+    /// share one fsync across the whole pass.
+    pub fn hibernate_idle(&self, ttl: Duration) -> Result<SweepReport> {
+        let mut report = SweepReport::default();
+        self.park_idle(ttl, &mut report)?;
+        self.flush_wal()?;
+        Ok(report)
+    }
+
+    fn park_idle(&self, ttl: Duration, report: &mut SweepReport) -> Result<()> {
         for shard in self.shards.iter() {
-            let slots: Vec<Arc<Mutex<Slot>>> = shard.read().values().cloned().collect();
-            for slot in slots {
+            let slots: Vec<(SessionId, Arc<Mutex<Slot>>)> = shard
+                .read()
+                .iter()
+                .map(|(&id, slot)| (id, Arc::clone(slot)))
+                .collect();
+            for (id, slot) in slots {
                 let mut guard = slot.lock();
-                if guard.last_touch.elapsed() >= ttl && guard.hibernate() {
-                    parked += 1;
+                if guard.last_touch.elapsed() < ttl {
+                    continue;
+                }
+                if let Some((freed, added)) = guard.hibernate() {
+                    report.parked += 1;
+                    report.resident_bytes_freed += freed;
+                    report.hibernated_bytes_added += added;
+                    if let Some(state) = &self.durability {
+                        state.log(&WalRecord::Hibernate { id })?;
+                    }
                 }
             }
         }
-        parked
+        Ok(())
     }
 
     /// Force-parks one session regardless of idle time; returns whether it
@@ -577,28 +977,145 @@ impl SessionManager {
     pub fn hibernate(&self, id: SessionId) -> Result<bool> {
         let slot = self.slot(id)?;
         let mut guard = slot.lock();
-        Ok(guard.hibernate())
+        let parked = guard.hibernate().is_some();
+        if parked {
+            if let Some(state) = &self.durability {
+                state.log(&WalRecord::Hibernate { id })?;
+            }
+        }
+        Ok(parked)
     }
 
-    /// The TTL sweep: [`Self::hibernate_idle`] with the configured
-    /// [`ServerConfig::hibernate_ttl`], a no-op (returning 0) when none is
-    /// configured. Meant to be called periodically by the serving loop.
-    pub fn sweep(&self) -> usize {
-        match self.config.hibernate_ttl {
-            Some(ttl) => self.hibernate_idle(ttl),
-            None => 0,
+    /// The periodic maintenance pass the serving loop calls: the TTL park
+    /// ([`Self::hibernate_idle`] with the configured
+    /// [`ServerConfig::hibernate_ttl`], skipped when none is set), then —
+    /// on a durable manager with a
+    /// [`DurabilityConfig::resident_watermark_bytes`] — the **spill
+    /// pass**: while the fleet's RAM footprint (resident + hibernated
+    /// bytes) exceeds the watermark, parked sessions spill oldest-idle
+    /// first to the segment files, leaving a ~16-byte locator each. One
+    /// segment fsync and one WAL fsync cover the whole pass.
+    pub fn sweep(&self) -> Result<SweepReport> {
+        let mut report = SweepReport::default();
+        if let Some(ttl) = self.config.hibernate_ttl {
+            self.park_idle(ttl, &mut report)?;
         }
+        self.spill_to_watermark(&mut report)?;
+        self.flush_wal()?;
+        Ok(report)
+    }
+
+    fn spill_to_watermark(&self, report: &mut SweepReport) -> Result<()> {
+        let Some(state) = &self.durability else {
+            return Ok(());
+        };
+        let Some(watermark) = state.config.resident_watermark_bytes else {
+            return Ok(());
+        };
+        // One metering pass: total RAM footprint + the parked candidates
+        // (oldest idle first — the sessions least likely to wake soon).
+        let mut total = 0usize;
+        let mut candidates: Vec<(Instant, SessionId, Arc<Mutex<Slot>>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let slots: Vec<(SessionId, Arc<Mutex<Slot>>)> = shard
+                .read()
+                .iter()
+                .map(|(&id, slot)| (id, Arc::clone(slot)))
+                .collect();
+            for (id, slot) in slots {
+                let guard = slot.lock();
+                match &guard.tier {
+                    Tier::Resident(session) => total += session.resident_bytes(),
+                    Tier::Hibernated { history, .. } => {
+                        total += Slot::hibernated_bytes(history);
+                        candidates.push((guard.last_touch, id, Arc::clone(&slot)));
+                    }
+                    Tier::Spilled { .. } => {}
+                }
+            }
+        }
+        candidates.sort_by_key(|&(touch, _, _)| touch);
+        for (_, id, slot) in candidates {
+            if total <= watermark {
+                break;
+            }
+            let mut guard = slot.lock();
+            // Re-check under the lock: the session may have woken (or
+            // been spilled by a racing sweep) since the metering pass.
+            let Tier::Hibernated { history, pending } = &guard.tier else {
+                continue;
+            };
+            let payload = SpillPayload {
+                id,
+                strategy: guard.config.clone(),
+                history: history.clone(),
+                pending: *pending,
+            };
+            let freed = Slot::hibernated_bytes(history);
+            let locator = state
+                .spill
+                .lock()
+                .append(&payload)
+                .map_err(|e| ServerError::Durability(DurabilityError::Io(e.to_string())))?;
+            // The Spill record is appended while the session mutex is
+            // still held, so no post-wake Answers record can slip in
+            // front of it.
+            state.log(&WalRecord::Spill {
+                id,
+                segment: locator.segment,
+                offset: locator.offset,
+                len: locator.len,
+            })?;
+            guard.tier = Tier::Spilled {
+                locator,
+                history_len: payload.history.len(),
+            };
+            report.spilled += 1;
+            report.hibernated_bytes_freed += freed;
+            report.spilled_bytes_written += locator.len as usize;
+            total -= freed;
+        }
+        // Segment durability precedes the WAL commit that publishes the
+        // locators (the caller's flush_wal), so a synced Spill record
+        // never points at unsynced payload bytes.
+        state
+            .spill
+            .lock()
+            .sync()
+            .map_err(|e| ServerError::Durability(DurabilityError::Io(e.to_string())))?;
+        Ok(())
+    }
+
+    /// Forces an fsync of all WAL records appended so far (a no-op on a
+    /// non-durable manager or a clean log). The serving loop calls this
+    /// once per answer round: together with group commit it bounds the
+    /// window of acknowledged-but-unsynced work.
+    pub fn flush_wal(&self) -> Result<()> {
+        if let Some(state) = &self.durability {
+            state
+                .wal
+                .lock()
+                .commit()
+                .map_err(|e| ServerError::Durability(DurabilityError::Io(e.to_string())))?;
+        }
+        Ok(())
     }
 
     /// Drops a session. Operations already holding its handle finish
     /// against the detached session; later calls get
-    /// [`ServerError::UnknownSession`].
+    /// [`ServerError::UnknownSession`]. (On a durable manager such
+    /// detached operations may append records behind the `Remove` —
+    /// recovery tolerates and skips them.)
     pub fn remove(&self, id: SessionId) -> Result<()> {
-        self.shard(id)
-            .write()
+        let mut shard = self.shard(id).write();
+        shard
             .remove(&id)
             .map(drop)
-            .ok_or(ServerError::UnknownSession(id))
+            .ok_or(ServerError::UnknownSession(id))?;
+        if let Some(state) = &self.durability {
+            state.log(&WalRecord::Remove { id })?;
+        }
+        Ok(())
     }
 }
 
@@ -635,7 +1152,7 @@ mod tests {
             &[("To", "City"), ("Airline", "Discount")],
         )
         .unwrap();
-        let id = m.create_session(StrategyConfig::Lks { depth: 2 });
+        let id = m.create_session(StrategyConfig::Lks { depth: 2 }).unwrap();
         let theta = drive(&m, id, &goal);
         assert_eq!(
             m.universe().instance().predicate_string(&theta),
@@ -647,7 +1164,7 @@ mod tests {
     #[test]
     fn next_question_is_idempotent_while_unanswered() {
         let m = manager();
-        let id = m.create_session(StrategyConfig::Bu);
+        let id = m.create_session(StrategyConfig::Bu).unwrap();
         let q1 = m.next_question(id).unwrap().unwrap();
         let q2 = m.next_question(id).unwrap().unwrap();
         assert_eq!(q1.class, q2.class);
@@ -657,7 +1174,7 @@ mod tests {
     #[test]
     fn answers_are_idempotent_and_conflicts_are_rejected() {
         let m = manager();
-        let id = m.create_session(StrategyConfig::Td);
+        let id = m.create_session(StrategyConfig::Td).unwrap();
         let q = m.next_question(id).unwrap().unwrap();
         assert!(m.answer(id, q.class, Label::Negative).unwrap());
         // A second crowd worker repeating the answer is a no-op…
@@ -674,7 +1191,7 @@ mod tests {
     #[test]
     fn out_of_order_batches_supersede_the_outstanding_question() {
         let m = manager();
-        let id = m.create_session(StrategyConfig::Bu);
+        let id = m.create_session(StrategyConfig::Bu).unwrap();
         let q = m.next_question(id).unwrap().unwrap();
         // Answers for *other* classes arrive first (async task queue).
         let others: Vec<(ClassId, Label)> = (0..m.universe().num_classes())
@@ -699,8 +1216,8 @@ mod tests {
         assert_eq!(empty.state_bytes, 0);
         // The universe's decision cache rides along in the stats.
         assert!(empty.decision_cache.budget_bytes > 0);
-        let a = m.create_session(StrategyConfig::Bu);
-        let b = m.create_session(StrategyConfig::Lks { depth: 2 });
+        let a = m.create_session(StrategyConfig::Bu).unwrap();
+        let b = m.create_session(StrategyConfig::Lks { depth: 2 }).unwrap();
         let q = m.next_question(a).unwrap().unwrap();
         m.answer(a, q.class, Label::Negative).unwrap();
         let stats = m.stats();
@@ -735,8 +1252,8 @@ mod tests {
         .unwrap();
         // Drive a few answers, park, and compare against a twin that never
         // hibernates.
-        let id = m.create_session(StrategyConfig::Lks { depth: 2 });
-        let twin = m.create_session(StrategyConfig::Lks { depth: 2 });
+        let id = m.create_session(StrategyConfig::Lks { depth: 2 }).unwrap();
+        let twin = m.create_session(StrategyConfig::Lks { depth: 2 }).unwrap();
         for _ in 0..2 {
             let q = m.next_question(id).unwrap().unwrap();
             let label = if goal.is_subset(m.universe().sig(q.class)) {
@@ -801,18 +1318,25 @@ mod tests {
     #[test]
     fn hibernate_idle_respects_ttl_and_sweep_respects_config() {
         let m = manager();
-        let a = m.create_session(StrategyConfig::Bu);
-        let _b = m.create_session(StrategyConfig::Td);
+        let a = m.create_session(StrategyConfig::Bu).unwrap();
+        let _b = m.create_session(StrategyConfig::Td).unwrap();
         // Nothing has been idle for an hour.
-        assert_eq!(m.hibernate_idle(Duration::from_secs(3600)), 0);
-        // A zero TTL parks everything at once.
-        assert_eq!(m.hibernate_idle(Duration::ZERO), 2);
+        assert_eq!(
+            m.hibernate_idle(Duration::from_secs(3600)).unwrap().parked,
+            0
+        );
+        // A zero TTL parks everything at once, and the report accounts
+        // for the RAM it moved between tiers.
+        let report = m.hibernate_idle(Duration::ZERO).unwrap();
+        assert_eq!(report.parked, 2);
+        assert!(report.resident_bytes_freed > report.hibernated_bytes_added);
+        assert_eq!(report.spilled, 0);
         assert_eq!(m.stats().hibernated_sessions, 2);
         // Touching one wakes exactly that one.
         let _ = m.next_question(a).unwrap();
         assert_eq!(m.stats().hibernated_sessions, 1);
         // sweep() is a no-op without a configured TTL…
-        assert_eq!(m.sweep(), 0);
+        assert_eq!(m.sweep().unwrap(), SweepReport::default());
         // …and parks idle sessions when one is set.
         let ttl = SessionManager::new(
             Arc::clone(m.universe()),
@@ -821,8 +1345,8 @@ mod tests {
                 ..ServerConfig::default()
             },
         );
-        let c = ttl.create_session(StrategyConfig::Bu);
-        assert_eq!(ttl.sweep(), 1);
+        let c = ttl.create_session(StrategyConfig::Bu).unwrap();
+        assert_eq!(ttl.sweep().unwrap().parked, 1);
         assert_eq!(ttl.stats().hibernated_sessions, 1);
         let _ = ttl.next_question(c).unwrap();
         assert_eq!(ttl.stats().hibernated_sessions, 0);
@@ -831,7 +1355,7 @@ mod tests {
     #[test]
     fn pending_question_survives_hibernation() {
         let m = manager();
-        let id = m.create_session(StrategyConfig::Td);
+        let id = m.create_session(StrategyConfig::Td).unwrap();
         let q = m.next_question(id).unwrap().unwrap();
         assert!(m.hibernate(id).unwrap());
         // Re-delivery after waking returns the same outstanding question
@@ -848,7 +1372,7 @@ mod tests {
             m.next_question(99).unwrap_err(),
             ServerError::UnknownSession(99)
         );
-        let id = m.create_session(StrategyConfig::Bu);
+        let id = m.create_session(StrategyConfig::Bu).unwrap();
         m.remove(id).unwrap();
         assert_eq!(m.remove(id).unwrap_err(), ServerError::UnknownSession(id));
         assert_eq!(m.session_count(), 0);
@@ -859,7 +1383,7 @@ mod tests {
         let m = manager();
         let goal =
             jqi_core::predicate_from_names(m.universe().instance(), &[("To", "City")]).unwrap();
-        let id = m.create_session(StrategyConfig::Rnd { seed: 5 });
+        let id = m.create_session(StrategyConfig::Rnd { seed: 5 }).unwrap();
         let q = m.next_question(id).unwrap().unwrap();
         let label = if goal.is_subset(m.universe().sig(q.class)) {
             Label::Positive
@@ -886,12 +1410,279 @@ mod tests {
             ServerError::SessionExists(id)
         );
         // Fresh ids skip past the restored one.
-        let fresh = m2.create_session(StrategyConfig::Bu);
+        let fresh = m2.create_session(StrategyConfig::Bu).unwrap();
         assert!(fresh > id);
         // And both reach the same final predicate as an uninterrupted run.
         let theta_restored = drive(&m2, id, &goal);
-        let id3 = m.create_session(StrategyConfig::Rnd { seed: 5 });
+        let id3 = m.create_session(StrategyConfig::Rnd { seed: 5 }).unwrap();
         let theta_solo = drive(&m, id3, &goal);
         assert_eq!(theta_restored, theta_solo);
+    }
+
+    #[test]
+    fn restore_rejects_snapshots_from_a_different_universe() {
+        let m = manager();
+        let id = m.create_session(StrategyConfig::Bu).unwrap();
+        let snap = m.snapshot(id).unwrap();
+        assert_eq!(snap.universe, Some(m.universe_fingerprint()));
+
+        let other = SessionManager::new(
+            Arc::new(Universe::build(jqi_core::paper::example_2_1())),
+            ServerConfig::default(),
+        );
+        let err = other.restore(&snap).unwrap_err();
+        assert!(matches!(err, ServerError::UniverseMismatch { .. }));
+        // Unstamped (legacy) snapshots still restore unchecked.
+        let legacy = SessionSnapshot {
+            universe: None,
+            ..snap
+        };
+        assert_eq!(other.restore(&legacy).unwrap(), id);
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: the manager-level WAL / spill / recover round trips.
+    // (Codec-, WAL-, and recovery-level corruption cases live in
+    // `durability::*`; crash scripts at full workloads live in
+    // `tests/durability_props.rs`.)
+    // ------------------------------------------------------------------
+
+    use crate::durability::{MemSegments, MemWal};
+
+    fn durable_pair(
+        universe: &Arc<Universe>,
+        wal: MemWal,
+        segments: MemSegments,
+        durability: DurabilityConfig,
+    ) -> (SessionManager, RecoveryReport) {
+        SessionManager::recover_with_storage(
+            Arc::clone(universe),
+            ServerConfig::default(),
+            durability,
+            Box::new(wal),
+            Box::new(segments),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn durable_fleet_survives_a_restart() {
+        let universe = Arc::new(Universe::build(flight_hotel()));
+        let goal = jqi_core::predicate_from_names(universe.instance(), &[("To", "City")]).unwrap();
+        let wal = MemWal::new();
+        let segments = MemSegments::new();
+        let (m, report) = durable_pair(
+            &universe,
+            wal.clone(),
+            segments.clone(),
+            DurabilityConfig::default(),
+        );
+        assert_eq!(report, RecoveryReport::default());
+
+        // One finished session, one mid-flight with a pending question,
+        // one created-then-removed.
+        let done = m.create_session(StrategyConfig::Lks { depth: 2 }).unwrap();
+        let theta = drive(&m, done, &goal);
+        let mid = m.create_session(StrategyConfig::Bu).unwrap();
+        let q = m.next_question(mid).unwrap().unwrap();
+        m.answer(mid, q.class, Label::Negative).unwrap();
+        let pending = m.next_question(mid).unwrap().map(|q| q.class);
+        let gone = m.create_session(StrategyConfig::Td).unwrap();
+        m.remove(gone).unwrap();
+        m.flush_wal().unwrap();
+        let mid_snap = m.snapshot(mid).unwrap();
+        drop(m);
+
+        // "Restart": recover from the durable image alone.
+        let (r, report) = durable_pair(
+            &universe,
+            MemWal::from_bytes(wal.durable_image()),
+            segments,
+            DurabilityConfig::default(),
+        );
+        assert_eq!(report.sessions, 2);
+        assert_eq!(report.wal_torn_bytes, 0);
+        assert_eq!(r.session_count(), 2);
+        assert_eq!(r.inferred_predicate(done).unwrap(), theta);
+        assert!(r.is_done(done).unwrap());
+        assert_eq!(r.snapshot(mid).unwrap().history, mid_snap.history);
+        assert_eq!(r.next_question(mid).unwrap().map(|q| q.class), pending);
+        assert!(matches!(
+            r.next_question(gone).unwrap_err(),
+            ServerError::UnknownSession(_)
+        ));
+        // Recovered ids stay unique: the allocator resumes past them.
+        let fresh = r.create_session(StrategyConfig::Bu).unwrap();
+        assert!(fresh > mid);
+        // And the recovered mid-flight session finishes like a live one.
+        let theta_mid = drive(&r, mid, &goal);
+        assert_eq!(
+            universe.instance().predicate_string(&theta_mid),
+            universe.instance().predicate_string(&goal)
+        );
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_not_fatal() {
+        let universe = Arc::new(Universe::build(flight_hotel()));
+        let wal = MemWal::new();
+        let (m, _) = durable_pair(
+            &universe,
+            wal.clone(),
+            MemSegments::new(),
+            DurabilityConfig::default(),
+        );
+        let a = m.create_session(StrategyConfig::Bu).unwrap();
+        let q = m.next_question(a).unwrap().unwrap();
+        m.answer(a, q.class, Label::Negative).unwrap();
+        let _b = m.create_session(StrategyConfig::Td).unwrap();
+        m.flush_wal().unwrap();
+        drop(m);
+
+        // Chop mid-frame through the last record — the torn tail an
+        // interrupted append leaves behind.
+        let mut image = wal.durable_image();
+        image.truncate(image.len() - 3);
+        let (r, report) = durable_pair(
+            &universe,
+            MemWal::from_bytes(image),
+            MemSegments::new(),
+            DurabilityConfig::default(),
+        );
+        assert!(report.wal_torn_bytes > 0);
+        // Session `a` (fully before the tear) survives with its answer.
+        assert_eq!(r.interactions(a).unwrap(), 1);
+    }
+
+    #[test]
+    fn sweep_spills_past_the_watermark_and_recovery_restores_the_spilled_tier() {
+        let universe = Arc::new(Universe::build(flight_hotel()));
+        let goal = jqi_core::predicate_from_names(universe.instance(), &[("To", "City")]).unwrap();
+        let wal = MemWal::new();
+        let segments = MemSegments::new();
+        let durability = DurabilityConfig {
+            resident_watermark_bytes: Some(0),
+            segment_max_bytes: 256, // force rotation across several spills
+            ..DurabilityConfig::default()
+        };
+        let (m, _) = durable_pair(&universe, wal.clone(), segments.clone(), durability.clone());
+        let ids: Vec<SessionId> = (0..6)
+            .map(|i| {
+                let id = m
+                    .create_session(if i % 2 == 0 {
+                        StrategyConfig::Bu
+                    } else {
+                        StrategyConfig::Td
+                    })
+                    .unwrap();
+                let q = m.next_question(id).unwrap().unwrap();
+                m.answer(id, q.class, Label::Negative).unwrap();
+                id
+            })
+            .collect();
+        let theta0 = m.inferred_predicate(ids[0]).unwrap();
+
+        // Park everything, then sweep against a zero watermark: every
+        // parked session must leave RAM for the segment files.
+        let parked = m.hibernate_idle(Duration::ZERO).unwrap();
+        assert_eq!(parked.parked, ids.len());
+        let swept = m.sweep().unwrap();
+        assert_eq!(swept.spilled, ids.len());
+        assert!(swept.hibernated_bytes_freed > 0);
+        assert!(swept.spilled_bytes_written > 0);
+        let stats = m.stats();
+        assert_eq!(stats.spilled_sessions, ids.len());
+        assert_eq!(stats.hibernated_sessions, 0);
+        let d = stats.durability.unwrap();
+        assert_eq!(d.spill_entries, ids.len() as u64);
+        assert!(d.wal_records >= 3 * ids.len() as u64);
+
+        // Read-only serves answer from disk without re-admitting the
+        // session to RAM…
+        assert_eq!(m.inferred_predicate(ids[0]).unwrap(), theta0);
+        assert_eq!(m.interactions(ids[1]).unwrap(), 1);
+        let snap = m.snapshot(ids[2]).unwrap();
+        assert_eq!(snap.history.len(), 1);
+        assert_eq!(m.stats().spilled_sessions, ids.len());
+        // …while a mutating touch wakes it for real.
+        let _ = m.next_question(ids[3]).unwrap();
+        assert_eq!(m.stats().spilled_sessions, ids.len() - 1);
+        m.flush_wal().unwrap();
+        drop(m);
+
+        // Recovery keeps cold sessions cold: the spilled stay spilled.
+        let (r, report) = durable_pair(
+            &universe,
+            MemWal::from_bytes(wal.durable_image()),
+            segments,
+            durability,
+        );
+        assert_eq!(report.sessions, ids.len());
+        assert_eq!(report.spilled, ids.len() - 1);
+        assert_eq!(report.hibernated, 1);
+        assert_eq!(r.stats().spilled_sessions, ids.len() - 1);
+        // Every session — spilled or not — still finishes correctly.
+        for &id in &ids {
+            drive(&r, id, &goal);
+            assert!(r.is_done(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn recovery_refuses_a_wal_from_another_universe() {
+        let flight = Arc::new(Universe::build(flight_hotel()));
+        let wal = MemWal::new();
+        let (m, _) = durable_pair(
+            &flight,
+            wal.clone(),
+            MemSegments::new(),
+            DurabilityConfig::default(),
+        );
+        m.create_session(StrategyConfig::Bu).unwrap();
+        m.flush_wal().unwrap();
+        drop(m);
+
+        let other = Arc::new(Universe::build(jqi_core::paper::example_2_1()));
+        let err = SessionManager::recover_with_storage(
+            other,
+            ServerConfig::default(),
+            DurabilityConfig::default(),
+            Box::new(MemWal::from_bytes(wal.durable_image())),
+            Box::new(MemSegments::new()),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DurabilityError::FingerprintMismatch {
+                source: "wal header",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn group_commit_defers_fsyncs_but_flush_is_immediate() {
+        let universe = Arc::new(Universe::build(flight_hotel()));
+        let wal = MemWal::new();
+        let (m, _) = durable_pair(
+            &universe,
+            wal.clone(),
+            MemSegments::new(),
+            DurabilityConfig {
+                group_commit_every: 1000,
+                ..DurabilityConfig::default()
+            },
+        );
+        let id = m.create_session(StrategyConfig::Bu).unwrap();
+        let q = m.next_question(id).unwrap().unwrap();
+        m.answer(id, q.class, Label::Negative).unwrap();
+        let before = m.stats().durability.unwrap();
+        assert_eq!(before.wal_syncs, 0, "group quota of 1000 never reached");
+        m.flush_wal().unwrap();
+        let after = m.stats().durability.unwrap();
+        assert_eq!(after.wal_syncs, 1);
+        assert!(after.wal_records >= 3);
+        // The durable image now contains everything the pristine one does.
+        assert_eq!(wal.durable_image(), wal.pristine_image());
     }
 }

@@ -40,6 +40,13 @@ pub struct SessionSnapshot {
     /// even when later batches advanced the state past the point where it
     /// was selected.
     pub pending: Option<ClassId>,
+    /// Fingerprint of the universe the snapshot was taken against
+    /// ([`jqi_core::Universe::fingerprint`]), serialized as a hex string.
+    /// `None` on documents written before the field existed (they parse
+    /// and restore as before, unchecked); when present,
+    /// [`crate::SessionManager::restore`] refuses a mismatching universe
+    /// instead of replaying class ids that mean something else.
+    pub universe: Option<u64>,
 }
 
 /// A malformed snapshot document.
@@ -63,10 +70,17 @@ impl From<ParseError> for SnapshotError {
 impl SessionSnapshot {
     /// The snapshot as a JSON value (`jqi_bench`-style formatting).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("format".into(), Json::str(SNAPSHOT_FORMAT)),
             ("session".into(), Json::num(self.session as f64)),
             ("strategy".into(), Json::str(self.strategy.to_string())),
+        ];
+        if let Some(fp) = self.universe {
+            // Hex string, not a number: JSON numbers are f64 and cannot
+            // hold a full u64 fingerprint.
+            fields.push(("universe".into(), Json::str(format!("{fp:016x}"))));
+        }
+        fields.extend([
             (
                 "pending".into(),
                 match self.pending {
@@ -94,7 +108,8 @@ impl SessionSnapshot {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 
     /// Serializes to the pretty-printed JSON document [`Self::from_json`]
@@ -145,11 +160,23 @@ impl SessionSnapshot {
             None | Some(Json::Null) => None,
             Some(_) => Some(read_u64(&doc, "pending")? as ClassId),
         };
+        let universe = match doc.get("universe") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let hex = v
+                    .as_str()
+                    .ok_or_else(|| SnapshotError("\"universe\" must be a hex string".into()))?;
+                Some(u64::from_str_radix(hex, 16).map_err(|_| {
+                    SnapshotError(format!("\"universe\" is not a hex fingerprint: {hex:?}"))
+                })?)
+            }
+        };
         Ok(SessionSnapshot {
             session,
             strategy,
             history,
             pending,
+            universe,
         })
     }
 }
@@ -177,6 +204,7 @@ mod tests {
             strategy: StrategyConfig::Lks { depth: 2 },
             history: vec![(3, Label::Positive), (0, Label::Negative)],
             pending: Some(5),
+            universe: Some(0xDEAD_BEEF_0BAD_F00D),
         }
     }
 
@@ -201,7 +229,33 @@ mod tests {
         let text = r#"{"format": "jqi-session/1", "session": 9, "strategy": "TD", "history": []}"#;
         let snap = SessionSnapshot::from_json(text).unwrap();
         assert_eq!(snap.pending, None);
+        assert_eq!(snap.universe, None);
         assert_eq!(snap.session, 9);
+    }
+
+    #[test]
+    fn universe_fingerprint_round_trips_as_hex() {
+        let snap = sample_snapshot();
+        let text = snap.to_json_string();
+        assert!(text.contains("\"universe\": \"deadbeef0badf00d\""));
+        assert_eq!(
+            SessionSnapshot::from_json(&text).unwrap().universe,
+            snap.universe
+        );
+        // Snapshots without a fingerprint omit the field entirely, so the
+        // document is byte-identical to what earlier versions wrote.
+        let unstamped = SessionSnapshot {
+            universe: None,
+            ..sample_snapshot()
+        };
+        let text = unstamped.to_json_string();
+        assert!(!text.contains("universe"));
+        assert_eq!(SessionSnapshot::from_json(&text).unwrap().universe, None);
+        // But a present-and-malformed fingerprint is rejected loudly.
+        let bad = r#"{"format": "jqi-session/1", "session": 1, "strategy": "BU", "universe": "xyz", "history": []}"#;
+        assert!(SessionSnapshot::from_json(bad).is_err());
+        let wrong_type = r#"{"format": "jqi-session/1", "session": 1, "strategy": "BU", "universe": 12, "history": []}"#;
+        assert!(SessionSnapshot::from_json(wrong_type).is_err());
     }
 
     #[test]
@@ -220,6 +274,7 @@ mod tests {
                 strategy: strategy.clone(),
                 history: vec![],
                 pending: None,
+                universe: None,
             };
             let restored = SessionSnapshot::from_json(&snap.to_json_string()).unwrap();
             assert_eq!(restored.strategy, strategy);

@@ -82,7 +82,7 @@ fn many_threads_many_sessions_match_single_threaded_replays() {
                     let i = t * SESSIONS_PER_THREAD + s;
                     let config = strategy_mix(i);
                     let goal = goals[i].clone();
-                    let id = manager.create_session(config.clone());
+                    let id = manager.create_session(config.clone()).expect("in-memory");
                     while let Some(q) = manager.next_question(id).expect("live session") {
                         let label = oracle_label(&universe, &goal, q.class);
                         manager.answer(id, q.class, label).expect("consistent");
@@ -123,7 +123,7 @@ fn concurrent_workers_on_one_session_agree_with_the_reference() {
         Arc::clone(&universe),
         ServerConfig::default(),
     ));
-    let id = manager.create_session(config.clone());
+    let id = manager.create_session(config.clone()).expect("in-memory");
 
     let handles: Vec<_> = (0..6)
         .map(|_| {
@@ -170,7 +170,9 @@ fn batched_answers_reach_equivalent_predicates() {
             let manager = Arc::clone(&manager);
             let universe = Arc::clone(&universe);
             thread::spawn(move || {
-                let id = manager.create_session(StrategyConfig::Bu);
+                let id = manager
+                    .create_session(StrategyConfig::Bu)
+                    .expect("in-memory");
                 loop {
                     // Gather a "round" of up to 3 outstanding questions by
                     // labeling classes straight from the goal oracle —
@@ -223,7 +225,9 @@ fn churn_leaves_an_empty_consistent_table() {
             let universe = Arc::clone(&universe);
             thread::spawn(move || {
                 for round in 0..20 {
-                    let id = manager.create_session(strategy_mix(t + round));
+                    let id = manager
+                        .create_session(strategy_mix(t + round))
+                        .expect("in-memory");
                     if let Some(q) = manager.next_question(id).expect("live") {
                         manager.answer(id, q.class, Label::Negative).expect("ok");
                         let snap = manager.snapshot(id).expect("live");

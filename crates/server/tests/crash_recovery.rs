@@ -1,0 +1,225 @@
+//! The real thing: a child process running a durable fleet is `kill -9`ed
+//! mid-round, and the parent recovers its directory.
+//!
+//! The parent re-invokes this test binary with `JQI_CRASH_DIR` set, which
+//! turns the otherwise-inert `crash_child` "test" into an endless durable
+//! workload (waves of sessions created, driven, parked, and spilled). The
+//! parent watches `wal.log` grow, SIGKILLs the child at an arbitrary
+//! point in that traffic — no shutdown hook runs, whatever was mid-write
+//! stays mid-write — then recovers and checks every surviving session
+//! against a deterministic oracle: histories must be exact prefixes of
+//! the uninterrupted run, and every session must still drive to the
+//! reference predicate. The in-memory, finely scripted variant of this
+//! test is `tests/durability_props.rs`; this one exists so the claim
+//! holds for real files, real fsync, and a real dead process.
+
+use jqi_core::{ClassId, Label, StrategyConfig, Universe};
+use jqi_datagen::SyntheticConfig;
+use jqi_relation::BitSet;
+use jqi_server::{DurabilityConfig, ServerConfig, SessionManager};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WAVE: usize = 4;
+/// Kill once the WAL holds at least this much committed traffic — several
+/// complete waves plus, almost surely, a wave in flight.
+const KILL_AFTER_WAL_BYTES: u64 = 32 * 1024;
+
+fn build_universe() -> Arc<Universe> {
+    Arc::new(Universe::build(
+        SyntheticConfig::new(2, 2, 12, 6).generate(7),
+    ))
+}
+
+fn durability() -> DurabilityConfig {
+    DurabilityConfig {
+        group_commit_every: 8,
+        // Zero watermark: every sweep spills every parked session, so the
+        // kill also lands amid segment traffic.
+        resident_watermark_bytes: Some(0),
+        segment_max_bytes: 4096,
+    }
+}
+
+/// Everything about session `id` is a deterministic function of `id`:
+/// same strategy, same goal, in parent and child alike.
+fn strategy_of(id: u64) -> StrategyConfig {
+    match id % 4 {
+        0 => StrategyConfig::Bu,
+        1 => StrategyConfig::Td,
+        2 => StrategyConfig::Lks { depth: 1 },
+        _ => StrategyConfig::Rnd { seed: id },
+    }
+}
+
+fn goal_of(goals: &[BitSet], id: u64) -> &BitSet {
+    &goals[id as usize % goals.len()]
+}
+
+fn oracle_label(universe: &Universe, goal: &BitSet, class: ClassId) -> Label {
+    if goal.is_subset(universe.sig(class)) {
+        Label::Positive
+    } else {
+        Label::Negative
+    }
+}
+
+fn goals(universe: &Universe) -> Vec<BitSet> {
+    let goals =
+        jqi_core::lattice::non_nullable_predicates(universe, 100_000).expect("small lattice");
+    assert!(
+        !goals.is_empty(),
+        "the crash workload needs goal predicates"
+    );
+    goals
+}
+
+/// The child workload. Inert under a normal `cargo test` run (the env var
+/// is unset); an endless durable workload when the parent spawns it.
+#[test]
+fn crash_child() {
+    let Ok(dir) = std::env::var("JQI_CRASH_DIR") else {
+        return;
+    };
+    let universe = build_universe();
+    let goals = goals(&universe);
+    let (manager, _) = SessionManager::recover(
+        Arc::clone(&universe),
+        ServerConfig::default(),
+        durability(),
+        Path::new(&dir),
+    )
+    .expect("fresh durable fleet");
+    // Waves forever, until the parent kills us. The directory is fresh,
+    // so ids are dense from 0 and each wave's ids are predictable — the
+    // parent relies on `strategy_of(id)` matching on both sides.
+    let mut next_id: u64 = 0;
+    for _wave in 0..u64::MAX {
+        let ids: Vec<u64> = (0..WAVE)
+            .map(|_| {
+                let id = manager
+                    .create_session(strategy_of(next_id))
+                    .expect("durable create");
+                assert_eq!(id, next_id, "session ids must be dense");
+                next_id += 1;
+                id
+            })
+            .collect();
+        loop {
+            let mut progressed = false;
+            for &id in &ids {
+                if let Some(q) = manager.next_question(id).expect("live session") {
+                    let label = oracle_label(&universe, goal_of(&goals, id), q.class);
+                    manager.answer(id, q.class, label).expect("honest oracle");
+                    progressed = true;
+                }
+            }
+            // One fsync per round — the durability contract under test.
+            manager.flush_wal().expect("wal flush");
+            if !progressed {
+                break;
+            }
+        }
+        // Park and spill the finished wave so the kill also interrupts
+        // hibernate/spill traffic, not just answers.
+        manager.hibernate_idle(Duration::ZERO).expect("park");
+        manager.sweep().expect("spill");
+    }
+}
+
+#[test]
+fn kill_nine_mid_round_recovers_the_fleet() {
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "jqi-crash-recovery-{}-{:x}",
+        std::process::id(),
+        Instant::now().elapsed().as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut child = std::process::Command::new(exe)
+        .args(["crash_child", "--exact", "--nocapture"])
+        .env("JQI_CRASH_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn crash child");
+
+    // Wait for real committed traffic, then pull the plug. `kill()` is
+    // SIGKILL on unix: the child gets no chance to flush or unwind.
+    let wal_path = dir.join("wal.log");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+        if len >= KILL_AFTER_WAL_BYTES {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("child status") {
+            panic!("crash child exited on its own: {status}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "crash child produced no WAL traffic (len {len})"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap child");
+
+    // Recover the directory the dead process left behind.
+    let universe = build_universe();
+    let goals = goals(&universe);
+    let (recovered, report) = SessionManager::recover(
+        Arc::clone(&universe),
+        ServerConfig::default(),
+        durability(),
+        &dir,
+    )
+    .unwrap_or_else(|e| panic!("recovery after kill -9 failed: {e}"));
+    assert!(
+        report.sessions >= WAVE,
+        "expected at least one full wave, recovered {} sessions",
+        report.sessions
+    );
+
+    // The child never removes sessions, so recovered ids are dense from 0.
+    // Check each against the uninterrupted oracle run.
+    let reference = SessionManager::new(Arc::clone(&universe), ServerConfig::default());
+    for id in 0..report.sessions as u64 {
+        let snap = recovered
+            .snapshot(id)
+            .unwrap_or_else(|e| panic!("session {id} missing after recovery: {e}"));
+        let ref_id = reference
+            .create_session(strategy_of(id))
+            .expect("in-memory");
+        assert_eq!(ref_id, id, "reference fleet must mirror the child's ids");
+        let goal = goal_of(&goals, id);
+        while let Some(q) = reference.next_question(id).expect("live session") {
+            let label = oracle_label(&universe, goal, q.class);
+            reference.answer(id, q.class, label).expect("honest oracle");
+        }
+        let ref_history = reference.snapshot(id).expect("live session").history;
+        assert!(
+            snap.history.len() <= ref_history.len()
+                && snap.history[..] == ref_history[..snap.history.len()],
+            "session {id}: recovered history is not a prefix of the \
+             uninterrupted run ({} vs {} answers)",
+            snap.history.len(),
+            ref_history.len()
+        );
+        // Continue the recovered session: it must converge to the same
+        // predicate as if the process had never died.
+        while let Some(q) = recovered.next_question(id).expect("live session") {
+            let label = oracle_label(&universe, goal, q.class);
+            recovered.answer(id, q.class, label).expect("honest oracle");
+        }
+        assert_eq!(
+            recovered.inferred_predicate(id).expect("live session"),
+            reference.inferred_predicate(id).expect("live session"),
+            "session {id} diverged after recovery"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -58,8 +58,8 @@ proptest! {
             Arc::clone(&universe),
             ServerConfig { shards: 3, ..ServerConfig::default() },
         );
-        let r_id = resident.create_session(config.clone());
-        let p_id = parked.create_session(config.clone());
+        let r_id = resident.create_session(config.clone()).expect("in-memory");
+        let p_id = parked.create_session(config.clone()).expect("in-memory");
 
         let mut step = 0usize;
         loop {
@@ -80,7 +80,7 @@ proptest! {
             let Some(q) = rq else { break };
             if park_mask >> ((step + 5) % 10) & 1 == 1 {
                 // Park with the question outstanding; zero-TTL sweep form.
-                prop_assert_eq!(parked.hibernate_idle(Duration::ZERO), 1);
+                prop_assert_eq!(parked.hibernate_idle(Duration::ZERO).unwrap().parked, 1);
             }
             let label = oracle_label(&universe, &goal, q.class);
             resident.answer(r_id, q.class, label).expect("consistent");

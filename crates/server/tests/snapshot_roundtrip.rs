@@ -64,7 +64,7 @@ proptest! {
 
         // Uninterrupted run.
         let uninterrupted = SessionManager::new(Arc::clone(&universe), ServerConfig::default());
-        let u_id = uninterrupted.create_session(config.clone());
+        let u_id = uninterrupted.create_session(config.clone()).expect("in-memory");
         drive(&uninterrupted, u_id, &goal, usize::MAX);
         let u_theta = uninterrupted.inferred_predicate(u_id).unwrap();
         let u_snap = uninterrupted.snapshot(u_id).unwrap();
@@ -73,7 +73,7 @@ proptest! {
         // is asked (and left outstanding) before the snapshot, so the
         // pending candidate must survive the restart too.
         let before = SessionManager::new(Arc::clone(&universe), ServerConfig { shards: 3, ..ServerConfig::default() });
-        let id = before.create_session(config.clone());
+        let id = before.create_session(config.clone()).expect("in-memory");
         drive(&before, id, &goal, cut);
         let outstanding = before.next_question(id).expect("live session");
         let json = before.snapshot(id).unwrap().to_json_string();

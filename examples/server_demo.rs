@@ -38,7 +38,9 @@ fn main() {
         .take(12)
         .enumerate()
         .map(|(i, goal)| {
-            let id = manager.create_session(configs[i % configs.len()].clone());
+            let id = manager
+                .create_session(configs[i % configs.len()].clone())
+                .expect("in-memory");
             (id, goal.clone())
         })
         .collect();

@@ -1,4 +1,4 @@
-//! Temporary review repro: byte-ceiling trip with threads > 1 and more
+//! Regression test: a streaming-ingestion byte-ceiling trip with threads > 1 and more
 //! chunks than channel capacity should fail fast, not hang.
 
 use join_query_inference::core::universe::Universe;
@@ -29,11 +29,7 @@ fn ceiling_trip_multithreaded_fails_fast() {
     let (done_tx, done_rx) = std::sync::mpsc::channel();
     let handle = std::thread::spawn(move || {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Universe::build_streaming_with_options(
-                schema,
-                || chunks.clone().into_iter(),
-                &options,
-            )
+            Universe::build_streaming_with_options(schema, || chunks.clone().into_iter(), &options)
         }));
         done_tx.send(result.is_err()).ok();
     });
