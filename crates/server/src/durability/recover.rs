@@ -20,8 +20,10 @@
 //!   ends early.
 //! * Records referencing an id the log never created are **tolerated**
 //!   (counted, skipped): `remove()` drops the slot while a detached
-//!   operation may still be finishing against the removed session and
-//!   append behind it — the documented remove semantics.
+//!   operation — an answer, a question delivery, or a sweep's spill, all
+//!   of which hold only a slot `Arc` — may still be finishing against the
+//!   removed session and append behind it, the documented remove
+//!   semantics.
 //! * Every fingerprint (WAL header, each referenced segment header) must
 //!   match the serving universe's, else [`DurabilityError::FingerprintMismatch`].
 
@@ -238,11 +240,18 @@ fn apply_record(
         } => {
             // A spill record is the WAL's index entry: the payload in the
             // segment becomes the session's authoritative replay state
-            // (later Answers/Question records append past it).
+            // (later Answers/Question records append past it). The
+            // referenced segment counts toward `max_segment` even when the
+            // record is ignored below — live appends must resume past it.
+            fleet.max_segment = Some(fleet.max_segment.map_or(segment, |m| m.max(segment)));
             let Some(s) = fleet.sessions.get_mut(&id) else {
-                // Unlike answers, a spill of an unknown id cannot be a
-                // detached-operation race: sweep() holds the table entry.
-                return Err(bad_log(offset, format!("spill of unknown session {id}")));
+                // A detached-operation race, like answers: sweep() spills
+                // from slot Arcs collected outside the shard lock, so a
+                // concurrent remove() can log Remove before the sweep's
+                // Spill lands. The session is gone; the orphaned segment
+                // entry is never referenced again.
+                fleet.ignored_records += 1;
+                return Ok(());
             };
             let locator = SpillLocator {
                 segment,
@@ -252,7 +261,6 @@ fn apply_record(
             if checked_segments.insert(segment, ()).is_none() {
                 check_segment_header(segments, segment, fingerprint)?;
             }
-            fleet.max_segment = Some(fleet.max_segment.map_or(segment, |m| m.max(segment)));
             let payload = read_spill(segments, locator)?;
             if payload.id != id {
                 return Err(bad_log(
@@ -452,6 +460,45 @@ mod tests {
         let fleet = recover_fleet(&wal_image(&records, 1), &mut MemSegments::new(), 1).unwrap();
         assert_eq!(fleet.sessions.len(), 0);
         assert_eq!(fleet.ignored_records, 1);
+    }
+
+    #[test]
+    fn detached_spills_after_remove_are_tolerated() {
+        // sweep() spills from slot Arcs collected outside the shard lock,
+        // so a concurrent remove() can commit its Remove record before the
+        // sweep's Spill lands — a legitimate log a clean shutdown can
+        // leave behind, not corruption.
+        let segs = MemSegments::new();
+        let mut spill = SpillStore::new(Box::new(segs.clone()), 3, 0, 1 << 20).unwrap();
+        let loc = spill
+            .append(&SpillPayload {
+                id: 0,
+                strategy: StrategyConfig::Bu,
+                history: vec![(1, Label::Negative)],
+                pending: None,
+            })
+            .unwrap();
+        spill.sync().unwrap();
+        let records = [
+            WalRecord::Create {
+                id: 0,
+                strategy: StrategyConfig::Bu,
+            },
+            WalRecord::Remove { id: 0 },
+            WalRecord::Spill {
+                id: 0,
+                segment: loc.segment,
+                offset: loc.offset,
+                len: loc.len,
+            },
+        ];
+        let mut store = segs.clone();
+        let fleet = recover_fleet(&wal_image(&records, 3), &mut store, 3).unwrap();
+        assert_eq!(fleet.sessions.len(), 0);
+        assert_eq!(fleet.ignored_records, 1);
+        // The orphaned entry's segment still counts: live appends resume
+        // past it.
+        assert_eq!(fleet.max_segment, Some(loc.segment));
     }
 
     #[test]

@@ -258,9 +258,9 @@ impl SpillStore {
     }
 
     /// Appends one payload (rotating first if it would overflow the
-    /// current segment); **not** synced — call [`Self::sync`] once per
-    /// sweep batch, before the WAL records referencing the entries are
-    /// committed.
+    /// current segment); **not** synced — call [`Self::sync`] before the
+    /// WAL record referencing the entry is appended, so a committed
+    /// locator never points at unsynced bytes.
     pub fn append(&mut self, payload: &SpillPayload) -> std::io::Result<SpillLocator> {
         let framed = frame(&payload.encode());
         if self.current_len + framed.len() as u64 > self.max_bytes

@@ -123,6 +123,7 @@ struct MemWalInner {
     append_starts: Vec<usize>,
     script: Option<CrashScript>,
     crashed: bool,
+    io_failing: bool,
 }
 
 /// In-memory fault-injecting [`WalStorage`]; clones share the image.
@@ -184,11 +185,23 @@ impl MemWal {
     pub fn crashed(&self) -> bool {
         self.inner.lock().crashed
     }
+
+    /// Toggles I/O-failure injection: while set, every append errors
+    /// without touching either image. Unlike a [`CrashScript`] the
+    /// process stays alive and *observes* the failure — this is the seam
+    /// for testing the unwind paths (a create that must not leave a
+    /// phantom record, a remove that must leave the session live).
+    pub fn set_io_failing(&self, failing: bool) {
+        self.inner.lock().io_failing = failing;
+    }
 }
 
 impl WalStorage for MemWal {
     fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         let mut inner = self.inner.lock();
+        if inner.io_failing {
+            return Err(std::io::Error::other("injected append failure"));
+        }
         let index = inner.append_starts.len();
         let start = inner.pristine.len();
         inner.append_starts.push(start);
@@ -292,14 +305,35 @@ impl Wal {
 
     /// Frames one record into the current batch; writes and fsyncs the
     /// batch if the group-commit quota is reached.
+    ///
+    /// If that commit fails *before the batch reached the storage*, the
+    /// just-framed record is stripped back out: the caller unwinds the
+    /// state transition the record described (`create_session` removes
+    /// the table insert, `remove` keeps the session), so a later
+    /// successful commit must not durably log an operation the caller was
+    /// told failed — recovery would resurrect a phantom.
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
         let framed = frame(&record.encode());
+        let mark = self.batch.len();
         self.batch.extend_from_slice(&framed);
         self.stats.records += 1;
         self.stats.appended_bytes += framed.len() as u64;
         self.dirty += 1;
         if self.dirty >= self.group_every {
-            self.commit()?;
+            if let Err(e) = self.commit() {
+                // A non-empty batch means the storage append itself failed
+                // (commit clears the batch before syncing); the record
+                // never left memory, so un-append it. An empty batch means
+                // the bytes reached the storage but the sync failed — they
+                // cannot be unwritten, and the error still propagates.
+                if self.batch.len() > mark {
+                    self.batch.truncate(mark);
+                    self.dirty -= 1;
+                    self.stats.records -= 1;
+                    self.stats.appended_bytes -= framed.len() as u64;
+                }
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -402,6 +436,26 @@ mod tests {
         // The pristine prefix before the crashed append holds 1 record.
         let prefix = mem.pristine_prefix(2);
         assert_eq!(read_records(&prefix).len(), 1);
+    }
+
+    #[test]
+    fn failed_auto_commit_strips_the_record_from_the_batch() {
+        let mem = MemWal::new();
+        // group_every = 1: every append tries to commit immediately.
+        let mut wal = Wal::create(Box::new(mem.clone()), 1, 1).unwrap();
+        mem.set_io_failing(true);
+        assert!(wal.append(&WalRecord::Remove { id: 7 }).is_err());
+        // The failed record left no trace: not in the stats, and not in
+        // the batch a later commit would flush.
+        assert_eq!(wal.stats().records, 0);
+        mem.set_io_failing(false);
+        wal.append(&WalRecord::Hibernate { id: 1 }).unwrap();
+        wal.commit().unwrap();
+        assert_eq!(
+            read_records(&mem.durable_image()),
+            vec![WalRecord::Hibernate { id: 1 }],
+            "the unwound Remove must not resurface in the log"
+        );
     }
 
     #[test]

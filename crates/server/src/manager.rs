@@ -993,8 +993,10 @@ impl SessionManager {
     /// [`DurabilityConfig::resident_watermark_bytes`] — the **spill
     /// pass**: while the fleet's RAM footprint (resident + hibernated
     /// bytes) exceeds the watermark, parked sessions spill oldest-idle
-    /// first to the segment files, leaving a ~16-byte locator each. One
-    /// segment fsync and one WAL fsync cover the whole pass.
+    /// first to the segment files, leaving a ~16-byte locator each. Each
+    /// spilled payload is fsynced before its `Spill` record is framed
+    /// (so a committed locator never points at unsynced bytes); one WAL
+    /// fsync covers the whole pass.
     pub fn sweep(&self) -> Result<SweepReport> {
         let mut report = SweepReport::default();
         if let Some(ttl) = self.config.hibernate_ttl {
@@ -1052,11 +1054,26 @@ impl SessionManager {
                 pending: *pending,
             };
             let freed = Slot::hibernated_bytes(history);
-            let locator = state
-                .spill
-                .lock()
-                .append(&payload)
-                .map_err(|e| ServerError::Durability(DurabilityError::Io(e.to_string())))?;
+            let locator = {
+                let mut spill = state.spill.lock();
+                let locator = spill
+                    .append(&payload)
+                    .map_err(|e| ServerError::Durability(DurabilityError::Io(e.to_string())))?;
+                // The payload must be durable before its locator can reach
+                // the log: `Wal::append` group-commits on its own schedule
+                // (this pass's quota, or a concurrent answer's), so the
+                // Spill record below may be written *and fsynced* at any
+                // moment after it is framed. Syncing here — per entry, not
+                // once after the loop — keeps the invariant that a
+                // committed Spill record always points at synced bytes, on
+                // power loss as well as process death. (`sync` is a no-op
+                // when nothing is unsynced, so back-to-back spills into
+                // one segment cost one fsync each, never more.)
+                spill
+                    .sync()
+                    .map_err(|e| ServerError::Durability(DurabilityError::Io(e.to_string())))?;
+                locator
+            };
             // The Spill record is appended while the session mutex is
             // still held, so no post-wake Answers record can slip in
             // front of it.
@@ -1075,14 +1092,6 @@ impl SessionManager {
             report.spilled_bytes_written += locator.len as usize;
             total -= freed;
         }
-        // Segment durability precedes the WAL commit that publishes the
-        // locators (the caller's flush_wal), so a synced Spill record
-        // never points at unsynced payload bytes.
-        state
-            .spill
-            .lock()
-            .sync()
-            .map_err(|e| ServerError::Durability(DurabilityError::Io(e.to_string())))?;
         Ok(())
     }
 
@@ -1108,13 +1117,18 @@ impl SessionManager {
     /// recovery tolerates and skips them.)
     pub fn remove(&self, id: SessionId) -> Result<()> {
         let mut shard = self.shard(id).write();
-        shard
-            .remove(&id)
-            .map(drop)
-            .ok_or(ServerError::UnknownSession(id))?;
+        if !shard.contains_key(&id) {
+            return Err(ServerError::UnknownSession(id));
+        }
+        // Log first, delete second (the mirror of insert_logged's unwind):
+        // a WAL failure leaves the session live and the Remove unlogged,
+        // so the table and the log agree either way — never a removal the
+        // caller saw fail that recovery silently honors, nor one that
+        // succeeded but recovery resurrects.
         if let Some(state) = &self.durability {
             state.log(&WalRecord::Remove { id })?;
         }
+        shard.remove(&id);
         Ok(())
     }
 }
@@ -1684,5 +1698,52 @@ mod tests {
         assert!(after.wal_records >= 3);
         // The durable image now contains everything the pristine one does.
         assert_eq!(wal.durable_image(), wal.pristine_image());
+    }
+
+    #[test]
+    fn wal_failures_unwind_create_and_leave_removed_sessions_live() {
+        let universe = Arc::new(Universe::build(flight_hotel()));
+        let wal = MemWal::new();
+        let (m, _) = durable_pair(
+            &universe,
+            wal.clone(),
+            MemSegments::new(),
+            // Per-record commits: every append hits the storage at once,
+            // so the injected failure fires inside the logging call.
+            DurabilityConfig {
+                group_commit_every: 1,
+                ..DurabilityConfig::default()
+            },
+        );
+        let keep = m.create_session(StrategyConfig::Bu).unwrap();
+        wal.set_io_failing(true);
+        // A create whose record cannot be logged is unwound: the caller
+        // gets the error and no session.
+        assert!(matches!(
+            m.create_session(StrategyConfig::Td),
+            Err(ServerError::Durability(_))
+        ));
+        assert_eq!(m.session_count(), 1);
+        // A remove whose record cannot be logged leaves the session live —
+        // the table never runs ahead of the log.
+        assert!(matches!(m.remove(keep), Err(ServerError::Durability(_))));
+        assert_eq!(m.session_count(), 1);
+        assert_eq!(m.interactions(keep).unwrap(), 0);
+        wal.set_io_failing(false);
+        m.flush_wal().unwrap();
+        drop(m);
+
+        // Recovery agrees with what the callers were told: `keep` exists,
+        // the failed create left no phantom, the failed remove removed
+        // nothing.
+        let (r, report) = durable_pair(
+            &universe,
+            MemWal::from_bytes(wal.durable_image()),
+            MemSegments::new(),
+            DurabilityConfig::default(),
+        );
+        assert_eq!(report.sessions, 1);
+        assert_eq!(r.session_count(), 1);
+        assert_eq!(r.interactions(keep).unwrap(), 0);
     }
 }
