@@ -20,7 +20,10 @@
 //!   `overhead_group_x` (the in-memory/WAL-on throughput ratio) against
 //!   an **absolute** ceiling of `factor` (WAL-on interactive throughput
 //!   must stay within 3x of in-memory on any machine), and recovery
-//!   `sessions_per_sec` as a floor.
+//!   `sessions_per_sec` as a floor. When the baseline carries a
+//!   `transport` block (PR 8+), the HTTP request `mean_us` is guarded
+//!   like the other latencies, `open_connections_peak` must not shrink,
+//!   and `protocol_errors` must be zero.
 //! * `--kind scaling` — per dataset point matched **by name**,
 //!   `build_speedup` must not shrink below `baseline / factor` and
 //!   `l1s_first_step_ms` / `l3s_first_step_ms` must not exceed
@@ -188,6 +191,40 @@ fn guard_server(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(), 
     let b = num(baseline, &["durability", "recovery", "sessions_per_sec"])
         .ok_or("baseline lacks recovery sessions_per_sec")?;
     guard.at_least("durability recovery sessions_per_sec", f, b);
+    // Transport phase: guarded only when the committed baseline carries
+    // it (older baselines predate the HTTP gateway — the skip-if-absent
+    // posture the scaling guard uses for grown sweeps). The fresh report
+    // must carry it once the baseline does.
+    if baseline.get("transport").is_some() {
+        let f = num(fresh, &["transport", "request_latency", "mean_us"])
+            .ok_or("fresh report lacks transport request mean_us")?;
+        let b = num(baseline, &["transport", "request_latency", "mean_us"])
+            .ok_or("baseline lacks transport request mean_us")?;
+        guard.at_most("transport request mean_us", f, b);
+        // Concurrency coverage is machine-independent: the fresh run must
+        // hold open at least as many connections as the baseline did.
+        let f = num(fresh, &["transport", "open_connections_peak"])
+            .ok_or("fresh report lacks transport open_connections_peak")?;
+        let b = num(baseline, &["transport", "open_connections_peak"])
+            .ok_or("baseline lacks transport open_connections_peak")?;
+        if f < b {
+            guard.violations.push(format!(
+                "transport open_connections_peak: {f:.0} below baseline {b:.0} \
+                 (concurrency coverage must not shrink)"
+            ));
+        }
+        guard.checked += 1;
+        // The wire must be clean: any protocol error in the fresh run is
+        // a regression regardless of factor.
+        let f = num(fresh, &["transport", "protocol_errors"])
+            .ok_or("fresh report lacks transport protocol_errors")?;
+        if f > 0.0 {
+            guard
+                .violations
+                .push(format!("transport protocol_errors: {f:.0} (must be 0)"));
+        }
+        guard.checked += 1;
+    }
     Ok(())
 }
 

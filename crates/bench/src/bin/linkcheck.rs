@@ -1,0 +1,195 @@
+//! CI guard: every relative link in the repo's markdown must resolve.
+//!
+//! ```text
+//! linkcheck [ROOT]
+//! ```
+//!
+//! Walks `ROOT` (default `.`) for `*.md` files — skipping `target/`,
+//! `.git/`, and anything else that starts with a dot — extracts inline
+//! `[text](destination)` links plus reference definitions
+//! (`[label]: destination`), and checks that every *relative*
+//! destination exists on disk, resolved against the linking file's
+//! directory. External schemes (`http:`, `https:`, `mailto:`) and
+//! pure in-page anchors (`#…`) are skipped; a `path#anchor` suffix is
+//! stripped before the existence check. Exits nonzero listing every
+//! broken link, so docs can't drift from the tree they describe.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn markdown_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            markdown_files(&path, out)?;
+        } else if name.to_ascii_lowercase().ends_with(".md") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Extracts link destinations from one markdown document: inline
+/// `[text](dest)` (tolerating one level of nested brackets in the text,
+/// e.g. image-in-link) and reference definitions `[label]: dest` at
+/// line starts. Fenced code blocks are skipped — schemas and shell
+/// examples are full of `[...]` that are not links.
+fn destinations(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Reference definition: [label]: destination
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            if let Some(close) = rest.find(']') {
+                if let Some(dest) = rest[close + 1..].strip_prefix(':') {
+                    let dest = dest.trim();
+                    if !dest.is_empty() {
+                        out.push(dest.split_whitespace().next().unwrap().to_string());
+                        continue;
+                    }
+                }
+            }
+        }
+        // Inline links: scan for ](dest), then walk brackets back.
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    match bytes[j] {
+                        b'(' => depth += 1,
+                        b')' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth == 0 {
+                    let dest = line[start..j - 1].trim();
+                    // `[x](dest "title")` — the destination is the
+                    // first whitespace-delimited token.
+                    if let Some(first) = dest.split_whitespace().next() {
+                        out.push(first.to_string());
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `true` when the destination is out of scope for a filesystem check.
+fn is_external(dest: &str) -> bool {
+    dest.starts_with('#')
+        || dest.contains("://")
+        || dest.starts_with("mailto:")
+        || dest.starts_with("data:")
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let mut files = Vec::new();
+    if let Err(e) = markdown_files(&root, &mut files) {
+        eprintln!("linkcheck: cannot walk {}: {e}", root.display());
+        return ExitCode::FAILURE;
+    }
+    files.sort();
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                broken.push(format!("{}: unreadable: {e}", file.display()));
+                continue;
+            }
+        };
+        let dir = file.parent().unwrap_or(Path::new("."));
+        for dest in destinations(&text) {
+            if is_external(&dest) {
+                continue;
+            }
+            let path_part = dest.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            let target = if let Some(abs) = path_part.strip_prefix('/') {
+                root.join(abs)
+            } else {
+                dir.join(path_part)
+            };
+            if !target.exists() {
+                broken.push(format!(
+                    "{}: broken link {dest:?} (resolved to {})",
+                    file.display(),
+                    target.display()
+                ));
+            }
+        }
+    }
+    if broken.is_empty() {
+        println!(
+            "linkcheck: {checked} relative links across {} markdown files all resolve",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("linkcheck: {} broken link(s):", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_and_reference_links_and_skips_fences() {
+        let md = "\
+see [docs](docs/API.md) and [ext](https://example.com) plus [a](#x)\n\
+[ref]: ../other.md\n\
+```\n\
+not a [link](inside/fence.md)\n\
+```\n\
+[titled](path/to.md \"title\")\n";
+        let d = destinations(md);
+        assert_eq!(
+            d,
+            vec![
+                "docs/API.md",
+                "https://example.com",
+                "#x",
+                "../other.md",
+                "path/to.md"
+            ]
+        );
+        assert!(is_external("https://example.com"));
+        assert!(is_external("#x"));
+        assert!(!is_external("docs/API.md"));
+    }
+}

@@ -4,7 +4,7 @@
 //! M worker threads drive K sessions each over one shared
 //! `SessionManager` on the paper's flight & hotel instance — every session
 //! a different simulated user (goals cycle through the instance's
-//! non-nullable predicates, strategies through the paper's mix). Three
+//! non-nullable predicates, strategies through the paper's mix). Eight
 //! phases are measured:
 //!
 //! 1. **interactive** — all `M·K` sessions live at once, each driven
@@ -43,6 +43,13 @@
 //!    the whole fleet is parked, spilled to segments, the manager dropped,
 //!    and `SessionManager::recover` is timed — recovery wall clock and
 //!    sessions/s.
+//! 8. **transport** — the workload over loopback HTTP: every session gets
+//!    its own keep-alive connection through the `jqi_net` epoll server and
+//!    the `jqi_server::http` gateway (create → question/answer to
+//!    completion → snapshot → restore into a twin tenant), all `M·K`
+//!    connections held open concurrently; per-request latency is measured
+//!    client-side and the server's live `open_connections` is sampled at
+//!    a barrier while every client is still connected.
 //!
 //! The `throughput` binary renders a table and writes `BENCH_server.json`
 //! at the repo root; see the README for the schema.
@@ -366,6 +373,68 @@ impl ToJson for DurabilityReport {
     }
 }
 
+/// The transport phase: the question/answer/snapshot/restore workload
+/// again, this time over real loopback HTTP through the `jqi_net` epoll
+/// server and the `jqi_server::http` gateway — one keep-alive connection
+/// per session, all of them open concurrently, so the measurement covers
+/// wire framing, JSON bodies, routing, and the parked-connection
+/// hand-off, not just the in-process service path.
+#[derive(Debug, Clone)]
+pub struct TransportReport {
+    /// Concurrent HTTP sessions (= keep-alive connections held open).
+    pub sessions: usize,
+    /// Client threads driving the connections.
+    pub client_threads: usize,
+    /// Server worker threads serving them (the epoll pool).
+    pub server_workers: usize,
+    /// Total HTTP requests issued (create + question + answer +
+    /// snapshot + restore).
+    pub requests: usize,
+    /// Phase wall clock, seconds.
+    pub elapsed_s: f64,
+    /// Requests per second over the phase wall clock.
+    pub requests_per_sec: f64,
+    /// Client-measured per-request latency (write → full response).
+    pub request_latency: LatencySummary,
+    /// `open_connections` sampled from the server while every client
+    /// connection was still alive — the concurrency actually sustained.
+    pub open_connections_peak: usize,
+    /// Sessions restored into the twin tenant over HTTP (must equal
+    /// `sessions`).
+    pub restored: usize,
+    /// Wire-level protocol errors the server observed (must be 0).
+    pub protocol_errors: u64,
+}
+
+impl ToJson for TransportReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sessions".into(), Json::num(self.sessions as f64)),
+            (
+                "client_threads".into(),
+                Json::num(self.client_threads as f64),
+            ),
+            (
+                "server_workers".into(),
+                Json::num(self.server_workers as f64),
+            ),
+            ("requests".into(), Json::num(self.requests as f64)),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+            ("requests_per_sec".into(), Json::Num(self.requests_per_sec)),
+            ("request_latency".into(), self.request_latency.to_json()),
+            (
+                "open_connections_peak".into(),
+                Json::num(self.open_connections_peak as f64),
+            ),
+            ("restored".into(), Json::num(self.restored as f64)),
+            (
+                "protocol_errors".into(),
+                Json::num(self.protocol_errors as f64),
+            ),
+        ])
+    }
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -389,6 +458,8 @@ pub struct ThroughputReport {
     pub hibernate: HibernateReport,
     /// The durability phase (WAL overhead + timed recovery).
     pub durability: DurabilityReport,
+    /// The transport phase (the workload over loopback HTTP).
+    pub transport: TransportReport,
 }
 
 impl ToJson for ThroughputReport {
@@ -461,6 +532,7 @@ impl ToJson for ThroughputReport {
             ("fleet".into(), self.fleet.to_json()),
             ("hibernate".into(), self.hibernate.to_json()),
             ("durability".into(), self.durability.to_json()),
+            ("transport".into(), self.transport.to_json()),
         ])
     }
 }
@@ -547,6 +619,22 @@ impl ThroughputReport {
             self.durability.recovery.wal_records,
             self.durability.recovery.elapsed_ms,
             self.durability.recovery.sessions_per_sec,
+        );
+        let _ = writeln!(
+            out,
+            "transport: {} concurrent HTTP sessions ({} open at peak, {} client threads → \
+             {} server workers), {} requests at {:.0} req/s; mean {:.1} µs / p95 {:.1} µs, \
+             {} restored over the wire, {} protocol errors",
+            self.transport.sessions,
+            self.transport.open_connections_peak,
+            self.transport.client_threads,
+            self.transport.server_workers,
+            self.transport.requests,
+            self.transport.requests_per_sec,
+            self.transport.request_latency.mean_us,
+            self.transport.request_latency.p95_us,
+            self.transport.restored,
+            self.transport.protocol_errors,
         );
         out
     }
@@ -859,6 +947,11 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
     // recovery of the whole fleet.
     let durability = durability_phase(&params, &universe, &plans, &interactive);
 
+    // Phase 8: transport — the workload over loopback HTTP through the
+    // `jqi_net` server and the gateway, one keep-alive connection per
+    // session, all open at once.
+    let transport = transport_phase(&params, &universe, &plans);
+
     ThroughputReport {
         params,
         concurrent_sessions: total_sessions,
@@ -869,6 +962,195 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         fleet,
         hibernate,
         durability,
+        transport,
+    }
+}
+
+/// Drives the full session lifecycle over loopback HTTP: every session
+/// gets its own keep-alive connection, all `threads ×
+/// sessions_per_thread` connections are held open concurrently, and each
+/// session runs create → question/answer to completion → snapshot →
+/// restore into a twin tenant, timing every request from first byte
+/// written to full response read. `open_connections_peak` is sampled
+/// from live [`jqi_net::NetStats`] at a barrier while every client is
+/// still connected, so the reported concurrency is observed, not
+/// assumed.
+fn transport_phase(
+    params: &ThroughputParams,
+    universe: &Arc<Universe>,
+    plans: &[SessionPlan],
+) -> TransportReport {
+    use jqi_net::{Client, NetConfig};
+    use jqi_server::http::{serve, UniverseRegistry};
+    use jqi_server::json::Json as Wire;
+    use std::sync::Barrier;
+
+    let sessions = params.threads * params.sessions_per_thread;
+    let server_config = ServerConfig {
+        shards: params.shards,
+        ..ServerConfig::default()
+    };
+    let registry = Arc::new(UniverseRegistry::new());
+    registry
+        .register(
+            "bench",
+            Arc::new(SessionManager::new(
+                Arc::clone(universe),
+                server_config.clone(),
+            )),
+        )
+        .expect("fresh registry");
+    registry
+        .register(
+            "twin",
+            Arc::new(SessionManager::new(
+                Arc::clone(universe),
+                server_config.clone(),
+            )),
+        )
+        .expect("fresh registry");
+    let net = NetConfig {
+        max_connections: sessions + 64,
+        ..NetConfig::default()
+    };
+    let server_workers = net.workers;
+    let (mut server, _gateway) =
+        serve(Arc::clone(&registry), "127.0.0.1:0", net).expect("loopback bind");
+    let addr = server.local_addr();
+
+    fn text(resp: &jqi_net::ClientResponse) -> &str {
+        resp.body_str().expect("utf-8 response")
+    }
+
+    // Rendezvous twice: once with every connection still open (main
+    // samples the server's live stats), once to release the clients.
+    let barrier = Barrier::new(params.threads + 1);
+    let phase_start = Instant::now();
+    let mut latencies: Vec<Vec<u64>> = Vec::with_capacity(params.threads);
+    let mut restored = 0usize;
+    let mut open_connections_peak = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..params.threads)
+            .map(|t| {
+                let universe = Arc::clone(universe);
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let lo = t * params.sessions_per_thread;
+                    let mut lat = Vec::new();
+                    let mut clients: Vec<Client> = (0..params.sessions_per_thread)
+                        .map(|_| Client::connect(addr).expect("loopback connect"))
+                        .collect();
+
+                    // Create: one session per connection.
+                    let mut sids: Vec<u64> = Vec::with_capacity(clients.len());
+                    for (k, client) in clients.iter_mut().enumerate() {
+                        let body = format!("{{\"strategy\": \"{}\"}}", plans[lo + k].config);
+                        let t0 = Instant::now();
+                        let resp = client
+                            .post("/v1/universes/bench/sessions", &body)
+                            .expect("create over http");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        assert_eq!(resp.status, 201, "{}", text(&resp));
+                        let doc = Wire::parse(text(&resp)).expect("json body");
+                        sids.push(
+                            doc.get("session").and_then(Wire::as_num).expect("session") as u64
+                        );
+                    }
+
+                    // Drive sessions round-robin (one question per visit)
+                    // so the whole slice stays in flight together.
+                    let mut done = vec![false; clients.len()];
+                    let mut live = clients.len();
+                    while live > 0 {
+                        for k in 0..clients.len() {
+                            if done[k] {
+                                continue;
+                            }
+                            let path = format!("/v1/universes/bench/sessions/{}/question", sids[k]);
+                            let t0 = Instant::now();
+                            let resp = clients[k].get(&path).expect("question over http");
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                            assert_eq!(resp.status, 200, "{}", text(&resp));
+                            let doc = Wire::parse(text(&resp)).expect("json body");
+                            if doc.get("done") == Some(&Wire::Bool(true)) {
+                                done[k] = true;
+                                live -= 1;
+                                continue;
+                            }
+                            let class = doc
+                                .get("question")
+                                .and_then(|q| q.get("class"))
+                                .and_then(Wire::as_num)
+                                .expect("open question")
+                                as ClassId;
+                            let label = match oracle_label(&universe, &plans[lo + k].goal, class) {
+                                Label::Positive => "+",
+                                Label::Negative => "-",
+                            };
+                            let body = format!(
+                                "{{\"answers\": [{{\"class\": {class}, \"label\": \"{label}\"}}]}}"
+                            );
+                            let path = format!("/v1/universes/bench/sessions/{}/answers", sids[k]);
+                            let t0 = Instant::now();
+                            let resp = clients[k].post(&path, &body).expect("answer over http");
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                            assert_eq!(resp.status, 200, "{}", text(&resp));
+                        }
+                    }
+
+                    // Snapshot each finished session, restore it into the
+                    // twin tenant over the same connection.
+                    let mut thread_restored = 0usize;
+                    for (k, client) in clients.iter_mut().enumerate() {
+                        let path = format!("/v1/universes/bench/sessions/{}/snapshot", sids[k]);
+                        let t0 = Instant::now();
+                        let snap = client.get(&path).expect("snapshot over http");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        assert_eq!(snap.status, 200, "{}", text(&snap));
+                        let body = text(&snap).to_string();
+                        let t0 = Instant::now();
+                        let resp = client
+                            .post("/v1/universes/twin/restore", &body)
+                            .expect("restore over http");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        assert_eq!(resp.status, 201, "{}", text(&resp));
+                        thread_restored += 1;
+                    }
+
+                    barrier.wait(); // work done, every connection still open
+                    barrier.wait(); // main has sampled open_connections
+                    (lat, thread_restored)
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        open_connections_peak = server.stats().open_connections;
+        barrier.wait();
+
+        for handle in handles {
+            let (lat, thread_restored) = handle.join().expect("no panics");
+            latencies.push(lat);
+            restored += thread_restored;
+        }
+    });
+    let elapsed_s = phase_start.elapsed().as_secs_f64();
+    let net_stats = server.stats();
+    server.shutdown();
+
+    let all: Vec<u64> = latencies.into_iter().flatten().collect();
+    let requests = all.len();
+    TransportReport {
+        sessions,
+        client_threads: params.threads,
+        server_workers,
+        requests,
+        elapsed_s,
+        requests_per_sec: requests as f64 / elapsed_s,
+        request_latency: LatencySummary::of(all),
+        open_connections_peak,
+        restored,
+        protocol_errors: net_stats.protocol_errors,
     }
 }
 
@@ -1156,6 +1438,19 @@ mod tests {
         );
         assert!(d.recovery.wal_records > 0);
         assert!(d.recovery.sessions_per_sec > 0.0);
+        // Transport phase: every session ran its whole lifecycle over a
+        // live HTTP connection, all connections were observed open at
+        // once, and the wire stayed clean.
+        let t = &report.transport;
+        assert_eq!(t.sessions, 16);
+        assert_eq!(t.open_connections_peak, 16);
+        assert_eq!(t.restored, 16);
+        assert_eq!(t.protocol_errors, 0);
+        // create + snapshot + restore per session, plus at least one
+        // question round-trip each.
+        assert!(t.requests >= 4 * t.sessions);
+        assert_eq!(t.request_latency.count, t.requests);
+        assert!(t.requests_per_sec > 0.0);
         // The JSON report carries the acceptance-relevant fields.
         let json = report.to_json().to_string_pretty();
         for needle in [
@@ -1184,6 +1479,9 @@ mod tests {
             "wal_sync",
             "overhead_group_x",
             "sessions_per_sec",
+            "transport",
+            "request_latency",
+            "open_connections_peak",
         ] {
             assert!(json.contains(needle), "missing {needle} in report");
         }

@@ -1,0 +1,75 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection.
+//!
+//! Exists for the loopback consumers of the stack — the integration
+//! tests, `examples/http_client.rs`, and the `transport` bench phase —
+//! so none of them has to hand-roll sockets. One [`Client`] is one
+//! connection; open several for concurrency.
+
+use crate::wire::{format_request, read_client_response, ClientResponse, HttpError, Limits};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One keep-alive connection to an HTTP server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl Client {
+    /// Connects with a 10-second read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit per-read timeout.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            limits: Limits {
+                // Responses (stats dumps, snapshots) can be bigger than
+                // what we let clients upload.
+                max_body_bytes: 64 << 20,
+                ..Limits::default()
+            },
+        })
+    }
+
+    /// Sends one request and reads the matching response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, HttpError> {
+        use std::io::Write;
+        let bytes = format_request(method, path, body, false);
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        read_client_response(&mut self.stream, &mut self.buf, &self.limits)
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, HttpError> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse, HttpError> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
+    /// `DELETE path`.
+    pub fn delete(&mut self, path: &str) -> Result<ClientResponse, HttpError> {
+        self.request("DELETE", path, None)
+    }
+}

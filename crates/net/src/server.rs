@@ -1,0 +1,609 @@
+//! The listener, the epoll event loop, and the bounded worker pool.
+//!
+//! ```text
+//!  accept thread ──registers──▶ epoll (one-shot readable)
+//!                                  │ readiness tokens
+//!                                  ▼
+//!                          event-loop thread ──▶ ready queue ──▶ N workers
+//!                                                                  │
+//!                    parked connection table ◀──re-arm/keep-alive──┘
+//! ```
+//!
+//! A connection is **parked** (owned by the table, armed one-shot in
+//! epoll) whenever no request is in flight, so ten thousand idle
+//! keep-alive connections cost a file descriptor and a table entry each —
+//! no thread. When epoll reports bytes, the event loop pushes the token
+//! onto the ready queue and exactly one worker takes the connection out
+//! of the table, reads one full request (with the socket's read timeout
+//! as the slow-client bound), calls the [`Handler`], writes the response,
+//! and either re-parks + re-arms the connection or closes it. Pipelined
+//! requests already in the connection's buffer are served before parking
+//! — re-arming would never fire for bytes this process has already read.
+//!
+//! Protocol errors are answered with the status mapped by
+//! [`HttpError::status`] (or a silent close for idle timeouts) and the
+//! connection is dropped; a handler panic is caught per-request and
+//! answered with `500`, so one bad request can never take the worker —
+//! let alone the process — down.
+//!
+//! On non-Linux hosts (the epoll module is Linux-only) a portable
+//! fallback serves each connection on a worker thread for its whole
+//! lifetime; the API is identical, concurrency is bounded by the pool.
+
+use crate::wire::{
+    read_request, write_response, HttpError, Limits, Request, Response, DEFAULT_READ_TIMEOUT,
+};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The application half of the server: turns one request into one
+/// response. Implementations must be shareable across the worker pool.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one parsed request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// Transport configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker threads reading requests and running the handler.
+    pub workers: usize,
+    /// Open-connection ceiling; connections past it are answered `503`
+    /// and closed at accept time.
+    pub max_connections: usize,
+    /// Per-read socket timeout — the bound on a slow or stalled client
+    /// holding a worker mid-request (and, in the portable fallback, the
+    /// keep-alive idle bound).
+    pub read_timeout: Duration,
+    /// Wire-level size ceilings ([`Limits`]).
+    pub limits: Limits,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 8,
+            max_connections: 4096,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Live transport counters, all monotonic except `open_connections`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused with `503` at the `max_connections` ceiling.
+    pub rejected: u64,
+    /// Connections currently open (parked or in flight).
+    pub open_connections: usize,
+    /// Requests fully parsed and handled.
+    pub requests: u64,
+    /// Requests answered with a wire-level error status (`400`, `408`,
+    /// `413`, `431`, `501`) or dropped mid-message.
+    pub protocol_errors: u64,
+    /// Handler panics caught and answered with `500`.
+    pub handler_panics: u64,
+}
+
+/// Shared across the accept thread, event loop, and workers.
+struct Shared {
+    handler: Arc<dyn Handler>,
+    config: NetConfig,
+    shutdown: AtomicBool,
+    /// Parked connections, keyed by token.
+    parked: Mutex<HashMap<u64, Conn>>,
+    #[cfg(target_os = "linux")]
+    epoll: crate::sys::Epoll,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    open: AtomicUsize,
+    requests: AtomicU64,
+    protocol_errors: AtomicU64,
+    handler_panics: AtomicU64,
+}
+
+/// One connection between requests: the socket plus any buffered bytes a
+/// previous read pulled in past the last message boundary.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// What to do with the connection after serving from it.
+enum Served {
+    /// Keep the connection; more buffered bytes may follow.
+    KeepAlive,
+    /// Close it (response asked, protocol error, or socket error).
+    Close,
+}
+
+impl Shared {
+    /// Reads + handles exactly one request on `conn`. The caller owns the
+    /// connection for the duration.
+    fn serve_one(&self, conn: &mut Conn) -> Served {
+        let request = match read_request(&mut conn.stream, &mut conn.buf, &self.config.limits) {
+            Ok(request) => request,
+            Err(error) => {
+                if !matches!(error, HttpError::Closed | HttpError::IdleTimeout) {
+                    self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(status) = error.status() {
+                    let body = format!(
+                        "{{\"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
+                        error.code(),
+                        error.to_string().replace('"', "'")
+                    );
+                    let _ =
+                        write_response(&mut conn.stream, &Response::json(status, body).closing());
+                }
+                return Served::Close;
+            }
+        };
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        // A panicking handler answers 500 and costs the request, not the
+        // worker: the session table and registry are lock-poisoning-free
+        // (parking_lot), so the service stays coherent.
+        let handler = Arc::clone(&self.handler);
+        let mut response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
+                .unwrap_or_else(|_| {
+                    self.handler_panics.fetch_add(1, Ordering::Relaxed);
+                    Response::json(
+                        500,
+                        "{\"error\": {\"code\": \"internal\", \"message\": \"handler panicked\"}}"
+                            .into(),
+                    )
+                    .closing()
+                });
+        if request.close {
+            response.close = true;
+        }
+        if write_response(&mut conn.stream, &response).is_err() || response.close {
+            return Served::Close;
+        }
+        Served::KeepAlive
+    }
+
+    fn close_conn(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A running HTTP server. Dropping it shuts it down gracefully.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (`"127.0.0.1:0"` picks a free loopback port) and
+    /// starts the accept thread, the event loop, and `config.workers`
+    /// workers. The server runs until [`Server::shutdown`] (or drop).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn Handler>,
+        config: NetConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            handler,
+            config,
+            shutdown: AtomicBool::new(false),
+            parked: Mutex::new(HashMap::new()),
+            #[cfg(target_os = "linux")]
+            epoll: crate::sys::Epoll::new()?,
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            open: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            handler_panics: AtomicU64::new(0),
+        });
+        let threads = Self::spawn_threads(&shared, listener, workers)?;
+        Ok(Server {
+            local_addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `:0` was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the transport counters.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            open_connections: self.shared.open.load(Ordering::Relaxed),
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            handler_panics: self.shared.handler_panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, drains the threads, and closes every parked
+    /// connection. In-flight requests finish; parked keep-alive
+    /// connections are dropped without ceremony.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept thread with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        self.shared.parked.lock().expect("not poisoned").clear();
+    }
+
+    #[cfg(target_os = "linux")]
+    fn spawn_threads(
+        shared: &Arc<Shared>,
+        listener: TcpListener,
+        workers: usize,
+    ) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
+        use std::os::fd::AsRawFd;
+
+        let (ready_tx, ready_rx) = mpsc::channel::<u64>();
+        let ready_rx = Arc::new(Mutex::new(ready_rx));
+        let mut threads = Vec::with_capacity(workers + 2);
+
+        // Accept thread: park + arm each connection.
+        {
+            let shared = Arc::clone(shared);
+            let next_token = AtomicU64::new(0);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("jqi-net-accept".into())
+                    .spawn(move || {
+                        for incoming in listener.incoming() {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = incoming else { continue };
+                            shared.accepted.fetch_add(1, Ordering::Relaxed);
+                            if shared.open.load(Ordering::Relaxed) >= shared.config.max_connections
+                            {
+                                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                                let mut stream = stream;
+                                let _ = write_response(
+                                    &mut stream,
+                                    &Response::json(
+                                        503,
+                                        "{\"error\": {\"code\": \"overloaded\", \
+                                         \"message\": \"connection limit reached\"}}"
+                                            .into(),
+                                    )
+                                    .closing(),
+                                );
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+                            let fd = stream.as_raw_fd();
+                            let token = next_token.fetch_add(1, Ordering::Relaxed);
+                            shared.open.fetch_add(1, Ordering::Relaxed);
+                            shared.parked.lock().expect("not poisoned").insert(
+                                token,
+                                Conn {
+                                    stream,
+                                    buf: Vec::new(),
+                                },
+                            );
+                            if shared.epoll.add(fd, token).is_err() {
+                                shared.parked.lock().expect("not poisoned").remove(&token);
+                                shared.close_conn();
+                            }
+                        }
+                    })?,
+            );
+        }
+
+        // Event loop: translate epoll readiness into ready-queue tokens.
+        {
+            let shared = Arc::clone(shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("jqi-net-events".into())
+                    .spawn(move || {
+                        let mut events = Vec::with_capacity(256);
+                        loop {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            match shared.epoll.wait(&mut events, 100) {
+                                Ok(0) => continue,
+                                Ok(n) => {
+                                    for event in events.iter().take(n) {
+                                        // Copy out of the (possibly packed)
+                                        // event before use.
+                                        let token = { event.data };
+                                        if ready_tx.send(token).is_err() {
+                                            return;
+                                        }
+                                    }
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        // ready_tx drops here; workers drain and exit.
+                    })?,
+            );
+        }
+
+        // Workers: one request per wake-up, then re-park + re-arm.
+        for w in 0..workers {
+            let shared = Arc::clone(shared);
+            let ready_rx = Arc::clone(&ready_rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("jqi-net-worker-{w}"))
+                    .spawn(move || loop {
+                        let token = {
+                            let rx = ready_rx.lock().expect("not poisoned");
+                            match rx.recv() {
+                                Ok(token) => token,
+                                Err(_) => return,
+                            }
+                        };
+                        // A token may outlive its connection (closed by a
+                        // racing error path); missing entries are stale.
+                        let conn = shared.parked.lock().expect("not poisoned").remove(&token);
+                        let Some(mut conn) = conn else { continue };
+                        loop {
+                            match shared.serve_one(&mut conn) {
+                                Served::Close => {
+                                    shared.close_conn();
+                                    break;
+                                }
+                                Served::KeepAlive if !conn.buf.is_empty() => {
+                                    // Pipelined: the next request is already
+                                    // in userspace, epoll would never fire.
+                                    continue;
+                                }
+                                Served::KeepAlive => {
+                                    use std::os::fd::AsRawFd;
+                                    let fd = conn.stream.as_raw_fd();
+                                    shared
+                                        .parked
+                                        .lock()
+                                        .expect("not poisoned")
+                                        .insert(token, conn);
+                                    if shared.epoll.rearm(fd, token).is_err() {
+                                        shared.parked.lock().expect("not poisoned").remove(&token);
+                                        shared.close_conn();
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                    })?,
+            );
+        }
+        Ok(threads)
+    }
+
+    /// Portable fallback: each accepted connection is owned by one worker
+    /// for its whole keep-alive lifetime (concurrency = pool size).
+    #[cfg(not(target_os = "linux"))]
+    fn spawn_threads(
+        shared: &Arc<Shared>,
+        listener: TcpListener,
+        workers: usize,
+    ) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
+        let (conn_tx, conn_rx) = mpsc::channel::<Conn>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let shared = Arc::clone(shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("jqi-net-accept".into())
+                    .spawn(move || {
+                        for incoming in listener.incoming() {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let Ok(stream) = incoming else { continue };
+                            shared.accepted.fetch_add(1, Ordering::Relaxed);
+                            if shared.open.load(Ordering::Relaxed) >= shared.config.max_connections
+                            {
+                                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+                            shared.open.fetch_add(1, Ordering::Relaxed);
+                            if conn_tx
+                                .send(Conn {
+                                    stream,
+                                    buf: Vec::new(),
+                                })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                    })?,
+            );
+        }
+        for w in 0..workers {
+            let shared = Arc::clone(shared);
+            let conn_rx = Arc::clone(&conn_rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("jqi-net-worker-{w}"))
+                    .spawn(move || loop {
+                        let conn = {
+                            let rx = conn_rx.lock().expect("not poisoned");
+                            match rx.recv() {
+                                Ok(conn) => conn,
+                                Err(_) => return,
+                            }
+                        };
+                        let mut conn = conn;
+                        loop {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            if matches!(shared.serve_one(&mut conn), Served::Close) {
+                                break;
+                            }
+                        }
+                        shared.close_conn();
+                    })?,
+            );
+        }
+        Ok(threads)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+// Unused-field lint helper: the portable fallback never touches `parked`.
+#[cfg(not(target_os = "linux"))]
+impl Shared {
+    #[allow(dead_code)]
+    fn touch_parked(&self) -> usize {
+        self.parked.lock().expect("not poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn echo_server() -> Server {
+        let handler: Arc<dyn Handler> = Arc::new(|request: &Request| {
+            if request.path == "/panic" {
+                panic!("boom");
+            }
+            Response::json(
+                200,
+                format!(
+                    "{{\"method\": \"{}\", \"path\": \"{}\", \"body_len\": {}}}",
+                    request.method,
+                    request.path,
+                    request.body.len()
+                ),
+            )
+        });
+        Server::bind("127.0.0.1:0", handler, NetConfig::default()).expect("loopback bind")
+    }
+
+    #[test]
+    fn serves_keep_alive_requests_over_one_connection() {
+        let mut server = echo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for i in 0..10 {
+            let response = client.get(&format!("/ping/{i}")).unwrap();
+            assert_eq!(response.status, 200);
+            assert!(response.body_str().unwrap().contains(&format!("/ping/{i}")));
+        }
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 1, "keep-alive reused the connection");
+        assert_eq!(stats.requests, 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_many_concurrent_connections_with_a_small_pool() {
+        let mut server = echo_server();
+        let addr = server.local_addr();
+        // 64 connections, 4× the worker pool: parked connections must not
+        // hold workers.
+        let mut clients: Vec<Client> = (0..64).map(|_| Client::connect(addr).unwrap()).collect();
+        for round in 0..3 {
+            for (i, client) in clients.iter_mut().enumerate() {
+                let response = client.get(&format!("/c{i}/r{round}")).unwrap();
+                assert_eq!(response.status, 200);
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 64);
+        assert_eq!(stats.requests, 64 * 3);
+        assert_eq!(stats.open_connections, 64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_handler_panic_costs_the_request_not_the_server() {
+        let mut server = echo_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let response = client.get("/panic").unwrap();
+        assert_eq!(response.status, 500);
+        assert!(response.body_str().unwrap().contains("internal"));
+        // The server still answers fresh connections.
+        let mut client2 = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(client2.get("/ok").unwrap().status, 200);
+        assert_eq!(server.stats().handler_panics, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_and_a_close() {
+        use std::io::{Read, Write};
+        let mut server = echo_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"BOGUS\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "got {response:?}");
+        assert!(response.contains("malformed_request"));
+        assert_eq!(server.stats().protocol_errors, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_cleanly() {
+        let mut server = echo_server();
+        let addr = server.local_addr();
+        let _parked = Client::connect(addr).unwrap();
+        server.shutdown();
+        server.shutdown();
+        assert!(
+            Client::connect(addr).is_err() || {
+                // The OS may accept into the dead listener's backlog; a
+                // request must at least fail.
+                let mut c = Client::connect(addr).unwrap();
+                c.get("/x").is_err()
+            }
+        );
+    }
+}

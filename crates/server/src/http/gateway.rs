@@ -1,0 +1,547 @@
+//! The JSON gateway: routes HTTP requests to [`SessionManager`] calls.
+//!
+//! The gateway is a [`jqi_net::Handler`]: pure request → response, no
+//! sockets, no threads — the transport crate owns those. Routing is a
+//! match over path segments; bodies are parsed with the same vendored
+//! [`crate::json`] reader the snapshot format uses. Every failure mode
+//! maps to one JSON error shape,
+//!
+//! ```json
+//! {"error": {"code": "…", "message": "…"}}
+//! ```
+//!
+//! with `universe_mismatch` additionally carrying the `expected`/`found`
+//! fingerprints as hex strings — the loud cross-universe rejection the
+//! durability tier insists on, surfaced over the wire. The full
+//! endpoint-by-endpoint contract lives in `docs/API.md`.
+
+use crate::http::metrics::GatewayMetrics;
+use crate::http::registry::{valid_universe_id, UniverseEntry, UniverseRegistry};
+use crate::json::Json;
+use crate::manager::{ManagerStats, ServerError, SessionId, SessionManager};
+use crate::snapshot::SessionSnapshot;
+use jqi_core::{Candidate, ClassId, Label, StrategyConfig};
+use jqi_net::{Request, Response};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Largest accepted `answers` array in one batch. Batches beyond it are
+/// refused with `413 batch_too_large` before any answer is applied.
+pub const MAX_ANSWER_BATCH: usize = 4096;
+
+/// The HTTP/JSON front end over a [`UniverseRegistry`].
+pub struct Gateway {
+    registry: Arc<UniverseRegistry>,
+    metrics: Arc<GatewayMetrics>,
+}
+
+impl Gateway {
+    /// Wraps a registry. The returned gateway is ready to be passed to
+    /// [`jqi_net::Server::bind`] (via [`crate::http::serve`]).
+    pub fn new(registry: Arc<UniverseRegistry>) -> Gateway {
+        Gateway {
+            registry,
+            metrics: Arc::new(GatewayMetrics::new()),
+        }
+    }
+
+    /// The registry this gateway routes into.
+    pub fn registry(&self) -> &Arc<UniverseRegistry> {
+        &self.registry
+    }
+
+    /// The live per-endpoint latency histograms (also served under
+    /// `"endpoints"` in `GET /v1/stats`).
+    pub fn metrics(&self) -> &Arc<GatewayMetrics> {
+        &self.metrics
+    }
+
+    fn route(&self, request: &Request) -> Response {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let method = request.method.as_str();
+        match segments.as_slice() {
+            ["v1", "stats"] => match method {
+                "GET" => self.timed(&self.metrics.stats, || self.stats()),
+                _ => method_not_allowed("GET"),
+            },
+            ["v1", "universes"] => match method {
+                "GET" => self.timed(&self.metrics.stats, || self.list_universes()),
+                _ => method_not_allowed("GET"),
+            },
+            ["v1", "universes", uid, "sessions"] => match method {
+                "POST" => self.with_universe(uid, &self.metrics.create_session, |m| {
+                    create_session(m, request)
+                }),
+                _ => method_not_allowed("POST"),
+            },
+            ["v1", "universes", uid, "restore"] => match method {
+                "POST" => self.with_universe(uid, &self.metrics.restore, |m| restore(m, request)),
+                _ => method_not_allowed("POST"),
+            },
+            ["v1", "universes", uid, "sessions", sid] => {
+                let Some(sid) = parse_session_id(sid) else {
+                    return error(404, "unknown_session", "session ids are integers");
+                };
+                match method {
+                    "GET" => {
+                        self.with_universe(uid, &self.metrics.session, |m| session_status(m, sid))
+                    }
+                    "DELETE" => self.with_universe(uid, &self.metrics.session, |m| {
+                        m.remove(sid).map_err(server_error)?;
+                        Ok(Response {
+                            status: 204,
+                            headers: vec![],
+                            body: vec![],
+                            close: false,
+                        })
+                    }),
+                    _ => method_not_allowed("GET, DELETE"),
+                }
+            }
+            ["v1", "universes", uid, "sessions", sid, leaf] => {
+                let Some(sid) = parse_session_id(sid) else {
+                    return error(404, "unknown_session", "session ids are integers");
+                };
+                match (*leaf, method) {
+                    ("question", "GET") => {
+                        self.with_universe(uid, &self.metrics.question, |m| question(m, sid))
+                    }
+                    ("question", _) => method_not_allowed("GET"),
+                    ("answers", "POST") => {
+                        self.with_universe(uid, &self.metrics.answers, |m| answers(m, sid, request))
+                    }
+                    ("answers", _) => method_not_allowed("POST"),
+                    ("snapshot", "GET") => self.with_universe(uid, &self.metrics.snapshot, |m| {
+                        let snap = m.snapshot(sid).map_err(server_error)?;
+                        Ok(Response::json(200, snap.to_json_string()))
+                    }),
+                    ("snapshot", _) => method_not_allowed("GET"),
+                    _ => unknown_route(&request.path),
+                }
+            }
+            _ => unknown_route(&request.path),
+        }
+    }
+
+    /// Resolves `uid`, times the handler, and maps resolution failures
+    /// to the documented statuses: unknown id → `404 unknown_universe`,
+    /// failed recovery → `503 universe_failed` (with the preserved
+    /// recovery error — a WAL fingerprint mismatch surfaces here).
+    fn with_universe(
+        &self,
+        uid: &str,
+        histogram: &crate::http::metrics::LatencyHistogram,
+        f: impl FnOnce(&SessionManager) -> Result<Response, Response>,
+    ) -> Response {
+        if !valid_universe_id(uid) {
+            return error(404, "unknown_universe", "invalid universe id");
+        }
+        match self.registry.lookup(uid) {
+            None => error(404, "unknown_universe", &format!("no universe {uid:?}")),
+            Some(UniverseEntry::Failed { error: cause }) => error(
+                503,
+                "universe_failed",
+                &format!("universe {uid:?} failed recovery: {cause}"),
+            ),
+            Some(UniverseEntry::Serving(manager)) => self.timed(histogram, || f(&manager)),
+        }
+    }
+
+    fn timed(
+        &self,
+        histogram: &crate::http::metrics::LatencyHistogram,
+        f: impl FnOnce() -> Result<Response, Response>,
+    ) -> Response {
+        let start = Instant::now();
+        let response = f().unwrap_or_else(|e| e);
+        histogram.record(start.elapsed());
+        response
+    }
+
+    fn list_universes(&self) -> Result<Response, Response> {
+        let universes = self
+            .registry
+            .uids()
+            .into_iter()
+            .filter_map(|uid| self.registry.lookup(&uid).map(|e| (uid, e)))
+            .map(|(uid, entry)| {
+                let value = match entry {
+                    UniverseEntry::Serving(m) => Json::Obj(vec![
+                        ("status".into(), Json::str("serving")),
+                        (
+                            "fingerprint".into(),
+                            Json::str(format!("{:016x}", m.universe_fingerprint())),
+                        ),
+                        ("sessions".into(), Json::num(m.session_count() as f64)),
+                    ]),
+                    UniverseEntry::Failed { error } => Json::Obj(vec![
+                        ("status".into(), Json::str("failed")),
+                        ("error".into(), Json::str(error)),
+                    ]),
+                };
+                (uid, value)
+            })
+            .collect();
+        Ok(ok(Json::Obj(vec![(
+            "universes".into(),
+            Json::Obj(universes),
+        )])))
+    }
+
+    fn stats(&self) -> Result<Response, Response> {
+        let universes = self
+            .registry
+            .uids()
+            .into_iter()
+            .filter_map(|uid| self.registry.lookup(&uid).map(|e| (uid, e)))
+            .map(|(uid, entry)| {
+                let value = match entry {
+                    UniverseEntry::Serving(m) => Json::Obj(vec![
+                        ("status".into(), Json::str("serving")),
+                        (
+                            "fingerprint".into(),
+                            Json::str(format!("{:016x}", m.universe_fingerprint())),
+                        ),
+                        ("stats".into(), manager_stats_json(&m.stats())),
+                    ]),
+                    UniverseEntry::Failed { error } => Json::Obj(vec![
+                        ("status".into(), Json::str("failed")),
+                        ("error".into(), Json::str(error)),
+                    ]),
+                };
+                (uid, value)
+            })
+            .collect();
+        Ok(ok(Json::Obj(vec![
+            ("universes".into(), Json::Obj(universes)),
+            ("endpoints".into(), self.metrics.to_json()),
+        ])))
+    }
+}
+
+impl jqi_net::Handler for Gateway {
+    fn handle(&self, request: &Request) -> Response {
+        self.route(request)
+    }
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("universes", &self.registry.uids())
+            .finish()
+    }
+}
+
+// ── endpoint bodies ────────────────────────────────────────────────────
+
+fn create_session(manager: &SessionManager, request: &Request) -> Result<Response, Response> {
+    let doc = parse_body(request)?;
+    let strategy: StrategyConfig = doc
+        .get("strategy")
+        .and_then(Json::as_str)
+        .ok_or_else(|| {
+            error(
+                400,
+                "bad_request",
+                "body must be {\"strategy\": \"LKS:2\" | \"BU\" | \"TD\" | \"EG\" | \"OPT\" | \"RND:<seed>\"}",
+            )
+        })?
+        .parse()
+        .map_err(|e: String| error(400, "bad_strategy", &e))?;
+    let id = manager
+        .create_session(strategy.clone())
+        .map_err(server_error)?;
+    Ok(ok_with(
+        201,
+        Json::Obj(vec![
+            ("session".into(), Json::num(id as f64)),
+            ("strategy".into(), Json::str(strategy.to_string())),
+            (
+                "universe".into(),
+                Json::str(format!("{:016x}", manager.universe_fingerprint())),
+            ),
+        ]),
+    ))
+}
+
+fn question(manager: &SessionManager, sid: SessionId) -> Result<Response, Response> {
+    let candidate = manager.next_question(sid).map_err(server_error)?;
+    let interactions = manager.interactions(sid).map_err(server_error)?;
+    let mut fields = vec![("session".into(), Json::num(sid as f64))];
+    match candidate {
+        Some(c) => {
+            fields.push(("question".into(), candidate_json(manager, &c)));
+            fields.push(("done".into(), Json::Bool(false)));
+        }
+        None => {
+            fields.push(("question".into(), Json::Null));
+            fields.push(("done".into(), Json::Bool(true)));
+            fields.push(("predicate".into(), predicate_json(manager, sid)?));
+        }
+    }
+    fields.push(("interactions".into(), Json::num(interactions as f64)));
+    Ok(ok(Json::Obj(fields)))
+}
+
+fn answers(
+    manager: &SessionManager,
+    sid: SessionId,
+    request: &Request,
+) -> Result<Response, Response> {
+    let doc = parse_body(request)?;
+    let items = doc.get("answers").and_then(Json::as_arr).ok_or_else(|| {
+        error(
+            400,
+            "bad_request",
+            "body must be {\"answers\": [{\"class\": <id>, \"label\": \"+\" | \"-\"}, …]}",
+        )
+    })?;
+    if items.len() > MAX_ANSWER_BATCH {
+        return Err(error(
+            413,
+            "batch_too_large",
+            &format!(
+                "batch of {} answers exceeds the limit of {MAX_ANSWER_BATCH}",
+                items.len()
+            ),
+        ));
+    }
+    let mut batch: Vec<(ClassId, Label)> = Vec::with_capacity(items.len());
+    for item in items {
+        let class = item
+            .get("class")
+            .and_then(Json::as_num)
+            .filter(|n| n.fract() == 0.0 && (0.0..=9e15).contains(n))
+            .ok_or_else(|| error(400, "bad_request", "each answer needs an integer \"class\""))?
+            as ClassId;
+        let label = match item.get("label").and_then(Json::as_str) {
+            Some("+") => Label::Positive,
+            Some("-") => Label::Negative,
+            _ => {
+                return Err(error(
+                    400,
+                    "bad_request",
+                    "each answer needs a \"label\" of \"+\" or \"-\"",
+                ))
+            }
+        };
+        batch.push((class, label));
+    }
+    let applied = manager.answer_batch(sid, &batch).map_err(server_error)?;
+    let done = manager.is_done(sid).map_err(server_error)?;
+    let interactions = manager.interactions(sid).map_err(server_error)?;
+    Ok(ok(Json::Obj(vec![
+        ("session".into(), Json::num(sid as f64)),
+        ("applied".into(), Json::num(applied as f64)),
+        ("interactions".into(), Json::num(interactions as f64)),
+        ("done".into(), Json::Bool(done)),
+    ])))
+}
+
+fn session_status(manager: &SessionManager, sid: SessionId) -> Result<Response, Response> {
+    let done = manager.is_done(sid).map_err(server_error)?;
+    let interactions = manager.interactions(sid).map_err(server_error)?;
+    let mut fields = vec![
+        ("session".into(), Json::num(sid as f64)),
+        ("interactions".into(), Json::num(interactions as f64)),
+        ("done".into(), Json::Bool(done)),
+    ];
+    fields.push((
+        "predicate".into(),
+        if done {
+            predicate_json(manager, sid)?
+        } else {
+            Json::Null
+        },
+    ));
+    Ok(ok(Json::Obj(fields)))
+}
+
+fn restore(manager: &SessionManager, request: &Request) -> Result<Response, Response> {
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| error(400, "bad_request", "snapshot body is not UTF-8"))?;
+    let snapshot =
+        SessionSnapshot::from_json(body).map_err(|e| error(400, "bad_snapshot", &e.to_string()))?;
+    let id = manager.restore(&snapshot).map_err(server_error)?;
+    Ok(ok_with(
+        201,
+        Json::Obj(vec![
+            ("session".into(), Json::num(id as f64)),
+            (
+                "interactions".into(),
+                Json::num(snapshot.history.len() as f64),
+            ),
+        ]),
+    ))
+}
+
+// ── shared plumbing ────────────────────────────────────────────────────
+
+fn candidate_json(manager: &SessionManager, candidate: &Candidate) -> Json {
+    let values = candidate
+        .values(manager.universe())
+        .iter()
+        .map(|v| Json::str(v.to_string()))
+        .collect();
+    Json::Obj(vec![
+        ("class".into(), Json::num(candidate.class as f64)),
+        (
+            "tuple".into(),
+            Json::Arr(vec![
+                Json::num(candidate.tuple.0 as f64),
+                Json::num(candidate.tuple.1 as f64),
+            ]),
+        ),
+        ("values".into(), Json::Arr(values)),
+    ])
+}
+
+fn predicate_json(manager: &SessionManager, sid: SessionId) -> Result<Json, Response> {
+    let theta = manager.inferred_predicate(sid).map_err(server_error)?;
+    Ok(Json::str(
+        manager.universe().instance().predicate_string(&theta),
+    ))
+}
+
+fn parse_session_id(segment: &str) -> Option<SessionId> {
+    segment.parse::<SessionId>().ok()
+}
+
+fn parse_body(request: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| error(400, "bad_request", "body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(error(400, "bad_request", "a JSON body is required"));
+    }
+    Json::parse(text).map_err(|e| error(400, "bad_json", &e.to_string()))
+}
+
+fn ok(body: Json) -> Response {
+    ok_with(200, body)
+}
+
+fn ok_with(status: u16, body: Json) -> Response {
+    Response::json(status, body.to_string_pretty() + "\n")
+}
+
+/// The single error shape every gateway failure uses. `extra` fields are
+/// spliced into the `"error"` object after `code`/`message`.
+fn error_with(status: u16, code: &str, message: &str, extra: Vec<(String, Json)>) -> Response {
+    let mut fields = vec![
+        ("code".into(), Json::str(code)),
+        ("message".into(), Json::str(message)),
+    ];
+    fields.extend(extra);
+    Response::json(
+        status,
+        Json::Obj(vec![("error".into(), Json::Obj(fields))]).to_string_pretty() + "\n",
+    )
+}
+
+fn error(status: u16, code: &str, message: &str) -> Response {
+    error_with(status, code, message, vec![])
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    let mut response = error(
+        405,
+        "method_not_allowed",
+        &format!("this route accepts: {allow}"),
+    );
+    response.headers.push(("allow".into(), allow.to_string()));
+    response
+}
+
+fn unknown_route(path: &str) -> Response {
+    error(404, "unknown_route", &format!("no route for {path:?}"))
+}
+
+/// Maps [`ServerError`] onto the HTTP error contract (see `docs/API.md`).
+fn server_error(e: ServerError) -> Response {
+    match &e {
+        ServerError::UnknownSession(_) => error(404, "unknown_session", &e.to_string()),
+        ServerError::SessionExists(_) => error(409, "session_exists", &e.to_string()),
+        ServerError::UniverseMismatch { expected, found } => error_with(
+            409,
+            "universe_mismatch",
+            &e.to_string(),
+            vec![
+                ("expected".into(), Json::str(format!("{expected:016x}"))),
+                ("found".into(), Json::str(format!("{found:016x}"))),
+            ],
+        ),
+        ServerError::Inference(_) => error(400, "inference_error", &e.to_string()),
+        ServerError::Durability(_) => error(500, "durability_error", &e.to_string()),
+    }
+}
+
+/// Serializes [`ManagerStats`] (plus its nested decision-cache and
+/// durability blocks) for `GET /v1/stats`.
+pub fn manager_stats_json(stats: &ManagerStats) -> Json {
+    let cache = &stats.decision_cache;
+    let mut fields = vec![
+        ("sessions".into(), Json::num(stats.sessions as f64)),
+        (
+            "resident_sessions".into(),
+            Json::num(stats.resident_sessions as f64),
+        ),
+        (
+            "hibernated_sessions".into(),
+            Json::num(stats.hibernated_sessions as f64),
+        ),
+        (
+            "spilled_sessions".into(),
+            Json::num(stats.spilled_sessions as f64),
+        ),
+        ("state_bytes".into(), Json::num(stats.state_bytes as f64)),
+        (
+            "resident_bytes".into(),
+            Json::num(stats.resident_bytes as f64),
+        ),
+        (
+            "history_bytes".into(),
+            Json::num(stats.history_bytes as f64),
+        ),
+        (
+            "hibernated_bytes".into(),
+            Json::num(stats.hibernated_bytes as f64),
+        ),
+        (
+            "spilled_bytes".into(),
+            Json::num(stats.spilled_bytes as f64),
+        ),
+        (
+            "decision_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::num(cache.hits as f64)),
+                ("misses".into(), Json::num(cache.misses as f64)),
+                ("evictions".into(), Json::num(cache.evictions as f64)),
+                ("entries".into(), Json::num(cache.entries as f64)),
+                ("bytes".into(), Json::num(cache.bytes as f64)),
+                ("budget_bytes".into(), Json::num(cache.budget_bytes as f64)),
+            ]),
+        ),
+    ];
+    fields.push((
+        "durability".into(),
+        match &stats.durability {
+            None => Json::Null,
+            Some(d) => Json::Obj(vec![
+                ("wal_records".into(), Json::num(d.wal_records as f64)),
+                ("wal_syncs".into(), Json::num(d.wal_syncs as f64)),
+                (
+                    "wal_appended_bytes".into(),
+                    Json::num(d.wal_appended_bytes as f64),
+                ),
+                ("spill_entries".into(), Json::num(d.spill_entries as f64)),
+                (
+                    "spill_bytes_written".into(),
+                    Json::num(d.spill_bytes_written as f64),
+                ),
+                ("spill_reads".into(), Json::num(d.spill_reads as f64)),
+            ]),
+        },
+    ));
+    Json::Obj(fields)
+}

@@ -1,0 +1,200 @@
+//! Live per-endpoint latency histograms for `GET /v1/stats`.
+//!
+//! The offline bench reports (`jqi_bench::throughput`) summarize latency
+//! as `{count, mean_us, p50_us, p95_us, p99_us, max_us}`; the gateway
+//! exposes the same shape as a *live* metric, computed from a lock-free
+//! log₂-bucketed histogram instead of a recorded sample vector. Recording
+//! is a handful of relaxed atomic adds on the request path; quantiles are
+//! read back from bucket upper bounds, so `p99_us` is exact to within one
+//! power-of-two bucket — the right trade for a counter that every request
+//! touches.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One power-of-two bucket per `floor(log2(nanos))`; 48 buckets cover
+/// sub-nanosecond through ~78 hours.
+const BUCKETS: usize = 48;
+
+/// A concurrent latency histogram with log₂ buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The latency at quantile `q` (0..=1), read from bucket upper
+    /// bounds; `None` when no samples were recorded.
+    fn quantile_ns(&self, counts: &[u64; BUCKETS], total: u64, q: f64) -> Option<u64> {
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^(i+1) - 1 ns.
+                return Some((1u64 << (i + 1)) - 1);
+            }
+        }
+        Some(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// The live summary in the bench-report shape:
+    /// `{count, mean_us, p50_us, p95_us, p99_us, max_us}` — or
+    /// `Json::Null` when nothing was recorded yet.
+    pub fn summary_json(&self) -> Json {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return Json::Null;
+        }
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        let snapshot_total: u64 = counts.iter().sum();
+        let to_us = |ns: u64| ns as f64 / 1e3;
+        let mean_us = self.total_ns.load(Ordering::Relaxed) as f64 / total as f64 / 1e3;
+        let q = |quant: f64| {
+            self.quantile_ns(&counts, snapshot_total, quant)
+                .map_or(Json::Null, |ns| Json::Num(to_us(ns)))
+        };
+        Json::Obj(vec![
+            ("count".into(), Json::num(total as f64)),
+            ("mean_us".into(), Json::Num(mean_us)),
+            ("p50_us".into(), q(0.50)),
+            ("p95_us".into(), q(0.95)),
+            ("p99_us".into(), q(0.99)),
+            (
+                "max_us".into(),
+                Json::Num(to_us(self.max_ns.load(Ordering::Relaxed))),
+            ),
+        ])
+    }
+}
+
+/// One histogram per gateway operation, named as they appear under
+/// `"endpoints"` in the `GET /v1/stats` response.
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// `POST /v1/universes/{uid}/sessions`.
+    pub create_session: LatencyHistogram,
+    /// `GET …/sessions/{sid}/question`.
+    pub question: LatencyHistogram,
+    /// `POST …/sessions/{sid}/answers`.
+    pub answers: LatencyHistogram,
+    /// `GET …/sessions/{sid}/snapshot`.
+    pub snapshot: LatencyHistogram,
+    /// `POST /v1/universes/{uid}/restore`.
+    pub restore: LatencyHistogram,
+    /// `GET …/sessions/{sid}` and `DELETE …/sessions/{sid}`.
+    pub session: LatencyHistogram,
+    /// `GET /v1/stats` and `GET /v1/universes`.
+    pub stats: LatencyHistogram,
+}
+
+impl GatewayMetrics {
+    /// Creates a zeroed metrics table.
+    pub fn new() -> GatewayMetrics {
+        GatewayMetrics::default()
+    }
+
+    /// `(name, histogram)` pairs in stats-report order.
+    pub fn all(&self) -> [(&'static str, &LatencyHistogram); 7] {
+        [
+            ("create_session", &self.create_session),
+            ("question", &self.question),
+            ("answers", &self.answers),
+            ("snapshot", &self.snapshot),
+            ("restore", &self.restore),
+            ("session", &self.session),
+            ("stats", &self.stats),
+        ]
+    }
+
+    /// The `"endpoints"` object for `GET /v1/stats`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.all()
+                .into_iter()
+                .map(|(name, histogram)| (name.to_string(), histogram.summary_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summarizes_to_null() {
+        assert_eq!(LatencyHistogram::new().summary_json(), Json::Null);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket of 10_000 ns
+        }
+        h.record(Duration::from_millis(10)); // one slow outlier
+        let summary = h.summary_json();
+        let get = |k: &str| summary.get(k).and_then(Json::as_num).unwrap();
+        assert_eq!(get("count"), 100.0);
+        // p50 within one power-of-two of 10 µs.
+        assert!(
+            get("p50_us") >= 10.0 && get("p50_us") <= 20.0,
+            "{summary:?}"
+        );
+        // p99 still in the fast buckets; max sees the outlier exactly.
+        assert!(get("p99_us") <= 20.0);
+        assert!((get("max_us") - 10_000.0).abs() < 1.0);
+        assert!(get("mean_us") > 10.0 && get("mean_us") < 200.0);
+    }
+
+    #[test]
+    fn metrics_table_lists_every_endpoint() {
+        let m = GatewayMetrics::new();
+        m.answers.record(Duration::from_micros(3));
+        let json = m.to_json();
+        assert_eq!(json.get("create_session"), Some(&Json::Null));
+        assert!(json.get("answers").unwrap().get("count").is_some());
+    }
+}

@@ -72,14 +72,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod durability;
+pub mod http;
 pub mod json;
 pub mod manager;
 pub mod snapshot;
 
 pub use durability::{DurabilityConfig, DurabilityError, DurabilityStats, RecoveryReport};
+pub use http::{Gateway, UniverseRegistry};
 pub use manager::{
     ManagerStats, Result, ServerConfig, ServerError, SessionId, SessionManager, SweepReport,
 };

@@ -1,0 +1,520 @@
+//! End-to-end tests of the HTTP/JSON gateway over a real loopback
+//! socket: the full create → question → answer → snapshot → restore
+//! loop, the loud wrong-universe rejections (both restore and startup
+//! recovery), and a malformed-request matrix asserting every abuse gets
+//! a clean 4xx/5xx — the process never panics, and the server keeps
+//! serving afterwards.
+
+use jqi_core::paper::{example_2_1, flight_hotel};
+use jqi_core::{StrategyConfig, Universe};
+use jqi_net::{Client, ClientResponse, NetConfig};
+use jqi_server::http::{serve, UniverseRegistry};
+use jqi_server::json::Json;
+use jqi_server::{DurabilityConfig, ServerConfig, SessionManager};
+use std::sync::Arc;
+
+/// A loopback server with universe `demo` (flight/hotel) and a second
+/// tenant `twin` sharing the same instance (same fingerprint).
+fn demo_server() -> (jqi_net::Server, Arc<UniverseRegistry>) {
+    let registry = Arc::new(UniverseRegistry::new());
+    let universe = Arc::new(Universe::build(flight_hotel()));
+    registry
+        .register(
+            "demo",
+            Arc::new(SessionManager::new(
+                Arc::clone(&universe),
+                ServerConfig::default(),
+            )),
+        )
+        .unwrap();
+    registry
+        .register(
+            "twin",
+            Arc::new(SessionManager::new(universe, ServerConfig::default())),
+        )
+        .unwrap();
+    let (server, _gateway) =
+        serve(Arc::clone(&registry), "127.0.0.1:0", NetConfig::default()).expect("loopback bind");
+    (server, registry)
+}
+
+fn json(response: &ClientResponse) -> Json {
+    Json::parse(response.body_str().expect("UTF-8 body")).expect("JSON body")
+}
+
+fn error_code(response: &ClientResponse) -> String {
+    json(response)
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error.code in {:?}", response.body_str()))
+        .to_string()
+}
+
+#[test]
+fn full_inference_loop_over_http() {
+    let (server, _registry) = demo_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Create a session driving L2S.
+    let created = client
+        .post("/v1/universes/demo/sessions", r#"{"strategy": "LKS:2"}"#)
+        .unwrap();
+    assert_eq!(created.status, 201, "{:?}", created.body_str());
+    let sid = json(&created)
+        .get("session")
+        .and_then(Json::as_num)
+        .unwrap() as u64;
+
+    // Answer questions as the paper's Q2 oracle (city AND discount
+    // airline must match) until the session halts.
+    let mut rounds = 0;
+    loop {
+        let q = client
+            .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+            .unwrap();
+        assert_eq!(q.status, 200, "{:?}", q.body_str());
+        let doc = json(&q);
+        if doc.get("done") == Some(&Json::Bool(true)) {
+            let predicate = doc.get("predicate").and_then(Json::as_str).unwrap();
+            assert_eq!(
+                predicate,
+                "{Flight.To=Hotel.City ∧ Flight.Airline=Hotel.Discount}"
+            );
+            break;
+        }
+        let question = doc.get("question").expect("question object");
+        let class = question.get("class").and_then(Json::as_num).unwrap() as u64;
+        let values: Vec<&str> = question
+            .get("values")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        let keep = values[1] == values[3] && values[2] == values[4];
+        let label = if keep { "+" } else { "-" };
+        let answered = client
+            .post(
+                &format!("/v1/universes/demo/sessions/{sid}/answers"),
+                &format!(r#"{{"answers": [{{"class": {class}, "label": "{label}"}}]}}"#),
+            )
+            .unwrap();
+        assert_eq!(answered.status, 200, "{:?}", answered.body_str());
+        rounds += 1;
+        assert!(rounds < 100, "inference did not converge");
+    }
+    assert!(rounds > 0);
+
+    // The status endpoint agrees.
+    let status = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}"))
+        .unwrap();
+    assert_eq!(status.status, 200);
+    assert_eq!(json(&status).get("done"), Some(&Json::Bool(true)));
+    server.stats();
+}
+
+#[test]
+fn snapshot_restores_across_tenants_of_the_same_universe() {
+    let (server, _registry) = demo_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let created = client
+        .post("/v1/universes/demo/sessions", r#"{"strategy": "BU"}"#)
+        .unwrap();
+    let sid = json(&created)
+        .get("session")
+        .and_then(Json::as_num)
+        .unwrap() as u64;
+    let q = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+        .unwrap();
+    let class = json(&q)
+        .get("question")
+        .and_then(|q| q.get("class"))
+        .and_then(Json::as_num)
+        .unwrap() as u64;
+    client
+        .post(
+            &format!("/v1/universes/demo/sessions/{sid}/answers"),
+            &format!(r#"{{"answers": [{{"class": {class}, "label": "-"}}]}}"#),
+        )
+        .unwrap();
+
+    // Snapshot is the jqi-session/1 document itself.
+    let snapshot = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/snapshot"))
+        .unwrap();
+    assert_eq!(snapshot.status, 200);
+    let doc = snapshot.body_str().unwrap().to_string();
+    assert!(doc.contains("\"format\": \"jqi-session/1\""), "{doc}");
+
+    // Restore into the twin tenant (same universe fingerprint) works and
+    // preserves the answer history.
+    let restored = client.post("/v1/universes/twin/restore", &doc).unwrap();
+    assert_eq!(restored.status, 201, "{:?}", restored.body_str());
+    let rdoc = json(&restored);
+    assert_eq!(
+        rdoc.get("session").and_then(Json::as_num),
+        Some(sid as f64),
+        "restore keeps the session id"
+    );
+    assert_eq!(rdoc.get("interactions").and_then(Json::as_num), Some(1.0));
+
+    // Restoring the same document again collides: 409 session_exists.
+    let again = client.post("/v1/universes/twin/restore", &doc).unwrap();
+    assert_eq!(again.status, 409);
+    assert_eq!(error_code(&again), "session_exists");
+    drop(server);
+}
+
+#[test]
+fn wrong_universe_restore_is_a_loud_409_with_both_fingerprints() {
+    let (server, registry) = demo_server();
+    // A genuinely different universe: different instance, different
+    // fingerprint.
+    let other = Arc::new(Universe::build(example_2_1()));
+    registry
+        .register(
+            "other",
+            Arc::new(SessionManager::new(other, ServerConfig::default())),
+        )
+        .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let created = client
+        .post("/v1/universes/demo/sessions", r#"{"strategy": "TD"}"#)
+        .unwrap();
+    let sid = json(&created)
+        .get("session")
+        .and_then(Json::as_num)
+        .unwrap() as u64;
+    let snapshot = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/snapshot"))
+        .unwrap();
+    let doc = snapshot.body_str().unwrap().to_string();
+
+    let rejected = client.post("/v1/universes/other/restore", &doc).unwrap();
+    assert_eq!(rejected.status, 409, "{:?}", rejected.body_str());
+    let error = json(&rejected);
+    let error = error.get("error").unwrap();
+    assert_eq!(
+        error.get("code").and_then(Json::as_str),
+        Some("universe_mismatch")
+    );
+    let expected = error
+        .get("expected")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let found = error
+        .get("found")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_ne!(expected, found);
+    assert_eq!(expected.len(), 16, "fingerprints are 16-hex strings");
+    assert!(
+        doc.contains(&found),
+        "snapshot carries the found fingerprint"
+    );
+}
+
+#[test]
+fn failed_startup_recovery_serves_503_with_the_fingerprint_cause() {
+    let dir = std::env::temp_dir().join(format!(
+        "jqi-http-recovery-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos() as u64
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Write a durable directory under the flight/hotel universe.
+    {
+        let registry = UniverseRegistry::new();
+        let a = Arc::new(Universe::build(flight_hotel()));
+        let (manager, _) = registry
+            .open_durable(
+                "tenant",
+                a,
+                ServerConfig::default(),
+                DurabilityConfig::default(),
+                &dir,
+            )
+            .unwrap();
+        manager.create_session(StrategyConfig::Bu).unwrap();
+        manager.flush_wal().unwrap();
+    }
+
+    // A new process serves the same directory as a *different* universe:
+    // recovery fails, and the failure is visible over HTTP.
+    let registry = Arc::new(UniverseRegistry::new());
+    let b = Arc::new(Universe::build(example_2_1()));
+    let err = registry
+        .open_durable(
+            "tenant",
+            b,
+            ServerConfig::default(),
+            DurabilityConfig::default(),
+            &dir,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+
+    let (server, _gateway) =
+        serve(Arc::clone(&registry), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let response = client
+        .post("/v1/universes/tenant/sessions", r#"{"strategy": "BU"}"#)
+        .unwrap();
+    assert_eq!(response.status, 503, "{:?}", response.body_str());
+    assert_eq!(error_code(&response), "universe_failed");
+    assert!(
+        response
+            .body_str()
+            .unwrap()
+            .contains("fingerprint mismatch"),
+        "503 carries the recovery cause: {:?}",
+        response.body_str()
+    );
+
+    // The failed tenant also shows up in /v1/universes as failed.
+    let list = client.get("/v1/universes").unwrap();
+    let doc = json(&list);
+    let tenant = doc.get("universes").and_then(|u| u.get("tenant")).unwrap();
+    assert_eq!(tenant.get("status").and_then(Json::as_str), Some("failed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_request_matrix_gets_clean_4xx_never_a_panic() {
+    use std::io::{Read, Write};
+
+    let (server, _registry) = demo_server();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // A live session to aim some of the abuse at.
+    let created = client
+        .post("/v1/universes/demo/sessions", r#"{"strategy": "BU"}"#)
+        .unwrap();
+    let sid = json(&created)
+        .get("session")
+        .and_then(Json::as_num)
+        .unwrap() as u64;
+    let answers_path = format!("/v1/universes/demo/sessions/{sid}/answers");
+
+    // (status, code) expectations over the gateway-level matrix.
+    let cases: Vec<(u16, &str, ClientResponse)> = vec![
+        // Bad JSON body.
+        (
+            400,
+            "bad_json",
+            client.post(&answers_path, "{not json").unwrap(),
+        ),
+        // Valid JSON, wrong shape.
+        (
+            400,
+            "bad_request",
+            client.post(&answers_path, r#"{"answers": 7}"#).unwrap(),
+        ),
+        // Missing label.
+        (
+            400,
+            "bad_request",
+            client
+                .post(&answers_path, r#"{"answers": [{"class": 0}]}"#)
+                .unwrap(),
+        ),
+        // Label outside "+"/"-".
+        (
+            400,
+            "bad_request",
+            client
+                .post(
+                    &answers_path,
+                    r#"{"answers": [{"class": 0, "label": "?"}]}"#,
+                )
+                .unwrap(),
+        ),
+        // Empty body where JSON is required.
+        (
+            400,
+            "bad_request",
+            client.post("/v1/universes/demo/sessions", "").unwrap(),
+        ),
+        // Unknown strategy.
+        (
+            400,
+            "bad_strategy",
+            client
+                .post("/v1/universes/demo/sessions", r#"{"strategy": "MAGIC"}"#)
+                .unwrap(),
+        ),
+        // Unknown session.
+        (
+            404,
+            "unknown_session",
+            client
+                .get("/v1/universes/demo/sessions/999999/question")
+                .unwrap(),
+        ),
+        // Non-numeric session id.
+        (
+            404,
+            "unknown_session",
+            client
+                .get("/v1/universes/demo/sessions/abc/question")
+                .unwrap(),
+        ),
+        // Unknown universe.
+        (
+            404,
+            "unknown_universe",
+            client
+                .post("/v1/universes/nope/sessions", r#"{"strategy": "BU"}"#)
+                .unwrap(),
+        ),
+        // Unknown route.
+        (404, "unknown_route", client.get("/v2/whatever").unwrap()),
+        // Wrong method on a known route.
+        (
+            405,
+            "method_not_allowed",
+            client.get("/v1/universes/demo/sessions").unwrap(),
+        ),
+        // Malformed snapshot document.
+        (
+            400,
+            "bad_snapshot",
+            client
+                .post("/v1/universes/demo/restore", r#"{"format": "nope"}"#)
+                .unwrap(),
+        ),
+        // Inference-level conflict: contradictory duplicate answers.
+        (400, "inference_error", {
+            let q = client
+                .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+                .unwrap();
+            let class = json(&q)
+                .get("question")
+                .and_then(|q| q.get("class"))
+                .and_then(Json::as_num)
+                .unwrap() as u64;
+            client
+                    .post(
+                        &answers_path,
+                        &format!(
+                            r#"{{"answers": [{{"class": {class}, "label": "+"}}, {{"class": {class}, "label": "-"}}]}}"#
+                        ),
+                    )
+                    .unwrap()
+        }),
+    ];
+    for (want_status, want_code, response) in &cases {
+        assert_eq!(
+            response.status,
+            *want_status,
+            "expected {want_status} {want_code}, got {:?}",
+            response.body_str()
+        );
+        assert_eq!(&error_code(response), want_code);
+    }
+
+    // Oversized batch: 413 before any answer is applied.
+    let big: Vec<String> = (0..5000)
+        .map(|i| format!(r#"{{"class": {}, "label": "+"}}"#, i % 7))
+        .collect();
+    let response = client
+        .post(
+            &answers_path,
+            &format!(r#"{{"answers": [{}]}}"#, big.join(",")),
+        )
+        .unwrap();
+    assert_eq!(response.status, 413, "{:?}", response.body_str());
+    assert_eq!(error_code(&response), "batch_too_large");
+
+    // Wire-level abuse on raw sockets (each one burns its connection).
+    // Truncated body: promised 100 bytes, sent 5, hung up.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /v1/universes/demo/sessions HTTP/1.1\r\ncontent-length: 100\r\n\r\nhello")
+        .unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 400"), "truncated body: {text:?}");
+    assert!(text.contains("truncated_request"));
+
+    // Oversized declared body: refused from the header alone.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /v1/universes/demo/sessions HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n")
+        .unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 413"), "oversized body: {text:?}");
+
+    // Chunked transfer coding: deliberately unimplemented.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(
+        b"POST /v1/universes/demo/sessions HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+    )
+    .unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 501"), "chunked: {text:?}");
+
+    // Garbage request line.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.write_all(b"\x00\x01\x02 garbage\r\n\r\n").unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 400"), "garbage: {text:?}");
+
+    // After all of that, the server still serves normal traffic on a
+    // fresh connection — nothing panicked, nothing wedged.
+    let mut client = Client::connect(addr).unwrap();
+    let response = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+        .unwrap();
+    assert_eq!(response.status, 200);
+    let stats = client.get("/v1/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let doc = json(&stats);
+    assert!(doc.get("universes").and_then(|u| u.get("demo")).is_some());
+    assert!(
+        doc.get("endpoints")
+            .and_then(|e| e.get("answers"))
+            .and_then(|a| a.get("count"))
+            .is_some(),
+        "live endpoint histograms are populated: {:?}",
+        stats.body_str()
+    );
+}
+
+#[test]
+fn stats_expose_manager_decision_cache_and_durability_blocks() {
+    let (server, _registry) = demo_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .post("/v1/universes/demo/sessions", r#"{"strategy": "LKS:2"}"#)
+        .unwrap();
+    let stats = client.get("/v1/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let doc = json(&stats);
+    let demo = doc
+        .get("universes")
+        .and_then(|u| u.get("demo"))
+        .and_then(|d| d.get("stats"))
+        .expect("demo stats block");
+    assert_eq!(demo.get("sessions").and_then(Json::as_num), Some(1.0));
+    assert!(demo
+        .get("decision_cache")
+        .and_then(|c| c.get("entries"))
+        .is_some());
+    // Non-durable manager: durability block is null, not absent.
+    assert_eq!(demo.get("durability"), Some(&Json::Null));
+}

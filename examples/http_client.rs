@@ -1,0 +1,164 @@
+//! The HTTP gateway end-to-end, over a real loopback socket.
+//!
+//! Spawns the `jqi_net` server with two tenants on one universe, then
+//! drives the full operator workflow from a keep-alive client: create a
+//! session, loop question → answer until the predicate is inferred,
+//! snapshot the session, restore it into the twin tenant, and finally
+//! demonstrate the wrong-universe guard — restoring the same snapshot
+//! into a tenant built from a *different* instance is a loud `409
+//! universe_mismatch` carrying both fingerprints, never silent
+//! corruption.
+//!
+//! ```text
+//! cargo run --example http_client
+//! ```
+
+use join_query_inference::core::paper::{example_2_1, flight_hotel};
+use join_query_inference::net::{Client, NetConfig};
+use join_query_inference::prelude::*;
+use join_query_inference::server::http::{serve, UniverseRegistry};
+use join_query_inference::server::json::Json;
+use std::sync::Arc;
+
+fn body(resp: &join_query_inference::net::ClientResponse) -> &str {
+    resp.body_str().expect("gateway responses are UTF-8 JSON")
+}
+
+fn main() {
+    // Three tenants: "demo" and "twin" share one universe (same
+    // fingerprint — snapshots move freely between them); "other" is built
+    // from a different instance, so its fingerprint differs.
+    let universe = Arc::new(Universe::build(flight_hotel()));
+    let registry = Arc::new(UniverseRegistry::new());
+    for uid in ["demo", "twin"] {
+        registry
+            .register(
+                uid,
+                Arc::new(SessionManager::new(
+                    Arc::clone(&universe),
+                    ServerConfig::default(),
+                )),
+            )
+            .expect("fresh registry");
+    }
+    registry
+        .register(
+            "other",
+            Arc::new(SessionManager::new(
+                Arc::new(Universe::build(example_2_1())),
+                ServerConfig::default(),
+            )),
+        )
+        .expect("fresh registry");
+
+    let (mut server, _gateway) =
+        serve(Arc::clone(&registry), "127.0.0.1:0", NetConfig::default()).expect("loopback bind");
+    let addr = server.local_addr();
+    println!("gateway listening on http://{addr}");
+
+    let mut client = Client::connect(addr).expect("loopback connect");
+
+    // Create: POST the strategy, get the session id and the universe
+    // fingerprint back.
+    let resp = client
+        .post("/v1/universes/demo/sessions", "{\"strategy\": \"LKS:2\"}")
+        .expect("create");
+    assert_eq!(resp.status, 201, "{}", body(&resp));
+    let doc = Json::parse(body(&resp)).expect("json");
+    let sid = doc.get("session").and_then(Json::as_num).expect("id") as u64;
+    println!(
+        "created session {sid} (universe {})",
+        doc.get("universe").and_then(Json::as_str).expect("hex")
+    );
+
+    // Question → answer loop: the "user" wants Q2 — city AND discount
+    // airline must match (the paper's Example 1).
+    let mut rounds = 0usize;
+    let predicate = loop {
+        let resp = client
+            .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+            .expect("question");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        let doc = Json::parse(body(&resp)).expect("json");
+        if doc.get("done") == Some(&Json::Bool(true)) {
+            break doc
+                .get("predicate")
+                .and_then(Json::as_str)
+                .expect("inferred predicate")
+                .to_string();
+        }
+        let q = doc.get("question").expect("open question");
+        let class = q.get("class").and_then(Json::as_num).expect("class") as u64;
+        let values: Vec<&str> = q
+            .get("values")
+            .and_then(Json::as_arr)
+            .expect("values")
+            .iter()
+            .map(|v| v.as_str().expect("strings"))
+            .collect();
+        let keep = values[1] == values[3] && values[2] == values[4];
+        let label = if keep { "+" } else { "-" };
+        let resp = client
+            .post(
+                &format!("/v1/universes/demo/sessions/{sid}/answers"),
+                &format!("{{\"answers\": [{{\"class\": {class}, \"label\": \"{label}\"}}]}}"),
+            )
+            .expect("answer");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        rounds += 1;
+    };
+    println!("inferred after {rounds} answers: {predicate}");
+    assert_eq!(
+        predicate,
+        "{Flight.To=Hotel.City ∧ Flight.Airline=Hotel.Discount}"
+    );
+
+    // Snapshot the finished session and restore it into the twin tenant.
+    let snap = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/snapshot"))
+        .expect("snapshot");
+    assert_eq!(snap.status, 200, "{}", body(&snap));
+    let snapshot_doc = body(&snap).to_string();
+    let resp = client
+        .post("/v1/universes/twin/restore", &snapshot_doc)
+        .expect("restore");
+    assert_eq!(resp.status, 201, "{}", body(&resp));
+    let doc = Json::parse(body(&resp)).expect("json");
+    println!(
+        "restored into twin as session {} with {} interactions",
+        doc.get("session").and_then(Json::as_num).expect("id"),
+        doc.get("interactions").and_then(Json::as_num).expect("n"),
+    );
+
+    // The wrong-universe guard: the same snapshot against a tenant with a
+    // different fingerprint is refused loudly.
+    let resp = client
+        .post("/v1/universes/other/restore", &snapshot_doc)
+        .expect("mismatched restore still gets a response");
+    assert_eq!(resp.status, 409, "{}", body(&resp));
+    let doc = Json::parse(body(&resp)).expect("json");
+    let err = doc.get("error").expect("error body");
+    assert_eq!(
+        err.get("code").and_then(Json::as_str),
+        Some("universe_mismatch")
+    );
+    println!(
+        "wrong-universe restore refused: expected {} found {}",
+        err.get("expected").and_then(Json::as_str).expect("hex"),
+        err.get("found").and_then(Json::as_str).expect("hex"),
+    );
+
+    // Live metrics: the gateway kept per-endpoint latency histograms.
+    let resp = client.get("/v1/stats").expect("stats");
+    assert_eq!(resp.status, 200, "{}", body(&resp));
+    let doc = Json::parse(body(&resp)).expect("json");
+    let answers = doc
+        .get("endpoints")
+        .and_then(|e| e.get("answers"))
+        .and_then(|a| a.get("count"))
+        .and_then(Json::as_num)
+        .expect("answer count");
+    println!("gateway served {answers} answer batches; shutting down");
+
+    server.shutdown();
+}

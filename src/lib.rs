@@ -24,7 +24,11 @@
 //! * [`server`] ([`jqi_server`]) — a concurrent multi-session inference
 //!   service: a sharded thread-safe session table over one shared
 //!   universe, class-addressed batched answers, and session
-//!   snapshot/restore by deterministic replay.
+//!   snapshot/restore by deterministic replay — plus the HTTP/JSON
+//!   gateway ([`jqi_server::http`]) with multi-universe tenancy.
+//! * [`net`] ([`jqi_net`]) — the dependency-free HTTP/1.1 transport the
+//!   gateway runs on: an epoll + thread-pool server and a tiny
+//!   keep-alive client.
 //!
 //! # Quickstart
 //!
@@ -60,6 +64,7 @@
 
 pub use jqi_core as core;
 pub use jqi_datagen as datagen;
+pub use jqi_net as net;
 pub use jqi_relation as relation;
 pub use jqi_semijoin as semijoin;
 pub use jqi_server as server;
