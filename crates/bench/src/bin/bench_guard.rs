@@ -23,7 +23,10 @@
 //!   `sessions_per_sec` as a floor. When the baseline carries a
 //!   `transport` block (PR 8+), the HTTP request `mean_us` is guarded
 //!   like the other latencies, `open_connections_peak` must not shrink,
-//!   and `protocol_errors` must be zero.
+//!   and `protocol_errors` must be zero. When it carries an `overload`
+//!   block (PR 9+), shed `mean_us` and the accepted `p99_ratio` are
+//!   held `at_most`, `goodput_per_sec` must not shrink, and `wedged` /
+//!   `protocol_errors` / `client_errors` must be zero at any factor.
 //! * `--kind scaling` — per dataset point matched **by name**,
 //!   `build_speedup` must not shrink below `baseline / factor` and
 //!   `l1s_first_step_ms` / `l3s_first_step_ms` must not exceed
@@ -224,6 +227,39 @@ fn guard_server(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(), 
                 .push(format!("transport protocol_errors: {f:.0} (must be 0)"));
         }
         guard.checked += 1;
+    }
+    // Overload phase: guarded only when the baseline carries it (older
+    // baselines predate the load shedder). Shed responses must stay
+    // fast, goodput under overload must not shrink, the accepted-p99
+    // blow-up over the uncontended baseline is held like a latency, and
+    // the absolute invariants — nothing wedged, no protocol or client
+    // errors — are regressions at any count.
+    if baseline.get("overload").is_some() {
+        let f = num(fresh, &["overload", "shed_latency", "mean_us"])
+            .ok_or("fresh report lacks overload shed mean_us")?;
+        let b = num(baseline, &["overload", "shed_latency", "mean_us"])
+            .ok_or("baseline lacks overload shed mean_us")?;
+        guard.at_most("overload shed mean_us", f, b);
+        let f = num(fresh, &["overload", "goodput_per_sec"])
+            .ok_or("fresh report lacks overload goodput_per_sec")?;
+        let b = num(baseline, &["overload", "goodput_per_sec"])
+            .ok_or("baseline lacks overload goodput_per_sec")?;
+        guard.at_least("overload goodput_per_sec", f, b);
+        let f = num(fresh, &["overload", "p99_ratio"])
+            .ok_or("fresh report lacks overload p99_ratio")?;
+        let b =
+            num(baseline, &["overload", "p99_ratio"]).ok_or("baseline lacks overload p99_ratio")?;
+        guard.at_most("overload p99_ratio", f, b);
+        for must_be_zero in ["wedged", "protocol_errors", "client_errors"] {
+            let f = num(fresh, &["overload", must_be_zero])
+                .ok_or(format!("fresh report lacks overload {must_be_zero}"))?;
+            if f > 0.0 {
+                guard
+                    .violations
+                    .push(format!("overload {must_be_zero}: {f:.0} (must be 0)"));
+            }
+            guard.checked += 1;
+        }
     }
     Ok(())
 }

@@ -4,7 +4,7 @@
 //! M worker threads drive K sessions each over one shared
 //! `SessionManager` on the paper's flight & hotel instance — every session
 //! a different simulated user (goals cycle through the instance's
-//! non-nullable predicates, strategies through the paper's mix). Eight
+//! non-nullable predicates, strategies through the paper's mix). Nine
 //! phases are measured:
 //!
 //! 1. **interactive** — all `M·K` sessions live at once, each driven
@@ -50,6 +50,15 @@
 //!    connections held open concurrently; per-request latency is measured
 //!    client-side and the server's live `open_connections` is sampled at
 //!    a barrier while every client is still connected.
+//! 9. **overload** — the load shedder under several times more offered
+//!    load than the worker pool serves, through the chaos proxy: an
+//!    uncontended pass sets the latency baseline, then a client fleet
+//!    alternates session creates (admitted writes) with each session's
+//!    cold first LkS question (the expensive, sheddable read) while two
+//!    faulted connections (delay, drip) ride along. Reported:
+//!    accepted-vs-shed split, both latency distributions, the
+//!    accepted-p99-over-baseline ratio, goodput, and the must-be-zero
+//!    wedge/error counters.
 //!
 //! The `throughput` binary renders a table and writes `BENCH_server.json`
 //! at the repo root; see the README for the schema.
@@ -435,6 +444,88 @@ impl ToJson for TransportReport {
     }
 }
 
+/// The overload phase: the gateway behind the chaos proxy under more
+/// offered load than its worker pool can serve, with tight admission
+/// thresholds — the measurement of the load shedder itself. A clean
+/// uncontended pass on the same wire path sets the latency baseline;
+/// then a fleet of clients several times the worker pool hammers the
+/// same endpoints. The acceptance shape: accepted requests stay within
+/// a small factor of the uncontended p99 (the queue a request waits
+/// behind is bounded by the shed thresholds), shed responses come back
+/// in well under a millisecond (the 503 is written before routing or
+/// body parsing), nothing wedges, and the wire stays clean.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Metered load clients (each one keep-alive connection through the
+    /// chaos proxy).
+    pub clients: usize,
+    /// Extra fault-ridden clients (delayed / dripping connections) that
+    /// ride along unmetered — they must not wedge or corrupt anything.
+    pub chaos_clients: usize,
+    /// Server worker threads the load is offered against.
+    pub server_workers: usize,
+    /// Requests the metered clients offered.
+    pub offered: usize,
+    /// …of which were admitted and served.
+    pub accepted: usize,
+    /// …of which were shed with `503 overloaded` + `Retry-After`.
+    pub shed: usize,
+    /// Responses on metered connections that were neither a served 200
+    /// nor a well-formed shed — must be 0.
+    pub client_errors: u64,
+    /// Wire-level protocol errors the server observed — must be 0 (the
+    /// phase's faults delay bytes, they never corrupt them).
+    pub protocol_errors: u64,
+    /// Clients still unfinished at the phase deadline — must be 0.
+    pub wedged: usize,
+    /// Faults the chaos proxy injected.
+    pub faults_injected: u64,
+    /// Same-wire-path latency with a single client (the baseline).
+    pub uncontended: LatencySummary,
+    /// Client-measured latency of accepted requests under overload.
+    pub accepted_latency: LatencySummary,
+    /// Client-measured latency of shed responses.
+    pub shed_latency: LatencySummary,
+    /// `accepted p99 / uncontended p99` — the queue-bounding headline.
+    pub p99_ratio: f64,
+    /// Accepted (served) requests per second over the contended window.
+    pub goodput_per_sec: f64,
+    /// Contended window wall clock, seconds.
+    pub elapsed_s: f64,
+}
+
+impl ToJson for OverloadReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("clients".into(), Json::num(self.clients as f64)),
+            ("chaos_clients".into(), Json::num(self.chaos_clients as f64)),
+            (
+                "server_workers".into(),
+                Json::num(self.server_workers as f64),
+            ),
+            ("offered".into(), Json::num(self.offered as f64)),
+            ("accepted".into(), Json::num(self.accepted as f64)),
+            ("shed".into(), Json::num(self.shed as f64)),
+            ("client_errors".into(), Json::num(self.client_errors as f64)),
+            (
+                "protocol_errors".into(),
+                Json::num(self.protocol_errors as f64),
+            ),
+            ("wedged".into(), Json::num(self.wedged as f64)),
+            (
+                "faults_injected".into(),
+                Json::num(self.faults_injected as f64),
+            ),
+            ("uncontended".into(), self.uncontended.to_json()),
+            ("accepted_latency".into(), self.accepted_latency.to_json()),
+            ("shed_latency".into(), self.shed_latency.to_json()),
+            ("p99_ratio".into(), Json::Num(self.p99_ratio)),
+            ("goodput_per_sec".into(), Json::Num(self.goodput_per_sec)),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+        ])
+    }
+}
+
 /// The full benchmark report.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -460,6 +551,8 @@ pub struct ThroughputReport {
     pub durability: DurabilityReport,
     /// The transport phase (the workload over loopback HTTP).
     pub transport: TransportReport,
+    /// The overload phase (load shedding under chaos-proxied pressure).
+    pub overload: OverloadReport,
 }
 
 impl ToJson for ThroughputReport {
@@ -533,6 +626,7 @@ impl ToJson for ThroughputReport {
             ("hibernate".into(), self.hibernate.to_json()),
             ("durability".into(), self.durability.to_json()),
             ("transport".into(), self.transport.to_json()),
+            ("overload".into(), self.overload.to_json()),
         ])
     }
 }
@@ -635,6 +729,26 @@ impl ThroughputReport {
             self.transport.request_latency.p95_us,
             self.transport.restored,
             self.transport.protocol_errors,
+        );
+        let _ = writeln!(
+            out,
+            "overload: {} clients (+{} chaos) → {} workers via chaos proxy; {} offered, \
+             {} accepted at {:.0}/s (p99 {:.1} µs, {:.2}× uncontended), {} shed at mean \
+             {:.1} µs; {} wedged, {} client errors, {} protocol errors, {} faults injected",
+            self.overload.clients,
+            self.overload.chaos_clients,
+            self.overload.server_workers,
+            self.overload.offered,
+            self.overload.accepted,
+            self.overload.goodput_per_sec,
+            self.overload.accepted_latency.p99_us,
+            self.overload.p99_ratio,
+            self.overload.shed,
+            self.overload.shed_latency.mean_us,
+            self.overload.wedged,
+            self.overload.client_errors,
+            self.overload.protocol_errors,
+            self.overload.faults_injected,
         );
         out
     }
@@ -952,6 +1066,11 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
     // session, all open at once.
     let transport = transport_phase(&params, &universe, &plans);
 
+    // Phase 9: overload — more load than the worker pool can serve,
+    // offered through the chaos proxy against tight admission
+    // thresholds; measures the shedder, not the service.
+    let overload = overload_phase(tiny, params.seed);
+
     ThroughputReport {
         params,
         concurrent_sessions: total_sessions,
@@ -963,6 +1082,296 @@ pub fn run(tiny: bool, params: ThroughputParams) -> ThroughputReport {
         hibernate,
         durability,
         transport,
+        overload,
+    }
+}
+
+/// Drives the overload phase (see [`OverloadReport`]).
+///
+/// Topology: a 2-worker gateway with `queue_soft: 2` / `queue_hard`
+/// above the client count, reached only through a [`jqi_net::ChaosProxy`]
+/// whose script delays one connection and drip-feeds another (the two
+/// unmetered chaos clients) and relays the rest untouched. One clean
+/// client measures the uncontended baseline first; then every metered
+/// client gets its own session and alternates a read (`GET` session
+/// status — sheds past the soft threshold) with a write (`POST` an empty
+/// answer batch — admitted up to the hard threshold), so under pressure
+/// both outcomes occur: writes land, reads shed. Metered clients run a
+/// fixed request budget, extended (bounded) until the fleet has
+/// collectively seen a minimum number of sheds, so the shed-latency
+/// summary is never empty on a fast machine.
+fn overload_phase(tiny: bool, seed: u64) -> OverloadReport {
+    use jqi_datagen::tpch::{workload, TpchJoin, TpchScale};
+    use jqi_net::{ChaosProxy, ChaosScript, Client, Fault, NetConfig};
+    use jqi_server::http::{serve_with, OverloadConfig, UniverseRegistry};
+    use jqi_server::json::Json as Wire;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // 2× offered load: twice as many always-outstanding clients as
+    // worker threads — the acceptance shape. The request mix is create →
+    // first LkS question on a cold-cache TPC-H universe, so every
+    // accepted read is milliseconds of real lookahead compute: the
+    // accepted p99 then tracks the queue an admitted request waits
+    // behind (what the shedder bounds), not per-request scheduler noise.
+    let (clients_n, per_client, uncontended_n) = if tiny { (8, 40, 12) } else { (8, 200, 60) };
+    let chaos_clients_n = 2usize;
+    let min_shed = 25u64;
+    let wedge_deadline = Duration::from_secs(30);
+    let strategy_body = "{\"strategy\": \"LKS:2\"}";
+
+    let tpch = workload(TpchScale::Small, TpchJoin::Join4, seed);
+    let universe = Arc::new(Universe::build(tpch.instance).with_decision_cache_budget(0));
+    let registry = Arc::new(UniverseRegistry::new());
+    registry
+        .register(
+            "bench",
+            Arc::new(SessionManager::new(
+                Arc::clone(&universe),
+                ServerConfig::default(),
+            )),
+        )
+        .expect("fresh registry");
+    // Twice as many clients as workers (the 2× offered shape). The
+    // soft tier admits at most a couple of expensive reads at once, so
+    // the spare workers stay free to write sheds immediately instead of
+    // queueing them behind a lookahead in progress.
+    let net = NetConfig {
+        workers: 4,
+        max_connections: clients_n + chaos_clients_n + 16,
+        ..NetConfig::default()
+    };
+    let server_workers = net.workers;
+    let overload = OverloadConfig {
+        // Reads shed once more than two wake-ups are in flight; writes
+        // once more than six are. Both tiers bound the queue an
+        // accepted request waits behind — that bound, not the offered
+        // load, is what the accepted p99 tracks (the p99_ratio
+        // acceptance bar).
+        queue_soft: 2,
+        queue_hard: 6,
+        retry_after_s: 1,
+        ..OverloadConfig::default()
+    };
+    let (mut server, _gateway) =
+        serve_with(Arc::clone(&registry), "127.0.0.1:0", net, overload).expect("loopback bind");
+    // Connection 0 is the clean uncontended baseline; 1 and 2 are the
+    // chaos clients' (delayed, dripping); everything after runs clean.
+    let script = ChaosScript {
+        seed: 0x10AD,
+        faults: vec![
+            Fault::None,
+            Fault::Delay { ms: 10 },
+            Fault::Drip { chunk: 16, ms: 1 },
+        ],
+    };
+    let mut proxy = ChaosProxy::spawn(server.local_addr(), script).expect("proxy bind");
+    let addr = proxy.local_addr();
+
+    fn classify(resp: &jqi_net::ClientResponse) -> Result<bool, String> {
+        // Ok(true) = served, Ok(false) = well-formed shed, Err = neither.
+        let doc = resp
+            .body_str()
+            .ok()
+            .and_then(|t| Wire::parse(t).ok())
+            .ok_or_else(|| format!("unparseable body at status {}", resp.status))?;
+        match resp.status {
+            200 | 201 => Ok(true),
+            503 => {
+                let code = doc
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Wire::as_str);
+                let hinted = resp.headers.iter().any(|(n, _)| n == "retry-after");
+                if code == Some("overloaded") && hinted {
+                    Ok(false)
+                } else {
+                    Err(format!("503 without shed shape: {:?}", resp.body_str()))
+                }
+            }
+            other => Err(format!("unexpected status {other}: {:?}", resp.body_str())),
+        }
+    }
+
+    // Pulls the session id out of a 201 create response.
+    fn created_sid(resp: &jqi_net::ClientResponse) -> Option<u64> {
+        resp.body_str()
+            .ok()
+            .and_then(|t| Wire::parse(t).ok())
+            .and_then(|doc| doc.get("session").and_then(Wire::as_num))
+            .map(|n| n as u64)
+    }
+
+    // Uncontended baseline: one client, same wire path and request mix,
+    // no competition. Each GET is a fresh session's first question, so
+    // with the decision cache off every one pays the full lookahead.
+    let mut baseline_lat: Vec<u64> = Vec::with_capacity(uncontended_n);
+    let mut base = Client::connect(addr).expect("baseline connect");
+    let mut base_sid = 0u64;
+    for r in 0..uncontended_n {
+        let t0 = Instant::now();
+        let resp = if r % 2 == 0 {
+            base.post("/v1/universes/bench/sessions", strategy_body)
+        } else {
+            base.get(&format!("/v1/universes/bench/sessions/{base_sid}/question"))
+        }
+        .expect("baseline request");
+        baseline_lat.push(t0.elapsed().as_nanos() as u64);
+        assert!(
+            classify(&resp).expect("baseline must be clean"),
+            "the uncontended pass must never shed"
+        );
+        if resp.status == 201 {
+            base_sid = created_sid(&resp).expect("session id");
+        }
+    }
+    let uncontended = LatencySummary::of(baseline_lat);
+
+    // Connect everything up front, in order, so chaos connection indexes
+    // are deterministic; each metered client gets its own session while
+    // the wire is still calm.
+    let chaos_conns: Vec<Client> = (0..chaos_clients_n)
+        .map(|_| Client::connect(addr).expect("chaos connect"))
+        .collect();
+    let metered: Vec<(Client, u64)> = (0..clients_n)
+        .map(|_| {
+            let mut client = Client::connect(addr).expect("metered connect");
+            let created = client
+                .post("/v1/universes/bench/sessions", strategy_body)
+                .expect("metered create");
+            assert_eq!(created.status, 201, "{:?}", created.body_str());
+            let sid = created_sid(&created).expect("session id");
+            (client, sid)
+        })
+        .collect();
+
+    let shed_total = AtomicU64::new(0);
+    let phase_start = Instant::now();
+    let mut accepted_lat: Vec<u64> = Vec::new();
+    let mut shed_lat: Vec<u64> = Vec::new();
+    let mut client_errors = 0u64;
+    let mut wedged = 0usize;
+    std::thread::scope(|scope| {
+        // Chaos clients: unmetered read pressure over faulted
+        // connections. They may be shed or served; they must finish.
+        let chaos_handles: Vec<_> = chaos_conns
+            .into_iter()
+            .map(|mut client| {
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut errors = 0u64;
+                    for _ in 0..per_client / 2 {
+                        match client.get("/v1/universes") {
+                            Ok(resp) if classify(&resp).is_ok() => {}
+                            _ => errors += 1,
+                        }
+                        // Paced: the chaos connections exist to push
+                        // faulted bytes through the path, not to add
+                        // offered load on top of the metered fleet.
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    (errors, started.elapsed())
+                })
+            })
+            .collect();
+        let metered_handles: Vec<_> = metered
+            .into_iter()
+            .map(|(mut client, mut sid)| {
+                let shed_total = &shed_total;
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut accepted = Vec::new();
+                    let mut shed = Vec::new();
+                    let mut errors = 0u64;
+                    for r in 0..per_client * 4 {
+                        // Past the base budget, keep offering load only
+                        // until the fleet has its minimum shed sample.
+                        if r >= per_client && shed_total.load(Ordering::Relaxed) >= min_shed {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        // Mutating create, then the cold first question
+                        // on the session it made — the expensive read
+                        // the soft tier sheds first.
+                        let outcome = if r % 2 == 0 {
+                            client.post("/v1/universes/bench/sessions", strategy_body)
+                        } else {
+                            client.get(&format!("/v1/universes/bench/sessions/{sid}/question"))
+                        };
+                        let elapsed = t0.elapsed().as_nanos() as u64;
+                        match outcome {
+                            Err(_) => errors += 1,
+                            Ok(resp) => match classify(&resp) {
+                                Ok(true) => {
+                                    accepted.push(elapsed);
+                                    if resp.status == 201 {
+                                        sid = created_sid(&resp).unwrap_or(sid);
+                                    }
+                                }
+                                Ok(false) => {
+                                    shed.push(elapsed);
+                                    shed_total.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => errors += 1,
+                            },
+                        }
+                    }
+                    (accepted, shed, errors, started.elapsed())
+                })
+            })
+            .collect();
+        for handle in chaos_handles {
+            let (errors, elapsed) = handle.join().expect("no panics");
+            client_errors += errors;
+            if elapsed > wedge_deadline {
+                wedged += 1;
+            }
+        }
+        for handle in metered_handles {
+            let (accepted, shed, errors, elapsed) = handle.join().expect("no panics");
+            accepted_lat.extend(accepted);
+            shed_lat.extend(shed);
+            client_errors += errors;
+            if elapsed > wedge_deadline {
+                wedged += 1;
+            }
+        }
+    });
+    let elapsed_s = phase_start.elapsed().as_secs_f64();
+    let chaos_stats = proxy.stats();
+    let net_stats = server.stats();
+    proxy.shutdown();
+    server.shutdown();
+
+    let offered = accepted_lat.len() + shed_lat.len() + client_errors as usize;
+    let accepted = accepted_lat.len();
+    let shed = shed_lat.len();
+    assert!(
+        accepted > 0,
+        "the overload mix must land some writes (all {offered} offered requests shed)"
+    );
+    assert!(
+        shed > 0,
+        "the overload mix must shed some reads (all {offered} offered requests served)"
+    );
+    let accepted_latency = LatencySummary::of(accepted_lat);
+    let shed_latency = LatencySummary::of(shed_lat);
+    OverloadReport {
+        clients: clients_n,
+        chaos_clients: chaos_clients_n,
+        server_workers,
+        offered,
+        accepted,
+        shed,
+        client_errors,
+        protocol_errors: net_stats.protocol_errors,
+        wedged,
+        faults_injected: chaos_stats.faults_injected,
+        p99_ratio: accepted_latency.p99_us / uncontended.p99_us,
+        goodput_per_sec: accepted as f64 / elapsed_s,
+        uncontended,
+        accepted_latency,
+        shed_latency,
+        elapsed_s,
     }
 }
 
@@ -1451,6 +1860,23 @@ mod tests {
         assert!(t.requests >= 4 * t.sessions);
         assert_eq!(t.request_latency.count, t.requests);
         assert!(t.requests_per_sec > 0.0);
+        // Overload phase: both outcomes occurred, nothing wedged, the
+        // wire stayed clean, and sheds were fast even in a debug build.
+        let o = &report.overload;
+        assert_eq!(o.clients, 8);
+        assert_eq!(o.offered, o.accepted + o.shed);
+        assert!(o.accepted > 0 && o.shed > 0, "{o:?}");
+        assert!(o.shed as u64 >= 25 || o.offered >= o.clients * 160, "{o:?}");
+        assert_eq!(o.client_errors, 0, "{o:?}");
+        assert_eq!(o.protocol_errors, 0, "{o:?}");
+        assert_eq!(o.wedged, 0, "{o:?}");
+        assert!(o.faults_injected >= 2, "{o:?}");
+        assert!(o.goodput_per_sec > 0.0);
+        assert!(
+            o.shed_latency.mean_us < 5_000.0,
+            "sheds must be fast even in debug: {:?}",
+            o.shed_latency
+        );
         // The JSON report carries the acceptance-relevant fields.
         let json = report.to_json().to_string_pretty();
         for needle in [
@@ -1482,6 +1908,10 @@ mod tests {
             "transport",
             "request_latency",
             "open_connections_peak",
+            "overload",
+            "goodput_per_sec",
+            "p99_ratio",
+            "shed_latency",
         ] {
             assert!(json.contains(needle), "missing {needle} in report");
         }

@@ -1,12 +1,26 @@
-//! A minimal blocking HTTP/1.1 client over one keep-alive connection.
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection,
+//! plus a [`RetryingClient`] that survives an imperfect network.
 //!
 //! Exists for the loopback consumers of the stack — the integration
-//! tests, `examples/http_client.rs`, and the `transport` bench phase —
-//! so none of them has to hand-roll sockets. One [`Client`] is one
-//! connection; open several for concurrency.
+//! tests, `examples/http_client.rs`, and the `transport`/`overload`
+//! bench phases — so none of them has to hand-roll sockets. One
+//! [`Client`] is one connection; open several for concurrency.
+//!
+//! [`RetryingClient`] layers reconnects, capped exponential backoff with
+//! seeded jitter, and `Retry-After` honoring on top. It retries a failed
+//! send only when the request is *idempotent* — `GET`/`DELETE` by
+//! method, or a `POST` explicitly marked so by the caller (answer
+//! batches are class-addressed idempotent) — because a connection that
+//! died mid-exchange leaves the fate of a non-idempotent request
+//! unknown. A `503` with `Retry-After` is different: the server rejected
+//! the work *before doing any of it*, so any request may be retried, and
+//! the server's hint wins over the computed backoff.
 
-use crate::wire::{format_request, read_client_response, ClientResponse, HttpError, Limits};
-use std::net::{TcpStream, ToSocketAddrs};
+use crate::wire::{
+    format_request, format_request_with, read_client_response, ClientResponse, HttpError, Limits,
+    DEADLINE_HEADER,
+};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// One keep-alive connection to an HTTP server.
@@ -58,6 +72,22 @@ impl Client {
         read_client_response(&mut self.stream, &mut self.buf, &self.limits)
     }
 
+    /// Sends one request with extra headers and reads the response.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        extra: &[(String, String)],
+    ) -> Result<ClientResponse, HttpError> {
+        use std::io::Write;
+        let bytes = format_request_with(method, path, body, false, extra);
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        read_client_response(&mut self.stream, &mut self.buf, &self.limits)
+    }
+
     /// `GET path`.
     pub fn get(&mut self, path: &str) -> Result<ClientResponse, HttpError> {
         self.request("GET", path, None)
@@ -72,4 +102,214 @@ impl Client {
     pub fn delete(&mut self, path: &str) -> Result<ClientResponse, HttpError> {
         self.request("DELETE", path, None)
     }
+}
+
+/// Retry/backoff knobs for [`RetryingClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included (so `1` never retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any one computed or server-hinted wait.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream (same seed → same waits).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            seed: 0x6a71_6e65,
+        }
+    }
+}
+
+/// Counters a [`RetryingClient`] keeps about its own persistence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Requests re-sent after a connection-level failure.
+    pub retried_errors: u64,
+    /// Requests re-sent after a `503` + `Retry-After` shed.
+    pub retried_sheds: u64,
+    /// Reconnects performed (initial connects not included).
+    pub reconnects: u64,
+    /// Requests that exhausted every attempt.
+    pub gave_up: u64,
+}
+
+/// A [`Client`] wrapper that reconnects, backs off, and retries.
+///
+/// See the module docs for the retry rules. The per-request deadline
+/// (when set) rides on every request as the [`DEADLINE_HEADER`].
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: SocketAddr,
+    conn: Option<Client>,
+    policy: RetryPolicy,
+    read_timeout: Duration,
+    deadline_ms: Option<u64>,
+    rng: u64,
+    connected_once: bool,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// Creates a client for `addr`. The connection is opened lazily on
+    /// the first request and re-opened whenever it breaks.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy) -> RetryingClient {
+        RetryingClient {
+            addr,
+            conn: None,
+            policy,
+            read_timeout: Duration::from_secs(10),
+            deadline_ms: None,
+            rng: policy.seed | 1,
+            connected_once: false,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Sets the per-read socket timeout used for (re)connects.
+    pub fn set_read_timeout(&mut self, read_timeout: Duration) {
+        self.read_timeout = read_timeout;
+    }
+
+    /// Attaches (or clears) a deadline sent with every request as the
+    /// [`DEADLINE_HEADER`], in milliseconds.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// The retry counters so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// `GET path` — idempotent, retried on failure.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, HttpError> {
+        self.request("GET", path, None, true)
+    }
+
+    /// `DELETE path` — idempotent, retried on failure.
+    pub fn delete(&mut self, path: &str) -> Result<ClientResponse, HttpError> {
+        self.request("DELETE", path, None, true)
+    }
+
+    /// `POST path` — *not* retried on connection failure (its fate is
+    /// unknown once the connection dies), still retried on a shed `503`.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse, HttpError> {
+        self.request("POST", path, Some(body.as_bytes()), false)
+    }
+
+    /// `POST path` for an endpoint the caller asserts is idempotent
+    /// (e.g. class-addressed answer batches): retried like a `GET`.
+    pub fn post_idempotent(&mut self, path: &str, body: &str) -> Result<ClientResponse, HttpError> {
+        self.request("POST", path, Some(body.as_bytes()), true)
+    }
+
+    /// One request with the retry loop around it.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        idempotent: bool,
+    ) -> Result<ClientResponse, HttpError> {
+        let extra: Vec<(String, String)> = self
+            .deadline_ms
+            .map(|ms| vec![(DEADLINE_HEADER.to_string(), ms.to_string())])
+            .unwrap_or_default();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let last = attempt >= self.policy.max_attempts.max(1);
+            let outcome = self
+                .ensure_conn()
+                .and_then(|conn| conn.request_with(method, path, body, &extra));
+            match outcome {
+                Ok(response) if response.status == 503 => {
+                    let hinted = retry_after(&response);
+                    if response.close {
+                        self.conn = None;
+                    }
+                    // A shed happened before any work: safe to retry any
+                    // method. The server's hint beats the computed wait.
+                    if last || hinted.is_none() {
+                        if last {
+                            self.stats.gave_up += 1;
+                        }
+                        return Ok(response);
+                    }
+                    self.stats.retried_sheds += 1;
+                    let wait = hinted.unwrap_or_default().min(self.policy.max_backoff);
+                    std::thread::sleep(wait);
+                }
+                Ok(response) => {
+                    if response.close {
+                        self.conn = None;
+                    }
+                    return Ok(response);
+                }
+                Err(error) => {
+                    // The connection's state is unknown; start fresh.
+                    self.conn = None;
+                    if last || !idempotent {
+                        self.stats.gave_up += 1;
+                        return Err(error);
+                    }
+                    self.stats.retried_errors += 1;
+                    std::thread::sleep(self.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Client, HttpError> {
+        if self.conn.is_none() {
+            let fresh = Client::connect_with_timeout(self.addr, self.read_timeout)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            if self.connected_once {
+                self.stats.reconnects += 1;
+            }
+            self.connected_once = true;
+            self.conn = Some(fresh);
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    /// Capped exponential backoff with seeded jitter: the nominal wait
+    /// is `base << (attempt-1)` capped at `max_backoff`, jittered to
+    /// 50–100 % so synchronized clients fan out.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let nominal = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << (attempt - 1).min(16))
+            .min(self.policy.max_backoff);
+        self.rng = splitmix(self.rng);
+        let ns = nominal.as_nanos().min(u128::from(u64::MAX)) as u64;
+        Duration::from_nanos(ns / 2 + self.rng % (ns / 2 + 1).max(1))
+    }
+}
+
+/// The `Retry-After` header as a duration, when present and well-formed.
+fn retry_after(response: &ClientResponse) -> Option<Duration> {
+    response
+        .headers
+        .iter()
+        .find(|(n, _)| n == "retry-after")
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
+/// One step of splitmix64 (same generator the chaos proxy jitters with).
+fn splitmix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
 }

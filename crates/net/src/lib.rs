@@ -19,7 +19,20 @@
 //!   transport benchmark. A portable thread-per-connection fallback
 //!   covers non-Linux hosts.
 //! - [`client`] — a small blocking keep-alive client for tests,
-//!   examples, and the bench driver.
+//!   examples, and the bench driver, plus a [`client::RetryingClient`]
+//!   with capped, seeded-jitter backoff that honors `Retry-After` and
+//!   retries only idempotent requests.
+//! - [`chaos`] — a scripted, deterministic TCP fault-injection proxy
+//!   ([`chaos::ChaosProxy`]) for the integration tests and the
+//!   `overload` bench phase: delay, truncation, resets, slow-loris
+//!   drip, and duplicate delivery, per-connection by script index.
+//!
+//! The server also carries the overload-control seam: a
+//! [`server::Handler`] may implement [`server::Handler::admit`] to shed
+//! work with a fast `503` + `Retry-After` under pressure
+//! ([`server::Pressure`]), and every request can carry a deadline
+//! ([`wire::DEADLINE_HEADER`] or [`wire::Limits::default_deadline`])
+//! past which the work is abandoned before it runs.
 //!
 //! The crate knows nothing about sessions or universes: it turns bytes
 //! into [`wire::Request`]s and hands them to a [`server::Handler`]. The
@@ -37,12 +50,14 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod server;
 #[cfg(target_os = "linux")]
 pub mod sys;
 pub mod wire;
 
-pub use client::Client;
-pub use server::{Handler, NetConfig, NetStats, Server};
-pub use wire::{ClientResponse, HttpError, Limits, Request, Response};
+pub use chaos::{ChaosProxy, ChaosScript, ChaosStats, Fault};
+pub use client::{Client, RetryPolicy, RetryStats, RetryingClient};
+pub use server::{Admission, Handler, NetConfig, NetStats, Pressure, Server, StatsHandle};
+pub use wire::{ClientResponse, HttpError, Limits, Request, Response, DEADLINE_HEADER};

@@ -40,11 +40,46 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// A live snapshot of transport pressure, handed to [`Handler::admit`]
+/// so the application can decide to shed before any work is done.
+#[derive(Debug, Clone, Copy)]
+pub struct Pressure {
+    /// Wake-ups dispatched to the worker pool and not yet fully served —
+    /// the aggregate per-worker queue depth, *including* the request
+    /// being admitted.
+    pub queue_depth: usize,
+    /// Connections currently open (parked or in flight).
+    pub open_connections: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+/// The admission decision a [`Handler`] makes before a request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the handler.
+    Accept,
+    /// Don't: answer a fast `503 overloaded` with a `Retry-After` header
+    /// and keep the connection. Costs microseconds, sheds the work.
+    Shed {
+        /// Seconds the client should wait before retrying.
+        retry_after_s: u32,
+    },
+}
+
 /// The application half of the server: turns one request into one
 /// response. Implementations must be shareable across the worker pool.
 pub trait Handler: Send + Sync + 'static {
     /// Handles one parsed request.
     fn handle(&self, request: &Request) -> Response;
+
+    /// A fast admission check run *before* [`Handler::handle`], with live
+    /// transport pressure. The default accepts everything; an overloaded
+    /// service returns [`Admission::Shed`] for work it would rather
+    /// reject in microseconds than serve in seconds.
+    fn admit(&self, _request: &Request, _pressure: Pressure) -> Admission {
+        Admission::Accept
+    }
 }
 
 impl<F> Handler for F
@@ -92,13 +127,27 @@ pub struct NetStats {
     pub rejected: u64,
     /// Connections currently open (parked or in flight).
     pub open_connections: usize,
-    /// Requests fully parsed and handled.
+    /// Requests fully parsed and handled (shed requests not included).
     pub requests: u64,
     /// Requests answered with a wire-level error status (`400`, `408`,
-    /// `413`, `431`, `501`) or dropped mid-message.
+    /// `413`, `431`, `501`) or dropped mid-message. Idle timeouts and
+    /// peer resets have their own counters and are not in here.
     pub protocol_errors: u64,
     /// Handler panics caught and answered with `500`.
     pub handler_panics: u64,
+    /// Parked keep-alive connections closed for idling past the read
+    /// timeout — routine housekeeping, not an error.
+    pub idle_timeouts: u64,
+    /// Connections the peer reset (RST / abort / broken pipe) mid-use.
+    pub peer_resets: u64,
+    /// Requests rejected by [`Handler::admit`] with a fast `503`.
+    pub shed: u64,
+    /// Requests whose deadline had already lapsed when they reached a
+    /// worker; answered `504` without running the handler.
+    pub deadlines_exceeded: u64,
+    /// Wake-ups dispatched to the worker pool and not yet fully served
+    /// (the live aggregate per-worker queue depth).
+    pub queue_depth: usize,
 }
 
 /// Shared across the accept thread, event loop, and workers.
@@ -116,6 +165,11 @@ struct Shared {
     requests: AtomicU64,
     protocol_errors: AtomicU64,
     handler_panics: AtomicU64,
+    idle_timeouts: AtomicU64,
+    peer_resets: AtomicU64,
+    shed: AtomicU64,
+    deadlines_exceeded: AtomicU64,
+    depth: AtomicUsize,
 }
 
 /// One connection between requests: the socket plus any buffered bytes a
@@ -140,8 +194,17 @@ impl Shared {
         let request = match read_request(&mut conn.stream, &mut conn.buf, &self.config.limits) {
             Ok(request) => request,
             Err(error) => {
-                if !matches!(error, HttpError::Closed | HttpError::IdleTimeout) {
-                    self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                match &error {
+                    HttpError::Closed => {}
+                    HttpError::IdleTimeout => {
+                        self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    HttpError::Reset => {
+                        self.peer_resets.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 if let Some(status) = error.status() {
                     let body = format!(
@@ -155,6 +218,47 @@ impl Shared {
                 return Served::Close;
             }
         };
+        // Admission: the handler may shed in microseconds what it cannot
+        // afford to serve in seconds. The shed path allocates nothing
+        // beyond the constant body and keeps the connection.
+        let pressure = Pressure {
+            queue_depth: self.depth.load(Ordering::Relaxed),
+            open_connections: self.open.load(Ordering::Relaxed),
+            workers: self.config.workers.max(1),
+        };
+        if let Admission::Shed { retry_after_s } = self.handler.admit(&request, pressure) {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            let mut response = Response::json(
+                503,
+                "{\"error\": {\"code\": \"overloaded\", \
+                 \"message\": \"server is shedding load; retry later\"}}"
+                    .into(),
+            );
+            response
+                .headers
+                .push(("retry-after".into(), retry_after_s.to_string()));
+            response.close = request.close;
+            if write_response(&mut conn.stream, &response).is_err() || response.close {
+                return Served::Close;
+            }
+            return Served::KeepAlive;
+        }
+        // A request whose client already gave up is not worth running —
+        // and must never reach a durable append it would orphan.
+        if request.expired() {
+            self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+            let mut response = Response::json(
+                504,
+                "{\"error\": {\"code\": \"deadline_exceeded\", \
+                 \"message\": \"request deadline lapsed before the work ran\"}}"
+                    .into(),
+            );
+            response.close = request.close;
+            if write_response(&mut conn.stream, &response).is_err() || response.close {
+                return Served::Close;
+            }
+            return Served::KeepAlive;
+        }
         self.requests.fetch_add(1, Ordering::Relaxed);
         // A panicking handler answers 500 and costs the request, not the
         // worker: the session table and registry are lock-poisoning-free
@@ -182,6 +286,45 @@ impl Shared {
 
     fn close_conn(&self) {
         self.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            open_connections: self.open.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            idle_timeouts: self.idle_timeouts.load(Ordering::Relaxed),
+            peer_resets: self.peer_resets.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            queue_depth: self.depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A cloneable handle onto a running server's live [`NetStats`], for
+/// consumers that are not the owner of the [`Server`] — e.g. the gateway
+/// surfacing transport counters on `GET /v1/stats`.
+#[derive(Clone)]
+pub struct StatsHandle {
+    shared: Arc<Shared>,
+}
+
+impl StatsHandle {
+    /// A snapshot of the transport counters.
+    pub fn snapshot(&self) -> NetStats {
+        self.shared.snapshot()
+    }
+}
+
+impl std::fmt::Debug for StatsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsHandle")
+            .field("stats", &self.shared.snapshot())
+            .finish()
     }
 }
 
@@ -217,6 +360,11 @@ impl Server {
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             handler_panics: AtomicU64::new(0),
+            idle_timeouts: AtomicU64::new(0),
+            peer_resets: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadlines_exceeded: AtomicU64::new(0),
+            depth: AtomicUsize::new(0),
         });
         let threads = Self::spawn_threads(&shared, listener, workers)?;
         Ok(Server {
@@ -233,13 +381,15 @@ impl Server {
 
     /// A snapshot of the transport counters.
     pub fn stats(&self) -> NetStats {
-        NetStats {
-            accepted: self.shared.accepted.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            open_connections: self.shared.open.load(Ordering::Relaxed),
-            requests: self.shared.requests.load(Ordering::Relaxed),
-            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
-            handler_panics: self.shared.handler_panics.load(Ordering::Relaxed),
+        self.shared.snapshot()
+    }
+
+    /// A cloneable [`StatsHandle`] for consumers (like the gateway's
+    /// `GET /v1/stats`) that need the live counters without owning the
+    /// server.
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle {
+            shared: Arc::clone(&self.shared),
         }
     }
 
@@ -288,16 +438,15 @@ impl Server {
                             {
                                 shared.rejected.fetch_add(1, Ordering::Relaxed);
                                 let mut stream = stream;
-                                let _ = write_response(
-                                    &mut stream,
-                                    &Response::json(
-                                        503,
-                                        "{\"error\": {\"code\": \"overloaded\", \
-                                         \"message\": \"connection limit reached\"}}"
-                                            .into(),
-                                    )
-                                    .closing(),
-                                );
+                                let mut refusal = Response::json(
+                                    503,
+                                    "{\"error\": {\"code\": \"overloaded\", \
+                                     \"message\": \"connection limit reached\"}}"
+                                        .into(),
+                                )
+                                .closing();
+                                refusal.headers.push(("retry-after".into(), "1".into()));
+                                let _ = write_response(&mut stream, &refusal);
                                 continue;
                             }
                             let _ = stream.set_nodelay(true);
@@ -340,7 +489,9 @@ impl Server {
                                         // Copy out of the (possibly packed)
                                         // event before use.
                                         let token = { event.data };
+                                        shared.depth.fetch_add(1, Ordering::Relaxed);
                                         if ready_tx.send(token).is_err() {
+                                            shared.depth.fetch_sub(1, Ordering::Relaxed);
                                             return;
                                         }
                                     }
@@ -371,7 +522,10 @@ impl Server {
                         // A token may outlive its connection (closed by a
                         // racing error path); missing entries are stale.
                         let conn = shared.parked.lock().expect("not poisoned").remove(&token);
-                        let Some(mut conn) = conn else { continue };
+                        let Some(mut conn) = conn else {
+                            shared.depth.fetch_sub(1, Ordering::Relaxed);
+                            continue;
+                        };
                         loop {
                             match shared.serve_one(&mut conn) {
                                 Served::Close => {
@@ -399,6 +553,7 @@ impl Server {
                                 }
                             }
                         }
+                        shared.depth.fetch_sub(1, Ordering::Relaxed);
                     })?,
             );
         }
@@ -464,6 +619,10 @@ impl Server {
                             }
                         };
                         let mut conn = conn;
+                        // In the fallback a connection occupies its worker
+                        // for its whole lifetime, so "workers occupied" is
+                        // the honest queue-depth signal here.
+                        shared.depth.fetch_add(1, Ordering::Relaxed);
                         loop {
                             if shared.shutdown.load(Ordering::SeqCst) {
                                 break;
@@ -472,6 +631,7 @@ impl Server {
                                 break;
                             }
                         }
+                        shared.depth.fetch_sub(1, Ordering::Relaxed);
                         shared.close_conn();
                     })?,
             );
@@ -587,6 +747,71 @@ mod tests {
         assert!(response.starts_with("HTTP/1.1 400"), "got {response:?}");
         assert!(response.contains("malformed_request"));
         assert_eq!(server.stats().protocol_errors, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn admit_shed_answers_fast_503_with_retry_after_and_keeps_the_connection() {
+        struct Shedder;
+        impl Handler for Shedder {
+            fn handle(&self, _: &Request) -> Response {
+                Response::json(200, "{\"ok\": true}".into())
+            }
+            fn admit(&self, request: &Request, pressure: Pressure) -> Admission {
+                assert!(pressure.queue_depth >= 1, "the admitted request counts");
+                assert!(pressure.workers >= 1);
+                if request.path.starts_with("/cheap") {
+                    Admission::Shed { retry_after_s: 3 }
+                } else {
+                    Admission::Accept
+                }
+            }
+        }
+        let mut server =
+            Server::bind("127.0.0.1:0", Arc::new(Shedder), NetConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let response = client.get("/cheap/q").unwrap();
+        assert_eq!(response.status, 503);
+        assert!(response.body_str().unwrap().contains("overloaded"));
+        let retry_after = response
+            .headers
+            .iter()
+            .find(|(n, _)| n == "retry-after")
+            .map(|(_, v)| v.as_str());
+        assert_eq!(retry_after, Some("3"));
+        // Same connection still serves accepted work.
+        assert_eq!(client.get("/fine").unwrap().status, 200);
+        let stats = server.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.requests, 1, "shed requests are not counted as served");
+        assert_eq!(stats.protocol_errors, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn an_expired_deadline_gets_504_without_running_the_handler() {
+        let ran = Arc::new(AtomicU64::new(0));
+        let handler: Arc<dyn Handler> = {
+            let ran = Arc::clone(&ran);
+            Arc::new(move |_req: &Request| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                Response::json(200, "{}".into())
+            })
+        };
+        let mut server = Server::bind("127.0.0.1:0", handler, NetConfig::default()).unwrap();
+        use std::io::{Read, Write};
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /x HTTP/1.1\r\nx-deadline-ms: 0\r\nconnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 504"), "got {response:?}");
+        assert!(response.contains("deadline_exceeded"));
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "handler must not run");
+        let stats = server.stats();
+        assert_eq!(stats.deadlines_exceeded, 1);
+        assert_eq!(stats.requests, 0);
         server.shutdown();
     }
 

@@ -42,11 +42,50 @@ pub struct EpollEvent {
     pub data: u64,
 }
 
+/// `struct linger` as the kernel expects it for `SO_LINGER`.
+#[repr(C)]
+struct CLinger {
+    l_onoff: c_int,
+    l_linger: c_int,
+}
+
+const SOL_SOCKET: c_int = 1;
+const SO_LINGER: c_int = 13;
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const CLinger,
+        optlen: u32,
+    ) -> c_int;
+}
+
+/// Arms `SO_LINGER { on, 0s }` on a socket so the eventual close sends an
+/// RST instead of the orderly FIN — the chaos proxy's "peer reset" fault.
+pub fn set_linger_zero(fd: RawFd) -> io::Result<()> {
+    let linger = CLinger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_LINGER,
+            &linger,
+            std::mem::size_of::<CLinger>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
 }
 
 /// An owned epoll instance.

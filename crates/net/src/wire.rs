@@ -10,7 +10,7 @@
 //! — and never panic.
 
 use std::io::{Read, Write};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Hard ceilings the reader enforces while bytes arrive, so a misbehaving
 /// peer cannot balloon memory before the service even sees the request.
@@ -20,6 +20,15 @@ pub struct Limits {
     pub max_head_bytes: usize,
     /// Maximum declared `Content-Length` (exceeding → `413`, body unread).
     pub max_body_bytes: usize,
+    /// Wall-clock ceiling on reading one *started* message. The per-read
+    /// socket timeout resets on every byte, so a slow-loris peer dripping
+    /// one byte per poll could hold a worker forever; this bound caps the
+    /// whole read (`408` once exceeded). `None` disables the check.
+    pub max_read_time: Option<Duration>,
+    /// Deadline granted to requests that carry no [`DEADLINE_HEADER`],
+    /// measured from the first byte of the message. `None` means such
+    /// requests never expire.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for Limits {
@@ -27,9 +36,17 @@ impl Default for Limits {
         Limits {
             max_head_bytes: 16 << 10,
             max_body_bytes: 1 << 20,
+            max_read_time: Some(Duration::from_secs(30)),
+            default_deadline: None,
         }
     }
 }
+
+/// The request header naming the client's deadline in milliseconds from
+/// the moment the request started arriving. Once it lapses the client has
+/// given up: the server abandons the work (before any durable append) and
+/// answers `408`/`504` instead of computing an answer nobody reads.
+pub const DEADLINE_HEADER: &str = "x-deadline-ms";
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -44,6 +61,10 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked for `Connection: close`.
     pub close: bool,
+    /// When the client gives up on this request: parsed from
+    /// [`DEADLINE_HEADER`], or [`Limits::default_deadline`] when absent.
+    /// `None` means the request never expires.
+    pub deadline: Option<Instant>,
 }
 
 impl Request {
@@ -53,6 +74,18 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the request's deadline has already lapsed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left until the deadline (`None` when there is no deadline;
+    /// zero once it lapsed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     /// The body as UTF-8 text.
@@ -106,10 +139,12 @@ pub fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -142,7 +177,10 @@ pub enum HttpError {
     /// A framing the stack deliberately does not speak (chunked
     /// transfer coding). Answer `501` and close.
     Unsupported(String),
-    /// An underlying socket error (reset, broken pipe, …). Close.
+    /// The peer reset the connection (RST, aborted, broken pipe). Close
+    /// silently — there is nobody left to answer.
+    Reset,
+    /// An underlying socket error (anything else). Close.
     Io(String),
 }
 
@@ -151,7 +189,9 @@ impl HttpError {
     /// should close without a response.
     pub fn status(&self) -> Option<u16> {
         match self {
-            HttpError::Closed | HttpError::IdleTimeout | HttpError::Io(_) => None,
+            HttpError::Closed | HttpError::IdleTimeout | HttpError::Reset | HttpError::Io(_) => {
+                None
+            }
             HttpError::Timeout => Some(408),
             HttpError::Truncated | HttpError::Malformed(_) => Some(400),
             HttpError::HeadTooLarge => Some(431),
@@ -171,6 +211,7 @@ impl HttpError {
             HttpError::HeadTooLarge => "head_too_large",
             HttpError::BodyTooLarge => "body_too_large",
             HttpError::Unsupported(_) => "not_implemented",
+            HttpError::Reset => "peer_reset",
             HttpError::Io(_) => "io",
         }
     }
@@ -187,6 +228,7 @@ impl std::fmt::Display for HttpError {
             HttpError::HeadTooLarge => write!(f, "request head exceeds the limit"),
             HttpError::BodyTooLarge => write!(f, "request body exceeds the limit"),
             HttpError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            HttpError::Reset => write!(f, "connection reset by peer"),
             HttpError::Io(e) => write!(f, "socket error: {e}"),
         }
     }
@@ -211,6 +253,16 @@ fn read_some(stream: &mut impl Read, buf: &mut Vec<u8>) -> Result<usize, HttpErr
             {
                 return Err(HttpError::Timeout)
             }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                return Err(HttpError::Reset)
+            }
             Err(e) => return Err(HttpError::Io(e.to_string())),
         }
     }
@@ -232,6 +284,14 @@ pub fn read_request(
     buf: &mut Vec<u8>,
     limits: &Limits,
 ) -> Result<Request, HttpError> {
+    let started = Instant::now();
+    // The anti-drip bound: the socket timeout resets with every byte, so
+    // a peer feeding one byte per poll would otherwise never trip it.
+    let overdue = || {
+        limits
+            .max_read_time
+            .is_some_and(|cap| started.elapsed() > cap)
+    };
     // Phase 1: accumulate until the blank line ends the head.
     let head_end = loop {
         if let Some(end) = find_head_end(buf) {
@@ -242,6 +302,9 @@ pub fn read_request(
         }
         if buf.len() > limits.max_head_bytes {
             return Err(HttpError::HeadTooLarge);
+        }
+        if !buf.is_empty() && overdue() {
+            return Err(HttpError::Timeout);
         }
         match read_some(stream, buf) {
             Ok(0) if buf.is_empty() => return Err(HttpError::Closed),
@@ -311,8 +374,23 @@ pub fn read_request(
         _ => version == "HTTP/1.0",
     };
 
+    // The client's deadline, measured from the first byte of the message
+    // so drip-fed uploads spend their own budget.
+    let deadline = match headers.iter().find(|(n, _)| n == DEADLINE_HEADER) {
+        Some((_, v)) => {
+            let ms = v
+                .parse::<u64>()
+                .map_err(|_| HttpError::Malformed(format!("bad {DEADLINE_HEADER} {v:?}")))?;
+            Some(started + Duration::from_millis(ms))
+        }
+        None => limits.default_deadline.map(|d| started + d),
+    };
+
     // Phase 3: the body, exactly content_length bytes.
     while buf.len() < head_end + content_length {
+        if overdue() || deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(HttpError::Timeout);
+        }
         match read_some(stream, buf) {
             Ok(0) => return Err(HttpError::Truncated),
             Ok(_) => {}
@@ -328,6 +406,7 @@ pub fn read_request(
         headers,
         body,
         close,
+        deadline,
     })
 }
 
@@ -445,7 +524,22 @@ pub fn read_client_response(
 
 /// Formats one request head + body the server-side reader accepts.
 pub fn format_request(method: &str, path: &str, body: Option<&[u8]>, close: bool) -> Vec<u8> {
+    format_request_with(method, path, body, close, &[])
+}
+
+/// [`format_request`] with extra `(name, value)` headers (e.g. the
+/// [`DEADLINE_HEADER`]).
+pub fn format_request_with(
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    close: bool,
+    extra: &[(String, String)],
+) -> Vec<u8> {
     let mut out = format!("{method} {path} HTTP/1.1\r\nhost: localhost\r\n");
+    for (name, value) in extra {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
     if let Some(body) = body {
         out.push_str("content-type: application/json\r\n");
         out.push_str(&format!("content-length: {}\r\n", body.len()));
@@ -551,6 +645,7 @@ mod tests {
         let limits = Limits {
             max_head_bytes: 64,
             max_body_bytes: 16,
+            ..Limits::default()
         };
         let mut buf = Vec::new();
         let big_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
@@ -588,6 +683,106 @@ mod tests {
         assert!(!req.close);
         let req = parse(b"GET /x HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
         assert!(req.close);
+    }
+
+    #[test]
+    fn deadline_header_and_default_deadline_populate_the_request() {
+        let req = parse(b"GET /x HTTP/1.1\r\nx-deadline-ms: 250\r\n\r\n").unwrap();
+        let remaining = req.remaining().expect("deadline set");
+        assert!(remaining <= Duration::from_millis(250));
+        assert!(!req.expired());
+
+        // No header, no default: never expires.
+        let req = parse(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.deadline.is_none() && req.remaining().is_none());
+
+        // No header, but a per-Limits default.
+        let limits = Limits {
+            default_deadline: Some(Duration::from_secs(5)),
+            ..Limits::default()
+        };
+        let mut buf = Vec::new();
+        let req = read_request(
+            &mut Cursor::new(b"GET /x HTTP/1.1\r\n\r\n".to_vec()),
+            &mut buf,
+            &limits,
+        )
+        .unwrap();
+        assert!(req.deadline.is_some());
+
+        // An already-lapsed deadline parses but reports expired.
+        let req = parse(b"GET /x HTTP/1.1\r\nx-deadline-ms: 0\r\n\r\n").unwrap();
+        assert!(req.expired());
+        assert_eq!(req.remaining(), Some(Duration::ZERO));
+
+        // A garbage value is a malformed request, not a panic.
+        let err = parse(b"GET /x HTTP/1.1\r\nx-deadline-ms: soon\r\n\r\n").unwrap_err();
+        assert_eq!(err.code(), "malformed_request");
+    }
+
+    #[test]
+    fn reset_maps_to_a_silent_close() {
+        struct ResetStream;
+        impl Read for ResetStream {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::ErrorKind::ConnectionReset.into())
+            }
+        }
+        let mut buf = Vec::new();
+        let err = read_request(&mut ResetStream, &mut buf, &Limits::default()).unwrap_err();
+        assert_eq!(err, HttpError::Reset);
+        assert_eq!(err.status(), None, "nobody left to answer");
+        assert_eq!(err.code(), "peer_reset");
+    }
+
+    #[test]
+    fn a_drip_fed_head_is_cut_off_at_the_read_time_cap() {
+        // A reader that yields one byte per call, forever — the socket
+        // timeout would never fire because every read makes progress.
+        struct Drip {
+            data: &'static [u8],
+            at: usize,
+        }
+        impl Read for Drip {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                std::thread::sleep(Duration::from_millis(2));
+                let b = self.data[self.at % self.data.len()];
+                self.at += 1;
+                out[0] = b;
+                Ok(1)
+            }
+        }
+        let limits = Limits {
+            max_read_time: Some(Duration::from_millis(30)),
+            ..Limits::default()
+        };
+        let mut buf = Vec::new();
+        let started = Instant::now();
+        let err = read_request(
+            &mut Drip {
+                data: b"GET /x HTTP/1.1\r\nx-pad: aaaaaaaa",
+                at: 0,
+            },
+            &mut buf,
+            &limits,
+        )
+        .unwrap_err();
+        assert_eq!(err, HttpError::Timeout, "dripper must be cut off");
+        assert!(started.elapsed() < Duration::from_secs(5), "and promptly");
+    }
+
+    #[test]
+    fn format_request_with_carries_extra_headers() {
+        let bytes = format_request_with(
+            "GET",
+            "/x",
+            None,
+            false,
+            &[("x-deadline-ms".into(), "100".into())],
+        );
+        let req = parse(&bytes).unwrap();
+        assert_eq!(req.header("x-deadline-ms"), Some("100"));
+        assert!(req.deadline.is_some());
     }
 
     #[test]

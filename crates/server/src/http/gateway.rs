@@ -15,14 +15,15 @@
 //! durability tier insists on, surfaced over the wire. The full
 //! endpoint-by-endpoint contract lives in `docs/API.md`.
 
-use crate::http::metrics::GatewayMetrics;
+use crate::http::metrics::{GatewayMetrics, LatencyHistogram};
+use crate::http::overload::OverloadConfig;
 use crate::http::registry::{valid_universe_id, UniverseEntry, UniverseRegistry};
 use crate::json::Json;
 use crate::manager::{ManagerStats, ServerError, SessionId, SessionManager};
 use crate::snapshot::SessionSnapshot;
 use jqi_core::{Candidate, ClassId, Label, StrategyConfig};
-use jqi_net::{Request, Response};
-use std::sync::Arc;
+use jqi_net::{NetStats, Request, Response, StatsHandle};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Largest accepted `answers` array in one batch. Batches beyond it are
@@ -33,15 +34,26 @@ pub const MAX_ANSWER_BATCH: usize = 4096;
 pub struct Gateway {
     registry: Arc<UniverseRegistry>,
     metrics: Arc<GatewayMetrics>,
+    overload: OverloadConfig,
+    /// Live transport counters, attached once the server is bound (the
+    /// gateway is constructed first); `GET /v1/stats` serves them.
+    transport: OnceLock<StatsHandle>,
 }
 
 impl Gateway {
     /// Wraps a registry. The returned gateway is ready to be passed to
     /// [`jqi_net::Server::bind`] (via [`crate::http::serve`]).
     pub fn new(registry: Arc<UniverseRegistry>) -> Gateway {
+        Gateway::with_overload(registry, OverloadConfig::default())
+    }
+
+    /// [`Gateway::new`] with explicit admission-control thresholds.
+    pub fn with_overload(registry: Arc<UniverseRegistry>, overload: OverloadConfig) -> Gateway {
         Gateway {
             registry,
             metrics: Arc::new(GatewayMetrics::new()),
+            overload,
+            transport: OnceLock::new(),
         }
     }
 
@@ -54,6 +66,27 @@ impl Gateway {
     /// `"endpoints"` in `GET /v1/stats`).
     pub fn metrics(&self) -> &Arc<GatewayMetrics> {
         &self.metrics
+    }
+
+    /// Attaches the bound server's live transport counters so
+    /// `GET /v1/stats` can serve them. Later calls are no-ops.
+    pub fn attach_transport(&self, handle: StatsHandle) {
+        let _ = self.transport.set(handle);
+    }
+
+    /// The histogram whose rolling estimate stands for this request in
+    /// admission control, by the same leaf rules the router uses.
+    fn histogram_for(&self, method: &str, path: &str) -> &LatencyHistogram {
+        let leaf = path.rsplit('/').next().unwrap_or_default();
+        match (method, leaf) {
+            (_, "question") => &self.metrics.question,
+            (_, "answers") => &self.metrics.answers,
+            (_, "snapshot") => &self.metrics.snapshot,
+            ("POST", "sessions") => &self.metrics.create_session,
+            ("POST", "restore") => &self.metrics.restore,
+            (_, "stats") | (_, "universes") => &self.metrics.stats,
+            _ => &self.metrics.session,
+        }
     }
 
     fn route(&self, request: &Request) -> Response {
@@ -138,11 +171,17 @@ impl Gateway {
         }
         match self.registry.lookup(uid) {
             None => error(404, "unknown_universe", &format!("no universe {uid:?}")),
-            Some(UniverseEntry::Failed { error: cause }) => error(
-                503,
-                "universe_failed",
-                &format!("universe {uid:?} failed recovery: {cause}"),
-            ),
+            Some(UniverseEntry::Failed { error: cause }) => {
+                // Recovery may be re-attempted by an operator at any
+                // time; tell well-behaved clients when to look again.
+                let mut response = error(
+                    503,
+                    "universe_failed",
+                    &format!("universe {uid:?} failed recovery: {cause}"),
+                );
+                response.headers.push(("retry-after".into(), "5".into()));
+                response
+            }
             Some(UniverseEntry::Serving(manager)) => self.timed(histogram, || f(&manager)),
         }
     }
@@ -188,6 +227,43 @@ impl Gateway {
         )])))
     }
 
+    /// The `"transport"` block for `GET /v1/stats` — [`NetStats`] as
+    /// JSON, or `Null` before a server is attached.
+    fn transport_json(&self) -> Json {
+        let Some(handle) = self.transport.get() else {
+            return Json::Null;
+        };
+        let stats: NetStats = handle.snapshot();
+        Json::Obj(vec![
+            ("accepted".into(), Json::num(stats.accepted as f64)),
+            ("rejected".into(), Json::num(stats.rejected as f64)),
+            (
+                "open_connections".into(),
+                Json::num(stats.open_connections as f64),
+            ),
+            ("requests".into(), Json::num(stats.requests as f64)),
+            (
+                "protocol_errors".into(),
+                Json::num(stats.protocol_errors as f64),
+            ),
+            (
+                "handler_panics".into(),
+                Json::num(stats.handler_panics as f64),
+            ),
+            (
+                "idle_timeouts".into(),
+                Json::num(stats.idle_timeouts as f64),
+            ),
+            ("peer_resets".into(), Json::num(stats.peer_resets as f64)),
+            ("shed".into(), Json::num(stats.shed as f64)),
+            (
+                "deadlines_exceeded".into(),
+                Json::num(stats.deadlines_exceeded as f64),
+            ),
+            ("queue_depth".into(), Json::num(stats.queue_depth as f64)),
+        ])
+    }
+
     fn stats(&self) -> Result<Response, Response> {
         let universes = self
             .registry
@@ -215,6 +291,7 @@ impl Gateway {
         Ok(ok(Json::Obj(vec![
             ("universes".into(), Json::Obj(universes)),
             ("endpoints".into(), self.metrics.to_json()),
+            ("transport".into(), self.transport_json()),
         ])))
     }
 }
@@ -222,6 +299,14 @@ impl Gateway {
 impl jqi_net::Handler for Gateway {
     fn handle(&self, request: &Request) -> Response {
         self.route(request)
+    }
+
+    /// Admission control: the transport asks before any routing or body
+    /// parsing happens. Policy lives in [`OverloadConfig::admit`]; the
+    /// rolling latency estimate comes from the endpoint's own histogram.
+    fn admit(&self, request: &Request, pressure: jqi_net::Pressure) -> jqi_net::Admission {
+        let ewma_us = self.histogram_for(&request.method, &request.path).ewma_us();
+        self.overload.admit(request, pressure, ewma_us)
     }
 }
 
@@ -234,6 +319,21 @@ impl std::fmt::Debug for Gateway {
 }
 
 // ── endpoint bodies ────────────────────────────────────────────────────
+
+/// The last deadline check before mutating work: once the manager runs,
+/// the WAL append happens, and an append must never be orphaned by a
+/// client that already gave up. Cheap reads skip this — the transport
+/// already rejected requests that arrived expired.
+fn deadline_guard(request: &Request) -> Result<(), Response> {
+    if request.expired() {
+        return Err(error(
+            504,
+            "deadline_exceeded",
+            "client deadline lapsed before the mutation was applied; nothing was appended",
+        ));
+    }
+    Ok(())
+}
 
 fn create_session(manager: &SessionManager, request: &Request) -> Result<Response, Response> {
     let doc = parse_body(request)?;
@@ -249,6 +349,7 @@ fn create_session(manager: &SessionManager, request: &Request) -> Result<Respons
         })?
         .parse()
         .map_err(|e: String| error(400, "bad_strategy", &e))?;
+    deadline_guard(request)?;
     let id = manager
         .create_session(strategy.clone())
         .map_err(server_error)?;
@@ -328,6 +429,7 @@ fn answers(
         };
         batch.push((class, label));
     }
+    deadline_guard(request)?;
     let applied = manager.answer_batch(sid, &batch).map_err(server_error)?;
     let done = manager.is_done(sid).map_err(server_error)?;
     let interactions = manager.interactions(sid).map_err(server_error)?;
@@ -363,6 +465,7 @@ fn restore(manager: &SessionManager, request: &Request) -> Result<Response, Resp
         .map_err(|_| error(400, "bad_request", "snapshot body is not UTF-8"))?;
     let snapshot =
         SessionSnapshot::from_json(body).map_err(|e| error(400, "bad_snapshot", &e.to_string()))?;
+    deadline_guard(request)?;
     let id = manager.restore(&snapshot).map_err(server_error)?;
     Ok(ok_with(
         201,

@@ -23,6 +23,10 @@ pub struct LatencyHistogram {
     count: AtomicU64,
     total_ns: AtomicU64,
     max_ns: AtomicU64,
+    /// Rolling estimate (EWMA, α = 1/8) of recent latency — the signal
+    /// admission control sheds on. Lossy under races, which is fine for
+    /// a smoothed estimate.
+    ewma_ns: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
 
@@ -32,6 +36,7 @@ impl Default for LatencyHistogram {
             count: AtomicU64::new(0),
             total_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            ewma_ns: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -49,6 +54,9 @@ impl LatencyHistogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
+        self.ewma_ns.store(new, Ordering::Relaxed);
         let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
@@ -56,6 +64,13 @@ impl LatencyHistogram {
     /// Samples recorded so far.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// The rolling latency estimate in microseconds (0 before any
+    /// sample) — what admission control compares against its
+    /// thresholds.
+    pub fn ewma_us(&self) -> u64 {
+        self.ewma_ns.load(Ordering::Relaxed) / 1_000
     }
 
     /// The latency at quantile `q` (0..=1), read from bucket upper
@@ -105,6 +120,7 @@ impl LatencyHistogram {
                 "max_us".into(),
                 Json::Num(to_us(self.max_ns.load(Ordering::Relaxed))),
             ),
+            ("ewma_us".into(), Json::num(self.ewma_us() as f64)),
         ])
     }
 }
@@ -187,6 +203,20 @@ mod tests {
         assert!(get("p99_us") <= 20.0);
         assert!((get("max_us") - 10_000.0).abs() < 1.0);
         assert!(get("mean_us") > 10.0 && get("mean_us") < 200.0);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_latency_and_decays() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.ewma_us(), 0, "no samples, no estimate");
+        h.record(Duration::from_millis(10));
+        assert_eq!(h.ewma_us(), 10_000, "first sample seeds the estimate");
+        // A burst of fast samples pulls the estimate down toward them.
+        for _ in 0..64 {
+            h.record(Duration::from_micros(100));
+        }
+        assert!(h.ewma_us() < 500, "decayed to {}", h.ewma_us());
+        assert!(h.ewma_us() >= 100);
     }
 
     #[test]

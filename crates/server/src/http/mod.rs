@@ -21,10 +21,12 @@
 
 pub mod gateway;
 pub mod metrics;
+pub mod overload;
 pub mod registry;
 
 pub use gateway::{manager_stats_json, Gateway, MAX_ANSWER_BATCH};
 pub use metrics::{GatewayMetrics, LatencyHistogram};
+pub use overload::{classify, EndpointClass, OverloadConfig};
 pub use registry::{valid_universe_id, RegistryError, UniverseEntry, UniverseRegistry};
 
 use std::net::ToSocketAddrs;
@@ -58,8 +60,21 @@ pub fn serve(
     addr: impl ToSocketAddrs,
     config: jqi_net::NetConfig,
 ) -> std::io::Result<(jqi_net::Server, Arc<Gateway>)> {
-    let gateway = Arc::new(Gateway::new(registry));
+    serve_with(registry, addr, config, OverloadConfig::default())
+}
+
+/// [`serve`] with explicit admission-control thresholds — the bench's
+/// `overload` phase and the chaos tests tighten these to force shedding
+/// at small scale.
+pub fn serve_with(
+    registry: Arc<UniverseRegistry>,
+    addr: impl ToSocketAddrs,
+    config: jqi_net::NetConfig,
+    overload: OverloadConfig,
+) -> std::io::Result<(jqi_net::Server, Arc<Gateway>)> {
+    let gateway = Arc::new(Gateway::with_overload(registry, overload));
     let handler: Arc<dyn jqi_net::Handler> = Arc::clone(&gateway) as Arc<dyn jqi_net::Handler>;
     let server = jqi_net::Server::bind(addr, handler, config)?;
+    gateway.attach_transport(server.stats_handle());
     Ok((server, gateway))
 }

@@ -1,0 +1,382 @@
+//! Network-chaos integration: the gateway behind the scripted fault
+//! proxy, plus deterministic shedding and deadline propagation.
+//!
+//! The CI `chaos-smoke` job runs this suite over a small *fixed* seed
+//! set; every fault schedule and jitter stream is derived from the seed,
+//! so a failure here reproduces locally with the same seed. The
+//! invariants, in the order the tests assert them:
+//!
+//! * Accepted responses are always well-formed JSON with the documented
+//!   error shape — faults corrupt *connections*, never *state*.
+//! * Answer batches are class-addressed idempotent end-to-end: a
+//!   duplicated delivery (the retrying client's worst case) does not
+//!   double-count interactions.
+//! * An expired deadline on a mutating request answers `504
+//!   deadline_exceeded` and appends nothing.
+//! * Under pressure, the shed order holds: `question` before `answers`,
+//!   `/v1/stats` never — and the shed shows up in the transport
+//!   counters on `/v1/stats`.
+//! * [`RetryingClient`] rides `Retry-After` through a shed and rides a
+//!   reconnect through a mid-request reset.
+
+use jqi_core::paper::flight_hotel;
+use jqi_core::Universe;
+use jqi_net::{
+    ChaosProxy, ChaosScript, Client, ClientResponse, Fault, NetConfig, RetryPolicy, RetryingClient,
+};
+use jqi_server::http::{serve, serve_with, OverloadConfig, UniverseRegistry};
+use jqi_server::json::Json;
+use jqi_server::{ServerConfig, SessionManager};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A loopback gateway over the flight/hotel universe, tenant `demo`.
+fn demo_server() -> jqi_net::Server {
+    let (server, _gateway) =
+        serve(demo_registry(), "127.0.0.1:0", NetConfig::default()).expect("loopback bind");
+    server
+}
+
+fn demo_registry() -> Arc<UniverseRegistry> {
+    let registry = Arc::new(UniverseRegistry::new());
+    let universe = Arc::new(Universe::build(flight_hotel()));
+    registry
+        .register(
+            "demo",
+            Arc::new(SessionManager::new(universe, ServerConfig::default())),
+        )
+        .unwrap();
+    registry
+}
+
+fn json(response: &ClientResponse) -> Json {
+    Json::parse(response.body_str().expect("UTF-8 body")).expect("JSON body")
+}
+
+fn error_code(response: &ClientResponse) -> String {
+    json(response)
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error.code in {:?}", response.body_str()))
+        .to_string()
+}
+
+fn num(doc: &Json, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("no numeric {key:?} in {doc:?}"))
+}
+
+/// Creates a session and returns its id.
+fn create_session(client: &mut Client) -> u64 {
+    let created = client
+        .post("/v1/universes/demo/sessions", r#"{"strategy": "BU"}"#)
+        .unwrap();
+    assert_eq!(created.status, 201, "{:?}", created.body_str());
+    num(&json(&created), "session") as u64
+}
+
+#[test]
+fn the_gateway_survives_the_fixed_seed_set_without_corrupting_state() {
+    // Every chaos seed CI pins. Each run drives a full inference loop
+    // through a proxy whose early connections are scripted to misbehave;
+    // the loop must still converge, and every accepted response must be
+    // parseable JSON (zero protocol errors *on accepted requests*).
+    for seed in [1u64, 2, 3] {
+        let mut server = demo_server();
+        let script = ChaosScript {
+            seed,
+            faults: vec![
+                Fault::Delay { ms: 20 },
+                Fault::Truncate { bytes: 25 },
+                Fault::Reset { after_bytes: 40 },
+                Fault::Drip { chunk: 7, ms: 2 },
+                // Everything past the script runs clean.
+            ],
+        };
+        let mut proxy = ChaosProxy::spawn(server.local_addr(), script).unwrap();
+        let started = Instant::now();
+
+        // Burn the delayed and truncated connection indexes with plain
+        // clients; the retrying client then eats the reset on its first
+        // idempotent request and lands on the dripping-but-correct
+        // connection for everything after.
+        for _ in 0..2 {
+            let mut doomed =
+                Client::connect_with_timeout(proxy.local_addr(), Duration::from_secs(2)).unwrap();
+            let _ = doomed.get("/v1/stats"); // delayed, then truncated
+        }
+        let mut client = RetryingClient::new(proxy.local_addr(), RetryPolicy::default());
+        let warmed = client.get("/v1/stats").unwrap(); // reset → retried
+        assert_eq!(warmed.status, 200, "seed {seed}: {:?}", warmed.body_str());
+        assert_eq!(client.stats().retried_errors, 1, "seed {seed}");
+        let created = client
+            .post("/v1/universes/demo/sessions", r#"{"strategy": "BU"}"#)
+            .unwrap();
+        assert_eq!(created.status, 201, "seed {seed}: {:?}", created.body_str());
+        let sid = num(&json(&created), "session") as u64;
+
+        // Drive the loop to completion through the (now clean) proxy.
+        let mut rounds = 0;
+        loop {
+            let q = client
+                .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+                .unwrap();
+            assert_eq!(q.status, 200, "seed {seed}: {:?}", q.body_str());
+            let doc = json(&q);
+            if doc.get("done") == Some(&Json::Bool(true)) {
+                break;
+            }
+            let class = num(doc.get("question").unwrap(), "class") as u64;
+            let answered = client
+                .post_idempotent(
+                    &format!("/v1/universes/demo/sessions/{sid}/answers"),
+                    &format!(r#"{{"answers": [{{"class": {class}, "label": "-"}}]}}"#),
+                )
+                .unwrap();
+            assert_eq!(
+                answered.status,
+                200,
+                "seed {seed}: {:?}",
+                answered.body_str()
+            );
+            rounds += 1;
+            assert!(rounds < 100, "seed {seed}: the loop did not converge");
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "seed {seed}: chaos run wedged for {:?}",
+            started.elapsed()
+        );
+
+        // The faults were *accounted*, not absorbed into state: the
+        // transport saw the abuse, and no worker stayed wedged (a fresh
+        // direct request answers immediately).
+        let stats = server.stats();
+        assert!(
+            stats.protocol_errors + stats.peer_resets + stats.idle_timeouts >= 1,
+            "seed {seed}: the doomed connections left no trace: {stats:?}"
+        );
+        let mut direct = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(direct.get("/v1/stats").unwrap().status, 200);
+        proxy.shutdown();
+        server.shutdown();
+    }
+}
+
+#[test]
+fn duplicate_delivery_of_an_answer_batch_does_not_double_count() {
+    let mut server = demo_server();
+    let mut direct = Client::connect(server.local_addr()).unwrap();
+    let sid = create_session(&mut direct);
+    let q = direct
+        .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+        .unwrap();
+    let class = num(json(&q).get("question").unwrap(), "class") as u64;
+
+    // Deliver the batch through a connection that duplicates every
+    // segment — the wire-level equivalent of an at-least-once retry.
+    let script = ChaosScript {
+        seed: 7,
+        faults: vec![Fault::Duplicate],
+    };
+    let mut proxy = ChaosProxy::spawn(server.local_addr(), script).unwrap();
+    let mut through = Client::connect(proxy.local_addr()).unwrap();
+    let answered = through
+        .post(
+            &format!("/v1/universes/demo/sessions/{sid}/answers"),
+            &format!(r#"{{"answers": [{{"class": {class}, "label": "-"}}]}}"#),
+        )
+        .unwrap();
+    assert_eq!(answered.status, 200, "{:?}", answered.body_str());
+    let first = json(&answered);
+    assert_eq!(num(&first, "applied"), 1.0);
+    assert_eq!(num(&first, "interactions"), 1.0);
+
+    // The duplicated copy arrives pipelined behind the first; wait for
+    // the server to have served it before checking the count held.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while server.stats().requests < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        server.stats().requests >= 2,
+        "the duplicate never arrived: {:?}",
+        server.stats()
+    );
+    let status = direct
+        .get(&format!("/v1/universes/demo/sessions/{sid}"))
+        .unwrap();
+    assert_eq!(
+        num(&json(&status), "interactions"),
+        1.0,
+        "class-addressed batches must be idempotent end-to-end"
+    );
+    proxy.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn an_expired_deadline_on_answers_is_504_and_applies_nothing() {
+    let mut server = demo_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let sid = create_session(&mut client);
+    let q = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+        .unwrap();
+    let class = num(json(&q).get("question").unwrap(), "class") as u64;
+
+    // `x-deadline-ms: 0` expires on arrival: the transport answers 504
+    // before the handler ever routes the mutation.
+    let body = format!(r#"{{"answers": [{{"class": {class}, "label": "-"}}]}}"#);
+    let response = client
+        .request_with(
+            "POST",
+            &format!("/v1/universes/demo/sessions/{sid}/answers"),
+            Some(body.as_bytes()),
+            &[(jqi_net::DEADLINE_HEADER.to_string(), "0".to_string())],
+        )
+        .unwrap();
+    assert_eq!(response.status, 504, "{:?}", response.body_str());
+    assert_eq!(error_code(&response), "deadline_exceeded");
+
+    let status = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}"))
+        .unwrap();
+    assert_eq!(
+        num(&json(&status), "interactions"),
+        0.0,
+        "nothing may be applied past the deadline"
+    );
+    assert_eq!(server.stats().deadlines_exceeded, 1);
+
+    // A generous deadline rides through and the mutation lands.
+    let ok = client
+        .request_with(
+            "POST",
+            &format!("/v1/universes/demo/sessions/{sid}/answers"),
+            Some(body.as_bytes()),
+            &[(jqi_net::DEADLINE_HEADER.to_string(), "10000".to_string())],
+        )
+        .unwrap();
+    assert_eq!(ok.status, 200, "{:?}", ok.body_str());
+    server.shutdown();
+}
+
+#[test]
+fn shed_order_holds_and_shows_up_in_transport_counters() {
+    // queue_soft: 0 means every read-only request sheds (its own wake-up
+    // puts the depth at ≥ 1), while mutating traffic and /v1/stats pass.
+    let overload = OverloadConfig {
+        queue_soft: 0,
+        queue_hard: 1_000,
+        retry_after_s: 3,
+        ..OverloadConfig::default()
+    };
+    let (mut server, _gateway) = serve_with(
+        demo_registry(),
+        "127.0.0.1:0",
+        NetConfig::default(),
+        overload,
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let sid = create_session(&mut client); // mutating: admitted
+
+    // Read-only sheds fast, with the configured hint, on a kept-alive
+    // connection.
+    let started = Instant::now();
+    let shed = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+        .unwrap();
+    assert!(
+        started.elapsed() < Duration::from_millis(100),
+        "a shed must be fast, took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(shed.status, 503, "{:?}", shed.body_str());
+    assert_eq!(error_code(&shed), "overloaded");
+    let hint = shed
+        .headers
+        .iter()
+        .find(|(n, _)| n == "retry-after")
+        .map(|(_, v)| v.clone());
+    assert_eq!(hint.as_deref(), Some("3"));
+
+    // Mutating traffic still lands on the same connection…
+    let q_free = client
+        .post(
+            &format!("/v1/universes/demo/sessions/{sid}/answers"),
+            r#"{"answers": []}"#,
+        )
+        .unwrap();
+    assert_eq!(q_free.status, 200, "{:?}", q_free.body_str());
+
+    // …and /v1/stats never sheds, surfacing the shed it just dodged.
+    let stats = client.get("/v1/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let transport = json(&stats);
+    let transport = transport
+        .get("transport")
+        .unwrap_or_else(|| panic!("no transport block in {:?}", stats.body_str()));
+    assert!(num(transport, "shed") >= 1.0, "{transport:?}");
+    assert!(num(transport, "accepted") >= 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn the_retrying_client_rides_a_shed_through_retry_after() {
+    // Shed everything except control traffic, with a 0-second hint so
+    // the retries are immediate; after two sheds the policy gives up.
+    let overload = OverloadConfig {
+        queue_soft: 0,
+        queue_hard: 0,
+        retry_after_s: 0,
+        ..OverloadConfig::default()
+    };
+    let (mut server, _gateway) = serve_with(
+        demo_registry(),
+        "127.0.0.1:0",
+        NetConfig::default(),
+        overload,
+    )
+    .unwrap();
+    let mut client = RetryingClient::new(
+        server.local_addr(),
+        RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        },
+    );
+    let shed = client.get("/v1/universes").unwrap();
+    assert_eq!(shed.status, 503, "still overloaded after every retry");
+    let stats = client.stats();
+    assert_eq!(stats.retried_sheds, 2, "{stats:?}");
+    assert_eq!(stats.gave_up, 1, "{stats:?}");
+    // Control traffic needs no retries at all.
+    assert_eq!(client.get("/v1/stats").unwrap().status, 200);
+    assert_eq!(client.stats().retried_sheds, 2);
+    assert!(server.stats().shed >= 3);
+    server.shutdown();
+}
+
+#[test]
+fn the_retrying_client_reconnects_through_a_mid_request_reset() {
+    let mut server = demo_server();
+    // Connection 0 is reset 10 bytes in; connection 1 runs clean.
+    let script = ChaosScript {
+        seed: 5,
+        faults: vec![Fault::Reset { after_bytes: 10 }],
+    };
+    let mut proxy = ChaosProxy::spawn(server.local_addr(), script).unwrap();
+    let mut client = RetryingClient::new(proxy.local_addr(), RetryPolicy::default());
+    let response = client.get("/v1/stats").unwrap();
+    assert_eq!(response.status, 200, "{:?}", response.body_str());
+    let stats = client.stats();
+    assert_eq!(stats.retried_errors, 1, "{stats:?}");
+    assert_eq!(stats.reconnects, 1, "{stats:?}");
+    assert_eq!(stats.gave_up, 0, "{stats:?}");
+    proxy.shutdown();
+    server.shutdown();
+}

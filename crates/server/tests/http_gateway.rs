@@ -273,6 +273,15 @@ fn failed_startup_recovery_serves_503_with_the_fingerprint_cause() {
         .unwrap();
     assert_eq!(response.status, 503, "{:?}", response.body_str());
     assert_eq!(error_code(&response), "universe_failed");
+    // Every 503 carries a Retry-After hint for the retrying client.
+    assert_eq!(
+        response
+            .headers
+            .iter()
+            .find(|(n, _)| n == "retry-after")
+            .map(|(_, v)| v.as_str()),
+        Some("5")
+    );
     assert!(
         response
             .body_str()
@@ -517,4 +526,25 @@ fn stats_expose_manager_decision_cache_and_durability_blocks() {
         .is_some());
     // Non-durable manager: durability block is null, not absent.
     assert_eq!(demo.get("durability"), Some(&Json::Null));
+
+    // The transport block surfaces the live NetStats counters —
+    // accepted connections, the overload/abuse counters, and the
+    // instantaneous worker queue depth.
+    let transport = doc.get("transport").expect("transport block");
+    for counter in [
+        "accepted",
+        "requests",
+        "shed",
+        "idle_timeouts",
+        "peer_resets",
+        "protocol_errors",
+        "deadlines_exceeded",
+        "queue_depth",
+    ] {
+        assert!(
+            transport.get(counter).and_then(Json::as_num).is_some(),
+            "missing transport counter {counter:?} in {transport:?}"
+        );
+    }
+    assert!(transport.get("accepted").and_then(Json::as_num).unwrap() >= 1.0);
 }
