@@ -13,8 +13,12 @@
 //! batches are class-addressed idempotent) — because a connection that
 //! died mid-exchange leaves the fate of a non-idempotent request
 //! unknown. A `503` with `Retry-After` is different: the server rejected
-//! the work *before doing any of it*, so any request may be retried, and
-//! the server's hint wins over the computed backoff.
+//! the work *before doing any of it*, so any request may be retried. The
+//! server's hint replaces the computed backoff as the nominal wait, but
+//! is floored at the policy base and jittered to 50–100 % like any other
+//! sleep — a fleet of shed clients obeying the same hint verbatim would
+//! return in lockstep and re-create the overload it hinted them away
+//! from.
 
 use crate::wire::{
     format_request, format_request_with, read_client_response, ClientResponse, HttpError, Limits,
@@ -109,7 +113,9 @@ impl Client {
 pub struct RetryPolicy {
     /// Total attempts, the first included (so `1` never retries).
     pub max_attempts: u32,
-    /// Backoff before the first retry; doubles per attempt.
+    /// Backoff before the first retry; doubles per attempt. Also the
+    /// floor under server-hinted waits, so `Retry-After: 0` cannot turn
+    /// the retry loop hot.
     pub base_backoff: Duration,
     /// Ceiling on any one computed or server-hinted wait.
     pub max_backoff: Duration,
@@ -237,7 +243,12 @@ impl RetryingClient {
                         self.conn = None;
                     }
                     // A shed happened before any work: safe to retry any
-                    // method. The server's hint beats the computed wait.
+                    // method. The server's hint sets the nominal wait,
+                    // floored at the policy base (a `Retry-After: 0` must
+                    // not become a hot retry loop) and jittered like any
+                    // other backoff — every shed client got the same hint
+                    // at the same moment, so sleeping it verbatim would
+                    // march them back in lockstep for a retry stampede.
                     if last || hinted.is_none() {
                         if last {
                             self.stats.gave_up += 1;
@@ -245,7 +256,11 @@ impl RetryingClient {
                         return Ok(response);
                     }
                     self.stats.retried_sheds += 1;
-                    let wait = hinted.unwrap_or_default().min(self.policy.max_backoff);
+                    let nominal = hinted
+                        .unwrap_or_default()
+                        .max(self.policy.base_backoff)
+                        .min(self.policy.max_backoff);
+                    let wait = self.jittered(nominal);
                     std::thread::sleep(wait);
                 }
                 Ok(response) => {
@@ -290,6 +305,12 @@ impl RetryingClient {
             .base_backoff
             .saturating_mul(1u32 << (attempt - 1).min(16))
             .min(self.policy.max_backoff);
+        self.jittered(nominal)
+    }
+
+    /// Jitters `nominal` to a seeded-random 50–100 % of itself. Applied
+    /// to every sleep, including server-hinted `Retry-After` waits.
+    fn jittered(&mut self, nominal: Duration) -> Duration {
         self.rng = splitmix(self.rng);
         let ns = nominal.as_nanos().min(u128::from(u64::MAX)) as u64;
         Duration::from_nanos(ns / 2 + self.rng % (ns / 2 + 1).max(1))
@@ -312,4 +333,38 @@ fn splitmix(state: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(seed: u64) -> RetryingClient {
+        let policy = RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        };
+        RetryingClient::new("127.0.0.1:1".parse().unwrap(), policy)
+    }
+
+    #[test]
+    fn jittered_waits_land_in_the_half_to_full_window() {
+        let mut c = client(7);
+        let nominal = Duration::from_millis(100);
+        for _ in 0..64 {
+            let wait = c.jittered(nominal);
+            assert!(wait >= nominal / 2 && wait <= nominal, "wait {wait:?}");
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_identically_hinted_clients_apart() {
+        // Two clients with different seeds obeying the same hint must not
+        // come back at the same instant — that is the retry stampede the
+        // jitter exists to break.
+        let (mut a, mut b) = (client(1), client(2));
+        let nominal = Duration::from_secs(1);
+        let spread = (0..16).any(|_| a.jittered(nominal) != b.jittered(nominal));
+        assert!(spread);
+    }
 }

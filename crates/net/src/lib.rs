@@ -60,4 +60,6 @@ pub mod wire;
 pub use chaos::{ChaosProxy, ChaosScript, ChaosStats, Fault};
 pub use client::{Client, RetryPolicy, RetryStats, RetryingClient};
 pub use server::{Admission, Handler, NetConfig, NetStats, Pressure, Server, StatsHandle};
-pub use wire::{ClientResponse, HttpError, Limits, Request, Response, DEADLINE_HEADER};
+pub use wire::{
+    ClientResponse, HttpError, Limits, Request, RequestHead, Response, DEADLINE_HEADER,
+};

@@ -31,7 +31,8 @@
 //! lifetime; the API is identical, concurrency is bounded by the pool.
 
 use crate::wire::{
-    read_request, write_response, HttpError, Limits, Request, Response, DEFAULT_READ_TIMEOUT,
+    read_request_body, read_request_head, write_response, HttpError, Limits, Request, RequestHead,
+    Response, DEFAULT_READ_TIMEOUT,
 };
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -59,8 +60,11 @@ pub struct Pressure {
 pub enum Admission {
     /// Run the handler.
     Accept,
-    /// Don't: answer a fast `503 overloaded` with a `Retry-After` header
-    /// and keep the connection. Costs microseconds, sheds the work.
+    /// Don't: answer a fast `503 overloaded` with a `Retry-After`
+    /// header. Costs microseconds, sheds the work — including the body
+    /// transfer: the decision is made on the framed head, and a body
+    /// still in flight is never waited out (the connection closes with
+    /// the refusal instead).
     Shed {
         /// Seconds the client should wait before retrying.
         retry_after_s: u32,
@@ -73,11 +77,12 @@ pub trait Handler: Send + Sync + 'static {
     /// Handles one parsed request.
     fn handle(&self, request: &Request) -> Response;
 
-    /// A fast admission check run *before* [`Handler::handle`], with live
+    /// A fast admission check run on the framed request head — *before*
+    /// the body is read, before [`Handler::handle`] — with live
     /// transport pressure. The default accepts everything; an overloaded
     /// service returns [`Admission::Shed`] for work it would rather
     /// reject in microseconds than serve in seconds.
-    fn admit(&self, _request: &Request, _pressure: Pressure) -> Admission {
+    fn admit(&self, _head: &RequestHead, _pressure: Pressure) -> Admission {
         Admission::Accept
     }
 }
@@ -142,8 +147,9 @@ pub struct NetStats {
     pub peer_resets: u64,
     /// Requests rejected by [`Handler::admit`] with a fast `503`.
     pub shed: u64,
-    /// Requests whose deadline had already lapsed when they reached a
-    /// worker; answered `504` without running the handler.
+    /// Requests whose deadline lapsed before the handler ran — on
+    /// arrival at a worker, or while the body was still being read.
+    /// Answered `504`; never counted as a protocol error.
     pub deadlines_exceeded: u64,
     /// Wake-ups dispatched to the worker pool and not yet fully served
     /// (the live aggregate per-worker queue depth).
@@ -187,47 +193,86 @@ enum Served {
     Close,
 }
 
+/// Holds one unit of worker queue depth for a scope. The portable
+/// fallback uses it to count only in-flight requests (head framed →
+/// response written) — never a parked keep-alive connection idling on
+/// its worker — so idle connections cannot masquerade as queue pressure.
+struct DepthGuard<'a>(&'a AtomicUsize);
+
+impl<'a> DepthGuard<'a> {
+    fn hold(depth: &'a AtomicUsize) -> DepthGuard<'a> {
+        depth.fetch_add(1, Ordering::Relaxed);
+        DepthGuard(depth)
+    }
+}
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl Shared {
-    /// Reads + handles exactly one request on `conn`. The caller owns the
-    /// connection for the duration.
-    fn serve_one(&self, conn: &mut Conn) -> Served {
-        let request = match read_request(&mut conn.stream, &mut conn.buf, &self.config.limits) {
-            Ok(request) => request,
-            Err(error) => {
-                match &error {
-                    HttpError::Closed => {}
-                    HttpError::IdleTimeout => {
-                        self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
-                    }
-                    HttpError::Reset => {
-                        self.peer_resets.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {
-                        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                if let Some(status) = error.status() {
-                    let body = format!(
-                        "{{\"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
-                        error.code(),
-                        error.to_string().replace('"', "'")
-                    );
-                    let _ =
-                        write_response(&mut conn.stream, &Response::json(status, body).closing());
-                }
-                return Served::Close;
+    /// Accounts one failed read to the right counter and answers it
+    /// (when the error taxonomy says an answer is owed). Always closes.
+    fn fail_read(&self, conn: &mut Conn, error: HttpError) -> Served {
+        match &error {
+            HttpError::Closed => {}
+            HttpError::IdleTimeout => {
+                self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
             }
+            HttpError::Reset => {
+                self.peer_resets.fetch_add(1, Ordering::Relaxed);
+            }
+            HttpError::DeadlineLapsed => {
+                // The client spent its own budget on the upload: a
+                // lapsed deadline, not a protocol error — operators and
+                // CI treat `protocol_errors` as a must-be-zero signal.
+                self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(status) = error.status() {
+            let body = format!(
+                "{{\"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
+                error.code(),
+                error.to_string().replace('"', "'")
+            );
+            let _ = write_response(&mut conn.stream, &Response::json(status, body).closing());
+        }
+        Served::Close
+    }
+
+    /// Reads + handles exactly one request on `conn`. The caller owns the
+    /// connection for the duration. `track_depth` is set by the portable
+    /// fallback, where no event loop counts dispatched wake-ups: the
+    /// depth is then held here, per in-flight request.
+    fn serve_one(&self, conn: &mut Conn, track_depth: bool) -> Served {
+        let head = match read_request_head(&mut conn.stream, &mut conn.buf, &self.config.limits) {
+            Ok(head) => head,
+            Err(error) => return self.fail_read(conn, error),
         };
+        let _depth = track_depth.then(|| DepthGuard::hold(&self.depth));
         // Admission: the handler may shed in microseconds what it cannot
-        // afford to serve in seconds. The shed path allocates nothing
-        // beyond the constant body and keeps the connection.
+        // afford to serve in seconds. Decided on the head alone, so a
+        // shed POST never occupies this worker for its body transfer.
         let pressure = Pressure {
             queue_depth: self.depth.load(Ordering::Relaxed),
             open_connections: self.open.load(Ordering::Relaxed),
             workers: self.config.workers.max(1),
         };
-        if let Admission::Shed { retry_after_s } = self.handler.admit(&request, pressure) {
+        if let Admission::Shed { retry_after_s } = self.handler.admit(&head, pressure) {
             self.shed.fetch_add(1, Ordering::Relaxed);
+            // If the peer already delivered the whole body, drop it and
+            // keep the connection; otherwise answer-and-close so the
+            // unread bytes die with the socket instead of holding the
+            // worker at the peer's pace.
+            let body_buffered = conn.buf.len() >= head.content_length;
+            if body_buffered {
+                conn.buf.drain(..head.content_length);
+            }
             let mut response = Response::json(
                 503,
                 "{\"error\": {\"code\": \"overloaded\", \
@@ -237,12 +282,17 @@ impl Shared {
             response
                 .headers
                 .push(("retry-after".into(), retry_after_s.to_string()));
-            response.close = request.close;
+            response.close = head.close || !body_buffered;
             if write_response(&mut conn.stream, &response).is_err() || response.close {
                 return Served::Close;
             }
             return Served::KeepAlive;
         }
+        let request =
+            match read_request_body(&mut conn.stream, &mut conn.buf, head, &self.config.limits) {
+                Ok(request) => request,
+                Err(error) => return self.fail_read(conn, error),
+            };
         // A request whose client already gave up is not worth running —
         // and must never reach a durable append it would orphan.
         if request.expired() {
@@ -527,7 +577,7 @@ impl Server {
                             continue;
                         };
                         loop {
-                            match shared.serve_one(&mut conn) {
+                            match shared.serve_one(&mut conn, false) {
                                 Served::Close => {
                                     shared.close_conn();
                                     break;
@@ -619,19 +669,19 @@ impl Server {
                             }
                         };
                         let mut conn = conn;
-                        // In the fallback a connection occupies its worker
-                        // for its whole lifetime, so "workers occupied" is
-                        // the honest queue-depth signal here.
-                        shared.depth.fetch_add(1, Ordering::Relaxed);
+                        // serve_one holds the queue depth per in-flight
+                        // request (track_depth), so a connection idling
+                        // between keep-alive requests — which occupies
+                        // this worker, but queues no work — never counts
+                        // as pressure.
                         loop {
                             if shared.shutdown.load(Ordering::SeqCst) {
                                 break;
                             }
-                            if matches!(shared.serve_one(&mut conn), Served::Close) {
+                            if matches!(shared.serve_one(&mut conn, true), Served::Close) {
                                 break;
                             }
                         }
-                        shared.depth.fetch_sub(1, Ordering::Relaxed);
                         shared.close_conn();
                     })?,
             );
@@ -757,10 +807,10 @@ mod tests {
             fn handle(&self, _: &Request) -> Response {
                 Response::json(200, "{\"ok\": true}".into())
             }
-            fn admit(&self, request: &Request, pressure: Pressure) -> Admission {
+            fn admit(&self, head: &RequestHead, pressure: Pressure) -> Admission {
                 assert!(pressure.queue_depth >= 1, "the admitted request counts");
                 assert!(pressure.workers >= 1);
-                if request.path.starts_with("/cheap") {
+                if head.path.starts_with("/cheap") {
                     Admission::Shed { retry_after_s: 3 }
                 } else {
                     Admission::Accept
@@ -785,6 +835,76 @@ mod tests {
         assert_eq!(stats.shed, 1);
         assert_eq!(stats.requests, 1, "shed requests are not counted as served");
         assert_eq!(stats.protocol_errors, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_shed_post_does_not_wait_for_its_body() {
+        struct ShedEverything;
+        impl Handler for ShedEverything {
+            fn handle(&self, _: &Request) -> Response {
+                Response::json(200, "{}".into())
+            }
+            fn admit(&self, _: &RequestHead, _: Pressure) -> Admission {
+                Admission::Shed { retry_after_s: 1 }
+            }
+        }
+        let mut server = Server::bind(
+            "127.0.0.1:0",
+            Arc::new(ShedEverything),
+            NetConfig::default(),
+        )
+        .unwrap();
+        use std::io::{Read, Write};
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Promise a large body and send none of it: the 503 must come
+        // back immediately (with a close, since the body is in flight),
+        // not after the 30 s read budget drains the transfer.
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\ncontent-length: 500000\r\n\r\n")
+            .unwrap();
+        let started = std::time::Instant::now();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 503"), "got {response:?}");
+        assert!(response.contains("overloaded"));
+        assert!(response.contains("connection: close"), "got {response:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "the shed waited on the body: {:?}",
+            started.elapsed()
+        );
+        let stats = server.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.requests, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_deadline_lapsing_mid_body_counts_as_deadline_not_protocol_error() {
+        let handler: Arc<dyn Handler> = Arc::new(|_req: &Request| Response::json(200, "{}".into()));
+        let config = NetConfig {
+            read_timeout: Duration::from_millis(200),
+            ..NetConfig::default()
+        };
+        let mut server = Server::bind("127.0.0.1:0", handler, config).unwrap();
+        use std::io::{Read, Write};
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A 50 ms deadline against a 1000-byte promise that never
+        // arrives: the deadline lapses first (long before the read
+        // budget), and the answer is a 504, accounted as a lapsed
+        // deadline.
+        stream
+            .write_all(b"POST /x HTTP/1.1\r\nx-deadline-ms: 50\r\ncontent-length: 1000\r\n\r\nxx")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 504"), "got {response:?}");
+        assert!(response.contains("deadline_exceeded"));
+        let stats = server.stats();
+        assert_eq!(stats.deadlines_exceeded, 1, "{stats:?}");
+        assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+        assert_eq!(stats.requests, 0);
         server.shutdown();
     }
 

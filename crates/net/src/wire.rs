@@ -48,6 +48,62 @@ impl Default for Limits {
 /// answers `408`/`504` instead of computing an answer nobody reads.
 pub const DEADLINE_HEADER: &str = "x-deadline-ms";
 
+/// A parsed request head: everything up to (but not including) the
+/// body. Produced by [`read_request_head`] so the server can run
+/// admission control and deadline checks *after* the head is framed but
+/// *before* the body transfer occupies the worker; [`read_request_body`]
+/// turns it into a full [`Request`].
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// The method verb, as sent (e.g. `GET`, `POST`, `DELETE`).
+    pub method: String,
+    /// The request target with any `?query` suffix stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased on parse.
+    pub headers: Vec<(String, String)>,
+    /// Whether the client asked for `Connection: close`.
+    pub close: bool,
+    /// When the client gives up on this request: parsed from
+    /// [`DEADLINE_HEADER`], or [`Limits::default_deadline`] when absent.
+    pub deadline: Option<Instant>,
+    /// The declared `Content-Length` (0 when none was sent). The body
+    /// may not have arrived yet.
+    pub content_length: usize,
+    /// When the first byte of the message arrived — the epoch for both
+    /// the [`Limits::max_read_time`] budget and the deadline.
+    started: Instant,
+}
+
+impl RequestHead {
+    /// The first header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the request's deadline has already lapsed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// A synthetic head — for tests and admission-policy units that
+    /// need a head without a wire read: `method` and `path` as given,
+    /// no headers, no body, no deadline.
+    pub fn synthetic(method: &str, path: &str) -> RequestHead {
+        RequestHead {
+            method: method.into(),
+            path: path.into(),
+            headers: vec![],
+            close: false,
+            deadline: None,
+            content_length: 0,
+            started: Instant::now(),
+        }
+    }
+}
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -164,6 +220,12 @@ pub enum HttpError {
     /// The read timed out *mid-message* — head or body started but never
     /// finished. Answer `408` and close.
     Timeout,
+    /// The request's own deadline ([`DEADLINE_HEADER`] or
+    /// [`Limits::default_deadline`]) lapsed while the body was still
+    /// arriving. Purely client-caused — the peer spent its whole budget
+    /// on the upload — so it is answered `504` and accounted as a lapsed
+    /// deadline, never as a protocol error.
+    DeadlineLapsed,
     /// EOF mid-message: the peer promised more bytes (by `Content-Length`
     /// or an unfinished head) and hung up. Answer `400` and close.
     Truncated,
@@ -193,6 +255,7 @@ impl HttpError {
                 None
             }
             HttpError::Timeout => Some(408),
+            HttpError::DeadlineLapsed => Some(504),
             HttpError::Truncated | HttpError::Malformed(_) => Some(400),
             HttpError::HeadTooLarge => Some(431),
             HttpError::BodyTooLarge => Some(413),
@@ -206,6 +269,7 @@ impl HttpError {
             HttpError::Closed => "closed",
             HttpError::IdleTimeout => "idle_timeout",
             HttpError::Timeout => "request_timeout",
+            HttpError::DeadlineLapsed => "deadline_exceeded",
             HttpError::Truncated => "truncated_request",
             HttpError::Malformed(_) => "malformed_request",
             HttpError::HeadTooLarge => "head_too_large",
@@ -223,6 +287,9 @@ impl std::fmt::Display for HttpError {
             HttpError::Closed => write!(f, "connection closed"),
             HttpError::IdleTimeout => write!(f, "idle keep-alive timeout"),
             HttpError::Timeout => write!(f, "timed out mid-request"),
+            HttpError::DeadlineLapsed => {
+                write!(f, "request deadline lapsed while the body was arriving")
+            }
             HttpError::Truncated => write!(f, "peer hung up mid-request"),
             HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
             HttpError::HeadTooLarge => write!(f, "request head exceeds the limit"),
@@ -279,11 +346,28 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// message is drained from its front. Timeouts come from the stream's
 /// own `read_timeout`; which [`HttpError`] a timeout maps to depends on
 /// whether the message had started.
+///
+/// Composes [`read_request_head`] + [`read_request_body`]; callers that
+/// need to decide anything *between* the head and the body (admission
+/// control, deadline checks) call the halves themselves.
 pub fn read_request(
     stream: &mut impl Read,
     buf: &mut Vec<u8>,
     limits: &Limits,
 ) -> Result<Request, HttpError> {
+    let head = read_request_head(stream, buf, limits)?;
+    read_request_body(stream, buf, head, limits)
+}
+
+/// Reads and parses one request head from `stream` (buffering through
+/// `buf` like [`read_request`]), leaving the body — which may not have
+/// arrived yet — unread. The head's bytes are drained from `buf`; any
+/// body bytes the transport delivered alongside them stay at the front.
+pub fn read_request_head(
+    stream: &mut impl Read,
+    buf: &mut Vec<u8>,
+    limits: &Limits,
+) -> Result<RequestHead, HttpError> {
     let started = Instant::now();
     // The anti-drip bound: the socket timeout resets with every byte, so
     // a peer feeding one byte per poll would otherwise never trip it.
@@ -386,27 +470,62 @@ pub fn read_request(
         None => limits.default_deadline.map(|d| started + d),
     };
 
-    // Phase 3: the body, exactly content_length bytes.
-    while buf.len() < head_end + content_length {
-        if overdue() || deadline.is_some_and(|d| Instant::now() >= d) {
+    buf.drain(..head_end);
+    Ok(RequestHead {
+        method,
+        path,
+        headers,
+        close,
+        deadline,
+        content_length,
+        started,
+    })
+}
+
+/// Reads the body promised by `head` — exactly `content_length` bytes —
+/// and assembles the full [`Request`]. A deadline lapsing during the
+/// transfer is [`HttpError::DeadlineLapsed`] (`504`, the client spent
+/// its own budget), distinct from the server's read-time budget lapsing
+/// ([`HttpError::Timeout`], `408`).
+pub fn read_request_body(
+    stream: &mut impl Read,
+    buf: &mut Vec<u8>,
+    head: RequestHead,
+    limits: &Limits,
+) -> Result<Request, HttpError> {
+    let overdue = || {
+        limits
+            .max_read_time
+            .is_some_and(|cap| head.started.elapsed() > cap)
+    };
+    let lapsed = || head.deadline.is_some_and(|d| Instant::now() >= d);
+    while buf.len() < head.content_length {
+        if lapsed() {
+            return Err(HttpError::DeadlineLapsed);
+        }
+        if overdue() {
             return Err(HttpError::Timeout);
         }
         match read_some(stream, buf) {
             Ok(0) => return Err(HttpError::Truncated),
             Ok(_) => {}
+            // A stalled transfer surfaces as the socket timeout; when
+            // the request's own deadline lapsed while we waited, that —
+            // not the server's read budget — is the story to tell.
+            Err(HttpError::Timeout) if lapsed() => return Err(HttpError::DeadlineLapsed),
             Err(e) => return Err(e),
         }
     }
-    let body = buf[head_end..head_end + content_length].to_vec();
-    buf.drain(..head_end + content_length);
+    let body = buf[..head.content_length].to_vec();
+    buf.drain(..head.content_length);
 
     Ok(Request {
-        method,
-        path,
-        headers,
+        method: head.method,
+        path: head.path,
+        headers: head.headers,
         body,
-        close,
-        deadline,
+        close: head.close,
+        deadline: head.deadline,
     })
 }
 
@@ -718,6 +837,59 @@ mod tests {
         // A garbage value is a malformed request, not a panic.
         let err = parse(b"GET /x HTTP/1.1\r\nx-deadline-ms: soon\r\n\r\n").unwrap_err();
         assert_eq!(err.code(), "malformed_request");
+    }
+
+    #[test]
+    fn head_and_body_halves_compose_and_split_at_the_body_boundary() {
+        let bytes = b"POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nhelloGET /next HTTP/1.1\r\n\r\n";
+        let mut cursor = Cursor::new(bytes.to_vec());
+        let mut buf = Vec::new();
+        let limits = Limits::default();
+        let head = read_request_head(&mut cursor, &mut buf, &limits).unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.path, "/x");
+        assert_eq!(head.content_length, 5);
+        assert!(!head.expired());
+        // The head is drained; the body (and the pipelined follower)
+        // wait at the front of the buffer.
+        assert!(buf.starts_with(b"hello"));
+        let req = read_request_body(&mut cursor, &mut buf, head, &limits).unwrap();
+        assert_eq!(req.body, b"hello");
+        let next = read_request(&mut cursor, &mut buf, &limits).unwrap();
+        assert_eq!(next.path, "/next");
+    }
+
+    #[test]
+    fn a_deadline_lapsing_mid_body_is_504_not_408() {
+        // The head arrives whole with a 20 ms deadline and a 1000-byte
+        // promise; the body then drips too slowly to ever finish.
+        struct SlowBody {
+            sent_head: bool,
+        }
+        impl Read for SlowBody {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if !self.sent_head {
+                    self.sent_head = true;
+                    let head =
+                        b"POST /x HTTP/1.1\r\nx-deadline-ms: 20\r\ncontent-length: 1000\r\n\r\n";
+                    out[..head.len()].copy_from_slice(head);
+                    return Ok(head.len());
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                out[0] = b'x';
+                Ok(1)
+            }
+        }
+        let mut buf = Vec::new();
+        let err = read_request(
+            &mut SlowBody { sent_head: false },
+            &mut buf,
+            &Limits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, HttpError::DeadlineLapsed);
+        assert_eq!(err.status(), Some(504));
+        assert_eq!(err.code(), "deadline_exceeded");
     }
 
     #[test]

@@ -301,12 +301,17 @@ impl jqi_net::Handler for Gateway {
         self.route(request)
     }
 
-    /// Admission control: the transport asks before any routing or body
-    /// parsing happens. Policy lives in [`OverloadConfig::admit`]; the
-    /// rolling latency estimate comes from the endpoint's own histogram.
-    fn admit(&self, request: &Request, pressure: jqi_net::Pressure) -> jqi_net::Admission {
-        let ewma_us = self.histogram_for(&request.method, &request.path).ewma_us();
-        self.overload.admit(request, pressure, ewma_us)
+    /// Admission control: the transport asks on the framed request head,
+    /// before any routing or body transfer happens. Policy lives in
+    /// [`OverloadConfig::admit`]; the rolling latency estimate comes
+    /// from the endpoint's own histogram.
+    fn admit(
+        &self,
+        head: &jqi_net::RequestHead,
+        pressure: jqi_net::Pressure,
+    ) -> jqi_net::Admission {
+        let ewma_us = self.histogram_for(&head.method, &head.path).ewma_us();
+        self.overload.admit(head, pressure, ewma_us)
     }
 }
 

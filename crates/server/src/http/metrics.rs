@@ -11,11 +11,48 @@
 
 use crate::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// One power-of-two bucket per `floor(log2(nanos))`; 48 buckets cover
 /// sub-nanosecond through ~78 hours.
 const BUCKETS: usize = 48;
+
+/// Half-life of the rolling latency estimate while *no* samples arrive:
+/// the stored EWMA is halved per this much wall-clock silence when read.
+/// This is what keeps latency-based shedding from latching — once an
+/// endpoint sheds, it stops producing samples, so without decay a single
+/// slow burst (or one slow cold-start request seeding the estimate)
+/// would 503 that endpoint class until restart. With decay, a shed
+/// endpoint's estimate falls back under its threshold within a few
+/// half-lives and traffic is readmitted; if the endpoint is still slow,
+/// the readmitted requests re-raise the estimate and shedding resumes —
+/// a bounded duty cycle instead of a lockout.
+const EWMA_HALF_LIFE_NS: u64 = 500_000_000;
+
+/// Monotonic nanoseconds since the first time any histogram looked at
+/// the clock — a process-wide epoch so timestamps fit in an atomic.
+fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_nanos()
+        .min(u128::from(u64::MAX)) as u64
+}
+
+/// `ewma_ns` decayed by `elapsed_ns` of silence: halved per
+/// [`EWMA_HALF_LIFE_NS`], with linear interpolation inside a half-life
+/// so the estimate falls smoothly rather than in steps.
+fn decayed(ewma_ns: u64, elapsed_ns: u64) -> u64 {
+    let halves = elapsed_ns / EWMA_HALF_LIFE_NS;
+    if halves >= 64 {
+        return 0;
+    }
+    let base = ewma_ns >> halves;
+    let frac = elapsed_ns % EWMA_HALF_LIFE_NS;
+    base - ((u128::from(base / 2) * u128::from(frac)) / u128::from(EWMA_HALF_LIFE_NS)) as u64
+}
 
 /// A concurrent latency histogram with log₂ buckets.
 #[derive(Debug)]
@@ -25,8 +62,11 @@ pub struct LatencyHistogram {
     max_ns: AtomicU64,
     /// Rolling estimate (EWMA, α = 1/8) of recent latency — the signal
     /// admission control sheds on. Lossy under races, which is fine for
-    /// a smoothed estimate.
+    /// a smoothed estimate. Time-decays toward zero while no samples
+    /// arrive (see [`EWMA_HALF_LIFE_NS`]) so shedding can never latch.
     ewma_ns: AtomicU64,
+    /// [`monotonic_ns`] timestamp of the last EWMA update.
+    ewma_at_ns: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
 
@@ -37,6 +77,7 @@ impl Default for LatencyHistogram {
             total_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
             ewma_ns: AtomicU64::new(0),
+            ewma_at_ns: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -54,9 +95,14 @@ impl LatencyHistogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
-        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let now = monotonic_ns();
+        let old = decayed(
+            self.ewma_ns.load(Ordering::Relaxed),
+            now.saturating_sub(self.ewma_at_ns.load(Ordering::Relaxed)),
+        );
         let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
         self.ewma_ns.store(new, Ordering::Relaxed);
+        self.ewma_at_ns.store(now, Ordering::Relaxed);
         let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
@@ -68,9 +114,13 @@ impl LatencyHistogram {
 
     /// The rolling latency estimate in microseconds (0 before any
     /// sample) — what admission control compares against its
-    /// thresholds.
+    /// thresholds. Decayed by the silence since the last sample, so a
+    /// shed (hence sample-starved) endpoint recovers within a few
+    /// half-lives instead of latching shut.
     pub fn ewma_us(&self) -> u64 {
-        self.ewma_ns.load(Ordering::Relaxed) / 1_000
+        let at = self.ewma_at_ns.load(Ordering::Relaxed);
+        let ewma = self.ewma_ns.load(Ordering::Relaxed);
+        decayed(ewma, monotonic_ns().saturating_sub(at)) / 1_000
     }
 
     /// The latency at quantile `q` (0..=1), read from bucket upper
@@ -210,13 +260,51 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.ewma_us(), 0, "no samples, no estimate");
         h.record(Duration::from_millis(10));
-        assert_eq!(h.ewma_us(), 10_000, "first sample seeds the estimate");
+        let seeded = h.ewma_us();
+        assert!(
+            (9_900..=10_000).contains(&seeded),
+            "first sample seeds the estimate, got {seeded}"
+        );
         // A burst of fast samples pulls the estimate down toward them.
         for _ in 0..64 {
             h.record(Duration::from_micros(100));
         }
         assert!(h.ewma_us() < 500, "decayed to {}", h.ewma_us());
-        assert!(h.ewma_us() >= 100);
+        assert!(h.ewma_us() >= 90);
+    }
+
+    #[test]
+    fn ewma_decay_halves_per_half_life_of_silence() {
+        // The pure decay curve: exact at whole half-lives, monotone and
+        // interpolated inside one, zero once the shifts run out.
+        assert_eq!(decayed(800_000, 0), 800_000);
+        assert_eq!(decayed(800_000, EWMA_HALF_LIFE_NS), 400_000);
+        assert_eq!(decayed(800_000, 3 * EWMA_HALF_LIFE_NS), 100_000);
+        let mid = decayed(800_000, EWMA_HALF_LIFE_NS / 2);
+        assert!(mid < 800_000 && mid > 400_000, "got {mid}");
+        assert_eq!(decayed(u64::MAX, 64 * EWMA_HALF_LIFE_NS), 0);
+        assert_eq!(decayed(0, 123), 0);
+    }
+
+    #[test]
+    fn a_sample_starved_estimate_recovers_below_the_shed_threshold() {
+        // The latch regression: one slow request seeds the estimate past
+        // the soft threshold (250 ms); with every follow-up shed, no new
+        // samples arrive — the estimate must fall back on its own.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_millis(400));
+        assert!(h.ewma_us() > 250_000, "seeded hot: {}", h.ewma_us());
+        std::thread::sleep(Duration::from_millis(2 * EWMA_HALF_LIFE_NS / 1_000_000));
+        let recovered = h.ewma_us();
+        assert!(
+            recovered < 250_000,
+            "the estimate must decay below the threshold, got {recovered}"
+        );
+        assert!(recovered > 0, "decay is gradual, not a reset");
+        // A fresh slow sample blends with the *decayed* estimate, not
+        // the stale stored one.
+        h.record(Duration::from_millis(400));
+        assert!(h.ewma_us() < 400_000, "got {}", h.ewma_us());
     }
 
     #[test]

@@ -1,13 +1,22 @@
 //! Admission control: which requests to shed, and when.
 //!
 //! The transport ([`jqi_net`]) owns the *mechanism* — a fast `503
-//! overloaded` with `Retry-After`, written before any routing or body
-//! parsing happens — and consults the gateway for the *policy* through
+//! overloaded` with `Retry-After`, decided on the framed request head
+//! before any routing, body transfer, or body parsing happens — and
+//! consults the gateway for the *policy* through
 //! [`jqi_net::Handler::admit`]. This module is that policy: endpoint
 //! priority tiers plus thresholds over the two live pressure signals,
 //! the transport's aggregate worker queue depth and the per-endpoint
 //! rolling latency estimate
 //! ([`crate::http::metrics::LatencyHistogram::ewma_us`]).
+//!
+//! Latency-based shedding cannot latch: the rolling estimate only gains
+//! samples from requests that are actually served, so while an endpoint
+//! sheds it is sample-starved — but the estimate time-decays (halving
+//! per half-life of silence, see `metrics`), so within a few half-lives
+//! it falls back under the threshold and traffic is readmitted. A still
+//! -slow endpoint re-raises the estimate and sheds again: a bounded
+//! duty cycle, never a lockout until restart.
 //!
 //! The shed order is deliberate for an interactive inference service:
 //! read-only traffic (`question`, `snapshot`, listings, status) is cheap
@@ -17,7 +26,7 @@
 //! `GET /v1/stats` never sheds — blinding the operators during the
 //! incident is how an overload becomes an outage.
 
-use jqi_net::{Admission, Pressure, Request};
+use jqi_net::{Admission, Pressure, RequestHead};
 
 /// The priority tier a request belongs to, lowest-priority first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,13 +87,15 @@ impl Default for OverloadConfig {
 }
 
 impl OverloadConfig {
-    /// The admission decision for one request, given the transport
-    /// pressure and the endpoint's rolling latency estimate.
-    pub fn admit(&self, request: &Request, pressure: Pressure, ewma_us: u64) -> Admission {
+    /// The admission decision for one request, given its framed head,
+    /// the transport pressure, and the endpoint's rolling latency
+    /// estimate (already time-decayed by the histogram, so a shed
+    /// endpoint's estimate self-recovers — see the module docs).
+    pub fn admit(&self, head: &RequestHead, pressure: Pressure, ewma_us: u64) -> Admission {
         let shed = Admission::Shed {
             retry_after_s: self.retry_after_s,
         };
-        match classify(&request.method, &request.path) {
+        match classify(&head.method, &head.path) {
             EndpointClass::Control => Admission::Accept,
             EndpointClass::ReadOnly
                 if pressure.queue_depth > self.queue_soft || ewma_us > self.latency_soft_us =>
@@ -105,15 +116,8 @@ impl OverloadConfig {
 mod tests {
     use super::*;
 
-    fn request(method: &str, path: &str) -> Request {
-        Request {
-            method: method.into(),
-            path: path.into(),
-            headers: vec![],
-            body: vec![],
-            close: false,
-            deadline: None,
-        }
+    fn request(method: &str, path: &str) -> RequestHead {
+        RequestHead::synthetic(method, path)
     }
 
     fn pressure(queue_depth: usize) -> Pressure {
