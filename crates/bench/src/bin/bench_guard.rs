@@ -32,8 +32,12 @@
 //!   `l1s_first_step_ms` / `l3s_first_step_ms` must not exceed
 //!   `baseline · factor`; per `streaming` phase point (also matched by
 //!   name), `build_wall_ms` and `peak_tracked_bytes` must not exceed
-//!   `baseline · factor`. Points present on only one side are skipped
-//!   (sweeps may grow), but zero matched points is an error.
+//!   `baseline · factor`; per `incremental` phase point (also matched by
+//!   name), `delta_apply_ms` must not exceed `baseline · factor` and the
+//!   rebuild-over-apply `speedup` must not shrink below
+//!   `baseline / factor`. Points present on only one side are skipped
+//!   (sweeps may grow, and baselines older than a phase lack its block),
+//!   but zero matched points is an error.
 
 use jqi_server::json::Json;
 use std::process::ExitCode;
@@ -296,14 +300,14 @@ fn guard_scaling(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(),
     // The streaming phase: wall clock (machine-dependent, order-of-
     // magnitude guard) and peak tracked ingestion bytes (machine-
     // independent — a blow-up here means profiles stopped collapsing).
-    let streaming = |doc: &Json| -> Vec<Json> {
-        doc.get("streaming")
+    let block = |doc: &Json, key: &str| -> Vec<Json> {
+        doc.get(key)
             .and_then(Json::as_arr)
             .map(<[Json]>::to_vec)
             .unwrap_or_default()
     };
-    let baseline_streaming = streaming(baseline);
-    for fp in streaming(fresh) {
+    let baseline_streaming = block(baseline, "streaming");
+    for fp in block(fresh, "streaming") {
         let Some(name) = fp.get("name").and_then(Json::as_str) else {
             continue;
         };
@@ -318,6 +322,29 @@ fn guard_scaling(guard: &mut Guard, fresh: &Json, baseline: &Json) -> Result<(),
             if let (Some(f), Some(b)) = (num(&fp, &[metric]), num(bp, &[metric])) {
                 guard.at_most(&format!("{name}: {metric}"), f, b);
             }
+        }
+    }
+    // The incremental phase (tolerant of its absence — baselines older
+    // than the delta layer lack the block): delta-apply wall clock is
+    // held like a latency, and the rebuild-over-apply speedup — the
+    // O(delta) payoff itself — must not shrink below `baseline / factor`.
+    let baseline_incremental = block(baseline, "incremental");
+    for fp in block(fresh, "incremental") {
+        let Some(name) = fp.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(bp) = baseline_incremental
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            continue;
+        };
+        matched += 1;
+        if let (Some(f), Some(b)) = (num(&fp, &["delta_apply_ms"]), num(bp, &["delta_apply_ms"])) {
+            guard.at_most(&format!("{name}: delta_apply_ms"), f, b);
+        }
+        if let (Some(f), Some(b)) = (num(&fp, &["speedup"]), num(bp, &["speedup"])) {
+            guard.at_least(&format!("{name}: speedup"), f, b);
         }
     }
     if matched == 0 {

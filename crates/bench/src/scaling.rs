@@ -18,11 +18,12 @@
 use crate::json::{Json, ToJson};
 use jqi_core::strategy::{Lookahead, Strategy};
 use jqi_core::universe::Universe;
-use jqi_core::{InferenceState, IngestOptions};
+use jqi_core::{InferenceState, IngestOptions, UniverseDelta};
 use jqi_datagen::stream::{SfConfig, SfJoin, SfStream};
 use jqi_datagen::tpch::{TpchJoin, TpchScale, TpchTables};
 use jqi_datagen::ScaledConfig;
-use jqi_relation::Instance;
+use jqi_relation::{Instance, RowChunk, Side, Tuple, Value};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Sweep parameters.
@@ -136,6 +137,39 @@ pub struct StreamingPoint {
     pub gen_workers: usize,
 }
 
+/// One measured incremental-maintenance point (the `incremental` phase):
+/// a [`UniverseDelta`] applied to a delta-capable streaming universe via
+/// [`Universe::apply_delta`], against rebuilding from scratch with
+/// `Universe::build_streaming` over the *edited* stream — the alternative
+/// an operator without incremental maintenance actually runs.
+#[derive(Debug, Clone)]
+pub struct IncrementalPoint {
+    /// Point label, e.g. `incremental customer⋈orders SF=0.1 single-row`.
+    pub name: String,
+    /// TPC-H scale factor of the base stream.
+    pub sf: f64,
+    /// Base rows streamed into `R`.
+    pub rows_r: u64,
+    /// Base rows streamed into `P`.
+    pub rows_p: u64,
+    /// Row edits in the applied delta (inserts + deletes).
+    pub edits: usize,
+    /// T-equivalence classes before the delta.
+    pub classes_before: usize,
+    /// T-equivalence classes after the delta.
+    pub classes_after: usize,
+    /// Wall-clock of `Universe::apply_delta`, milliseconds (best of 3).
+    pub delta_apply_ms: f64,
+    /// Wall-clock of the from-scratch `Universe::build_streaming` over
+    /// the edited stream, milliseconds.
+    pub rebuild_ms: f64,
+    /// `rebuild_ms / delta_apply_ms` — the headline O(delta) payoff.
+    pub speedup: f64,
+    /// Peak resident bytes of the live row tables the delta-capable
+    /// build maintains (the memory rent incremental maintenance pays).
+    pub live_bytes: usize,
+}
+
 /// The full sweep result.
 #[derive(Debug, Clone)]
 pub struct ScalingReport {
@@ -145,6 +179,8 @@ pub struct ScalingReport {
     pub points: Vec<ScalingPoint>,
     /// The `streaming` phase's points, in sweep order.
     pub streaming: Vec<StreamingPoint>,
+    /// The `incremental` phase's points, in sweep order.
+    pub incremental: Vec<IncrementalPoint>,
 }
 
 fn ms(start: Instant) -> f64 {
@@ -277,6 +313,184 @@ pub fn measure_streaming(sf: f64, params: &ScalingParams) -> StreamingPoint {
     }
 }
 
+/// Measures incremental maintenance at scale factor `sf`: a live
+/// `Customer ⋈ Orders` universe absorbing (a) one fresh-key order row and
+/// (b) a mixed 1 % batch (half deletes of streamed rows, half fresh-key
+/// inserts), each timed against rebuilding the edited stream from
+/// scratch. The applied and rebuilt universes are cross-checked for
+/// agreement on class count and total tuples — the bench doubles as an
+/// end-to-end equivalence assertion at a scale the unit tests never see.
+pub fn measure_incremental(sf: f64, params: &ScalingParams) -> Vec<IncrementalPoint> {
+    let config = SfConfig::new(sf, params.seed);
+    let stream = SfStream::new(config, SfJoin::CustomerOrders)
+        .expect("streaming workload schema is well-formed");
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let schema = stream.schema().clone();
+
+    let (base, stats) = Universe::build_streaming_live(schema.clone(), || stream.chunks(), threads);
+    let (rows_r, rows_p) = (stats.rows_r, stats.rows_p);
+    let total_rows = rows_r + rows_p;
+    let live_bytes = stats.peak_tracked_bytes;
+
+    // Edit material: the first streamed rows of each side are the delete
+    // candidates; fresh-key variants of them (the key column replaced by
+    // a value the generator never produces) are the inserts — new
+    // customers/orders whose remaining columns recombine live symbols.
+    let batch_edits = ((total_rows as usize) / 100).max(2);
+    let wanted = batch_edits / 2 + 1;
+    let mut sample: [Vec<Tuple>; 2] = [Vec::new(), Vec::new()];
+    for chunk in stream.chunks() {
+        let slot = match chunk.side {
+            Side::R => 0,
+            Side::P => 1,
+        };
+        if sample[slot].len() < wanted {
+            sample[slot].extend(chunk.rows.iter().cloned());
+        }
+        if sample[0].len() >= wanted && sample[1].len() >= wanted {
+            break;
+        }
+    }
+    let side_of = |slot: usize| if slot == 0 { Side::R } else { Side::P };
+    let fresh_variant = |slot: usize, i: usize| -> Tuple {
+        let row = &sample[slot][i % sample[slot].len()];
+        let mut symbols = row.symbols().to_vec();
+        symbols[0] = schema
+            .interner()
+            .intern(&Value::int(0x7E57_0000_0000 + i as i64 * 2 + slot as i64));
+        Tuple::new(symbols)
+    };
+
+    // The from-scratch alternative: regenerate the stream, skip the
+    // deleted occurrences, append the inserted rows, and run the plain
+    // (reps-only) streaming build — the cheapest full rebuild available.
+    let rebuild = |inserts: &[(Side, Tuple)], deletes: &[(Side, Tuple)]| -> (f64, Universe) {
+        let mut budget: [HashMap<Tuple, usize>; 2] = [HashMap::new(), HashMap::new()];
+        for (side, row) in deletes {
+            let slot = match side {
+                Side::R => 0,
+                Side::P => 1,
+            };
+            *budget[slot].entry(row.clone()).or_insert(0) += 1;
+        }
+        let extra: Vec<RowChunk> = [Side::R, Side::P]
+            .into_iter()
+            .map(|side| RowChunk {
+                side,
+                rows: inserts
+                    .iter()
+                    .filter(|(s, _)| *s == side)
+                    .map(|(_, row)| row.clone())
+                    .collect(),
+            })
+            .filter(|chunk| !chunk.is_empty())
+            .collect();
+        let source = || {
+            let mut budget = budget.clone();
+            let extra = extra.clone();
+            stream
+                .chunks()
+                .map(move |mut chunk| {
+                    let slot = match chunk.side {
+                        Side::R => 0,
+                        Side::P => 1,
+                    };
+                    if !budget[slot].is_empty() {
+                        chunk.rows.retain(|row| match budget[slot].get_mut(row) {
+                            Some(n) if *n > 0 => {
+                                *n -= 1;
+                                false
+                            }
+                            _ => true,
+                        });
+                    }
+                    chunk
+                })
+                .chain(extra)
+        };
+        let start = Instant::now();
+        let (universe, _) = Universe::build_streaming(schema.clone(), source, threads);
+        (ms(start), universe)
+    };
+
+    let measure = |name: String,
+                   inserts: Vec<(Side, Tuple)>,
+                   deletes: Vec<(Side, Tuple)>|
+     -> IncrementalPoint {
+        let mut delta = UniverseDelta::new();
+        for (side, row) in &deletes {
+            delta.delete(*side, row.clone());
+        }
+        for (side, row) in &inserts {
+            delta.insert(*side, row.clone());
+        }
+        let mut best = f64::INFINITY;
+        let mut applied = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let next = base.apply_delta(&delta).expect("edit script is valid");
+            let elapsed = ms(start);
+            if elapsed < best {
+                best = elapsed;
+                applied = Some(next);
+            }
+        }
+        let applied = applied.expect("at least one run");
+        let (rebuild_ms, rebuilt) = rebuild(&inserts, &deletes);
+        assert_eq!(
+            applied.num_classes(),
+            rebuilt.num_classes(),
+            "{name}: delta-applied universe disagrees with the rebuild"
+        );
+        assert_eq!(
+            applied.total_tuples(),
+            rebuilt.total_tuples(),
+            "{name}: delta-applied universe disagrees with the rebuild"
+        );
+        IncrementalPoint {
+            name,
+            sf,
+            rows_r,
+            rows_p,
+            edits: delta.len(),
+            classes_before: base.num_classes(),
+            classes_after: applied.num_classes(),
+            delta_apply_ms: best,
+            rebuild_ms,
+            speedup: rebuild_ms / best.max(1e-9),
+            live_bytes,
+        }
+    };
+
+    let join = stream.join().name();
+    let single = measure(
+        format!("incremental {join} SF={sf} single-row"),
+        vec![(Side::P, fresh_variant(1, 0))],
+        vec![],
+    );
+    let deletes: Vec<(Side, Tuple)> = (0..batch_edits / 2)
+        .map(|i| {
+            let slot = i % 2;
+            (
+                side_of(slot),
+                sample[slot][i / 2 % sample[slot].len()].clone(),
+            )
+        })
+        .collect();
+    let inserts: Vec<(Side, Tuple)> = (0..batch_edits - deletes.len())
+        .map(|i| {
+            let slot = i % 2;
+            (side_of(slot), fresh_variant(slot, i + 1))
+        })
+        .collect();
+    let batch = measure(
+        format!("incremental {join} SF={sf} batch-1%"),
+        inserts,
+        deletes,
+    );
+    vec![single, batch]
+}
+
 /// The synthetic duplicate-heavy sweep: products from 10⁴ to 10⁸ tuples,
 /// every one collapsing into ≤ 2¹⁰ profile pairs. The 10⁶ point (1000×1000
 /// rows, 32·32 distinct profiles) is the acceptance workload the README's
@@ -313,6 +527,16 @@ pub fn streaming_sweep(tiny: bool) -> Vec<f64> {
     vec![1.0]
 }
 
+/// Scale factors of the `incremental` phase: SF 0.1 (165 k rows — the
+/// acceptance point for the ≥ 50× single-row speedup) for the full
+/// sweep, SF 0.002 for CI smoke.
+pub fn incremental_sweep(tiny: bool) -> Vec<f64> {
+    if tiny {
+        return vec![0.002];
+    }
+    vec![0.1]
+}
+
 /// Runs the full sweep.
 pub fn run(tiny: bool, params: ScalingParams) -> ScalingReport {
     let mut points = Vec::new();
@@ -339,10 +563,15 @@ pub fn run(tiny: bool, params: ScalingParams) -> ScalingReport {
         .into_iter()
         .map(|sf| measure_streaming(sf, &params))
         .collect();
+    let incremental = incremental_sweep(tiny)
+        .into_iter()
+        .flat_map(|sf| measure_incremental(sf, &params))
+        .collect();
     ScalingReport {
         params,
         points,
         streaming,
+        incremental,
     }
 }
 
@@ -408,6 +637,32 @@ impl ScalingReport {
                 ));
             }
         }
+        if !self.incremental.is_empty() {
+            out.push_str(&format!(
+                "\n{:<44} {:>7} {:>9} {:>9} {:>11} {:>12} {:>9} {:>11}\n",
+                "incremental maintenance",
+                "edits",
+                "classes",
+                "apply(ms)",
+                "rebuild(ms)",
+                "speedup",
+                "rows",
+                "live(B)"
+            ));
+            for p in &self.incremental {
+                out.push_str(&format!(
+                    "{:<44} {:>7} {:>9} {:>9.3} {:>11.1} {:>11.1}x {:>9} {:>11}\n",
+                    p.name,
+                    p.edits,
+                    format!("{}→{}", p.classes_before, p.classes_after),
+                    p.delta_apply_ms,
+                    p.rebuild_ms,
+                    p.speedup,
+                    p.rows_r + p.rows_p,
+                    p.live_bytes,
+                ));
+            }
+        }
         out
     }
 }
@@ -441,6 +696,27 @@ impl ToJson for StreamingPoint {
             ("memory_ratio".into(), Json::Num(self.memory_ratio)),
             ("threads".into(), Json::num(self.threads as f64)),
             ("gen_workers".into(), Json::num(self.gen_workers as f64)),
+        ])
+    }
+}
+
+impl ToJson for IncrementalPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("sf".into(), Json::Num(self.sf)),
+            ("rows_r".into(), Json::num(self.rows_r as f64)),
+            ("rows_p".into(), Json::num(self.rows_p as f64)),
+            ("edits".into(), Json::num(self.edits as f64)),
+            (
+                "classes_before".into(),
+                Json::num(self.classes_before as f64),
+            ),
+            ("classes_after".into(), Json::num(self.classes_after as f64)),
+            ("delta_apply_ms".into(), Json::Num(self.delta_apply_ms)),
+            ("rebuild_ms".into(), Json::Num(self.rebuild_ms)),
+            ("speedup".into(), Json::Num(self.speedup)),
+            ("live_bytes".into(), Json::num(self.live_bytes as f64)),
         ])
     }
 }
@@ -492,6 +768,7 @@ impl ToJson for ScalingReport {
             ("seed".into(), Json::num(self.params.seed as f64)),
             ("points".into(), Json::arr(&self.points)),
             ("streaming".into(), Json::arr(&self.streaming)),
+            ("incremental".into(), Json::arr(&self.incremental)),
         ])
     }
 }
@@ -529,6 +806,19 @@ mod tests {
         assert!(s.peak_tracked_bytes > 0);
         assert!(s.materialized_row_bytes > 0);
         assert!(s.threads >= 1);
+        assert_eq!(report.incremental.len(), 2);
+        let single = &report.incremental[0];
+        assert!(single.name.ends_with("single-row"), "{}", single.name);
+        assert_eq!(single.edits, 1);
+        assert!(single.classes_before > 0);
+        assert!(single.delta_apply_ms > 0.0);
+        assert!(single.rebuild_ms > 0.0);
+        assert!(single.speedup > 0.0);
+        assert!(single.live_bytes > 0);
+        let batch = &report.incremental[1];
+        assert!(batch.name.ends_with("batch-1%"), "{}", batch.name);
+        assert_eq!(batch.edits, 33, "1% of 3300 streamed rows");
+        assert!(batch.classes_after > 0);
     }
 
     #[test]
@@ -546,6 +836,11 @@ mod tests {
         assert!(json.contains("\"streaming\""));
         assert!(json.contains("\"peak_tracked_bytes\""));
         assert!(json.contains("\"rows_per_s\""));
+        assert!(table.contains("incremental maintenance"));
+        assert!(json.contains("\"incremental\""));
+        assert!(json.contains("\"delta_apply_ms\""));
+        assert!(json.contains("\"rebuild_ms\""));
+        assert!(json.contains("\"speedup\""));
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! for every thread count and chunk size (property-tested in
 //! `tests/properties.rs`).
 
+use crate::delta::LiveTables;
 use crate::universe::{Profile, Universe};
 use jqi_relation::bitset::WORD_BITS;
 use jqi_relation::{BitSet, RowChunk, Side, StreamSchema, Tuple};
@@ -541,6 +542,130 @@ impl Universe {
         );
         (universe, stats)
     }
+
+    /// [`Universe::build_streaming`], but the result is **delta-capable**:
+    /// it carries live row tables and accepts
+    /// [`Universe::apply_delta`](crate::delta) without ever materializing
+    /// the instance.
+    ///
+    /// The memory trade is explicit: where the plain streaming build keeps
+    /// `O(distinct profiles)`, the live build keeps `O(distinct rows)` —
+    /// every distinct full row with its multiplicity (a Z-set), which is
+    /// exactly the state incremental maintenance needs. That is still far
+    /// below `O(rows)` materialization for data with duplicate rows, and
+    /// the embedded instance still holds representatives only.
+    ///
+    /// The row fold is single-threaded (the live tables are one sequential
+    /// arena; `threads` parallelizes the pair-loop assembly). Profile
+    /// enumeration order is first-occurrence, so class ids, signatures,
+    /// counts, and representatives are identical to
+    /// [`Universe::build_streaming`] on the same stream.
+    pub fn build_streaming_live<I>(
+        schema: StreamSchema,
+        source: impl Fn() -> I,
+        threads: usize,
+    ) -> (Universe, IngestStats)
+    where
+        I: Iterator<Item = RowChunk>,
+    {
+        Self::build_streaming_live_with_options(
+            schema,
+            source,
+            &IngestOptions::with_threads(threads),
+        )
+    }
+
+    /// [`Universe::build_streaming_live`] with explicit [`IngestOptions`]
+    /// (`byte_ceiling` is enforced against the live tables' resident
+    /// bytes; `channel_chunks` is unused — the fold is sequential).
+    pub fn build_streaming_live_with_options<I>(
+        schema: StreamSchema,
+        source: impl Fn() -> I,
+        options: &IngestOptions,
+    ) -> (Universe, IngestStats)
+    where
+        I: Iterator<Item = RowChunk>,
+    {
+        let shared = scan_shared_symbols(&schema, source());
+        let mut stats = IngestStats {
+            threads: options.threads.max(1),
+            ..IngestStats::default()
+        };
+        let mut lt = LiveTables::new(
+            schema.side(Side::R).arity(),
+            schema.side(Side::P).arity(),
+            &shared,
+        );
+        let mut syms: Vec<u32> = Vec::new();
+        let mut arity: [u64; 2] = [
+            schema.side(Side::R).arity() as u64,
+            schema.side(Side::P).arity() as u64,
+        ];
+        for chunk in source() {
+            stats.chunks += 1;
+            let side_slot = match chunk.side {
+                Side::R => 0usize,
+                Side::P => 1usize,
+            };
+            for row in &chunk.rows {
+                arity[side_slot] = row.arity() as u64;
+                syms.clear();
+                syms.extend(row.symbols().iter().map(|s| s.0));
+                lt.ingest(chunk.side, &syms, false);
+            }
+            match chunk.side {
+                Side::R => stats.rows_r += chunk.rows.len() as u64,
+                Side::P => stats.rows_p += chunk.rows.len() as u64,
+            }
+            let resident = lt.resident_bytes();
+            stats.peak_tracked_bytes = stats.peak_tracked_bytes.max(resident);
+            if let Some(ceiling) = options.byte_ceiling {
+                assert!(
+                    resident <= ceiling,
+                    "live streaming ingestion exceeded its byte ceiling: \
+                     {resident} resident live-table bytes > {ceiling} — the \
+                     stream's distinct rows are not collapsing"
+                );
+            }
+        }
+        lt.finalize_ingest();
+        stats.materialized_row_bytes = stats.rows_r * materialized_bytes(arity[0] as usize)
+            + stats.rows_p * materialized_bytes(arity[1] as usize);
+
+        let side_profiles = |st: &crate::delta::SideTable| -> (Vec<Tuple>, Vec<Profile>) {
+            let mut reps = Vec::with_capacity(st.prof_count());
+            let mut profiles = Vec::with_capacity(st.prof_count());
+            for p in 0..st.prof_count() as u32 {
+                reps.push(Tuple::new(
+                    st.rep_syms(p)
+                        .iter()
+                        .map(|&s| jqi_relation::Symbol(s))
+                        .collect::<Vec<_>>(),
+                ));
+                profiles.push(Profile {
+                    rep: p,
+                    count: st.prof_weight(p),
+                });
+            }
+            (reps, profiles)
+        };
+        let (r_reps, r_profiles) = side_profiles(&lt.r);
+        let (p_reps, p_profiles) = side_profiles(&lt.p);
+        stats.distinct_r = r_profiles.len();
+        stats.distinct_p = p_profiles.len();
+        let instance = schema
+            .into_instance(r_reps, p_reps)
+            .expect("streamed rows match their declared schemas");
+        let mut universe = Universe::assemble(
+            instance,
+            shared,
+            r_profiles,
+            p_profiles,
+            options.threads.max(1),
+        );
+        universe.live = Some(std::sync::Arc::new(lt));
+        (universe, stats)
+    }
 }
 
 #[cfg(test)]
@@ -648,6 +773,48 @@ mod tests {
         assert_eq!(u.num_classes(), 0);
         assert_eq!(u.total_tuples(), 0);
         assert_eq!(stats.rows_r + stats.rows_p, 0);
+    }
+
+    #[test]
+    fn live_streaming_matches_plain_streaming_and_accepts_deltas() {
+        let s0 = schema();
+        let all = chunks(&s0, 2);
+        let (plain, _) = Universe::build_streaming(s0, || all.clone().into_iter(), 1);
+        let s1 = schema();
+        let all1 = chunks(&s1, 3);
+        let tuple = s1
+            .intern_row(Side::R, &[Value::int(3), Value::int(100)])
+            .unwrap();
+        let (live, stats) = Universe::build_streaming_live(s1, || all1.clone().into_iter(), 2);
+        assert_eq!(live.sigs(), plain.sigs());
+        assert_eq!(live.counts(), plain.counts());
+        assert_eq!(live.fingerprint(), plain.fingerprint());
+        assert_eq!(stats.distinct_r, 2);
+        assert_eq!(stats.distinct_p, 3);
+        assert!(stats.peak_tracked_bytes > 0);
+        assert!(live.is_live());
+        assert!(!plain.is_live(), "plain streaming build has no row tables");
+        assert!(matches!(
+            plain.apply_delta(&crate::delta::UniverseDelta::new()),
+            Err(crate::delta::DeltaError::NotLive)
+        ));
+        // The live build takes deltas without ever materializing rows.
+        let mut d = crate::delta::UniverseDelta::new();
+        d.insert(Side::R, tuple);
+        let next = live.apply_delta(&d).unwrap();
+        assert_eq!(next.total_tuples(), live.total_tuples() + 4);
+        assert_eq!(next.epoch(), 1);
+    }
+
+    #[test]
+    fn live_byte_ceiling_fails_fast() {
+        let s = schema();
+        let all = chunks(&s, 2);
+        let options = IngestOptions::with_threads(1).with_byte_ceiling(8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Universe::build_streaming_live_with_options(s, || all.clone().into_iter(), &options)
+        }));
+        assert!(result.is_err(), "ceiling of 8 bytes must trip");
     }
 
     #[test]

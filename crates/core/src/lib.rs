@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod certain;
+pub mod delta;
 pub mod engine;
 pub mod entropy;
 pub mod error;
@@ -72,12 +73,13 @@ pub mod strategy;
 pub mod universe;
 
 pub use certain::CountMode;
+pub use delta::{DeltaError, EditOp, RowEdit, UniverseDelta};
 pub use entropy::Entropy;
 pub use error::{InferenceError, Result};
 pub use ingest::{scan_shared_symbols, IngestOptions, IngestStats};
 pub use sample::{Label, Sample};
 pub use session::{Candidate, OwnedSession, Session};
-pub use state::{ClassState, InferenceState};
+pub use state::{ClassState, InferenceState, RebindReport};
 pub use strategy::{DynStrategy, Strategy, StrategyConfig, StrategyKind};
 pub use universe::{ClassId, DecisionCacheStats, Universe, DEFAULT_DECISION_CACHE_BYTES};
 

@@ -307,6 +307,35 @@ impl OwnedSession {
         Ok(session)
     }
 
+    /// Re-targets the session at `universe` — typically the
+    /// [`Universe::apply_delta`](crate::delta) successor of the one it
+    /// runs over — carrying its labels across by class signature (see
+    /// [`InferenceState::rebind`] for the carried/replayed split and the
+    /// dropped-label semantics).
+    ///
+    /// The strategy is rebuilt from `config`: strategies are
+    /// deterministic functions of their configuration and the current
+    /// state, so this matches [`OwnedSession::replay`] semantics exactly.
+    /// A pending question follows its class's signature into the new
+    /// universe and is withdrawn if the class vanished or is no longer
+    /// informative — the next [`Session::next`] call asks a fresh one.
+    /// On error the session is untouched.
+    pub fn rebind(
+        &mut self,
+        universe: Arc<Universe>,
+        config: &StrategyConfig,
+    ) -> Result<crate::state::RebindReport> {
+        let (state, report) = self.state.rebind(Arc::clone(&universe))?;
+        let pending = self
+            .pending
+            .and_then(|c| universe.class_for_signature(self.state.universe().sig(c)))
+            .filter(|&nc| state.is_informative(nc));
+        self.state = state;
+        self.strategy = config.build();
+        self.pending = pending;
+        Ok(report)
+    }
+
     /// A fresh handle to the shared universe.
     pub fn universe_arc(&self) -> Arc<Universe> {
         self.state
@@ -383,6 +412,126 @@ mod tests {
         // one positive class.
         assert_eq!(session.inferred_predicate(), *u.sig(cand.class));
         assert!(!session.is_done());
+    }
+
+    #[test]
+    fn rebind_carries_masks_over_count_only_deltas() {
+        use crate::delta::UniverseDelta;
+        use jqi_relation::{Side, Tuple};
+        let u = Arc::new(Universe::build(example_2_1()));
+        let config = StrategyConfig::Td;
+        let mut session = OwnedSession::with_config(Arc::clone(&u), &config);
+        let cand = session.next().unwrap().unwrap();
+        session.answer(Label::Negative).unwrap();
+        session.next().unwrap().unwrap();
+        // Duplicate an existing R row: counts change, signatures do not.
+        let mut d = UniverseDelta::new();
+        d.insert(
+            Side::R,
+            Tuple::new(u.instance().r().rows()[0].symbols().to_vec()),
+        );
+        let next = Arc::new(u.apply_delta(&d).unwrap());
+        let pending_before = session.pending_class();
+        let report = session.rebind(Arc::clone(&next), &config).unwrap();
+        assert!(report.carried_masks);
+        assert_eq!(report.dropped_labels, 0);
+        assert_eq!(session.history(), &[(cand.class, Label::Negative)]);
+        assert_eq!(session.pending_class(), pending_before);
+        assert_eq!(session.universe().epoch(), 1);
+        // The carried counters match a from-scratch replay on the new
+        // universe.
+        let replayed = OwnedSession::replay(
+            Arc::clone(&next),
+            &config,
+            session.history(),
+            session.pending_class(),
+        )
+        .unwrap();
+        for mode in [
+            crate::certain::CountMode::Tuples,
+            crate::certain::CountMode::Classes,
+        ] {
+            assert_eq!(
+                session.state().uninformative_count(mode),
+                replayed.state().uninformative_count(mode)
+            );
+        }
+        assert_eq!(
+            session.state().informative().collect::<Vec<_>>(),
+            replayed.state().informative().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rebind_replays_over_structural_deltas() {
+        use crate::delta::UniverseDelta;
+        use jqi_relation::{Interner, Side, Tuple, Value};
+        let u = Arc::new(Universe::build(example_2_1()));
+        let config = StrategyConfig::Td;
+        let mut session = OwnedSession::with_config(Arc::clone(&u), &config);
+        let cand = session.next().unwrap().unwrap();
+        session.answer(Label::Negative).unwrap();
+        // A new row recombining existing shared symbols grows the class
+        // structure: (2,1) yields product signatures {3,4}, {2,4} and {0}
+        // against the three P rows, none of which exist in example 2.1.
+        let it: &Interner = u.instance().interner();
+        let row = Tuple::intern(it, &[Value::int(2), Value::int(1)]);
+        let mut d = UniverseDelta::new();
+        d.insert(Side::R, row);
+        let next = Arc::new(u.apply_delta(&d).unwrap());
+        assert_ne!(next.sigs(), u.sigs());
+        let report = session.rebind(Arc::clone(&next), &config).unwrap();
+        assert!(!report.carried_masks);
+        assert_eq!(report.dropped_labels, 0);
+        // The label survived, remapped by signature.
+        assert_eq!(session.interactions(), 1);
+        let (nc, label) = session.history()[0];
+        assert_eq!(label, Label::Negative);
+        assert_eq!(next.sig(nc), u.sig(cand.class));
+        // The session keeps driving to completion on the new universe.
+        let goal = crate::predicate_from_names(next.instance(), &[("A1", "B1")]).unwrap();
+        while let Some(c) = session.next().unwrap() {
+            let keep = goal.is_subset(next.sig(c.class));
+            session
+                .answer(if keep {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                })
+                .unwrap();
+        }
+        assert!(session.is_done());
+    }
+
+    #[test]
+    fn rebind_drops_labels_whose_class_vanished() {
+        use crate::delta::UniverseDelta;
+        use jqi_relation::{Interner, Side, Tuple, Value};
+        // Base with an extra R row whose symbols are unique to it.
+        let mut b = jqi_relation::InstanceBuilder::new();
+        b.relation_r("R", &["A1", "A2"]);
+        b.relation_p("P", &["B1"]);
+        b.row_r(&[Value::int(0), Value::int(1)]);
+        b.row_r(&[Value::int(50), Value::int(51)]);
+        b.row_p(&[Value::int(1)]);
+        let inst = b.build().unwrap();
+        let it: &Interner = inst.interner();
+        let doomed = Tuple::intern(it, &[Value::int(50), Value::int(51)]);
+        let u = Arc::new(Universe::build(inst));
+        let config = StrategyConfig::Td;
+        let mut session = OwnedSession::with_config(Arc::clone(&u), &config);
+        // Label the class of the doomed row's product tuples.
+        let doomed_class = u.class_of(1, 0).unwrap();
+        session
+            .apply_batch(&[(doomed_class, Label::Negative)])
+            .unwrap();
+        let mut d = UniverseDelta::new();
+        d.delete(Side::R, doomed);
+        let next = Arc::new(u.apply_delta(&d).unwrap());
+        let report = session.rebind(Arc::clone(&next), &config).unwrap();
+        assert_eq!(report.dropped_labels, 1);
+        assert_eq!(session.interactions(), 0, "the dropped label is gone");
+        assert!(session.state().is_consistent());
     }
 
     #[test]

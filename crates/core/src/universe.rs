@@ -113,7 +113,7 @@ impl ClassClosure {
     /// for `up`/`down`, parallelized over class chunks (each class's masks
     /// are computed independently, so the result is identical for every
     /// worker count).
-    fn build(sigs: &[BitSet], omega_len: usize, threads: usize) -> ClassClosure {
+    pub(crate) fn build(sigs: &[BitSet], omega_len: usize, threads: usize) -> ClassClosure {
         let classes = sigs.len();
         let mask_words = word_count(classes);
         let mut members = vec![0u64; omega_len * mask_words];
@@ -196,6 +196,67 @@ impl ClassClosure {
             members,
             up,
             down,
+        }
+    }
+
+    /// Appends the last class of `sigs` to the closure in place — the
+    /// delta-maintenance patch path for a class *birth*.
+    ///
+    /// `sigs` must be the full post-birth signature list (the new class
+    /// last, everything before it unchanged since the closure was built).
+    /// O(classes · |Ω|-words) instead of the full `O(classes · |Ω| ·
+    /// mask_words)` rebuild: the member masks gain one bit per signature
+    /// bit, the new class's `up`/`down` strides are computed from them, and
+    /// each existing class gains at most one bit (two subset tests). Falls
+    /// back to a full rebuild when the mask stride grows (a 64-class word
+    /// boundary) or the static-mask memory cap is crossed.
+    pub(crate) fn push_class(&mut self, sigs: &[BitSet], omega_len: usize) {
+        let c = self.classes;
+        debug_assert_eq!(sigs.len(), c + 1);
+        let statics_after = ((c + 1) as u64).pow(2) <= STATIC_MASK_BITS_CAP;
+        if word_count(c + 1) != self.mask_words || self.has_static_masks() != statics_after {
+            *self = ClassClosure::build(sigs, omega_len, 1);
+            return;
+        }
+        let mw = self.mask_words;
+        let sig = &sigs[c];
+        let (wi, bit) = (c / WORD_BITS, 1u64 << (c % WORD_BITS));
+        for b in sig.iter() {
+            self.members[b * mw + wi] |= bit;
+        }
+        self.classes = c + 1;
+        if let (Some(up), Some(down)) = (self.up.as_mut(), self.down.as_mut()) {
+            up.resize((c + 1) * mw, 0);
+            down.resize((c + 1) * mw, 0);
+            {
+                let up_c = &mut up[c * mw..(c + 1) * mw];
+                up_c.iter_mut().for_each(|w| *w = !0);
+                for b in sig.iter() {
+                    let m = &self.members[b * mw..(b + 1) * mw];
+                    up_c.iter_mut().zip(m).for_each(|(w, &v)| *w &= v);
+                }
+                clamp_mask(up_c, c + 1);
+            }
+            {
+                let down_c = &mut down[c * mw..(c + 1) * mw];
+                for b in 0..omega_len {
+                    if sig.contains(b) {
+                        continue;
+                    }
+                    let m = &self.members[b * mw..(b + 1) * mw];
+                    down_c.iter_mut().zip(m).for_each(|(w, &v)| *w |= v);
+                }
+                down_c.iter_mut().for_each(|w| *w = !*w);
+                clamp_mask(down_c, c + 1);
+            }
+            for (t, sig_t) in sigs.iter().enumerate().take(c) {
+                if sig_t.is_subset(sig) {
+                    up[t * mw + wi] |= bit;
+                }
+                if sig.is_subset(sig_t) {
+                    down[t * mw + wi] |= bit;
+                }
+            }
         }
     }
 
@@ -391,7 +452,7 @@ impl CacheInner {
 /// to ⅞ of the budget — a small batch, not a drop-all cliff); a budget of
 /// `0` disables caching entirely.
 #[derive(Debug)]
-struct DecisionCache {
+pub(crate) struct DecisionCache {
     budget: usize,
     inner: RwLock<CacheInner>,
     /// Monotone recency clock; every probe draws a fresh tick.
@@ -500,31 +561,47 @@ impl Clone for DecisionCache {
 /// classes.
 #[derive(Debug, Clone)]
 pub struct Universe {
-    instance: Instance,
+    pub(crate) instance: Instance,
     /// Distinct signatures; `sigs[c]` is `T(t)` for every tuple of class `c`.
-    sigs: Vec<BitSet>,
+    pub(crate) sigs: Vec<BitSet>,
     /// `|T(t)|` per class, precomputed: the BU/TD orderings consult it on
     /// every step and popcounting the signature each time would dominate.
-    sig_sizes: Vec<u32>,
+    pub(crate) sig_sizes: Vec<u32>,
     /// Number of product tuples in each class.
-    counts: Vec<u64>,
+    pub(crate) counts: Vec<u64>,
     /// One representative `(ri, pi)` product tuple per class.
-    reps: Vec<(u32, u32)>,
+    pub(crate) reps: Vec<(u32, u32)>,
     /// Construction-time hash buckets (signature word-hash → candidate
     /// class ids), kept so [`Universe::class_of`] is O(1) expected instead
     /// of a linear scan over all signatures.
-    buckets: HashMap<u64, Vec<u32>>,
+    pub(crate) buckets: HashMap<u64, Vec<u32>>,
     /// The precomputed containment order among classes (see
     /// [`ClassClosure`]): built once here, shared read-only by every
     /// session over this universe.
-    closure: ClassClosure,
+    pub(crate) closure: ClassClosure,
     /// The full-policy decision cache: deterministic strategies' memoized
     /// moves in both phases, shared by every session over this universe.
-    decision_cache: DecisionCache,
+    pub(crate) decision_cache: DecisionCache,
     /// Number of distinct R-side / P-side join profiles the build
     /// enumerated (`|R|` / `|P|` for the reference build).
-    distinct_r: usize,
-    distinct_p: usize,
+    pub(crate) distinct_r: usize,
+    pub(crate) distinct_p: usize,
+    /// Monotone edit-generation counter: 0 at construction, +1 per
+    /// [`Universe::apply_delta`]. Folded into [`Universe::fingerprint`] so
+    /// durable state stamped before a delta can never silently replay
+    /// against the post-delta class ids, and into the decision-cache key so
+    /// a cached move can never leak across a delta.
+    pub(crate) epoch: u64,
+    /// The live row/profile tables delta maintenance works on. `None` for
+    /// universes built without them ([`Universe::apply_delta`] materializes
+    /// them on demand when `rows_complete`; streaming builds opt in via
+    /// `build_streaming_live`). Behind an `Arc` so cloning a universe stays
+    /// cheap — `apply_delta` deep-clones before mutating.
+    pub(crate) live: Option<std::sync::Arc<crate::delta::LiveTables>>,
+    /// Whether `instance` holds the *complete* row multiset (true for
+    /// [`Universe::build`]) or only profile representatives (streaming and
+    /// post-delta universes). Gates the on-demand live-table rebuild.
+    pub(crate) rows_complete: bool,
 }
 
 /// One distinct join profile of a relation side: its first (representative)
@@ -707,7 +784,9 @@ impl Universe {
                 .map(|n| n.get())
                 .unwrap_or(1)
         };
-        Self::assemble(instance, shared, r_profiles, p_profiles, threads)
+        let mut u = Self::assemble(instance, shared, r_profiles, p_profiles, threads);
+        u.rows_complete = true;
+        u
     }
 
     /// [`Universe::build`] with an explicit worker count, exposed so the
@@ -721,7 +800,9 @@ impl Universe {
         let p_profiles = distinct_profiles(
             (0..instance.p().len()).map(|pi| instance.p_profile_key(pi, &shared)),
         );
-        Self::assemble(instance, shared, r_profiles, p_profiles, threads)
+        let mut u = Self::assemble(instance, shared, r_profiles, p_profiles, threads);
+        u.rows_complete = true;
+        u
     }
 
     /// The pre-deduplication construction: walk every `(ri, pi)` row pair
@@ -733,7 +814,9 @@ impl Universe {
         let shared = instance.shared_symbols();
         let r_profiles = row_profiles(instance.r().len());
         let p_profiles = row_profiles(instance.p().len());
-        Self::assemble(instance, shared, r_profiles, p_profiles, 1)
+        let mut u = Self::assemble(instance, shared, r_profiles, p_profiles, 1);
+        u.rows_complete = true;
+        u
     }
 
     pub(crate) fn assemble(
@@ -788,6 +871,9 @@ impl Universe {
             decision_cache: DecisionCache::new(DEFAULT_DECISION_CACHE_BYTES),
             distinct_r: r_profiles.len(),
             distinct_p: p_profiles.len(),
+            epoch: 0,
+            live: None,
+            rows_complete: false,
         }
     }
 
@@ -919,14 +1005,26 @@ impl Universe {
         if self.decision_cache.budget == 0 {
             return compute();
         }
-        let h = hash_words(pos_mask).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hash_words(neg_mask);
-        let key = (strategy_key, h);
+        let key = (strategy_key, self.cache_mask_key(pos_mask, neg_mask));
         if let Some(value) = self.decision_cache.lookup(key, pos_mask, neg_mask) {
             return value;
         }
         let value = compute();
         self.decision_cache.insert(key, pos_mask, neg_mask, value);
         value
+    }
+
+    /// The mask half of the decision-cache key. The universe's epoch is
+    /// folded in with its own odd multiplier: a post-delta universe probes
+    /// a disjoint key space, so even a cache that (hypothetically) survived
+    /// a delta could never serve a pre-delta move. In practice
+    /// [`Universe::apply_delta`] also starts the new universe with an empty
+    /// cache — the epoch in the key is defense in depth, and what the
+    /// regression tests assert.
+    fn cache_mask_key(&self, pos_mask: &[u64], neg_mask: &[u64]) -> u64 {
+        hash_words(pos_mask).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ hash_words(neg_mask)
+            ^ self.epoch.wrapping_mul(0xA24B_AED4_963E_E407)
     }
 
     /// A representative `(ri, pi)` product tuple of class `c` — the tuple a
@@ -965,7 +1063,20 @@ impl Universe {
     /// against the wrong universe fails loudly instead of replaying
     /// garbage. Stable across processes and platforms: no addresses, no
     /// randomized hashing, and `Universe::build` is deterministic.
+    ///
+    /// The [`Universe::epoch`] is folded in on top of the class-structure
+    /// hash ([`Universe::content_fingerprint`]): even a delta that happens
+    /// to restore the exact pre-delta class structure yields a fresh
+    /// fingerprint, so durable state stamped before the delta always fails
+    /// its restore check instead of replaying against reshuffled ids.
     pub fn fingerprint(&self) -> u64 {
+        Self::fingerprint_at_epoch(self.content_fingerprint(), self.epoch)
+    }
+
+    /// The epoch-independent part of [`Universe::fingerprint`]: a hash of
+    /// `|Ω|`, the class count, and every class's signature words and tuple
+    /// count.
+    pub fn content_fingerprint(&self) -> u64 {
         let mut acc: Vec<u64> = Vec::with_capacity(2 + 2 * self.sigs.len());
         acc.push(self.omega_len() as u64);
         acc.push(self.sigs.len() as u64);
@@ -976,6 +1087,23 @@ impl Universe {
         hash_words(&acc)
     }
 
+    /// Folds an epoch into a content fingerprint — exactly what
+    /// [`Universe::fingerprint`] computes. Exposed so recovery code can
+    /// probe whether a stamped fingerprint belongs to an *earlier epoch* of
+    /// the serving universe and say so in its error message.
+    pub fn fingerprint_at_epoch(content: u64, epoch: u64) -> u64 {
+        hash_words(&[content, epoch])
+    }
+
+    /// The universe's edit generation: 0 at construction, bumped by one on
+    /// every [`Universe::apply_delta`] (including empty deltas). Monotone
+    /// along any chain of deltas; folded into [`Universe::fingerprint`] and
+    /// the decision-cache key.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Finds the class of an arbitrary product tuple.
     ///
     /// O(1) expected: one signature computation plus a probe of the
@@ -983,11 +1111,19 @@ impl Universe {
     /// collisions are harmless).
     pub fn class_of(&self, ri: usize, pi: usize) -> Option<ClassId> {
         let sig = self.instance.signature(ri, pi);
+        self.class_for_signature(&sig)
+    }
+
+    /// Finds the class carrying exactly `sig`, if any. O(1) expected (one
+    /// bucket probe with exact re-check). This is how session migration
+    /// maps a pre-delta class id to its post-delta id: signatures are the
+    /// stable identity of a class, ids are not.
+    pub fn class_for_signature(&self, sig: &BitSet) -> Option<ClassId> {
         let bucket = self.buckets.get(&hash_words(sig.words()))?;
         bucket
             .iter()
             .map(|&c| c as usize)
-            .find(|&c| self.sigs[c] == sig)
+            .find(|&c| self.sigs[c] == *sig)
     }
 
     /// Iterates over `(class, signature, count)`.

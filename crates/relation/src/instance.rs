@@ -8,8 +8,9 @@
 
 use crate::bitset::BitSet;
 use crate::error::{RelationError, Result};
-use crate::interner::Interner;
+use crate::interner::{Interner, Symbol};
 use crate::relation::Relation;
+use crate::tuple::Tuple;
 use crate::value::Value;
 use std::fmt;
 use std::sync::Arc;
@@ -67,6 +68,30 @@ impl PairSpace {
     /// The full predicate Ω (the most specific join predicate).
     pub fn omega(&self) -> BitSet {
         BitSet::full(self.len())
+    }
+
+    /// Computes `T(t)` for a product tuple given as two raw interned-symbol
+    /// rows (the [`crate::interner::Symbol`] indices), without going through
+    /// an [`Instance`]. Same dense layout and semantics as
+    /// [`Instance::signature_into`]; `out` is cleared first.
+    ///
+    /// This is the delta-maintenance primitive: incremental universe
+    /// updates pair an edited row against opposite-side profile
+    /// representatives held outside any materialized relation.
+    pub fn signature_of_into(&self, r: &[u32], p: &[u32], out: &mut BitSet) {
+        debug_assert_eq!(r.len(), self.n);
+        debug_assert_eq!(p.len(), self.m);
+        debug_assert_eq!(out.capacity(), self.len());
+        for w in out.words_mut() {
+            *w = 0;
+        }
+        for (i, &vr) in r.iter().enumerate() {
+            for (j, &vp) in p.iter().enumerate() {
+                if vr == vp {
+                    out.insert(self.index(i, j));
+                }
+            }
+        }
     }
 
     /// The empty predicate ∅ (the most general join predicate).
@@ -262,6 +287,40 @@ impl Instance {
     /// relations swapped).
     pub fn p_profile_key(&self, pi: usize, shared: &BitSet) -> Box<[u32]> {
         profile_key(&self.p.rows()[pi], shared)
+    }
+
+    /// Appends an already-interned row of raw symbol ids to `side`,
+    /// returning the new row's index within that relation. Arity-checked.
+    ///
+    /// Delta maintenance appends the representative row of each
+    /// newly-created join profile here, so class representatives always
+    /// point at materialized instance rows.
+    pub fn push_symbol_row(&mut self, side: crate::stream::Side, syms: &[u32]) -> Result<usize> {
+        let rel = match side {
+            crate::stream::Side::R => &mut self.r,
+            crate::stream::Side::P => &mut self.p,
+        };
+        let tuple = Tuple::new(syms.iter().map(|&s| Symbol(s)).collect::<Vec<_>>());
+        rel.push_tuple(tuple)?;
+        Ok(rel.len() - 1)
+    }
+
+    /// Overwrites row `index` of `side` with raw symbol ids (arity- and
+    /// bounds-checked). Used when a join profile's representative row is
+    /// deleted but the profile survives: the instance row is repointed at a
+    /// surviving row of the same profile, which provably preserves every
+    /// signature computed against it.
+    pub fn overwrite_symbol_row(
+        &mut self,
+        side: crate::stream::Side,
+        index: usize,
+        syms: &[u32],
+    ) -> Result<()> {
+        let tuple = Tuple::new(syms.iter().map(|&s| Symbol(s)).collect::<Vec<_>>());
+        match side {
+            crate::stream::Side::R => self.r.overwrite_row(index, tuple),
+            crate::stream::Side::P => self.p.overwrite_row(index, tuple),
+        }
     }
 
     /// Iterates over all product tuples as `(ri, pi)` pairs.

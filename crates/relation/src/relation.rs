@@ -83,6 +83,31 @@ impl Relation {
         Ok(())
     }
 
+    /// Replaces the row at `index` with an already-interned tuple, checking
+    /// arity and bounds. Delta maintenance uses this to keep a retired
+    /// profile representative's instance row pointing at a surviving row of
+    /// the same profile.
+    pub fn overwrite_row(&mut self, index: usize, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                relation: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        match self.rows.get_mut(index) {
+            Some(slot) => {
+                *slot = tuple;
+                Ok(())
+            }
+            None => Err(RelationError::RowOutOfBounds {
+                relation: self.schema.name().to_string(),
+                index,
+                len: self.rows.len(),
+            }),
+        }
+    }
+
     /// Reserves capacity for `additional` more rows.
     pub fn reserve(&mut self, additional: usize) {
         self.rows.reserve(additional);

@@ -53,6 +53,14 @@ impl Side {
             Side::P => "P",
         }
     }
+
+    /// The other side.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::R => Side::P,
+            Side::P => Side::R,
+        }
+    }
 }
 
 /// A batch of interned rows for one side of the instance — the unit of a

@@ -89,6 +89,20 @@ pub enum DurabilityError {
         /// The stamped fingerprint.
         found: u64,
     },
+    /// Durable state stamped by an **earlier epoch** of the same universe
+    /// content: the log predates one or more live-data deltas
+    /// ([`jqi_core::Universe::apply_delta`]) applied since, so its class
+    /// ids cannot be replayed against the serving universe. Re-point the
+    /// manager at a fresh durability directory (a migration resets the
+    /// log) instead of recovering from this one.
+    StaleEpoch {
+        /// Which header carried the stale stamp.
+        source: &'static str,
+        /// The epoch the log was stamped at.
+        found_epoch: u64,
+        /// The serving universe's epoch.
+        serving_epoch: u64,
+    },
     /// A checksum failure in the middle of the WAL (a torn *tail* is
     /// truncated instead — see [`recover`]).
     CorruptWal {
@@ -137,6 +151,16 @@ impl std::fmt::Display for DurabilityError {
                 f,
                 "universe fingerprint mismatch in {source}: \
                  stamped {found:016x}, serving universe is {expected:016x}"
+            ),
+            DurabilityError::StaleEpoch {
+                source,
+                found_epoch,
+                serving_epoch,
+            } => write!(
+                f,
+                "universe epoch mismatch in {source}: stamped at epoch \
+                 {found_epoch}, serving universe is the same content at \
+                 epoch {serving_epoch} — the log predates an applied delta"
             ),
             DurabilityError::CorruptWal { offset, detail } => {
                 write!(f, "corrupt WAL at byte {offset}: {detail}")

@@ -282,6 +282,18 @@ impl SpillStore {
         })
     }
 
+    /// Rotates to a fresh segment stamped with `fingerprint` — the
+    /// universe-migration path. Old segments are left behind untouched:
+    /// after the accompanying [`super::Wal::reset`] nothing references
+    /// them, and recovery never reads a segment the log does not point
+    /// into.
+    pub fn restamp(&mut self, fingerprint: u64) -> std::io::Result<()> {
+        self.sync()?;
+        self.fingerprint = fingerprint;
+        self.current += 1;
+        self.open_current()
+    }
+
     /// fsyncs the current segment if it has unsynced appends.
     pub fn sync(&mut self) -> std::io::Result<()> {
         if std::mem::take(&mut self.dirty) {

@@ -338,6 +338,22 @@ impl Wal {
         Ok(())
     }
 
+    /// Resets the log to an empty file stamped with `fingerprint`,
+    /// discarding any unflushed batch — the universe-migration path. The
+    /// caller immediately re-logs the whole fleet as `Restore` records (a
+    /// checkpoint), so everything the discarded records described is
+    /// captured by what follows the fresh header.
+    pub fn reset(&mut self, fingerprint: u64) -> std::io::Result<()> {
+        self.batch.clear();
+        self.dirty = 0;
+        self.storage.truncate(0)?;
+        let header = super::codec::file_header(super::codec::WAL_MAGIC, fingerprint);
+        self.storage.append(&header)?;
+        self.storage.sync()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
     /// Writes the pending batch to the storage and fsyncs it.
     pub fn commit(&mut self) -> std::io::Result<()> {
         if self.dirty == 0 {

@@ -21,8 +21,9 @@ use crate::http::registry::{valid_universe_id, UniverseEntry, UniverseRegistry};
 use crate::json::Json;
 use crate::manager::{ManagerStats, ServerError, SessionId, SessionManager};
 use crate::snapshot::SessionSnapshot;
-use jqi_core::{Candidate, ClassId, Label, StrategyConfig};
+use jqi_core::{Candidate, ClassId, Label, StrategyConfig, UniverseDelta};
 use jqi_net::{NetStats, Request, Response, StatsHandle};
+use jqi_relation::{Side, Tuple, Value};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -84,6 +85,7 @@ impl Gateway {
             (_, "snapshot") => &self.metrics.snapshot,
             ("POST", "sessions") => &self.metrics.create_session,
             ("POST", "restore") => &self.metrics.restore,
+            ("POST", "delta") => &self.metrics.delta,
             (_, "stats") | (_, "universes") => &self.metrics.stats,
             _ => &self.metrics.session,
         }
@@ -109,6 +111,10 @@ impl Gateway {
             },
             ["v1", "universes", uid, "restore"] => match method {
                 "POST" => self.with_universe(uid, &self.metrics.restore, |m| restore(m, request)),
+                _ => method_not_allowed("POST"),
+            },
+            ["v1", "universes", uid, "delta"] => match method {
+                "POST" => self.with_universe(uid, &self.metrics.delta, |m| apply_delta(m, request)),
                 _ => method_not_allowed("POST"),
             },
             ["v1", "universes", uid, "sessions", sid] => {
@@ -484,11 +490,112 @@ fn restore(manager: &SessionManager, request: &Request) -> Result<Response, Resp
     ))
 }
 
+/// Parses one JSON row — an array of ints and strings — into a [`Tuple`]
+/// interned against the serving universe's (shared, append-only)
+/// interner. Arity is *not* checked here; [`jqi_core::Universe::apply_delta`]
+/// validates it against the schema and the rejection comes back as
+/// `400 bad_delta`.
+fn parse_row(
+    interner: &jqi_relation::Interner,
+    key: &str,
+    index: usize,
+    row: &Json,
+) -> Result<Tuple, Response> {
+    let cells = row.as_arr().ok_or_else(|| {
+        error(
+            400,
+            "bad_request",
+            &format!("{key}[{index}] must be an array of row values"),
+        )
+    })?;
+    let mut values = Vec::with_capacity(cells.len());
+    for cell in cells {
+        values.push(match cell {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 9e15 => Value::int(*n as i64),
+            Json::Str(s) => Value::str(s.as_str()),
+            _ => {
+                return Err(error(
+                    400,
+                    "bad_request",
+                    &format!("{key}[{index}] values must be integers or strings"),
+                ))
+            }
+        });
+    }
+    Ok(Tuple::intern(interner, &values))
+}
+
+fn apply_delta(manager: &SessionManager, request: &Request) -> Result<Response, Response> {
+    let doc = parse_body(request)?;
+    let universe = manager.universe();
+    let interner = universe.instance().interner();
+    let mut delta = UniverseDelta::new();
+    for (key, side, is_delete) in [
+        ("insert_r", Side::R, false),
+        ("delete_r", Side::R, true),
+        ("insert_p", Side::P, false),
+        ("delete_p", Side::P, true),
+    ] {
+        let Some(block) = doc.get(key) else { continue };
+        let rows = block.as_arr().ok_or_else(|| {
+            error(
+                400,
+                "bad_request",
+                &format!("{key} must be an array of rows"),
+            )
+        })?;
+        for (index, row) in rows.iter().enumerate() {
+            let tuple = parse_row(interner, key, index, row)?;
+            if is_delete {
+                delta.delete(side, tuple);
+            } else {
+                delta.insert(side, tuple);
+            }
+        }
+    }
+    if delta.is_empty() {
+        return Err(error(
+            400,
+            "bad_request",
+            "delta has no edits; provide at least one of \
+             insert_r, delete_r, insert_p, delete_p",
+        ));
+    }
+    deadline_guard(request)?;
+    let report = manager.apply_delta(&delta).map_err(server_error)?;
+    let universe = manager.universe();
+    Ok(ok(Json::Obj(vec![
+        ("epoch".into(), Json::num(universe.epoch() as f64)),
+        (
+            "universe".into(),
+            Json::str(format!("{:016x}", manager.universe_fingerprint())),
+        ),
+        ("edits".into(), Json::num(delta.len() as f64)),
+        ("sessions".into(), Json::num(report.sessions as f64)),
+        ("carried".into(), Json::num(report.carried as f64)),
+        ("replayed".into(), Json::num(report.replayed as f64)),
+        (
+            "dropped_labels".into(),
+            Json::num(report.dropped_labels as f64),
+        ),
+        (
+            "invalidated".into(),
+            Json::Arr(
+                report
+                    .invalidated
+                    .iter()
+                    .map(|&id| Json::num(id as f64))
+                    .collect(),
+            ),
+        ),
+    ])))
+}
+
 // ── shared plumbing ────────────────────────────────────────────────────
 
 fn candidate_json(manager: &SessionManager, candidate: &Candidate) -> Json {
     let values = candidate
-        .values(manager.universe())
+        .values(&manager.universe())
         .iter()
         .map(|v| Json::str(v.to_string()))
         .collect();
@@ -581,6 +688,7 @@ fn server_error(e: ServerError) -> Response {
         ),
         ServerError::Inference(_) => error(400, "inference_error", &e.to_string()),
         ServerError::Durability(_) => error(500, "durability_error", &e.to_string()),
+        ServerError::Delta(_) => error(400, "bad_delta", &e.to_string()),
     }
 }
 

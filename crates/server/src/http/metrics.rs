@@ -189,6 +189,8 @@ pub struct GatewayMetrics {
     pub snapshot: LatencyHistogram,
     /// `POST /v1/universes/{uid}/restore`.
     pub restore: LatencyHistogram,
+    /// `POST /v1/universes/{uid}/delta`.
+    pub delta: LatencyHistogram,
     /// `GET …/sessions/{sid}` and `DELETE …/sessions/{sid}`.
     pub session: LatencyHistogram,
     /// `GET /v1/stats` and `GET /v1/universes`.
@@ -202,13 +204,14 @@ impl GatewayMetrics {
     }
 
     /// `(name, histogram)` pairs in stats-report order.
-    pub fn all(&self) -> [(&'static str, &LatencyHistogram); 7] {
+    pub fn all(&self) -> [(&'static str, &LatencyHistogram); 8] {
         [
             ("create_session", &self.create_session),
             ("question", &self.question),
             ("answers", &self.answers),
             ("snapshot", &self.snapshot),
             ("restore", &self.restore),
+            ("delta", &self.delta),
             ("session", &self.session),
             ("stats", &self.stats),
         ]

@@ -83,6 +83,7 @@ pub mod snapshot;
 pub use durability::{DurabilityConfig, DurabilityError, DurabilityStats, RecoveryReport};
 pub use http::{Gateway, UniverseRegistry};
 pub use manager::{
-    ManagerStats, Result, ServerConfig, ServerError, SessionId, SessionManager, SweepReport,
+    ManagerStats, MigrationReport, Result, ServerConfig, ServerError, SessionId, SessionManager,
+    SweepReport,
 };
 pub use snapshot::{SessionSnapshot, SnapshotError, SNAPSHOT_FORMAT};

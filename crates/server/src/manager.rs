@@ -27,7 +27,10 @@ use crate::durability::{
 };
 use crate::snapshot::SessionSnapshot;
 use jqi_core::session::{Candidate, OwnedSession};
-use jqi_core::{ClassId, DecisionCacheStats, InferenceError, Label, StrategyConfig, Universe};
+use jqi_core::{
+    ClassId, DecisionCacheStats, DeltaError, InferenceError, Label, StrategyConfig, Universe,
+    UniverseDelta,
+};
 use jqi_relation::BitSet;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -121,6 +124,11 @@ pub enum ServerError {
     /// The durability tier failed (WAL/segment I/O, corruption on a
     /// spilled-session read, …).
     Durability(DurabilityError),
+    /// A live-data edit script could not be applied to the serving
+    /// universe ([`jqi_core::DeltaError`] — unknown symbols, arity
+    /// mismatches, deleting absent rows, or a universe built without
+    /// live tables).
+    Delta(DeltaError),
 }
 
 impl std::fmt::Display for ServerError {
@@ -135,6 +143,7 @@ impl std::fmt::Display for ServerError {
                  this manager serves {expected:016x}"
             ),
             ServerError::Durability(e) => write!(f, "durability error: {e}"),
+            ServerError::Delta(e) => write!(f, "delta rejected: {e}"),
         }
     }
 }
@@ -144,6 +153,7 @@ impl std::error::Error for ServerError {
         match self {
             ServerError::Inference(e) => Some(e),
             ServerError::Durability(e) => Some(e),
+            ServerError::Delta(e) => Some(e),
             _ => None,
         }
     }
@@ -376,16 +386,58 @@ impl DurabilityState {
 
 type Shard = RwLock<HashMap<SessionId, Arc<Mutex<Slot>>, BuildHasherDefault<SessionIdHasher>>>;
 
+/// The universe currently being served, plus its cached fingerprint.
+///
+/// Swapped atomically (under the write half of the serving lock) by
+/// [`SessionManager::migrate`] / [`SessionManager::apply_delta`]; every
+/// public operation holds the read half for its whole duration, so a
+/// migration observes a quiesced fleet and no operation ever straddles
+/// two universes.
+struct Serving {
+    universe: Arc<Universe>,
+    fingerprint: u64,
+}
+
+/// What one [`SessionManager::migrate`] / [`SessionManager::apply_delta`]
+/// did to the session fleet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Live sessions examined (every tier).
+    pub sessions: usize,
+    /// Sessions whose derived masks carried over verbatim — the serving
+    /// universe's class structure was unchanged (a count-only delta), so
+    /// migration cost O(masks) per session.
+    pub carried: usize,
+    /// Sessions re-validated by signature-remapped replay against the new
+    /// universe (structural deltas, and every parked session).
+    pub replayed: usize,
+    /// Labels dropped across the fleet because their class has no
+    /// signature-equal counterpart in the new universe (its rows were all
+    /// deleted). Dropping a label only widens the consistent interval, so
+    /// the surviving sessions remain sound.
+    pub dropped_labels: usize,
+    /// Sessions removed because their remapped history no longer replays
+    /// against the new universe. Loud by construction: the ids are
+    /// returned here and the sessions answer
+    /// [`ServerError::UnknownSession`] afterwards.
+    pub invalidated: Vec<SessionId>,
+    /// The epoch served before the migration.
+    pub from_epoch: u64,
+    /// The epoch served after it.
+    pub to_epoch: u64,
+}
+
 /// A thread-safe, multi-session inference service over one shared universe.
 ///
 /// See the [module docs](self) for the locking discipline. All methods take
 /// `&self`; the manager is meant to live in an `Arc` shared by every worker
 /// thread of a server.
 pub struct SessionManager {
-    universe: Arc<Universe>,
-    /// [`Universe::fingerprint`], computed once — stamped into snapshots
-    /// and all durable state, checked on restore/recover.
-    fingerprint: u64,
+    /// The served universe and its [`Universe::fingerprint`] — stamped
+    /// into snapshots and all durable state, checked on restore/recover,
+    /// and swapped wholesale by [`Self::migrate`]. Lock order: serving →
+    /// shard → session mutex → spill → WAL.
+    serving: RwLock<Serving>,
     config: ServerConfig,
     shards: Box<[Shard]>,
     next_id: AtomicU64,
@@ -408,8 +460,10 @@ impl SessionManager {
     pub fn new(universe: Arc<Universe>, config: ServerConfig) -> Self {
         let shards = config.shards.max(1);
         SessionManager {
-            fingerprint: universe.fingerprint(),
-            universe,
+            serving: RwLock::new(Serving {
+                fingerprint: universe.fingerprint(),
+                universe,
+            }),
             shards: (0..shards)
                 .map(|_| RwLock::new(HashMap::default()))
                 .collect(),
@@ -462,7 +516,8 @@ impl SessionManager {
     ) -> std::result::Result<(Self, RecoveryReport), DurabilityError> {
         let fingerprint = universe.fingerprint();
         let wal_bytes = wal_storage.read_all()?;
-        let fleet = recover_fleet(&wal_bytes, segments.as_mut(), fingerprint)?;
+        let fleet = recover_fleet(&wal_bytes, segments.as_mut(), fingerprint)
+            .map_err(|e| Self::name_stale_epoch(&universe, e))?;
         if fleet.wal_keep_len < wal_bytes.len() as u64 {
             wal_storage.truncate(fleet.wal_keep_len)?;
         }
@@ -483,12 +538,14 @@ impl SessionManager {
         )?;
 
         let manager = SessionManager {
-            fingerprint,
+            serving: RwLock::new(Serving {
+                universe: Arc::clone(&universe),
+                fingerprint,
+            }),
             shards: (0..config.shards.max(1))
                 .map(|_| RwLock::new(HashMap::default()))
                 .collect(),
             next_id: AtomicU64::new(fleet.next_id),
-            universe,
             config,
             durability: Some(DurabilityState {
                 config: durability,
@@ -509,7 +566,7 @@ impl SessionManager {
             // — its replay also normalizes a pending question that later
             // answers made moot, exactly as the live session would have.
             let session = OwnedSession::replay(
-                Arc::clone(&manager.universe),
+                Arc::clone(&universe),
                 &recovered.strategy,
                 &recovered.history,
                 recovered.pending,
@@ -551,15 +608,49 @@ impl SessionManager {
         &self.config
     }
 
-    /// The serving universe's fingerprint ([`Universe::fingerprint`]),
-    /// stamped into snapshots and durable state.
-    pub fn universe_fingerprint(&self) -> u64 {
-        self.fingerprint
+    /// Rewrites a wal-header fingerprint mismatch whose stamp matches an
+    /// *earlier epoch* of the very same universe content into the
+    /// explicit stale-epoch error — "same data, older version" deserves a
+    /// better message than a bare hash mismatch.
+    fn name_stale_epoch(universe: &Universe, e: DurabilityError) -> DurabilityError {
+        let DurabilityError::FingerprintMismatch {
+            source,
+            expected,
+            found,
+        } = e
+        else {
+            return e;
+        };
+        let content = universe.content_fingerprint();
+        let stale = (0..universe.epoch())
+            .find(|&epoch| Universe::fingerprint_at_epoch(content, epoch) == found);
+        match stale {
+            Some(found_epoch) => DurabilityError::StaleEpoch {
+                source,
+                found_epoch,
+                serving_epoch: universe.epoch(),
+            },
+            None => DurabilityError::FingerprintMismatch {
+                source,
+                expected,
+                found,
+            },
+        }
     }
 
-    /// The shared universe all sessions run over.
-    pub fn universe(&self) -> &Arc<Universe> {
-        &self.universe
+    /// The serving universe's fingerprint ([`Universe::fingerprint`]),
+    /// stamped into snapshots and durable state. Changes on every
+    /// [`Self::migrate`] / [`Self::apply_delta`] (the fingerprint folds
+    /// the universe's epoch).
+    pub fn universe_fingerprint(&self) -> u64 {
+        self.serving.read().fingerprint
+    }
+
+    /// The universe all sessions currently run over, by value: the handle
+    /// stays valid across a concurrent [`Self::migrate`], it just keeps
+    /// the pre-migration universe alive until dropped.
+    pub fn universe(&self) -> Arc<Universe> {
+        Arc::clone(&self.serving.read().universe)
     }
 
     /// Number of live sessions across all shards.
@@ -580,8 +671,9 @@ impl SessionManager {
     /// counters ride along in `decision_cache`. Sampling is not a touch:
     /// it never wakes a parked session or resets an idle clock.
     pub fn stats(&self) -> ManagerStats {
+        let serving = self.serving.read();
         let mut stats = ManagerStats {
-            decision_cache: self.universe.decision_cache_stats(),
+            decision_cache: serving.universe.decision_cache_stats(),
             ..ManagerStats::default()
         };
         for shard in self.shards.iter() {
@@ -642,7 +734,11 @@ impl SessionManager {
     /// session. The wake itself appends nothing to the WAL: the session's
     /// replay state is unchanged — which tier held it is a RAM detail the
     /// log only learns about at the next answer/question/spill.
-    fn materialize<'a>(&self, guard: &'a mut Slot) -> Result<&'a mut OwnedSession> {
+    fn materialize<'a>(
+        &self,
+        universe: &Arc<Universe>,
+        guard: &'a mut Slot,
+    ) -> Result<&'a mut OwnedSession> {
         if let Tier::Spilled { locator, .. } = guard.tier {
             let state = self
                 .durability
@@ -654,7 +750,7 @@ impl SessionManager {
                 pending: payload.pending,
             };
         }
-        Ok(guard.session(&self.universe))
+        Ok(guard.session(universe))
     }
 
     /// Runs `f` on the materialized session, holding only that session's
@@ -663,10 +759,11 @@ impl SessionManager {
     /// clock resets, and a hibernated or spilled session is
     /// re-materialized first.
     fn with_session<T>(&self, id: SessionId, f: impl FnOnce(&mut OwnedSession) -> T) -> Result<T> {
+        let serving = self.serving.read();
         let slot = self.slot(id)?;
         let mut guard = slot.lock();
         guard.last_touch = Instant::now();
-        Ok(f(self.materialize(&mut guard)?))
+        Ok(f(self.materialize(&serving.universe, &mut guard)?))
     }
 
     /// Inserts without logging — recovery's path (the log already
@@ -704,7 +801,8 @@ impl SessionManager {
     /// session the caller ever saw is missing from the log.
     pub fn create_session(&self, strategy: StrategyConfig) -> Result<SessionId> {
         use std::collections::hash_map::Entry;
-        let session = OwnedSession::with_config(Arc::clone(&self.universe), &strategy);
+        let serving = self.serving.read();
+        let session = OwnedSession::with_config(Arc::clone(&serving.universe), &strategy);
         let slot = Arc::new(Mutex::new(Slot::resident(strategy.clone(), session)));
         // A concurrent restore() may race a stale snapshot onto the id the
         // counter just handed out (its fetch_max lands after our
@@ -740,10 +838,11 @@ impl SessionManager {
     /// strategy step selects a **new** candidate (re-delivery appends
     /// nothing), so recovery reproduces outstanding questions exactly.
     pub fn next_question(&self, id: SessionId) -> Result<Option<Candidate>> {
+        let serving = self.serving.read();
         let slot = self.slot(id)?;
         let mut guard = slot.lock();
         guard.last_touch = Instant::now();
-        let session = self.materialize(&mut guard)?;
+        let session = self.materialize(&serving.universe, &mut guard)?;
         if let Some(pending) = session.pending_candidate() {
             return Ok(Some(pending));
         }
@@ -776,10 +875,11 @@ impl SessionManager {
     /// loop calls `flush_wal` once per answer round, so a whole round
     /// across many sessions shares one fsync.
     pub fn answer_batch(&self, id: SessionId, answers: &[(ClassId, Label)]) -> Result<usize> {
+        let serving = self.serving.read();
         let slot = self.slot(id)?;
         let mut guard = slot.lock();
         guard.last_touch = Instant::now();
-        let session = self.materialize(&mut guard)?;
+        let session = self.materialize(&serving.universe, &mut guard)?;
         let before = session.history().len();
         let applied = session.apply_batch(answers);
         if let Some(state) = &self.durability {
@@ -829,13 +929,14 @@ impl SessionManager {
     /// directly from the parked replay log (`Ω ∩ ⋂ sig(positives)`, a few
     /// word-ANDs) instead of re-materializing the whole session.
     pub fn inferred_predicate(&self, id: SessionId) -> Result<BitSet> {
+        let serving = self.serving.read();
         let slot = self.slot(id)?;
         let guard = slot.lock();
         let fold = |history: &[(ClassId, Label)]| {
-            let mut theta = self.universe.omega();
+            let mut theta = serving.universe.omega();
             for &(c, label) in history {
                 if label == Label::Positive {
-                    theta.intersect_with(self.universe.sig(c));
+                    theta.intersect_with(serving.universe.sig(c));
                 }
             }
             theta
@@ -859,6 +960,7 @@ impl SessionManager {
     /// also why hibernation composes with snapshot-based hand-off: the
     /// parked representation *is* the snapshot payload.)
     pub fn snapshot(&self, id: SessionId) -> Result<SessionSnapshot> {
+        let serving = self.serving.read();
         let slot = self.slot(id)?;
         let guard = slot.lock();
         let (history, pending) = match &guard.tier {
@@ -876,7 +978,7 @@ impl SessionManager {
             strategy: guard.config.clone(),
             history,
             pending,
-            universe: Some(self.fingerprint),
+            universe: Some(serving.fingerprint),
         })
     }
 
@@ -898,17 +1000,18 @@ impl SessionManager {
     /// ([`ServerError::UniverseMismatch`] — unstamped legacy documents
     /// are accepted and validated by replay alone).
     pub fn restore(&self, snapshot: &SessionSnapshot) -> Result<SessionId> {
+        let serving = self.serving.read();
         if let Some(found) = snapshot.universe {
-            if found != self.fingerprint {
+            if found != serving.fingerprint {
                 return Err(ServerError::UniverseMismatch {
-                    expected: self.fingerprint,
+                    expected: serving.fingerprint,
                     found,
                 });
             }
         }
         let id = snapshot.session;
         let session = OwnedSession::replay(
-            Arc::clone(&self.universe),
+            Arc::clone(&serving.universe),
             &snapshot.strategy,
             &snapshot.history,
             snapshot.pending,
@@ -941,9 +1044,10 @@ impl SessionManager {
     /// turn. Durable managers log one `Hibernate` record per park and
     /// share one fsync across the whole pass.
     pub fn hibernate_idle(&self, ttl: Duration) -> Result<SweepReport> {
+        let _serving = self.serving.read();
         let mut report = SweepReport::default();
         self.park_idle(ttl, &mut report)?;
-        self.flush_wal()?;
+        self.commit_wal()?;
         Ok(report)
     }
 
@@ -975,6 +1079,7 @@ impl SessionManager {
     /// Force-parks one session regardless of idle time; returns whether it
     /// was resident. Not a touch.
     pub fn hibernate(&self, id: SessionId) -> Result<bool> {
+        let _serving = self.serving.read();
         let slot = self.slot(id)?;
         let mut guard = slot.lock();
         let parked = guard.hibernate().is_some();
@@ -998,12 +1103,13 @@ impl SessionManager {
     /// (so a committed locator never points at unsynced bytes); one WAL
     /// fsync covers the whole pass.
     pub fn sweep(&self) -> Result<SweepReport> {
+        let _serving = self.serving.read();
         let mut report = SweepReport::default();
         if let Some(ttl) = self.config.hibernate_ttl {
             self.park_idle(ttl, &mut report)?;
         }
         self.spill_to_watermark(&mut report)?;
-        self.flush_wal()?;
+        self.commit_wal()?;
         Ok(report)
     }
 
@@ -1100,6 +1206,14 @@ impl SessionManager {
     /// once per answer round: together with group commit it bounds the
     /// window of acknowledged-but-unsynced work.
     pub fn flush_wal(&self) -> Result<()> {
+        let _serving = self.serving.read();
+        self.commit_wal()
+    }
+
+    /// [`Self::flush_wal`] without the serving guard — the shared body,
+    /// also called from paths that already hold the serving lock (the
+    /// sweeps, and `migrate` under the write half).
+    fn commit_wal(&self) -> Result<()> {
         if let Some(state) = &self.durability {
             state
                 .wal
@@ -1110,12 +1224,191 @@ impl SessionManager {
         Ok(())
     }
 
+    /// Applies a live-data edit script to the serving universe and
+    /// migrates the whole fleet onto the result.
+    ///
+    /// The new universe is derived by [`Universe::apply_delta`] —
+    /// incremental maintenance in O(Δ), not a rebuild — so this is the
+    /// cheap path for row-level churn; see [`Self::migrate`] for what
+    /// happens to the sessions. Requires a universe built with live
+    /// tables ([`jqi_core::Universe::build_streaming_live`] or a prior
+    /// delta), else [`ServerError::Delta`].
+    pub fn apply_delta(&self, delta: &UniverseDelta) -> Result<MigrationReport> {
+        let mut serving = self.serving.write();
+        let next = serving
+            .universe
+            .apply_delta(delta)
+            .map_err(ServerError::Delta)?;
+        self.migrate_locked(&mut serving, Arc::new(next))
+    }
+
+    /// Swaps the serving universe and re-validates **every** open session
+    /// against it, atomically with respect to all other operations (the
+    /// serving lock's write half quiesces the fleet first).
+    ///
+    /// Per session: a resident one rebinds through
+    /// [`OwnedSession::rebind`] — masks carry over verbatim when the
+    /// class structure is unchanged (count-only deltas, O(masks)),
+    /// otherwise its history is remapped by class signature and replayed;
+    /// parked (hibernated/spilled) ones have their replay logs remapped
+    /// the same way and are re-validated by a full replay. Labels whose
+    /// class vanished are dropped (consistency only widens); a session
+    /// whose remapped history no longer replays is removed and reported
+    /// in [`MigrationReport::invalidated`] — loudly, never served wrong.
+    ///
+    /// On a durable manager the WAL is **reset** to the new universe's
+    /// fingerprint and the surviving fleet is re-logged as one `Restore`
+    /// checkpoint; pre-migration durable state (including spill segments)
+    /// is abandoned, and recovering from a pre-migration log fails with
+    /// an explicit epoch/fingerprint mismatch. If the reset itself fails
+    /// the in-RAM fleet is already consistent on the new universe, but
+    /// the log must be considered unusable until the next successful
+    /// migration or a fresh durability directory.
+    pub fn migrate(&self, universe: Arc<Universe>) -> Result<MigrationReport> {
+        let mut serving = self.serving.write();
+        self.migrate_locked(&mut serving, universe)
+    }
+
+    fn migrate_locked(
+        &self,
+        serving: &mut Serving,
+        universe: Arc<Universe>,
+    ) -> Result<MigrationReport> {
+        let old = Arc::clone(&serving.universe);
+        let mut report = MigrationReport {
+            from_epoch: old.epoch(),
+            to_epoch: universe.epoch(),
+            ..MigrationReport::default()
+        };
+        // Remap a parked replay log onto the new universe's class ids by
+        // signature, dropping labels of vanished classes.
+        let remap = |history: &[(ClassId, Label)], dropped: &mut usize| {
+            let mut out = Vec::with_capacity(history.len());
+            for &(c, label) in history {
+                match universe.class_for_signature(old.sig(c)) {
+                    Some(nc) => out.push((nc, label)),
+                    None => *dropped += 1,
+                }
+            }
+            out
+        };
+        let mut doomed: Vec<SessionId> = Vec::new();
+        for shard in self.shards.iter() {
+            let slots: Vec<(SessionId, Arc<Mutex<Slot>>)> = shard
+                .read()
+                .iter()
+                .map(|(&id, slot)| (id, Arc::clone(slot)))
+                .collect();
+            for (id, slot) in slots {
+                let mut guard = slot.lock();
+                report.sessions += 1;
+                // Lift a spilled slot into RAM first: its segment home is
+                // abandoned by the log reset below.
+                if let Tier::Spilled { locator, .. } = guard.tier {
+                    let state = self
+                        .durability
+                        .as_ref()
+                        .expect("spilled tier only exists under a durability tier");
+                    let payload = state.spill.lock().read(locator)?;
+                    guard.tier = Tier::Hibernated {
+                        history: payload.history,
+                        pending: payload.pending,
+                    };
+                }
+                let slot_ref: &mut Slot = &mut guard;
+                match &mut slot_ref.tier {
+                    Tier::Resident(session) => {
+                        match session.rebind(Arc::clone(&universe), &slot_ref.config) {
+                            Ok(r) => {
+                                if r.carried_masks {
+                                    report.carried += 1;
+                                } else {
+                                    report.replayed += 1;
+                                }
+                                report.dropped_labels += r.dropped_labels;
+                            }
+                            Err(_) => doomed.push(id),
+                        }
+                    }
+                    Tier::Hibernated { history, pending } => {
+                        let remapped = remap(history, &mut report.dropped_labels);
+                        let pending =
+                            pending.and_then(|c| universe.class_for_signature(old.sig(c)));
+                        match OwnedSession::replay(
+                            Arc::clone(&universe),
+                            &slot_ref.config,
+                            &remapped,
+                            pending,
+                        ) {
+                            Ok(session) => {
+                                let (mut history, pending) = session.into_replay_parts();
+                                history.shrink_to_fit();
+                                slot_ref.tier = Tier::Hibernated { history, pending };
+                                report.replayed += 1;
+                            }
+                            Err(_) => doomed.push(id),
+                        }
+                    }
+                    Tier::Spilled { .. } => unreachable!("lifted above"),
+                }
+            }
+        }
+        for &id in &doomed {
+            self.shard(id).write().remove(&id);
+        }
+        report.invalidated = doomed;
+        // The fleet is consistent on the new universe; serve it before
+        // the durable reset so an I/O failure below cannot leave RAM and
+        // the serving pointer disagreeing.
+        serving.universe = Arc::clone(&universe);
+        serving.fingerprint = universe.fingerprint();
+        if let Some(state) = &self.durability {
+            let io =
+                |e: std::io::Error| ServerError::Durability(DurabilityError::Io(e.to_string()));
+            state
+                .spill
+                .lock()
+                .restamp(serving.fingerprint)
+                .map_err(io)?;
+            // Locking slots while holding the WAL mutex inverts the usual
+            // order, but the serving write lock has quiesced every path
+            // that takes them the other way around.
+            let mut wal = state.wal.lock();
+            wal.reset(serving.fingerprint).map_err(io)?;
+            for shard in self.shards.iter() {
+                let slots: Vec<(SessionId, Arc<Mutex<Slot>>)> = shard
+                    .read()
+                    .iter()
+                    .map(|(&id, slot)| (id, Arc::clone(slot)))
+                    .collect();
+                for (id, slot) in slots {
+                    let guard = slot.lock();
+                    let (history, pending) = match &guard.tier {
+                        Tier::Resident(s) => (s.history().to_vec(), s.pending_class()),
+                        Tier::Hibernated { history, pending } => (history.clone(), *pending),
+                        Tier::Spilled { .. } => unreachable!("lifted above"),
+                    };
+                    wal.append(&WalRecord::Restore {
+                        id,
+                        strategy: guard.config.clone(),
+                        history,
+                        pending,
+                    })
+                    .map_err(io)?;
+                }
+            }
+            wal.commit().map_err(io)?;
+        }
+        Ok(report)
+    }
+
     /// Drops a session. Operations already holding its handle finish
     /// against the detached session; later calls get
     /// [`ServerError::UnknownSession`]. (On a durable manager such
     /// detached operations may append records behind the `Remove` —
     /// recovery tolerates and skips them.)
     pub fn remove(&self, id: SessionId) -> Result<()> {
+        let _serving = self.serving.read();
         let mut shard = self.shard(id).write();
         if !shard.contains_key(&id) {
             return Err(ServerError::UnknownSession(id));
@@ -1353,7 +1646,7 @@ mod tests {
         assert_eq!(m.sweep().unwrap(), SweepReport::default());
         // …and parks idle sessions when one is set.
         let ttl = SessionManager::new(
-            Arc::clone(m.universe()),
+            m.universe(),
             ServerConfig {
                 hibernate_ttl: Some(Duration::ZERO),
                 ..ServerConfig::default()
@@ -1409,7 +1702,7 @@ mod tests {
 
         // Simulate a restart: a brand-new manager restores the snapshot.
         let m2 = SessionManager::new(
-            Arc::clone(m.universe()),
+            m.universe(),
             ServerConfig {
                 shards: 3,
                 ..ServerConfig::default()
@@ -1698,6 +1991,276 @@ mod tests {
         assert!(after.wal_records >= 3);
         // The durable image now contains everything the pristine one does.
         assert_eq!(wal.durable_image(), wal.pristine_image());
+    }
+
+    // ------------------------------------------------------------------
+    // Live-data migration: apply_delta / migrate over the session fleet.
+    // ------------------------------------------------------------------
+
+    use jqi_relation::{RowChunk, Side, StreamSchema, Tuple, Value};
+
+    /// A delta-capable universe: R(A1,A2) × P(B1), shared symbols {1, 2},
+    /// two classes (signatures {A1=B1} and {}).
+    fn live_universe() -> Arc<Universe> {
+        let schema = StreamSchema::from_names("R", &["A1", "A2"], "P", &["B1"]).unwrap();
+        let r_rows: [[i64; 2]; 4] = [[1, 100], [2, 101], [1, 102], [3, 103]];
+        let p_rows: [[i64; 1]; 4] = [[1], [2], [1], [4]];
+        let chunks = vec![
+            RowChunk {
+                side: Side::R,
+                rows: r_rows
+                    .iter()
+                    .map(|r| {
+                        schema
+                            .intern_row(Side::R, &[Value::int(r[0]), Value::int(r[1])])
+                            .unwrap()
+                    })
+                    .collect(),
+            },
+            RowChunk {
+                side: Side::P,
+                rows: p_rows
+                    .iter()
+                    .map(|p| schema.intern_row(Side::P, &[Value::int(p[0])]).unwrap())
+                    .collect(),
+            },
+        ];
+        let (u, _) = Universe::build_streaming_live(schema, || chunks.clone().into_iter(), 1);
+        Arc::new(u)
+    }
+
+    fn row(u: &Universe, values: &[i64]) -> Tuple {
+        let vals: Vec<Value> = values.iter().map(|&v| Value::int(v)).collect();
+        Tuple::intern(u.instance().interner(), &vals)
+    }
+
+    #[test]
+    fn apply_delta_carries_sessions_over_count_only_edits() {
+        let u = live_universe();
+        let m = SessionManager::new(Arc::clone(&u), ServerConfig::default());
+        let id = m.create_session(StrategyConfig::Td).unwrap();
+        let q = m.next_question(id).unwrap().unwrap();
+        m.answer(id, q.class, Label::Negative).unwrap();
+        let pre = m.snapshot(id).unwrap();
+        let old_fp = m.universe_fingerprint();
+
+        // Duplicate an existing row: weights change, classes do not.
+        let mut d = UniverseDelta::new();
+        d.insert(Side::R, row(&u, &[1, 100]));
+        let report = m.apply_delta(&d).unwrap();
+        assert_eq!(report.sessions, 1);
+        assert_eq!(report.carried, 1, "count-only deltas carry masks verbatim");
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.dropped_labels, 0);
+        assert!(report.invalidated.is_empty());
+        assert_eq!((report.from_epoch, report.to_epoch), (0, 1));
+        assert_ne!(m.universe_fingerprint(), old_fp);
+        assert_eq!(m.universe().epoch(), 1);
+        // The label survived and the session still drives to completion.
+        assert_eq!(m.interactions(id).unwrap(), 1);
+        while let Some(q) = m.next_question(id).unwrap() {
+            m.answer(id, q.class, Label::Negative).unwrap();
+        }
+        assert!(m.is_done(id).unwrap());
+        // A pre-delta snapshot is now another universe's snapshot.
+        assert!(matches!(
+            m.restore(&SessionSnapshot {
+                session: 999,
+                ..pre
+            })
+            .unwrap_err(),
+            ServerError::UniverseMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn apply_delta_replays_sessions_over_structural_edits_without_waking_parked_ones() {
+        let u = live_universe();
+        let m = SessionManager::new(Arc::clone(&u), ServerConfig::default());
+        let resident = m.create_session(StrategyConfig::Td).unwrap();
+        let parked = m.create_session(StrategyConfig::Td).unwrap();
+        for &id in &[resident, parked] {
+            let q = m.next_question(id).unwrap().unwrap();
+            m.answer(id, q.class, Label::Negative).unwrap();
+        }
+        assert!(m.hibernate(parked).unwrap());
+
+        // A new symbol combination births a class: [1,1] meets P row [1]
+        // on both attributes (signature {A1=B1, A2=B1}).
+        let mut d = UniverseDelta::new();
+        d.insert(Side::R, row(&u, &[1, 1]));
+        let report = m.apply_delta(&d).unwrap();
+        assert_eq!(report.sessions, 2);
+        assert_eq!(report.carried, 0);
+        assert_eq!(report.replayed, 2);
+        assert!(report.invalidated.is_empty());
+        assert_eq!(
+            m.stats().hibernated_sessions,
+            1,
+            "migration re-parks parked sessions instead of waking them"
+        );
+        // Both sessions keep their answer and finish on the new universe.
+        for &id in &[resident, parked] {
+            assert_eq!(m.interactions(id).unwrap(), 1);
+            while let Some(q) = m.next_question(id).unwrap() {
+                m.answer(id, q.class, Label::Negative).unwrap();
+            }
+            assert!(m.is_done(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn apply_delta_requires_a_live_universe_and_validates_rows() {
+        // A plain streaming build keeps representatives only — it cannot
+        // accept deltas (unlike `Universe::build`, which retains the full
+        // instance, and `build_streaming_live`, which keeps row tables).
+        let schema = StreamSchema::from_names("R", &["A1"], "P", &["B1"]).unwrap();
+        let chunk = RowChunk {
+            side: Side::R,
+            rows: vec![schema.intern_row(Side::R, &[Value::int(1)]).unwrap()],
+        };
+        let (reps_only, _) =
+            Universe::build_streaming(schema, || std::iter::once(chunk.clone()), 1);
+        let m = SessionManager::new(Arc::new(reps_only), ServerConfig::default());
+        let mut d = UniverseDelta::new();
+        d.insert(
+            Side::R,
+            Tuple::intern(m.universe().instance().interner(), &[Value::int(2)]),
+        );
+        assert!(matches!(
+            m.apply_delta(&d).unwrap_err(),
+            ServerError::Delta(DeltaError::NotLive)
+        ));
+
+        let live = live_universe();
+        let lm = SessionManager::new(Arc::clone(&live), ServerConfig::default());
+        let mut bad = UniverseDelta::new();
+        bad.insert(Side::R, row(&live, &[7])); // arity 1 into a 2-ary side
+        assert!(matches!(
+            lm.apply_delta(&bad).unwrap_err(),
+            ServerError::Delta(DeltaError::ArityMismatch { .. })
+        ));
+        // A rejected delta leaves the serving universe untouched.
+        assert_eq!(lm.universe_fingerprint(), live.fingerprint());
+    }
+
+    #[test]
+    fn migrate_swaps_an_unrelated_universe_and_keeps_serving() {
+        let u = live_universe();
+        let m = SessionManager::new(Arc::clone(&u), ServerConfig::default());
+        let id = m.create_session(StrategyConfig::Bu).unwrap();
+        let q = m.next_question(id).unwrap().unwrap();
+        m.answer(id, q.class, Label::Negative).unwrap();
+
+        let next = Arc::new(Universe::build(flight_hotel()));
+        let report = m.migrate(Arc::clone(&next)).unwrap();
+        assert_eq!(report.sessions, 1);
+        assert!(report.invalidated.is_empty());
+        assert_eq!(m.universe_fingerprint(), next.fingerprint());
+        // The session is served on the new universe; any label whose
+        // class has no signature-equal counterpart was dropped, not
+        // silently misapplied.
+        assert!(m.interactions(id).unwrap() + report.dropped_labels <= 1);
+        let _ = m.next_question(id).unwrap();
+    }
+
+    #[test]
+    fn durable_migration_resets_the_log_and_recovers_on_the_new_universe() {
+        let u = live_universe();
+        let wal = MemWal::new();
+        let segments = MemSegments::new();
+        let (m, _) = durable_pair(
+            &u,
+            wal.clone(),
+            segments.clone(),
+            DurabilityConfig::default(),
+        );
+        let a = m.create_session(StrategyConfig::Td).unwrap();
+        let b = m.create_session(StrategyConfig::Bu).unwrap();
+        for &id in &[a, b] {
+            let q = m.next_question(id).unwrap().unwrap();
+            m.answer(id, q.class, Label::Negative).unwrap();
+        }
+        assert!(m.hibernate(b).unwrap());
+        let mut d = UniverseDelta::new();
+        d.insert(Side::R, row(&u, &[1, 1]));
+        let report = m.apply_delta(&d).unwrap();
+        assert_eq!(report.sessions, 2);
+        let migrated = m.universe();
+        m.flush_wal().unwrap();
+        drop(m);
+
+        // Recovery against the migrated universe finds the checkpointed
+        // fleet…
+        let (r, rec) = durable_pair(
+            &migrated,
+            MemWal::from_bytes(wal.durable_image()),
+            segments.clone(),
+            DurabilityConfig::default(),
+        );
+        assert_eq!(rec.sessions, 2);
+        assert_eq!(r.interactions(a).unwrap(), 1);
+        assert_eq!(r.interactions(b).unwrap(), 1);
+        drop(r);
+        // …and the pre-delta universe is refused loudly.
+        let err = SessionManager::recover_with_storage(
+            Arc::clone(&u),
+            ServerConfig::default(),
+            DurabilityConfig::default(),
+            Box::new(MemWal::from_bytes(wal.durable_image())),
+            Box::new(segments),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DurabilityError::FingerprintMismatch {
+                source: "wal header",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn recovery_names_a_stale_epoch_explicitly() {
+        let u0 = live_universe();
+        let wal = MemWal::new();
+        let (m, _) = durable_pair(
+            &u0,
+            wal.clone(),
+            MemSegments::new(),
+            DurabilityConfig::default(),
+        );
+        m.create_session(StrategyConfig::Bu).unwrap();
+        m.flush_wal().unwrap();
+        drop(m);
+
+        // A net-zero delta: same content, bumped epoch — the fingerprint
+        // changes but the data does not, which is exactly the confusing
+        // case the explicit error exists for.
+        let mut d = UniverseDelta::new();
+        let dup = row(&u0, &[1, 100]);
+        d.insert(Side::R, dup.clone());
+        d.delete(Side::R, dup);
+        let u1 = Arc::new(u0.apply_delta(&d).unwrap());
+        assert_eq!(u1.content_fingerprint(), u0.content_fingerprint());
+        assert_ne!(u1.fingerprint(), u0.fingerprint());
+
+        let err = SessionManager::recover_with_storage(
+            Arc::clone(&u1),
+            ServerConfig::default(),
+            DurabilityConfig::default(),
+            Box::new(MemWal::from_bytes(wal.durable_image())),
+            Box::new(MemSegments::new()),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DurabilityError::StaleEpoch {
+                source: "wal header",
+                found_epoch: 0,
+                serving_epoch: 1,
+            }
+        ));
     }
 
     #[test]

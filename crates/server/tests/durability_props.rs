@@ -39,7 +39,7 @@ fn oracle_label(universe: &Universe, goal: &BitSet, class: ClassId) -> Label {
 /// Drives `id` to completion, returning the final history and predicate.
 fn drive(manager: &SessionManager, id: u64, goal: &BitSet) -> (Vec<(ClassId, Label)>, BitSet) {
     while let Some(q) = manager.next_question(id).expect("live session") {
-        let label = oracle_label(manager.universe(), goal, q.class);
+        let label = oracle_label(&manager.universe(), goal, q.class);
         manager.answer(id, q.class, label).expect("consistent");
     }
     let history = manager.snapshot(id).expect("live session").history;

@@ -170,6 +170,116 @@ fn snapshot_restores_across_tenants_of_the_same_universe() {
 }
 
 #[test]
+fn delta_endpoint_migrates_the_fleet_and_stale_snapshots_get_409() {
+    let (server, _registry) = demo_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Open a session, answer one question, and stamp a pre-delta
+    // snapshot — that document carries the epoch-0 fingerprint.
+    let created = client
+        .post("/v1/universes/demo/sessions", r#"{"strategy": "BU"}"#)
+        .unwrap();
+    assert_eq!(created.status, 201, "{:?}", created.body_str());
+    let cdoc = json(&created);
+    let sid = cdoc.get("session").and_then(Json::as_num).unwrap() as u64;
+    let fingerprint_before = cdoc
+        .get("universe")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let q = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+        .unwrap();
+    let class = json(&q)
+        .get("question")
+        .and_then(|q| q.get("class"))
+        .and_then(Json::as_num)
+        .unwrap() as u64;
+    client
+        .post(
+            &format!("/v1/universes/demo/sessions/{sid}/answers"),
+            &format!(r#"{{"answers": [{{"class": {class}, "label": "-"}}]}}"#),
+        )
+        .unwrap();
+    let stale = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/snapshot"))
+        .unwrap()
+        .body_str()
+        .unwrap()
+        .to_string();
+
+    // A duplicate of an existing flight is a count-only edit: every
+    // class keeps its signature, so the open session carries over
+    // without replay — and the epoch still advances.
+    let applied = client
+        .post(
+            "/v1/universes/demo/delta",
+            r#"{"insert_r": [["Paris", "Lille", "AF"]]}"#,
+        )
+        .unwrap();
+    assert_eq!(applied.status, 200, "{:?}", applied.body_str());
+    let adoc = json(&applied);
+    assert_eq!(adoc.get("epoch").and_then(Json::as_num), Some(1.0));
+    assert_eq!(adoc.get("edits").and_then(Json::as_num), Some(1.0));
+    assert_eq!(adoc.get("sessions").and_then(Json::as_num), Some(1.0));
+    assert_eq!(adoc.get("carried").and_then(Json::as_num), Some(1.0));
+    assert_eq!(adoc.get("replayed").and_then(Json::as_num), Some(0.0));
+    assert_eq!(adoc.get("invalidated"), Some(&Json::Arr(vec![])));
+    let fingerprint_after = adoc
+        .get("universe")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_ne!(
+        fingerprint_before, fingerprint_after,
+        "the epoch is folded into the serving fingerprint"
+    );
+
+    // The carried session keeps serving on the new universe.
+    let q = client
+        .get(&format!("/v1/universes/demo/sessions/{sid}/question"))
+        .unwrap();
+    assert_eq!(q.status, 200, "{:?}", q.body_str());
+
+    // The pre-delta snapshot is stamped with the epoch-0 fingerprint:
+    // restoring it after the delta is the loud 409, same as any other
+    // wrong-universe document.
+    let rejected = client.post("/v1/universes/demo/restore", &stale).unwrap();
+    assert_eq!(rejected.status, 409, "{:?}", rejected.body_str());
+    assert_eq!(error_code(&rejected), "universe_mismatch");
+
+    // Malformed scripts are clean 400s and leave the epoch alone:
+    // schema violations and deletes of absent rows are `bad_delta`
+    // (validated inside apply_delta), shape abuse is `bad_request`.
+    for (body, code) in [
+        (r#"{"insert_r": [["Paris", "Lille"]]}"#, "bad_delta"),
+        (r#"{"delete_p": [["Atlantis", "ZZ"]]}"#, "bad_delta"),
+        (r#"{}"#, "bad_request"),
+        (r#"{"insert_r": 5}"#, "bad_request"),
+        (r#"{"insert_r": [["Paris", "Lille", true]]}"#, "bad_request"),
+    ] {
+        let response = client.post("/v1/universes/demo/delta", body).unwrap();
+        assert_eq!(response.status, 400, "{body} → {:?}", response.body_str());
+        assert_eq!(error_code(&response), code, "{body}");
+    }
+    let get = client.get("/v1/universes/demo/delta").unwrap();
+    assert_eq!(get.status, 405);
+    let applied = client
+        .post(
+            "/v1/universes/demo/delta",
+            r#"{"delete_r": [["Paris", "Lille", "AF"]]}"#,
+        )
+        .unwrap();
+    assert_eq!(applied.status, 200, "{:?}", applied.body_str());
+    assert_eq!(
+        json(&applied).get("epoch").and_then(Json::as_num),
+        Some(2.0),
+        "rejected scripts never advanced the epoch"
+    );
+    drop(server);
+}
+
+#[test]
 fn wrong_universe_restore_is_a_loud_409_with_both_fingerprints() {
     let (server, registry) = demo_server();
     // A genuinely different universe: different instance, different

@@ -30,13 +30,13 @@ fn oracle_label(universe: &Universe, goal: &BitSet, class: ClassId) -> Label {
 /// Drives `id` until done or `max_steps` answers, returning the number of
 /// answers given.
 fn drive(manager: &SessionManager, id: u64, goal: &BitSet, max_steps: usize) -> usize {
-    let universe = manager.universe().as_ref();
+    let universe = manager.universe();
     let mut steps = 0;
     while steps < max_steps {
         match manager.next_question(id).expect("live session") {
             None => break,
             Some(q) => {
-                let label = oracle_label(universe, goal, q.class);
+                let label = oracle_label(&universe, goal, q.class);
                 manager.answer(id, q.class, label).expect("consistent");
                 steps += 1;
             }

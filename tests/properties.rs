@@ -1033,3 +1033,187 @@ fn sf_stream_streamed_matches_materialized() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental universe maintenance ≡ rebuild of the edited instance
+// ---------------------------------------------------------------------------
+
+use join_query_inference::core::{ClassId, UniverseDelta};
+use join_query_inference::relation::{Relation, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One abstract edit: side, insert-or-delete, row material (inserts draw
+/// values overlapping the instance pool — recombining live symbols — and
+/// past it, so genuinely fresh and newly-shared symbols appear too), and
+/// an index seed (deletes pick a surviving row with it).
+type AbstractEdit = (u8, u8, [i64; 2], usize);
+
+fn edit_scripts() -> impl Strategy<Value = Vec<AbstractEdit>> {
+    prop::collection::vec(
+        (0u8..2, 0u8..2, prop::array::uniform2(0i64..6), 0usize..64),
+        1..10,
+    )
+}
+
+/// Folds an abstract script into a concrete [`UniverseDelta`] against
+/// `inst`, mirroring every edit on plain row lists (the rebuild oracle's
+/// input). A delete aimed at an emptied side falls back to an insert, so
+/// every generated script is valid by construction.
+fn concrete_delta(
+    inst: &Instance,
+    script: &[AbstractEdit],
+) -> (UniverseDelta, Vec<Tuple>, Vec<Tuple>) {
+    let mut delta = UniverseDelta::new();
+    let mut r: Vec<Tuple> = inst.r().rows().to_vec();
+    let mut p: Vec<Tuple> = inst.p().rows().to_vec();
+    for &(on_r, insert, vals, pick) in script {
+        let (side, rows) = if on_r == 1 {
+            (Side::R, &mut r)
+        } else {
+            (Side::P, &mut p)
+        };
+        if insert == 1 || rows.is_empty() {
+            let row = Tuple::intern(inst.interner(), &[Value::int(vals[0]), Value::int(vals[1])]);
+            delta.insert(side, row.clone());
+            rows.push(row);
+        } else {
+            let row = rows.remove(pick % rows.len());
+            delta.delete(side, row);
+        }
+    }
+    (delta, r, p)
+}
+
+/// `Universe::build` of the edited rows, sharing the original interner
+/// (so symbol-level comparisons against the delta result are value-level
+/// comparisons), with the decision cache sized by `cache_bytes`.
+fn rebuild_edited(inst: &Instance, r: Vec<Tuple>, p: Vec<Tuple>, cache_bytes: usize) -> Universe {
+    let mut rr = Relation::new(inst.r().schema().clone());
+    for t in r {
+        rr.push_tuple(t).expect("edited rows keep the schema arity");
+    }
+    let mut pp = Relation::new(inst.p().schema().clone());
+    for t in p {
+        pp.push_tuple(t).expect("edited rows keep the schema arity");
+    }
+    let edited = Instance::new(inst.interner_handle(), rr, pp).expect("schemas are disjoint");
+    Universe::build(edited).with_decision_cache_budget(cache_bytes)
+}
+
+/// Class structure keyed by signature words rather than class id: the
+/// count, and the up/down closure sets expressed as signature sets. Two
+/// universes with equal maps are indistinguishable to the inference
+/// layer up to class relabeling.
+#[allow(clippy::type_complexity)]
+fn class_structure(
+    u: &Universe,
+) -> BTreeMap<Vec<u64>, (u64, BTreeSet<Vec<u64>>, BTreeSet<Vec<u64>>)> {
+    let n = u.num_classes();
+    let sig_words = |c: usize| u.sig(c as ClassId).words().to_vec();
+    let mask_sigs = |mask: &[u64]| -> BTreeSet<Vec<u64>> {
+        (0..n)
+            .filter(|&t| mask[t / 64] >> (t % 64) & 1 == 1)
+            .map(sig_words)
+            .collect()
+    };
+    (0..n)
+        .map(|c| {
+            let up = u
+                .closure()
+                .up(c as ClassId)
+                .map(mask_sigs)
+                .unwrap_or_default();
+            let down = u
+                .closure()
+                .down(c as ClassId)
+                .map(mask_sigs)
+                .unwrap_or_default();
+            (sig_words(c), (u.count(c as ClassId), up, down))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite equivalence: `Universe::apply_delta` over a random edit
+    /// script equals `Universe::build` of the edited instance — same
+    /// signature multiset, counts, and closure structure — on
+    /// duplicate-heavy instances where deletes retire whole profiles and
+    /// inserts mint new ones.
+    #[test]
+    fn delta_applied_matches_rebuild_of_edited_instance(
+        inst in duplicate_heavy_instance(),
+        script in edit_scripts(),
+    ) {
+        let base = Universe::build(inst.clone());
+        let (delta, r, p) = concrete_delta(&inst, &script);
+        let applied = base.apply_delta(&delta).expect("folded scripts are valid");
+        let rebuilt = rebuild_edited(&inst, r, p, 0);
+        prop_assert_eq!(applied.epoch(), 1);
+        prop_assert!(applied.fingerprint() != base.fingerprint());
+        prop_assert_eq!(applied.total_tuples(), rebuilt.total_tuples());
+        prop_assert_eq!(applied.num_classes(), rebuilt.num_classes());
+        prop_assert_eq!(
+            class_structure(&applied),
+            class_structure(&rebuilt),
+            "class structure diverged from the from-scratch build"
+        );
+        // Every representative must live in the class it represents.
+        for c in 0..applied.num_classes() {
+            let (ri, pi) = applied.representative(c as ClassId);
+            prop_assert_eq!(applied.class_of(ri, pi), Some(c as ClassId));
+        }
+    }
+}
+
+/// Regression: a move cached on the pre-delta universe is never served
+/// after `apply_delta`. The delta result starts with an empty decision
+/// cache, its epoch is folded into the cache key and the fingerprint,
+/// and its cached moves still equal the uncached reference over the
+/// edited data.
+#[test]
+fn post_delta_universe_serves_no_stale_cached_moves() {
+    let mut b = InstanceBuilder::new();
+    b.relation_r("R", &["A1", "A2"]);
+    b.relation_p("P", &["B1", "B2"]);
+    for r in [[0i64, 1], [0, 2], [2, 2], [1, 0]] {
+        b.row_r_ints(&r);
+    }
+    for p in [[1i64, 1], [0, 1], [2, 0]] {
+        b.row_p_ints(&p);
+    }
+    let inst = b.build().expect("well-formed");
+    let base = Universe::build(inst.clone());
+
+    // Warm the pre-delta cache (the lock-step driver runs two passes, so
+    // the second is served from the cache).
+    let goal = mask_to_theta(inst.pairs().len(), 0b0101);
+    let uncached = rebuild_edited(&inst, inst.r().rows().to_vec(), inst.p().rows().to_vec(), 0);
+    assert_cached_moves_match(&base, &uncached, &goal);
+    let warm = base.decision_cache_stats();
+    assert!(warm.hits > 0 && warm.entries > 0, "pre-delta cache is warm");
+
+    // A structural delta: (2,1) recombines live symbols into signatures
+    // the base universe has no class for.
+    let mut delta = UniverseDelta::new();
+    let row = Tuple::intern(inst.interner(), &[Value::int(2), Value::int(1)]);
+    delta.insert(Side::R, row.clone());
+    let applied = base.apply_delta(&delta).expect("valid edit");
+    assert_eq!(applied.epoch(), 1);
+    assert_ne!(applied.fingerprint(), base.fingerprint());
+
+    // Nothing cached before the delta survives into the result: the
+    // cache starts empty, and the epoch in the key makes even an
+    // accidental carry-over unmatchable.
+    let fresh = applied.decision_cache_stats();
+    assert_eq!(fresh.hits, 0, "no pre-delta cached move was served");
+    assert_eq!(fresh.entries, 0, "the post-delta cache starts empty");
+
+    // And the post-delta universe's cached moves equal the uncached
+    // reference built from scratch over the edited rows.
+    let mut r = inst.r().rows().to_vec();
+    r.push(row);
+    let rebuilt_uncached = rebuild_edited(&inst, r, inst.p().rows().to_vec(), 0);
+    assert_cached_moves_match(&applied, &rebuilt_uncached, &goal);
+}
